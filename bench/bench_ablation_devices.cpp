@@ -1,0 +1,71 @@
+// Ablation — deployment sweep across edge devices, servers and links.
+//
+// The paper motivates Easz with devices weaker than the TX2 (§II names the
+// Raspberry Pi 4) and suggests A100-class servers for the reconstruction
+// stage (§IV-B). This bench prices the same workload across the whole grid:
+// the weaker the edge and the fatter the server, the larger Easz's
+// advantage — and on a GPU-less Pi the neural codecs become unusable
+// (minutes per frame) while Easz is unchanged.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "codec/jpeg_like.hpp"
+#include "neural_codec/conv_autoencoder.hpp"
+#include "testbed/scenario.hpp"
+
+int main() {
+  using namespace easz;
+  bench::print_header(
+      "Ablation — device/link deployment sweep (512x768, 0.4 bpp)",
+      "Easz's edge cost is device-insensitive; NN codecs collapse on weak "
+      "edges; an A100 server shrinks Easz's dominant reconstruction stage");
+
+  constexpr int kW = 512;
+  constexpr int kH = 768;
+  constexpr double kPayload = 0.4 / 8.0 * kW * kH;
+
+  util::Pcg32 rng(151);
+  core::ReconstructionModel model(core::ReconModelConfig{}, rng);
+  codec::JpegLikeCodec jpeg(60);
+  neural_codec::ConvAutoencoderCodec mbt(neural_codec::mbt_lite_spec(), 50, 152);
+
+  struct Deployment {
+    const char* name;
+    testbed::DeviceModel edge;
+    testbed::DeviceModel server;
+    testbed::NetworkLink link;
+  };
+  const Deployment grid[] = {
+      {"TX2 -> 2080Ti / WiFi", testbed::jetson_tx2(),
+       testbed::desktop_2080ti(), testbed::wifi_link()},
+      {"Pi4 -> 2080Ti / WiFi", testbed::raspberry_pi4(),
+       testbed::desktop_2080ti(), testbed::wifi_link()},
+      {"TX2 -> A100 / WiFi", testbed::jetson_tx2(), testbed::a100_server(),
+       testbed::wifi_link()},
+      {"Pi4 -> A100 / LTE-IoT", testbed::raspberry_pi4(),
+       testbed::a100_server(), testbed::lte_iot_link()},
+  };
+
+  util::Table t({"deployment", "Easz edge ms", "Easz e2e ms", "MBT edge ms",
+                 "MBT e2e ms", "Easz speedup"});
+  for (const auto& d : grid) {
+    const testbed::Scenario s(d.edge, d.server, d.link);
+    const testbed::PipelineCost easz =
+        s.run_easz(jpeg, model, kW, kH, 2, kPayload);
+    const testbed::PipelineCost nn = s.run_codec(mbt, kW, kH, kPayload);
+    const double easz_edge =
+        easz.latency.erase_squeeze_s + easz.latency.encode_s;
+    t.add_row({d.name, util::Table::num(easz_edge * 1e3, 0),
+               util::Table::num(easz.latency.end_to_end_s() * 1e3, 0),
+               util::Table::num(nn.latency.encode_s * 1e3, 0),
+               util::Table::num(nn.latency.end_to_end_s() * 1e3, 0),
+               util::Table::num(nn.latency.end_to_end_s() /
+                                    easz.latency.end_to_end_s(), 1) + "x"});
+  }
+  t.print();
+  std::printf(
+      "Shape check: the NN codec's edge encode explodes on the Pi 4 (no\n"
+      "GPU) while Easz's edge stage stays in tens of milliseconds on every\n"
+      "device; the A100 server cuts Easz's reconstruction-dominated total.\n");
+  return 0;
+}

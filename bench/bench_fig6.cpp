@@ -1,0 +1,86 @@
+// Fig. 6 reproduction: efficiency on the Jetson TX2.
+//  (a) end-to-end latency breakdown: Easz vs MBT vs Cheng
+//  (b) encode power (CPU + GPU watts)
+//  (c) encode memory footprint (GB)
+//
+// Paper: Easz's erase-and-squeeze is 0.7 % of end-to-end latency and
+// reconstruction 74 %; Easz cuts total power 71.3 % / 59.9 % vs MBT / Cheng
+// with zero GPU power, and memory 45.8 % / 47.1 % (1.05 vs 1.93 / 1.98 GB).
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "codec/jpeg_like.hpp"
+#include "neural_codec/conv_autoencoder.hpp"
+#include "testbed/scenario.hpp"
+
+int main() {
+  using namespace easz;
+  bench::print_header(
+      "Fig. 6 — efficiency on the TX2 (512x768, ~0.4 bpp payloads)",
+      "(a) E&S 0.7 % of latency, recon 74 %; (b) -71.3 %/-59.9 % power, no "
+      "edge GPU power; (c) 1.05 vs 1.93/1.98 GB");
+
+  const testbed::Scenario scenario = testbed::paper_testbed();
+  constexpr int kW = 512;
+  constexpr int kH = 768;
+  constexpr double kPayload = 0.4 / 8.0 * kW * kH;  // 0.4 bpp
+
+  util::Pcg32 rng(61);
+  core::ReconstructionModel model(core::ReconModelConfig{}, rng);
+  codec::JpegLikeCodec jpeg(60);
+  neural_codec::ConvAutoencoderCodec mbt(neural_codec::mbt_lite_spec(), 50, 62);
+  neural_codec::ConvAutoencoderCodec cheng(neural_codec::cheng_lite_spec(), 50, 63);
+
+  const testbed::PipelineCost easz =
+      scenario.run_easz(jpeg, model, kW, kH, /*erased_per_row=*/2, kPayload);
+  const testbed::PipelineCost c_mbt = scenario.run_codec(mbt, kW, kH, kPayload);
+  const testbed::PipelineCost c_cheng =
+      scenario.run_codec(cheng, kW, kH, kPayload);
+
+  const auto ms = [](double s) { return util::Table::num(s * 1e3, 0); };
+
+  std::printf("\n(a) Latency breakdown (ms):\n");
+  util::Table ta({"stage", "Easz", "MBT", "Cheng"});
+  ta.add_row({"erase&squeeze", ms(easz.latency.erase_squeeze_s), "-", "-"});
+  ta.add_row({"compress (edge)", ms(easz.latency.encode_s),
+              ms(c_mbt.latency.encode_s), ms(c_cheng.latency.encode_s)});
+  ta.add_row({"transmit", ms(easz.latency.transmit_s),
+              ms(c_mbt.latency.transmit_s), ms(c_cheng.latency.transmit_s)});
+  ta.add_row({"decompress (server)", ms(easz.latency.decode_s),
+              ms(c_mbt.latency.decode_s), ms(c_cheng.latency.decode_s)});
+  ta.add_row({"reconstruct (server)", ms(easz.latency.reconstruct_s), "-", "-"});
+  ta.add_row({"total", ms(easz.latency.end_to_end_s()),
+              ms(c_mbt.latency.end_to_end_s()),
+              ms(c_cheng.latency.end_to_end_s())});
+  ta.print();
+  std::printf(
+      "  E&S share: %.1f %% of Easz total (paper 0.7 %%); recon share: %.1f %% "
+      "(paper 74 %%)\n",
+      100.0 * easz.latency.erase_squeeze_s / easz.latency.end_to_end_s(),
+      100.0 * easz.latency.reconstruct_s / easz.latency.end_to_end_s());
+
+  std::printf("\n(b) Edge encode power (W):\n");
+  util::Table tb({"method", "CPU W", "GPU W", "total W"});
+  const auto add_power = [&](const char* name, const testbed::PipelineCost& c) {
+    tb.add_row({name, util::Table::num(c.edge.cpu_power_w, 2),
+                util::Table::num(c.edge.gpu_power_w, 2),
+                util::Table::num(c.edge.total_power_w(), 2)});
+  };
+  add_power("Easz", easz);
+  add_power("MBT", c_mbt);
+  add_power("Cheng", c_cheng);
+  tb.print();
+  std::printf(
+      "  Power reduction vs MBT: %.1f %% (paper 71.3 %%), vs Cheng: %.1f %% "
+      "(paper 59.9 %%)\n",
+      100.0 * (1.0 - easz.edge.total_power_w() / c_mbt.edge.total_power_w()),
+      100.0 * (1.0 - easz.edge.total_power_w() / c_cheng.edge.total_power_w()));
+
+  std::printf("\n(c) Edge encode memory (GB):\n");
+  util::Table tc({"method", "GB (paper)"});
+  tc.add_row({"Easz", util::Table::num(easz.edge.memory_bytes / 1e9, 2) + " (1.05)"});
+  tc.add_row({"MBT", util::Table::num(c_mbt.edge.memory_bytes / 1e9, 2) + " (1.93)"});
+  tc.add_row({"Cheng", util::Table::num(c_cheng.edge.memory_bytes / 1e9, 2) + " (1.98)"});
+  tc.print();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Fig. 7(a)(b) reproduction: full-pipeline ablation of the erase strategy.
+// Brisque-vs-BPP curves for JPEG (resp. BPG) alone, +Easz (proposed mask)
+// and +random mask.
+//
+// Paper: the proposed mask achieves better (lower) Brisque at equal BPP than
+// the random mask, and +Easz beats the plain codec at low rates.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "codec/bpg_like.hpp"
+#include "codec/jpeg_like.hpp"
+#include "metrics/noref.hpp"
+
+namespace {
+
+using namespace easz;
+
+struct CurvePoint {
+  double bpp = 0.0;
+  double brisque = 0.0;
+};
+
+// Runs the full pipeline (erase -> codec -> decode -> reconstruct) with the
+// given mask and returns rate/quality. Mask side-channel bytes count toward
+// the rate like the paper's 128-byte masks.
+CurvePoint run_pipeline(const image::Image& img, codec::ImageCodec& codec,
+                        const core::EraseMask& mask,
+                        const core::PatchifyConfig& cfg,
+                        const core::ReconstructionModel& model) {
+  const image::Image squeezed = core::erase_and_squeeze(img, mask, cfg);
+  const codec::Compressed payload = codec.encode(squeezed);
+  const image::Image decoded = codec.decode(payload);
+  const image::Image zero_filled = core::unsqueeze(
+      decoded, mask, cfg, img.width(), img.height());
+  const tensor::Tensor tokens = core::image_to_tokens(zero_filled, cfg);
+  const tensor::Tensor recon = model.reconstruct(tokens, mask);
+  const image::Image out = core::deblock_erased(
+      core::tokens_to_image(recon, img.width(), img.height(), 3, cfg), mask,
+      cfg);
+
+  CurvePoint p;
+  p.bpp = (static_cast<double>(payload.bytes.size()) + mask.to_bytes().size()) *
+          8.0 / (static_cast<double>(img.width()) * img.height());
+  p.brisque = metrics::brisque_proxy(out);
+  return p;
+}
+
+CurvePoint run_plain(const image::Image& img, codec::ImageCodec& codec) {
+  const codec::Compressed payload = codec.encode(img);
+  CurvePoint p;
+  p.bpp = payload.bpp();
+  p.brisque = metrics::brisque_proxy(codec.decode(payload));
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 7(a)(b) — erase-strategy ablation over the full pipeline",
+      "+Easz (proposed mask) reaches lower Brisque at equal BPP than +random "
+      "and than the plain codec at low rates");
+
+  const core::PatchifyConfig cfg{.patch = 16, .sub_patch = 2};
+  const bench::BenchModel bm = bench::make_trained_model(cfg, 64, 200, 71);
+
+  const data::DatasetSpec spec = data::kodak_like_spec(0.2F);
+  image::Image img = data::load_image(spec, 1);
+  img = img.crop(0, 0, img.width() / 16 * 16, img.height() / 16 * 16);
+
+  util::Pcg32 mask_rng(72);
+  const core::EraseMask proposed = core::make_row_conditional_mask(8, 2, mask_rng);
+  const core::EraseMask random_mask = core::make_random_mask(8, 2, mask_rng);
+
+  for (const char* codec_name : {"jpeg", "bpg"}) {
+    auto codec = codec::make_classical_codec(codec_name, 50);
+    std::printf("\n%s (Brisque lower = better):\n", codec_name);
+    util::Table t({"quality", "plain bpp", "plain Brisque", "+Easz bpp",
+                   "+Easz Brisque", "+random bpp", "+random Brisque"});
+    const std::vector<int> qualities =
+        codec_name[0] == 'j' ? std::vector<int>{15, 35, 60, 85}
+                             : std::vector<int>{5, 10, 20, 35};
+    for (const int q : qualities) {
+      codec->set_quality(q);
+      const CurvePoint plain = run_plain(img, *codec);
+      const CurvePoint easz = run_pipeline(img, *codec, proposed, cfg, *bm.model);
+      const CurvePoint rnd =
+          run_pipeline(img, *codec, random_mask, cfg, *bm.model);
+      t.add_row({std::to_string(q), util::Table::num(plain.bpp, 3),
+                 util::Table::num(plain.brisque, 1),
+                 util::Table::num(easz.bpp, 3), util::Table::num(easz.brisque, 1),
+                 util::Table::num(rnd.bpp, 3), util::Table::num(rnd.brisque, 1)});
+    }
+    t.print();
+  }
+  std::printf(
+      "Shape check: at matched quality the +Easz column spends fewer bits\n"
+      "than plain (squeezed input) and scores better Brisque than +random.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Google-benchmark microbenchmarks for the hot kernels: erase-and-squeeze
+// (the edge-side cost the paper claims is negligible), DCT, rANS and the
+// transformer forward pass.
+#include <benchmark/benchmark.h>
+
+#include "codec/dct.hpp"
+#include "codec/jpeg_like.hpp"
+#include "core/recon_model.hpp"
+#include "core/squeeze.hpp"
+#include "data/synth.hpp"
+#include "entropy/rans.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace easz;
+
+void BM_EraseAndSqueeze(benchmark::State& state) {
+  util::Pcg32 rng(1);
+  const image::Image img = data::synth_photo(512, 512, rng);
+  const core::PatchifyConfig cfg{.patch = 32, .sub_patch = 4};
+  const core::EraseMask mask = core::make_row_conditional_mask(8, 2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::erase_and_squeeze(img, mask, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * img.pixel_count());
+}
+BENCHMARK(BM_EraseAndSqueeze);
+
+void BM_JpegEncode(benchmark::State& state) {
+  util::Pcg32 rng(2);
+  const image::Image img = data::synth_photo(256, 256, rng);
+  codec::JpegLikeCodec codec(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(img));
+  }
+}
+BENCHMARK(BM_JpegEncode)->Arg(25)->Arg(75);
+
+void BM_Dct2d(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  codec::Dct2d dct(n);
+  util::Pcg32 rng(3);
+  std::vector<float> block(static_cast<std::size_t>(n) * n);
+  for (auto& v : block) v = rng.next_float();
+  for (auto _ : state) {
+    dct.forward(block.data());
+    dct.inverse(block.data());
+    benchmark::DoNotOptimize(block.data());
+  }
+}
+BENCHMARK(BM_Dct2d)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RansRoundTrip(benchmark::State& state) {
+  util::Pcg32 rng(4);
+  std::vector<int> symbols;
+  for (int i = 0; i < 65536; ++i) {
+    int s = 0;
+    while (s < 63 && rng.next_float() < 0.6F) ++s;
+    symbols.push_back(s);
+  }
+  for (auto _ : state) {
+    const auto buf = entropy::rans_encode_with_table(symbols, 64);
+    benchmark::DoNotOptimize(
+        entropy::rans_decode_with_table(buf.data(), buf.size(), symbols.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * symbols.size());
+}
+BENCHMARK(BM_RansRoundTrip);
+
+void BM_ReconstructPatchBatch(benchmark::State& state) {
+  core::ReconModelConfig cfg;
+  cfg.patchify = {.patch = 16, .sub_patch = 4};
+  cfg.d_model = 64;
+  cfg.num_heads = 4;
+  cfg.ffn_hidden = 128;
+  util::Pcg32 rng(5);
+  core::ReconstructionModel model(cfg, rng);
+  tensor::Tensor tokens = tensor::Tensor::randn(
+      {static_cast<int>(state.range(0)), cfg.patchify.tokens(),
+       cfg.patchify.token_dim(3)},
+      rng, 0.2F);
+  const core::EraseMask mask = core::make_diagonal_mask(cfg.patchify.grid());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.reconstruct(tokens, mask));
+  }
+}
+BENCHMARK(BM_ReconstructPatchBatch)->Arg(1)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

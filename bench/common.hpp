@@ -1,0 +1,103 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary prints (a) the workload it ran (including any
+// resolution scaling applied to keep CPU runtimes sane) and (b) the paper's
+// reported numbers next to ours, so EXPERIMENTS.md can be regenerated from
+// bench output alone.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/deblock.hpp"
+#include "core/pipeline.hpp"
+#include "core/trainer.hpp"
+#include "data/datasets.hpp"
+#include "data/synth.hpp"
+#include "metrics/distortion.hpp"
+#include "nn/serialize.hpp"
+#include "util/table.hpp"
+
+namespace easz::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Small-but-real reconstruction model used by the quality benches.
+/// Pretrained on CIFAR-like synthetic content (paper §IV-A pretrains on
+/// CIFAR-10), deterministically per seed.
+struct BenchModel {
+  core::ReconModelConfig config;
+  std::unique_ptr<core::ReconstructionModel> model;
+};
+
+inline BenchModel make_trained_model(core::PatchifyConfig patchify,
+                                     int d_model, int steps,
+                                     std::uint64_t seed = 11,
+                                     float min_ratio = 0.1F,
+                                     float max_ratio = 0.45F) {
+  BenchModel bm;
+  bm.config.patchify = patchify;
+  bm.config.channels = 3;
+  bm.config.d_model = d_model;
+  bm.config.num_heads = 4;
+  bm.config.ffn_hidden = d_model * 2;
+  util::Pcg32 rng(seed);
+  bm.model = std::make_unique<core::ReconstructionModel>(bm.config, rng);
+
+  // A long-pretrained checkpoint (tools/easz_pretrain) supersedes quick
+  // training when present and the architecture matches — the paper's
+  // offline-pretraining phase. Only the canonical p16/b2/d64 model ships.
+  if (patchify.patch == 16 && patchify.sub_patch == 2 && d_model == 64) {
+    for (const char* path : {"assets/recon_p16_b2_d64.ckpt",
+                             "../assets/recon_p16_b2_d64.ckpt"}) {
+      try {
+        auto params = bm.model->parameters();
+        nn::load_parameters(params, path);
+        std::printf("[bench] loaded pretrained checkpoint %s\n", path);
+        return bm;
+      } catch (const std::exception&) {
+        // fall through to quick training
+      }
+    }
+  }
+
+  core::TrainerConfig tcfg;
+  tcfg.batch_patches = 8;
+  tcfg.use_perceptual = false;  // L1-only keeps bench startup fast
+  tcfg.lr = 1.5e-3F;
+  tcfg.min_erase_ratio = min_ratio;
+  tcfg.max_erase_ratio = max_ratio;
+  core::Trainer trainer(*bm.model, tcfg, rng);
+
+  // Training corpus: mixed content matching the evaluation sets (photos,
+  // high-frequency textures, hard-edged shapes), CIFAR-patch sized.
+  std::vector<image::Image> corpus;
+  util::Pcg32 data_rng(seed ^ 0xDA7A);
+  const int side = patchify.patch * 2;
+  for (int i = 0; i < 12; ++i) {
+    if (i % 4 == 3) {
+      corpus.push_back(data::synth_texture(side, side, data_rng));
+    } else if (i % 4 == 2) {
+      corpus.push_back(data::synth_cartoon(side, side, data_rng));
+    } else {
+      corpus.push_back(data::synth_photo(side, side, data_rng));
+    }
+  }
+  trainer.train(corpus, steps);
+  return bm;
+}
+
+/// Compressed size of an image under a codec, in bytes.
+inline double payload_bytes(const codec::ImageCodec& codec,
+                            const image::Image& img) {
+  return static_cast<double>(codec.encode(img).bytes.size());
+}
+
+}  // namespace easz::bench

@@ -1,0 +1,87 @@
+// Adaptive compression under a changing bandwidth budget — the paper's
+// agility claim in action. A single reconstruction model serves every erase
+// ratio, so the edge can retarget its rate every frame by changing T (and
+// the codec quality), with zero model switching.
+//
+// Contrast: an NN codec must load a different network per rate point
+// (~0.3-11.6 s per switch on a TX2, paper Fig. 1).
+//
+// Run: ./build/examples/adaptive_rate
+#include <cstdio>
+#include <vector>
+
+#include "codec/jpeg_like.hpp"
+#include "core/pipeline.hpp"
+#include "core/trainer.hpp"
+#include "data/datasets.hpp"
+#include "metrics/distortion.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace easz;
+  std::printf(
+      "Adaptive rate control: one model, many erase ratios\n"
+      "(bandwidth drops mid-session; the edge adapts T per frame)\n\n");
+
+  // One shared model for all ratios, trained across the whole ratio range.
+  core::ReconModelConfig model_cfg;
+  model_cfg.patchify = {.patch = 16, .sub_patch = 2};
+  model_cfg.d_model = 64;
+  model_cfg.num_heads = 4;
+  model_cfg.ffn_hidden = 128;
+  util::Pcg32 rng(31);
+  core::ReconstructionModel model(model_cfg, rng);
+  {
+    core::TrainerConfig tcfg;
+    tcfg.batch_patches = 8;
+    tcfg.use_perceptual = false;
+    tcfg.min_erase_ratio = 0.1F;
+    tcfg.max_erase_ratio = 0.5F;
+    core::Trainer trainer(model, tcfg, rng);
+    std::vector<image::Image> corpus;
+    util::Pcg32 data_rng(32);
+    for (int i = 0; i < 8; ++i) {
+      corpus.push_back(data::load_image(data::cifar_like_spec(), i));
+    }
+    trainer.train(corpus, 150);
+  }
+
+  codec::JpegLikeCodec jpeg(70);
+  const data::DatasetSpec camera = data::kodak_like_spec(0.3F);
+  const image::Image img = data::load_image(camera, 1);
+
+  // Simulated bandwidth schedule (kB budget per frame) -> chosen T.
+  struct FramePlan {
+    double budget_kb;
+    int erased_per_row;  // edge's response: more erasure when starved
+    int jpeg_quality;
+  };
+  const std::vector<FramePlan> schedule = {
+      {60.0, 0, 80}, {45.0, 1, 75}, {25.0, 2, 60}, {12.0, 4, 45}, {30.0, 2, 70},
+  };
+
+  util::Table t({"frame", "budget kB", "erase T (ratio)", "jpeg q",
+                 "sent kB", "PSNR dB"});
+  for (std::size_t f = 0; f < schedule.size(); ++f) {
+    const FramePlan& plan = schedule[f];
+    jpeg.set_quality(plan.jpeg_quality);
+    core::EaszConfig cfg;
+    cfg.patchify = model_cfg.patchify;
+    cfg.erased_per_row = plan.erased_per_row;
+    // Same model instance serves every ratio — the point of the exercise.
+    core::EaszPipeline pipeline(cfg, jpeg, &model);
+    const core::EaszCompressed c = pipeline.encode(img);
+    const image::Image decoded = pipeline.decode(c);
+    t.add_row({std::to_string(f), util::Table::num(plan.budget_kb, 0),
+               std::to_string(plan.erased_per_row) + " (" +
+                   util::Table::num(plan.erased_per_row / 8.0 * 100, 1) + " %)",
+               std::to_string(plan.jpeg_quality),
+               util::Table::num(c.size_bytes() / 1000.0, 1),
+               util::Table::num(metrics::psnr(img, decoded), 2)});
+  }
+  t.print();
+  std::printf(
+      "\nEvery rate switch was instant: no model reload, no re-init —\n"
+      "only the mask (and codec quality) changed between frames.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared helper for the example programs: build the canonical p16/b2/d64
+// reconstruction model, loading the pretrained checkpoint when present
+// (tools/easz_pretrain) and quick-training otherwise so every example stays
+// runnable out of the box.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/recon_model.hpp"
+#include "core/trainer.hpp"
+#include "data/datasets.hpp"
+#include "nn/serialize.hpp"
+
+namespace easz::examples {
+
+inline core::ReconModelConfig canonical_model_config() {
+  core::ReconModelConfig cfg;
+  cfg.patchify = {.patch = 16, .sub_patch = 2};
+  cfg.channels = 3;
+  cfg.d_model = 64;
+  cfg.num_heads = 4;
+  cfg.ffn_hidden = 128;
+  return cfg;
+}
+
+inline std::unique_ptr<core::ReconstructionModel> load_or_train_model(
+    std::uint64_t seed = 11, int fallback_steps = 150) {
+  util::Pcg32 rng(seed);
+  auto model =
+      std::make_unique<core::ReconstructionModel>(canonical_model_config(), rng);
+  for (const char* path : {"assets/recon_p16_b2_d64.ckpt",
+                           "../assets/recon_p16_b2_d64.ckpt"}) {
+    try {
+      auto params = model->parameters();
+      nn::load_parameters(params, path);
+      std::printf("[example] loaded pretrained model from %s\n", path);
+      return model;
+    } catch (const std::exception&) {
+    }
+  }
+  std::printf("[example] no checkpoint found; quick-training (%d steps)...\n",
+              fallback_steps);
+  core::TrainerConfig tcfg;
+  tcfg.batch_patches = 8;
+  tcfg.use_perceptual = false;
+  core::Trainer trainer(*model, tcfg, rng);
+  std::vector<image::Image> corpus;
+  util::Pcg32 data_rng(seed ^ 0xFEED);
+  for (int i = 0; i < 8; ++i) {
+    corpus.push_back(data::load_image(data::cifar_like_spec(), i));
+  }
+  trainer.train(corpus, fallback_steps);
+  return model;
+}
+
+}  // namespace easz::examples

@@ -1,0 +1,93 @@
+// Quickstart: compress an image with Easz end to end.
+//
+//   1. Build (or load) a reconstruction model.
+//   2. Wrap any codec (JPEG-style here) in an EaszPipeline.
+//   3. encode() on the "edge", decode() on the "server".
+//
+// Run from the repository root:
+//   ./build/examples/quickstart [output_dir]
+// Writes original / squeezed / reconstructed PNM images you can open with
+// any viewer, and prints rate/quality numbers.
+#include <cstdio>
+#include <string>
+
+#include "codec/jpeg_like.hpp"
+#include "core/pipeline.hpp"
+#include "core/trainer.hpp"
+#include "data/datasets.hpp"
+#include "image/io_ppm.hpp"
+#include "metrics/distortion.hpp"
+#include "nn/serialize.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easz;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  // 1. Reconstruction model: load the pretrained checkpoint when available,
+  //    otherwise train briefly so the example stays self-contained.
+  core::ReconModelConfig model_cfg;
+  model_cfg.patchify = {.patch = 16, .sub_patch = 2};
+  model_cfg.d_model = 64;
+  model_cfg.num_heads = 4;
+  model_cfg.ffn_hidden = 128;
+  util::Pcg32 rng(11);
+  core::ReconstructionModel model(model_cfg, rng);
+  bool loaded = false;
+  for (const char* path : {"assets/recon_p16_b2_d64.ckpt",
+                           "../assets/recon_p16_b2_d64.ckpt"}) {
+    try {
+      auto params = model.parameters();
+      nn::load_parameters(params, path);
+      std::printf("loaded pretrained model from %s\n", path);
+      loaded = true;
+      break;
+    } catch (const std::exception&) {
+    }
+  }
+  if (!loaded) {
+    std::printf("no checkpoint found; quick-training a small model...\n");
+    core::TrainerConfig tcfg;
+    tcfg.batch_patches = 8;
+    tcfg.use_perceptual = false;
+    core::Trainer trainer(model, tcfg, rng);
+    std::vector<image::Image> corpus;
+    util::Pcg32 data_rng(7);
+    for (int i = 0; i < 8; ++i) {
+      corpus.push_back(data::load_image(data::cifar_like_spec(), i));
+    }
+    trainer.train(corpus, 150);
+  }
+
+  // 2. Pipeline: erase 25 % of sub-patches, compress the squeezed image
+  //    with the JPEG-style codec.
+  codec::JpegLikeCodec jpeg(70);
+  core::EaszConfig cfg;
+  cfg.patchify = model_cfg.patchify;
+  cfg.erased_per_row = 2;  // T = 2 of grid 8 -> 25 %
+  core::EaszPipeline pipeline(cfg, jpeg, &model);
+
+  // 3. Round trip on a Kodak-like test image.
+  const data::DatasetSpec spec = data::kodak_like_spec(0.35F);
+  const image::Image original = data::load_image(spec, 0);
+  const core::EaszCompressed compressed = pipeline.encode(original);
+  const image::Image reconstructed = pipeline.decode(compressed);
+
+  const codec::Compressed plain = jpeg.encode(original);
+  std::printf("image: %dx%d\n", original.width(), original.height());
+  std::printf("plain JPEG:  %6zu bytes (%.3f bpp)\n", plain.bytes.size(),
+              plain.bpp());
+  std::printf("Easz (+25%% erase): %6zu bytes (%.3f bpp), mask %zu bytes\n",
+              compressed.size_bytes(), compressed.bpp(),
+              compressed.mask_bytes.size());
+  std::printf("reconstruction: PSNR %.2f dB, SSIM %.3f\n",
+              metrics::psnr(original, reconstructed),
+              metrics::ssim(original, reconstructed));
+
+  image::write_pnm(original, out_dir + "/quickstart_original.ppm");
+  image::write_pnm(jpeg.decode(compressed.payload),
+                   out_dir + "/quickstart_squeezed.ppm");
+  image::write_pnm(reconstructed, out_dir + "/quickstart_reconstructed.ppm");
+  std::printf("wrote quickstart_{original,squeezed,reconstructed}.ppm to %s\n",
+              out_dir.c_str());
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "codec/codec.hpp"
+
+#include <stdexcept>
+
+#include "codec/bpg_like.hpp"
+#include "codec/jpeg_like.hpp"
+
+namespace easz::codec {
+
+std::unique_ptr<ImageCodec> make_classical_codec(const std::string& name,
+                                                 int quality) {
+  if (name == "jpeg") return std::make_unique<JpegLikeCodec>(quality);
+  if (name == "bpg") return std::make_unique<BpgLikeCodec>(quality);
+  throw std::invalid_argument("make_classical_codec: unknown codec " + name);
+}
+
+}  // namespace easz::codec

@@ -1,0 +1,68 @@
+// Common lossy image codec interface.
+//
+// Everything that can turn an Image into bytes and back implements
+// ImageCodec: the classical JPEG-/BPG-style codecs here, the neural codecs in
+// src/neural_codec, and the SR-pipeline pseudo-codec in src/sr. The Easz
+// pipeline (src/core) composes with any of them, which is the paper's
+// "compatible with all existing image compression algorithms" claim.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace easz::codec {
+
+/// Encoded bitstream plus self-describing geometry.
+struct Compressed {
+  std::vector<std::uint8_t> bytes;
+  int width = 0;
+  int height = 0;
+  int channels = 0;
+
+  [[nodiscard]] std::size_t size_bytes() const { return bytes.size(); }
+
+  /// Bits per pixel of the *original* (width x height) pixel grid.
+  [[nodiscard]] double bpp() const {
+    return static_cast<double>(bytes.size()) * 8.0 /
+           (static_cast<double>(width) * static_cast<double>(height));
+  }
+};
+
+/// Abstract lossy codec. `quality` semantics are codec-specific but always
+/// monotone: higher quality => more bits, less distortion.
+class ImageCodec {
+ public:
+  virtual ~ImageCodec() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Encodes at the currently configured quality.
+  [[nodiscard]] virtual Compressed encode(const image::Image& img) const = 0;
+
+  [[nodiscard]] virtual image::Image decode(const Compressed& c) const = 0;
+
+  /// Quality knob in [1, 100]. Implementations clamp.
+  virtual void set_quality(int quality) = 0;
+  [[nodiscard]] virtual int quality() const = 0;
+
+  /// Rough FLOPs to encode one (w x h) image — consumed by the testbed
+  /// latency/power model (src/testbed). Classical codecs are cheap;
+  /// neural codecs report their network cost.
+  [[nodiscard]] virtual double encode_flops(int width, int height) const = 0;
+  [[nodiscard]] virtual double decode_flops(int width, int height) const = 0;
+
+  /// Serialized model/table bytes that must be resident to run the encoder
+  /// (the "Load Latency" axis of paper Fig. 1). Classical codecs: ~0.
+  [[nodiscard]] virtual std::size_t model_bytes() const = 0;
+};
+
+/// Factory by name: "jpeg", "bpg" (more registered by other libraries via
+/// their own factories; this one only knows the classical codecs).
+std::unique_ptr<ImageCodec> make_classical_codec(const std::string& name,
+                                                 int quality);
+
+}  // namespace easz::codec

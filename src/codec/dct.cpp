@@ -1,0 +1,72 @@
+#include "codec/dct.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace easz::codec {
+
+Dct2d::Dct2d(int n) : n_(n) {
+  if (n < 2 || n > 64) throw std::invalid_argument("Dct2d: n out of range");
+  basis_.resize(static_cast<std::size_t>(n) * n);
+  const double pi = 3.14159265358979323846;
+  for (int k = 0; k < n; ++k) {
+    const double ck = k == 0 ? std::sqrt(1.0 / n) : std::sqrt(2.0 / n);
+    for (int x = 0; x < n; ++x) {
+      basis_[static_cast<std::size_t>(k) * n + x] = static_cast<float>(
+          ck * std::cos((2.0 * x + 1.0) * k * pi / (2.0 * n)));
+    }
+  }
+  scratch_.resize(static_cast<std::size_t>(n) * n);
+}
+
+void Dct2d::forward(float* block) const {
+  const int n = n_;
+  // Rows: scratch = block * B^T
+  for (int y = 0; y < n; ++y) {
+    for (int k = 0; k < n; ++k) {
+      float acc = 0.0F;
+      for (int x = 0; x < n; ++x) {
+        acc += block[y * n + x] * basis_[static_cast<std::size_t>(k) * n + x];
+      }
+      scratch_[static_cast<std::size_t>(y) * n + k] = acc;
+    }
+  }
+  // Columns: block = B * scratch
+  for (int k = 0; k < n; ++k) {
+    for (int x = 0; x < n; ++x) {
+      float acc = 0.0F;
+      for (int y = 0; y < n; ++y) {
+        acc += basis_[static_cast<std::size_t>(k) * n + y] *
+               scratch_[static_cast<std::size_t>(y) * n + x];
+      }
+      block[k * n + x] = acc;
+    }
+  }
+}
+
+void Dct2d::inverse(float* block) const {
+  const int n = n_;
+  // Columns first: scratch = B^T * block
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      float acc = 0.0F;
+      for (int k = 0; k < n; ++k) {
+        acc += basis_[static_cast<std::size_t>(k) * n + y] * block[k * n + x];
+      }
+      scratch_[static_cast<std::size_t>(y) * n + x] = acc;
+    }
+  }
+  // Rows: block = scratch * B
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      float acc = 0.0F;
+      for (int k = 0; k < n; ++k) {
+        acc += scratch_[static_cast<std::size_t>(y) * n + k] *
+               basis_[static_cast<std::size_t>(k) * n + x];
+      }
+      block[y * n + x] = acc;
+    }
+  }
+}
+
+}  // namespace easz::codec

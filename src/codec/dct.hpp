@@ -1,0 +1,30 @@
+// 2-D type-II DCT / type-III inverse DCT for small square blocks.
+//
+// Shared by the JPEG-style (8x8) and BPG-style (variable block) codecs.
+// Implemented as separable matrix products with precomputed basis tables.
+#pragma once
+
+#include <vector>
+
+namespace easz::codec {
+
+/// Orthonormal DCT operator for n x n blocks (n in [2, 64]).
+class Dct2d {
+ public:
+  explicit Dct2d(int n);
+
+  [[nodiscard]] int size() const { return n_; }
+
+  /// In-place forward DCT of a row-major n*n block.
+  void forward(float* block) const;
+
+  /// In-place inverse DCT.
+  void inverse(float* block) const;
+
+ private:
+  int n_;
+  std::vector<float> basis_;  // basis_[k * n + x] = c_k cos(...)
+  mutable std::vector<float> scratch_;
+};
+
+}  // namespace easz::codec

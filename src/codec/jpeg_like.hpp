@@ -1,0 +1,31 @@
+// Baseline-JPEG-style codec built from scratch.
+//
+// Same algorithmic structure as JPEG: YCbCr conversion, 4:2:0 chroma
+// subsampling, 8x8 DCT, quality-scaled Annex-K quantisation tables, zigzag
+// scan, DC DPCM + AC (run, size) symbols, canonical Huffman coding. The
+// bitstream is our own container (not JFIF-compatible); no experiment needs
+// format compatibility, only JPEG-shaped rate-distortion behaviour.
+#pragma once
+
+#include "codec/codec.hpp"
+
+namespace easz::codec {
+
+class JpegLikeCodec final : public ImageCodec {
+ public:
+  explicit JpegLikeCodec(int quality = 75);
+
+  [[nodiscard]] std::string name() const override { return "jpeg"; }
+  [[nodiscard]] Compressed encode(const image::Image& img) const override;
+  [[nodiscard]] image::Image decode(const Compressed& c) const override;
+  void set_quality(int quality) override;
+  [[nodiscard]] int quality() const override { return quality_; }
+  [[nodiscard]] double encode_flops(int width, int height) const override;
+  [[nodiscard]] double decode_flops(int width, int height) const override;
+  [[nodiscard]] std::size_t model_bytes() const override { return 0; }
+
+ private:
+  int quality_;
+};
+
+}  // namespace easz::codec

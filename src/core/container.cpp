@@ -1,0 +1,147 @@
+#include "core/container.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace easz::core {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x45415A43;  // "EAZC"
+constexpr std::uint16_t kVersion = 1;
+
+void push16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFFU));
+  out.push_back(static_cast<std::uint8_t>((v >> 8U) & 0xFFU));
+}
+
+void push32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFU));
+  }
+}
+
+class Reader {
+ public:
+  Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint16_t read16() {
+    check(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        bytes_[pos_] | (bytes_[pos_ + 1] << 8U));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t read32() {
+    check(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  std::vector<std::uint8_t> read_blob(std::size_t n) {
+    check(n);
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  std::string read_string() {
+    const std::uint16_t n = read16();
+    const auto blob = read_blob(n);
+    return std::string(blob.begin(), blob.end());
+  }
+
+ private:
+  void check(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) {
+      throw std::runtime_error("easz container: truncated");
+    }
+  }
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_container(const EaszCompressed& c,
+                                              const PatchifyConfig& patchify,
+                                              const std::string& codec_name) {
+  std::vector<std::uint8_t> out;
+  push32(out, kMagic);
+  push16(out, kVersion);
+  push16(out, static_cast<std::uint16_t>(codec_name.size()));
+  out.insert(out.end(), codec_name.begin(), codec_name.end());
+
+  push16(out, static_cast<std::uint16_t>(patchify.patch));
+  push16(out, static_cast<std::uint16_t>(patchify.sub_patch));
+  push32(out, static_cast<std::uint32_t>(c.full_width));
+  push32(out, static_cast<std::uint32_t>(c.full_height));
+  push32(out, static_cast<std::uint32_t>(c.padded_width));
+  push32(out, static_cast<std::uint32_t>(c.padded_height));
+  push16(out, static_cast<std::uint16_t>(c.erased_per_row));
+  out.push_back(c.axis == SqueezeAxis::kVertical ? 1 : 0);
+
+  push32(out, static_cast<std::uint32_t>(c.mask_bytes.size()));
+  out.insert(out.end(), c.mask_bytes.begin(), c.mask_bytes.end());
+
+  push32(out, static_cast<std::uint32_t>(c.payload.width));
+  push32(out, static_cast<std::uint32_t>(c.payload.height));
+  push16(out, static_cast<std::uint16_t>(c.payload.channels));
+  push32(out, static_cast<std::uint32_t>(c.payload.bytes.size()));
+  out.insert(out.end(), c.payload.bytes.begin(), c.payload.bytes.end());
+  return out;
+}
+
+ParsedContainer parse_container(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  if (r.read32() != kMagic) {
+    throw std::runtime_error("easz container: bad magic");
+  }
+  if (r.read16() != kVersion) {
+    throw std::runtime_error("easz container: unsupported version");
+  }
+  ParsedContainer out;
+  out.codec_name = r.read_string();
+  out.patchify.patch = r.read16();
+  out.patchify.sub_patch = r.read16();
+  out.patchify.validate();
+  out.compressed.full_width = static_cast<int>(r.read32());
+  out.compressed.full_height = static_cast<int>(r.read32());
+  out.compressed.padded_width = static_cast<int>(r.read32());
+  out.compressed.padded_height = static_cast<int>(r.read32());
+  out.compressed.erased_per_row = r.read16();
+  out.compressed.axis =
+      r.read_blob(1)[0] != 0 ? SqueezeAxis::kVertical : SqueezeAxis::kHorizontal;
+  out.compressed.mask_bytes = r.read_blob(r.read32());
+  out.compressed.payload.width = static_cast<int>(r.read32());
+  out.compressed.payload.height = static_cast<int>(r.read32());
+  out.compressed.payload.channels = r.read16();
+  out.compressed.payload.bytes = r.read_blob(r.read32());
+  return out;
+}
+
+void write_container(const EaszCompressed& c, const PatchifyConfig& patchify,
+                     const std::string& codec_name, const std::string& path) {
+  const auto bytes = serialize_container(c, patchify, codec_name);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_container: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("write_container: write failed");
+}
+
+ParsedContainer read_container(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("read_container: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw std::runtime_error("read_container: read failed");
+  return parse_container(bytes);
+}
+
+}  // namespace easz::core

@@ -1,0 +1,38 @@
+// On-disk container for Easz bitstreams.
+//
+// A deployable codec needs a self-describing file format, not just in-memory
+// structs: the container carries magic/version, full geometry, the patchify
+// configuration, the squeeze axis, the mask side channel and the inner codec
+// name + payload, so a receiver can decode with nothing but this file and
+// the reconstruction model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace easz::core {
+
+/// Serialises an EaszCompressed (plus the pipeline parameters needed to
+/// decode it) into a standalone byte buffer.
+std::vector<std::uint8_t> serialize_container(const EaszCompressed& c,
+                                              const PatchifyConfig& patchify,
+                                              const std::string& codec_name);
+
+struct ParsedContainer {
+  EaszCompressed compressed;
+  PatchifyConfig patchify;
+  std::string codec_name;
+};
+
+/// Inverse of serialize_container. Throws std::runtime_error on corrupt or
+/// version-mismatched input.
+ParsedContainer parse_container(const std::vector<std::uint8_t>& bytes);
+
+/// File convenience wrappers.
+void write_container(const EaszCompressed& c, const PatchifyConfig& patchify,
+                     const std::string& codec_name, const std::string& path);
+ParsedContainer read_container(const std::string& path);
+
+}  // namespace easz::core

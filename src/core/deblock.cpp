@@ -1,0 +1,65 @@
+#include "core/deblock.hpp"
+
+#include <algorithm>
+
+namespace easz::core {
+
+image::Image deblock_erased(const image::Image& img, const EraseMask& mask,
+                            const PatchifyConfig& config, float strength) {
+  config.validate();
+  const int n = config.patch;
+  const int b = config.sub_patch;
+  const int grid = config.grid();
+
+  // Mark pixels within 1 px of an erased-cell boundary (both sides of it).
+  std::vector<std::uint8_t> seam(
+      static_cast<std::size_t>(img.width()) * img.height(), 0);
+  const auto mark = [&](int x, int y) {
+    if (x >= 0 && x < img.width() && y >= 0 && y < img.height()) {
+      seam[static_cast<std::size_t>(y) * img.width() + x] = 1;
+    }
+  };
+  for (int py = 0; py * n < img.height(); ++py) {
+    for (int px = 0; px * n < img.width(); ++px) {
+      for (int gy = 0; gy < grid; ++gy) {
+        for (int gx = 0; gx < grid; ++gx) {
+          if (!mask.erased(gy % mask.grid(), gx % mask.grid())) continue;
+          const int x0 = px * n + gx * b;
+          const int y0 = py * n + gy * b;
+          for (int k = -1; k <= b; ++k) {
+            mark(x0 + k, y0 - 1);
+            mark(x0 + k, y0);
+            mark(x0 + k, y0 + b - 1);
+            mark(x0 + k, y0 + b);
+            mark(x0 - 1, y0 + k);
+            mark(x0, y0 + k);
+            mark(x0 + b - 1, y0 + k);
+            mark(x0 + b, y0 + k);
+          }
+        }
+      }
+    }
+  }
+
+  image::Image out = img;
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        if (seam[static_cast<std::size_t>(y) * img.width() + x] == 0) continue;
+        // 3x3 box blend on seam pixels only.
+        float acc = 0.0F;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            acc += img.at_clamped(c, y + dy, x + dx);
+          }
+        }
+        const float blurred = acc / 9.0F;
+        out.at(c, y, x) =
+            (1.0F - strength) * img.at(c, y, x) + strength * blurred;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace easz::core

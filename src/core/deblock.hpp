@@ -1,0 +1,24 @@
+// Deblocking of reconstructed erased sub-patches.
+//
+// The transformer predicts each erased b x b sub-patch independently, which
+// can leave small seams at sub-patch boundaries — the same class of artifact
+// block codecs fight with in-loop deblocking. This pass smooths a 1-pixel
+// band around every erased cell's border (and lightly blends its interior
+// with the border), removing the unnatural-statistics signature without
+// touching kept content beyond the immediate seam.
+#pragma once
+
+#include "core/mask.hpp"
+#include "core/patchify.hpp"
+#include "image/image.hpp"
+
+namespace easz::core {
+
+/// Smooths erased-cell seams in `img` (full reconstructed image). The mask
+/// is the per-patch erase mask shared across all patches; `strength` in
+/// [0, 1] scales the blend (0 = no-op).
+image::Image deblock_erased(const image::Image& img, const EraseMask& mask,
+                            const PatchifyConfig& config,
+                            float strength = 1.0F);
+
+}  // namespace easz::core

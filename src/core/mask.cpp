@@ -1,0 +1,187 @@
+#include "core/mask.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace easz::core {
+
+EraseMask::EraseMask(int grid, int erased_per_row)
+    : grid_(grid), erased_per_row_(erased_per_row) {
+  if (grid <= 0) throw std::invalid_argument("EraseMask: grid must be > 0");
+  if (erased_per_row < 0 || erased_per_row >= grid) {
+    throw std::invalid_argument(
+        "EraseMask: erased_per_row must be in [0, grid)");
+  }
+  bits_.assign(static_cast<std::size_t>(grid) * grid, false);
+}
+
+void EraseMask::set_erased(int row, int col, bool value) {
+  bits_[static_cast<std::size_t>(row) * grid_ + col] = value;
+}
+
+std::vector<int> EraseMask::erased_cols(int row) const {
+  std::vector<int> out;
+  for (int c = 0; c < grid_; ++c) {
+    if (erased(row, c)) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<int> EraseMask::kept_cols(int row) const {
+  std::vector<int> out;
+  for (int c = 0; c < grid_; ++c) {
+    if (!erased(row, c)) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<int> EraseMask::kept_indices() const {
+  std::vector<int> out;
+  for (int r = 0; r < grid_; ++r) {
+    for (int c = 0; c < grid_; ++c) {
+      if (!erased(r, c)) out.push_back(r * grid_ + c);
+    }
+  }
+  return out;
+}
+
+std::vector<int> EraseMask::erased_indices() const {
+  std::vector<int> out;
+  for (int r = 0; r < grid_; ++r) {
+    for (int c = 0; c < grid_; ++c) {
+      if (erased(r, c)) out.push_back(r * grid_ + c);
+    }
+  }
+  return out;
+}
+
+bool EraseMask::uniform_rows() const {
+  for (int r = 0; r < grid_; ++r) {
+    if (static_cast<int>(erased_cols(r).size()) != erased_per_row_) {
+      return false;
+    }
+  }
+  return true;
+}
+
+EraseMask EraseMask::transposed() const {
+  EraseMask out(grid_, erased_per_row_);
+  for (int r = 0; r < grid_; ++r) {
+    for (int c = 0; c < grid_; ++c) {
+      if (erased(r, c)) out.set_erased(c, r, true);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> EraseMask::to_bytes() const {
+  std::vector<std::uint8_t> out((bits_.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i]) out[i / 8] |= static_cast<std::uint8_t>(1U << (i % 8));
+  }
+  return out;
+}
+
+EraseMask EraseMask::from_bytes(const std::vector<std::uint8_t>& bytes,
+                                int grid, int erased_per_row) {
+  EraseMask mask(grid, erased_per_row);
+  const std::size_t n = static_cast<std::size_t>(grid) * grid;
+  if (bytes.size() < (n + 7) / 8) {
+    throw std::invalid_argument("EraseMask::from_bytes: buffer too small");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    mask.bits_[i] = ((bytes[i / 8] >> (i % 8)) & 1U) != 0U;
+  }
+  return mask;
+}
+
+namespace {
+
+// Minimum circular-agnostic distance check used by both constraints.
+bool far_enough(int candidate, const std::vector<int>& chosen, int min_dist) {
+  for (const int c : chosen) {
+    if (std::abs(candidate - c) <= min_dist) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+EraseMask make_row_conditional_mask(int grid, int erased_per_row,
+                                    util::Pcg32& rng, SamplerConfig config) {
+  EraseMask mask(grid, erased_per_row);
+  std::vector<int> prev_row_cols;
+  for (int r = 0; r < grid; ++r) {
+    std::vector<int> cols;
+    int delta = config.delta;
+    int inter = config.inter_delta;
+    int attempts = 0;
+    while (static_cast<int>(cols.size()) < erased_per_row) {
+      const int candidate = static_cast<int>(rng.next_below(grid));
+      const bool ok = far_enough(candidate, cols, delta) &&
+                      far_enough(candidate, prev_row_cols, inter);
+      if (ok) {
+        cols.push_back(candidate);
+        attempts = 0;
+        continue;
+      }
+      if (++attempts > config.max_attempts) {
+        // Constraints unsatisfiable at this tightness (e.g. large T on a
+        // small grid): relax stepwise, inter-row first — intra-row spacing
+        // is the one that prevents contiguous holes.
+        if (inter > 0) {
+          --inter;
+        } else if (delta > 0) {
+          --delta;
+        } else {
+          // delta == 0 still requires distinct columns; pick any free one.
+          for (int c = 0; c < grid; ++c) {
+            if (std::find(cols.begin(), cols.end(), c) == cols.end()) {
+              cols.push_back(c);
+              break;
+            }
+          }
+        }
+        attempts = 0;
+      }
+    }
+    for (const int c : cols) mask.set_erased(r, c, true);
+    prev_row_cols = std::move(cols);
+  }
+  return mask;
+}
+
+EraseMask make_random_mask(int grid, int erased_per_row, util::Pcg32& rng) {
+  EraseMask mask(grid, erased_per_row);
+  std::vector<int> cells(static_cast<std::size_t>(grid) * grid);
+  for (std::size_t i = 0; i < cells.size(); ++i) cells[i] = static_cast<int>(i);
+  rng.shuffle(cells);
+  const int total = erased_per_row * grid;
+  for (int t = 0; t < total; ++t) {
+    mask.set_erased(cells[t] / grid, cells[t] % grid, true);
+  }
+  return mask;
+}
+
+EraseMask make_diagonal_mask(int grid, int offset) {
+  EraseMask mask(grid, 1);
+  for (int r = 0; r < grid; ++r) {
+    mask.set_erased(r, (r + offset) % grid, true);
+  }
+  return mask;
+}
+
+EraseMask make_uniform_mask(int grid, int erased_per_row) {
+  EraseMask mask(grid, erased_per_row);
+  // Evenly spaced columns, identical in every row.
+  for (int t = 0; t < erased_per_row; ++t) {
+    const int col =
+        static_cast<int>((static_cast<long long>(t) * grid + grid / 2) /
+                         erased_per_row) % grid;
+    for (int r = 0; r < grid; ++r) mask.set_erased(r, col, true);
+  }
+  return mask;
+}
+
+}  // namespace easz::core

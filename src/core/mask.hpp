@@ -1,0 +1,99 @@
+// Erase masks over the sub-patch grid (paper §III-A).
+//
+// A mask lives on the N x N grid of b x b sub-patches inside one n x n image
+// patch (N = n / b). Bit set = sub-patch ERASED (the paper's "sampled"
+// entries, drawn white in its Fig. 2). The proposed generator is the
+// row-based conditional uniform sampler: every grid row erases exactly T
+// sub-patches, subject to an intra-row minimum distance delta between
+// erased columns and an inter-row minimum distance Delta from the previous
+// row's erased columns. Degenerate settings recover the diagonal mask (T=1)
+// and uniform 2x-downsampling (b=1, T=N/2), which is the paper's
+// generalisation claim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace easz::core {
+
+/// Binary mask on the N x N sub-patch grid.
+class EraseMask {
+ public:
+  EraseMask() = default;
+  EraseMask(int grid, int erased_per_row);
+
+  [[nodiscard]] int grid() const { return grid_; }
+  /// T: erased sub-patches per grid row.
+  [[nodiscard]] int erased_per_row() const { return erased_per_row_; }
+  [[nodiscard]] double erase_ratio() const {
+    return static_cast<double>(erased_per_row_) / grid_;
+  }
+
+  [[nodiscard]] bool erased(int row, int col) const {
+    return bits_[static_cast<std::size_t>(row) * grid_ + col];
+  }
+  void set_erased(int row, int col, bool value);
+
+  /// Column indices erased in `row`, ascending.
+  [[nodiscard]] std::vector<int> erased_cols(int row) const;
+  /// Column indices kept in `row`, ascending.
+  [[nodiscard]] std::vector<int> kept_cols(int row) const;
+
+  /// Flat token indices (row-major over the grid) of kept / erased cells.
+  [[nodiscard]] std::vector<int> kept_indices() const;
+  [[nodiscard]] std::vector<int> erased_indices() const;
+
+  [[nodiscard]] int kept_count() const {
+    return grid_ * (grid_ - erased_per_row_);
+  }
+
+  /// Validates the exactly-T-per-row invariant the squeeze step relies on.
+  [[nodiscard]] bool uniform_rows() const;
+
+  /// Mask with rows and columns swapped. Used by the vertical squeeze axis,
+  /// whose unsqueeze transposition moves erased cells to (col, row).
+  [[nodiscard]] EraseMask transposed() const;
+
+  /// Packed serialisation, ceil(N*N/8) bytes — the paper's "a 32x32 binary
+  /// mask occupies only 128 bytes" side channel.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+  static EraseMask from_bytes(const std::vector<std::uint8_t>& bytes, int grid,
+                              int erased_per_row);
+
+ private:
+  int grid_ = 0;
+  int erased_per_row_ = 0;
+  std::vector<bool> bits_;
+};
+
+/// Constraint parameters for the row-based conditional sampler.
+struct SamplerConfig {
+  int delta = 1;        ///< min |col - previous erased col in same row| (>)
+  int inter_delta = 1;  ///< min |col - cols erased in previous row| (>)
+  int max_attempts = 64;  ///< rejection-sampling budget before relaxing
+};
+
+/// The paper's proposed generator: row-based conditional uniform sampling.
+/// Guarantees exactly T erased per row; constraints are relaxed stepwise if
+/// rejection sampling cannot satisfy them (tight T against small N).
+EraseMask make_row_conditional_mask(int grid, int erased_per_row,
+                                    util::Pcg32& rng, SamplerConfig config = {});
+
+/// Baseline: erase T*N cells uniformly at random over the WHOLE grid (the
+/// paper's naive "randomly erase a portion" arm, Fig. 2(a)). Rows end up
+/// with unequal erase counts, producing both large contiguous holes and —
+/// because squeezing must pad every row to the longest kept row — wasted
+/// bits in the squeezed image.
+EraseMask make_random_mask(int grid, int erased_per_row, util::Pcg32& rng);
+
+/// Diagonal mask: row i erases column (i + offset) mod N; the structured
+/// special case the paper starts from (T = 1).
+EraseMask make_diagonal_mask(int grid, int offset = 0);
+
+/// Uniform columns: every row erases the same evenly spaced T columns —
+/// equivalent to horizontal downsampling (the super-resolution regime).
+EraseMask make_uniform_mask(int grid, int erased_per_row);
+
+}  // namespace easz::core

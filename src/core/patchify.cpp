@@ -1,0 +1,129 @@
+#include "core/patchify.hpp"
+
+#include <stdexcept>
+
+namespace easz::core {
+
+void PatchifyConfig::validate() const {
+  if (patch <= 0 || sub_patch <= 0) {
+    throw std::invalid_argument("PatchifyConfig: sizes must be positive");
+  }
+  if (patch % sub_patch != 0) {
+    throw std::invalid_argument(
+        "PatchifyConfig: patch must be divisible by sub_patch");
+  }
+}
+
+PaddedGeometry padded_geometry(int width, int height, int patch) {
+  PaddedGeometry g;
+  g.patches_x = (width + patch - 1) / patch;
+  g.patches_y = (height + patch - 1) / patch;
+  g.padded_w = g.patches_x * patch;
+  g.padded_h = g.patches_y * patch;
+  return g;
+}
+
+tensor::Tensor image_to_tokens(const image::Image& img,
+                               const PatchifyConfig& config) {
+  config.validate();
+  const int c = img.channels();
+  const int n = config.patch;
+  const int b = config.sub_patch;
+  const int grid = config.grid();
+  const PaddedGeometry g = padded_geometry(img.width(), img.height(), n);
+  const int token_dim = config.token_dim(c);
+
+  tensor::Tensor out({g.patch_count(), config.tokens(), token_dim});
+  float* ov = out.data().data();
+  std::size_t w_idx = 0;
+  for (int py = 0; py < g.patches_y; ++py) {
+    for (int px = 0; px < g.patches_x; ++px) {
+      for (int gy = 0; gy < grid; ++gy) {
+        for (int gx = 0; gx < grid; ++gx) {
+          for (int ch = 0; ch < c; ++ch) {
+            for (int y = 0; y < b; ++y) {
+              for (int x = 0; x < b; ++x) {
+                ov[w_idx++] = img.at_clamped(ch, py * n + gy * b + y,
+                                             px * n + gx * b + x);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+image::Image tokens_to_image(const tensor::Tensor& tokens, int width,
+                             int height, int channels,
+                             const PatchifyConfig& config) {
+  config.validate();
+  const int n = config.patch;
+  const int b = config.sub_patch;
+  const int grid = config.grid();
+  const PaddedGeometry g = padded_geometry(width, height, n);
+  if (tokens.rank() != 3 || tokens.dim(0) != g.patch_count() ||
+      tokens.dim(1) != config.tokens() ||
+      tokens.dim(2) != config.token_dim(channels)) {
+    throw std::invalid_argument("tokens_to_image: tensor shape mismatch");
+  }
+
+  image::Image out(width, height, channels);
+  const float* tv = tokens.data().data();
+  std::size_t r_idx = 0;
+  for (int py = 0; py < g.patches_y; ++py) {
+    for (int px = 0; px < g.patches_x; ++px) {
+      for (int gy = 0; gy < grid; ++gy) {
+        for (int gx = 0; gx < grid; ++gx) {
+          for (int ch = 0; ch < channels; ++ch) {
+            for (int y = 0; y < b; ++y) {
+              for (int x = 0; x < b; ++x) {
+                const int iy = py * n + gy * b + y;
+                const int ix = px * n + gx * b + x;
+                const float v = tv[r_idx++];
+                if (iy < height && ix < width) out.at(ch, iy, ix) = v;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> tokens_to_patch_pixels_perm(
+    int batch, int channels, const PatchifyConfig& config) {
+  config.validate();
+  const int n = config.patch;
+  const int b = config.sub_patch;
+  const int grid = config.grid();
+  const int token_dim = config.token_dim(channels);
+  const std::size_t per_patch =
+      static_cast<std::size_t>(config.tokens()) * token_dim;
+
+  // Destination order: [batch][channel][y][x]; source: [batch][token][dim].
+  std::vector<std::size_t> perm(static_cast<std::size_t>(batch) * per_patch);
+  std::size_t d_idx = 0;
+  for (int bi = 0; bi < batch; ++bi) {
+    const std::size_t base = static_cast<std::size_t>(bi) * per_patch;
+    for (int ch = 0; ch < channels; ++ch) {
+      for (int y = 0; y < n; ++y) {
+        const int gy = y / b;
+        const int sy = y % b;
+        for (int x = 0; x < n; ++x) {
+          const int gx = x / b;
+          const int sx = x % b;
+          const std::size_t token = static_cast<std::size_t>(gy) * grid + gx;
+          const std::size_t offset =
+              (static_cast<std::size_t>(ch) * b + sy) * b + sx;
+          perm[d_idx++] = base + token * token_dim + offset;
+        }
+      }
+    }
+  }
+  return perm;
+}
+
+}  // namespace easz::core

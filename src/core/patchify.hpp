@@ -1,0 +1,57 @@
+// Two-stage image patchify (paper §III-B).
+//
+// Stage 1: split the image into n x n patches. Stage 2: split each patch
+// into b x b sub-patches, giving an N x N grid (N = n / b) of sub-patch
+// tokens per patch. Attention operates inside a patch only, which is the
+// source of the complexity reduction O((hw)^2) -> O(hw * n^2 / b^4).
+//
+// Token layout: token j corresponds to grid cell (j / N, j % N); its vector
+// holds the sub-patch samples in (channel, y, x) order, length b*b*C.
+#pragma once
+
+#include <vector>
+
+#include "image/image.hpp"
+#include "tensor/tensor.hpp"
+
+namespace easz::core {
+
+struct PatchifyConfig {
+  int patch = 32;      ///< n: stage-1 patch size (pixels)
+  int sub_patch = 4;   ///< b: stage-2 sub-patch size (pixels)
+
+  [[nodiscard]] int grid() const { return patch / sub_patch; }   ///< N
+  [[nodiscard]] int tokens() const { return grid() * grid(); }   ///< N^2
+  [[nodiscard]] int token_dim(int channels) const {
+    return sub_patch * sub_patch * channels;
+  }
+  void validate() const;
+};
+
+/// Padded dimensions making (w, h) divisible by the patch size.
+struct PaddedGeometry {
+  int padded_w = 0;
+  int padded_h = 0;
+  int patches_x = 0;
+  int patches_y = 0;
+  [[nodiscard]] int patch_count() const { return patches_x * patches_y; }
+};
+PaddedGeometry padded_geometry(int width, int height, int patch);
+
+/// Extracts all patches as token tensors: result is [patch_count, tokens,
+/// token_dim] flattened into one rank-3 tensor. Pads with edge replication.
+tensor::Tensor image_to_tokens(const image::Image& img,
+                               const PatchifyConfig& config);
+
+/// Inverse of image_to_tokens (crops padding back off).
+image::Image tokens_to_image(const tensor::Tensor& tokens, int width,
+                             int height, int channels,
+                             const PatchifyConfig& config);
+
+/// Permutation mapping a [B, tokens, token_dim] tensor to the equivalent
+/// [B, C, n, n] patch-pixel tensor (for convolutional losses). Use with
+/// tensor::apply_permutation.
+std::vector<std::size_t> tokens_to_patch_pixels_perm(int batch, int channels,
+                                                     const PatchifyConfig& config);
+
+}  // namespace easz::core

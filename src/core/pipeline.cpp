@@ -1,0 +1,118 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/deblock.hpp"
+
+namespace easz::core {
+
+EaszPipeline::EaszPipeline(EaszConfig config, codec::ImageCodec& codec,
+                           const ReconstructionModel* model)
+    : config_(config), codec_(codec), model_(model) {
+  config_.patchify.validate();
+  const int grid = config_.patchify.grid();
+  if (config_.erased_per_row < 0 || config_.erased_per_row >= grid) {
+    throw std::invalid_argument("EaszPipeline: erased_per_row out of range");
+  }
+  if (model_ != nullptr) {
+    const auto& mc = model_->config();
+    if (mc.patchify.patch != config_.patchify.patch ||
+        mc.patchify.sub_patch != config_.patchify.sub_patch) {
+      throw std::invalid_argument(
+          "EaszPipeline: model patchify config mismatch");
+    }
+  }
+}
+
+EraseMask EaszPipeline::make_mask() const {
+  util::Pcg32 rng(config_.mask_seed, 0x5eedU);
+  return make_row_conditional_mask(config_.patchify.grid(),
+                                   config_.erased_per_row, rng,
+                                   config_.sampler);
+}
+
+EaszCompressed EaszPipeline::encode(const image::Image& img) const {
+  const PaddedGeometry g =
+      padded_geometry(img.width(), img.height(), config_.patchify.patch);
+  const image::Image padded = img.pad_to(g.padded_w, g.padded_h);
+
+  const EraseMask mask = make_mask();
+  const image::Image squeezed =
+      erase_and_squeeze(padded, mask, config_.patchify, config_.axis);
+
+  EaszCompressed out;
+  // The payload keeps the squeezed image's geometry (codecs may rely on it
+  // at decode time); EaszCompressed::bpp() accounts rate against the
+  // original grid via full_width/full_height below.
+  out.payload = codec_.encode(squeezed);
+  out.mask_bytes = mask.to_bytes();
+  out.full_width = img.width();
+  out.full_height = img.height();
+  out.padded_width = g.padded_w;
+  out.padded_height = g.padded_h;
+  out.erased_per_row = config_.erased_per_row;
+  out.axis = config_.axis;
+  return out;
+}
+
+image::Image EaszPipeline::reconstruct_image(const image::Image& zero_filled,
+                                             const EraseMask& mask) const {
+  // Tokens for every patch, reconstructed in manageable batches.
+  const tensor::Tensor all_tokens =
+      image_to_tokens(zero_filled, config_.patchify);
+  const int patch_count = all_tokens.dim(0);
+  const int tokens = all_tokens.dim(1);
+  const int token_dim = all_tokens.dim(2);
+
+  tensor::Tensor result({patch_count, tokens, token_dim});
+  constexpr int kBatch = 32;
+  const std::size_t per_patch =
+      static_cast<std::size_t>(tokens) * token_dim;
+  for (int start = 0; start < patch_count; start += kBatch) {
+    const int count = std::min(kBatch, patch_count - start);
+    tensor::Tensor batch({count, tokens, token_dim});
+    std::copy_n(all_tokens.data().begin() + start * per_patch,
+                count * per_patch, batch.data().begin());
+    const tensor::Tensor recon = model_->reconstruct(batch, mask);
+    std::copy_n(recon.data().begin(), count * per_patch,
+                result.data().begin() + start * per_patch);
+  }
+  return tokens_to_image(result, zero_filled.width(), zero_filled.height(),
+                         zero_filled.channels(), config_.patchify);
+}
+
+image::Image EaszPipeline::decode(const EaszCompressed& c) const {
+  if (model_ == nullptr) {
+    throw std::logic_error("EaszPipeline::decode: no reconstruction model");
+  }
+  const image::Image squeezed = codec_.decode(c.payload);
+  const EraseMask mask = EraseMask::from_bytes(
+      c.mask_bytes, config_.patchify.grid(), c.erased_per_row);
+  const image::Image zero_filled =
+      unsqueeze(squeezed, mask, config_.patchify, c.padded_width,
+                c.padded_height, c.axis);
+  const EraseMask recon_mask =
+      c.axis == SqueezeAxis::kVertical ? mask.transposed() : mask;
+  image::Image recon = reconstruct_image(zero_filled, recon_mask);
+  recon = deblock_erased(recon, recon_mask, config_.patchify);
+  if (recon.width() != c.full_width || recon.height() != c.full_height) {
+    recon = recon.crop(0, 0, c.full_width, c.full_height);
+  }
+  return recon;
+}
+
+image::Image EaszPipeline::decode_neighbor_fill(const EaszCompressed& c) const {
+  const image::Image squeezed = codec_.decode(c.payload);
+  const EraseMask mask = EraseMask::from_bytes(
+      c.mask_bytes, config_.patchify.grid(), c.erased_per_row);
+  image::Image filled =
+      unsqueeze_neighbor_fill(squeezed, mask, config_.patchify, c.padded_width,
+                              c.padded_height, c.axis);
+  if (filled.width() != c.full_width || filled.height() != c.full_height) {
+    filled = filled.crop(0, 0, c.full_width, c.full_height);
+  }
+  return filled;
+}
+
+}  // namespace easz::core

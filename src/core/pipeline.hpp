@@ -1,0 +1,86 @@
+// End-to-end Easz pipeline (paper Fig. 2 left).
+//
+// Edge side:   pad -> erase-and-squeeze (mask from the conditional sampler)
+//              -> any ImageCodec encode -> bitstream + 128-ish-byte mask.
+// Server side: codec decode -> unsqueeze (zeros at erased positions)
+//              -> transformer reconstruction of erased sub-patches.
+//
+// The pipeline works with any codec ("compatible with all existing image
+// compression algorithms") and, because erase-and-squeeze is pure memory
+// movement, its edge cost is negligible next to the codec itself.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "codec/codec.hpp"
+#include "core/recon_model.hpp"
+#include "core/squeeze.hpp"
+
+namespace easz::core {
+
+struct EaszConfig {
+  PatchifyConfig patchify;
+  int erased_per_row = 2;  ///< T; erase ratio = T / (n/b)
+  SqueezeAxis axis = SqueezeAxis::kHorizontal;
+  SamplerConfig sampler;
+  std::uint64_t mask_seed = 7;  ///< shared edge/server mask seed
+};
+
+/// Bitstream container: codec payload + mask side channel + geometry.
+struct EaszCompressed {
+  codec::Compressed payload;          ///< squeezed-image bitstream
+  std::vector<std::uint8_t> mask_bytes;
+  int full_width = 0;                 ///< original image geometry
+  int full_height = 0;
+  int padded_width = 0;
+  int padded_height = 0;
+  int erased_per_row = 0;
+  SqueezeAxis axis = SqueezeAxis::kHorizontal;
+
+  /// Total transmitted bytes (payload + mask).
+  [[nodiscard]] std::size_t size_bytes() const {
+    return payload.bytes.size() + mask_bytes.size();
+  }
+  /// BPP against the ORIGINAL pixel grid (the paper's rate metric).
+  [[nodiscard]] double bpp() const {
+    return static_cast<double>(size_bytes()) * 8.0 /
+           (static_cast<double>(full_width) * full_height);
+  }
+};
+
+class EaszPipeline {
+ public:
+  /// The pipeline borrows the codec and the model; both must outlive it.
+  /// `model` may be null for encode-only use (the edge never runs it).
+  EaszPipeline(EaszConfig config, codec::ImageCodec& codec,
+               const ReconstructionModel* model);
+
+  /// Edge-side compression. Erase-and-squeeze is measured separately from
+  /// the codec by the testbed; this call does both.
+  [[nodiscard]] EaszCompressed encode(const image::Image& img) const;
+
+  /// Server-side decompression + learned reconstruction.
+  /// Requires a model. Throws std::logic_error without one.
+  [[nodiscard]] image::Image decode(const EaszCompressed& c) const;
+
+  /// Decode variant without the transformer: nearest-neighbour fill
+  /// (reference baseline, also used when no model is deployed).
+  [[nodiscard]] image::Image decode_neighbor_fill(const EaszCompressed& c) const;
+
+  /// The mask currently derived from config (same on edge and server).
+  [[nodiscard]] EraseMask make_mask() const;
+
+  [[nodiscard]] const EaszConfig& config() const { return config_; }
+
+ private:
+  /// Batched transformer reconstruction over all patches of an image.
+  [[nodiscard]] image::Image reconstruct_image(const image::Image& zero_filled,
+                                               const EraseMask& mask) const;
+
+  EaszConfig config_;
+  codec::ImageCodec& codec_;
+  const ReconstructionModel* model_;
+};
+
+}  // namespace easz::core

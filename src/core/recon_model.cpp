@@ -1,0 +1,122 @@
+#include "core/recon_model.hpp"
+
+#include <stdexcept>
+
+namespace easz::core {
+
+ReconstructionModel::ReconstructionModel(ReconModelConfig config,
+                                         util::Pcg32& rng)
+    : config_(config) {
+  config_.patchify.validate();
+  const int token_dim = config_.patchify.token_dim(config_.channels);
+  const int tokens = config_.patchify.tokens();
+
+  embed_ = std::make_unique<nn::Linear>(token_dim, config_.d_model, rng);
+  absorb(*embed_);
+  pos_embedding_ = register_param(nn::Tensor::randn(
+      {tokens, config_.d_model}, rng, 0.02F, /*requires_grad=*/true));
+  for (int i = 0; i < config_.encoder_blocks; ++i) {
+    encoder_.push_back(std::make_unique<nn::TransformerBlock>(
+        config_.d_model, config_.num_heads, config_.ffn_hidden, rng));
+    absorb(*encoder_.back());
+  }
+  for (int i = 0; i < config_.decoder_blocks; ++i) {
+    decoder_.push_back(std::make_unique<nn::TransformerBlock>(
+        config_.d_model, config_.num_heads, config_.ffn_hidden, rng));
+    absorb(*decoder_.back());
+  }
+  head_ = std::make_unique<nn::Linear>(config_.d_model, token_dim, rng);
+  absorb(*head_);
+}
+
+nn::Tensor ReconstructionModel::forward(const nn::Tensor& tokens,
+                                        const EraseMask& mask) const {
+  const int total = config_.patchify.tokens();
+  const int token_dim = config_.patchify.token_dim(config_.channels);
+  if (tokens.rank() != 3 || tokens.dim(1) != total ||
+      tokens.dim(2) != token_dim) {
+    throw std::invalid_argument("ReconstructionModel: bad token tensor shape");
+  }
+  if (mask.grid() != config_.patchify.grid()) {
+    throw std::invalid_argument("ReconstructionModel: mask grid mismatch");
+  }
+  const int batch = tokens.dim(0);
+  const std::vector<int> kept = mask.kept_indices();
+  const int m = static_cast<int>(kept.size());
+
+  // Gather the un-erased tokens of every batch element.
+  std::vector<int> flat_kept;
+  flat_kept.reserve(static_cast<std::size_t>(batch) * m);
+  for (int b = 0; b < batch; ++b) {
+    for (const int j : kept) flat_kept.push_back(b * total + j);
+  }
+  const nn::Tensor flat =
+      tokens.reshape({batch * total, token_dim});
+  nn::Tensor kept_tokens = tensor::gather_rows(flat, flat_kept);  // [B*m, td]
+
+  // Embed + positional information for the kept grid positions.
+  nn::Tensor x = embed_->forward(kept_tokens);  // [B*m, d]
+  const nn::Tensor kept_pos = tensor::gather_rows(pos_embedding_, kept);
+  x = x.reshape({batch, m, config_.d_model});
+  x = tensor::add_broadcast(x, kept_pos.reshape({m, config_.d_model}));
+
+  for (const auto& block : encoder_) x = block->forward(x);
+
+  // Zero-vector infill: scatter encoded features back into the full grid;
+  // erased positions stay zero and receive only their positional embedding.
+  nn::Tensor scattered = tensor::scatter_rows(
+      x.reshape({batch * m, config_.d_model}), flat_kept, batch * total);
+  nn::Tensor y = scattered.reshape({batch, total, config_.d_model});
+  y = tensor::add_broadcast(y, pos_embedding_.reshape(
+                                   {total, config_.d_model}));
+
+  for (const auto& block : decoder_) y = block->forward(y);
+
+  const nn::Tensor out = head_->forward(y);  // [B, total, token_dim]
+  return out;
+}
+
+nn::Tensor ReconstructionModel::reconstruct(const nn::Tensor& tokens,
+                                            const EraseMask& mask) const {
+  const nn::Tensor pred = forward(tokens, mask);
+  // Paste-through: keep original values where nothing was erased.
+  const int total = config_.patchify.tokens();
+  const int token_dim = config_.patchify.token_dim(config_.channels);
+  const int batch = tokens.dim(0);
+  nn::Tensor out = pred.detach();
+  const std::vector<int> kept = mask.kept_indices();
+  for (int b = 0; b < batch; ++b) {
+    for (const int j : kept) {
+      const std::size_t off =
+          (static_cast<std::size_t>(b) * total + j) * token_dim;
+      for (int d = 0; d < token_dim; ++d) {
+        out.data()[off + d] = tokens.data()[off + d];
+      }
+    }
+  }
+  // Clamp predictions into the valid sample range.
+  for (auto& v : out.data()) v = std::min(1.0F, std::max(0.0F, v));
+  return out;
+}
+
+double ReconstructionModel::flops_per_batch(int batch, int erased_per_row) const {
+  const int grid = config_.patchify.grid();
+  const int total = grid * grid;
+  const int m = grid * (grid - erased_per_row);
+  const int token_dim = config_.patchify.token_dim(config_.channels);
+  double flops = 0.0;
+  // Embedding and head projections.
+  flops += 2.0 * batch * m * token_dim * config_.d_model;
+  flops += 2.0 * batch * total * config_.d_model * token_dim;
+  for (int i = 0; i < config_.encoder_blocks; ++i) {
+    flops += nn::TransformerBlock::flops(batch, m, config_.d_model,
+                                         config_.num_heads, config_.ffn_hidden);
+  }
+  for (int i = 0; i < config_.decoder_blocks; ++i) {
+    flops += nn::TransformerBlock::flops(batch, total, config_.d_model,
+                                         config_.num_heads, config_.ffn_hidden);
+  }
+  return flops;
+}
+
+}  // namespace easz::core

@@ -1,0 +1,60 @@
+// Lightweight transformer reconstructor (paper §III-B, Fig. 5).
+//
+// Encoder (2 blocks) sees only the un-erased sub-patch tokens; their features
+// are scattered back into the full N x N token grid with zero vectors at
+// erased positions (plus positional embeddings), and the decoder (2 blocks)
+// predicts pixel values for every token. One model serves every erase
+// ratio — the mask is an input, not an architecture parameter — which is the
+// paper's agility claim. Default dimensions give ~8.6 MB of fp32 weights,
+// matching the paper's 8.7 MB figure.
+#pragma once
+
+#include <memory>
+
+#include "core/mask.hpp"
+#include "core/patchify.hpp"
+#include "nn/transformer.hpp"
+
+namespace easz::core {
+
+struct ReconModelConfig {
+  PatchifyConfig patchify;  ///< n and b; grid N = n/b tokens per side
+  int channels = 3;
+  int d_model = 256;
+  int num_heads = 4;
+  int ffn_hidden = 576;
+  int encoder_blocks = 2;
+  int decoder_blocks = 2;
+};
+
+class ReconstructionModel : public nn::Module {
+ public:
+  ReconstructionModel(ReconModelConfig config, util::Pcg32& rng);
+
+  [[nodiscard]] const ReconModelConfig& config() const { return config_; }
+
+  /// Full forward pass: `tokens` is [B, N^2, token_dim] with arbitrary values
+  /// at erased positions (they are ignored); returns predicted tokens of the
+  /// same shape. Differentiable end to end.
+  [[nodiscard]] nn::Tensor forward(const nn::Tensor& tokens,
+                                   const EraseMask& mask) const;
+
+  /// Inference convenience: forward + paste-through of kept tokens (the
+  /// decoder only ever has to be trusted for erased content).
+  [[nodiscard]] nn::Tensor reconstruct(const nn::Tensor& tokens,
+                                       const EraseMask& mask) const;
+
+  /// Forward FLOPs for `batch` patches at erase count T per row — drives the
+  /// testbed latency model (server-side reconstruction stage).
+  [[nodiscard]] double flops_per_batch(int batch, int erased_per_row) const;
+
+ private:
+  ReconModelConfig config_;
+  std::unique_ptr<nn::Linear> embed_;       // token_dim -> d_model
+  nn::Tensor pos_embedding_;                // [N^2, d_model]
+  std::vector<std::unique_ptr<nn::TransformerBlock>> encoder_;
+  std::vector<std::unique_ptr<nn::TransformerBlock>> decoder_;
+  std::unique_ptr<nn::Linear> head_;        // d_model -> token_dim
+};
+
+}  // namespace easz::core

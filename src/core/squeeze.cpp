@@ -1,0 +1,170 @@
+#include "core/squeeze.hpp"
+
+#include <stdexcept>
+
+namespace easz::core {
+namespace {
+
+image::Image transpose_image(const image::Image& img) {
+  image::Image out(img.height(), img.width(), img.channels());
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        out.at(c, x, y) = img.at(c, y, x);
+      }
+    }
+  }
+  return out;
+}
+
+void check_divisible(const image::Image& img, const PatchifyConfig& config) {
+  if (img.width() % config.patch != 0 || img.height() % config.patch != 0) {
+    throw std::invalid_argument(
+        "squeeze: image dimensions must be multiples of the patch size");
+  }
+}
+
+// Copies one b x b sub-patch between images.
+void copy_sub_patch(const image::Image& src, int sx, int sy, image::Image& dst,
+                    int dx, int dy, int b) {
+  for (int c = 0; c < src.channels(); ++c) {
+    for (int y = 0; y < b; ++y) {
+      for (int x = 0; x < b; ++x) {
+        dst.at(c, dy + y, dx + x) = src.at(c, sy + y, sx + x);
+      }
+    }
+  }
+}
+
+// Widest kept row of the mask; uniform masks keep grid - T everywhere, a
+// non-uniform (fully random) mask forces every squeezed row to pad up to
+// this width — the rate penalty the paper's conditional sampler avoids.
+int max_kept_cols(const EraseMask& mask) {
+  int mk = 0;
+  for (int r = 0; r < mask.grid(); ++r) {
+    mk = std::max(mk, static_cast<int>(mask.kept_cols(r).size()));
+  }
+  return mk;
+}
+
+image::Image squeeze_horizontal(const image::Image& img, const EraseMask& mask,
+                                const PatchifyConfig& config) {
+  check_divisible(img, config);
+  const int b = config.sub_patch;
+  const int n = config.patch;
+  const int grid = config.grid();
+  if (mask.grid() != grid) {
+    throw std::invalid_argument("squeeze: mask grid does not match config");
+  }
+  const int kept = max_kept_cols(mask);
+  const int patches_x = img.width() / n;
+  const int patches_y = img.height() / n;
+
+  image::Image out(patches_x * kept * b, img.height(), img.channels());
+  for (int py = 0; py < patches_y; ++py) {
+    for (int px = 0; px < patches_x; ++px) {
+      for (int gy = 0; gy < grid; ++gy) {
+        const std::vector<int> cols = mask.kept_cols(gy);
+        for (int k = 0; k < kept; ++k) {
+          // Rows with fewer kept sub-patches pad by replicating their last
+          // kept sub-patch (mid-gray if the row is fully erased).
+          if (k < static_cast<int>(cols.size())) {
+            copy_sub_patch(img, px * n + cols[k] * b, py * n + gy * b, out,
+                           (px * kept + k) * b, py * n + gy * b, b);
+          } else if (!cols.empty()) {
+            copy_sub_patch(img, px * n + cols.back() * b, py * n + gy * b, out,
+                           (px * kept + k) * b, py * n + gy * b, b);
+          } else {
+            for (int c = 0; c < img.channels(); ++c) {
+              for (int y = 0; y < b; ++y) {
+                for (int x = 0; x < b; ++x) {
+                  out.at(c, py * n + gy * b + y, (px * kept + k) * b + x) = 0.5F;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+image::Image unsqueeze_horizontal(const image::Image& squeezed,
+                                  const EraseMask& mask,
+                                  const PatchifyConfig& config, int full_w,
+                                  int full_h, bool neighbor_fill) {
+  const int b = config.sub_patch;
+  const int n = config.patch;
+  const int grid = config.grid();
+  const int kept = max_kept_cols(mask);
+  if (full_w % n != 0 || full_h % n != 0) {
+    throw std::invalid_argument("unsqueeze: full dims must be patch multiples");
+  }
+  const int patches_x = full_w / n;
+  const int patches_y = full_h / n;
+  if (squeezed.width() != patches_x * kept * b || squeezed.height() != full_h) {
+    throw std::invalid_argument("unsqueeze: squeezed geometry mismatch");
+  }
+
+  image::Image out(full_w, full_h, squeezed.channels());
+  for (int py = 0; py < patches_y; ++py) {
+    for (int px = 0; px < patches_x; ++px) {
+      for (int gy = 0; gy < grid; ++gy) {
+        const std::vector<int> cols = mask.kept_cols(gy);
+        for (int k = 0; k < static_cast<int>(cols.size()); ++k) {
+          copy_sub_patch(squeezed, (px * kept + k) * b, py * n + gy * b, out,
+                         px * n + cols[k] * b, py * n + gy * b, b);
+        }
+        if (neighbor_fill) {
+          for (const int col : mask.erased_cols(gy)) {
+            // Nearest kept column in this row (ties -> left).
+            int best = cols.empty() ? col : cols[0];
+            for (const int kc : cols) {
+              if (std::abs(kc - col) < std::abs(best - col)) best = kc;
+            }
+            copy_sub_patch(out, px * n + best * b, py * n + gy * b, out,
+                           px * n + col * b, py * n + gy * b, b);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+image::Image erase_and_squeeze(const image::Image& img, const EraseMask& mask,
+                               const PatchifyConfig& config, SqueezeAxis axis) {
+  config.validate();
+  if (axis == SqueezeAxis::kHorizontal) {
+    return squeeze_horizontal(img, mask, config);
+  }
+  return transpose_image(squeeze_horizontal(transpose_image(img), mask, config));
+}
+
+image::Image unsqueeze(const image::Image& squeezed, const EraseMask& mask,
+                       const PatchifyConfig& config, int full_w, int full_h,
+                       SqueezeAxis axis) {
+  config.validate();
+  if (axis == SqueezeAxis::kHorizontal) {
+    return unsqueeze_horizontal(squeezed, mask, config, full_w, full_h, false);
+  }
+  return transpose_image(unsqueeze_horizontal(transpose_image(squeezed), mask,
+                                              config, full_h, full_w, false));
+}
+
+image::Image unsqueeze_neighbor_fill(const image::Image& squeezed,
+                                     const EraseMask& mask,
+                                     const PatchifyConfig& config, int full_w,
+                                     int full_h, SqueezeAxis axis) {
+  config.validate();
+  if (axis == SqueezeAxis::kHorizontal) {
+    return unsqueeze_horizontal(squeezed, mask, config, full_w, full_h, true);
+  }
+  return transpose_image(unsqueeze_horizontal(transpose_image(squeezed), mask,
+                                              config, full_h, full_w, true));
+}
+
+}  // namespace easz::core

@@ -1,0 +1,40 @@
+// Erase-and-squeeze / un-squeeze (paper §III-A, "Squeeze").
+//
+// With a mask erasing exactly T sub-patches per grid row, every grid row of
+// every patch compacts from N to N-T sub-patches, so an image of width W
+// squeezes to W * (N-T) / N (horizontal axis) while remaining rectangular —
+// which is what lets a conventional codec compress it directly. The vertical
+// variant transposes the roles of rows and columns.
+#pragma once
+
+#include "core/mask.hpp"
+#include "core/patchify.hpp"
+#include "image/image.hpp"
+
+namespace easz::core {
+
+enum class SqueezeAxis { kHorizontal, kVertical };
+
+/// Erases masked sub-patches and compacts the survivors.
+/// The same mask is applied to every patch of the image. Image dimensions
+/// must be multiples of the patch size (pad first; the pipeline does).
+image::Image erase_and_squeeze(const image::Image& img, const EraseMask& mask,
+                               const PatchifyConfig& config,
+                               SqueezeAxis axis = SqueezeAxis::kHorizontal);
+
+/// Expands a squeezed image back to full geometry, placing decoded
+/// sub-patches at their kept positions and zeros at erased positions.
+image::Image unsqueeze(const image::Image& squeezed, const EraseMask& mask,
+                       const PatchifyConfig& config, int full_w, int full_h,
+                       SqueezeAxis axis = SqueezeAxis::kHorizontal);
+
+/// Fills erased sub-patches with their nearest kept horizontal neighbour
+/// instead of zeros — the paper Fig. 2(b) "neighbor filled" baseline, and a
+/// cheap non-learned reconstruction reference.
+image::Image unsqueeze_neighbor_fill(const image::Image& squeezed,
+                                     const EraseMask& mask,
+                                     const PatchifyConfig& config, int full_w,
+                                     int full_h,
+                                     SqueezeAxis axis = SqueezeAxis::kHorizontal);
+
+}  // namespace easz::core

@@ -1,0 +1,100 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace easz::core {
+
+nn::Tensor sample_patch_tokens(const image::Image& img,
+                               const PatchifyConfig& config, int channels,
+                               util::Pcg32& rng) {
+  const int n = config.patch;
+  if (img.width() < n || img.height() < n) {
+    throw std::invalid_argument("sample_patch_tokens: image smaller than patch");
+  }
+  if (img.channels() != channels) {
+    throw std::invalid_argument("sample_patch_tokens: channel mismatch");
+  }
+  const int x0 = img.width() == n ? 0 : rng.next_int(0, img.width() - n);
+  const int y0 = img.height() == n ? 0 : rng.next_int(0, img.height() - n);
+  const image::Image patch = img.crop(x0, y0, n, n);
+  return image_to_tokens(patch, config);  // [1, tokens, token_dim]
+}
+
+Trainer::Trainer(ReconstructionModel& model, TrainerConfig config,
+                 util::Pcg32& rng)
+    : model_(model),
+      config_(config),
+      rng_(rng),
+      opt_(model.parameters(),
+           {.lr = config.lr, .weight_decay = config.weight_decay}),
+      loss_(config.lambda) {}
+
+float Trainer::train_step(const nn::Tensor& tokens, const EraseMask& mask) {
+  const nn::Tensor pred = model_.forward(tokens, mask);
+
+  nn::Tensor loss;
+  if (config_.use_perceptual) {
+    // Move both to [B, C, n, n] pixel layout for the convolutional
+    // perceptual term.
+    const auto& pc = model_.config().patchify;
+    const int batch = tokens.dim(0);
+    const int c = model_.config().channels;
+    const auto perm = tokens_to_patch_pixels_perm(batch, c, pc);
+    const tensor::Shape img_shape = {batch, c, pc.patch, pc.patch};
+    const nn::Tensor pred_img = tensor::apply_permutation(pred, perm, img_shape);
+    const nn::Tensor target_img =
+        tensor::apply_permutation(tokens, perm, img_shape);
+    loss = loss_.forward(pred_img, target_img);
+  } else {
+    // Token-space L1 equals pixel-space L1 (same elements, permuted).
+    loss = tensor::l1_loss(pred, tokens);
+  }
+
+  const float value = loss.item();
+  loss.backward();
+  opt_.step();
+  return value;
+}
+
+TrainStats Trainer::train(const std::vector<image::Image>& images, int steps) {
+  if (images.empty()) throw std::invalid_argument("Trainer: no images");
+  const auto& pc = model_.config().patchify;
+  const int grid = pc.grid();
+  TrainStats stats;
+  stats.loss_history.reserve(steps);
+
+  for (int step = 0; step < steps; ++step) {
+    // Assemble a batch of random patches.
+    std::vector<nn::Tensor> patches;
+    patches.reserve(config_.batch_patches);
+    tensor::Tensor batch({config_.batch_patches, pc.tokens(),
+                          pc.token_dim(model_.config().channels)});
+    for (int b = 0; b < config_.batch_patches; ++b) {
+      const image::Image& img =
+          images[rng_.next_below(static_cast<std::uint32_t>(images.size()))];
+      const nn::Tensor one =
+          sample_patch_tokens(img, pc, model_.config().channels, rng_);
+      std::copy(one.data().begin(), one.data().end(),
+                batch.data().begin() +
+                    static_cast<std::ptrdiff_t>(b) *
+                        static_cast<std::ptrdiff_t>(one.numel()));
+    }
+
+    // Fresh mask with a random ratio: "randomly generated erase masks are
+    // applied for model robustness" (§IV-A) — unconstrained random during
+    // pretraining, so the model is not specialised to the conditional
+    // sampler it will meet at inference time.
+    const float ratio = config_.min_erase_ratio +
+                        rng_.next_float() *
+                            (config_.max_erase_ratio - config_.min_erase_ratio);
+    int t = std::clamp(static_cast<int>(std::lround(ratio * grid)), 1, grid - 1);
+    const EraseMask mask = make_random_mask(grid, t, rng_);
+
+    stats.loss_history.push_back(train_step(batch, mask));
+  }
+  return stats;
+}
+
+}  // namespace easz::core

@@ -1,0 +1,60 @@
+// Training loop for the reconstructor (paper §III-B "Training Process" and
+// §IV-A): random erase masks per step for ratio robustness, L1 + lambda *
+// perceptual loss (Eq. 2), AdamW with the paper's hyperparameters.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/recon_model.hpp"
+#include "image/image.hpp"
+#include "nn/adam.hpp"
+#include "nn/losses.hpp"
+
+namespace easz::core {
+
+struct TrainerConfig {
+  float lr = 2.8e-4F;          ///< paper §IV-A
+  float weight_decay = 0.05F;  ///< paper §IV-A
+  float lambda = 0.3F;         ///< Eq. (2) perceptual weight
+  int batch_patches = 16;      ///< patches per step (paper uses 4096 sub-patches)
+  float min_erase_ratio = 0.1F;
+  float max_erase_ratio = 0.4F;  ///< paper pretrains around 0.25
+  bool use_perceptual = true;
+};
+
+struct TrainStats {
+  std::vector<float> loss_history;  ///< one entry per step
+  [[nodiscard]] float final_loss() const {
+    return loss_history.empty() ? 0.0F : loss_history.back();
+  }
+};
+
+class Trainer {
+ public:
+  Trainer(ReconstructionModel& model, TrainerConfig config, util::Pcg32& rng);
+
+  /// Runs `steps` optimisation steps, drawing random n x n patches from
+  /// `images` and fresh conditional-sampler masks each step.
+  TrainStats train(const std::vector<image::Image>& images, int steps);
+
+  /// One step on a fixed (tokens, mask) batch; returns the loss. Exposed for
+  /// tests and for the fine-tuning benches that control their own batches.
+  float train_step(const nn::Tensor& tokens, const EraseMask& mask);
+
+  [[nodiscard]] nn::Adam& optimizer() { return opt_; }
+
+ private:
+  ReconstructionModel& model_;
+  TrainerConfig config_;
+  util::Pcg32& rng_;
+  nn::Adam opt_;
+  nn::CombinedLoss loss_;
+};
+
+/// Extracts a random n x n patch (as a 1-patch token tensor) from an image.
+nn::Tensor sample_patch_tokens(const image::Image& img,
+                               const PatchifyConfig& config, int channels,
+                               util::Pcg32& rng);
+
+}  // namespace easz::core

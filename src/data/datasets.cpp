@@ -1,0 +1,57 @@
+#include "data/datasets.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/synth.hpp"
+#include "util/prng.hpp"
+
+namespace easz::data {
+namespace {
+
+int scaled(int dim, float scale) {
+  // Keep dimensions even and at least 32 so 4:2:0 and patchify stay simple.
+  const int v = std::max(32, static_cast<int>(static_cast<float>(dim) * scale));
+  return v - (v % 2);
+}
+
+}  // namespace
+
+DatasetSpec kodak_like_spec(float scale) {
+  return {"kodak_like", scaled(768, scale), scaled(512, scale), 24};
+}
+
+DatasetSpec clic_like_spec(float scale) {
+  return {"clic_like", scaled(1024, scale), scaled(683, scale) + 1, 32};
+}
+
+DatasetSpec cifar_like_spec() { return {"cifar_like", 32, 32, 1024}; }
+
+image::Image load_image(const DatasetSpec& spec, int index,
+                        std::uint64_t seed) {
+  if (index < 0 || index >= spec.count) {
+    throw std::invalid_argument("load_image: index out of range");
+  }
+  // Stable per-image stream: independent of generation order.
+  util::Pcg32 rng(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)),
+                  0xd1b54a32d192ed03ULL ^ index);
+
+  // Alternate orientation like Kodak's portrait shots.
+  int w = spec.width;
+  int h = spec.height;
+  if (spec.name == "kodak_like" && index % 5 == 4) std::swap(w, h);
+
+  const int kind = index % 8;
+  if (kind == 6) return synth_cartoon(w, h, rng);
+  if (kind == 7) return synth_texture(w, h, rng);
+  return synth_photo(w, h, rng);
+}
+
+std::vector<image::Image> load_all(const DatasetSpec& spec, std::uint64_t seed) {
+  std::vector<image::Image> out;
+  out.reserve(spec.count);
+  for (int i = 0; i < spec.count; ++i) out.push_back(load_image(spec, i, seed));
+  return out;
+}
+
+}  // namespace easz::data

@@ -1,0 +1,43 @@
+// Named synthetic datasets standing in for Kodak, CLIC and CIFAR-10.
+//
+// Each dataset is a deterministic function of (index, seed), so tests,
+// benches and examples always see identical images. Default resolutions can
+// be scaled down uniformly (scale parameter) to bound CPU runtimes; benches
+// print the scale they used.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace easz::data {
+
+struct DatasetSpec {
+  std::string name;
+  int width = 0;
+  int height = 0;
+  int count = 0;
+};
+
+/// 24 "Kodak-like" 768x512 RGB photos (scale 1.0). The real Kodak set mixes
+/// landscape/portrait orientation; we alternate to match.
+DatasetSpec kodak_like_spec(float scale = 1.0F);
+
+/// 32 "CLIC-like" higher-resolution photos.
+DatasetSpec clic_like_spec(float scale = 1.0F);
+
+/// CIFAR-like 32x32 crops used for pretraining.
+DatasetSpec cifar_like_spec();
+
+/// Deterministically generates image `index` of the given dataset.
+/// Mixes photo / cartoon / texture content with photo dominating, the way
+/// the real corpora do.
+image::Image load_image(const DatasetSpec& spec, int index,
+                        std::uint64_t seed = 2025);
+
+/// Convenience: all images of a dataset.
+std::vector<image::Image> load_all(const DatasetSpec& spec,
+                                   std::uint64_t seed = 2025);
+
+}  // namespace easz::data

@@ -1,0 +1,182 @@
+#include "data/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "image/color.hpp"
+
+namespace easz::data {
+namespace {
+
+float smoothstep(float t) { return t * t * (3.0F - 2.0F * t); }
+
+// One octave of value noise: bilinear interpolation of a coarse random grid
+// with smoothstep easing.
+void add_octave(image::Image& img, int period, float amplitude,
+                util::Pcg32& rng) {
+  const int gw = img.width() / period + 2;
+  const int gh = img.height() / period + 2;
+  std::vector<float> grid(static_cast<std::size_t>(gw) * gh);
+  for (auto& v : grid) v = rng.next_float();
+
+  for (int y = 0; y < img.height(); ++y) {
+    const float fy = static_cast<float>(y) / static_cast<float>(period);
+    const int iy = static_cast<int>(fy);
+    const float ty = smoothstep(fy - static_cast<float>(iy));
+    for (int x = 0; x < img.width(); ++x) {
+      const float fx = static_cast<float>(x) / static_cast<float>(period);
+      const int ix = static_cast<int>(fx);
+      const float tx = smoothstep(fx - static_cast<float>(ix));
+      const float v00 = grid[static_cast<std::size_t>(iy) * gw + ix];
+      const float v01 = grid[static_cast<std::size_t>(iy) * gw + ix + 1];
+      const float v10 = grid[static_cast<std::size_t>(iy + 1) * gw + ix];
+      const float v11 = grid[static_cast<std::size_t>(iy + 1) * gw + ix + 1];
+      const float v = (1 - ty) * ((1 - tx) * v00 + tx * v01) +
+                      ty * ((1 - tx) * v10 + tx * v11);
+      img.at(0, y, x) += amplitude * (v - 0.5F);
+    }
+  }
+}
+
+}  // namespace
+
+image::Image value_noise(int width, int height, int base_period, int octaves,
+                         util::Pcg32& rng) {
+  image::Image img(width, height, 1);
+  std::fill(img.data().begin(), img.data().end(), 0.5F);
+  float amplitude = 0.5F;
+  int period = base_period;
+  for (int o = 0; o < octaves && period >= 1; ++o) {
+    add_octave(img, period, amplitude, rng);
+    amplitude *= 0.55F;
+    period = std::max(1, period / 2);
+  }
+  img.clamp01();
+  return img;
+}
+
+image::Image synth_photo(int width, int height, util::Pcg32& rng) {
+  // Luminance: broad structure + mid detail.
+  image::Image luma = value_noise(width, height, std::max(width, height) / 4,
+                                  6, rng);
+
+  // Global illumination gradient with a random direction.
+  const float angle = rng.next_float() * 6.2831853F;
+  const float gx = std::cos(angle);
+  const float gy = std::sin(angle);
+  const float strength = 0.15F + 0.2F * rng.next_float();
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const float u = (static_cast<float>(x) / width - 0.5F) * gx +
+                      (static_cast<float>(y) / height - 0.5F) * gy;
+      luma.at(0, y, x) += strength * u;
+    }
+  }
+
+  // Soft-edged elliptical "objects": shift luminance inside each region.
+  const int objects = 3 + rng.next_int(0, 3);
+  for (int o = 0; o < objects; ++o) {
+    const float cx = rng.next_float() * static_cast<float>(width);
+    const float cy = rng.next_float() * static_cast<float>(height);
+    const float rx = (0.08F + 0.2F * rng.next_float()) * static_cast<float>(width);
+    const float ry = (0.08F + 0.2F * rng.next_float()) * static_cast<float>(height);
+    const float delta = (rng.next_float() - 0.5F) * 0.5F;
+    const float edge = 0.08F;  // soft-edge width relative to radius
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        const float dx = (static_cast<float>(x) - cx) / rx;
+        const float dy = (static_cast<float>(y) - cy) / ry;
+        const float d = std::sqrt(dx * dx + dy * dy);
+        if (d < 1.0F + edge) {
+          const float t = std::clamp((1.0F + edge - d) / edge, 0.0F, 1.0F);
+          luma.at(0, y, x) += delta * smoothstep(t);
+        }
+      }
+    }
+  }
+
+  // Fine texture field.
+  util::Pcg32 tex_rng = rng.split();
+  image::Image texture = value_noise(width, height, 3, 2, tex_rng);
+  for (std::size_t i = 0; i < luma.data().size(); ++i) {
+    luma.data()[i] += 0.06F * (texture.data()[i] - 0.5F);
+  }
+  luma.clamp01();
+
+  // Chroma: slow-varying low-saturation fields.
+  util::Pcg32 chroma_rng = rng.split();
+  image::Image cb = value_noise(width, height, std::max(width, height) / 3, 3,
+                                chroma_rng);
+  image::Image cr = value_noise(width, height, std::max(width, height) / 3, 3,
+                                chroma_rng);
+
+  image::Image ycbcr(width, height, 3);
+  for (std::size_t i = 0; i < luma.data().size(); ++i) {
+    ycbcr.plane(0)[i] = luma.data()[i];
+    ycbcr.plane(1)[i] = 0.5F + 0.25F * (cb.data()[i] - 0.5F);
+    ycbcr.plane(2)[i] = 0.5F + 0.25F * (cr.data()[i] - 0.5F);
+  }
+  return image::ycbcr_to_rgb(ycbcr);
+}
+
+image::Image synth_cartoon(int width, int height, util::Pcg32& rng) {
+  image::Image img(width, height, 3);
+  // Background.
+  float bg[3] = {rng.next_float(), rng.next_float(), rng.next_float()};
+  for (int c = 0; c < 3; ++c) {
+    std::fill_n(img.plane(c), img.pixel_count(), 0.3F + 0.4F * bg[c]);
+  }
+  // Hard-edged rectangles and ellipses.
+  const int shapes = 6 + rng.next_int(0, 6);
+  for (int s = 0; s < shapes; ++s) {
+    const bool ellipse = rng.next_float() < 0.5F;
+    const int cx = rng.next_int(0, width - 1);
+    const int cy = rng.next_int(0, height - 1);
+    const int rx = std::max(4, rng.next_int(width / 16, width / 4));
+    const int ry = std::max(4, rng.next_int(height / 16, height / 4));
+    const float col[3] = {rng.next_float(), rng.next_float(), rng.next_float()};
+    for (int y = std::max(0, cy - ry); y < std::min(height, cy + ry); ++y) {
+      for (int x = std::max(0, cx - rx); x < std::min(width, cx + rx); ++x) {
+        bool inside = true;
+        if (ellipse) {
+          const float dx = static_cast<float>(x - cx) / static_cast<float>(rx);
+          const float dy = static_cast<float>(y - cy) / static_cast<float>(ry);
+          inside = dx * dx + dy * dy <= 1.0F;
+        }
+        if (inside) {
+          for (int c = 0; c < 3; ++c) img.at(c, y, x) = col[c];
+        }
+      }
+    }
+  }
+  return img;
+}
+
+image::Image synth_texture(int width, int height, util::Pcg32& rng) {
+  // Oriented sinusoidal weave modulated by noise — fabric-like. The weave
+  // frequency is high enough that 4x decimation aliases it, like real
+  // fabric/grass detail that super-resolution cannot recover.
+  image::Image noise = value_noise(width, height, 8, 4, rng);
+  const float theta = rng.next_float() * 3.14159265F;
+  const float freq = 0.9F + 0.8F * rng.next_float();
+  image::Image img(width, height, 3);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const float u = std::cos(theta) * static_cast<float>(x) +
+                      std::sin(theta) * static_cast<float>(y);
+      const float v = -std::sin(theta) * static_cast<float>(x) +
+                      std::cos(theta) * static_cast<float>(y);
+      const float weave =
+          0.5F + 0.2F * std::sin(freq * u) * std::sin(freq * v);
+      const float value =
+          std::clamp(0.6F * weave + 0.4F * noise.at(0, y, x), 0.0F, 1.0F);
+      img.at(0, y, x) = value;
+      img.at(1, y, x) = std::clamp(value * 0.9F + 0.05F, 0.0F, 1.0F);
+      img.at(2, y, x) = std::clamp(value * 0.8F + 0.08F, 0.0F, 1.0F);
+    }
+  }
+  return img;
+}
+
+}  // namespace easz::data

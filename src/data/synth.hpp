@@ -1,0 +1,33 @@
+// Procedural natural-image synthesis.
+//
+// Substitute for the Kodak / CLIC / CIFAR-10 corpora (see DESIGN.md §2):
+// multi-octave value noise gives the 1/f amplitude spectrum of natural
+// images, composited with geometric structures (gradient skies, edges,
+// textured regions) so that block codecs, the NSS quality metrics and the
+// Easz reconstructor all see realistic local statistics.
+#pragma once
+
+#include "image/image.hpp"
+#include "util/prng.hpp"
+
+namespace easz::data {
+
+/// Smooth value noise in [0,1] with `octaves` octaves starting at
+/// `base_period` pixels, persistence 0.55.
+image::Image value_noise(int width, int height, int base_period, int octaves,
+                         util::Pcg32& rng);
+
+/// Full synthetic "photograph": layered value-noise luminance, a global
+/// illumination gradient, several soft-edged regions (object boundaries) and
+/// a fine texture field; expanded to RGB with low-saturation chroma noise.
+image::Image synth_photo(int width, int height, util::Pcg32& rng);
+
+/// Piecewise-constant "cartoon" image with sharp edges — a stress case for
+/// ringing/blocking artifacts.
+image::Image synth_cartoon(int width, int height, util::Pcg32& rng);
+
+/// Fine-grained texture (fabric/grass-like) — a stress case for erase-based
+/// reconstruction.
+image::Image synth_texture(int width, int height, util::Pcg32& rng);
+
+}  // namespace easz::data

@@ -1,0 +1,184 @@
+#include "entropy/arithmetic.hpp"
+
+#include <stdexcept>
+
+namespace easz::entropy {
+namespace {
+
+constexpr std::uint32_t kTopValue = 1U << 24U;
+constexpr std::uint16_t kProbMin = 32;
+constexpr std::uint16_t kProbMax = 0xFFFFU - 32;
+
+// Exp-Golomb prefix length of value+1 (number of unary "continue" bins).
+int prefix_length(std::uint32_t value) {
+  int len = 0;
+  std::uint64_t v = static_cast<std::uint64_t>(value) + 1;
+  while ((v >> (len + 1)) != 0) ++len;
+  return len;
+}
+
+}  // namespace
+
+void BinContext::update(bool bit) {
+  if (bit) {
+    prob_ = static_cast<std::uint16_t>(prob_ + ((0xFFFFU - prob_) >> kShift));
+  } else {
+    prob_ = static_cast<std::uint16_t>(prob_ - (prob_ >> kShift));
+  }
+  if (prob_ < kProbMin) prob_ = kProbMin;
+  if (prob_ > kProbMax) prob_ = kProbMax;
+}
+
+void ArithmeticEncoder::emit_byte() {
+  // LZMA-style shift-low: a pending run of 0xFF bytes absorbs carries.
+  if (static_cast<std::uint32_t>(low_) < 0xFF000000U || (low_ >> 32U) != 0) {
+    const std::uint8_t carry = static_cast<std::uint8_t>(low_ >> 32U);
+    bytes_.push_back(
+        static_cast<std::uint8_t>((cache_ < 0 ? 0 : cache_) + carry));
+    while (pending_ff_ > 0) {
+      bytes_.push_back(static_cast<std::uint8_t>(0xFFU + carry));
+      --pending_ff_;
+    }
+    cache_ = static_cast<std::int32_t>((low_ >> 24U) & 0xFFU);
+  } else {
+    ++pending_ff_;
+  }
+  low_ = (low_ << 8U) & 0xFFFFFFFFULL;
+}
+
+void ArithmeticEncoder::renormalize() {
+  while (range_ < kTopValue) {
+    range_ <<= 8U;
+    emit_byte();
+  }
+}
+
+void ArithmeticEncoder::encode_bit(BinContext& ctx, bool bit) {
+  // bound = share of the range assigned to bit == 0.
+  const std::uint32_t p0 = 0x10000U - ctx.prob_one();
+  const std::uint32_t bound = (range_ >> 16U) * p0;
+  if (!bit) {
+    range_ = bound;
+  } else {
+    low_ += bound;
+    range_ -= bound;
+  }
+  ctx.update(bit);
+  renormalize();
+}
+
+void ArithmeticEncoder::encode_bypass(bool bit) {
+  const std::uint32_t bound = range_ >> 1U;
+  if (!bit) {
+    range_ = bound;
+  } else {
+    low_ += bound;
+    range_ -= bound;
+  }
+  renormalize();
+}
+
+void ArithmeticEncoder::encode_bypass_bits(std::uint32_t value, int bits) {
+  for (int i = bits - 1; i >= 0; --i) {
+    encode_bypass(((value >> i) & 1U) != 0U);
+  }
+}
+
+std::vector<std::uint8_t> ArithmeticEncoder::finish() {
+  for (int i = 0; i < 5; ++i) emit_byte();
+  return std::move(bytes_);
+}
+
+ArithmeticDecoder::ArithmeticDecoder(const std::uint8_t* data, std::size_t size)
+    : data_(data), size_(size) {
+  // Mirrors the encoder's 5-byte flush; the first byte is the initial cache.
+  for (int i = 0; i < 5; ++i) {
+    value_ = (value_ << 8U) | (pos_ < size_ ? data_[pos_++] : 0U);
+  }
+  value_ &= 0xFFFFFFFFULL;
+}
+
+void ArithmeticDecoder::renormalize() {
+  while (range_ < kTopValue) {
+    range_ <<= 8U;
+    value_ = ((value_ << 8U) | (pos_ < size_ ? data_[pos_++] : 0U)) &
+             0xFFFFFFFFULL;
+  }
+}
+
+bool ArithmeticDecoder::decode_bit(BinContext& ctx) {
+  const std::uint32_t p0 = 0x10000U - ctx.prob_one();
+  const std::uint32_t bound = (range_ >> 16U) * p0;
+  bool bit;
+  if (value_ < bound) {
+    bit = false;
+    range_ = bound;
+  } else {
+    bit = true;
+    value_ -= bound;
+    range_ -= bound;
+  }
+  ctx.update(bit);
+  renormalize();
+  return bit;
+}
+
+bool ArithmeticDecoder::decode_bypass() {
+  const std::uint32_t bound = range_ >> 1U;
+  bool bit;
+  if (value_ < bound) {
+    bit = false;
+    range_ = bound;
+  } else {
+    bit = true;
+    value_ -= bound;
+    range_ -= bound;
+  }
+  renormalize();
+  return bit;
+}
+
+std::uint32_t ArithmeticDecoder::decode_bypass_bits(int bits) {
+  std::uint32_t out = 0;
+  for (int i = 0; i < bits; ++i) {
+    out = (out << 1U) | (decode_bypass() ? 1U : 0U);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> arithmetic_encode_values(
+    const std::vector<std::uint32_t>& values) {
+  // Exp-Golomb binarisation with adaptive unary-prefix contexts: prefix bin
+  // i says "the prefix continues past length i"; suffix bits go bypass.
+  constexpr int kMaxPrefix = 31;
+  std::vector<BinContext> contexts(kMaxPrefix + 1);
+  ArithmeticEncoder enc;
+  for (const std::uint32_t v : values) {
+    const int len = prefix_length(v);
+    for (int i = 0; i < len; ++i) enc.encode_bit(contexts[i], true);
+    enc.encode_bit(contexts[len], false);
+    const std::uint32_t suffix =
+        static_cast<std::uint32_t>((static_cast<std::uint64_t>(v) + 1) -
+                                   (1ULL << len));
+    enc.encode_bypass_bits(suffix, len);
+  }
+  return enc.finish();
+}
+
+std::vector<std::uint32_t> arithmetic_decode_values(
+    const std::vector<std::uint8_t>& bytes, std::size_t count) {
+  constexpr int kMaxPrefix = 31;
+  std::vector<BinContext> contexts(kMaxPrefix + 1);
+  ArithmeticDecoder dec(bytes);
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    int len = 0;
+    while (len < kMaxPrefix && dec.decode_bit(contexts[len])) ++len;
+    const std::uint32_t suffix = dec.decode_bypass_bits(len);
+    out.push_back(static_cast<std::uint32_t>((1ULL << len) + suffix - 1));
+  }
+  return out;
+}
+
+}  // namespace easz::entropy

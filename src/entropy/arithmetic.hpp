@@ -1,0 +1,90 @@
+// Adaptive binary arithmetic coding (CABAC-style core).
+//
+// Complements the static-table rANS coder: probabilities adapt per-context
+// as symbols stream through, so no table transmission is needed and skewed,
+// locally varying sources (significance flags, sign bits) code near their
+// conditional entropy. This is the entropy engine HEVC/BPG actually use;
+// exposed here both as a library facility and as an alternative backend for
+// experiments on the BPG-style codec.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace easz::entropy {
+
+/// One adaptive binary context: probability state for a single bin kind.
+/// Counts-based estimator with exponential forgetting (window ~2^kShift).
+class BinContext {
+ public:
+  /// Probability of the bit being 1, in [kMin, kMax] 16-bit fixed point.
+  [[nodiscard]] std::uint16_t prob_one() const { return prob_; }
+
+  /// Updates the estimate after coding `bit`.
+  void update(bool bit);
+
+ private:
+  static constexpr int kShift = 5;  // adaptation rate
+  std::uint16_t prob_ = 1U << 15U;  // start at p(1) = 0.5
+};
+
+/// Range encoder over adaptive contexts. Usage:
+///   ArithmeticEncoder enc;
+///   enc.encode_bit(ctx, bit); ...
+///   std::vector<std::uint8_t> out = enc.finish();
+class ArithmeticEncoder {
+ public:
+  void encode_bit(BinContext& ctx, bool bit);
+
+  /// Bypass bin: fixed p = 0.5, no context (signs, escapes).
+  void encode_bypass(bool bit);
+
+  /// Unsigned value as `bits` bypass bins, MSB first.
+  void encode_bypass_bits(std::uint32_t value, int bits);
+
+  /// Flushes the final range state and returns the bitstream.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+ private:
+  void renormalize();
+  void emit_byte();
+
+  std::uint64_t low_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFU;
+  std::vector<std::uint8_t> bytes_;
+  // Carry handling: count of 0xFF bytes pending resolution.
+  int pending_ff_ = 0;
+  std::int32_t cache_ = -1;
+};
+
+/// Matching decoder. Contexts must be created and consulted in the same
+/// order as on the encode side.
+class ArithmeticDecoder {
+ public:
+  ArithmeticDecoder(const std::uint8_t* data, std::size_t size);
+  explicit ArithmeticDecoder(const std::vector<std::uint8_t>& buf)
+      : ArithmeticDecoder(buf.data(), buf.size()) {}
+
+  bool decode_bit(BinContext& ctx);
+  bool decode_bypass();
+  std::uint32_t decode_bypass_bits(int bits);
+
+ private:
+  void renormalize();
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::uint64_t value_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFU;
+};
+
+/// Convenience: adaptive coding of a bounded non-negative integer sequence
+/// with per-magnitude-bin contexts (unary-exp-Golomb binarisation). Used by
+/// tests and available to codec experiments.
+std::vector<std::uint8_t> arithmetic_encode_values(
+    const std::vector<std::uint32_t>& values);
+std::vector<std::uint32_t> arithmetic_decode_values(
+    const std::vector<std::uint8_t>& bytes, std::size_t count);
+
+}  // namespace easz::entropy

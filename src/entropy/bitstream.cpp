@@ -1,0 +1,85 @@
+#include "entropy/bitstream.hpp"
+
+#include <stdexcept>
+
+namespace easz::entropy {
+
+void BitWriter::write_bits(std::uint32_t bits, int count) {
+  if (count < 0 || count > 32) {
+    throw std::invalid_argument("BitWriter: count must be in [0, 32]");
+  }
+  for (int i = count - 1; i >= 0; --i) {
+    const std::uint8_t bit = static_cast<std::uint8_t>((bits >> i) & 1U);
+    current_ = static_cast<std::uint8_t>((current_ << 1) | bit);
+    ++filled_;
+    ++bit_count_;
+    if (filled_ == 8) {
+      bytes_.push_back(current_);
+      current_ = 0;
+      filled_ = 0;
+    }
+  }
+}
+
+void BitWriter::write_ue(std::uint32_t value) {
+  // Exp-Golomb: codeNum+1 in binary, prefixed by (len-1) zeros.
+  const std::uint64_t code = static_cast<std::uint64_t>(value) + 1U;
+  int len = 0;
+  while ((code >> len) > 1U) ++len;
+  write_bits(0, len);
+  write_bits(static_cast<std::uint32_t>(code), len + 1);
+}
+
+void BitWriter::write_se(std::int32_t value) {
+  const std::uint32_t mapped =
+      value > 0 ? static_cast<std::uint32_t>(value) * 2U - 1U
+                : static_cast<std::uint32_t>(-static_cast<std::int64_t>(value)) * 2U;
+  write_ue(mapped);
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (filled_ > 0) {
+    current_ = static_cast<std::uint8_t>(current_ << (8 - filled_));
+    bytes_.push_back(current_);
+    current_ = 0;
+    filled_ = 0;
+  }
+  return std::move(bytes_);
+}
+
+std::uint32_t BitReader::read_bits(int count) {
+  if (count < 0 || count > 32) {
+    throw std::invalid_argument("BitReader: count must be in [0, 32]");
+  }
+  std::uint32_t out = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::size_t byte_idx = bit_pos_ >> 3U;
+    if (byte_idx >= size_) throw std::out_of_range("BitReader: past end");
+    const int shift = 7 - static_cast<int>(bit_pos_ & 7U);
+    const std::uint32_t bit = (data_[byte_idx] >> shift) & 1U;
+    out = (out << 1U) | bit;
+    ++bit_pos_;
+  }
+  return out;
+}
+
+std::uint32_t BitReader::read_ue() {
+  int zeros = 0;
+  while (!read_bit()) {
+    ++zeros;
+    if (zeros > 32) throw std::out_of_range("BitReader: bad ue code");
+  }
+  std::uint32_t value = 1;
+  for (int i = 0; i < zeros; ++i) value = (value << 1U) | (read_bit() ? 1U : 0U);
+  return value - 1U;
+}
+
+std::int32_t BitReader::read_se() {
+  const std::uint32_t mapped = read_ue();
+  if ((mapped & 1U) != 0U) {
+    return static_cast<std::int32_t>((mapped + 1U) / 2U);
+  }
+  return -static_cast<std::int32_t>(mapped / 2U);
+}
+
+}  // namespace easz::entropy

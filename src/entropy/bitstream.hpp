@@ -1,0 +1,59 @@
+// MSB-first bit stream reader/writer shared by Huffman coding and codec
+// headers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace easz::entropy {
+
+/// Append-only MSB-first bit writer backed by a byte vector.
+class BitWriter {
+ public:
+  /// Writes the low `count` bits of `bits` (MSB of that field first).
+  /// count in [0, 32].
+  void write_bits(std::uint32_t bits, int count);
+
+  void write_bit(bool bit) { write_bits(bit ? 1U : 0U, 1); }
+
+  /// Unsigned Exp-Golomb code (order 0) — compact for small magnitudes.
+  void write_ue(std::uint32_t value);
+
+  /// Signed Exp-Golomb: 0, 1, -1, 2, -2, ... mapping.
+  void write_se(std::int32_t value);
+
+  /// Pads the final partial byte with zeros and returns the buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+  [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint8_t current_ = 0;
+  int filled_ = 0;
+  std::size_t bit_count_ = 0;
+};
+
+/// MSB-first reader over a byte span. Reading past the end throws
+/// std::out_of_range (corrupt-stream defence).
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit BitReader(const std::vector<std::uint8_t>& buf)
+      : BitReader(buf.data(), buf.size()) {}
+
+  std::uint32_t read_bits(int count);
+  bool read_bit() { return read_bits(1) != 0U; }
+  std::uint32_t read_ue();
+  std::int32_t read_se();
+
+  [[nodiscard]] std::size_t bits_consumed() const { return bit_pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t bit_pos_ = 0;
+};
+
+}  // namespace easz::entropy

@@ -1,0 +1,201 @@
+#include "entropy/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace easz::entropy {
+namespace {
+
+struct Node {
+  std::uint64_t weight;
+  int index;  // < 0 for internal nodes
+  int left = -1;
+  int right = -1;
+};
+
+// Computes unrestricted Huffman code lengths via a pairing heap over indices.
+std::vector<std::uint8_t> huffman_lengths(
+    const std::vector<std::uint64_t>& freq) {
+  const int n = static_cast<int>(freq.size());
+  std::vector<Node> nodes;
+  using HeapItem = std::pair<std::uint64_t, int>;  // (weight, node id)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+
+  for (int s = 0; s < n; ++s) {
+    if (freq[s] > 0) {
+      nodes.push_back({freq[s], s});
+      heap.emplace(freq[s], static_cast<int>(nodes.size()) - 1);
+    }
+  }
+  if (heap.empty()) {
+    throw std::invalid_argument("huffman: all frequencies are zero");
+  }
+  if (heap.size() == 1) {
+    std::vector<std::uint8_t> lengths(n, 0);
+    lengths[nodes[0].index] = 1;
+    return lengths;
+  }
+  while (heap.size() > 1) {
+    const auto [wa, a] = heap.top();
+    heap.pop();
+    const auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, -1, a, b});
+    heap.emplace(wa + wb, static_cast<int>(nodes.size()) - 1);
+  }
+
+  std::vector<std::uint8_t> lengths(n, 0);
+  // Iterative depth-first traversal assigning depths to leaves.
+  std::vector<std::pair<int, int>> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[id];
+    if (node.index >= 0) {
+      lengths[node.index] = static_cast<std::uint8_t>(std::max(depth, 1));
+    } else {
+      stack.emplace_back(node.left, depth + 1);
+      stack.emplace_back(node.right, depth + 1);
+    }
+  }
+  return lengths;
+}
+
+// Standard heuristic: repeatedly shorten the deepest over-long leaf by
+// deepening the shallowest one until the Kraft sum fits kMaxCodeLength.
+void limit_lengths(std::vector<std::uint8_t>& lengths, int max_len) {
+  std::vector<int> count(max_len + 1, 0);
+  for (auto& len : lengths) {
+    if (len == 0) continue;
+    if (len > max_len) len = static_cast<std::uint8_t>(max_len);
+    ++count[len];
+  }
+  // Kraft sum in units of 2^-max_len.
+  std::int64_t kraft = 0;
+  for (int l = 1; l <= max_len; ++l) {
+    kraft += static_cast<std::int64_t>(count[l]) << (max_len - l);
+  }
+  const std::int64_t budget = 1LL << max_len;
+  while (kraft > budget) {
+    // Find a leaf at the deepest level and move it up; compensate by moving
+    // a shallower leaf down one level.
+    for (int l = max_len - 1; l >= 1; --l) {
+      if (count[l] > 0) {
+        --count[l];
+        ++count[l + 1];
+        kraft -= (1LL << (max_len - l)) - (1LL << (max_len - l - 1));
+        break;
+      }
+    }
+  }
+  // Re-distribute lengths deterministically: sort symbols by (old length,
+  // symbol index) and assign new level counts in order.
+  std::vector<int> symbols;
+  for (int s = 0; s < static_cast<int>(lengths.size()); ++s) {
+    if (lengths[s] > 0) symbols.push_back(s);
+  }
+  std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return a < b;
+  });
+  std::size_t i = 0;
+  for (int l = 1; l <= max_len; ++l) {
+    for (int k = 0; k < count[l]; ++k) {
+      lengths[symbols[i++]] = static_cast<std::uint8_t>(l);
+    }
+  }
+}
+
+}  // namespace
+
+HuffmanCode HuffmanCode::from_frequencies(
+    const std::vector<std::uint64_t>& freq) {
+  HuffmanCode code;
+  code.lengths_ = huffman_lengths(freq);
+  limit_lengths(code.lengths_, kMaxCodeLength);
+  code.build_canonical();
+  return code;
+}
+
+HuffmanCode HuffmanCode::from_lengths(const std::vector<std::uint8_t>& lengths) {
+  HuffmanCode code;
+  code.lengths_ = lengths;
+  code.build_canonical();
+  return code;
+}
+
+void HuffmanCode::build_canonical() {
+  const int n = static_cast<int>(lengths_.size());
+  codes_.assign(n, 0);
+  sorted_symbols_.clear();
+
+  std::vector<int> count(kMaxCodeLength + 1, 0);
+  for (int s = 0; s < n; ++s) {
+    if (lengths_[s] > kMaxCodeLength) {
+      throw std::invalid_argument("huffman: length exceeds limit");
+    }
+    if (lengths_[s] > 0) ++count[lengths_[s]];
+  }
+
+  first_code_.assign(kMaxCodeLength + 2, 0);
+  first_symbol_index_.assign(kMaxCodeLength + 2, 0);
+  std::uint32_t code = 0;
+  int index = 0;
+  for (int l = 1; l <= kMaxCodeLength; ++l) {
+    first_code_[l] = code;
+    first_symbol_index_[l] = index;
+    code += static_cast<std::uint32_t>(count[l]);
+    index += count[l];
+    code <<= 1U;
+  }
+
+  std::vector<int> next_index(kMaxCodeLength + 1);
+  for (int l = 1; l <= kMaxCodeLength; ++l) {
+    next_index[l] = first_symbol_index_[l];
+  }
+  sorted_symbols_.assign(index, -1);
+  for (int s = 0; s < n; ++s) {
+    const int l = lengths_[s];
+    if (l == 0) continue;
+    const int pos = next_index[l]++;
+    sorted_symbols_[pos] = s;
+    codes_[s] =
+        first_code_[l] + static_cast<std::uint32_t>(pos - first_symbol_index_[l]);
+  }
+}
+
+void HuffmanCode::encode_symbol(BitWriter& bw, int symbol) const {
+  const int len = lengths_[symbol];
+  if (len == 0) throw std::invalid_argument("huffman: symbol has no code");
+  bw.write_bits(codes_[symbol], len);
+}
+
+int HuffmanCode::decode_symbol(BitReader& br) const {
+  std::uint32_t code = 0;
+  for (int l = 1; l <= kMaxCodeLength; ++l) {
+    code = (code << 1U) | (br.read_bit() ? 1U : 0U);
+    const std::int64_t offset =
+        static_cast<std::int64_t>(code) - first_code_[l];
+    const std::int64_t count =
+        (l < kMaxCodeLength ? first_symbol_index_[l + 1]
+                            : static_cast<std::int32_t>(sorted_symbols_.size())) -
+        first_symbol_index_[l];
+    if (offset >= 0 && offset < count) {
+      return sorted_symbols_[first_symbol_index_[l] + offset];
+    }
+  }
+  throw std::out_of_range("huffman: invalid code in stream");
+}
+
+void HuffmanCode::write_lengths(BitWriter& bw) const {
+  for (const std::uint8_t len : lengths_) bw.write_bits(len, 5);
+}
+
+HuffmanCode HuffmanCode::read_lengths(BitReader& br, int alphabet_size) {
+  std::vector<std::uint8_t> lengths(alphabet_size);
+  for (auto& len : lengths) len = static_cast<std::uint8_t>(br.read_bits(5));
+  return from_lengths(lengths);
+}
+
+}  // namespace easz::entropy

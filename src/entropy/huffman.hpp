@@ -1,0 +1,52 @@
+// Canonical Huffman coding over small symbol alphabets.
+//
+// Used by the JPEG-style codec for (run, size) symbols. Code lengths are
+// limited to kMaxCodeLength via the standard length-limiting adjustment, and
+// only the length table is serialised (canonical reconstruction on decode).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "entropy/bitstream.hpp"
+
+namespace easz::entropy {
+
+class HuffmanCode {
+ public:
+  static constexpr int kMaxCodeLength = 16;
+
+  /// Builds a length-limited canonical code from symbol frequencies.
+  /// Symbols with zero frequency get no code. At least one symbol must have
+  /// non-zero frequency.
+  static HuffmanCode from_frequencies(const std::vector<std::uint64_t>& freq);
+
+  /// Reconstructs a code from per-symbol lengths (0 = absent).
+  static HuffmanCode from_lengths(const std::vector<std::uint8_t>& lengths);
+
+  void encode_symbol(BitWriter& bw, int symbol) const;
+  int decode_symbol(BitReader& br) const;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& lengths() const {
+    return lengths_;
+  }
+  [[nodiscard]] int alphabet_size() const {
+    return static_cast<int>(lengths_.size());
+  }
+
+  /// Serialises the length table (alphabet size assumed known by caller).
+  void write_lengths(BitWriter& bw) const;
+  static HuffmanCode read_lengths(BitReader& br, int alphabet_size);
+
+ private:
+  void build_canonical();
+
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint32_t> codes_;
+  // Decode acceleration: first code value / symbol index per length.
+  std::vector<std::uint32_t> first_code_;
+  std::vector<std::int32_t> first_symbol_index_;
+  std::vector<std::int32_t> sorted_symbols_;
+};
+
+}  // namespace easz::entropy

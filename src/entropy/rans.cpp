@@ -1,0 +1,236 @@
+#include "entropy/rans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace easz::entropy {
+namespace {
+
+constexpr std::uint32_t kRansLowerBound = 1U << 23U;  // renormalisation bound
+
+}  // namespace
+
+FrequencyTable FrequencyTable::from_counts(
+    const std::vector<std::uint64_t>& counts, bool laplace_floor) {
+  const int n = static_cast<int>(counts.size());
+  if (n <= 0 || n > 65536) {
+    throw std::invalid_argument("FrequencyTable: bad alphabet size");
+  }
+  std::vector<std::uint64_t> adjusted(counts);
+  if (laplace_floor) {
+    for (auto& c : adjusted) c += 1;
+  }
+  std::uint64_t total = 0;
+  for (const auto c : adjusted) total += c;
+  if (total == 0) {
+    throw std::invalid_argument("FrequencyTable: no symbols observed");
+  }
+
+  FrequencyTable table;
+  table.freq_.assign(n, 0);
+  // Largest-remainder scaling with a floor of 1 for every observed symbol.
+  std::uint64_t assigned = 0;
+  std::vector<std::pair<double, int>> remainders;
+  remainders.reserve(n);
+  for (int s = 0; s < n; ++s) {
+    if (adjusted[s] == 0) continue;
+    const double exact = static_cast<double>(adjusted[s]) *
+                         static_cast<double>(kProbScale) /
+                         static_cast<double>(total);
+    auto q = static_cast<std::uint32_t>(exact);
+    if (q == 0) q = 1;
+    table.freq_[s] = q;
+    assigned += q;
+    remainders.emplace_back(exact - static_cast<double>(q), s);
+  }
+  // Distribute the leftover (positive or negative) mass.
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::int64_t leftover =
+      static_cast<std::int64_t>(kProbScale) - static_cast<std::int64_t>(assigned);
+  std::size_t idx = 0;
+  while (leftover > 0) {
+    table.freq_[remainders[idx % remainders.size()].second] += 1;
+    --leftover;
+    ++idx;
+  }
+  idx = 0;
+  while (leftover < 0) {
+    // Shrink the most-frequent symbols, never below 1.
+    auto max_it = std::max_element(table.freq_.begin(), table.freq_.end());
+    if (*max_it <= 1) {
+      throw std::runtime_error("FrequencyTable: cannot normalise");
+    }
+    *max_it -= 1;
+    ++leftover;
+  }
+
+  table.cum_.assign(n + 1, 0);
+  for (int s = 0; s < n; ++s) table.cum_[s + 1] = table.cum_[s] + table.freq_[s];
+  table.build_lookup();
+  return table;
+}
+
+void FrequencyTable::build_lookup() {
+  slot_to_symbol_.assign(kProbScale, 0);
+  for (int s = 0; s < alphabet_size(); ++s) {
+    for (std::uint32_t k = cum_[s]; k < cum_[s + 1]; ++k) {
+      slot_to_symbol_[k] = static_cast<std::uint16_t>(s);
+    }
+  }
+}
+
+int FrequencyTable::symbol_from_slot(std::uint32_t slot) const {
+  return slot_to_symbol_[slot];
+}
+
+std::vector<std::uint8_t> FrequencyTable::serialize() const {
+  // Sparse layout: 16-bit alphabet size, presence bitmap, then 16-bit
+  // (freq - 1) for present symbols only. kProbBits <= 14 so freq-1 fits,
+  // except a degenerate one-symbol table (freq == kProbScale) which still
+  // fits in 16 bits as kProbScale - 1.
+  std::vector<std::uint8_t> out;
+  const auto push16 = [&out](std::uint32_t v) {
+    out.push_back(static_cast<std::uint8_t>(v & 0xFFU));
+    out.push_back(static_cast<std::uint8_t>((v >> 8U) & 0xFFU));
+  };
+  push16(static_cast<std::uint32_t>(alphabet_size()));
+  for (int s = 0; s < alphabet_size(); s += 8) {
+    std::uint8_t byte = 0;
+    for (int b = 0; b < 8 && s + b < alphabet_size(); ++b) {
+      if (freq_[s + b] > 0) byte |= static_cast<std::uint8_t>(1U << b);
+    }
+    out.push_back(byte);
+  }
+  for (int s = 0; s < alphabet_size(); ++s) {
+    if (freq_[s] > 0) push16(freq_[s] - 1U);
+  }
+  return out;
+}
+
+FrequencyTable FrequencyTable::deserialize(const std::uint8_t* data,
+                                           std::size_t size,
+                                           std::size_t* consumed) {
+  std::size_t pos = 0;
+  const auto read16 = [&]() -> std::uint32_t {
+    if (pos + 2 > size) throw std::out_of_range("FrequencyTable: truncated");
+    const std::uint32_t v = data[pos] | (static_cast<std::uint32_t>(data[pos + 1]) << 8U);
+    pos += 2;
+    return v;
+  };
+  const int n = static_cast<int>(read16());
+  if (n <= 0 || n > 65536) {
+    throw std::runtime_error("FrequencyTable: bad serialized alphabet");
+  }
+  std::vector<bool> present(n, false);
+  for (int s = 0; s < n; s += 8) {
+    if (pos >= size) throw std::out_of_range("FrequencyTable: truncated bitmap");
+    const std::uint8_t byte = data[pos++];
+    for (int b = 0; b < 8 && s + b < n; ++b) {
+      present[s + b] = ((byte >> b) & 1U) != 0U;
+    }
+  }
+  FrequencyTable table;
+  table.freq_.assign(n, 0);
+  for (int s = 0; s < n; ++s) {
+    if (present[s]) table.freq_[s] = read16() + 1U;
+  }
+  table.cum_.assign(n + 1, 0);
+  for (int s = 0; s < n; ++s) table.cum_[s + 1] = table.cum_[s] + table.freq_[s];
+  if (table.cum_[n] != kProbScale) {
+    throw std::runtime_error("FrequencyTable: corrupt table sum");
+  }
+  table.build_lookup();
+  if (consumed != nullptr) *consumed = pos;
+  return table;
+}
+
+double FrequencyTable::entropy_bits() const {
+  double h = 0.0;
+  for (const auto f : freq_) {
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / kProbScale;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> rans_encode(const std::vector<int>& symbols,
+                                      const FrequencyTable& table) {
+  std::vector<std::uint8_t> out;
+  std::uint32_t state = kRansLowerBound;
+  // Encode in reverse so the decoder emits in forward order.
+  for (auto it = symbols.rbegin(); it != symbols.rend(); ++it) {
+    const int s = *it;
+    const std::uint32_t f = table.freq(s);
+    if (f == 0) throw std::invalid_argument("rans_encode: zero-freq symbol");
+    // Renormalise: stream out low bytes until state fits the encode step.
+    const std::uint32_t x_max =
+        ((kRansLowerBound >> FrequencyTable::kProbBits) << 8U) * f;
+    while (state >= x_max) {
+      out.push_back(static_cast<std::uint8_t>(state & 0xFFU));
+      state >>= 8U;
+    }
+    state = ((state / f) << FrequencyTable::kProbBits) + (state % f) +
+            table.cum_freq(s);
+  }
+  // Flush final 4-byte state.
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(state & 0xFFU));
+    state >>= 8U;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> rans_decode(const std::uint8_t* data, std::size_t size,
+                             std::size_t count, const FrequencyTable& table) {
+  if (size < 4) throw std::out_of_range("rans_decode: buffer too small");
+  std::size_t pos = 0;
+  std::uint32_t state = 0;
+  for (int i = 0; i < 4; ++i) {
+    state = (state << 8U) | data[pos++];
+  }
+
+  std::vector<int> symbols(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t slot = state & (FrequencyTable::kProbScale - 1U);
+    const int s = table.symbol_from_slot(slot);
+    symbols[i] = s;
+    state = table.freq(s) * (state >> FrequencyTable::kProbBits) + slot -
+            table.cum_freq(s);
+    while (state < kRansLowerBound) {
+      if (pos >= size) throw std::out_of_range("rans_decode: truncated stream");
+      state = (state << 8U) | data[pos++];
+    }
+  }
+  return symbols;
+}
+
+std::vector<std::uint8_t> rans_encode_with_table(const std::vector<int>& symbols,
+                                                 int alphabet_size) {
+  std::vector<std::uint64_t> counts(alphabet_size, 0);
+  for (const int s : symbols) {
+    if (s < 0 || s >= alphabet_size) {
+      throw std::invalid_argument("rans_encode_with_table: symbol out of range");
+    }
+    ++counts[s];
+  }
+  // No Laplace floor: every symbol the decoder will request was observed
+  // here, and flooring a wide alphabet wastes table mass and table bytes.
+  const FrequencyTable table = FrequencyTable::from_counts(counts, false);
+  std::vector<std::uint8_t> out = table.serialize();
+  const std::vector<std::uint8_t> payload = rans_encode(symbols, table);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<int> rans_decode_with_table(const std::uint8_t* data,
+                                        std::size_t size, std::size_t count) {
+  std::size_t consumed = 0;
+  const FrequencyTable table = FrequencyTable::deserialize(data, size, &consumed);
+  return rans_decode(data + consumed, size - consumed, count, table);
+}
+
+}  // namespace easz::entropy

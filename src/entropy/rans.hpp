@@ -1,0 +1,70 @@
+// Byte-wise range asymmetric numeral system (rANS) coder with static
+// per-buffer frequency tables.
+//
+// This is the entropy-coding workhorse for the BPG-style codec and the
+// neural codecs' latent bottleneck: callers build a FrequencyTable over the
+// symbols they are about to emit (two-pass), serialise the table, then code.
+// Symbols are encoded in reverse and decoded forward, the usual rANS trick.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace easz::entropy {
+
+/// Normalised cumulative frequency table over `alphabet_size` symbols.
+/// Total probability mass is 2^kProbBits. Every symbol that will be encoded
+/// must have non-zero frequency; normalisation guarantees a floor of 1 for
+/// observed symbols.
+class FrequencyTable {
+ public:
+  static constexpr int kProbBits = 14;
+  static constexpr std::uint32_t kProbScale = 1U << kProbBits;
+
+  /// Builds from raw counts. Symbols with zero count receive zero mass unless
+  /// `laplace_floor` is set, which gives every symbol at least one slot
+  /// (needed when the decoder may see unseen symbols, e.g. latent coding).
+  static FrequencyTable from_counts(const std::vector<std::uint64_t>& counts,
+                                    bool laplace_floor = false);
+
+  [[nodiscard]] std::uint32_t freq(int symbol) const { return freq_[symbol]; }
+  [[nodiscard]] std::uint32_t cum_freq(int symbol) const { return cum_[symbol]; }
+  [[nodiscard]] int alphabet_size() const {
+    return static_cast<int>(freq_.size());
+  }
+
+  /// Maps a slot value in [0, kProbScale) back to its symbol.
+  [[nodiscard]] int symbol_from_slot(std::uint32_t slot) const;
+
+  /// Compact serialisation of the frequency table.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static FrequencyTable deserialize(const std::uint8_t* data, std::size_t size,
+                                    std::size_t* consumed);
+
+  /// Shannon entropy of the normalised distribution in bits/symbol.
+  [[nodiscard]] double entropy_bits() const;
+
+ private:
+  void build_lookup();
+
+  std::vector<std::uint32_t> freq_;
+  std::vector<std::uint32_t> cum_;  // cum_[s] = sum of freq_[0..s-1]; size n+1
+  std::vector<std::uint16_t> slot_to_symbol_;
+};
+
+/// Encodes a symbol sequence with a single static table.
+std::vector<std::uint8_t> rans_encode(const std::vector<int>& symbols,
+                                      const FrequencyTable& table);
+
+/// Decodes `count` symbols.
+std::vector<int> rans_decode(const std::uint8_t* data, std::size_t size,
+                             std::size_t count, const FrequencyTable& table);
+
+/// Convenience: builds a table (with Laplace floor), serialises
+/// table + payload into one buffer. Decode side reads the table back.
+std::vector<std::uint8_t> rans_encode_with_table(const std::vector<int>& symbols,
+                                                 int alphabet_size);
+std::vector<int> rans_decode_with_table(const std::uint8_t* data,
+                                        std::size_t size, std::size_t count);
+
+}  // namespace easz::entropy

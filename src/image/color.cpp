@@ -1,0 +1,83 @@
+#include "image/color.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace easz::image {
+
+Image rgb_to_ycbcr(const Image& rgb) {
+  if (rgb.channels() == 1) return rgb;
+  Image out(rgb.width(), rgb.height(), 3);
+  const float* r = rgb.plane(0);
+  const float* g = rgb.plane(1);
+  const float* b = rgb.plane(2);
+  float* y = out.plane(0);
+  float* cb = out.plane(1);
+  float* cr = out.plane(2);
+  for (std::size_t i = 0; i < rgb.pixel_count(); ++i) {
+    y[i] = 0.299F * r[i] + 0.587F * g[i] + 0.114F * b[i];
+    cb[i] = 0.5F - 0.168736F * r[i] - 0.331264F * g[i] + 0.5F * b[i];
+    cr[i] = 0.5F + 0.5F * r[i] - 0.418688F * g[i] - 0.081312F * b[i];
+  }
+  return out;
+}
+
+Image ycbcr_to_rgb(const Image& ycbcr) {
+  if (ycbcr.channels() == 1) return ycbcr;
+  Image out(ycbcr.width(), ycbcr.height(), 3);
+  const float* y = ycbcr.plane(0);
+  const float* cb = ycbcr.plane(1);
+  const float* cr = ycbcr.plane(2);
+  float* r = out.plane(0);
+  float* g = out.plane(1);
+  float* b = out.plane(2);
+  for (std::size_t i = 0; i < ycbcr.pixel_count(); ++i) {
+    const float yv = y[i];
+    const float cbv = cb[i] - 0.5F;
+    const float crv = cr[i] - 0.5F;
+    r[i] = std::clamp(yv + 1.402F * crv, 0.0F, 1.0F);
+    g[i] = std::clamp(yv - 0.344136F * cbv - 0.714136F * crv, 0.0F, 1.0F);
+    b[i] = std::clamp(yv + 1.772F * cbv, 0.0F, 1.0F);
+  }
+  return out;
+}
+
+Image downsample2x(const Image& plane) {
+  const int w = (plane.width() + 1) / 2;
+  const int h = (plane.height() + 1) / 2;
+  Image out(w, h, 1);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float sum = plane.at_clamped(0, 2 * y, 2 * x) +
+                        plane.at_clamped(0, 2 * y, 2 * x + 1) +
+                        plane.at_clamped(0, 2 * y + 1, 2 * x) +
+                        plane.at_clamped(0, 2 * y + 1, 2 * x + 1);
+      out.at(0, y, x) = sum * 0.25F;
+    }
+  }
+  return out;
+}
+
+Image upsample2x(const Image& plane, int target_w, int target_h) {
+  Image out(target_w, target_h, 1);
+  for (int y = 0; y < target_h; ++y) {
+    // Sample positions align 2x2 blocks with their box-filtered source texel.
+    const float sy = (static_cast<float>(y) - 0.5F) / 2.0F;
+    const int y0 = static_cast<int>(std::floor(sy));
+    const float fy = sy - static_cast<float>(y0);
+    for (int x = 0; x < target_w; ++x) {
+      const float sx = (static_cast<float>(x) - 0.5F) / 2.0F;
+      const int x0 = static_cast<int>(std::floor(sx));
+      const float fx = sx - static_cast<float>(x0);
+      const float v00 = plane.at_clamped(0, y0, x0);
+      const float v01 = plane.at_clamped(0, y0, x0 + 1);
+      const float v10 = plane.at_clamped(0, y0 + 1, x0);
+      const float v11 = plane.at_clamped(0, y0 + 1, x0 + 1);
+      out.at(0, y, x) = (1 - fy) * ((1 - fx) * v00 + fx * v01) +
+                        fy * ((1 - fx) * v10 + fx * v11);
+    }
+  }
+  return out;
+}
+
+}  // namespace easz::image

@@ -1,0 +1,23 @@
+// BT.601 full-range RGB <-> YCbCr conversion.
+//
+// Both classical codecs (JPEG-like, BPG-like) operate in YCbCr with optional
+// 4:2:0 chroma subsampling, matching their real-world counterparts.
+#pragma once
+
+#include "image/image.hpp"
+
+namespace easz::image {
+
+/// RGB -> YCbCr (full range, BT.601). Pass-through for grayscale.
+Image rgb_to_ycbcr(const Image& rgb);
+
+/// YCbCr -> RGB inverse of rgb_to_ycbcr. Output clamped to [0, 1].
+Image ycbcr_to_rgb(const Image& ycbcr);
+
+/// 2x2 box-filter downsample of one plane (used for 4:2:0 chroma).
+Image downsample2x(const Image& plane);
+
+/// Bilinear 2x upsample back to (w, h) (chroma reconstruction).
+Image upsample2x(const Image& plane, int target_w, int target_h);
+
+}  // namespace easz::image

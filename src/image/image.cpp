@@ -1,0 +1,119 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace easz::image {
+
+Image::Image(int width, int height, int channels)
+    : width_(width), height_(height), channels_(channels) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Image: dimensions must be positive");
+  }
+  if (channels != 1 && channels != 3) {
+    throw std::invalid_argument("Image: channels must be 1 or 3");
+  }
+  data_.assign(sample_count(), 0.0F);
+}
+
+float Image::at_clamped(int c, int y, int x) const {
+  const int cy = std::clamp(y, 0, height_ - 1);
+  const int cx = std::clamp(x, 0, width_ - 1);
+  return at(c, cy, cx);
+}
+
+void Image::clamp01() {
+  for (float& v : data_) v = std::clamp(v, 0.0F, 1.0F);
+}
+
+void Image::quantize8() {
+  for (float& v : data_) {
+    const float clamped = std::clamp(v, 0.0F, 1.0F);
+    v = std::round(clamped * 255.0F) / 255.0F;
+  }
+}
+
+Image Image::channel(int c) const {
+  if (c < 0 || c >= channels_) {
+    throw std::invalid_argument("Image::channel: index out of range");
+  }
+  Image out(width_, height_, 1);
+  std::copy_n(plane(c), pixel_count(), out.plane(0));
+  return out;
+}
+
+Image Image::to_gray() const {
+  if (channels_ == 1) return *this;
+  Image out(width_, height_, 1);
+  const float* r = plane(0);
+  const float* g = plane(1);
+  const float* b = plane(2);
+  float* y = out.plane(0);
+  for (std::size_t i = 0; i < pixel_count(); ++i) {
+    y[i] = 0.299F * r[i] + 0.587F * g[i] + 0.114F * b[i];
+  }
+  return out;
+}
+
+Image Image::crop(int x0, int y0, int w, int h) const {
+  if (x0 < 0 || y0 < 0 || w <= 0 || h <= 0 || x0 + w > width_ ||
+      y0 + h > height_) {
+    throw std::invalid_argument("Image::crop: rectangle out of bounds");
+  }
+  Image out(w, h, channels_);
+  for (int c = 0; c < channels_; ++c) {
+    for (int y = 0; y < h; ++y) {
+      const float* src = plane(c) + static_cast<std::size_t>(y0 + y) * width_;
+      std::copy_n(src + x0, w, out.plane(c) + static_cast<std::size_t>(y) * w);
+    }
+  }
+  return out;
+}
+
+Image Image::pad_to(int new_w, int new_h) const {
+  if (new_w < width_ || new_h < height_) {
+    throw std::invalid_argument("Image::pad_to: target smaller than source");
+  }
+  if (new_w == width_ && new_h == height_) return *this;
+  Image out(new_w, new_h, channels_);
+  for (int c = 0; c < channels_; ++c) {
+    for (int y = 0; y < new_h; ++y) {
+      for (int x = 0; x < new_w; ++x) {
+        out.at(c, y, x) = at_clamped(c, y, x);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Image::to_bytes() const {
+  std::vector<std::uint8_t> out(sample_count());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const float clamped = std::clamp(data_[i], 0.0F, 1.0F);
+    out[i] = static_cast<std::uint8_t>(std::lround(clamped * 255.0F));
+  }
+  return out;
+}
+
+Image Image::from_bytes(const std::uint8_t* bytes, int width, int height,
+                        int channels) {
+  Image out(width, height, channels);
+  for (std::size_t i = 0; i < out.sample_count(); ++i) {
+    out.data()[i] = static_cast<float>(bytes[i]) / 255.0F;
+  }
+  return out;
+}
+
+bool Image::approx_equal(const Image& other, float tol) const {
+  if (width_ != other.width_ || height_ != other.height_ ||
+      channels_ != other.channels_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace easz::image

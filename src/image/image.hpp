@@ -1,0 +1,95 @@
+// Planar floating-point image container.
+//
+// All pixel processing in the project happens on `Image`: planar (CHW) float
+// samples nominally in [0, 1]. Codec boundaries quantise to 8 bits; the
+// helpers here perform that conversion explicitly so rounding behaviour is in
+// one place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace easz::image {
+
+/// Planar CHW float image. Channels: 1 (grayscale) or 3 (RGB / YCbCr).
+class Image {
+ public:
+  Image() = default;
+
+  /// Allocates a zero-filled image. Throws std::invalid_argument on
+  /// non-positive dimensions or unsupported channel counts.
+  Image(int width, int height, int channels);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] int channels() const { return channels_; }
+  [[nodiscard]] std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+  [[nodiscard]] std::size_t sample_count() const {
+    return pixel_count() * static_cast<std::size_t>(channels_);
+  }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Sample accessors; (x, y) unchecked in release builds for speed.
+  float& at(int c, int y, int x) {
+    return data_[plane_offset(c) + static_cast<std::size_t>(y) * width_ + x];
+  }
+  [[nodiscard]] float at(int c, int y, int x) const {
+    return data_[plane_offset(c) + static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Clamped accessor: coordinates outside the image are clamped to the
+  /// border (replicate padding). Used by filters and intra predictors.
+  [[nodiscard]] float at_clamped(int c, int y, int x) const;
+
+  [[nodiscard]] float* plane(int c) { return data_.data() + plane_offset(c); }
+  [[nodiscard]] const float* plane(int c) const {
+    return data_.data() + plane_offset(c);
+  }
+
+  [[nodiscard]] std::vector<float>& data() { return data_; }
+  [[nodiscard]] const std::vector<float>& data() const { return data_; }
+
+  /// Clamps every sample to [0, 1].
+  void clamp01();
+
+  /// Rounds every sample to the nearest 1/255 step (8-bit quantisation),
+  /// clamping first. Codecs apply this at their input boundary.
+  void quantize8();
+
+  /// Extracts one channel as a grayscale image.
+  [[nodiscard]] Image channel(int c) const;
+
+  /// Converts to grayscale using BT.601 luma weights (no-op pass-through for
+  /// single-channel images).
+  [[nodiscard]] Image to_gray() const;
+
+  /// Crop. The rectangle must lie inside the image.
+  [[nodiscard]] Image crop(int x0, int y0, int w, int h) const;
+
+  /// Pads to (new_w, new_h) >= current size with edge replication. Used to
+  /// make dimensions divisible by patch sizes.
+  [[nodiscard]] Image pad_to(int new_w, int new_h) const;
+
+  /// 8-bit round-trips used at codec boundaries.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+  static Image from_bytes(const std::uint8_t* bytes, int width, int height,
+                          int channels);
+
+  /// Element-wise equality within `tol`.
+  [[nodiscard]] bool approx_equal(const Image& other, float tol = 1e-6F) const;
+
+ private:
+  [[nodiscard]] std::size_t plane_offset(int c) const {
+    return static_cast<std::size_t>(c) * pixel_count();
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace easz::image

@@ -1,0 +1,97 @@
+#include "image/io_ppm.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace easz::image {
+namespace {
+
+void skip_whitespace_and_comments(std::istream& in) {
+  for (;;) {
+    const int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (std::isspace(c) != 0) {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+int read_header_int(std::istream& in) {
+  skip_whitespace_and_comments(in);
+  int value = 0;
+  if (!(in >> value)) throw std::runtime_error("pnm: malformed header int");
+  return value;
+}
+
+}  // namespace
+
+void write_pnm(const Image& img, const std::string& path) {
+  if (img.empty()) throw std::runtime_error("write_pnm: empty image");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pnm: cannot open " + path);
+
+  const bool color = img.channels() == 3;
+  out << (color ? "P6" : "P5") << "\n"
+      << img.width() << " " << img.height() << "\n255\n";
+
+  // Interleave planar samples into the PNM's pixel-major order.
+  const std::vector<std::uint8_t> planar = img.to_bytes();
+  std::vector<std::uint8_t> interleaved(planar.size());
+  const std::size_t n = img.pixel_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int c = 0; c < img.channels(); ++c) {
+      interleaved[i * img.channels() + c] = planar[c * n + i];
+    }
+  }
+  out.write(reinterpret_cast<const char*>(interleaved.data()),
+            static_cast<std::streamsize>(interleaved.size()));
+  if (!out) throw std::runtime_error("write_pnm: write failed for " + path);
+}
+
+Image read_pnm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pnm: cannot open " + path);
+
+  std::string magic;
+  in >> magic;
+  int channels = 0;
+  if (magic == "P5") {
+    channels = 1;
+  } else if (magic == "P6") {
+    channels = 3;
+  } else {
+    throw std::runtime_error("read_pnm: unsupported magic " + magic);
+  }
+
+  const int width = read_header_int(in);
+  const int height = read_header_int(in);
+  const int maxval = read_header_int(in);
+  if (maxval != 255) throw std::runtime_error("read_pnm: maxval must be 255");
+  in.get();  // single whitespace byte after header
+
+  const std::size_t n =
+      static_cast<std::size_t>(width) * height * static_cast<std::size_t>(channels);
+  std::vector<std::uint8_t> interleaved(n);
+  in.read(reinterpret_cast<char*>(interleaved.data()),
+          static_cast<std::streamsize>(n));
+  if (in.gcount() != static_cast<std::streamsize>(n)) {
+    throw std::runtime_error("read_pnm: truncated pixel data");
+  }
+
+  Image img(width, height, channels);
+  const std::size_t pixels = img.pixel_count();
+  for (std::size_t i = 0; i < pixels; ++i) {
+    for (int c = 0; c < channels; ++c) {
+      img.data()[static_cast<std::size_t>(c) * pixels + i] =
+          static_cast<float>(interleaved[i * channels + c]) / 255.0F;
+    }
+  }
+  return img;
+}
+
+}  // namespace easz::image

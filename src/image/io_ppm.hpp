@@ -1,0 +1,21 @@
+// Binary PPM (P6) / PGM (P5) reader and writer.
+//
+// PPM/PGM are the only on-disk image formats the project needs: examples dump
+// inputs/outputs for visual inspection and tests round-trip through them.
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace easz::image {
+
+/// Writes `img` as binary PGM (1 channel) or PPM (3 channels).
+/// Throws std::runtime_error on I/O failure.
+void write_pnm(const Image& img, const std::string& path);
+
+/// Reads a binary P5/P6 file written by write_pnm (maxval 255).
+/// Throws std::runtime_error on parse or I/O failure.
+Image read_pnm(const std::string& path);
+
+}  // namespace easz::image

@@ -1,0 +1,75 @@
+#include "image/patches.hpp"
+
+#include <stdexcept>
+
+namespace easz::image {
+
+Image extract_block(const Image& src, int bx, int by, int size) {
+  Image block(size, size, src.channels());
+  const int x0 = bx * size;
+  const int y0 = by * size;
+  for (int c = 0; c < src.channels(); ++c) {
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        block.at(c, y, x) = src.at_clamped(c, y0 + y, x0 + x);
+      }
+    }
+  }
+  return block;
+}
+
+void insert_block(Image& dst, const Image& block, int bx, int by, int size) {
+  if (block.channels() != dst.channels()) {
+    throw std::invalid_argument("insert_block: channel mismatch");
+  }
+  const int x0 = bx * size;
+  const int y0 = by * size;
+  for (int c = 0; c < dst.channels(); ++c) {
+    for (int y = 0; y < size; ++y) {
+      const int dy = y0 + y;
+      if (dy >= dst.height()) break;
+      for (int x = 0; x < size; ++x) {
+        const int dx = x0 + x;
+        if (dx >= dst.width()) break;
+        dst.at(c, dy, dx) = block.at(c, y, x);
+      }
+    }
+  }
+}
+
+BlockGrid block_grid(int width, int height, int size) {
+  BlockGrid g;
+  g.cols = (width + size - 1) / size;
+  g.rows = (height + size - 1) / size;
+  return g;
+}
+
+std::vector<Image> split_into_blocks(const Image& src, int size) {
+  const BlockGrid g = block_grid(src.width(), src.height(), size);
+  std::vector<Image> blocks;
+  blocks.reserve(static_cast<std::size_t>(g.cols) * g.rows);
+  for (int by = 0; by < g.rows; ++by) {
+    for (int bx = 0; bx < g.cols; ++bx) {
+      blocks.push_back(extract_block(src, bx, by, size));
+    }
+  }
+  return blocks;
+}
+
+Image assemble_from_blocks(const std::vector<Image>& blocks, int width,
+                           int height, int channels, int size) {
+  const BlockGrid g = block_grid(width, height, size);
+  if (blocks.size() != static_cast<std::size_t>(g.cols) * g.rows) {
+    throw std::invalid_argument("assemble_from_blocks: block count mismatch");
+  }
+  Image out(width, height, channels);
+  std::size_t i = 0;
+  for (int by = 0; by < g.rows; ++by) {
+    for (int bx = 0; bx < g.cols; ++bx) {
+      insert_block(out, blocks[i++], bx, by, size);
+    }
+  }
+  return out;
+}
+
+}  // namespace easz::image

@@ -1,0 +1,36 @@
+// Block/patch extraction and re-assembly.
+//
+// The Easz pipeline and the DCT codecs both view images as grids of square
+// blocks; these helpers centralise the (block <-> image) bookkeeping.
+#pragma once
+
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace easz::image {
+
+/// Extracts the `size`x`size` block whose top-left corner is
+/// (bx*size, by*size). Out-of-range samples are border-replicated, so callers
+/// may tile images whose dimensions are not multiples of `size`.
+Image extract_block(const Image& src, int bx, int by, int size);
+
+/// Writes `block` (size x size, channels matching) into `dst` at block
+/// coordinates (bx, by); samples falling outside `dst` are dropped.
+void insert_block(Image& dst, const Image& block, int bx, int by, int size);
+
+/// Number of blocks along each axis when tiling (w, h) with `size` blocks.
+struct BlockGrid {
+  int cols = 0;
+  int rows = 0;
+};
+BlockGrid block_grid(int width, int height, int size);
+
+/// Splits `src` into row-major blocks of `size` (border-replicated at edges).
+std::vector<Image> split_into_blocks(const Image& src, int size);
+
+/// Inverse of split_into_blocks for the given full-image dimensions.
+Image assemble_from_blocks(const std::vector<Image>& blocks, int width,
+                           int height, int channels, int size);
+
+}  // namespace easz::image

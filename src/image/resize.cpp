@@ -1,0 +1,70 @@
+#include "image/resize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace easz::image {
+namespace {
+
+// Catmull-Rom cubic kernel (a = -0.5), the common "bicubic" default.
+float cubic_weight(float t) {
+  const float at = std::fabs(t);
+  if (at <= 1.0F) return 1.5F * at * at * at - 2.5F * at * at + 1.0F;
+  if (at < 2.0F) {
+    return -0.5F * at * at * at + 2.5F * at * at - 4.0F * at + 2.0F;
+  }
+  return 0.0F;
+}
+
+}  // namespace
+
+Image resize(const Image& src, int new_w, int new_h, Filter filter) {
+  if (new_w <= 0 || new_h <= 0) {
+    throw std::invalid_argument("resize: target dimensions must be positive");
+  }
+  Image out(new_w, new_h, src.channels());
+  const float sx = static_cast<float>(src.width()) / static_cast<float>(new_w);
+  const float sy =
+      static_cast<float>(src.height()) / static_cast<float>(new_h);
+
+  for (int c = 0; c < src.channels(); ++c) {
+    for (int y = 0; y < new_h; ++y) {
+      const float fy = (static_cast<float>(y) + 0.5F) * sy - 0.5F;
+      const int iy = static_cast<int>(std::floor(fy));
+      const float ty = fy - static_cast<float>(iy);
+      for (int x = 0; x < new_w; ++x) {
+        const float fx = (static_cast<float>(x) + 0.5F) * sx - 0.5F;
+        const int ix = static_cast<int>(std::floor(fx));
+        const float tx = fx - static_cast<float>(ix);
+
+        float value = 0.0F;
+        if (filter == Filter::kBilinear) {
+          const float v00 = src.at_clamped(c, iy, ix);
+          const float v01 = src.at_clamped(c, iy, ix + 1);
+          const float v10 = src.at_clamped(c, iy + 1, ix);
+          const float v11 = src.at_clamped(c, iy + 1, ix + 1);
+          value = (1 - ty) * ((1 - tx) * v00 + tx * v01) +
+                  ty * ((1 - tx) * v10 + tx * v11);
+        } else {
+          for (int m = -1; m <= 2; ++m) {
+            const float wy = cubic_weight(static_cast<float>(m) - ty);
+            if (wy == 0.0F) continue;
+            float row_acc = 0.0F;
+            for (int n = -1; n <= 2; ++n) {
+              const float wx = cubic_weight(static_cast<float>(n) - tx);
+              if (wx == 0.0F) continue;
+              row_acc += wx * src.at_clamped(c, iy + m, ix + n);
+            }
+            value += wy * row_acc;
+          }
+          value = std::clamp(value, 0.0F, 1.0F);
+        }
+        out.at(c, y, x) = value;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace easz::image

@@ -1,0 +1,19 @@
+// Image resampling: bilinear and Catmull-Rom bicubic.
+//
+// Used by (a) the super-resolution baseline pipelines (downsample on the
+// edge, upsample on the server) and (b) chroma handling in codecs.
+#pragma once
+
+#include "image/image.hpp"
+
+namespace easz::image {
+
+enum class Filter { kBilinear, kBicubic };
+
+/// Resizes `src` to (new_w, new_h) with the chosen filter. Coordinates use
+/// pixel-center alignment. Output clamped to [0, 1] for bicubic (which can
+/// overshoot).
+Image resize(const Image& src, int new_w, int new_h,
+             Filter filter = Filter::kBicubic);
+
+}  // namespace easz::image

@@ -1,0 +1,165 @@
+#include "metrics/distortion.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "image/resize.hpp"
+
+namespace easz::metrics {
+namespace {
+
+void check_match(const image::Image& a, const image::Image& b) {
+  if (a.width() != b.width() || a.height() != b.height() ||
+      a.channels() != b.channels()) {
+    throw std::invalid_argument("metrics: image shape mismatch");
+  }
+}
+
+// 11-tap Gaussian (sigma = 1.5), normalised.
+const std::vector<float>& gaussian11() {
+  static const std::vector<float> kKernel = [] {
+    std::vector<float> k(11);
+    float sum = 0.0F;
+    for (int i = 0; i < 11; ++i) {
+      const float x = static_cast<float>(i - 5);
+      k[i] = std::exp(-x * x / (2.0F * 1.5F * 1.5F));
+      sum += k[i];
+    }
+    for (auto& v : k) v /= sum;
+    return k;
+  }();
+  return kKernel;
+}
+
+image::Image blur11(const image::Image& img) {
+  const auto& k = gaussian11();
+  image::Image tmp(img.width(), img.height(), 1);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      float acc = 0.0F;
+      for (int i = -5; i <= 5; ++i) {
+        acc += k[i + 5] * img.at_clamped(0, y, x + i);
+      }
+      tmp.at(0, y, x) = acc;
+    }
+  }
+  image::Image out(img.width(), img.height(), 1);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      float acc = 0.0F;
+      for (int i = -5; i <= 5; ++i) {
+        acc += k[i + 5] * tmp.at_clamped(0, y + i, x);
+      }
+      out.at(0, y, x) = acc;
+    }
+  }
+  return out;
+}
+
+struct SsimParts {
+  double mean_ssim = 0.0;      // luminance * contrast * structure
+  double mean_cs = 0.0;        // contrast * structure only (for MS-SSIM)
+};
+
+SsimParts ssim_parts(const image::Image& ga, const image::Image& gb) {
+  constexpr double kC1 = 0.01 * 0.01;
+  constexpr double kC2 = 0.03 * 0.03;
+
+  const image::Image mu_a = blur11(ga);
+  const image::Image mu_b = blur11(gb);
+
+  image::Image a2(ga.width(), ga.height(), 1);
+  image::Image b2(ga.width(), ga.height(), 1);
+  image::Image ab(ga.width(), ga.height(), 1);
+  for (std::size_t i = 0; i < ga.data().size(); ++i) {
+    a2.data()[i] = ga.data()[i] * ga.data()[i];
+    b2.data()[i] = gb.data()[i] * gb.data()[i];
+    ab.data()[i] = ga.data()[i] * gb.data()[i];
+  }
+  const image::Image s_a2 = blur11(a2);
+  const image::Image s_b2 = blur11(b2);
+  const image::Image s_ab = blur11(ab);
+
+  SsimParts parts;
+  const std::size_t n = ga.data().size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ma = mu_a.data()[i];
+    const double mb = mu_b.data()[i];
+    const double va = std::max(0.0, static_cast<double>(s_a2.data()[i]) - ma * ma);
+    const double vb = std::max(0.0, static_cast<double>(s_b2.data()[i]) - mb * mb);
+    const double cov = s_ab.data()[i] - ma * mb;
+    const double lum = (2.0 * ma * mb + kC1) / (ma * ma + mb * mb + kC1);
+    const double cs = (2.0 * cov + kC2) / (va + vb + kC2);
+    parts.mean_ssim += lum * cs;
+    parts.mean_cs += cs;
+  }
+  parts.mean_ssim /= static_cast<double>(n);
+  parts.mean_cs /= static_cast<double>(n);
+  return parts;
+}
+
+}  // namespace
+
+double mse(const image::Image& a, const image::Image& b) {
+  check_match(a, b);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const double d = a.data()[i] - b.data()[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.data().size());
+}
+
+double psnr(const image::Image& a, const image::Image& b) {
+  const double m = mse(a, b);
+  if (m <= 1e-12) return 99.0;
+  return std::min(99.0, 10.0 * std::log10(1.0 / m));
+}
+
+double ssim(const image::Image& a, const image::Image& b) {
+  check_match(a, b);
+  return ssim_parts(a.to_gray(), b.to_gray()).mean_ssim;
+}
+
+double ms_ssim(const image::Image& a, const image::Image& b) {
+  check_match(a, b);
+  static constexpr std::array<double, 5> kWeights = {0.0448, 0.2856, 0.3001,
+                                                     0.2363, 0.1333};
+  image::Image ga = a.to_gray();
+  image::Image gb = b.to_gray();
+
+  // Use as many scales as the resolution supports (>= 16 px after halving).
+  int scales = 5;
+  {
+    int short_side = std::min(ga.width(), ga.height());
+    int s = 1;
+    while (s < 5 && short_side / 2 >= 16) {
+      ++s;
+      short_side /= 2;
+    }
+    scales = s;
+  }
+  double weight_sum = 0.0;
+  for (int s = 0; s < scales; ++s) weight_sum += kWeights[s];
+
+  double result = 1.0;
+  for (int s = 0; s < scales; ++s) {
+    const SsimParts parts = ssim_parts(ga, gb);
+    const double w = kWeights[s] / weight_sum;
+    if (s == scales - 1) {
+      result *= std::pow(std::max(parts.mean_ssim, 1e-6), w);
+    } else {
+      result *= std::pow(std::max(parts.mean_cs, 1e-6), w);
+      ga = image::resize(ga, ga.width() / 2, ga.height() / 2,
+                         image::Filter::kBilinear);
+      gb = image::resize(gb, gb.width() / 2, gb.height() / 2,
+                         image::Filter::kBilinear);
+    }
+  }
+  return result;
+}
+
+}  // namespace easz::metrics

@@ -1,0 +1,27 @@
+// Full-reference distortion metrics: MSE, PSNR, SSIM, MS-SSIM.
+//
+// SSIM follows Wang et al. 2004 (11x11 Gaussian window, K1=0.01, K2=0.03);
+// MS-SSIM uses the standard 5-scale weights. Color images are evaluated on
+// the BT.601 luma channel, the common convention.
+#pragma once
+
+#include "image/image.hpp"
+
+namespace easz::metrics {
+
+/// Mean squared error over all samples (images must match in shape).
+double mse(const image::Image& a, const image::Image& b);
+
+/// Peak signal-to-noise ratio in dB for unit-range images.
+/// Returns +inf-ish (capped at 99 dB) for identical images.
+double psnr(const image::Image& a, const image::Image& b);
+
+/// Structural similarity on the luma plane, in [-1, 1].
+double ssim(const image::Image& a, const image::Image& b);
+
+/// Multi-scale SSIM (5 scales, Wang et al. 2003 weights). Images must be at
+/// least 176 pixels on the short side for all 5 scales; smaller inputs use
+/// fewer scales with renormalised weights.
+double ms_ssim(const image::Image& a, const image::Image& b);
+
+}  // namespace easz::metrics

@@ -1,0 +1,104 @@
+#include "metrics/noref.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/synth.hpp"
+#include "util/prng.hpp"
+
+namespace easz::metrics {
+
+NoRefCalibration NoRefCalibration::from_synthetic_corpus(int count, int width,
+                                                         int height) {
+  util::Pcg32 rng(0xCA11B7A7E5EEDULL);
+  std::vector<NssFeatures> feats;
+  feats.reserve(count);
+  double sharp_sum = 0.0;
+  for (int i = 0; i < count; ++i) {
+    const image::Image img = data::synth_photo(width, height, rng);
+    feats.push_back(nss_features(img));
+    sharp_sum += sharpness(img);
+  }
+
+  NoRefCalibration cal;
+  for (int k = 0; k < kNssFeatureCount; ++k) {
+    double mu = 0.0;
+    for (const auto& f : feats) mu += f[k];
+    mu /= count;
+    double var = 0.0;
+    for (const auto& f : feats) var += (f[k] - mu) * (f[k] - mu);
+    var /= std::max(1, count - 1);
+    cal.mean[k] = mu;
+    // Floor the deviation so near-constant features cannot dominate.
+    cal.stddev[k] = std::max(std::sqrt(var), 0.05 * (std::fabs(mu) + 0.1));
+  }
+  cal.mean_sharpness = sharp_sum / count;
+
+  // Held-out pristine images (fresh content, mixed resolutions) set the
+  // deviation unit: a clean photo should score ~1.
+  util::Pcg32 holdout_rng(0x0DD07ULL ^ 0xBEEF);
+  double dev_sum = 0.0;
+  int dev_count = 0;
+  for (const auto [w, h] : {std::pair{width, height},
+                            std::pair{width * 3 / 4, height * 3 / 4},
+                            std::pair{width / 2, height / 2}}) {
+    for (int i = 0; i < 3; ++i) {
+      const image::Image img = data::synth_photo(std::max(64, w),
+                                                 std::max(64, h), holdout_rng);
+      const NssFeatures f = nss_features(img);
+      double acc = 0.0;
+      for (int k = 0; k < kNssFeatureCount; ++k) {
+        acc += std::fabs(f[k] - cal.mean[k]) / cal.stddev[k];
+      }
+      dev_sum += acc / kNssFeatureCount;
+      ++dev_count;
+    }
+  }
+  cal.deviation_scale = std::max(dev_sum / dev_count, 1e-6);
+  return cal;
+}
+
+const NoRefCalibration& NoRefCalibration::standard() {
+  static const NoRefCalibration kCal = from_synthetic_corpus();
+  return kCal;
+}
+
+double nss_deviation(const image::Image& img, const NoRefCalibration& cal) {
+  const NssFeatures f = nss_features(img);
+  double acc = 0.0;
+  for (int k = 0; k < kNssFeatureCount; ++k) {
+    acc += std::fabs(f[k] - cal.mean[k]) / cal.stddev[k];
+  }
+  return acc / kNssFeatureCount / cal.deviation_scale;
+}
+
+double brisque_proxy(const image::Image& img, const NoRefCalibration& cal) {
+  // Saturating map of deviation onto BRISQUE's usual 0..100 band; pristine
+  // synthetic photos land in the teens like real BRISQUE on clean photos.
+  const double d = nss_deviation(img, cal);
+  return 100.0 * (1.0 - std::exp(-d / 3.5));
+}
+
+double pi_proxy(const image::Image& img, const NoRefCalibration& cal) {
+  // Pi = 0.5 ((10 - Ma) + NIQE): one naturalness term + one quality term.
+  // Proxy: NIQE-like deviation scaled to its ~2..8 band, plus a sharpness
+  // penalty standing in for (10 - Ma).
+  const double d = nss_deviation(img, cal);
+  const double niqe_like = 2.0 + 6.0 * (1.0 - std::exp(-d / 4.0));
+  const double sharp = sharpness(img);
+  const double sharp_penalty =
+      5.0 * std::clamp(1.0 - sharp / (cal.mean_sharpness + 1e-9), 0.0, 1.0);
+  return 0.5 * (niqe_like + 2.0 + sharp_penalty);
+}
+
+double tres_proxy(const image::Image& img, const NoRefCalibration& cal) {
+  // TReS is higher-better (~90+ on clean Kodak). Blend inverse deviation
+  // with relative sharpness so blur and blocking both lower the score.
+  const double d = nss_deviation(img, cal);
+  const double base = 120.0 * std::exp(-d / 4.0);
+  const double sharp_ratio =
+      std::clamp(sharpness(img) / (cal.mean_sharpness + 1e-9), 0.0, 1.2);
+  return std::clamp(base * (0.7 + 0.3 * sharp_ratio), 0.0, 100.0);
+}
+
+}  // namespace easz::metrics

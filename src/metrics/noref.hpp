@@ -1,0 +1,50 @@
+// No-reference quality proxies for BRISQUE, Pi and TReS (see DESIGN.md §2).
+//
+// The originals need pretrained regressors (BRISQUE: SVR; TReS: transformer;
+// Pi blends NIQE with the learned Ma score). The proxies here keep the part
+// that drives the paper's comparisons — monotone response to compression
+// artifacts — by measuring NSS-feature deviation from pristine statistics
+// calibrated on an uncompressed synthetic corpus:
+//
+//   brisque_proxy : 0 (pristine) .. ~100 (destroyed), lower better
+//   pi_proxy      : ~2 .. ~10 scale like Pi, lower better
+//   tres_proxy    : ~100 (pristine) .. low, higher better
+//
+// All three are deterministic functions of the image and the calibration.
+#pragma once
+
+#include "metrics/nss.hpp"
+
+namespace easz::metrics {
+
+/// Pristine-corpus statistics: per-feature mean and standard deviation of
+/// the 36-D NSS descriptor plus mean sharpness.
+struct NoRefCalibration {
+  NssFeatures mean{};
+  NssFeatures stddev{};
+  double mean_sharpness = 0.0;
+  /// Mean raw deviation of a held-out pristine set; nss_deviation divides by
+  /// this so pristine images score ~1 regardless of corpus granularity.
+  double deviation_scale = 1.0;
+
+  /// Calibrates on `count` pristine synthetic photos (deterministic seed).
+  static NoRefCalibration from_synthetic_corpus(int count = 12,
+                                                int width = 256,
+                                                int height = 192);
+
+  /// Process-wide lazily built default calibration.
+  static const NoRefCalibration& standard();
+};
+
+/// Normalised NSS-space deviation (mean absolute z-score) — the shared core
+/// of all three proxies.
+double nss_deviation(const image::Image& img, const NoRefCalibration& cal);
+
+double brisque_proxy(const image::Image& img,
+                     const NoRefCalibration& cal = NoRefCalibration::standard());
+double pi_proxy(const image::Image& img,
+                const NoRefCalibration& cal = NoRefCalibration::standard());
+double tres_proxy(const image::Image& img,
+                  const NoRefCalibration& cal = NoRefCalibration::standard());
+
+}  // namespace easz::metrics

@@ -1,0 +1,222 @@
+#include "metrics/nss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "image/resize.hpp"
+
+namespace easz::metrics {
+namespace {
+
+// r(alpha) = Gamma(1/a)Gamma(3/a)/Gamma(2/a)^2, precomputed on a grid for the
+// inverse lookup both GGD and AGGD moment estimators need.
+struct AlphaTable {
+  std::vector<double> alpha;
+  std::vector<double> r;
+};
+
+const AlphaTable& alpha_table() {
+  static const AlphaTable kTable = [] {
+    AlphaTable t;
+    for (double a = 0.2; a <= 10.0; a += 0.001) {
+      t.alpha.push_back(a);
+      t.r.push_back(std::exp(std::lgamma(1.0 / a) + std::lgamma(3.0 / a) -
+                             2.0 * std::lgamma(2.0 / a)));
+    }
+    return t;
+  }();
+  return kTable;
+}
+
+double solve_alpha(double rho) {
+  const AlphaTable& t = alpha_table();
+  // r(alpha) is monotonically decreasing; binary search the closest entry.
+  std::size_t lo = 0;
+  std::size_t hi = t.r.size() - 1;
+  if (rho >= t.r[lo]) return t.alpha[lo];
+  if (rho <= t.r[hi]) return t.alpha[hi];
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (t.r[mid] > rho) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return t.alpha[(t.r[lo] - rho < rho - t.r[hi]) ? hi : lo];
+}
+
+const std::vector<float>& gaussian7() {
+  static const std::vector<float> kKernel = [] {
+    std::vector<float> k(7);
+    float sum = 0.0F;
+    for (int i = 0; i < 7; ++i) {
+      const float x = static_cast<float>(i - 3);
+      k[i] = std::exp(-x * x / (2.0F * (7.0F / 6.0F) * (7.0F / 6.0F)));
+      sum += k[i];
+    }
+    for (auto& v : k) v /= sum;
+    return k;
+  }();
+  return kKernel;
+}
+
+image::Image blur7(const image::Image& img) {
+  const auto& k = gaussian7();
+  image::Image tmp(img.width(), img.height(), 1);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      float acc = 0.0F;
+      for (int i = -3; i <= 3; ++i) acc += k[i + 3] * img.at_clamped(0, y, x + i);
+      tmp.at(0, y, x) = acc;
+    }
+  }
+  image::Image out(img.width(), img.height(), 1);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      float acc = 0.0F;
+      for (int i = -3; i <= 3; ++i) acc += k[i + 3] * tmp.at_clamped(0, y + i, x);
+      out.at(0, y, x) = acc;
+    }
+  }
+  return out;
+}
+
+// 18 features of one scale: GGD(MSCN) + AGGD of 4 orientation products.
+void scale_features(const image::Image& gray, double* out) {
+  const image::Image m = mscn(gray);
+  const int w = m.width();
+  const int h = m.height();
+
+  std::vector<float> coeffs(m.data());
+  const GgdFit ggd = fit_ggd(coeffs);
+  out[0] = ggd.alpha;
+  out[1] = ggd.sigma * ggd.sigma;
+
+  // Orientation products: H, V, D1 (main diag), D2 (anti diag).
+  const std::array<std::pair<int, int>, 4> kShifts = {
+      {{0, 1}, {1, 0}, {1, 1}, {1, -1}}};
+  for (int o = 0; o < 4; ++o) {
+    const auto [dy, dx] = kShifts[o];
+    std::vector<float> prod;
+    prod.reserve(static_cast<std::size_t>(w) * h);
+    for (int y = 0; y + dy < h; ++y) {
+      for (int x = std::max(0, -dx); x + dx < w && x < w; ++x) {
+        prod.push_back(m.at(0, y, x) * m.at(0, y + dy, x + dx));
+      }
+    }
+    const AggdFit fit = fit_aggd(prod);
+    out[2 + o * 4 + 0] = fit.alpha;
+    out[2 + o * 4 + 1] = fit.mean;
+    out[2 + o * 4 + 2] = fit.sigma_l * fit.sigma_l;
+    out[2 + o * 4 + 3] = fit.sigma_r * fit.sigma_r;
+  }
+}
+
+}  // namespace
+
+GgdFit fit_ggd(const std::vector<float>& samples) {
+  if (samples.empty()) throw std::invalid_argument("fit_ggd: empty input");
+  double abs_mean = 0.0;
+  double sq_mean = 0.0;
+  for (const float v : samples) {
+    abs_mean += std::fabs(v);
+    sq_mean += static_cast<double>(v) * v;
+  }
+  abs_mean /= static_cast<double>(samples.size());
+  sq_mean /= static_cast<double>(samples.size());
+  GgdFit fit;
+  if (sq_mean < 1e-12) return fit;
+  const double rho = sq_mean / (abs_mean * abs_mean + 1e-12);
+  fit.alpha = solve_alpha(rho);
+  fit.sigma = std::sqrt(sq_mean);
+  return fit;
+}
+
+AggdFit fit_aggd(const std::vector<float>& samples) {
+  if (samples.empty()) throw std::invalid_argument("fit_aggd: empty input");
+  double sq_l = 0.0;
+  double sq_r = 0.0;
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  std::size_t n_l = 0;
+  std::size_t n_r = 0;
+  for (const float v : samples) {
+    abs_sum += std::fabs(v);
+    sq_sum += static_cast<double>(v) * v;
+    if (v < 0.0F) {
+      sq_l += static_cast<double>(v) * v;
+      ++n_l;
+    } else {
+      sq_r += static_cast<double>(v) * v;
+      ++n_r;
+    }
+  }
+  AggdFit fit;
+  const double n = static_cast<double>(samples.size());
+  const double beta_l = n_l > 0 ? std::sqrt(sq_l / static_cast<double>(n_l)) : 1e-6;
+  const double beta_r = n_r > 0 ? std::sqrt(sq_r / static_cast<double>(n_r)) : 1e-6;
+  const double gamma = beta_l / (beta_r + 1e-12);
+  const double rhat = (abs_sum / n) * (abs_sum / n) / (sq_sum / n + 1e-12);
+  const double rhat_mod = rhat * (gamma * gamma * gamma + 1.0) * (gamma + 1.0) /
+                          ((gamma * gamma + 1.0) * (gamma * gamma + 1.0));
+  fit.alpha = solve_alpha(1.0 / (rhat_mod + 1e-12));
+  fit.sigma_l = beta_l;
+  fit.sigma_r = beta_r;
+  const double g1 = std::exp(std::lgamma(2.0 / fit.alpha) -
+                             std::lgamma(1.0 / fit.alpha));
+  fit.mean = (beta_r - beta_l) * g1;
+  return fit;
+}
+
+image::Image mscn(const image::Image& gray) {
+  if (gray.channels() != 1) {
+    throw std::invalid_argument("mscn: expects a single-channel image");
+  }
+  constexpr float kC = 1.0F / 255.0F;
+  const image::Image mu = blur7(gray);
+  image::Image sq(gray.width(), gray.height(), 1);
+  for (std::size_t i = 0; i < gray.data().size(); ++i) {
+    sq.data()[i] = gray.data()[i] * gray.data()[i];
+  }
+  const image::Image mu_sq = blur7(sq);
+  image::Image out(gray.width(), gray.height(), 1);
+  for (std::size_t i = 0; i < gray.data().size(); ++i) {
+    const float m = mu.data()[i];
+    const float var = std::max(0.0F, mu_sq.data()[i] - m * m);
+    out.data()[i] = (gray.data()[i] - m) / (std::sqrt(var) + kC);
+  }
+  return out;
+}
+
+NssFeatures nss_features(const image::Image& img) {
+  image::Image gray = img.to_gray();
+  if (gray.width() < 32 || gray.height() < 32) {
+    throw std::invalid_argument("nss_features: image too small (min 32)");
+  }
+  NssFeatures f{};
+  scale_features(gray, f.data());
+  const image::Image half = image::resize(
+      gray, gray.width() / 2, gray.height() / 2, image::Filter::kBilinear);
+  scale_features(half, f.data() + 18);
+  return f;
+}
+
+double sharpness(const image::Image& img) {
+  const image::Image gray = img.to_gray();
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (int y = 1; y + 1 < gray.height(); ++y) {
+    for (int x = 1; x + 1 < gray.width(); ++x) {
+      const double gx = gray.at(0, y, x + 1) - gray.at(0, y, x - 1);
+      const double gy = gray.at(0, y + 1, x) - gray.at(0, y - 1, x);
+      acc += std::sqrt(gx * gx + gy * gy);
+      ++count;
+    }
+  }
+  return count > 0 ? acc / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace easz::metrics

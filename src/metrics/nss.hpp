@@ -1,0 +1,47 @@
+// Natural scene statistics features (BRISQUE/NIQE family).
+//
+// MSCN coefficients (locally mean-subtracted, contrast-normalised samples)
+// of natural images follow a generalised Gaussian; compression artifacts
+// perturb that distribution. Per scale we extract 18 features — 2 from a GGD
+// fit of the MSCN map and 4 from AGGD fits of each of the 4 orientation
+// pairwise products — at 2 scales: a 36-D descriptor per image, exactly the
+// BRISQUE feature set. The no-reference proxies in noref.hpp score images by
+// distance from pristine statistics in this space.
+#pragma once
+
+#include <array>
+
+#include "image/image.hpp"
+
+namespace easz::metrics {
+
+/// Generalised Gaussian fit (moment matching).
+struct GgdFit {
+  double alpha = 2.0;  ///< shape (2 = Gaussian, smaller = heavier tails)
+  double sigma = 1.0;  ///< scale
+};
+GgdFit fit_ggd(const std::vector<float>& samples);
+
+/// Asymmetric GGD fit.
+struct AggdFit {
+  double alpha = 2.0;
+  double mean = 0.0;
+  double sigma_l = 1.0;
+  double sigma_r = 1.0;
+};
+AggdFit fit_aggd(const std::vector<float>& samples);
+
+/// MSCN transform of the luma plane (7x7 Gaussian local stats, C = 1/255).
+image::Image mscn(const image::Image& gray);
+
+constexpr int kNssFeatureCount = 36;
+using NssFeatures = std::array<double, kNssFeatureCount>;
+
+/// The full 2-scale, 18-per-scale feature vector.
+NssFeatures nss_features(const image::Image& img);
+
+/// Mean gradient magnitude of the luma plane — a simple sharpness cue used
+/// by the Pi/TReS proxies.
+double sharpness(const image::Image& img);
+
+}  // namespace easz::metrics

@@ -1,0 +1,271 @@
+#include "neural_codec/conv_autoencoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/synth.hpp"
+#include "neural_codec/entropy_bottleneck.hpp"
+#include "tensor/ops.hpp"
+
+namespace easz::neural_codec {
+namespace {
+
+constexpr int kKernel = 3;
+constexpr int kPad = 1;
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFU));
+  }
+}
+
+std::uint32_t read_u32(const std::vector<std::uint8_t>& data, std::size_t& pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+  }
+  return v;
+}
+
+tensor::Tensor image_to_nchw(const image::Image& img) {
+  tensor::Tensor t({1, img.channels(), img.height(), img.width()});
+  std::copy(img.data().begin(), img.data().end(), t.data().begin());
+  return t;
+}
+
+image::Image nchw_to_image(const tensor::Tensor& t) {
+  image::Image img(t.dim(3), t.dim(2), t.dim(1));
+  for (std::size_t i = 0; i < img.data().size(); ++i) {
+    img.data()[i] = std::clamp(t.data()[i], 0.0F, 1.0F);
+  }
+  return img;
+}
+
+}  // namespace
+
+ConvCodecSpec mbt_lite_spec() {
+  ConvCodecSpec s;
+  s.name = "mbt";
+  s.stages = 2;
+  s.width = 12;
+  s.latent_channels = 8;
+  s.residual_stage = false;
+  // Minnen 2018: 4 conv stages of 192ch 5x5 + hyperprior + autoregressive
+  // context model. ~ 450 kFLOPs/px encode; ~98 MB of fp32 weights (~24.6 M
+  // params with context model).
+  s.paper_encode_flops_per_px = 450e3;
+  s.paper_model_bytes = 98.0 * 1024 * 1024;
+  return s;
+}
+
+ConvCodecSpec cheng_lite_spec() {
+  ConvCodecSpec s;
+  s.name = "cheng";
+  s.stages = 3;
+  s.width = 16;
+  s.latent_channels = 10;
+  s.residual_stage = true;
+  // Cheng 2020 anchor: residual blocks + attention + GMM entropy model;
+  // heavier encode (~700 kFLOPs/px) and ~120 MB fp32.
+  s.paper_encode_flops_per_px = 700e3;
+  s.paper_model_bytes = 120.0 * 1024 * 1024;
+  return s;
+}
+
+ConvAutoencoderCodec::ConvAutoencoderCodec(ConvCodecSpec spec, int quality,
+                                           std::uint64_t seed)
+    : spec_(std::move(spec)), quality_(std::clamp(quality, 1, 100)) {
+  util::Pcg32 rng(seed);
+  const auto make_stage = [&](int cin, int cout, bool transposed) {
+    Stage st;
+    const float stddev =
+        1.0F / std::sqrt(static_cast<float>(cin) * kKernel * kKernel);
+    if (transposed) {
+      st.w = register_param(tensor::Tensor::randn({cin, cout, kKernel + 1, kKernel + 1},
+                                                  rng, stddev, true));
+    } else {
+      st.w = register_param(tensor::Tensor::randn({cout, cin, kKernel, kKernel},
+                                                  rng, stddev, true));
+    }
+    st.b = register_param(tensor::Tensor({cout}, true));
+    if (spec_.residual_stage) {
+      st.res_w = register_param(tensor::Tensor::randn(
+          {cout, cout, kKernel, kKernel}, rng, stddev, true));
+      st.res_b = register_param(tensor::Tensor({cout}, true));
+    }
+    return st;
+  };
+
+  int cin = 3;
+  for (int s = 0; s < spec_.stages; ++s) {
+    const int cout =
+        s == spec_.stages - 1 ? spec_.latent_channels : spec_.width;
+    enc_.push_back(make_stage(cin, cout, false));
+    if (spec_.use_gdn && s + 1 < spec_.stages) {
+      enc_gdn_.push_back(std::make_unique<nn::Gdn>(cout, false, rng));
+      absorb(*enc_gdn_.back());
+    }
+    cin = cout;
+  }
+  cin = spec_.latent_channels;
+  for (int s = 0; s < spec_.stages; ++s) {
+    const int cout = s == spec_.stages - 1 ? 3 : spec_.width;
+    dec_.push_back(make_stage(cin, cout, true));
+    if (spec_.use_gdn && s + 1 < spec_.stages) {
+      dec_gdn_.push_back(std::make_unique<nn::Gdn>(cout, true, rng));
+      absorb(*dec_gdn_.back());
+    }
+    cin = cout;
+  }
+}
+
+tensor::Tensor ConvAutoencoderCodec::encode_net(const tensor::Tensor& x) const {
+  tensor::Tensor h = x;
+  for (std::size_t s = 0; s < enc_.size(); ++s) {
+    h = tensor::conv2d(h, enc_[s].w, enc_[s].b, /*stride=*/2, kPad);
+    if (s + 1 < enc_.size()) {
+      h = spec_.use_gdn ? enc_gdn_[s]->forward(h) : tensor::leaky_relu(h, 0.1F);
+    }
+    if (spec_.residual_stage) {
+      tensor::Tensor r =
+          tensor::conv2d(h, enc_[s].res_w, enc_[s].res_b, 1, kPad);
+      h = tensor::add(h, tensor::leaky_relu(r, 0.1F));
+    }
+  }
+  return h;
+}
+
+tensor::Tensor ConvAutoencoderCodec::decode_net(const tensor::Tensor& z) const {
+  tensor::Tensor h = z;
+  for (std::size_t s = 0; s < dec_.size(); ++s) {
+    h = tensor::conv2d_transpose(h, dec_[s].w, dec_[s].b, /*stride=*/2, kPad);
+    if (s + 1 < dec_.size()) {
+      h = spec_.use_gdn ? dec_gdn_[s]->forward(h) : tensor::leaky_relu(h, 0.1F);
+    }
+    if (spec_.residual_stage && s + 1 < dec_.size()) {
+      tensor::Tensor r =
+          tensor::conv2d(h, dec_[s].res_w, dec_[s].res_b, 1, kPad);
+      h = tensor::add(h, tensor::leaky_relu(r, 0.1F));
+    }
+  }
+  return tensor::sigmoid(h);
+}
+
+void ConvAutoencoderCodec::pretrain(int steps, int patch, int batch) {
+  util::Pcg32 rng(0xC0DEC ^ static_cast<std::uint64_t>(spec_.stages));
+  nn::Adam opt(parameters(), {.lr = 2e-3F, .weight_decay = 0.0F});
+  const float step_noise = quant_step();
+  for (int s = 0; s < steps; ++s) {
+    tensor::Tensor x({batch, 3, patch, patch});
+    for (int b = 0; b < batch; ++b) {
+      const image::Image img = data::synth_photo(patch, patch, rng);
+      std::copy(img.data().begin(), img.data().end(),
+                x.data().begin() + static_cast<std::ptrdiff_t>(b) *
+                                       static_cast<std::ptrdiff_t>(img.data().size()));
+    }
+    tensor::Tensor z = encode_net(x);
+    // Quantisation-noise injection (straight-through surrogate).
+    tensor::Tensor noise(z.shape());
+    for (auto& v : noise.data()) {
+      v = (rng.next_float() - 0.5F) * step_noise;
+    }
+    z = tensor::add(z, noise);
+    const tensor::Tensor recon = decode_net(z);
+    tensor::Tensor loss = tensor::mse_loss(recon, x);
+    loss.backward();
+    opt.step();
+  }
+}
+
+float ConvAutoencoderCodec::quant_step() const {
+  // quality 1 -> very coarse latents, 100 -> fine. Latents live at roughly
+  // unit scale after training, so steps span [0.03, 3].
+  const float t = static_cast<float>(quality_ - 1) / 99.0F;
+  return 3.0F * std::pow(0.01F, t);
+}
+
+void ConvAutoencoderCodec::set_quality(int quality) {
+  quality_ = std::clamp(quality, 1, 100);
+}
+
+codec::Compressed ConvAutoencoderCodec::encode(const image::Image& img) const {
+  // Pad to a multiple of the downsample factor.
+  const int f = downsample_factor();
+  const int pw = (img.width() + f - 1) / f * f;
+  const int ph = (img.height() + f - 1) / f * f;
+  const image::Image padded = img.pad_to(pw, ph);
+
+  const tensor::Tensor z = encode_net(image_to_nchw(padded));
+  const LatentCode code = encode_latents(z.detach(), quant_step());
+
+  codec::Compressed out;
+  append_u32(out.bytes, static_cast<std::uint32_t>(img.width()));
+  append_u32(out.bytes, static_cast<std::uint32_t>(img.height()));
+  append_u32(out.bytes, static_cast<std::uint32_t>(z.dim(2)));
+  append_u32(out.bytes, static_cast<std::uint32_t>(z.dim(3)));
+  out.bytes.push_back(static_cast<std::uint8_t>(quality_));
+  out.bytes.insert(out.bytes.end(), code.bytes.begin(), code.bytes.end());
+  out.width = img.width();
+  out.height = img.height();
+  out.channels = img.channels();
+  return out;
+}
+
+image::Image ConvAutoencoderCodec::decode(const codec::Compressed& c) const {
+  std::size_t pos = 0;
+  const int width = static_cast<int>(read_u32(c.bytes, pos));
+  const int height = static_cast<int>(read_u32(c.bytes, pos));
+  const int zh = static_cast<int>(read_u32(c.bytes, pos));
+  const int zw = static_cast<int>(read_u32(c.bytes, pos));
+  const int q = c.bytes[pos++];
+
+  LatentCode code;
+  code.bytes.assign(c.bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                    c.bytes.end());
+  code.shape = {1, spec_.latent_channels, zh, zw};
+  // Reproduce the encoder's step for this bitstream's quality.
+  ConvCodecSpec spec_copy = spec_;
+  (void)spec_copy;
+  const float t = static_cast<float>(q - 1) / 99.0F;
+  const float step = 3.0F * std::pow(0.01F, t);
+  const tensor::Tensor z = decode_latents(code, step);
+  const tensor::Tensor recon = decode_net(z);
+  image::Image img = nchw_to_image(recon);
+  if (img.width() != width || img.height() != height) {
+    img = img.crop(0, 0, width, height);
+  }
+  return img;
+}
+
+double ConvAutoencoderCodec::encode_flops(int width, int height) const {
+  return spec_.paper_encode_flops_per_px * width * height;
+}
+
+double ConvAutoencoderCodec::decode_flops(int width, int height) const {
+  return 0.8 * spec_.paper_encode_flops_per_px * width * height;
+}
+
+std::size_t ConvAutoencoderCodec::model_bytes() const {
+  return static_cast<std::size_t>(spec_.paper_model_bytes);
+}
+
+ConvAutoencoderCodec& shared_mbt_lite() {
+  static ConvAutoencoderCodec* kInstance = [] {
+    auto* c = new ConvAutoencoderCodec(mbt_lite_spec(), 50, 0x3B7ULL);
+    c->pretrain(60);
+    return c;
+  }();
+  return *kInstance;
+}
+
+ConvAutoencoderCodec& shared_cheng_lite() {
+  static ConvAutoencoderCodec* kInstance = [] {
+    auto* c = new ConvAutoencoderCodec(cheng_lite_spec(), 50, 0xC4E6ULL);
+    c->pretrain(60);
+    return c;
+  }();
+  return *kInstance;
+}
+
+}  // namespace easz::neural_codec

@@ -1,0 +1,89 @@
+// Convolutional neural codecs standing in for MBT (Minnen et al. 2018) and
+// Cheng-anchor (Cheng et al. 2020) — see DESIGN.md §2.
+//
+// Both are conv autoencoders with a factorized entropy bottleneck:
+//   MBT-lite:   2 stride-2 conv stages (x4 downsample), moderate width.
+//   Cheng-lite: 3 stride-2 conv stages (x8 downsample), wider, one extra
+//               residual conv per stage — deeper/heavier like the original
+//               attention+GMM design relative to MBT.
+// Rate control: the latent quantisation step maps from the [1,100] quality
+// knob. encode_flops()/model_bytes() report the PAPER-SCALE architectures'
+// analytic cost (not the lite networks'), so the testbed reproduces the
+// paper's latency/size gaps while the lite networks exercise the real
+// encode–entropy-code–decode code path.
+#pragma once
+
+#include <memory>
+
+#include "codec/codec.hpp"
+#include "nn/adam.hpp"
+#include "nn/gdn.hpp"
+#include "nn/module.hpp"
+
+namespace easz::neural_codec {
+
+struct ConvCodecSpec {
+  std::string name;
+  int stages = 2;           ///< stride-2 conv stages
+  int width = 12;           ///< hidden channels of the lite network
+  int latent_channels = 8;  ///< bottleneck channels
+  bool residual_stage = false;  ///< Cheng-style extra conv per stage
+  bool use_gdn = false;  ///< GDN/IGDN activations (Ballé-faithful) instead of
+                         ///< leaky ReLU between stages
+  // Paper-scale analytic cost model (per pixel) used by the testbed:
+  double paper_encode_flops_per_px = 0.0;
+  double paper_model_bytes = 0.0;
+};
+
+ConvCodecSpec mbt_lite_spec();
+ConvCodecSpec cheng_lite_spec();
+
+/// Trainable conv autoencoder codec.
+class ConvAutoencoderCodec final : public codec::ImageCodec, public nn::Module {
+ public:
+  ConvAutoencoderCodec(ConvCodecSpec spec, int quality, std::uint64_t seed);
+
+  /// Short self-supervised pretraining on synthetic patches (quantisation
+  /// noise injected for robustness). Deterministic per seed.
+  void pretrain(int steps, int patch = 48, int batch = 2);
+
+  [[nodiscard]] std::string name() const override { return spec_.name; }
+  [[nodiscard]] codec::Compressed encode(const image::Image& img) const override;
+  [[nodiscard]] image::Image decode(const codec::Compressed& c) const override;
+  void set_quality(int quality) override;
+  [[nodiscard]] int quality() const override { return quality_; }
+  [[nodiscard]] double encode_flops(int width, int height) const override;
+  [[nodiscard]] double decode_flops(int width, int height) const override;
+  [[nodiscard]] std::size_t model_bytes() const override;
+
+  /// Lite-network forward passes (shared by encode/decode/pretrain).
+  [[nodiscard]] tensor::Tensor encode_net(const tensor::Tensor& x) const;
+  [[nodiscard]] tensor::Tensor decode_net(const tensor::Tensor& z) const;
+
+  [[nodiscard]] int downsample_factor() const { return 1 << spec_.stages; }
+
+ private:
+  [[nodiscard]] float quant_step() const;
+
+  ConvCodecSpec spec_;
+  int quality_;
+  // Encoder/decoder parameter tensors, stage by stage.
+  struct Stage {
+    tensor::Tensor w;
+    tensor::Tensor b;
+    tensor::Tensor res_w;  // defined only when residual_stage
+    tensor::Tensor res_b;
+  };
+  std::vector<Stage> enc_;
+  std::vector<Stage> dec_;
+  // GDN (encoder) / IGDN (decoder) after each non-final stage when enabled.
+  std::vector<std::unique_ptr<nn::Gdn>> enc_gdn_;
+  std::vector<std::unique_ptr<nn::Gdn>> dec_gdn_;
+};
+
+/// Process-wide pretrained instances (trained once per process, then reused
+/// by tests/benches — pretraining is deterministic).
+ConvAutoencoderCodec& shared_mbt_lite();
+ConvAutoencoderCodec& shared_cheng_lite();
+
+}  // namespace easz::neural_codec

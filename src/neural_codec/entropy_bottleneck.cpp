@@ -1,0 +1,80 @@
+#include "neural_codec/entropy_bottleneck.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "entropy/rans.hpp"
+
+namespace easz::neural_codec {
+namespace {
+
+constexpr int kMaxMagnitude = 255;  // clamped symbol range: [-255, 255]
+constexpr int kAlphabet = 2 * kMaxMagnitude + 2;  // + escape-free headroom
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFU));
+  }
+}
+
+std::uint32_t read_u32(const std::vector<std::uint8_t>& data, std::size_t& pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+LatentCode encode_latents(const tensor::Tensor& latents, float step) {
+  if (step <= 0.0F) throw std::invalid_argument("encode_latents: step <= 0");
+  std::vector<int> symbols;
+  symbols.reserve(latents.numel());
+  for (const float v : latents.data()) {
+    int q = static_cast<int>(std::lround(v / step));
+    q = std::clamp(q, -kMaxMagnitude, kMaxMagnitude);
+    symbols.push_back(q + kMaxMagnitude);
+  }
+  LatentCode code;
+  code.shape = latents.shape();
+  append_u32(code.bytes, static_cast<std::uint32_t>(symbols.size()));
+  const auto payload = entropy::rans_encode_with_table(symbols, kAlphabet);
+  code.bytes.insert(code.bytes.end(), payload.begin(), payload.end());
+  return code;
+}
+
+tensor::Tensor decode_latents(const LatentCode& code, float step) {
+  std::size_t pos = 0;
+  const std::uint32_t count = read_u32(code.bytes, pos);
+  const std::vector<int> symbols = entropy::rans_decode_with_table(
+      code.bytes.data() + pos, code.bytes.size() - pos, count);
+  tensor::Tensor out(code.shape);
+  if (out.numel() != symbols.size()) {
+    throw std::runtime_error("decode_latents: symbol count mismatch");
+  }
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    out.data()[i] = static_cast<float>(symbols[i] - kMaxMagnitude) * step;
+  }
+  return out;
+}
+
+double latent_entropy_bits(const tensor::Tensor& latents, float step) {
+  std::vector<std::uint64_t> hist(kAlphabet, 0);
+  for (const float v : latents.data()) {
+    int q = static_cast<int>(std::lround(v / step));
+    q = std::clamp(q, -kMaxMagnitude, kMaxMagnitude);
+    ++hist[q + kMaxMagnitude];
+  }
+  const double n = static_cast<double>(latents.numel());
+  double bits = 0.0;
+  for (const auto h : hist) {
+    if (h == 0) continue;
+    const double p = static_cast<double>(h) / n;
+    bits -= p * std::log2(p);
+  }
+  return bits;
+}
+
+}  // namespace easz::neural_codec

@@ -1,0 +1,32 @@
+// Factorized entropy bottleneck for neural codecs.
+//
+// Latents are uniformly quantised (step = quality knob) and entropy-coded
+// with rANS using a per-buffer frequency table over the clamped symbol range
+// (Laplace floor so out-of-range decodes cannot occur). This is the
+// practical core of Ballé-style factorized priors: a static learned prior is
+// replaced by per-image histograms, which transmits a small table instead of
+// carrying model-side CDFs — same code path, no pretrained prior needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace easz::neural_codec {
+
+struct LatentCode {
+  std::vector<std::uint8_t> bytes;
+  tensor::Shape shape;  ///< latent tensor shape for decode
+};
+
+/// Quantises `latents` with `step` and entropy-codes the symbols.
+LatentCode encode_latents(const tensor::Tensor& latents, float step);
+
+/// Inverse: reconstructs the dequantised latent tensor.
+tensor::Tensor decode_latents(const LatentCode& code, float step);
+
+/// Empirical bits-per-latent of a quantised tensor (diagnostic).
+double latent_entropy_bits(const tensor::Tensor& latents, float step);
+
+}  // namespace easz::neural_codec

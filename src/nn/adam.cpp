@@ -1,0 +1,44 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace easz::nn {
+
+Adam::Adam(std::vector<tensor::Tensor> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].numel(), 0.0F);
+    v_[i].assign(params_[i].numel(), 0.0F);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0F - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    auto& node = *params_[p].node();
+    if (node.grad.empty()) continue;  // parameter unused this step
+    auto& m = m_[p];
+    auto& v = v_[p];
+    for (std::size_t i = 0; i < node.data.size(); ++i) {
+      const float g = node.grad[i];
+      m[i] = config_.beta1 * m[i] + (1.0F - config_.beta1) * g;
+      v[i] = config_.beta2 * v[i] + (1.0F - config_.beta2) * g * g;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      // Decoupled weight decay (AdamW).
+      node.data[i] -= config_.lr * (mhat / (std::sqrt(vhat) + config_.eps) +
+                                    config_.weight_decay * node.data[i]);
+    }
+    node.grad.clear();
+  }
+}
+
+void Adam::zero_grad() {
+  for (auto& p : params_) p.node()->grad.clear();
+}
+
+}  // namespace easz::nn

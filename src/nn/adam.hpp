@@ -1,0 +1,41 @@
+// Adam optimizer with decoupled weight decay (AdamW), matching the paper's
+// training hyperparameters (lr 2.8e-4, weight decay 0.05).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace easz::nn {
+
+struct AdamConfig {
+  float lr = 2.8e-4F;
+  float beta1 = 0.9F;
+  float beta2 = 0.999F;
+  float eps = 1e-8F;
+  float weight_decay = 0.05F;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<tensor::Tensor> params, AdamConfig config = {});
+
+  /// Applies one update from the gradients currently stored on the
+  /// parameters, then clears those gradients.
+  void step();
+
+  /// Clears parameter gradients without updating.
+  void zero_grad();
+
+  [[nodiscard]] std::int64_t step_count() const { return t_; }
+  [[nodiscard]] AdamConfig& config() { return config_; }
+
+ private:
+  std::vector<tensor::Tensor> params_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  AdamConfig config_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace easz::nn

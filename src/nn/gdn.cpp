@@ -1,0 +1,39 @@
+#include "nn/gdn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace easz::nn {
+
+Gdn::Gdn(int channels, bool inverse, util::Pcg32& rng)
+    : channels_(channels), inverse_(inverse) {
+  // beta_raw = 1 -> beta = 1; gamma_raw small + identity emphasis so the
+  // initial transform is close to y = x / sqrt(1 + 0.1 x_i^2).
+  beta_raw_ = register_param(Tensor::full({channels}, 1.0F));
+  beta_raw_.node()->requires_grad = true;
+  Tensor gamma = Tensor::randn({channels, channels, 1, 1}, rng, 0.01F, true);
+  for (int c = 0; c < channels; ++c) {
+    gamma.data()[(static_cast<std::size_t>(c) * channels + c)] = 0.316F;  // ~sqrt(0.1)
+  }
+  gamma_raw_ = register_param(gamma);
+}
+
+Tensor Gdn::forward(const Tensor& x) const {
+  if (x.rank() != 4 || x.dim(1) != channels_) {
+    throw std::invalid_argument("Gdn: expected [B, C, H, W] with C=" +
+                                std::to_string(channels_));
+  }
+  const Tensor x2 = tensor::mul(x, x);
+  const Tensor gamma_eff = tensor::mul(gamma_raw_, gamma_raw_);
+  const Tensor beta_eff = tensor::add_scalar(
+      tensor::mul(beta_raw_, beta_raw_), 1e-6F);
+  // 1x1 conv mixes channels: denom = beta + gamma * x^2.
+  const Tensor denom =
+      tensor::conv2d(x2, gamma_eff, beta_eff, /*stride=*/1, /*pad=*/0);
+  if (inverse_) {
+    return tensor::mul(x, tensor::sqrt_op(denom));
+  }
+  return tensor::mul(x, tensor::rsqrt(denom));
+}
+
+}  // namespace easz::nn

@@ -1,0 +1,37 @@
+// Generalized Divisive Normalization (Ballé et al.) and its inverse.
+//
+// GDN is the activation the published learned codecs (Ballé 2017/18, MBT,
+// Cheng) use between conv stages:
+//
+//   y_i = x_i / sqrt(beta_i + sum_j gamma_ij * x_j^2)
+//
+// applied per spatial position across channels. The channel mixing is a 1x1
+// convolution of x^2, so the whole layer composes from existing autograd
+// ops. Positivity of beta/gamma is enforced by squaring the raw parameters.
+// IGDN (decoder side) multiplies by the same root instead of dividing.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace easz::nn {
+
+class Gdn : public Module {
+ public:
+  /// `inverse` selects IGDN. Raw parameters initialise so the layer starts
+  /// near identity (beta ~ 1, gamma ~ small).
+  Gdn(int channels, bool inverse, util::Pcg32& rng);
+
+  /// x: [B, C, H, W] with C == channels.
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+
+  [[nodiscard]] int channels() const { return channels_; }
+  [[nodiscard]] bool inverse() const { return inverse_; }
+
+ private:
+  int channels_;
+  bool inverse_;
+  Tensor beta_raw_;   // [C]; effective beta = beta_raw^2 + 1e-6
+  Tensor gamma_raw_;  // [C, C, 1, 1]; effective gamma = gamma_raw^2
+};
+
+}  // namespace easz::nn

@@ -1,0 +1,56 @@
+#include "nn/losses.hpp"
+
+#include <array>
+
+namespace easz::nn {
+namespace {
+
+using tensor::Tensor;
+
+// Fixed filter bank: blur, Sobel-x, Sobel-y, Laplacian. Applied to every
+// input channel independently (depthwise) by building a [4*C, C, 3, 3]
+// weight with zeros off the diagonal.
+Tensor fixed_bank_weight(int channels) {
+  static constexpr std::array<std::array<float, 9>, 4> kFilters = {{
+      {1 / 16.0F, 2 / 16.0F, 1 / 16.0F, 2 / 16.0F, 4 / 16.0F, 2 / 16.0F,
+       1 / 16.0F, 2 / 16.0F, 1 / 16.0F},                        // blur
+      {-1, 0, 1, -2, 0, 2, -1, 0, 1},                           // sobel x
+      {-1, -2, -1, 0, 0, 0, 1, 2, 1},                           // sobel y
+      {0, 1, 0, 1, -4, 1, 0, 1, 0},                             // laplacian
+  }};
+  Tensor w({4 * channels, channels, 3, 3});
+  for (int f = 0; f < 4; ++f) {
+    for (int c = 0; c < channels; ++c) {
+      const int co = f * channels + c;
+      for (int i = 0; i < 9; ++i) {
+        w.data()[((static_cast<std::size_t>(co) * channels + c) * 3 + i / 3) *
+                     3 + i % 3] = kFilters[f][i];
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+tensor::Tensor perceptual_proxy_loss(const tensor::Tensor& pred,
+                                     const tensor::Tensor& target) {
+  if (pred.rank() != 4) {
+    throw std::invalid_argument("perceptual_proxy_loss: need [B,C,H,W]");
+  }
+  const int c = pred.dim(1);
+  const Tensor bank = fixed_bank_weight(c);
+  const Tensor none;
+  const Tensor fp = tensor::conv2d(pred, bank, none, /*stride=*/1, /*pad=*/1);
+  const Tensor ft = tensor::conv2d(target, bank, none, 1, 1);
+  return tensor::l1_loss(fp, ft);
+}
+
+tensor::Tensor CombinedLoss::forward(const tensor::Tensor& pred,
+                                     const tensor::Tensor& target) const {
+  const Tensor l1 = tensor::l1_loss(pred, target);
+  const Tensor perceptual = perceptual_proxy_loss(pred, target);
+  return tensor::add(l1, tensor::scale(perceptual, lambda_));
+}
+
+}  // namespace easz::nn

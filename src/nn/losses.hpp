@@ -1,0 +1,36 @@
+// Training losses, including the perceptual-proxy loss standing in for LPIPS.
+//
+// Paper Eq. (2): Loss = L1(x, y) + lambda * LPIPS(x, y) with lambda = 0.3.
+// LPIPS needs pretrained VGG features, unavailable offline; PerceptualLoss
+// computes L1 distance in a *fixed* multi-orientation edge/blur feature space
+// (Sobel pairs + Laplacian + local mean at two scales). Like LPIPS it is a
+// distance in a fixed feature space that emphasises structure over absolute
+// pixel values (see DESIGN.md §2).
+#pragma once
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace easz::nn {
+
+/// L1 + lambda * perceptual-proxy. `pred`/`target` are [B, C, H, W] image
+/// batches in [0, 1].
+class CombinedLoss {
+ public:
+  explicit CombinedLoss(float lambda = 0.3F) : lambda_(lambda) {}
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& pred,
+                                       const tensor::Tensor& target) const;
+
+  [[nodiscard]] float lambda() const { return lambda_; }
+
+ private:
+  float lambda_;
+};
+
+/// Feature-space L1: fixed 3x3 filter bank (identity-blur, Sobel-x, Sobel-y,
+/// Laplacian) applied depthwise, distance averaged over maps.
+tensor::Tensor perceptual_proxy_loss(const tensor::Tensor& pred,
+                                     const tensor::Tensor& target);
+
+}  // namespace easz::nn

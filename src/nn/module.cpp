@@ -1,0 +1,42 @@
+#include "nn/module.hpp"
+
+#include <cmath>
+
+namespace easz::nn {
+
+Linear::Linear(int in_features, int out_features, util::Pcg32& rng)
+    : in_(in_features), out_(out_features) {
+  const float stddev = 1.0F / std::sqrt(static_cast<float>(in_features));
+  weight_ = register_param(
+      Tensor::randn({in_features, out_features}, rng, stddev, true));
+  Tensor b({out_features}, true);
+  bias_ = register_param(b);
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  // Flatten leading dims into rows for the 2-D matmul, then restore.
+  tensor::Shape orig = x.shape();
+  if (orig.back() != in_) {
+    throw std::invalid_argument("Linear: expected last dim " +
+                                std::to_string(in_));
+  }
+  const int rows = static_cast<int>(x.numel()) / in_;
+  Tensor flat = x.reshape({rows, in_});
+  Tensor y = tensor::add_broadcast(tensor::matmul(flat, weight_), bias_);
+  tensor::Shape out_shape = orig;
+  out_shape.back() = out_;
+  return y.reshape(out_shape);
+}
+
+LayerNorm::LayerNorm(int dim) {
+  gamma_ = register_param(Tensor::full({dim}, 1.0F));
+  gamma_.node()->requires_grad = true;
+  Tensor b({dim}, true);
+  beta_ = register_param(b);
+}
+
+Tensor LayerNorm::forward(const Tensor& x) const {
+  return tensor::layernorm(x, gamma_, beta_);
+}
+
+}  // namespace easz::nn

@@ -1,0 +1,82 @@
+// Neural-network building blocks on top of the tensor library.
+//
+// Modules own their parameters (leaf tensors with requires_grad) and expose
+// them via parameters() for the optimizer and the serializer. Construction
+// takes the RNG so weight init is deterministic per seed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/prng.hpp"
+
+namespace easz::nn {
+
+using tensor::Tensor;
+
+/// Base class: parameter registry.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All learnable parameters, in a stable order (serialization relies on it).
+  [[nodiscard]] std::vector<Tensor> parameters() const { return params_; }
+
+  [[nodiscard]] std::size_t num_parameters() const {
+    std::size_t n = 0;
+    for (const Tensor& p : params_) n += p.numel();
+    return n;
+  }
+
+  /// Serialized fp32 size — the "model size"/"load latency" quantity in the
+  /// paper's Fig. 1 and Table I.
+  [[nodiscard]] std::size_t model_bytes() const {
+    return num_parameters() * sizeof(float);
+  }
+
+ protected:
+  Tensor register_param(Tensor t) {
+    params_.push_back(t);
+    return t;
+  }
+  void absorb(const Module& child) {
+    for (const Tensor& p : child.parameters()) params_.push_back(p);
+  }
+
+ private:
+  std::vector<Tensor> params_;
+};
+
+/// Fully-connected layer: y = x W + b, x = [..., in], W = [in, out].
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, util::Pcg32& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+
+  [[nodiscard]] int in_features() const { return in_; }
+  [[nodiscard]] int out_features() const { return out_; }
+
+ private:
+  int in_;
+  int out_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out]
+};
+
+/// LayerNorm with learnable affine parameters.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int dim);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+}  // namespace easz::nn

@@ -1,0 +1,140 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace easz::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x45535A38;  // "ESZ8"
+
+}  // namespace
+
+QuantizedParams quantize_int8(const std::vector<tensor::Tensor>& params) {
+  QuantizedParams out;
+  out.tensors.reserve(params.size());
+  for (const auto& p : params) {
+    QuantizedParams::Entry entry;
+    float max_abs = 0.0F;
+    for (const float v : p.data()) max_abs = std::max(max_abs, std::fabs(v));
+    entry.scale = max_abs > 0.0F ? max_abs / 127.0F : 1.0F;
+    entry.values.reserve(p.numel());
+    for (const float v : p.data()) {
+      const float q = std::round(v / entry.scale);
+      entry.values.push_back(
+          static_cast<std::int8_t>(std::clamp(q, -127.0F, 127.0F)));
+    }
+    out.tensors.push_back(std::move(entry));
+  }
+  return out;
+}
+
+void dequantize_int8(const QuantizedParams& q,
+                     std::vector<tensor::Tensor>& params) {
+  if (q.tensors.size() != params.size()) {
+    throw std::runtime_error("dequantize_int8: tensor count mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (q.tensors[i].values.size() != params[i].numel()) {
+      throw std::runtime_error("dequantize_int8: tensor size mismatch");
+    }
+    for (std::size_t j = 0; j < params[i].numel(); ++j) {
+      params[i].data()[j] =
+          static_cast<float>(q.tensors[i].values[j]) * q.tensors[i].scale;
+    }
+  }
+}
+
+std::vector<std::uint8_t> serialize_quantized(const QuantizedParams& q) {
+  std::vector<std::uint8_t> out;
+  const auto push32 = [&out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFU));
+    }
+  };
+  push32(kMagic);
+  push32(static_cast<std::uint32_t>(q.tensors.size()));
+  for (const auto& t : q.tensors) {
+    std::uint32_t scale_bits = 0;
+    static_assert(sizeof(float) == 4);
+    std::memcpy(&scale_bits, &t.scale, 4);
+    push32(scale_bits);
+    push32(static_cast<std::uint32_t>(t.values.size()));
+    const auto* raw = reinterpret_cast<const std::uint8_t*>(t.values.data());
+    out.insert(out.end(), raw, raw + t.values.size());
+  }
+  return out;
+}
+
+QuantizedParams deserialize_quantized(const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  const auto read32 = [&]() -> std::uint32_t {
+    if (pos + 4 > bytes.size()) {
+      throw std::runtime_error("int8 checkpoint: truncated");
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes[pos++]) << (8 * i);
+    }
+    return v;
+  };
+  if (read32() != kMagic) {
+    throw std::runtime_error("int8 checkpoint: bad magic");
+  }
+  QuantizedParams out;
+  const std::uint32_t count = read32();
+  out.tensors.resize(count);
+  for (auto& t : out.tensors) {
+    const std::uint32_t scale_bits = read32();
+    std::memcpy(&t.scale, &scale_bits, 4);
+    const std::uint32_t n = read32();
+    if (pos + n > bytes.size()) {
+      throw std::runtime_error("int8 checkpoint: truncated values");
+    }
+    t.values.resize(n);
+    std::memcpy(t.values.data(), bytes.data() + pos, n);
+    pos += n;
+  }
+  return out;
+}
+
+void save_quantized(const std::vector<tensor::Tensor>& params,
+                    const std::string& path) {
+  const auto bytes = serialize_quantized(quantize_int8(params));
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_quantized: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("save_quantized: write failed");
+}
+
+void load_quantized(std::vector<tensor::Tensor>& params,
+                    const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("load_quantized: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw std::runtime_error("load_quantized: read failed");
+  const QuantizedParams q = deserialize_quantized(bytes);
+  dequantize_int8(q, params);
+}
+
+double max_abs_error(const QuantizedParams& q,
+                     const std::vector<tensor::Tensor>& params) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    for (std::size_t j = 0; j < params[i].numel(); ++j) {
+      const double deq =
+          static_cast<double>(q.tensors[i].values[j]) * q.tensors[i].scale;
+      worst = std::max(worst, std::fabs(deq - params[i].data()[j]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace easz::nn

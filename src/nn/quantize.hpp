@@ -1,0 +1,54 @@
+// Int8 post-training weight quantization for checkpoints.
+//
+// The paper's Fig. 1 motivation is dominated by model-load cost; an int8
+// checkpoint quarters the bytes moved (and is the standard first step of
+// the model-compression direction the paper cites [23]). Quantization is
+// symmetric per-tensor: w ≈ scale * q with q in [-127, 127].
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace easz::nn {
+
+/// Quantised snapshot of a parameter list.
+struct QuantizedParams {
+  struct Entry {
+    float scale = 1.0F;
+    std::vector<std::int8_t> values;
+  };
+  std::vector<Entry> tensors;
+
+  [[nodiscard]] std::size_t byte_size() const {
+    std::size_t n = 0;
+    for (const auto& t : tensors) n += t.values.size() + sizeof(float);
+    return n;
+  }
+};
+
+/// Quantises every tensor symmetrically (per-tensor max-abs scaling).
+QuantizedParams quantize_int8(const std::vector<tensor::Tensor>& params);
+
+/// Writes dequantised values back into `params` (shapes must match the
+/// quantisation source).
+void dequantize_int8(const QuantizedParams& q,
+                     std::vector<tensor::Tensor>& params);
+
+/// Serialized int8 checkpoint (magic + per-tensor scale/size/values).
+std::vector<std::uint8_t> serialize_quantized(const QuantizedParams& q);
+QuantizedParams deserialize_quantized(const std::vector<std::uint8_t>& bytes);
+
+void save_quantized(const std::vector<tensor::Tensor>& params,
+                    const std::string& path);
+void load_quantized(std::vector<tensor::Tensor>& params,
+                    const std::string& path);
+
+/// Max absolute dequantisation error over all tensors — bounded by
+/// max|w| / 127 per tensor; exposed for tests and accuracy reporting.
+double max_abs_error(const QuantizedParams& q,
+                     const std::vector<tensor::Tensor>& params);
+
+}  // namespace easz::nn

@@ -1,0 +1,86 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace easz::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x45535A31;  // "ESZ1"
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_parameters(
+    const std::vector<tensor::Tensor>& params) {
+  std::vector<std::uint8_t> out;
+  const auto push32 = [&out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFU));
+    }
+  };
+  push32(kMagic);
+  push32(static_cast<std::uint32_t>(params.size()));
+  for (const auto& p : params) {
+    push32(static_cast<std::uint32_t>(p.numel()));
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(p.data().data());
+    out.insert(out.end(), bytes, bytes + p.numel() * sizeof(float));
+  }
+  return out;
+}
+
+void deserialize_parameters(std::vector<tensor::Tensor>& params,
+                            const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  const auto read32 = [&]() -> std::uint32_t {
+    if (pos + 4 > bytes.size()) {
+      throw std::runtime_error("checkpoint: truncated");
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes[pos++]) << (8 * i);
+    }
+    return v;
+  };
+  if (read32() != kMagic) throw std::runtime_error("checkpoint: bad magic");
+  const std::uint32_t count = read32();
+  if (count != params.size()) {
+    throw std::runtime_error("checkpoint: parameter count mismatch");
+  }
+  for (auto& p : params) {
+    const std::uint32_t n = read32();
+    if (n != p.numel()) {
+      throw std::runtime_error("checkpoint: tensor size mismatch");
+    }
+    const std::size_t byte_len = static_cast<std::size_t>(n) * sizeof(float);
+    if (pos + byte_len > bytes.size()) {
+      throw std::runtime_error("checkpoint: truncated tensor data");
+    }
+    std::memcpy(p.data().data(), bytes.data() + pos, byte_len);
+    pos += byte_len;
+  }
+}
+
+void save_parameters(const std::vector<tensor::Tensor>& params,
+                     const std::string& path) {
+  const auto bytes = serialize_parameters(params);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_parameters: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("save_parameters: write failed");
+}
+
+void load_parameters(std::vector<tensor::Tensor>& params,
+                     const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("load_parameters: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw std::runtime_error("load_parameters: read failed");
+  deserialize_parameters(params, bytes);
+}
+
+}  // namespace easz::nn

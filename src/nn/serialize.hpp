@@ -1,0 +1,29 @@
+// Flat fp32 parameter (de)serialization.
+//
+// Checkpoints store a magic, the parameter count per tensor and raw floats.
+// Used by examples to persist trained reconstructors and by the testbed to
+// account model-load bytes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace easz::nn {
+
+/// Writes all parameters to `path`. Throws std::runtime_error on I/O failure.
+void save_parameters(const std::vector<tensor::Tensor>& params,
+                     const std::string& path);
+
+/// Loads into existing parameters (shapes must match exactly).
+void load_parameters(std::vector<tensor::Tensor>& params,
+                     const std::string& path);
+
+/// In-memory variant used by tests.
+std::vector<std::uint8_t> serialize_parameters(
+    const std::vector<tensor::Tensor>& params);
+void deserialize_parameters(std::vector<tensor::Tensor>& params,
+                            const std::vector<std::uint8_t>& bytes);
+
+}  // namespace easz::nn

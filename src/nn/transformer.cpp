@@ -1,0 +1,105 @@
+#include "nn/transformer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace easz::nn {
+
+MultiHeadAttention::MultiHeadAttention(int d_model, int num_heads,
+                                       util::Pcg32& rng)
+    : d_model_(d_model), heads_(num_heads), head_dim_(d_model / num_heads) {
+  if (d_model % num_heads != 0) {
+    throw std::invalid_argument("MHA: d_model must be divisible by heads");
+  }
+  qkv_ = std::make_unique<Linear>(d_model, 3 * d_model, rng);
+  proj_ = std::make_unique<Linear>(d_model, d_model, rng);
+  absorb(*qkv_);
+  absorb(*proj_);
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& x) const {
+  if (x.rank() != 3 || x.dim(2) != d_model_) {
+    throw std::invalid_argument("MHA: expected [B, T, D] with D=" +
+                                std::to_string(d_model_));
+  }
+  const int b = x.dim(0);
+  const int t = x.dim(1);
+
+  const Tensor qkv = qkv_->forward(x);  // [B, T, 3D]
+  const float inv_sqrt_d =
+      1.0F / std::sqrt(static_cast<float>(head_dim_));
+
+  // Per-head attention via last-dim slices; each head sees [B, T, head_dim].
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(heads_);
+  for (int h = 0; h < heads_; ++h) {
+    const Tensor q = tensor::slice_last(qkv, h * head_dim_, head_dim_);
+    const Tensor k =
+        tensor::slice_last(qkv, d_model_ + h * head_dim_, head_dim_);
+    const Tensor v =
+        tensor::slice_last(qkv, 2 * d_model_ + h * head_dim_, head_dim_);
+    const Tensor scores =
+        tensor::scale(tensor::bmm(q, k, /*transpose_b=*/true), inv_sqrt_d);
+    const Tensor weights = tensor::softmax(scores);  // [B, T, T]
+    head_outputs.push_back(tensor::bmm(weights, v)); // [B, T, head_dim]
+  }
+  const Tensor merged = tensor::concat_last(head_outputs);  // [B, T, D]
+  (void)b;
+  (void)t;
+  return proj_->forward(merged);
+}
+
+double MultiHeadAttention::flops(int batch, int tokens, int d_model,
+                                 int num_heads) {
+  (void)num_heads;  // head split does not change the op count
+  const double bt = static_cast<double>(batch) * tokens;
+  const double qkv = bt * 3.0 * d_model * d_model * 2.0;
+  const double scores = static_cast<double>(batch) * tokens * tokens * d_model * 2.0;
+  const double apply = scores;
+  const double proj = bt * d_model * d_model * 2.0;
+  return qkv + scores + apply + proj;
+}
+
+FeedForward::FeedForward(int d_model, int hidden, util::Pcg32& rng) {
+  fc1_ = std::make_unique<Linear>(d_model, hidden, rng);
+  fc2_ = std::make_unique<Linear>(hidden, d_model, rng);
+  absorb(*fc1_);
+  absorb(*fc2_);
+}
+
+Tensor FeedForward::forward(const Tensor& x) const {
+  return fc2_->forward(tensor::gelu(fc1_->forward(x)));
+}
+
+double FeedForward::flops(int batch, int tokens, int d_model, int hidden) {
+  return static_cast<double>(batch) * tokens * d_model * hidden * 4.0;
+}
+
+TransformerBlock::TransformerBlock(int d_model, int num_heads, int ffn_hidden,
+                                   util::Pcg32& rng) {
+  ln1_ = std::make_unique<LayerNorm>(d_model);
+  attn_ = std::make_unique<MultiHeadAttention>(d_model, num_heads, rng);
+  ln2_ = std::make_unique<LayerNorm>(d_model);
+  ffn_ = std::make_unique<FeedForward>(d_model, ffn_hidden, rng);
+  ln3_ = std::make_unique<LayerNorm>(d_model);
+  absorb(*ln1_);
+  absorb(*attn_);
+  absorb(*ln2_);
+  absorb(*ffn_);
+  absorb(*ln3_);
+}
+
+Tensor TransformerBlock::forward(const Tensor& x) const {
+  const Tensor a = tensor::add(x, attn_->forward(ln1_->forward(x)));
+  const Tensor f = tensor::add(a, ffn_->forward(ln2_->forward(a)));
+  return ln3_->forward(f);
+}
+
+double TransformerBlock::flops(int batch, int tokens, int d_model,
+                               int num_heads, int ffn_hidden) {
+  return MultiHeadAttention::flops(batch, tokens, d_model, num_heads) +
+         FeedForward::flops(batch, tokens, d_model, ffn_hidden) +
+         static_cast<double>(batch) * tokens * d_model * 15.0;  // layernorms
+}
+
+}  // namespace easz::nn

@@ -1,0 +1,69 @@
+// Transformer primitives: multi-head self-attention, feed-forward and the
+// pre-norm transformer block used by the Easz reconstructor (paper Fig. 5:
+// "three layernorms, one attention layer and one feedforward layer" per
+// block).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace easz::nn {
+
+/// Multi-head self-attention over [B, T, D] token stacks.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int d_model, int num_heads, util::Pcg32& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+
+  [[nodiscard]] int d_model() const { return d_model_; }
+  [[nodiscard]] int num_heads() const { return heads_; }
+
+  /// FLOPs for one forward pass over B stacks of T tokens — feeds the testbed
+  /// cost model.
+  [[nodiscard]] static double flops(int batch, int tokens, int d_model,
+                                    int num_heads);
+
+ private:
+  int d_model_;
+  int heads_;
+  int head_dim_;
+  std::unique_ptr<Linear> qkv_;
+  std::unique_ptr<Linear> proj_;
+};
+
+/// Two-layer GELU MLP.
+class FeedForward : public Module {
+ public:
+  FeedForward(int d_model, int hidden, util::Pcg32& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+
+  [[nodiscard]] static double flops(int batch, int tokens, int d_model,
+                                    int hidden);
+
+ private:
+  std::unique_ptr<Linear> fc1_;
+  std::unique_ptr<Linear> fc2_;
+};
+
+/// Pre-norm block: x + Attn(LN(x)), then x + FFN(LN(x)), with a final LN —
+/// the paper's three-layernorm layout.
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int d_model, int num_heads, int ffn_hidden,
+                   util::Pcg32& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+
+  [[nodiscard]] static double flops(int batch, int tokens, int d_model,
+                                    int num_heads, int ffn_hidden);
+
+ private:
+  std::unique_ptr<LayerNorm> ln1_;
+  std::unique_ptr<MultiHeadAttention> attn_;
+  std::unique_ptr<LayerNorm> ln2_;
+  std::unique_ptr<FeedForward> ffn_;
+  std::unique_ptr<LayerNorm> ln3_;
+};
+
+}  // namespace easz::nn

@@ -1,0 +1,68 @@
+#include "sr/sr_codec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "image/resize.hpp"
+
+namespace easz::sr {
+
+DownUpCodec::DownUpCodec(codec::ImageCodec& inner, float scale,
+                         const SrNet* net)
+    : inner_(inner), scale_(scale), net_(net) {
+  if (scale <= 0.0F || scale >= 1.0F) {
+    throw std::invalid_argument("DownUpCodec: scale must be in (0, 1)");
+  }
+}
+
+std::string DownUpCodec::name() const {
+  return inner_.name() + "+down" + (net_ != nullptr ? "+" + net_->spec().name
+                                                     : "+bicubic");
+}
+
+codec::Compressed DownUpCodec::encode(const image::Image& img) const {
+  const int lw = std::max(8, static_cast<int>(img.width() * scale_));
+  const int lh = std::max(8, static_cast<int>(img.height() * scale_));
+  const image::Image low =
+      image::resize(img, lw, lh, image::Filter::kBicubic);
+  codec::Compressed c = inner_.encode(low);
+  // Rate accounting stays against the original grid.
+  c.width = img.width();
+  c.height = img.height();
+  return c;
+}
+
+image::Image DownUpCodec::decode(const codec::Compressed& c) const {
+  const image::Image low = inner_.decode(
+      {c.bytes, 0, 0, c.channels});  // inner stream is self-describing
+  if (net_ != nullptr) return net_->upscale(low, c.width, c.height);
+  return image::resize(low, c.width, c.height, image::Filter::kBicubic);
+}
+
+double DownUpCodec::encode_flops(int width, int height) const {
+  // Bicubic: 16 taps * ~4 flops per output sample * 3 channels.
+  const double down =
+      192.0 * (static_cast<double>(width) * scale_) * (height * scale_);
+  return down + inner_.encode_flops(static_cast<int>(width * scale_),
+                                    static_cast<int>(height * scale_));
+}
+
+double DownUpCodec::decode_flops(int width, int height) const {
+  const double up = 192.0 * static_cast<double>(width) * height;
+  double net = 0.0;
+  if (net_ != nullptr) {
+    // conv stack: layers * width^2 * 9 * 2 flops per pixel (approx).
+    const auto& s = net_->spec();
+    net = static_cast<double>(s.layers) * s.width * s.width * 18.0 * width *
+          height;
+  }
+  return up + net +
+         inner_.decode_flops(static_cast<int>(width * scale_),
+                             static_cast<int>(height * scale_));
+}
+
+std::size_t DownUpCodec::model_bytes() const {
+  return net_ != nullptr ? net_->model_bytes() : 0;
+}
+
+}  // namespace easz::sr

@@ -1,0 +1,40 @@
+// Downsample-compress-upsample pseudo-codec (the paper's §II "another
+// approach": downsample at the edge, super-resolve on the server).
+//
+// Wraps an inner codec: encode = bicubic downsample by `scale` then inner
+// encode; decode = inner decode then upsample (bicubic or an SrNet). This is
+// the baseline family Easz's flexible erase ratio is contrasted against —
+// its reduction ratio is locked to the (fixed) scale factor.
+#pragma once
+
+#include <memory>
+
+#include "codec/codec.hpp"
+#include "sr/srnet.hpp"
+
+namespace easz::sr {
+
+class DownUpCodec final : public codec::ImageCodec {
+ public:
+  /// `scale` in (0, 1): linear downsample factor. `net` optional; bicubic
+  /// upsampling when null. Borrows both; they must outlive the codec.
+  DownUpCodec(codec::ImageCodec& inner, float scale, const SrNet* net);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] codec::Compressed encode(const image::Image& img) const override;
+  [[nodiscard]] image::Image decode(const codec::Compressed& c) const override;
+  void set_quality(int quality) override { inner_.set_quality(quality); }
+  [[nodiscard]] int quality() const override { return inner_.quality(); }
+  [[nodiscard]] double encode_flops(int width, int height) const override;
+  [[nodiscard]] double decode_flops(int width, int height) const override;
+  [[nodiscard]] std::size_t model_bytes() const override;
+
+  [[nodiscard]] float scale() const { return scale_; }
+
+ private:
+  codec::ImageCodec& inner_;
+  float scale_;
+  const SrNet* net_;
+};
+
+}  // namespace easz::sr

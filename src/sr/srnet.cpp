@@ -1,0 +1,89 @@
+#include "sr/srnet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/synth.hpp"
+#include "image/resize.hpp"
+#include "nn/adam.hpp"
+#include "tensor/ops.hpp"
+
+namespace easz::sr {
+namespace {
+
+constexpr int kKernel = 3;
+constexpr int kPad = 1;
+
+tensor::Tensor image_to_nchw(const image::Image& img) {
+  tensor::Tensor t({1, img.channels(), img.height(), img.width()});
+  std::copy(img.data().begin(), img.data().end(), t.data().begin());
+  return t;
+}
+
+}  // namespace
+
+SrNetSpec swinir_lite_spec() {
+  return {.name = "swinir", .width = 20, .layers = 4};
+}
+SrNetSpec realesrgan_lite_spec() {
+  return {.name = "realesrgan", .width = 16, .layers = 3};
+}
+SrNetSpec bsrgan_lite_spec() {
+  return {.name = "bsrgan", .width = 16, .layers = 4};
+}
+
+SrNet::SrNet(SrNetSpec spec, std::uint64_t seed) : spec_(std::move(spec)) {
+  util::Pcg32 rng(seed);
+  int cin = 3;
+  for (int l = 0; l < spec_.layers; ++l) {
+    const int cout = l == spec_.layers - 1 ? 3 : spec_.width;
+    const float stddev =
+        1.0F / std::sqrt(static_cast<float>(cin) * kKernel * kKernel);
+    Layer layer;
+    layer.w = register_param(tensor::Tensor::randn(
+        {cout, cin, kKernel, kKernel}, rng, stddev, true));
+    layer.b = register_param(tensor::Tensor({cout}, true));
+    layers_.push_back(layer);
+    cin = cout;
+  }
+}
+
+tensor::Tensor SrNet::forward(const tensor::Tensor& x) const {
+  tensor::Tensor h = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    h = tensor::conv2d(h, layers_[l].w, layers_[l].b, 1, kPad);
+    if (l + 1 < layers_.size()) h = tensor::leaky_relu(h, 0.1F);
+  }
+  // Residual prediction around the bicubic base.
+  return tensor::add(x, h);
+}
+
+image::Image SrNet::upscale(const image::Image& low, int w, int h) const {
+  const image::Image base = image::resize(low, w, h, image::Filter::kBicubic);
+  const tensor::Tensor out = forward(image_to_nchw(base));
+  image::Image img(w, h, 3);
+  for (std::size_t i = 0; i < img.data().size(); ++i) {
+    img.data()[i] = std::clamp(out.data()[i], 0.0F, 1.0F);
+  }
+  return img;
+}
+
+void SrNet::pretrain(int steps, float scale_factor, int patch) {
+  util::Pcg32 rng(0x5133D ^ static_cast<std::uint64_t>(spec_.width * 131 +
+                                                        spec_.layers));
+  nn::Adam opt(parameters(), {.lr = 2e-3F, .weight_decay = 0.0F});
+  const int low = std::max(8, static_cast<int>(patch * scale_factor));
+  for (int s = 0; s < steps; ++s) {
+    const image::Image img = data::synth_photo(patch, patch, rng);
+    const image::Image down =
+        image::resize(img, low, low, image::Filter::kBicubic);
+    const image::Image base =
+        image::resize(down, patch, patch, image::Filter::kBicubic);
+    const tensor::Tensor pred = forward(image_to_nchw(base));
+    tensor::Tensor loss = tensor::mse_loss(pred, image_to_nchw(img));
+    loss.backward();
+    opt.step();
+  }
+}
+
+}  // namespace easz::sr

@@ -1,0 +1,55 @@
+// Super-resolution baselines standing in for SwinIR / realESRGAN / BSRGAN
+// (Table I, Fig. 4). SRCNN-style post-upsampling refinement networks: the
+// low-resolution image is bicubic-upsampled, then a small conv stack predicts
+// a residual correction. Three capacity presets mirror the three published
+// models; their paper-scale sizes (all ~67 MB) are carried alongside the
+// lite networks' real sizes for the Table I model-size column.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace easz::sr {
+
+struct SrNetSpec {
+  std::string name;
+  int width = 16;   ///< hidden channels
+  int layers = 3;   ///< conv layers (>= 2)
+  double paper_model_bytes = 67.0 * 1024 * 1024;
+};
+
+SrNetSpec swinir_lite_spec();
+SrNetSpec realesrgan_lite_spec();
+SrNetSpec bsrgan_lite_spec();
+
+class SrNet : public nn::Module {
+ public:
+  SrNet(SrNetSpec spec, std::uint64_t seed);
+
+  [[nodiscard]] const SrNetSpec& spec() const { return spec_; }
+
+  /// Residual refinement of a bicubic-upsampled [1,3,H,W] tensor.
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& x) const;
+
+  /// Upscales `low` to (w, h): bicubic + learned residual.
+  [[nodiscard]] image::Image upscale(const image::Image& low, int w, int h) const;
+
+  /// Self-supervised pretraining on synthetic (downsampled, original) pairs
+  /// at the given scale factor. Deterministic per seed.
+  void pretrain(int steps, float scale_factor = 0.75F, int patch = 48);
+
+ private:
+  SrNetSpec spec_;
+  struct Layer {
+    tensor::Tensor w;
+    tensor::Tensor b;
+  };
+  std::vector<Layer> layers_;
+};
+
+}  // namespace easz::sr

@@ -1,0 +1,938 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace easz::tensor {
+namespace {
+
+using detail::Node;
+using NodePtr = std::shared_ptr<Node>;
+
+NodePtr make_node(Shape shape, std::vector<NodePtr> parents) {
+  auto n = std::make_shared<Node>();
+  n->data.assign(shape_numel(shape), 0.0F);
+  n->shape = std::move(shape);
+  n->parents = std::move(parents);
+  n->requires_grad = true;
+  return n;
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                shape_str(a.shape()) + " vs " +
+                                shape_str(b.shape()));
+  }
+}
+
+// Elementwise binary op with per-element forward value and backward factors.
+template <typename Fwd, typename Bwd>
+Tensor elementwise_binary(const Tensor& a, const Tensor& b, const char* name,
+                          Fwd fwd, Bwd bwd) {
+  check_same_shape(a, b, name);
+  NodePtr out = make_node(a.shape(), {a.node(), b.node()});
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  for (std::size_t i = 0; i < av.size(); ++i) out->data[i] = fwd(av[i], bv[i]);
+  NodePtr pa = a.node();
+  NodePtr pb = b.node();
+  out->backward_fn = [pa, pb, bwd](Node& self) {
+    pa->ensure_grad();
+    pb->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      const auto [da, db] = bwd(pa->data[i], pb->data[i]);
+      pa->grad[i] += self.grad[i] * da;
+      pb->grad[i] += self.grad[i] * db;
+    }
+  };
+  return Tensor::from_node(out);
+}
+
+// Elementwise unary op; derivative computed from the input value.
+template <typename Fwd, typename Bwd>
+Tensor elementwise_unary(const Tensor& a, Fwd fwd, Bwd bwd) {
+  NodePtr out = make_node(a.shape(), {a.node()});
+  const auto& av = a.data();
+  for (std::size_t i = 0; i < av.size(); ++i) out->data[i] = fwd(av[i]);
+  NodePtr pa = a.node();
+  out->backward_fn = [pa, bwd](Node& self) {
+    pa->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      pa->grad[i] += self.grad[i] * bwd(pa->data[i]);
+    }
+  };
+  return Tensor::from_node(out);
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(
+      a, b, "add", [](float x, float y) { return x + y; },
+      [](float, float) { return std::pair<float, float>{1.0F, 1.0F}; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(
+      a, b, "sub", [](float x, float y) { return x - y; },
+      [](float, float) { return std::pair<float, float>{1.0F, -1.0F}; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(
+      a, b, "mul", [](float x, float y) { return x * y; },
+      [](float x, float y) { return std::pair<float, float>{y, x}; });
+}
+
+Tensor scale(const Tensor& a, float s) {
+  return elementwise_unary(
+      a, [s](float x) { return x * s; }, [s](float) { return s; });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return elementwise_unary(
+      a, [s](float x) { return x + s; }, [](float) { return 1.0F; });
+}
+
+Tensor add_broadcast(const Tensor& a, const Tensor& b) {
+  const std::size_t bn = b.numel();
+  if (bn == 0 || a.numel() % bn != 0) {
+    throw std::invalid_argument("add_broadcast: " + shape_str(b.shape()) +
+                                " does not tile " + shape_str(a.shape()));
+  }
+  // b's shape must be a suffix of a's shape.
+  const Shape& as = a.shape();
+  const Shape& bs = b.shape();
+  if (bs.size() > as.size() ||
+      !std::equal(bs.rbegin(), bs.rend(), as.rbegin())) {
+    throw std::invalid_argument("add_broadcast: shape " + shape_str(bs) +
+                                " is not a suffix of " + shape_str(as));
+  }
+  NodePtr out = make_node(a.shape(), {a.node(), b.node()});
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    out->data[i] = av[i] + bv[i % bn];
+  }
+  NodePtr pa = a.node();
+  NodePtr pb = b.node();
+  out->backward_fn = [pa, pb, bn](Node& self) {
+    pa->ensure_grad();
+    pb->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      pa->grad[i] += self.grad[i];
+      pb->grad[i % bn] += self.grad[i];
+    }
+  };
+  return Tensor::from_node(out);
+}
+
+Tensor relu(const Tensor& a) {
+  return elementwise_unary(
+      a, [](float x) { return x > 0.0F ? x : 0.0F; },
+      [](float x) { return x > 0.0F ? 1.0F : 0.0F; });
+}
+
+Tensor leaky_relu(const Tensor& a, float slope) {
+  return elementwise_unary(
+      a, [slope](float x) { return x > 0.0F ? x : slope * x; },
+      [slope](float x) { return x > 0.0F ? 1.0F : slope; });
+}
+
+Tensor gelu(const Tensor& a) {
+  // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi)(x + 0.044715 x^3)))
+  constexpr float kC = 0.7978845608F;  // sqrt(2/pi)
+  constexpr float kA = 0.044715F;
+  return elementwise_unary(
+      a,
+      [](float x) {
+        const float inner = kC * (x + kA * x * x * x);
+        return 0.5F * x * (1.0F + std::tanh(inner));
+      },
+      [](float x) {
+        const float inner = kC * (x + kA * x * x * x);
+        const float t = std::tanh(inner);
+        const float sech2 = 1.0F - t * t;
+        return 0.5F * (1.0F + t) +
+               0.5F * x * sech2 * kC * (1.0F + 3.0F * kA * x * x);
+      });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return elementwise_unary(
+      a, [](float x) { return 1.0F / (1.0F + std::exp(-x)); },
+      [](float x) {
+        const float s = 1.0F / (1.0F + std::exp(-x));
+        return s * (1.0F - s);
+      });
+}
+
+Tensor tanh_op(const Tensor& a) {
+  return elementwise_unary(
+      a, [](float x) { return std::tanh(x); },
+      [](float x) {
+        const float t = std::tanh(x);
+        return 1.0F - t * t;
+      });
+}
+
+Tensor sqrt_op(const Tensor& a, float eps) {
+  return elementwise_unary(
+      a, [eps](float x) { return std::sqrt(std::max(x, eps)); },
+      [eps](float x) {
+        const float c = std::max(x, eps);
+        return x > eps ? 0.5F / std::sqrt(c) : 0.0F;
+      });
+}
+
+Tensor rsqrt(const Tensor& a, float eps) {
+  return elementwise_unary(
+      a, [eps](float x) { return 1.0F / std::sqrt(std::max(x, eps)); },
+      [eps](float x) {
+        const float c = std::max(x, eps);
+        return x > eps ? -0.5F / (c * std::sqrt(c)) : 0.0F;
+      });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("matmul: incompatible " + shape_str(a.shape()) +
+                                " x " + shape_str(b.shape()));
+  }
+  const int m = a.dim(0);
+  const int k = a.dim(1);
+  const int n = b.dim(1);
+  NodePtr out = make_node({m, n}, {a.node(), b.node()});
+  const float* av = a.data().data();
+  const float* bv = b.data().data();
+  float* ov = out->data.data();
+#ifdef _OPENMP
+#pragma omp parallel for if (static_cast<std::size_t>(m) * n * k > 65536)
+#endif
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float aip = av[static_cast<std::size_t>(i) * k + p];
+      const float* brow = bv + static_cast<std::size_t>(p) * n;
+      float* orow = ov + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] += aip * brow[j];
+    }
+  }
+  NodePtr pa = a.node();
+  NodePtr pb = b.node();
+  out->backward_fn = [pa, pb, m, k, n](Node& self) {
+    pa->ensure_grad();
+    pb->ensure_grad();
+    const float* g = self.grad.data();
+    const float* av2 = pa->data.data();
+    const float* bv2 = pb->data.data();
+    // dA = G * B^T
+#ifdef _OPENMP
+#pragma omp parallel for if (static_cast<std::size_t>(m) * n * k > 65536)
+#endif
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        const float gij = g[static_cast<std::size_t>(i) * n + j];
+        const float* brow = bv2;  // b[p * n + j] over p
+        float* garow = pa->grad.data() + static_cast<std::size_t>(i) * k;
+        for (int p = 0; p < k; ++p) {
+          garow[p] += gij * brow[static_cast<std::size_t>(p) * n + j];
+        }
+      }
+    }
+    // dB = A^T * G
+#ifdef _OPENMP
+#pragma omp parallel for if (static_cast<std::size_t>(m) * n * k > 65536)
+#endif
+    for (int p = 0; p < k; ++p) {
+      float* gbrow = pb->grad.data() + static_cast<std::size_t>(p) * n;
+      for (int i = 0; i < m; ++i) {
+        const float aip = av2[static_cast<std::size_t>(i) * k + p];
+        const float* grow = g + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j) gbrow[j] += aip * grow[j];
+      }
+    }
+    (void)bv2;
+  };
+  return Tensor::from_node(out);
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b, bool transpose_b) {
+  if (a.rank() != 3 || b.rank() != 3 || a.dim(0) != b.dim(0)) {
+    throw std::invalid_argument("bmm: need rank-3 with equal batch, got " +
+                                shape_str(a.shape()) + " x " +
+                                shape_str(b.shape()));
+  }
+  const int batch = a.dim(0);
+  const int m = a.dim(1);
+  const int k = a.dim(2);
+  const int n = transpose_b ? b.dim(1) : b.dim(2);
+  const int bk = transpose_b ? b.dim(2) : b.dim(1);
+  if (bk != k) {
+    throw std::invalid_argument("bmm: inner dim mismatch " +
+                                shape_str(a.shape()) + " x " +
+                                shape_str(b.shape()));
+  }
+  NodePtr out = make_node({batch, m, n}, {a.node(), b.node()});
+  const float* av = a.data().data();
+  const float* bv = b.data().data();
+  float* ov = out->data.data();
+  const std::size_t a_stride = static_cast<std::size_t>(m) * k;
+  const std::size_t b_stride = static_cast<std::size_t>(bk) *
+                               static_cast<std::size_t>(transpose_b ? k : n) /
+                               (transpose_b ? 1 : bk) * (transpose_b ? n : bk);
+  // b_stride simplifies to n*k either way; compute directly for clarity:
+  const std::size_t bstride = static_cast<std::size_t>(k) * n;
+  const std::size_t o_stride = static_cast<std::size_t>(m) * n;
+  (void)b_stride;
+#ifdef _OPENMP
+#pragma omp parallel for if (static_cast<std::size_t>(batch) * m * n * k > 65536)
+#endif
+  for (int bi = 0; bi < batch; ++bi) {
+    const float* ab = av + bi * a_stride;
+    const float* bb = bv + bi * bstride;
+    float* ob = ov + bi * o_stride;
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        float acc = 0.0F;
+        if (transpose_b) {
+          const float* brow = bb + static_cast<std::size_t>(j) * k;
+          const float* arow = ab + static_cast<std::size_t>(i) * k;
+          for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        } else {
+          const float* arow = ab + static_cast<std::size_t>(i) * k;
+          for (int p = 0; p < k; ++p) {
+            acc += arow[p] * bb[static_cast<std::size_t>(p) * n + j];
+          }
+        }
+        ob[static_cast<std::size_t>(i) * n + j] = acc;
+      }
+    }
+  }
+  NodePtr pa = a.node();
+  NodePtr pb = b.node();
+  out->backward_fn = [pa, pb, batch, m, k, n, transpose_b, a_stride, bstride,
+                      o_stride](Node& self) {
+    pa->ensure_grad();
+    pb->ensure_grad();
+    for (int bi = 0; bi < batch; ++bi) {
+      const float* g = self.grad.data() + bi * o_stride;
+      const float* ab = pa->data.data() + bi * a_stride;
+      const float* bb = pb->data.data() + bi * bstride;
+      float* ga = pa->grad.data() + bi * a_stride;
+      float* gb = pb->grad.data() + bi * bstride;
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+          const float gij = g[static_cast<std::size_t>(i) * n + j];
+          if (gij == 0.0F) continue;
+          if (transpose_b) {
+            // out = A B^T: dA[i,p] += g * B[j,p]; dB[j,p] += g * A[i,p]
+            const float* brow = bb + static_cast<std::size_t>(j) * k;
+            float* gbrow = gb + static_cast<std::size_t>(j) * k;
+            const float* arow = ab + static_cast<std::size_t>(i) * k;
+            float* garow = ga + static_cast<std::size_t>(i) * k;
+            for (int p = 0; p < k; ++p) {
+              garow[p] += gij * brow[p];
+              gbrow[p] += gij * arow[p];
+            }
+          } else {
+            // out = A B: dA[i,p] += g * B[p,j]; dB[p,j] += g * A[i,p]
+            const float* arow = ab + static_cast<std::size_t>(i) * k;
+            float* garow = ga + static_cast<std::size_t>(i) * k;
+            for (int p = 0; p < k; ++p) {
+              garow[p] += gij * bb[static_cast<std::size_t>(p) * n + j];
+              gb[static_cast<std::size_t>(p) * n + j] += gij * arow[p];
+            }
+          }
+        }
+      }
+    }
+  };
+  return Tensor::from_node(out);
+}
+
+Tensor softmax(const Tensor& a) {
+  const int d = a.dim(-1);
+  const std::size_t rows = a.numel() / static_cast<std::size_t>(d);
+  NodePtr out = make_node(a.shape(), {a.node()});
+  const float* av = a.data().data();
+  float* ov = out->data.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* x = av + r * d;
+    float* y = ov + r * d;
+    float mx = x[0];
+    for (int j = 1; j < d; ++j) mx = std::max(mx, x[j]);
+    float denom = 0.0F;
+    for (int j = 0; j < d; ++j) {
+      y[j] = std::exp(x[j] - mx);
+      denom += y[j];
+    }
+    const float inv = 1.0F / denom;
+    for (int j = 0; j < d; ++j) y[j] *= inv;
+  }
+  NodePtr pa = a.node();
+  out->backward_fn = [pa, rows, d](Node& self) {
+    pa->ensure_grad();
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* y = self.data.data() + r * d;
+      const float* g = self.grad.data() + r * d;
+      float dot = 0.0F;
+      for (int j = 0; j < d; ++j) dot += g[j] * y[j];
+      float* gx = pa->grad.data() + r * d;
+      for (int j = 0; j < d; ++j) gx[j] += (g[j] - dot) * y[j];
+    }
+  };
+  return Tensor::from_node(out);
+}
+
+Tensor layernorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                 float eps) {
+  const int d = a.dim(-1);
+  if (gamma.rank() != 1 || gamma.dim(0) != d || beta.rank() != 1 ||
+      beta.dim(0) != d) {
+    throw std::invalid_argument("layernorm: gamma/beta must be [D]");
+  }
+  const std::size_t rows = a.numel() / static_cast<std::size_t>(d);
+  NodePtr out = make_node(a.shape(), {a.node(), gamma.node(), beta.node()});
+
+  // Cache per-row mean and inverse std for the backward pass.
+  auto stats = std::make_shared<std::vector<float>>(rows * 2);
+  const float* av = a.data().data();
+  const float* gv = gamma.data().data();
+  const float* bv = beta.data().data();
+  float* ov = out->data.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* x = av + r * d;
+    float mu = 0.0F;
+    for (int j = 0; j < d; ++j) mu += x[j];
+    mu /= static_cast<float>(d);
+    float var = 0.0F;
+    for (int j = 0; j < d; ++j) {
+      const float c = x[j] - mu;
+      var += c * c;
+    }
+    var /= static_cast<float>(d);
+    const float inv_sd = 1.0F / std::sqrt(var + eps);
+    (*stats)[r * 2] = mu;
+    (*stats)[r * 2 + 1] = inv_sd;
+    float* y = ov + r * d;
+    for (int j = 0; j < d; ++j) {
+      y[j] = (x[j] - mu) * inv_sd * gv[j] + bv[j];
+    }
+  }
+
+  NodePtr pa = a.node();
+  NodePtr pg = gamma.node();
+  NodePtr pbeta = beta.node();
+  out->backward_fn = [pa, pg, pbeta, stats, rows, d](Node& self) {
+    pa->ensure_grad();
+    pg->ensure_grad();
+    pbeta->ensure_grad();
+    const float* gv2 = pg->data.data();
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float mu = (*stats)[r * 2];
+      const float inv_sd = (*stats)[r * 2 + 1];
+      const float* x = pa->data.data() + r * d;
+      const float* g = self.grad.data() + r * d;
+      float* gx = pa->grad.data() + r * d;
+
+      // dgamma/dbeta and the two row sums needed for dx.
+      float sum_dxhat = 0.0F;
+      float sum_dxhat_xhat = 0.0F;
+      for (int j = 0; j < d; ++j) {
+        const float xhat = (x[j] - mu) * inv_sd;
+        const float dxhat = g[j] * gv2[j];
+        pg->grad[j] += g[j] * xhat;
+        pbeta->grad[j] += g[j];
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += dxhat * xhat;
+      }
+      const float inv_d = 1.0F / static_cast<float>(d);
+      for (int j = 0; j < d; ++j) {
+        const float xhat = (x[j] - mu) * inv_sd;
+        const float dxhat = g[j] * gv2[j];
+        gx[j] += inv_sd *
+                 (dxhat - inv_d * sum_dxhat - xhat * inv_d * sum_dxhat_xhat);
+      }
+    }
+  };
+  return Tensor::from_node(out);
+}
+
+Tensor slice_last(const Tensor& a, int start, int len) {
+  const int d = a.dim(-1);
+  if (start < 0 || len <= 0 || start + len > d) {
+    throw std::invalid_argument("slice_last: range out of bounds");
+  }
+  Shape out_shape = a.shape();
+  out_shape.back() = len;
+  NodePtr out = make_node(out_shape, {a.node()});
+  const std::size_t rows = a.numel() / static_cast<std::size_t>(d);
+  const float* av = a.data().data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::copy_n(av + r * d + start, len,
+                out->data.data() + r * static_cast<std::size_t>(len));
+  }
+  NodePtr pa = a.node();
+  out->backward_fn = [pa, rows, d, start, len](Node& self) {
+    pa->ensure_grad();
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* g = self.grad.data() + r * static_cast<std::size_t>(len);
+      float* gx = pa->grad.data() + r * d + start;
+      for (int j = 0; j < len; ++j) gx[j] += g[j];
+    }
+  };
+  return Tensor::from_node(out);
+}
+
+Tensor concat_last(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_last: empty input");
+  Shape lead = parts[0].shape();
+  lead.pop_back();
+  int total = 0;
+  std::vector<NodePtr> parents;
+  for (const Tensor& p : parts) {
+    Shape pl = p.shape();
+    const int pd = pl.back();
+    pl.pop_back();
+    if (pl != lead) {
+      throw std::invalid_argument("concat_last: leading dims mismatch");
+    }
+    total += pd;
+    parents.push_back(p.node());
+  }
+  Shape out_shape = lead;
+  out_shape.push_back(total);
+  NodePtr out = make_node(out_shape, parents);
+
+  const std::size_t rows = shape_numel(lead);
+  std::size_t offset = 0;
+  for (const Tensor& p : parts) {
+    const int pd = p.dim(-1);
+    const float* pv = p.data().data();
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::copy_n(pv + r * static_cast<std::size_t>(pd), pd,
+                  out->data.data() + r * static_cast<std::size_t>(total) + offset);
+    }
+    offset += static_cast<std::size_t>(pd);
+  }
+
+  std::vector<int> widths;
+  widths.reserve(parts.size());
+  for (const Tensor& p : parts) widths.push_back(p.dim(-1));
+  out->backward_fn = [rows, total, widths](Node& self) {
+    std::size_t off = 0;
+    for (std::size_t pi = 0; pi < self.parents.size(); ++pi) {
+      Node& parent = *self.parents[pi];
+      parent.ensure_grad();
+      const int pd = widths[pi];
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float* g =
+            self.grad.data() + r * static_cast<std::size_t>(total) + off;
+        float* gp = parent.grad.data() + r * static_cast<std::size_t>(pd);
+        for (int j = 0; j < pd; ++j) gp[j] += g[j];
+      }
+      off += static_cast<std::size_t>(pd);
+    }
+  };
+  return Tensor::from_node(out);
+}
+
+Tensor gather_rows(const Tensor& a, const std::vector<int>& index) {
+  if (a.rank() != 2) throw std::invalid_argument("gather_rows: need rank-2");
+  const int rows_in = a.dim(0);
+  const int d = a.dim(1);
+  for (const int i : index) {
+    if (i < 0 || i >= rows_in) {
+      throw std::invalid_argument("gather_rows: index out of range");
+    }
+  }
+  NodePtr out =
+      make_node({static_cast<int>(index.size()), d}, {a.node()});
+  const float* av = a.data().data();
+  for (std::size_t r = 0; r < index.size(); ++r) {
+    std::copy_n(av + static_cast<std::size_t>(index[r]) * d, d,
+                out->data.data() + r * d);
+  }
+  NodePtr pa = a.node();
+  auto idx = std::make_shared<std::vector<int>>(index);
+  out->backward_fn = [pa, idx, d](Node& self) {
+    pa->ensure_grad();
+    for (std::size_t r = 0; r < idx->size(); ++r) {
+      const float* g = self.grad.data() + r * d;
+      float* gp = pa->grad.data() + static_cast<std::size_t>((*idx)[r]) * d;
+      for (int j = 0; j < d; ++j) gp[j] += g[j];
+    }
+  };
+  return Tensor::from_node(out);
+}
+
+Tensor scatter_rows(const Tensor& a, const std::vector<int>& index, int rows) {
+  if (a.rank() != 2) throw std::invalid_argument("scatter_rows: need rank-2");
+  if (static_cast<std::size_t>(a.dim(0)) != index.size()) {
+    throw std::invalid_argument("scatter_rows: index size != rows of a");
+  }
+  const int d = a.dim(1);
+  for (const int i : index) {
+    if (i < 0 || i >= rows) {
+      throw std::invalid_argument("scatter_rows: index out of range");
+    }
+  }
+  NodePtr out = make_node({rows, d}, {a.node()});
+  const float* av = a.data().data();
+  for (std::size_t r = 0; r < index.size(); ++r) {
+    std::copy_n(av + r * d,
+                d, out->data.data() + static_cast<std::size_t>(index[r]) * d);
+  }
+  NodePtr pa = a.node();
+  auto idx = std::make_shared<std::vector<int>>(index);
+  out->backward_fn = [pa, idx, d](Node& self) {
+    pa->ensure_grad();
+    for (std::size_t r = 0; r < idx->size(); ++r) {
+      const float* g =
+          self.grad.data() + static_cast<std::size_t>((*idx)[r]) * d;
+      float* gp = pa->grad.data() + r * d;
+      for (int j = 0; j < d; ++j) gp[j] += g[j];
+    }
+  };
+  return Tensor::from_node(out);
+}
+
+Tensor apply_permutation(const Tensor& a,
+                         const std::vector<std::size_t>& src_index,
+                         Shape out_shape) {
+  if (shape_numel(out_shape) != a.numel() || src_index.size() != a.numel()) {
+    throw std::invalid_argument("apply_permutation: size mismatch");
+  }
+  NodePtr out = make_node(std::move(out_shape), {a.node()});
+  const auto& av = a.data();
+  for (std::size_t i = 0; i < src_index.size(); ++i) {
+    out->data[i] = av[src_index[i]];
+  }
+  NodePtr pa = a.node();
+  auto idx = std::make_shared<std::vector<std::size_t>>(src_index);
+  out->backward_fn = [pa, idx](Node& self) {
+    pa->ensure_grad();
+    for (std::size_t i = 0; i < idx->size(); ++i) {
+      pa->grad[(*idx)[i]] += self.grad[i];
+    }
+  };
+  return Tensor::from_node(out);
+}
+
+Tensor sum(const Tensor& a) {
+  NodePtr out = make_node({1}, {a.node()});
+  double acc = 0.0;
+  for (const float v : a.data()) acc += v;
+  out->data[0] = static_cast<float>(acc);
+  NodePtr pa = a.node();
+  out->backward_fn = [pa](Node& self) {
+    pa->ensure_grad();
+    const float g = self.grad[0];
+    for (auto& gv : pa->grad) gv += g;
+  };
+  return Tensor::from_node(out);
+}
+
+Tensor mean(const Tensor& a) {
+  const float inv = 1.0F / static_cast<float>(a.numel());
+  return scale(sum(a), inv);
+}
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  check_same_shape(pred, target, "mse_loss");
+  NodePtr out = make_node({1}, {pred.node(), target.node()});
+  const auto& pv = pred.data();
+  const auto& tv = target.data();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pv.size(); ++i) {
+    const double diff = pv[i] - tv[i];
+    acc += diff * diff;
+  }
+  const float inv_n = 1.0F / static_cast<float>(pv.size());
+  out->data[0] = static_cast<float>(acc) * inv_n;
+  NodePtr pp = pred.node();
+  NodePtr pt = target.node();
+  out->backward_fn = [pp, pt, inv_n](Node& self) {
+    pp->ensure_grad();
+    pt->ensure_grad();
+    const float g = self.grad[0] * 2.0F * inv_n;
+    for (std::size_t i = 0; i < pp->data.size(); ++i) {
+      const float diff = pp->data[i] - pt->data[i];
+      pp->grad[i] += g * diff;
+      pt->grad[i] -= g * diff;
+    }
+  };
+  return Tensor::from_node(out);
+}
+
+Tensor l1_loss(const Tensor& pred, const Tensor& target) {
+  check_same_shape(pred, target, "l1_loss");
+  NodePtr out = make_node({1}, {pred.node(), target.node()});
+  const auto& pv = pred.data();
+  const auto& tv = target.data();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pv.size(); ++i) acc += std::fabs(pv[i] - tv[i]);
+  const float inv_n = 1.0F / static_cast<float>(pv.size());
+  out->data[0] = static_cast<float>(acc) * inv_n;
+  NodePtr pp = pred.node();
+  NodePtr pt = target.node();
+  out->backward_fn = [pp, pt, inv_n](Node& self) {
+    pp->ensure_grad();
+    pt->ensure_grad();
+    const float g = self.grad[0] * inv_n;
+    for (std::size_t i = 0; i < pp->data.size(); ++i) {
+      const float s = pp->data[i] > pt->data[i]   ? 1.0F
+                      : pp->data[i] < pt->data[i] ? -1.0F
+                                                  : 0.0F;
+      pp->grad[i] += g * s;
+      pt->grad[i] -= g * s;
+    }
+  };
+  return Tensor::from_node(out);
+}
+
+namespace {
+
+struct ConvDims {
+  int batch, cin, h, w, cout, kh, kw, oh, ow;
+};
+
+ConvDims conv_dims(const Tensor& a, const Tensor& w, int stride, int pad,
+                   bool transposed) {
+  if (a.rank() != 4 || w.rank() != 4) {
+    throw std::invalid_argument("conv2d: need rank-4 input and weight");
+  }
+  ConvDims d{};
+  d.batch = a.dim(0);
+  d.cin = a.dim(1);
+  d.h = a.dim(2);
+  d.w = a.dim(3);
+  d.kh = w.dim(2);
+  d.kw = w.dim(3);
+  if (transposed) {
+    if (w.dim(0) != d.cin) {
+      throw std::invalid_argument("conv2d_transpose: weight Cin mismatch");
+    }
+    d.cout = w.dim(1);
+    d.oh = (d.h - 1) * stride - 2 * pad + d.kh;
+    d.ow = (d.w - 1) * stride - 2 * pad + d.kw;
+  } else {
+    if (w.dim(1) != d.cin) {
+      throw std::invalid_argument("conv2d: weight Cin mismatch");
+    }
+    d.cout = w.dim(0);
+    d.oh = (d.h + 2 * pad - d.kh) / stride + 1;
+    d.ow = (d.w + 2 * pad - d.kw) / stride + 1;
+  }
+  if (d.oh <= 0 || d.ow <= 0) {
+    throw std::invalid_argument("conv2d: output would be empty");
+  }
+  return d;
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& a, const Tensor& w, const Tensor& bias, int stride,
+              int pad) {
+  const ConvDims d = conv_dims(a, w, stride, pad, false);
+  const bool has_bias = bias.defined();
+  if (has_bias && (bias.rank() != 1 || bias.dim(0) != d.cout)) {
+    throw std::invalid_argument("conv2d: bias must be [Cout]");
+  }
+
+  std::vector<NodePtr> parents = {a.node(), w.node()};
+  if (has_bias) parents.push_back(bias.node());
+  NodePtr out = make_node({d.batch, d.cout, d.oh, d.ow}, parents);
+
+  const float* av = a.data().data();
+  const float* wv = w.data().data();
+  float* ov = out->data.data();
+  const auto in_at = [&](int b, int c, int y, int x) {
+    return av[((static_cast<std::size_t>(b) * d.cin + c) * d.h + y) * d.w + x];
+  };
+#ifdef _OPENMP
+#pragma omp parallel for collapse(2)
+#endif
+  for (int b = 0; b < d.batch; ++b) {
+    for (int co = 0; co < d.cout; ++co) {
+      const float bias_v = has_bias ? bias.data()[co] : 0.0F;
+      for (int oy = 0; oy < d.oh; ++oy) {
+        for (int ox = 0; ox < d.ow; ++ox) {
+          float acc = bias_v;
+          for (int ci = 0; ci < d.cin; ++ci) {
+            for (int ky = 0; ky < d.kh; ++ky) {
+              const int iy = oy * stride + ky - pad;
+              if (iy < 0 || iy >= d.h) continue;
+              for (int kx = 0; kx < d.kw; ++kx) {
+                const int ix = ox * stride + kx - pad;
+                if (ix < 0 || ix >= d.w) continue;
+                acc += in_at(b, ci, iy, ix) *
+                       wv[((static_cast<std::size_t>(co) * d.cin + ci) * d.kh +
+                           ky) * d.kw + kx];
+              }
+            }
+          }
+          ov[((static_cast<std::size_t>(b) * d.cout + co) * d.oh + oy) * d.ow +
+             ox] = acc;
+        }
+      }
+    }
+  }
+
+  NodePtr pa = a.node();
+  NodePtr pw = w.node();
+  NodePtr pbias = has_bias ? bias.node() : nullptr;
+  out->backward_fn = [pa, pw, pbias, d, stride, pad](Node& self) {
+    pa->ensure_grad();
+    pw->ensure_grad();
+    if (pbias) pbias->ensure_grad();
+    const float* g = self.grad.data();
+    const float* av2 = pa->data.data();
+    const float* wv2 = pw->data.data();
+    for (int b = 0; b < d.batch; ++b) {
+      for (int co = 0; co < d.cout; ++co) {
+        for (int oy = 0; oy < d.oh; ++oy) {
+          for (int ox = 0; ox < d.ow; ++ox) {
+            const float gv = g[((static_cast<std::size_t>(b) * d.cout + co) *
+                                    d.oh + oy) * d.ow + ox];
+            if (gv == 0.0F) continue;
+            if (pbias) pbias->grad[co] += gv;
+            for (int ci = 0; ci < d.cin; ++ci) {
+              for (int ky = 0; ky < d.kh; ++ky) {
+                const int iy = oy * stride + ky - pad;
+                if (iy < 0 || iy >= d.h) continue;
+                for (int kx = 0; kx < d.kw; ++kx) {
+                  const int ix = ox * stride + kx - pad;
+                  if (ix < 0 || ix >= d.w) continue;
+                  const std::size_t ai =
+                      ((static_cast<std::size_t>(b) * d.cin + ci) * d.h + iy) *
+                          d.w + ix;
+                  const std::size_t wi =
+                      ((static_cast<std::size_t>(co) * d.cin + ci) * d.kh + ky) *
+                          d.kw + kx;
+                  pa->grad[ai] += gv * wv2[wi];
+                  pw->grad[wi] += gv * av2[ai];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+  return Tensor::from_node(out);
+}
+
+Tensor conv2d_transpose(const Tensor& a, const Tensor& w, const Tensor& bias,
+                        int stride, int pad) {
+  const ConvDims d = conv_dims(a, w, stride, pad, true);
+  const bool has_bias = bias.defined();
+  if (has_bias && (bias.rank() != 1 || bias.dim(0) != d.cout)) {
+    throw std::invalid_argument("conv2d_transpose: bias must be [Cout]");
+  }
+
+  std::vector<NodePtr> parents = {a.node(), w.node()};
+  if (has_bias) parents.push_back(bias.node());
+  NodePtr out = make_node({d.batch, d.cout, d.oh, d.ow}, parents);
+
+  const float* av = a.data().data();
+  const float* wv = w.data().data();
+  float* ov = out->data.data();
+  if (has_bias) {
+    for (int b = 0; b < d.batch; ++b) {
+      for (int co = 0; co < d.cout; ++co) {
+        float* plane =
+            ov + ((static_cast<std::size_t>(b) * d.cout + co) * d.oh) * d.ow;
+        std::fill_n(plane, static_cast<std::size_t>(d.oh) * d.ow,
+                    bias.data()[co]);
+      }
+    }
+  }
+  for (int b = 0; b < d.batch; ++b) {
+    for (int ci = 0; ci < d.cin; ++ci) {
+      for (int y = 0; y < d.h; ++y) {
+        for (int x = 0; x < d.w; ++x) {
+          const float v =
+              av[((static_cast<std::size_t>(b) * d.cin + ci) * d.h + y) * d.w +
+                 x];
+          if (v == 0.0F) continue;
+          for (int co = 0; co < d.cout; ++co) {
+            for (int ky = 0; ky < d.kh; ++ky) {
+              const int oy = y * stride + ky - pad;
+              if (oy < 0 || oy >= d.oh) continue;
+              for (int kx = 0; kx < d.kw; ++kx) {
+                const int ox = x * stride + kx - pad;
+                if (ox < 0 || ox >= d.ow) continue;
+                ov[((static_cast<std::size_t>(b) * d.cout + co) * d.oh + oy) *
+                       d.ow + ox] +=
+                    v * wv[((static_cast<std::size_t>(ci) * d.cout + co) * d.kh +
+                            ky) * d.kw + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  NodePtr pa = a.node();
+  NodePtr pw = w.node();
+  NodePtr pbias = has_bias ? bias.node() : nullptr;
+  out->backward_fn = [pa, pw, pbias, d, stride, pad](Node& self) {
+    pa->ensure_grad();
+    pw->ensure_grad();
+    if (pbias) pbias->ensure_grad();
+    const float* g = self.grad.data();
+    const float* av2 = pa->data.data();
+    const float* wv2 = pw->data.data();
+    if (pbias) {
+      for (int b = 0; b < d.batch; ++b) {
+        for (int co = 0; co < d.cout; ++co) {
+          const float* plane =
+              g + ((static_cast<std::size_t>(b) * d.cout + co) * d.oh) * d.ow;
+          for (std::size_t i = 0; i < static_cast<std::size_t>(d.oh) * d.ow;
+               ++i) {
+            pbias->grad[co] += plane[i];
+          }
+        }
+      }
+    }
+    for (int b = 0; b < d.batch; ++b) {
+      for (int ci = 0; ci < d.cin; ++ci) {
+        for (int y = 0; y < d.h; ++y) {
+          for (int x = 0; x < d.w; ++x) {
+            const std::size_t ai =
+                ((static_cast<std::size_t>(b) * d.cin + ci) * d.h + y) * d.w + x;
+            for (int co = 0; co < d.cout; ++co) {
+              for (int ky = 0; ky < d.kh; ++ky) {
+                const int oy = y * stride + ky - pad;
+                if (oy < 0 || oy >= d.oh) continue;
+                for (int kx = 0; kx < d.kw; ++kx) {
+                  const int ox = x * stride + kx - pad;
+                  if (ox < 0 || ox >= d.ow) continue;
+                  const std::size_t oi =
+                      ((static_cast<std::size_t>(b) * d.cout + co) * d.oh + oy) *
+                          d.ow + ox;
+                  const std::size_t wi =
+                      ((static_cast<std::size_t>(ci) * d.cout + co) * d.kh + ky) *
+                          d.kw + kx;
+                  pa->grad[ai] += g[oi] * wv2[wi];
+                  pw->grad[wi] += g[oi] * av2[ai];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+  return Tensor::from_node(out);
+}
+
+}  // namespace easz::tensor

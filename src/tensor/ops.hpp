@@ -1,0 +1,92 @@
+// Differentiable tensor operations.
+//
+// Free functions building the autograd DAG. Conventions:
+//  * Last dimension is the feature dimension for softmax/layernorm/bias.
+//  * `bmm` treats rank-3 tensors as stacks of matrices (leading batch dim).
+//  * All ops validate shapes and throw std::invalid_argument on mismatch.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace easz::tensor {
+
+// ---- elementwise ----------------------------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+Tensor add_scalar(const Tensor& a, float s);
+
+/// a + b where b has the shape of a's trailing dimensions (broadcast over
+/// the leading ones), e.g. bias add: a=[B,T,D], b=[D] or b=[T,D].
+Tensor add_broadcast(const Tensor& a, const Tensor& b);
+
+// ---- activations ----------------------------------------------------------
+Tensor relu(const Tensor& a);
+Tensor leaky_relu(const Tensor& a, float slope = 0.01F);
+Tensor gelu(const Tensor& a);  // tanh approximation
+Tensor sigmoid(const Tensor& a);
+Tensor tanh_op(const Tensor& a);
+
+/// Elementwise sqrt(max(a, eps)) — eps floors the gradient.
+Tensor sqrt_op(const Tensor& a, float eps = 1e-8F);
+
+/// Elementwise 1/sqrt(max(a, eps)).
+Tensor rsqrt(const Tensor& a, float eps = 1e-8F);
+
+// ---- matrix products -------------------------------------------------------
+/// [m,k] x [k,n] -> [m,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Batched: [B,m,k] x [B,k,n] -> [B,m,n]; transpose_b treats b as [B,n,k].
+Tensor bmm(const Tensor& a, const Tensor& b, bool transpose_b = false);
+
+// ---- normalisation / attention pieces -------------------------------------
+/// Softmax over the last dimension.
+Tensor softmax(const Tensor& a);
+
+/// LayerNorm over the last dimension with learnable gamma/beta of shape [D].
+Tensor layernorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                 float eps = 1e-5F);
+
+// ---- shape surgery ---------------------------------------------------------
+/// Slice of the last dimension: [..., D] -> [..., len] starting at `start`.
+Tensor slice_last(const Tensor& a, int start, int len);
+
+/// Concatenate along the last dimension; all inputs share leading dims.
+Tensor concat_last(const std::vector<Tensor>& parts);
+
+/// Row gather on a rank-2 tensor: out[i, :] = a[index[i], :].
+Tensor gather_rows(const Tensor& a, const std::vector<int>& index);
+
+/// Row scatter: returns a [rows, D] tensor with out[index[i], :] = a[i, :]
+/// and zeros elsewhere. Rows not in `index` stay zero — this implements the
+/// paper's zero-vector infill for erased sub-patches.
+Tensor scatter_rows(const Tensor& a, const std::vector<int>& index, int rows);
+
+/// Arbitrary element re-layout: out.data[i] = a.data[src_index[i]], with
+/// `src_index` a permutation of [0, numel). Used for token-grid <-> image
+/// layout changes, which are pure permutations.
+Tensor apply_permutation(const Tensor& a, const std::vector<std::size_t>& src_index,
+                         Shape out_shape);
+
+// ---- reductions / losses ---------------------------------------------------
+Tensor sum(const Tensor& a);
+Tensor mean(const Tensor& a);
+Tensor mse_loss(const Tensor& pred, const Tensor& target);
+Tensor l1_loss(const Tensor& pred, const Tensor& target);
+
+// ---- convolution (NCHW) ----------------------------------------------------
+/// a=[B,Cin,H,W], w=[Cout,Cin,kh,kw], bias=[Cout] (optional, pass undefined
+/// Tensor to skip). Zero padding `pad`, stride `stride`.
+Tensor conv2d(const Tensor& a, const Tensor& w, const Tensor& bias, int stride,
+              int pad);
+
+/// Transposed convolution, the gradient of conv2d w.r.t. its input used as a
+/// forward op: a=[B,Cin,H,W], w=[Cin,Cout,kh,kw] -> [B,Cout,H*stride,...].
+Tensor conv2d_transpose(const Tensor& a, const Tensor& w, const Tensor& bias,
+                        int stride, int pad);
+
+}  // namespace easz::tensor

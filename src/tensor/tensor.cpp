@@ -1,0 +1,188 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace easz::tensor {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (const int d : shape) {
+    if (d <= 0) throw std::invalid_argument("shape: non-positive dim");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape, bool requires_grad) {
+  node_ = std::make_shared<detail::Node>();
+  node_->data.assign(shape_numel(shape), 0.0F);
+  node_->shape = std::move(shape);
+  node_->requires_grad = requires_grad;
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data, bool requires_grad) {
+  if (shape_numel(shape) != data.size()) {
+    throw std::invalid_argument("Tensor: data size does not match shape " +
+                                shape_str(shape));
+  }
+  node_ = std::make_shared<detail::Node>();
+  node_->shape = std::move(shape);
+  node_->data = std::move(data);
+  node_->requires_grad = requires_grad;
+}
+
+Tensor Tensor::zeros(const Shape& shape) { return Tensor(shape); }
+
+Tensor Tensor::full(const Shape& shape, float value) {
+  Tensor t(shape);
+  std::fill(t.data().begin(), t.data().end(), value);
+  return t;
+}
+
+Tensor Tensor::randn(const Shape& shape, util::Pcg32& rng, float stddev,
+                     bool requires_grad) {
+  Tensor t(shape, requires_grad);
+  for (auto& v : t.data()) v = rng.next_gaussian() * stddev;
+  return t;
+}
+
+const Shape& Tensor::shape() const {
+  if (!node_) throw std::logic_error("Tensor: undefined");
+  return node_->shape;
+}
+
+int Tensor::dim(int i) const {
+  const Shape& s = shape();
+  if (i < 0) i += static_cast<int>(s.size());
+  if (i < 0 || i >= static_cast<int>(s.size())) {
+    throw std::invalid_argument("Tensor::dim: index out of range");
+  }
+  return s[i];
+}
+
+std::size_t Tensor::numel() const { return node_->data.size(); }
+
+const std::vector<float>& Tensor::data() const { return node_->data; }
+std::vector<float>& Tensor::data() { return node_->data; }
+
+const std::vector<float>& Tensor::grad() const {
+  if (!node_) throw std::logic_error("Tensor: undefined");
+  return node_->grad;
+}
+
+bool Tensor::requires_grad() const { return node_ && node_->requires_grad; }
+
+float Tensor::item() const {
+  if (numel() != 1) throw std::logic_error("Tensor::item: numel != 1");
+  return node_->data[0];
+}
+
+namespace {
+
+void topo_sort(const std::shared_ptr<detail::Node>& root,
+               std::vector<detail::Node*>& order) {
+  // Iterative DFS post-order; visit_mark: 0 unvisited, 1 in stack, 2 done.
+  std::vector<std::pair<detail::Node*, std::size_t>> stack{{root.get(), 0}};
+  root->visit_mark = 1;
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      detail::Node* child = node->parents[next_child].get();
+      ++next_child;
+      if (child->visit_mark == 0) {
+        child->visit_mark = 1;
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      node->visit_mark = 2;
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+void clear_marks(const std::vector<detail::Node*>& order) {
+  for (detail::Node* n : order) n->visit_mark = 0;
+}
+
+}  // namespace
+
+void Tensor::backward() {
+  if (!node_) throw std::logic_error("Tensor::backward: undefined");
+  if (numel() != 1) {
+    throw std::logic_error("Tensor::backward: only scalar roots supported");
+  }
+  std::vector<detail::Node*> order;
+  topo_sort(node_, order);
+
+  node_->ensure_grad();
+  node_->grad[0] = 1.0F;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::Node* n = *it;
+    if (n->backward_fn && !n->grad.empty()) n->backward_fn(*n);
+  }
+  clear_marks(order);
+}
+
+void Tensor::zero_grad() {
+  if (!node_) return;
+  std::vector<detail::Node*> order;
+  topo_sort(node_, order);
+  for (detail::Node* n : order) n->grad.clear();
+  clear_marks(order);
+}
+
+Tensor Tensor::detach() const {
+  Tensor t;
+  auto node = std::make_shared<detail::Node>();
+  node->shape = node_->shape;
+  node->data = node_->data;
+  node->requires_grad = false;
+  return from_node(std::move(node));
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("reshape: numel mismatch " +
+                                shape_str(shape()) + " -> " +
+                                shape_str(new_shape));
+  }
+  auto node = std::make_shared<detail::Node>();
+  node->shape = std::move(new_shape);
+  node->data = node_->data;
+  node->requires_grad = node_->requires_grad;
+  if (node_->requires_grad || node_->backward_fn || !node_->parents.empty()) {
+    node->parents = {node_};
+    node->requires_grad = true;
+    auto parent = node_;
+    node->backward_fn = [parent](detail::Node& self) {
+      parent->ensure_grad();
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        parent->grad[i] += self.grad[i];
+      }
+    };
+  }
+  return from_node(std::move(node));
+}
+
+Tensor Tensor::from_node(std::shared_ptr<detail::Node> node) {
+  Tensor t;
+  t.node_ = std::move(node);
+  return t;
+}
+
+}  // namespace easz::tensor

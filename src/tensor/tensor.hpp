@@ -1,0 +1,106 @@
+// Dense float tensor with reverse-mode automatic differentiation.
+//
+// This is the training/inference substrate for the whole project: the Easz
+// transformer reconstructor, the neural-codec baselines and the SR baselines
+// all run on it. Design:
+//
+//  * `Tensor` is a cheap value-type handle onto a shared node. Ops build a
+//    DAG of nodes; each node stores its data, (lazily allocated) grad and a
+//    backward closure that scatters into its parents' grads.
+//  * Shapes are row-major, rank 1..4. Ops validate shapes eagerly and throw
+//    std::invalid_argument on mismatch.
+//  * `backward()` topologically sorts the reachable graph and runs closures
+//    in reverse. Gradients accumulate (+=), so zero_grad between steps.
+//  * Nothing here is thread-aware except the matmul kernels, which use
+//    OpenMP when available.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace easz::tensor {
+
+using Shape = std::vector<int>;
+
+/// Number of elements of a shape.
+std::size_t shape_numel(const Shape& shape);
+
+/// "[2, 3, 4]" - for error messages.
+std::string shape_str(const Shape& shape);
+
+namespace detail {
+
+struct Node {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // empty until touched by backward
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::function<void(Node&)> backward_fn;  // scatters this->grad into parents
+  int visit_mark = 0;  // scratch for topological sort
+
+  void ensure_grad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0F);
+  }
+};
+
+}  // namespace detail
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-filled tensor. `requires_grad` marks it as a leaf parameter.
+  explicit Tensor(Shape shape, bool requires_grad = false);
+
+  /// Wraps existing data (copied). Throws if sizes mismatch.
+  Tensor(Shape shape, std::vector<float> data, bool requires_grad = false);
+
+  static Tensor zeros(const Shape& shape);
+  static Tensor full(const Shape& shape, float value);
+  /// Kaiming-style normal init with std = gain / sqrt(fan_in).
+  static Tensor randn(const Shape& shape, util::Pcg32& rng, float stddev = 1.0F,
+                      bool requires_grad = false);
+
+  [[nodiscard]] bool defined() const { return node_ != nullptr; }
+  [[nodiscard]] const Shape& shape() const;
+  [[nodiscard]] int dim(int i) const;
+  [[nodiscard]] int rank() const { return static_cast<int>(shape().size()); }
+  [[nodiscard]] std::size_t numel() const;
+
+  [[nodiscard]] const std::vector<float>& data() const;
+  [[nodiscard]] std::vector<float>& data();
+  [[nodiscard]] const std::vector<float>& grad() const;
+
+  [[nodiscard]] bool requires_grad() const;
+
+  [[nodiscard]] float item() const;  // rank-agnostic single-element read
+
+  /// Runs reverse-mode AD from this (scalar) tensor. Seeds d(this)/d(this)=1.
+  void backward();
+
+  /// Clears gradients across the graph reachable from this tensor.
+  void zero_grad();
+
+  /// Detaches from the autograd graph (shares data, no parents).
+  [[nodiscard]] Tensor detach() const;
+
+  /// Reshape (same numel), participates in autograd.
+  [[nodiscard]] Tensor reshape(Shape new_shape) const;
+
+  // Internal: access the node (used by ops.cpp).
+  [[nodiscard]] const std::shared_ptr<detail::Node>& node() const {
+    return node_;
+  }
+  static Tensor from_node(std::shared_ptr<detail::Node> node);
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+}  // namespace easz::tensor

@@ -1,0 +1,61 @@
+// Analytic device and network models (substitute for the paper's physical
+// Jetson TX2 + desktop testbed; see DESIGN.md §2).
+//
+// Latency, power and memory are computed from each codec's reported FLOPs /
+// model bytes against sustained-throughput constants calibrated so that the
+// paper's *baseline* measurements (Fig. 1: 18 s neural encode on TX2, ~150 ms
+// transmission; Fig. 6: ~3 W neural encode power, ~2 GB footprint) are
+// reproduced. Relative comparisons — which is what every figure shows — then
+// follow from the workloads, not from the constants.
+#pragma once
+
+#include <string>
+
+namespace easz::testbed {
+
+struct DeviceModel {
+  std::string name;
+  double nn_flops_per_s = 1e9;   ///< sustained NN throughput (GPU if present)
+  double cpu_flops_per_s = 1e9;  ///< classical codec / memory-movement path
+  double io_bytes_per_s = 50e6;  ///< storage -> RAM model loading
+  double idle_power_w = 0.5;
+  double cpu_active_power_w = 1.0;  ///< added when the CPU path is busy
+  double gpu_active_power_w = 2.0;  ///< added when the NN path is busy
+  double base_memory_bytes = 0.0;   ///< runtime baseline footprint
+  double activation_bytes_per_px = 0.0;  ///< NN inference activation memory
+};
+
+/// NVIDIA Jetson TX2 (edge). NN throughput reflects the paper's ~18 s encode
+/// of a 512x768 image with Cheng/MBT-class models.
+DeviceModel jetson_tx2();
+
+/// i7-9700K + RTX 2080Ti desktop (server). NN throughput reflects the
+/// paper's ~1.9 s transformer reconstruction of a 512x768 image.
+DeviceModel desktop_2080ti();
+
+struct NetworkLink {
+  std::string name;
+  double bytes_per_s = 500e3;
+  double rtt_s = 0.02;
+
+  [[nodiscard]] double transfer_s(double bytes) const {
+    return rtt_s + bytes / bytes_per_s;
+  }
+};
+
+/// Raspberry Pi 4: the weaker endpoint the paper's §II argues many real
+/// deployments use ("many real-life endpoints are less potent than the TX2").
+/// No usable GPU for NN inference; NN falls back to NEON CPU throughput.
+DeviceModel raspberry_pi4();
+
+/// A100 datacenter server — the paper's §IV-B upgrade path for the
+/// reconstruction stage.
+DeviceModel a100_server();
+
+/// Wi-Fi router TCP path matching the paper's ~150 ms transmissions.
+NetworkLink wifi_link();
+
+/// LTE Cat-M1-ish constrained uplink for remote IoT deployments.
+NetworkLink lte_iot_link();
+
+}  // namespace easz::testbed

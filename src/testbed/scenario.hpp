@@ -1,0 +1,79 @@
+// End-to-end edge->server pipeline cost evaluation (Figs. 1, 6, 8d).
+//
+// A Scenario binds an edge device, a server and a link, and prices a
+// compression pipeline run: per-stage latency (erase-and-squeeze, encode,
+// model load, transmit, decode, reconstruct), edge power draw during encode
+// and edge memory footprint. Workload quantities (FLOPs, bytes) come from
+// the codecs' own cost reporting; device constants from device.hpp.
+#pragma once
+
+#include "codec/codec.hpp"
+#include "core/recon_model.hpp"
+#include "testbed/device.hpp"
+
+namespace easz::testbed {
+
+struct StageBreakdown {
+  double erase_squeeze_s = 0.0;  ///< Easz only; ~0 for plain codecs
+  double model_load_s = 0.0;     ///< edge-side model load (cold start)
+  double encode_s = 0.0;
+  double transmit_s = 0.0;
+  double decode_s = 0.0;       ///< server-side codec decode
+  double reconstruct_s = 0.0;  ///< server-side transformer reconstruction
+
+  [[nodiscard]] double end_to_end_s(bool include_load = false) const {
+    return (include_load ? model_load_s : 0.0) + erase_squeeze_s + encode_s +
+           transmit_s + decode_s + reconstruct_s;
+  }
+};
+
+struct EdgeCost {
+  double cpu_power_w = 0.0;  ///< average during encode
+  double gpu_power_w = 0.0;
+  double memory_bytes = 0.0;
+  [[nodiscard]] double total_power_w() const { return cpu_power_w + gpu_power_w; }
+};
+
+struct PipelineCost {
+  StageBreakdown latency;
+  EdgeCost edge;
+};
+
+/// Extra per-codec latency knobs the analytic model cannot derive (e.g.
+/// framework graph-building time dominating Cheng's 11.6 s model load).
+struct CodecOverheads {
+  double load_init_s = 0.0;
+};
+
+class Scenario {
+ public:
+  Scenario(DeviceModel edge, DeviceModel server, NetworkLink link);
+
+  /// Plain codec pipeline: edge encode -> transmit -> server decode.
+  /// `payload_bytes` is the actual compressed size for the image.
+  [[nodiscard]] PipelineCost run_codec(const codec::ImageCodec& codec, int width,
+                                       int height, double payload_bytes,
+                                       CodecOverheads overheads = {}) const;
+
+  /// Easz pipeline: edge erase-and-squeeze + inner codec encode of the
+  /// squeezed image -> transmit (payload + mask) -> server decode +
+  /// transformer reconstruction.
+  [[nodiscard]] PipelineCost run_easz(const codec::ImageCodec& inner,
+                                      const core::ReconstructionModel& model,
+                                      int width, int height, int erased_per_row,
+                                      double payload_bytes) const;
+
+  [[nodiscard]] const DeviceModel& edge() const { return edge_; }
+  [[nodiscard]] const DeviceModel& server() const { return server_; }
+  [[nodiscard]] const NetworkLink& link() const { return link_; }
+
+ private:
+  DeviceModel edge_;
+  DeviceModel server_;
+  NetworkLink link_;
+};
+
+/// Default paper testbed: TX2 edge, 2080Ti server, Wi-Fi link.
+Scenario paper_testbed();
+
+}  // namespace easz::testbed

@@ -1,0 +1,72 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+
+namespace easz::util {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t seq) {
+  state_ = 0U;
+  inc_ = (seq << 1U) | 1U;
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Pcg32::next_u32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+  const auto rot = static_cast<std::uint32_t>(old >> 59U);
+  return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+}
+
+std::uint32_t Pcg32::next_below(std::uint32_t bound) {
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    const std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Pcg32::next_int(int lo, int hi) {
+  const auto span = static_cast<std::uint32_t>(hi - lo + 1);
+  return lo + static_cast<int>(next_below(span));
+}
+
+float Pcg32::next_float() {
+  return static_cast<float>(next_u32() >> 8U) * (1.0F / 16777216.0F);
+}
+
+double Pcg32::next_double() {
+  const std::uint64_t hi = next_u32();
+  const std::uint64_t lo = next_u32();
+  const std::uint64_t bits53 = ((hi << 21U) ^ lo) & ((1ULL << 53U) - 1U);
+  return static_cast<double>(bits53) * (1.0 / 9007199254740992.0);
+}
+
+float Pcg32::next_gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  float u1 = next_float();
+  const float u2 = next_float();
+  if (u1 < 1e-12F) u1 = 1e-12F;
+  const float mag = std::sqrt(-2.0F * std::log(u1));
+  const float two_pi_u2 = 6.28318530717958647692F * u2;
+  cached_gaussian_ = mag * std::sin(two_pi_u2);
+  has_cached_gaussian_ = true;
+  return mag * std::cos(two_pi_u2);
+}
+
+Pcg32 Pcg32::split() {
+  const std::uint64_t seed =
+      (static_cast<std::uint64_t>(next_u32()) << 32U) | next_u32();
+  const std::uint64_t seq =
+      (static_cast<std::uint64_t>(next_u32()) << 32U) | next_u32();
+  return Pcg32(seed, seq);
+}
+
+}  // namespace easz::util

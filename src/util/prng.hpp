@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation for the whole project.
+//
+// Every stochastic component (erase-mask sampling, weight init, synthetic
+// datasets, noise injection in tests) draws from Pcg32 so that runs are
+// reproducible from a single seed. PCG32 (O'Neill, 2014) is small, fast and
+// statistically strong enough for simulation workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace easz::util {
+
+/// 32-bit permuted-congruential generator (PCG-XSH-RR variant).
+class Pcg32 {
+ public:
+  /// Seeds the generator. `seq` selects one of 2^63 independent streams.
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t seq = 0xda3e39cb94b95bdbULL);
+
+  /// Next uniform 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Uniform integer in [0, bound) without modulo bias. `bound` must be > 0.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int next_int(int lo, int hi);
+
+  /// Uniform float in [0, 1).
+  float next_float();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Standard normal via Box-Muller (caches the second deviate).
+  float next_gaussian();
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const std::size_t j = next_below(static_cast<std::uint32_t>(i + 1));
+      std::swap(v[i], v[j]);
+    }
+  }
+
+  /// Returns a generator for an independent stream derived from this one.
+  /// Useful to give each worker/module its own reproducible stream.
+  Pcg32 split();
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_cached_gaussian_ = false;
+  float cached_gaussian_ = 0.0F;
+};
+
+}  // namespace easz::util

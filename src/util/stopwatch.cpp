@@ -1,0 +1,3 @@
+#include "util/stopwatch.hpp"
+
+// Header-only in practice; this TU anchors the library target.

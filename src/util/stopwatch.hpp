@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for measuring real CPU execution of pipeline stages.
+//
+// The testbed simulator (src/testbed) models *target-device* latency
+// analytically; Stopwatch measures what actually ran on this host (e.g. for
+// Fig. 7c's inference-time axis).
+#pragma once
+
+#include <chrono>
+
+namespace easz::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace easz::util

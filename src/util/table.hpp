@@ -1,0 +1,37 @@
+// Plain-text table printer used by every bench binary so that figure/table
+// reproductions are emitted in a uniform, grep-able format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace easz::util {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+///
+/// Example output:
+///   | method | BPP   | Brisque |
+///   |--------|-------|---------|
+///   | JPEG   | 0.412 | 43.06   |
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded empty).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimal digits.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders the aligned table, one trailing newline.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace easz::util

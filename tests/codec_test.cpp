@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "codec/bpg_like.hpp"
+#include "codec/codec.hpp"
+#include "codec/dct.hpp"
+#include "codec/jpeg_like.hpp"
+#include "data/synth.hpp"
+#include "util/prng.hpp"
+
+namespace easz::codec {
+namespace {
+
+double image_mse(const image::Image& a, const image::Image& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const double d = a.data()[i] - b.data()[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.data().size());
+}
+
+TEST(Dct, ForwardInverseIsIdentity) {
+  for (const int n : {4, 8, 16, 32}) {
+    Dct2d dct(n);
+    util::Pcg32 rng(n);
+    std::vector<float> block(static_cast<std::size_t>(n) * n);
+    for (auto& v : block) v = rng.next_float() * 255.0F - 128.0F;
+    std::vector<float> orig = block;
+    dct.forward(block.data());
+    dct.inverse(block.data());
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      EXPECT_NEAR(block[i], orig[i], 1e-2F) << "n=" << n;
+    }
+  }
+}
+
+TEST(Dct, ConstantBlockConcentratesInDc) {
+  Dct2d dct(8);
+  std::vector<float> block(64, 10.0F);
+  dct.forward(block.data());
+  EXPECT_NEAR(block[0], 80.0F, 1e-3F);  // orthonormal: n * value
+  for (std::size_t i = 1; i < 64; ++i) EXPECT_NEAR(block[i], 0.0F, 1e-4F);
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  Dct2d dct(16);
+  util::Pcg32 rng(99);
+  std::vector<float> block(256);
+  for (auto& v : block) v = rng.next_gaussian();
+  double energy_in = 0.0;
+  for (const float v : block) energy_in += v * v;
+  dct.forward(block.data());
+  double energy_out = 0.0;
+  for (const float v : block) energy_out += v * v;
+  EXPECT_NEAR(energy_out, energy_in, energy_in * 1e-4);
+}
+
+TEST(Dct, RejectsBadSizes) {
+  EXPECT_THROW(Dct2d(1), std::invalid_argument);
+  EXPECT_THROW(Dct2d(65), std::invalid_argument);
+}
+
+class CodecRoundTrip : public testing::TestWithParam<std::string> {};
+
+TEST_P(CodecRoundTrip, DecodeMatchesOriginalAtHighQuality) {
+  auto codec = make_classical_codec(GetParam(), 95);
+  util::Pcg32 rng(7);
+  const image::Image img = data::synth_photo(96, 64, rng);
+  const Compressed c = codec->encode(img);
+  const image::Image decoded = codec->decode(c);
+  ASSERT_EQ(decoded.width(), img.width());
+  ASSERT_EQ(decoded.height(), img.height());
+  ASSERT_EQ(decoded.channels(), img.channels());
+  EXPECT_LT(image_mse(img, decoded), 5e-4);
+}
+
+TEST_P(CodecRoundTrip, GrayscaleImagesSupported) {
+  auto codec = make_classical_codec(GetParam(), 80);
+  util::Pcg32 rng(8);
+  const image::Image img = data::value_noise(64, 48, 16, 4, rng);
+  const image::Image decoded = codec->decode(codec->encode(img));
+  EXPECT_EQ(decoded.channels(), 1);
+  EXPECT_LT(image_mse(img, decoded), 2e-3);
+}
+
+TEST_P(CodecRoundTrip, NonMultipleOfBlockDimensionsSupported) {
+  auto codec = make_classical_codec(GetParam(), 70);
+  util::Pcg32 rng(9);
+  const image::Image img = data::synth_photo(50, 37, rng);
+  const image::Image decoded = codec->decode(codec->encode(img));
+  EXPECT_EQ(decoded.width(), 50);
+  EXPECT_EQ(decoded.height(), 37);
+  EXPECT_LT(image_mse(img, decoded), 5e-3);
+}
+
+TEST_P(CodecRoundTrip, QualityMonotonicallyImprovesDistortion) {
+  auto codec = make_classical_codec(GetParam(), 10);
+  util::Pcg32 rng(10);
+  const image::Image img = data::synth_photo(96, 64, rng);
+  double prev_mse = 1e9;
+  for (const int q : {10, 40, 70, 95}) {
+    codec->set_quality(q);
+    const double mse = image_mse(img, codec->decode(codec->encode(img)));
+    EXPECT_LE(mse, prev_mse * 1.05) << "quality " << q;
+    prev_mse = mse;
+  }
+}
+
+TEST_P(CodecRoundTrip, QualityMonotonicallyIncreasesRate) {
+  auto codec = make_classical_codec(GetParam(), 10);
+  util::Pcg32 rng(11);
+  const image::Image img = data::synth_photo(96, 64, rng);
+  double prev_bpp = 0.0;
+  for (const int q : {5, 35, 65, 95}) {
+    codec->set_quality(q);
+    const double bpp = codec->encode(img).bpp();
+    EXPECT_GE(bpp, prev_bpp * 0.95) << "quality " << q;
+    prev_bpp = bpp;
+  }
+}
+
+TEST_P(CodecRoundTrip, CompressesNaturalContent) {
+  auto codec = make_classical_codec(GetParam(), 50);
+  util::Pcg32 rng(12);
+  const image::Image img = data::synth_photo(128, 96, rng);
+  const Compressed c = codec->encode(img);
+  // Raw: 24 bpp. Mid quality should land far below.
+  EXPECT_LT(c.bpp(), 8.0);
+  EXPECT_GT(c.bpp(), 0.01);
+}
+
+TEST_P(CodecRoundTrip, ReportsPositiveCostModel) {
+  auto codec = make_classical_codec(GetParam(), 50);
+  EXPECT_GT(codec->encode_flops(512, 768), 0.0);
+  EXPECT_GT(codec->decode_flops(512, 768), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClassical, CodecRoundTrip,
+                         testing::Values("jpeg", "bpg"));
+
+TEST(JpegLike, DeterministicEncoding) {
+  JpegLikeCodec codec(60);
+  util::Pcg32 rng(13);
+  const image::Image img = data::synth_photo(64, 64, rng);
+  const Compressed a = codec.encode(img);
+  const Compressed b = codec.encode(img);
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+TEST(JpegLike, QualityClamped) {
+  JpegLikeCodec codec(500);
+  EXPECT_EQ(codec.quality(), 100);
+  codec.set_quality(-5);
+  EXPECT_EQ(codec.quality(), 1);
+}
+
+TEST(BpgLike, BeatsJpegAtLowRate) {
+  // The structural advantage (prediction + bigger blocks + rANS) should show
+  // at aggressive compression on smooth natural content, mirroring BPG vs
+  // JPEG.
+  util::Pcg32 rng(14);
+  const image::Image img = data::synth_photo(128, 96, rng);
+
+  JpegLikeCodec jpeg(12);
+  const Compressed cj = jpeg.encode(img);
+  const double jpeg_mse = image_mse(img, jpeg.decode(cj));
+
+  // Find the bpg quality with closest bpp <= jpeg's bpp.
+  BpgLikeCodec bpg(50);
+  double best_mse = 1e9;
+  bool found = false;
+  for (const int q : {2, 5, 8, 10, 15, 20, 30, 40, 50}) {
+    bpg.set_quality(q);
+    const Compressed cb = bpg.encode(img);
+    if (cb.bpp() <= cj.bpp() * 1.1) {
+      best_mse = std::min(best_mse, image_mse(img, bpg.decode(cb)));
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  EXPECT_LT(best_mse, jpeg_mse * 1.2);
+}
+
+TEST(BpgLike, DeterministicEncoding) {
+  BpgLikeCodec codec(45);
+  util::Pcg32 rng(15);
+  const image::Image img = data::synth_photo(64, 48, rng);
+  EXPECT_EQ(codec.encode(img).bytes, codec.encode(img).bytes);
+}
+
+TEST(Codec, FactoryRejectsUnknownName) {
+  EXPECT_THROW(make_classical_codec("webp", 50), std::invalid_argument);
+}
+
+TEST(Codec, CompressedBppComputesAgainstOriginalGrid) {
+  Compressed c;
+  c.bytes.assign(1000, 0);
+  c.width = 100;
+  c.height = 80;
+  EXPECT_NEAR(c.bpp(), 1000.0 * 8.0 / 8000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace easz::codec

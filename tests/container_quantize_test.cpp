@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "codec/jpeg_like.hpp"
+#include "core/container.hpp"
+#include "data/datasets.hpp"
+#include "metrics/distortion.hpp"
+#include "nn/module.hpp"
+#include "nn/quantize.hpp"
+#include "testbed/device.hpp"
+#include "util/prng.hpp"
+
+namespace easz {
+namespace {
+
+core::EaszCompressed make_compressed() {
+  util::Pcg32 rng(1);
+  codec::JpegLikeCodec jpeg(70);
+  core::EaszConfig cfg;
+  cfg.patchify = {.patch = 16, .sub_patch = 2};
+  cfg.erased_per_row = 2;
+  core::EaszPipeline pipeline(cfg, jpeg, nullptr);
+  return pipeline.encode(data::load_image(data::kodak_like_spec(0.1F), 0));
+}
+
+TEST(Container, RoundTripPreservesEverything) {
+  const core::EaszCompressed c = make_compressed();
+  const core::PatchifyConfig pc{.patch = 16, .sub_patch = 2};
+  const auto bytes = core::serialize_container(c, pc, "jpeg");
+  const core::ParsedContainer parsed = core::parse_container(bytes);
+
+  EXPECT_EQ(parsed.codec_name, "jpeg");
+  EXPECT_EQ(parsed.patchify.patch, 16);
+  EXPECT_EQ(parsed.patchify.sub_patch, 2);
+  EXPECT_EQ(parsed.compressed.full_width, c.full_width);
+  EXPECT_EQ(parsed.compressed.full_height, c.full_height);
+  EXPECT_EQ(parsed.compressed.padded_width, c.padded_width);
+  EXPECT_EQ(parsed.compressed.erased_per_row, c.erased_per_row);
+  EXPECT_EQ(parsed.compressed.mask_bytes, c.mask_bytes);
+  EXPECT_EQ(parsed.compressed.payload.bytes, c.payload.bytes);
+  EXPECT_EQ(parsed.compressed.payload.width, c.payload.width);
+}
+
+TEST(Container, FileRoundTrip) {
+  const core::EaszCompressed c = make_compressed();
+  const core::PatchifyConfig pc{.patch = 16, .sub_patch = 2};
+  const std::string path = testing::TempDir() + "easz_container_test.easz";
+  core::write_container(c, pc, "jpeg", path);
+  const core::ParsedContainer parsed = core::read_container(path);
+  EXPECT_EQ(parsed.compressed.payload.bytes, c.payload.bytes);
+  std::remove(path.c_str());
+}
+
+TEST(Container, DecodableAfterRoundTrip) {
+  const core::EaszCompressed c = make_compressed();
+  const core::PatchifyConfig pc{.patch = 16, .sub_patch = 2};
+  const auto parsed =
+      core::parse_container(core::serialize_container(c, pc, "jpeg"));
+
+  codec::JpegLikeCodec jpeg(70);
+  core::EaszConfig cfg;
+  cfg.patchify = parsed.patchify;
+  cfg.erased_per_row = parsed.compressed.erased_per_row;
+  core::EaszPipeline pipeline(cfg, jpeg, nullptr);
+  const image::Image out = pipeline.decode_neighbor_fill(parsed.compressed);
+  EXPECT_EQ(out.width(), c.full_width);
+  EXPECT_EQ(out.height(), c.full_height);
+}
+
+TEST(Container, CorruptInputsThrow) {
+  std::vector<std::uint8_t> garbage = {1, 2, 3, 4, 5};
+  EXPECT_THROW(core::parse_container(garbage), std::runtime_error);
+
+  const core::EaszCompressed c = make_compressed();
+  const core::PatchifyConfig pc{.patch = 16, .sub_patch = 2};
+  auto bytes = core::serialize_container(c, pc, "jpeg");
+  bytes.resize(bytes.size() / 2);  // truncate
+  EXPECT_THROW(core::parse_container(bytes), std::runtime_error);
+  bytes[0] ^= 0xFF;  // break magic
+  EXPECT_THROW(core::parse_container(bytes), std::runtime_error);
+}
+
+TEST(Quantize, RoundTripErrorBounded) {
+  util::Pcg32 rng(2);
+  nn::Linear layer(32, 32, rng);
+  auto params = layer.parameters();
+  const nn::QuantizedParams q = nn::quantize_int8(params);
+  // Symmetric int8: error <= scale/2 = max|w|/254 per tensor.
+  float max_abs = 0.0F;
+  for (const float v : params[0].data()) {
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  EXPECT_LE(nn::max_abs_error(q, params), max_abs / 254.0 + 1e-7);
+}
+
+TEST(Quantize, QuartersTheCheckpointSize) {
+  util::Pcg32 rng(3);
+  nn::Linear layer(64, 64, rng);
+  auto params = layer.parameters();
+  const auto fp32_bytes = layer.model_bytes();
+  const nn::QuantizedParams q = nn::quantize_int8(params);
+  EXPECT_LT(q.byte_size(), fp32_bytes / 3);
+}
+
+TEST(Quantize, SerializationRoundTrip) {
+  util::Pcg32 rng(4);
+  nn::Linear a(16, 8, rng);
+  auto pa = a.parameters();
+  const nn::QuantizedParams q = nn::quantize_int8(pa);
+  const auto bytes = nn::serialize_quantized(q);
+  const nn::QuantizedParams restored = nn::deserialize_quantized(bytes);
+  ASSERT_EQ(restored.tensors.size(), q.tensors.size());
+  for (std::size_t i = 0; i < q.tensors.size(); ++i) {
+    EXPECT_EQ(restored.tensors[i].values, q.tensors[i].values);
+    EXPECT_FLOAT_EQ(restored.tensors[i].scale, q.tensors[i].scale);
+  }
+}
+
+TEST(Quantize, FileRoundTripRestoresApproximateWeights) {
+  util::Pcg32 rng(5);
+  nn::Linear a(16, 8, rng);
+  nn::Linear b(16, 8, rng);  // different init
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  const std::string path = testing::TempDir() + "easz_int8_test.q8";
+  nn::save_quantized(pa, path);
+  nn::load_quantized(pb, path);
+  for (std::size_t i = 0; i < pa[0].numel(); ++i) {
+    EXPECT_NEAR(pb[0].data()[i], pa[0].data()[i], 0.05F);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Quantize, MismatchedShapesThrow) {
+  util::Pcg32 rng(6);
+  nn::Linear a(16, 8, rng);
+  nn::Linear b(16, 9, rng);
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  const nn::QuantizedParams q = nn::quantize_int8(pa);
+  EXPECT_THROW(nn::dequantize_int8(q, pb), std::runtime_error);
+}
+
+TEST(Devices, NewPresetsOrderSensibly) {
+  const auto pi = testbed::raspberry_pi4();
+  const auto tx2 = testbed::jetson_tx2();
+  const auto a100 = testbed::a100_server();
+  EXPECT_LT(pi.nn_flops_per_s, tx2.nn_flops_per_s);
+  EXPECT_GT(a100.nn_flops_per_s, testbed::desktop_2080ti().nn_flops_per_s);
+  EXPECT_DOUBLE_EQ(pi.gpu_active_power_w, 0.0);
+}
+
+TEST(Devices, LteLinkSlowerThanWifi) {
+  EXPECT_GT(testbed::lte_iot_link().transfer_s(50e3),
+            testbed::wifi_link().transfer_s(50e3));
+}
+
+}  // namespace
+}  // namespace easz

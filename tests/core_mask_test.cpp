@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mask.hpp"
+#include "util/prng.hpp"
+
+namespace easz::core {
+namespace {
+
+TEST(EraseMask, ConstructionValidation) {
+  EXPECT_THROW(EraseMask(0, 0), std::invalid_argument);
+  EXPECT_THROW(EraseMask(8, 8), std::invalid_argument);
+  EXPECT_THROW(EraseMask(8, -1), std::invalid_argument);
+  EXPECT_NO_THROW(EraseMask(8, 0));
+}
+
+TEST(EraseMask, SetAndQuery) {
+  EraseMask m(4, 1);
+  EXPECT_FALSE(m.erased(2, 3));
+  m.set_erased(2, 3, true);
+  EXPECT_TRUE(m.erased(2, 3));
+  EXPECT_EQ(m.erased_cols(2), (std::vector<int>{3}));
+  EXPECT_EQ(m.kept_cols(2), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EraseMask, KeptAndErasedIndicesPartitionGrid) {
+  util::Pcg32 rng(1);
+  const EraseMask m = make_row_conditional_mask(8, 2, rng);
+  const auto kept = m.kept_indices();
+  const auto erased = m.erased_indices();
+  EXPECT_EQ(kept.size() + erased.size(), 64U);
+  std::vector<bool> seen(64, false);
+  for (const int i : kept) seen[i] = true;
+  for (const int i : erased) {
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(EraseMask, SerializationRoundTrip) {
+  util::Pcg32 rng(2);
+  const EraseMask m = make_row_conditional_mask(8, 3, rng);
+  const auto bytes = m.to_bytes();
+  EXPECT_EQ(bytes.size(), 8U);  // 64 bits
+  const EraseMask restored = EraseMask::from_bytes(bytes, 8, 3);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_EQ(restored.erased(r, c), m.erased(r, c));
+    }
+  }
+}
+
+TEST(EraseMask, PaperSizeClaim32x32MaskIs128Bytes) {
+  const EraseMask m = make_diagonal_mask(32);
+  EXPECT_EQ(m.to_bytes().size(), 128U);  // §IV-A
+}
+
+TEST(EraseMask, FromBytesRejectsShortBuffer) {
+  EXPECT_THROW(EraseMask::from_bytes({0x00}, 8, 1), std::invalid_argument);
+}
+
+TEST(EraseMask, TransposedSwapsCoordinates) {
+  util::Pcg32 rng(3);
+  const EraseMask m = make_row_conditional_mask(8, 2, rng);
+  const EraseMask t = m.transposed();
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) EXPECT_EQ(t.erased(c, r), m.erased(r, c));
+  }
+}
+
+class RowSamplerSweep
+    : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RowSamplerSweep, ExactlyTErasedPerRow) {
+  const auto [grid, t] = GetParam();
+  util::Pcg32 rng(grid * 100 + t);
+  const EraseMask m = make_row_conditional_mask(grid, t, rng);
+  EXPECT_TRUE(m.uniform_rows());
+  EXPECT_EQ(m.erased_per_row(), t);
+  EXPECT_NEAR(m.erase_ratio(), static_cast<double>(t) / grid, 1e-9);
+}
+
+TEST_P(RowSamplerSweep, KeptCountMatches) {
+  const auto [grid, t] = GetParam();
+  util::Pcg32 rng(grid * 991 + t);
+  const EraseMask m = make_row_conditional_mask(grid, t, rng);
+  EXPECT_EQ(static_cast<int>(m.kept_indices().size()), grid * (grid - t));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridAndRatio, RowSamplerSweep,
+    testing::Values(std::tuple{4, 1}, std::tuple{8, 1}, std::tuple{8, 2},
+                    std::tuple{8, 4}, std::tuple{8, 6}, std::tuple{16, 4},
+                    std::tuple{16, 8}, std::tuple{32, 8}, std::tuple{32, 16}));
+
+TEST(RowSampler, IntraRowDistanceConstraintHolds) {
+  // Plenty of room: N=16, T=3, delta=2 -> constraint must hold exactly.
+  util::Pcg32 rng(4);
+  SamplerConfig cfg;
+  cfg.delta = 2;
+  cfg.inter_delta = 0;
+  const EraseMask m = make_row_conditional_mask(16, 3, rng, cfg);
+  for (int r = 0; r < 16; ++r) {
+    const auto cols = m.erased_cols(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      for (std::size_t j = i + 1; j < cols.size(); ++j) {
+        EXPECT_GT(std::abs(cols[i] - cols[j]), 2);
+      }
+    }
+  }
+}
+
+TEST(RowSampler, AvoidsContiguousHolesBetterThanRandom) {
+  // Count horizontally adjacent erased pairs; the conditional sampler with
+  // delta=1 has zero by construction, random has some.
+  util::Pcg32 rng_a(5);
+  util::Pcg32 rng_b(5);
+  int adjacent_proposed = 0;
+  int adjacent_random = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const EraseMask p = make_row_conditional_mask(8, 2, rng_a);
+    const EraseMask r = make_random_mask(8, 2, rng_b);
+    for (int row = 0; row < 8; ++row) {
+      for (int col = 0; col + 1 < 8; ++col) {
+        adjacent_proposed += p.erased(row, col) && p.erased(row, col + 1);
+        adjacent_random += r.erased(row, col) && r.erased(row, col + 1);
+      }
+    }
+  }
+  EXPECT_EQ(adjacent_proposed, 0);
+  EXPECT_GT(adjacent_random, 0);
+}
+
+TEST(RowSampler, RelaxesWhenConstraintsUnsatisfiable) {
+  // N=8, T=4 and delta=3 cannot hold (needs columns spread > 3 apart * 4);
+  // the sampler must still deliver exactly T per row.
+  util::Pcg32 rng(6);
+  SamplerConfig cfg;
+  cfg.delta = 3;
+  cfg.inter_delta = 3;
+  const EraseMask m = make_row_conditional_mask(8, 4, rng, cfg);
+  EXPECT_TRUE(m.uniform_rows());
+}
+
+TEST(RowSampler, DeterministicGivenSeed) {
+  util::Pcg32 a(7);
+  util::Pcg32 b(7);
+  const EraseMask ma = make_row_conditional_mask(8, 2, a);
+  const EraseMask mb = make_row_conditional_mask(8, 2, b);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) EXPECT_EQ(ma.erased(r, c), mb.erased(r, c));
+  }
+}
+
+TEST(RandomMask, ErasesRequestedTotalAnywhereOnGrid) {
+  util::Pcg32 rng(8);
+  const EraseMask m = make_random_mask(8, 3, rng);
+  EXPECT_EQ(m.erased_indices().size(), 24U);  // T * grid cells in total
+}
+
+TEST(RandomMask, RowsAreTypicallyNonUniform) {
+  // Fully random placement should produce at least one draw with unequal
+  // per-row counts across a few trials (overwhelmingly likely).
+  util::Pcg32 rng(9);
+  bool saw_non_uniform = false;
+  for (int trial = 0; trial < 10 && !saw_non_uniform; ++trial) {
+    saw_non_uniform = !make_random_mask(8, 2, rng).uniform_rows();
+  }
+  EXPECT_TRUE(saw_non_uniform);
+}
+
+TEST(DiagonalMask, MatchesPaperSpecialCase) {
+  const EraseMask m = make_diagonal_mask(8);
+  EXPECT_TRUE(m.uniform_rows());
+  EXPECT_EQ(m.erased_per_row(), 1);
+  for (int r = 0; r < 8; ++r) EXPECT_TRUE(m.erased(r, r));
+}
+
+TEST(DiagonalMask, OffsetWraps) {
+  const EraseMask m = make_diagonal_mask(4, 2);
+  EXPECT_TRUE(m.erased(0, 2));
+  EXPECT_TRUE(m.erased(3, 1));
+}
+
+TEST(UniformMask, SameColumnsEveryRowLikeDownsampling) {
+  const EraseMask m = make_uniform_mask(8, 4);
+  EXPECT_TRUE(m.uniform_rows());
+  const auto first = m.erased_cols(0);
+  for (int r = 1; r < 8; ++r) EXPECT_EQ(m.erased_cols(r), first);
+  EXPECT_EQ(static_cast<int>(first.size()), 4);
+}
+
+}  // namespace
+}  // namespace easz::core

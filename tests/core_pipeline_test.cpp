@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/jpeg_like.hpp"
+#include "core/patchify.hpp"
+#include "core/pipeline.hpp"
+#include "core/squeeze.hpp"
+#include "core/trainer.hpp"
+#include "data/synth.hpp"
+#include "util/prng.hpp"
+
+namespace easz::core {
+namespace {
+
+double image_mse(const image::Image& a, const image::Image& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const double d = a.data()[i] - b.data()[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.data().size());
+}
+
+TEST(Patchify, ConfigValidation) {
+  PatchifyConfig bad{.patch = 32, .sub_patch = 5};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  PatchifyConfig good{.patch = 32, .sub_patch = 4};
+  EXPECT_NO_THROW(good.validate());
+  EXPECT_EQ(good.grid(), 8);
+  EXPECT_EQ(good.tokens(), 64);
+  EXPECT_EQ(good.token_dim(3), 48);
+}
+
+TEST(Patchify, TokensRoundTrip) {
+  util::Pcg32 rng(1);
+  const image::Image img = data::synth_photo(64, 64, rng);
+  const PatchifyConfig cfg{.patch = 32, .sub_patch = 4};
+  const tensor::Tensor tokens = image_to_tokens(img, cfg);
+  EXPECT_EQ(tokens.dim(0), 4);
+  EXPECT_EQ(tokens.dim(1), 64);
+  EXPECT_EQ(tokens.dim(2), 48);
+  const image::Image back = tokens_to_image(tokens, 64, 64, 3, cfg);
+  EXPECT_TRUE(back.approx_equal(img, 1e-6F));
+}
+
+TEST(Patchify, RoundTripWithPadding) {
+  util::Pcg32 rng(2);
+  const image::Image img = data::synth_photo(50, 45, rng);
+  const PatchifyConfig cfg{.patch = 32, .sub_patch = 2};
+  const tensor::Tensor tokens = image_to_tokens(img, cfg);
+  EXPECT_EQ(tokens.dim(0), 4);  // 2x2 padded patches
+  const image::Image back = tokens_to_image(tokens, 50, 45, 3, cfg);
+  EXPECT_TRUE(back.approx_equal(img, 1e-6F));
+}
+
+TEST(Patchify, PixelPermutationMatchesDirectLayout) {
+  util::Pcg32 rng(3);
+  const image::Image img = data::synth_photo(32, 32, rng);
+  const PatchifyConfig cfg{.patch = 32, .sub_patch = 4};
+  const tensor::Tensor tokens = image_to_tokens(img, cfg);
+  const auto perm = tokens_to_patch_pixels_perm(1, 3, cfg);
+  const tensor::Tensor pixels =
+      tensor::apply_permutation(tokens, perm, {1, 3, 32, 32});
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 0; y < 32; ++y) {
+      for (int x = 0; x < 32; ++x) {
+        EXPECT_FLOAT_EQ(
+            pixels.data()[(static_cast<std::size_t>(c) * 32 + y) * 32 + x],
+            img.at(c, y, x));
+      }
+    }
+  }
+}
+
+TEST(Squeeze, GeometryShrinksByEraseRatio) {
+  util::Pcg32 rng(4);
+  const image::Image img = data::synth_photo(64, 64, rng);
+  const PatchifyConfig cfg{.patch = 32, .sub_patch = 4};
+  const EraseMask mask = make_row_conditional_mask(8, 2, rng);
+  const image::Image squeezed = erase_and_squeeze(img, mask, cfg);
+  EXPECT_EQ(squeezed.width(), 64 * 6 / 8);
+  EXPECT_EQ(squeezed.height(), 64);
+}
+
+TEST(Squeeze, UnsqueezePlacesKeptContentExactly) {
+  util::Pcg32 rng(5);
+  const image::Image img = data::synth_photo(64, 32, rng);
+  const PatchifyConfig cfg{.patch = 32, .sub_patch = 4};
+  const EraseMask mask = make_row_conditional_mask(8, 2, rng);
+  const image::Image squeezed = erase_and_squeeze(img, mask, cfg);
+  const image::Image restored = unsqueeze(squeezed, mask, cfg, 64, 32);
+
+  const int b = cfg.sub_patch;
+  for (int py = 0; py < 1; ++py) {
+    for (int px = 0; px < 2; ++px) {
+      for (int gy = 0; gy < 8; ++gy) {
+        for (int gx = 0; gx < 8; ++gx) {
+          const bool erased = mask.erased(gy, gx);
+          for (int y = 0; y < b; ++y) {
+            for (int x = 0; x < b; ++x) {
+              const int iy = py * 32 + gy * b + y;
+              const int ix = px * 32 + gx * b + x;
+              if (erased) {
+                EXPECT_FLOAT_EQ(restored.at(0, iy, ix), 0.0F);
+              } else {
+                EXPECT_FLOAT_EQ(restored.at(0, iy, ix), img.at(0, iy, ix));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Squeeze, VerticalAxisRoundTrip) {
+  util::Pcg32 rng(6);
+  const image::Image img = data::synth_photo(32, 64, rng);
+  const PatchifyConfig cfg{.patch = 32, .sub_patch = 4};
+  const EraseMask mask = make_row_conditional_mask(8, 2, rng);
+  const image::Image squeezed =
+      erase_and_squeeze(img, mask, cfg, SqueezeAxis::kVertical);
+  EXPECT_EQ(squeezed.width(), 32);
+  EXPECT_EQ(squeezed.height(), 64 * 6 / 8);
+  const image::Image restored =
+      unsqueeze(squeezed, mask, cfg, 32, 64, SqueezeAxis::kVertical);
+  // Kept pixels must round-trip exactly; count zeros for erased.
+  int zeros = 0;
+  int exact = 0;
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      if (restored.at(0, y, x) == 0.0F) {
+        ++zeros;
+      } else if (restored.at(0, y, x) == img.at(0, y, x)) {
+        ++exact;
+      }
+    }
+  }
+  EXPECT_GT(zeros, 0);
+  EXPECT_GT(exact, 32 * 64 / 2);
+}
+
+TEST(Squeeze, NeighborFillLeavesNoZeroHoles) {
+  util::Pcg32 rng(7);
+  image::Image img = data::synth_photo(32, 32, rng);
+  // Make strictly positive so zero implies an unfilled hole.
+  for (auto& v : img.data()) v = 0.25F + v * 0.5F;
+  const PatchifyConfig cfg{.patch = 32, .sub_patch = 4};
+  const EraseMask mask = make_row_conditional_mask(8, 3, rng);
+  const image::Image squeezed = erase_and_squeeze(img, mask, cfg);
+  const image::Image filled =
+      unsqueeze_neighbor_fill(squeezed, mask, cfg, 32, 32);
+  for (const float v : filled.data()) EXPECT_GT(v, 0.0F);
+}
+
+TEST(Squeeze, NonUniformMaskPadsToWidestRow) {
+  // Row 0 erases one sub-patch, the rest erase none: every squeezed row pads
+  // to the full 8 kept sub-patches, so nothing is saved — the rate penalty
+  // fully random masks pay.
+  EraseMask mask(8, 1);
+  mask.set_erased(0, 0, true);
+  const PatchifyConfig cfg{.patch = 32, .sub_patch = 4};
+  util::Pcg32 rng(77);
+  const image::Image img = data::synth_photo(32, 32, rng);
+  const image::Image squeezed = erase_and_squeeze(img, mask, cfg);
+  EXPECT_EQ(squeezed.width(), 32);  // widest row keeps all 8 sub-patches
+  const image::Image restored = unsqueeze(squeezed, mask, cfg, 32, 32);
+  // Kept content round-trips; the single erased sub-patch is zero.
+  EXPECT_FLOAT_EQ(restored.at(0, 0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(restored.at(0, 10, 10), img.at(0, 10, 10));
+}
+
+TEST(Squeeze, FullyRandomMaskRoundTripsKeptContent) {
+  util::Pcg32 rng(78);
+  const image::Image img = data::synth_photo(32, 32, rng);
+  const PatchifyConfig cfg{.patch = 32, .sub_patch = 4};
+  const EraseMask mask = make_random_mask(8, 2, rng);
+  const image::Image squeezed = erase_and_squeeze(img, mask, cfg);
+  const image::Image restored = unsqueeze(squeezed, mask, cfg, 32, 32);
+  for (int gy = 0; gy < 8; ++gy) {
+    for (int gx = 0; gx < 8; ++gx) {
+      if (mask.erased(gy, gx)) continue;
+      EXPECT_FLOAT_EQ(restored.at(0, gy * 4 + 1, gx * 4 + 1),
+                      img.at(0, gy * 4 + 1, gx * 4 + 1));
+    }
+  }
+}
+
+TEST(Squeeze, RejectsNonMultipleDimensions) {
+  util::Pcg32 rng(8);
+  const image::Image img = data::synth_photo(48, 32, rng);
+  const PatchifyConfig cfg{.patch = 32, .sub_patch = 4};
+  const EraseMask mask = make_row_conditional_mask(8, 2, rng);
+  EXPECT_THROW(erase_and_squeeze(img, mask, cfg), std::invalid_argument);
+}
+
+ReconModelConfig tiny_model_config() {
+  // Small enough to run in tests, same structure as the paper model.
+  ReconModelConfig cfg;
+  cfg.patchify = {.patch = 16, .sub_patch = 4};
+  cfg.channels = 3;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.ffn_hidden = 64;
+  return cfg;
+}
+
+TEST(ReconModel, ForwardShape) {
+  util::Pcg32 rng(9);
+  ReconstructionModel model(tiny_model_config(), rng);
+  tensor::Tensor tokens = tensor::Tensor::randn({3, 16, 48}, rng, 0.1F);
+  const EraseMask mask = make_row_conditional_mask(4, 1, rng);
+  const tensor::Tensor out = model.forward(tokens, mask);
+  EXPECT_EQ(out.shape(), (tensor::Shape{3, 16, 48}));
+}
+
+TEST(ReconModel, ReconstructPastesKeptTokensExactly) {
+  util::Pcg32 rng(10);
+  ReconstructionModel model(tiny_model_config(), rng);
+  tensor::Tensor tokens = tensor::Tensor::randn({2, 16, 48}, rng, 0.1F);
+  for (auto& v : tokens.data()) v = std::clamp(v + 0.5F, 0.0F, 1.0F);
+  const EraseMask mask = make_row_conditional_mask(4, 1, rng);
+  const tensor::Tensor out = model.reconstruct(tokens, mask);
+  for (const int j : mask.kept_indices()) {
+    for (int b = 0; b < 2; ++b) {
+      for (int d = 0; d < 48; ++d) {
+        const std::size_t i = (static_cast<std::size_t>(b) * 16 + j) * 48 + d;
+        EXPECT_FLOAT_EQ(out.data()[i], tokens.data()[i]);
+      }
+    }
+  }
+}
+
+TEST(ReconModel, OutputClampedToUnitRange) {
+  util::Pcg32 rng(11);
+  ReconstructionModel model(tiny_model_config(), rng);
+  tensor::Tensor tokens = tensor::Tensor::randn({1, 16, 48}, rng, 5.0F);
+  const EraseMask mask = make_diagonal_mask(4);
+  const tensor::Tensor out = model.reconstruct(tokens, mask);
+  for (const float v : out.data()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+}
+
+TEST(ReconModel, DefaultConfigMatchesPaperModelSize) {
+  util::Pcg32 rng(12);
+  ReconModelConfig cfg;  // defaults: d=192, ffn=384, 2+2 blocks, n=32, b=4
+  ReconstructionModel model(cfg, rng);
+  const double mb = static_cast<double>(model.model_bytes()) / (1024.0 * 1024.0);
+  // Paper: 8.7 MB (abstract) / 8.4 MB (§III-B). Accept the band around it.
+  EXPECT_GT(mb, 6.0);
+  EXPECT_LT(mb, 11.0);
+}
+
+TEST(ReconModel, FlopsGrowWithBatchAndShrinkWithErasure) {
+  util::Pcg32 rng(13);
+  ReconstructionModel model(tiny_model_config(), rng);
+  EXPECT_GT(model.flops_per_batch(2, 1), model.flops_per_batch(1, 1));
+  EXPECT_GT(model.flops_per_batch(1, 0), model.flops_per_batch(1, 2));
+}
+
+TEST(Trainer, LossDecreasesOnTinyProblem) {
+  util::Pcg32 rng(14);
+  ReconstructionModel model(tiny_model_config(), rng);
+  TrainerConfig tcfg;
+  tcfg.batch_patches = 4;
+  tcfg.use_perceptual = false;  // keep the test fast
+  tcfg.lr = 2e-3F;
+  Trainer trainer(model, tcfg, rng);
+
+  std::vector<image::Image> images;
+  for (int i = 0; i < 4; ++i) {
+    images.push_back(data::synth_photo(32, 32, rng));
+  }
+  const TrainStats stats = trainer.train(images, 30);
+  ASSERT_EQ(stats.loss_history.size(), 30U);
+  // Compare first-5 and last-5 averages to smooth step noise.
+  float head = 0.0F;
+  float tail = 0.0F;
+  for (int i = 0; i < 5; ++i) {
+    head += stats.loss_history[i];
+    tail += stats.loss_history[stats.loss_history.size() - 1 - i];
+  }
+  EXPECT_LT(tail, head * 0.9F);
+}
+
+TEST(Trainer, SamplePatchTokensShapes) {
+  util::Pcg32 rng(15);
+  const image::Image img = data::synth_photo(40, 40, rng);
+  const PatchifyConfig cfg{.patch = 16, .sub_patch = 4};
+  const tensor::Tensor tokens = sample_patch_tokens(img, cfg, 3, rng);
+  EXPECT_EQ(tokens.shape(), (tensor::Shape{1, 16, 48}));
+}
+
+TEST(Trainer, RejectsTooSmallImages)  {
+  util::Pcg32 rng(16);
+  const image::Image img = data::synth_photo(8, 8, rng);
+  const PatchifyConfig cfg{.patch = 16, .sub_patch = 4};
+  EXPECT_THROW(sample_patch_tokens(img, cfg, 3, rng), std::invalid_argument);
+}
+
+class PipelineRoundTrip : public testing::TestWithParam<int> {};
+
+TEST_P(PipelineRoundTrip, PreservesGeometryAndBoundsError) {
+  const int erased_per_row = GetParam();
+  util::Pcg32 rng(17);
+  ReconstructionModel model(tiny_model_config(), rng);
+
+  codec::JpegLikeCodec codec(85);
+  EaszConfig cfg;
+  cfg.patchify = {.patch = 16, .sub_patch = 4};
+  cfg.erased_per_row = erased_per_row;
+  EaszPipeline pipeline(cfg, codec, &model);
+
+  const image::Image img = data::synth_photo(48, 32, rng);
+  const EaszCompressed c = pipeline.encode(img);
+  EXPECT_EQ(c.full_width, 48);
+  EXPECT_EQ(c.full_height, 32);
+  EXPECT_GT(c.mask_bytes.size(), 0U);
+
+  const image::Image decoded = pipeline.decode(c);
+  EXPECT_EQ(decoded.width(), 48);
+  EXPECT_EQ(decoded.height(), 32);
+  // Untrained model: error is large but must be bounded (outputs clamped).
+  EXPECT_LT(image_mse(img, decoded), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(EraseCounts, PipelineRoundTrip, testing::Values(1, 2));
+
+TEST(Pipeline, HigherEraseRatioShrinksPayload) {
+  util::Pcg32 rng(18);
+  codec::JpegLikeCodec codec(85);
+  EaszConfig cfg;
+  cfg.patchify = {.patch = 16, .sub_patch = 4};
+
+  const image::Image img = data::synth_photo(64, 48, rng);
+  double prev_bytes = 1e18;
+  for (const int t : {0, 1, 2}) {
+    cfg.erased_per_row = t;
+    EaszPipeline pipeline(cfg, codec, nullptr);
+    const EaszCompressed c = pipeline.encode(img);
+    EXPECT_LT(static_cast<double>(c.payload.bytes.size()), prev_bytes);
+    prev_bytes = static_cast<double>(c.payload.bytes.size());
+  }
+}
+
+TEST(Pipeline, NeighborFillDecodeWorksWithoutModel) {
+  util::Pcg32 rng(19);
+  codec::JpegLikeCodec codec(85);
+  EaszConfig cfg;
+  cfg.patchify = {.patch = 16, .sub_patch = 4};
+  cfg.erased_per_row = 1;
+  EaszPipeline pipeline(cfg, codec, nullptr);
+
+  const image::Image img = data::synth_photo(32, 32, rng);
+  const EaszCompressed c = pipeline.encode(img);
+  const image::Image filled = pipeline.decode_neighbor_fill(c);
+  EXPECT_EQ(filled.width(), 32);
+  EXPECT_LT(image_mse(img, filled), 0.05);
+  EXPECT_THROW(pipeline.decode(c), std::logic_error);
+}
+
+TEST(Pipeline, MaskSeedSharedBetweenEncodeAndDecode) {
+  util::Pcg32 rng(20);
+  ReconstructionModel model(tiny_model_config(), rng);
+  codec::JpegLikeCodec codec(90);
+  EaszConfig cfg;
+  cfg.patchify = {.patch = 16, .sub_patch = 4};
+  cfg.erased_per_row = 1;
+  cfg.mask_seed = 1234;
+  EaszPipeline pipeline(cfg, codec, &model);
+  const EraseMask a = pipeline.make_mask();
+  const EraseMask b = pipeline.make_mask();
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(a.erased(r, c), b.erased(r, c));
+  }
+}
+
+TEST(Pipeline, TrainedModelBeatsZeroFillSubstantially) {
+  // Train briefly on the same content family, then check the transformer
+  // reconstruction beats leaving zeros (sanity of the whole loop).
+  util::Pcg32 rng(21);
+  ReconstructionModel model(tiny_model_config(), rng);
+  TrainerConfig tcfg;
+  tcfg.batch_patches = 8;
+  tcfg.use_perceptual = false;
+  tcfg.lr = 2e-3F;
+  Trainer trainer(model, tcfg, rng);
+  std::vector<image::Image> train_images;
+  for (int i = 0; i < 6; ++i) {
+    train_images.push_back(data::synth_photo(32, 32, rng));
+  }
+  trainer.train(train_images, 60);
+
+  codec::JpegLikeCodec codec(90);
+  EaszConfig cfg;
+  cfg.patchify = {.patch = 16, .sub_patch = 4};
+  cfg.erased_per_row = 1;
+  EaszPipeline with_model(cfg, codec, &model);
+
+  const image::Image img = data::synth_photo(32, 32, rng);
+  const EaszCompressed c = with_model.encode(img);
+
+  // Zero-fill reference: unsqueeze without reconstruction.
+  const image::Image squeezed = codec.decode(c.payload);
+  const EraseMask mask =
+      EraseMask::from_bytes(c.mask_bytes, 4, c.erased_per_row);
+  const image::Image zero_filled =
+      unsqueeze(squeezed, mask, cfg.patchify, c.padded_width, c.padded_height);
+
+  const double mse_model = image_mse(img, with_model.decode(c));
+  const double mse_zero = image_mse(img, zero_filled);
+  EXPECT_LT(mse_model, mse_zero * 0.5);
+}
+
+}  // namespace
+}  // namespace easz::core

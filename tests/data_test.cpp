@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/datasets.hpp"
+#include "data/synth.hpp"
+#include "util/prng.hpp"
+
+namespace easz::data {
+namespace {
+
+double plane_variance(const image::Image& img, int c) {
+  double mean = 0.0;
+  const std::size_t n = img.pixel_count();
+  for (std::size_t i = 0; i < n; ++i) mean += img.plane(c)[i];
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = img.plane(c)[i] - mean;
+    var += d * d;
+  }
+  return var / static_cast<double>(n);
+}
+
+TEST(Synth, ValueNoiseInRangeAndNonTrivial) {
+  util::Pcg32 rng(1);
+  const image::Image img = value_noise(64, 64, 16, 4, rng);
+  for (const float v : img.data()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+  EXPECT_GT(plane_variance(img, 0), 1e-4);
+}
+
+TEST(Synth, PhotoHasThreeChannelsAndStructure) {
+  util::Pcg32 rng(2);
+  const image::Image img = synth_photo(96, 64, rng);
+  EXPECT_EQ(img.channels(), 3);
+  for (int c = 0; c < 3; ++c) EXPECT_GT(plane_variance(img, c), 1e-4);
+}
+
+TEST(Synth, PhotoSpectrumDecays) {
+  // Natural images have most energy at low spatial frequencies. Compare
+  // local-difference energy (high frequency) with global variance: highly
+  // correlated neighbours mean the ratio is well below white noise's 2.0.
+  util::Pcg32 rng(3);
+  const image::Image img = synth_photo(128, 128, rng).to_gray();
+  double diff_energy = 0.0;
+  std::size_t count = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 1; x < img.width(); ++x) {
+      const double d = img.at(0, y, x) - img.at(0, y, x - 1);
+      diff_energy += d * d;
+      ++count;
+    }
+  }
+  const double ratio =
+      (diff_energy / static_cast<double>(count)) / plane_variance(img, 0);
+  EXPECT_LT(ratio, 0.5);
+}
+
+TEST(Synth, CartoonHasHardEdges) {
+  util::Pcg32 rng(4);
+  const image::Image img = synth_cartoon(96, 96, rng).to_gray();
+  // Count large neighbour jumps; cartoons should have some.
+  int edges = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 1; x < img.width(); ++x) {
+      if (std::fabs(img.at(0, y, x) - img.at(0, y, x - 1)) > 0.2F) ++edges;
+    }
+  }
+  EXPECT_GT(edges, 20);
+}
+
+TEST(Synth, TextureHasHighFrequencyContent) {
+  util::Pcg32 rng(5);
+  const image::Image img = synth_texture(96, 96, rng).to_gray();
+  double diff_energy = 0.0;
+  std::size_t count = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 1; x < img.width(); ++x) {
+      const double d = img.at(0, y, x) - img.at(0, y, x - 1);
+      diff_energy += d * d;
+      ++count;
+    }
+  }
+  EXPECT_GT(diff_energy / static_cast<double>(count), 1e-4);
+}
+
+TEST(Datasets, SpecsMatchPaperShapes) {
+  const DatasetSpec kodak = kodak_like_spec();
+  EXPECT_EQ(kodak.width, 768);
+  EXPECT_EQ(kodak.height, 512);
+  EXPECT_EQ(kodak.count, 24);
+  const DatasetSpec cifar = cifar_like_spec();
+  EXPECT_EQ(cifar.width, 32);
+  EXPECT_EQ(cifar.count, 1024);
+}
+
+TEST(Datasets, ScalingKeepsEvenDims) {
+  const DatasetSpec s = kodak_like_spec(0.33F);
+  EXPECT_EQ(s.width % 2, 0);
+  EXPECT_EQ(s.height % 2, 0);
+  EXPECT_GE(s.width, 32);
+}
+
+TEST(Datasets, LoadIsDeterministic) {
+  const DatasetSpec spec = kodak_like_spec(0.25F);
+  const image::Image a = load_image(spec, 3);
+  const image::Image b = load_image(spec, 3);
+  EXPECT_TRUE(a.approx_equal(b));
+}
+
+TEST(Datasets, DifferentIndicesDiffer) {
+  const DatasetSpec spec = kodak_like_spec(0.25F);
+  const image::Image a = load_image(spec, 0);
+  const image::Image b = load_image(spec, 1);
+  EXPECT_FALSE(a.approx_equal(b, 1e-3F));
+}
+
+TEST(Datasets, KodakAlternatesOrientation) {
+  const DatasetSpec spec = kodak_like_spec(0.25F);
+  const image::Image landscape = load_image(spec, 0);
+  const image::Image portrait = load_image(spec, 4);
+  EXPECT_GT(landscape.width(), landscape.height());
+  EXPECT_LT(portrait.width(), portrait.height());
+}
+
+TEST(Datasets, IndexOutOfRangeThrows) {
+  const DatasetSpec spec = cifar_like_spec();
+  EXPECT_THROW(load_image(spec, spec.count), std::invalid_argument);
+  EXPECT_THROW(load_image(spec, -1), std::invalid_argument);
+}
+
+TEST(Datasets, LoadAllReturnsCount) {
+  DatasetSpec spec = cifar_like_spec();
+  spec.count = 8;  // trim for test speed
+  EXPECT_EQ(load_all(spec).size(), 8U);
+}
+
+}  // namespace
+}  // namespace easz::data

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "data/synth.hpp"
+#include "image/color.hpp"
+#include "image/image.hpp"
+#include "image/io_ppm.hpp"
+#include "image/patches.hpp"
+#include "image/resize.hpp"
+#include "util/prng.hpp"
+
+namespace easz::image {
+namespace {
+
+Image make_gradient(int w, int h, int channels) {
+  Image img(w, h, channels);
+  for (int c = 0; c < channels; ++c) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        img.at(c, y, x) =
+            static_cast<float>(x + y + c) / static_cast<float>(w + h + channels);
+      }
+    }
+  }
+  return img;
+}
+
+TEST(Image, ConstructorRejectsBadShapes) {
+  EXPECT_THROW(Image(0, 4, 1), std::invalid_argument);
+  EXPECT_THROW(Image(4, -1, 1), std::invalid_argument);
+  EXPECT_THROW(Image(4, 4, 2), std::invalid_argument);
+}
+
+TEST(Image, AccessorsReadWhatWasWritten) {
+  Image img(5, 4, 3);
+  img.at(2, 3, 4) = 0.25F;
+  EXPECT_FLOAT_EQ(img.at(2, 3, 4), 0.25F);
+  EXPECT_FLOAT_EQ(img.at(0, 0, 0), 0.0F);
+}
+
+TEST(Image, ClampedAccessorReplicatesBorder) {
+  Image img = make_gradient(4, 4, 1);
+  EXPECT_FLOAT_EQ(img.at_clamped(0, -5, 2), img.at(0, 0, 2));
+  EXPECT_FLOAT_EQ(img.at_clamped(0, 2, 99), img.at(0, 2, 3));
+}
+
+TEST(Image, Quantize8SnapsToEighthBitGrid) {
+  Image img(2, 1, 1);
+  img.at(0, 0, 0) = 0.5F;
+  img.at(0, 0, 1) = 1.7F;
+  img.quantize8();
+  EXPECT_NEAR(img.at(0, 0, 0), 128.0F / 255.0F, 1e-6F);
+  EXPECT_FLOAT_EQ(img.at(0, 0, 1), 1.0F);
+}
+
+TEST(Image, ByteRoundTripIsLossless) {
+  util::Pcg32 rng(3);
+  Image img(16, 8, 3);
+  for (auto& v : img.data()) v = rng.next_float();
+  img.quantize8();
+  const auto bytes = img.to_bytes();
+  const Image restored = Image::from_bytes(bytes.data(), 16, 8, 3);
+  EXPECT_TRUE(restored.approx_equal(img, 1e-6F));
+}
+
+TEST(Image, CropExtractsExpectedRegion) {
+  Image img = make_gradient(10, 10, 3);
+  const Image crop = img.crop(2, 3, 4, 5);
+  EXPECT_EQ(crop.width(), 4);
+  EXPECT_EQ(crop.height(), 5);
+  EXPECT_FLOAT_EQ(crop.at(1, 0, 0), img.at(1, 3, 2));
+  EXPECT_FLOAT_EQ(crop.at(2, 4, 3), img.at(2, 7, 5));
+}
+
+TEST(Image, CropRejectsOutOfBounds) {
+  Image img(8, 8, 1);
+  EXPECT_THROW(img.crop(4, 4, 8, 2), std::invalid_argument);
+}
+
+TEST(Image, PadToReplicatesEdges) {
+  Image img = make_gradient(4, 4, 1);
+  const Image padded = img.pad_to(6, 7);
+  EXPECT_EQ(padded.width(), 6);
+  EXPECT_EQ(padded.height(), 7);
+  EXPECT_FLOAT_EQ(padded.at(0, 6, 5), img.at(0, 3, 3));
+  EXPECT_FLOAT_EQ(padded.at(0, 2, 2), img.at(0, 2, 2));
+}
+
+TEST(Image, ToGrayUsesLumaWeights) {
+  Image img(1, 1, 3);
+  img.at(0, 0, 0) = 1.0F;
+  img.at(1, 0, 0) = 0.0F;
+  img.at(2, 0, 0) = 0.0F;
+  EXPECT_NEAR(img.to_gray().at(0, 0, 0), 0.299F, 1e-5F);
+}
+
+TEST(IoPnm, ColorRoundTrip) {
+  util::Pcg32 rng(5);
+  Image img(20, 13, 3);
+  for (auto& v : img.data()) v = rng.next_float();
+  img.quantize8();
+  const std::string path = testing::TempDir() + "easz_io_test.ppm";
+  write_pnm(img, path);
+  const Image restored = read_pnm(path);
+  EXPECT_TRUE(restored.approx_equal(img, 1e-6F));
+  std::remove(path.c_str());
+}
+
+TEST(IoPnm, GrayRoundTrip) {
+  Image img = make_gradient(9, 7, 1);
+  img.quantize8();
+  const std::string path = testing::TempDir() + "easz_io_test.pgm";
+  write_pnm(img, path);
+  const Image restored = read_pnm(path);
+  EXPECT_EQ(restored.channels(), 1);
+  EXPECT_TRUE(restored.approx_equal(img, 1e-6F));
+  std::remove(path.c_str());
+}
+
+TEST(IoPnm, MissingFileThrows) {
+  EXPECT_THROW(read_pnm("/nonexistent/easz.ppm"), std::runtime_error);
+}
+
+TEST(Color, YcbcrRoundTripIsNearLossless) {
+  util::Pcg32 rng(7);
+  Image img(32, 32, 3);
+  for (auto& v : img.data()) v = rng.next_float();
+  const Image back = ycbcr_to_rgb(rgb_to_ycbcr(img));
+  for (std::size_t i = 0; i < img.data().size(); ++i) {
+    EXPECT_NEAR(back.data()[i], img.data()[i], 2e-3F);
+  }
+}
+
+TEST(Color, GrayImagePassesThrough) {
+  Image img = make_gradient(8, 8, 1);
+  EXPECT_TRUE(rgb_to_ycbcr(img).approx_equal(img));
+}
+
+TEST(Color, NeutralGrayHasCenteredChroma) {
+  Image img(4, 4, 3);
+  for (auto& v : img.data()) v = 0.5F;
+  const Image ycc = rgb_to_ycbcr(img);
+  EXPECT_NEAR(ycc.at(1, 2, 2), 0.5F, 1e-5F);
+  EXPECT_NEAR(ycc.at(2, 2, 2), 0.5F, 1e-5F);
+}
+
+TEST(Color, DownUpSampleRecoversSmoothPlane) {
+  Image plane(32, 32, 1);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      plane.at(0, y, x) = 0.5F + 0.3F * std::sin(x * 0.2F) * std::cos(y * 0.15F);
+    }
+  }
+  const Image down = downsample2x(plane);
+  EXPECT_EQ(down.width(), 16);
+  const Image up = upsample2x(down, 32, 32);
+  double err = 0.0;
+  for (std::size_t i = 0; i < plane.data().size(); ++i) {
+    err += std::abs(plane.data()[i] - up.data()[i]);
+  }
+  EXPECT_LT(err / plane.data().size(), 0.01);
+}
+
+TEST(Resize, IdentityWhenSameSize) {
+  Image img = make_gradient(16, 12, 3);
+  const Image same = resize(img, 16, 12, Filter::kBilinear);
+  EXPECT_TRUE(same.approx_equal(img, 1e-4F));
+}
+
+TEST(Resize, DownUpRoundTripPreservesSmoothContent) {
+  util::Pcg32 rng(9);
+  const Image img = data::value_noise(64, 64, 32, 2, rng);
+  for (const Filter f : {Filter::kBilinear, Filter::kBicubic}) {
+    const Image down = resize(img, 32, 32, f);
+    const Image up = resize(down, 64, 64, f);
+    double err = 0.0;
+    for (std::size_t i = 0; i < img.data().size(); ++i) {
+      err += std::abs(img.data()[i] - up.data()[i]);
+    }
+    EXPECT_LT(err / img.data().size(), 0.02) << "filter " << static_cast<int>(f);
+  }
+}
+
+TEST(Resize, BicubicBeatsBilinearOnBandlimitedContent) {
+  // Smooth sinusoid below the post-decimation Nyquist rate: bicubic's
+  // higher-order kernel reconstructs it more faithfully than bilinear.
+  Image img(64, 64, 1);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      img.at(0, y, x) =
+          0.5F + 0.4F * std::sin(0.35F * x) * std::cos(0.3F * y);
+    }
+  }
+  double err_bl = 0.0;
+  double err_bc = 0.0;
+  const Image down_bl = resize(img, 32, 32, Filter::kBilinear);
+  const Image up_bl = resize(down_bl, 64, 64, Filter::kBilinear);
+  const Image down_bc = resize(img, 32, 32, Filter::kBicubic);
+  const Image up_bc = resize(down_bc, 64, 64, Filter::kBicubic);
+  for (std::size_t i = 0; i < img.data().size(); ++i) {
+    err_bl += std::abs(img.data()[i] - up_bl.data()[i]);
+    err_bc += std::abs(img.data()[i] - up_bc.data()[i]);
+  }
+  EXPECT_LT(err_bc, err_bl);
+}
+
+TEST(Resize, RejectsNonPositiveTargets) {
+  Image img(4, 4, 1);
+  EXPECT_THROW(resize(img, 0, 4), std::invalid_argument);
+}
+
+TEST(Patches, BlockGridCoversImage) {
+  const BlockGrid g = block_grid(65, 33, 16);
+  EXPECT_EQ(g.cols, 5);
+  EXPECT_EQ(g.rows, 3);
+}
+
+TEST(Patches, SplitAssembleRoundTrip) {
+  Image img = make_gradient(48, 32, 3);
+  const auto blocks = split_into_blocks(img, 16);
+  EXPECT_EQ(blocks.size(), 6U);
+  const Image restored = assemble_from_blocks(blocks, 48, 32, 3, 16);
+  EXPECT_TRUE(restored.approx_equal(img, 1e-6F));
+}
+
+TEST(Patches, SplitAssembleRoundTripNonDivisible) {
+  Image img = make_gradient(50, 35, 1);
+  const auto blocks = split_into_blocks(img, 16);
+  const Image restored = assemble_from_blocks(blocks, 50, 35, 1, 16);
+  EXPECT_TRUE(restored.approx_equal(img, 1e-6F));
+}
+
+TEST(Patches, AssembleRejectsWrongBlockCount) {
+  Image img = make_gradient(32, 32, 1);
+  auto blocks = split_into_blocks(img, 16);
+  blocks.pop_back();
+  EXPECT_THROW(assemble_from_blocks(blocks, 32, 32, 1, 16),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace easz::image

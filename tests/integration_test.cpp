@@ -1,0 +1,182 @@
+// Cross-module integration tests: full Easz stack against every codec
+// family, serialization round trips through the pipeline, and the deblocking
+// stage's contract.
+#include <gtest/gtest.h>
+
+#include "codec/bpg_like.hpp"
+#include "codec/jpeg_like.hpp"
+#include "core/deblock.hpp"
+#include "core/pipeline.hpp"
+#include "core/trainer.hpp"
+#include "data/datasets.hpp"
+#include "metrics/distortion.hpp"
+#include "neural_codec/conv_autoencoder.hpp"
+#include "nn/serialize.hpp"
+#include "sr/sr_codec.hpp"
+#include "util/prng.hpp"
+
+namespace easz {
+namespace {
+
+core::ReconModelConfig tiny_config() {
+  core::ReconModelConfig cfg;
+  cfg.patchify = {.patch = 16, .sub_patch = 4};
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.ffn_hidden = 64;
+  return cfg;
+}
+
+TEST(Integration, EaszOverEveryCodecFamily) {
+  util::Pcg32 rng(1);
+  core::ReconstructionModel model(tiny_config(), rng);
+
+  codec::JpegLikeCodec jpeg(80);
+  codec::BpgLikeCodec bpg(40);
+  neural_codec::ConvAutoencoderCodec mbt(neural_codec::mbt_lite_spec(), 70, 2);
+  mbt.pretrain(20, 32, 1);
+
+  const image::Image img = data::load_image(data::kodak_like_spec(0.1F), 0);
+  for (codec::ImageCodec* codec :
+       std::initializer_list<codec::ImageCodec*>{&jpeg, &bpg, &mbt}) {
+    core::EaszConfig cfg;
+    cfg.patchify = tiny_config().patchify;
+    cfg.erased_per_row = 1;
+    core::EaszPipeline pipeline(cfg, *codec, &model);
+    const core::EaszCompressed c = pipeline.encode(img);
+    const image::Image out = pipeline.decode(c);
+    EXPECT_EQ(out.width(), img.width()) << codec->name();
+    EXPECT_EQ(out.height(), img.height()) << codec->name();
+    EXPECT_LT(metrics::mse(img, out), 0.5) << codec->name();
+  }
+}
+
+TEST(Integration, PipelineOverDownUpCodec) {
+  // Easz composing with the SR pseudo-codec: double reduction (downsample
+  // inside the codec, erasure outside) still round-trips geometrically.
+  util::Pcg32 rng(3);
+  core::ReconstructionModel model(tiny_config(), rng);
+  codec::JpegLikeCodec jpeg(80);
+  sr::DownUpCodec downup(jpeg, 0.5F, nullptr);
+  core::EaszConfig cfg;
+  cfg.patchify = tiny_config().patchify;
+  cfg.erased_per_row = 1;
+  core::EaszPipeline pipeline(cfg, downup, &model);
+  const image::Image img = data::load_image(data::kodak_like_spec(0.1F), 1);
+  const image::Image out = pipeline.decode(pipeline.encode(img));
+  EXPECT_EQ(out.width(), img.width());
+}
+
+TEST(Integration, ModelCheckpointSurvivesPipelineUse) {
+  util::Pcg32 rng(4);
+  core::ReconstructionModel a(tiny_config(), rng);
+  core::ReconstructionModel b(tiny_config(), rng);
+
+  // Train `a` a little so weights are distinctive.
+  core::TrainerConfig tcfg;
+  tcfg.batch_patches = 2;
+  tcfg.use_perceptual = false;
+  core::Trainer trainer(a, tcfg, rng);
+  std::vector<image::Image> corpus{data::load_image(data::cifar_like_spec(), 0),
+                                   data::load_image(data::cifar_like_spec(), 1)};
+  trainer.train(corpus, 5);
+
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  const auto bytes = nn::serialize_parameters(pa);
+  nn::deserialize_parameters(pb, bytes);
+
+  // Identical weights -> identical reconstructions.
+  codec::JpegLikeCodec jpeg(85);
+  core::EaszConfig cfg;
+  cfg.patchify = tiny_config().patchify;
+  cfg.erased_per_row = 1;
+  core::EaszPipeline pa_pipe(cfg, jpeg, &a);
+  core::EaszPipeline pb_pipe(cfg, jpeg, &b);
+  const image::Image img = data::load_image(data::kodak_like_spec(0.08F), 2);
+  const core::EaszCompressed c = pa_pipe.encode(img);
+  EXPECT_TRUE(pa_pipe.decode(c).approx_equal(pb_pipe.decode(c), 1e-6F));
+}
+
+TEST(Integration, VerticalAxisPipelineRoundTrip) {
+  util::Pcg32 rng(5);
+  core::ReconstructionModel model(tiny_config(), rng);
+  codec::JpegLikeCodec jpeg(85);
+  core::EaszConfig cfg;
+  cfg.patchify = tiny_config().patchify;
+  cfg.erased_per_row = 1;
+  cfg.axis = core::SqueezeAxis::kVertical;
+  core::EaszPipeline pipeline(cfg, jpeg, &model);
+  const image::Image img = data::load_image(data::kodak_like_spec(0.1F), 3);
+  const core::EaszCompressed c = pipeline.encode(img);
+  const image::Image out = pipeline.decode(c);
+  EXPECT_EQ(out.width(), img.width());
+  EXPECT_EQ(out.height(), img.height());
+  EXPECT_LT(metrics::mse(img, out), 0.5);
+}
+
+TEST(Deblock, IdentityAtZeroStrength) {
+  util::Pcg32 rng(6);
+  const image::Image img = data::load_image(data::cifar_like_spec(), 3);
+  const core::PatchifyConfig cfg{.patch = 16, .sub_patch = 4};
+  const core::EraseMask mask = core::make_diagonal_mask(4);
+  const image::Image out = core::deblock_erased(img, mask, cfg, 0.0F);
+  EXPECT_TRUE(out.approx_equal(img));
+}
+
+TEST(Deblock, SmoothsSeamsOnlyAroundErasedCells) {
+  // Construct an image with a sharp discontinuity exactly at an erased cell
+  // and a second one far from any erased cell; only the first may change.
+  image::Image img(16, 16, 1);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) img.at(0, y, x) = 0.5F;
+  }
+  const core::PatchifyConfig cfg{.patch = 16, .sub_patch = 4};
+  core::EraseMask mask(4, 1);
+  for (int r = 0; r < 4; ++r) mask.set_erased(r, 0, true);  // column 0 erased
+
+  img.at(0, 1, 0) = 1.0F;    // on erased cell (0,0)'s border band
+  img.at(0, 9, 9) = 1.0F;    // inside kept cell (2,2), away from seams
+
+  const image::Image out = core::deblock_erased(img, mask, cfg, 1.0F);
+  EXPECT_LT(out.at(0, 1, 0), 0.99F);              // smoothed
+  EXPECT_FLOAT_EQ(out.at(0, 9, 9), 1.0F);         // untouched
+}
+
+TEST(Deblock, ReducesSeamEnergyOnReconstruction) {
+  // Synthetic "reconstruction" with noisy erased cells: deblocking must
+  // reduce MSE against the clean reference.
+  util::Pcg32 rng(7);
+  const image::Image clean = data::load_image(data::kodak_like_spec(0.08F), 4);
+  const core::PatchifyConfig cfg{.patch = 16, .sub_patch = 2};
+  const core::EraseMask mask = core::make_row_conditional_mask(8, 2, rng);
+
+  image::Image noisy = clean;
+  const int b = cfg.sub_patch;
+  for (int py = 0; py * cfg.patch < clean.height(); ++py) {
+    for (int px = 0; px * cfg.patch < clean.width(); ++px) {
+      for (int gy = 0; gy < 8; ++gy) {
+        for (int gx = 0; gx < 8; ++gx) {
+          if (!mask.erased(gy, gx)) continue;
+          for (int c = 0; c < 3; ++c) {
+            for (int y = 0; y < b; ++y) {
+              for (int x = 0; x < b; ++x) {
+                const int iy = py * cfg.patch + gy * b + y;
+                const int ix = px * cfg.patch + gx * b + x;
+                if (iy >= clean.height() || ix >= clean.width()) continue;
+                noisy.at(c, iy, ix) = std::clamp(
+                    noisy.at(c, iy, ix) + 0.1F * rng.next_gaussian(), 0.0F,
+                    1.0F);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  const image::Image deblocked = core::deblock_erased(noisy, mask, cfg, 1.0F);
+  EXPECT_LT(metrics::mse(clean, deblocked), metrics::mse(clean, noisy));
+}
+
+}  // namespace
+}  // namespace easz

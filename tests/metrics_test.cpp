@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/jpeg_like.hpp"
+#include "data/synth.hpp"
+#include "image/resize.hpp"
+#include "metrics/distortion.hpp"
+#include "metrics/noref.hpp"
+#include "metrics/nss.hpp"
+#include "util/prng.hpp"
+
+namespace easz::metrics {
+namespace {
+
+image::Image add_noise(const image::Image& img, float sigma,
+                       std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  image::Image out = img;
+  for (auto& v : out.data()) {
+    v = std::clamp(v + sigma * rng.next_gaussian(), 0.0F, 1.0F);
+  }
+  return out;
+}
+
+image::Image blur3(const image::Image& img) {
+  image::Image out(img.width(), img.height(), img.channels());
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        float acc = 0.0F;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            acc += img.at_clamped(c, y + dy, x + dx);
+          }
+        }
+        out.at(c, y, x) = acc / 9.0F;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Distortion, MseZeroForIdentical) {
+  util::Pcg32 rng(1);
+  const image::Image img = data::synth_photo(64, 64, rng);
+  EXPECT_DOUBLE_EQ(mse(img, img), 0.0);
+  EXPECT_DOUBLE_EQ(psnr(img, img), 99.0);
+}
+
+TEST(Distortion, MseMatchesHandComputation) {
+  image::Image a(2, 1, 1);
+  image::Image b(2, 1, 1);
+  a.at(0, 0, 0) = 1.0F;
+  b.at(0, 0, 1) = 0.5F;
+  // diffs: 1.0 and -0.5 -> (1 + 0.25)/2
+  EXPECT_NEAR(mse(a, b), 0.625, 1e-9);
+}
+
+TEST(Distortion, PsnrDecreasesWithNoise) {
+  util::Pcg32 rng(2);
+  const image::Image img = data::synth_photo(96, 64, rng);
+  const double p1 = psnr(img, add_noise(img, 0.01F, 3));
+  const double p2 = psnr(img, add_noise(img, 0.05F, 4));
+  EXPECT_GT(p1, p2);
+  EXPECT_GT(p1, 35.0);
+}
+
+TEST(Distortion, ShapeMismatchThrows) {
+  image::Image a(4, 4, 1);
+  image::Image b(4, 5, 1);
+  EXPECT_THROW(mse(a, b), std::invalid_argument);
+}
+
+TEST(Distortion, SsimOneForIdenticalAndLessForNoisy) {
+  util::Pcg32 rng(5);
+  const image::Image img = data::synth_photo(96, 64, rng);
+  EXPECT_NEAR(ssim(img, img), 1.0, 1e-6);
+  const double noisy = ssim(img, add_noise(img, 0.05F, 6));
+  EXPECT_LT(noisy, 0.99);
+  EXPECT_GT(noisy, 0.2);
+}
+
+TEST(Distortion, SsimPenalisesBlurMoreThanBrightnessShift) {
+  util::Pcg32 rng(7);
+  const image::Image img = data::synth_texture(96, 96, rng);
+  image::Image shifted = img;
+  for (auto& v : shifted.data()) v = std::clamp(v + 0.03F, 0.0F, 1.0F);
+  const double s_shift = ssim(img, shifted);
+  const double s_blur = ssim(img, blur3(img));
+  EXPECT_GT(s_shift, s_blur);
+}
+
+TEST(Distortion, MsSsimTracksQuality) {
+  util::Pcg32 rng(8);
+  const image::Image img = data::synth_photo(192, 192, rng);
+  EXPECT_NEAR(ms_ssim(img, img), 1.0, 1e-5);
+  const double light = ms_ssim(img, add_noise(img, 0.02F, 9));
+  const double heavy = ms_ssim(img, add_noise(img, 0.10F, 10));
+  EXPECT_GT(light, heavy);
+}
+
+TEST(Distortion, MsSsimHandlesSmallImages) {
+  util::Pcg32 rng(11);
+  const image::Image img = data::synth_photo(48, 48, rng);
+  const double v = ms_ssim(img, add_noise(img, 0.03F, 12));
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(Ggd, RecoversGaussianShape) {
+  util::Pcg32 rng(13);
+  std::vector<float> samples(20000);
+  for (auto& v : samples) v = rng.next_gaussian() * 0.7F;
+  const GgdFit fit = fit_ggd(samples);
+  EXPECT_NEAR(fit.alpha, 2.0, 0.15);
+  EXPECT_NEAR(fit.sigma, 0.7, 0.02);
+}
+
+TEST(Ggd, DetectsHeavyTails) {
+  // Laplacian samples (alpha=1): inverse-CDF sampling.
+  util::Pcg32 rng(14);
+  std::vector<float> samples(20000);
+  for (auto& v : samples) {
+    const float u = rng.next_float() - 0.5F;
+    v = -std::copysign(std::log(1.0F - 2.0F * std::fabs(u) + 1e-9F), u);
+  }
+  const GgdFit fit = fit_ggd(samples);
+  EXPECT_NEAR(fit.alpha, 1.0, 0.15);
+}
+
+TEST(Aggd, SymmetricInputGivesZeroMean) {
+  util::Pcg32 rng(15);
+  std::vector<float> samples(20000);
+  for (auto& v : samples) v = rng.next_gaussian();
+  const AggdFit fit = fit_aggd(samples);
+  EXPECT_NEAR(fit.mean, 0.0, 0.05);
+  EXPECT_NEAR(fit.sigma_l, fit.sigma_r, 0.05);
+}
+
+TEST(Aggd, AsymmetryShowsInScales) {
+  util::Pcg32 rng(16);
+  std::vector<float> samples(20000);
+  for (auto& v : samples) {
+    const float g = rng.next_gaussian();
+    v = g > 0.0F ? g * 2.0F : g * 0.5F;  // right-heavy
+  }
+  const AggdFit fit = fit_aggd(samples);
+  EXPECT_GT(fit.sigma_r, fit.sigma_l * 1.5);
+  EXPECT_GT(fit.mean, 0.0);
+}
+
+TEST(Mscn, NaturalImageCoefficientsNearUnitVariance) {
+  util::Pcg32 rng(17);
+  const image::Image img = data::synth_photo(128, 128, rng).to_gray();
+  const image::Image m = mscn(img);
+  double var = 0.0;
+  for (const float v : m.data()) var += static_cast<double>(v) * v;
+  var /= static_cast<double>(m.data().size());
+  EXPECT_GT(var, 0.1);
+  EXPECT_LT(var, 2.5);
+}
+
+TEST(Nss, FeatureVectorFiniteAndStable) {
+  util::Pcg32 rng(18);
+  const image::Image img = data::synth_photo(96, 96, rng);
+  const NssFeatures f1 = nss_features(img);
+  const NssFeatures f2 = nss_features(img);
+  for (int k = 0; k < kNssFeatureCount; ++k) {
+    EXPECT_TRUE(std::isfinite(f1[k]));
+    EXPECT_DOUBLE_EQ(f1[k], f2[k]);
+  }
+}
+
+TEST(Nss, RejectsTinyImages) {
+  image::Image img(16, 16, 1);
+  EXPECT_THROW(nss_features(img), std::invalid_argument);
+}
+
+TEST(Nss, SharpnessDropsUnderBlur) {
+  util::Pcg32 rng(19);
+  const image::Image img = data::synth_texture(96, 96, rng);
+  EXPECT_GT(sharpness(img), sharpness(blur3(img)) * 1.1);
+}
+
+TEST(NoRef, CalibrationIsDeterministic) {
+  const NoRefCalibration a = NoRefCalibration::from_synthetic_corpus(4, 96, 96);
+  const NoRefCalibration b = NoRefCalibration::from_synthetic_corpus(4, 96, 96);
+  for (int k = 0; k < kNssFeatureCount; ++k) {
+    EXPECT_DOUBLE_EQ(a.mean[k], b.mean[k]);
+  }
+}
+
+class NoRefMonotonicity : public testing::TestWithParam<int> {};
+
+TEST_P(NoRefMonotonicity, ScoresWorsenWithJpegQualityDrop) {
+  // The property every table/figure relies on: harder compression must make
+  // brisque/pi worse (higher) and tres worse (lower), on average.
+  const int seed = GetParam();
+  util::Pcg32 rng(seed);
+  const image::Image img = data::synth_photo(160, 128, rng);
+  codec::JpegLikeCodec good(90);
+  codec::JpegLikeCodec bad(4);
+  const image::Image img_good = good.decode(good.encode(img));
+  const image::Image img_bad = bad.decode(bad.encode(img));
+
+  EXPECT_LT(brisque_proxy(img_good), brisque_proxy(img_bad));
+  EXPECT_LT(pi_proxy(img_good), pi_proxy(img_bad));
+  EXPECT_GT(tres_proxy(img_good), tres_proxy(img_bad));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoRefMonotonicity, testing::Values(21, 22, 23));
+
+TEST(NoRef, PristineScoresLandInExpectedBands) {
+  util::Pcg32 rng(24);
+  const image::Image img = data::synth_photo(160, 128, rng);
+  const double b = brisque_proxy(img);
+  const double p = pi_proxy(img);
+  const double t = tres_proxy(img);
+  EXPECT_GT(b, 0.0);
+  EXPECT_LT(b, 50.0);
+  EXPECT_GT(p, 1.0);
+  EXPECT_LT(p, 7.0);
+  EXPECT_GT(t, 50.0);
+  EXPECT_LE(t, 100.0);
+}
+
+TEST(NoRef, NoiseRaisesDeviation) {
+  util::Pcg32 rng(25);
+  const image::Image img = data::synth_photo(128, 96, rng);
+  const auto& cal = NoRefCalibration::standard();
+  EXPECT_LT(nss_deviation(img, cal), nss_deviation(add_noise(img, 0.1F, 26), cal));
+}
+
+}  // namespace
+}  // namespace easz::metrics

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synth.hpp"
+#include "metrics/distortion.hpp"
+#include "neural_codec/conv_autoencoder.hpp"
+#include "neural_codec/entropy_bottleneck.hpp"
+#include "util/prng.hpp"
+
+namespace easz::neural_codec {
+namespace {
+
+TEST(EntropyBottleneck, LatentRoundTripExactAtQuantGrid) {
+  util::Pcg32 rng(1);
+  tensor::Tensor z = tensor::Tensor::randn({1, 4, 6, 6}, rng, 2.0F);
+  const float step = 0.25F;
+  const LatentCode code = encode_latents(z, step);
+  const tensor::Tensor back = decode_latents(code, step);
+  ASSERT_EQ(back.shape(), z.shape());
+  for (std::size_t i = 0; i < z.numel(); ++i) {
+    const float q = std::round(z.data()[i] / step) * step;
+    EXPECT_NEAR(back.data()[i], q, 1e-5F);
+  }
+}
+
+TEST(EntropyBottleneck, CoarserStepShrinksCode) {
+  util::Pcg32 rng(2);
+  tensor::Tensor z = tensor::Tensor::randn({1, 8, 16, 16}, rng, 1.0F);
+  const LatentCode fine = encode_latents(z, 0.05F);
+  const LatentCode coarse = encode_latents(z, 1.0F);
+  EXPECT_LT(coarse.bytes.size(), fine.bytes.size());
+}
+
+TEST(EntropyBottleneck, RejectsBadStep) {
+  tensor::Tensor z({1, 1, 2, 2});
+  EXPECT_THROW(encode_latents(z, 0.0F), std::invalid_argument);
+}
+
+TEST(EntropyBottleneck, EntropyEstimateTracksStep) {
+  util::Pcg32 rng(3);
+  tensor::Tensor z = tensor::Tensor::randn({1, 4, 16, 16}, rng, 1.0F);
+  EXPECT_GT(latent_entropy_bits(z, 0.05F), latent_entropy_bits(z, 1.0F));
+}
+
+TEST(ConvCodec, SpecsDifferentiateMbtAndCheng) {
+  const ConvCodecSpec mbt = mbt_lite_spec();
+  const ConvCodecSpec cheng = cheng_lite_spec();
+  EXPECT_LT(mbt.stages, cheng.stages);
+  EXPECT_LT(mbt.paper_encode_flops_per_px, cheng.paper_encode_flops_per_px);
+  EXPECT_LT(mbt.paper_model_bytes, cheng.paper_model_bytes);
+}
+
+TEST(ConvCodec, RoundTripGeometryPreserved) {
+  ConvAutoencoderCodec codec(mbt_lite_spec(), 60, 42);
+  util::Pcg32 rng(4);
+  const image::Image img = data::synth_photo(50, 38, rng);
+  const codec::Compressed c = codec.encode(img);
+  const image::Image out = codec.decode(c);
+  EXPECT_EQ(out.width(), 50);
+  EXPECT_EQ(out.height(), 38);
+  EXPECT_EQ(out.channels(), 3);
+}
+
+TEST(ConvCodec, PretrainingImprovesReconstruction) {
+  ConvAutoencoderCodec codec(mbt_lite_spec(), 70, 43);
+  util::Pcg32 rng(5);
+  const image::Image img = data::synth_photo(48, 48, rng);
+  const double before = metrics::mse(img, codec.decode(codec.encode(img)));
+  codec.pretrain(40, 32, 2);
+  const double after = metrics::mse(img, codec.decode(codec.encode(img)));
+  EXPECT_LT(after, before);
+}
+
+TEST(ConvCodec, QualityKnobTradesRateForDistortion) {
+  ConvAutoencoderCodec codec(mbt_lite_spec(), 30, 44);
+  codec.pretrain(40, 32, 2);
+  util::Pcg32 rng(6);
+  const image::Image img = data::synth_photo(48, 48, rng);
+
+  codec.set_quality(5);
+  const codec::Compressed low = codec.encode(img);
+  const double mse_low = metrics::mse(img, codec.decode(low));
+  codec.set_quality(90);
+  const codec::Compressed high = codec.encode(img);
+  const double mse_high = metrics::mse(img, codec.decode(high));
+
+  EXPECT_LT(low.bpp(), high.bpp());
+  EXPECT_LE(mse_high, mse_low * 1.05);
+}
+
+TEST(ConvCodec, PaperScaleCostReporting) {
+  ConvAutoencoderCodec mbt(mbt_lite_spec(), 50, 45);
+  ConvAutoencoderCodec cheng(cheng_lite_spec(), 50, 46);
+  // The testbed consumes paper-scale numbers: ~1e11 FLOPs at 512x768.
+  EXPECT_GT(mbt.encode_flops(768, 512), 1e10);
+  EXPECT_GT(cheng.encode_flops(768, 512), mbt.encode_flops(768, 512));
+  EXPECT_GT(mbt.model_bytes(), 50U * 1024 * 1024);
+  EXPECT_GT(cheng.model_bytes(), mbt.model_bytes());
+}
+
+TEST(ConvCodec, DeterministicEncode) {
+  ConvAutoencoderCodec codec(mbt_lite_spec(), 55, 47);
+  util::Pcg32 rng(7);
+  const image::Image img = data::synth_photo(32, 32, rng);
+  EXPECT_EQ(codec.encode(img).bytes, codec.encode(img).bytes);
+}
+
+TEST(ConvCodec, ChengDownsamplesMoreAggressively) {
+  ConvAutoencoderCodec mbt(mbt_lite_spec(), 50, 48);
+  ConvAutoencoderCodec cheng(cheng_lite_spec(), 50, 49);
+  EXPECT_EQ(mbt.downsample_factor(), 4);
+  EXPECT_EQ(cheng.downsample_factor(), 8);
+}
+
+
+TEST(ConvCodec, GdnVariantRoundTripsAndTrains) {
+  ConvCodecSpec spec = mbt_lite_spec();
+  spec.use_gdn = true;
+  ConvAutoencoderCodec codec(spec, 60, 50);
+  util::Pcg32 rng(8);
+  const image::Image img = data::synth_photo(32, 32, rng);
+  const double before = metrics::mse(img, codec.decode(codec.encode(img)));
+  codec.pretrain(30, 32, 1);
+  const double after = metrics::mse(img, codec.decode(codec.encode(img)));
+  EXPECT_LT(after, before);
+  const image::Image out = codec.decode(codec.encode(img));
+  EXPECT_EQ(out.width(), 32);
+}
+
+TEST(ConvCodec, GdnVariantHasMoreParameters) {
+  ConvCodecSpec plain = mbt_lite_spec();
+  ConvCodecSpec gdn = mbt_lite_spec();
+  gdn.use_gdn = true;
+  ConvAutoencoderCodec a(plain, 50, 51);
+  ConvAutoencoderCodec b(gdn, 50, 52);
+  EXPECT_GT(b.num_parameters(), a.num_parameters());
+}
+
+}  // namespace
+}  // namespace easz::neural_codec

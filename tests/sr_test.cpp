@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "codec/jpeg_like.hpp"
+#include "data/synth.hpp"
+#include "image/resize.hpp"
+#include "metrics/distortion.hpp"
+#include "sr/sr_codec.hpp"
+#include "sr/srnet.hpp"
+#include "util/prng.hpp"
+
+namespace easz::sr {
+namespace {
+
+TEST(SrNet, PresetsHaveDistinctCapacities) {
+  SrNet a(swinir_lite_spec(), 1);
+  SrNet b(realesrgan_lite_spec(), 2);
+  EXPECT_GT(a.num_parameters(), b.num_parameters());
+}
+
+TEST(SrNet, UpscaleProducesRequestedGeometry) {
+  SrNet net(realesrgan_lite_spec(), 3);
+  util::Pcg32 rng(4);
+  const image::Image low = data::synth_photo(24, 18, rng);
+  const image::Image up = net.upscale(low, 48, 36);
+  EXPECT_EQ(up.width(), 48);
+  EXPECT_EQ(up.height(), 36);
+  for (const float v : up.data()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+}
+
+TEST(SrNet, PretrainingBeatsUntrainedResidual) {
+  SrNet net(realesrgan_lite_spec(), 5);
+  util::Pcg32 rng(6);
+  const image::Image img = data::synth_photo(48, 48, rng);
+  const image::Image low =
+      image::resize(img, 36, 36, image::Filter::kBicubic);
+
+  const double before = metrics::mse(img, net.upscale(low, 48, 48));
+  net.pretrain(60, 0.75F, 48);
+  const double after = metrics::mse(img, net.upscale(low, 48, 48));
+  EXPECT_LT(after, before);
+}
+
+TEST(SrNet, TrainedNetApproachesBicubicOrBetter) {
+  SrNet net(swinir_lite_spec(), 7);
+  net.pretrain(100, 0.75F, 48);
+  util::Pcg32 rng(8);
+  double net_mse = 0.0;
+  double bicubic_mse = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    const image::Image img = data::synth_photo(64, 64, rng);
+    const image::Image low =
+        image::resize(img, 48, 48, image::Filter::kBicubic);
+    net_mse += metrics::mse(img, net.upscale(low, 64, 64));
+    bicubic_mse += metrics::mse(
+        img, image::resize(low, 64, 64, image::Filter::kBicubic));
+  }
+  EXPECT_LT(net_mse, bicubic_mse * 1.1);
+}
+
+TEST(DownUpCodec, RejectsBadScale) {
+  codec::JpegLikeCodec jpeg(70);
+  EXPECT_THROW(DownUpCodec(jpeg, 0.0F, nullptr), std::invalid_argument);
+  EXPECT_THROW(DownUpCodec(jpeg, 1.0F, nullptr), std::invalid_argument);
+}
+
+TEST(DownUpCodec, ReducesRateVersusDirectCodec) {
+  codec::JpegLikeCodec jpeg(70);
+  DownUpCodec downup(jpeg, 0.5F, nullptr);
+  util::Pcg32 rng(9);
+  const image::Image img = data::synth_photo(96, 64, rng);
+  EXPECT_LT(downup.encode(img).bpp(), jpeg.encode(img).bpp());
+}
+
+TEST(DownUpCodec, DecodeRestoresFullGeometry) {
+  codec::JpegLikeCodec jpeg(70);
+  DownUpCodec downup(jpeg, 0.5F, nullptr);
+  util::Pcg32 rng(10);
+  const image::Image img = data::synth_photo(80, 60, rng);
+  const image::Image out = downup.decode(downup.encode(img));
+  EXPECT_EQ(out.width(), 80);
+  EXPECT_EQ(out.height(), 60);
+  EXPECT_LT(metrics::mse(img, out), 0.05);
+}
+
+TEST(DownUpCodec, NameReflectsUpsampler) {
+  codec::JpegLikeCodec jpeg(70);
+  SrNet net(bsrgan_lite_spec(), 11);
+  EXPECT_EQ(DownUpCodec(jpeg, 0.5F, nullptr).name(), "jpeg+down+bicubic");
+  EXPECT_EQ(DownUpCodec(jpeg, 0.5F, &net).name(), "jpeg+down+bsrgan");
+}
+
+TEST(DownUpCodec, QualityKnobDelegatesToInner) {
+  codec::JpegLikeCodec jpeg(70);
+  DownUpCodec downup(jpeg, 0.5F, nullptr);
+  downup.set_quality(30);
+  EXPECT_EQ(jpeg.quality(), 30);
+  EXPECT_EQ(downup.quality(), 30);
+}
+
+}  // namespace
+}  // namespace easz::sr

@@ -1,0 +1,433 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/prng.hpp"
+
+namespace easz::tensor {
+namespace {
+
+// Central-difference gradient check: perturbs every element of `input` and
+// compares numeric dLoss/dx against autograd.
+void check_gradients(Tensor& input, const std::function<Tensor()>& loss_fn,
+                     float eps = 1e-3F, float tol = 2e-2F) {
+  Tensor loss = loss_fn();
+  loss.zero_grad();
+  loss = loss_fn();
+  loss.backward();
+  const std::vector<float> analytic = input.node()->grad;
+  ASSERT_EQ(analytic.size(), input.numel());
+
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const float orig = input.data()[i];
+    input.data()[i] = orig + eps;
+    const float up = loss_fn().item();
+    input.data()[i] = orig - eps;
+    const float down = loss_fn().item();
+    input.data()[i] = orig;
+    const float numeric = (up - down) / (2.0F * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                tol * std::max(1.0F, std::fabs(numeric)))
+        << "element " << i;
+  }
+}
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24U);
+  EXPECT_EQ(t.rank(), 3);
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(0), 2);
+}
+
+TEST(Tensor, RejectsBadShape) {
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>(3)), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesDataAndGradient) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6}, true);
+  Tensor b = a.reshape({3, 2});
+  EXPECT_EQ(b.data()[4], 5.0F);
+  Tensor loss = sum(mul(b, b));
+  loss.backward();
+  EXPECT_FLOAT_EQ(a.grad()[2], 6.0F);  // d(sum x^2)/dx = 2x
+}
+
+TEST(Tensor, DetachBreaksGraph) {
+  Tensor a({2}, {1, 2}, true);
+  Tensor b = scale(a, 3.0F).detach();
+  EXPECT_FALSE(b.requires_grad());
+  EXPECT_FLOAT_EQ(b.data()[1], 6.0F);
+}
+
+TEST(Tensor, BackwardRequiresScalar) {
+  Tensor a({2}, {1, 2}, true);
+  EXPECT_THROW(a.backward(), std::logic_error);
+}
+
+TEST(Ops, AddSubMulForward) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  EXPECT_FLOAT_EQ(add(a, b).data()[1], 22.0F);
+  EXPECT_FLOAT_EQ(sub(a, b).data()[2], -27.0F);
+  EXPECT_FLOAT_EQ(mul(a, b).data()[0], 10.0F);
+  EXPECT_FLOAT_EQ(scale(a, -2.0F).data()[2], -6.0F);
+  EXPECT_FLOAT_EQ(add_scalar(a, 0.5F).data()[0], 1.5F);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(mse_loss(a, b), std::invalid_argument);
+}
+
+TEST(Ops, AddBroadcastBiasPattern) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3}, {10, 20, 30});
+  const Tensor y = add_broadcast(a, b);
+  EXPECT_FLOAT_EQ(y.data()[0], 11.0F);
+  EXPECT_FLOAT_EQ(y.data()[5], 36.0F);
+}
+
+TEST(Ops, AddBroadcastRejectsNonSuffix) {
+  Tensor a({2, 3});
+  Tensor b({2});
+  EXPECT_THROW(add_broadcast(a, b), std::invalid_argument);
+}
+
+TEST(Ops, MatmulForwardKnownValues) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.data()[0], 19.0F);
+  EXPECT_FLOAT_EQ(c.data()[1], 22.0F);
+  EXPECT_FLOAT_EQ(c.data()[2], 43.0F);
+  EXPECT_FLOAT_EQ(c.data()[3], 50.0F);
+}
+
+TEST(Ops, MatmulGradient) {
+  util::Pcg32 rng(1);
+  Tensor a = Tensor::randn({3, 4}, rng, 1.0F, true);
+  Tensor b = Tensor::randn({4, 2}, rng, 1.0F, true);
+  check_gradients(a, [&]() { return sum(mul(matmul(a, b), matmul(a, b))); });
+  check_gradients(b, [&]() { return sum(mul(matmul(a, b), matmul(a, b))); });
+}
+
+TEST(Ops, BmmMatchesLoopedMatmul) {
+  util::Pcg32 rng(2);
+  Tensor a = Tensor::randn({2, 3, 4}, rng);
+  Tensor b = Tensor::randn({2, 4, 5}, rng);
+  const Tensor c = bmm(a, b);
+  for (int bi = 0; bi < 2; ++bi) {
+    Tensor a2({3, 4});
+    Tensor b2({4, 5});
+    std::copy_n(a.data().begin() + bi * 12, 12, a2.data().begin());
+    std::copy_n(b.data().begin() + bi * 20, 20, b2.data().begin());
+    const Tensor c2 = matmul(a2, b2);
+    for (int i = 0; i < 15; ++i) {
+      EXPECT_NEAR(c.data()[bi * 15 + i], c2.data()[i], 1e-5F);
+    }
+  }
+}
+
+TEST(Ops, BmmTransposeB) {
+  util::Pcg32 rng(3);
+  Tensor a = Tensor::randn({1, 2, 3}, rng);
+  Tensor b = Tensor::randn({1, 4, 3}, rng);
+  const Tensor c = bmm(a, b, true);  // [1,2,4]
+  EXPECT_EQ(c.shape(), (Shape{1, 2, 4}));
+  float expect = 0.0F;
+  for (int p = 0; p < 3; ++p) expect += a.data()[3 + p] * b.data()[6 + p];
+  EXPECT_NEAR(c.data()[1 * 4 + 2], expect, 1e-5F);
+}
+
+TEST(Ops, BmmGradient) {
+  util::Pcg32 rng(4);
+  Tensor a = Tensor::randn({2, 2, 3}, rng, 1.0F, true);
+  Tensor b = Tensor::randn({2, 3, 2}, rng, 1.0F, true);
+  check_gradients(a, [&]() { return sum(mul(bmm(a, b), bmm(a, b))); });
+  check_gradients(b, [&]() { return sum(mul(bmm(a, b), bmm(a, b))); });
+}
+
+TEST(Ops, BmmTransposeGradient) {
+  util::Pcg32 rng(5);
+  Tensor a = Tensor::randn({1, 3, 4}, rng, 1.0F, true);
+  Tensor b = Tensor::randn({1, 2, 4}, rng, 1.0F, true);
+  check_gradients(a, [&]() { return sum(mul(bmm(a, b, true), bmm(a, b, true))); });
+  check_gradients(b, [&]() { return sum(mul(bmm(a, b, true), bmm(a, b, true))); });
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  util::Pcg32 rng(6);
+  Tensor a = Tensor::randn({4, 7}, rng, 3.0F);
+  const Tensor y = softmax(a);
+  for (int r = 0; r < 4; ++r) {
+    float s = 0.0F;
+    for (int j = 0; j < 7; ++j) s += y.data()[r * 7 + j];
+    EXPECT_NEAR(s, 1.0F, 1e-5F);
+  }
+}
+
+TEST(Ops, SoftmaxStableForLargeLogits) {
+  Tensor a({1, 3}, {1000.0F, 1000.0F, -1000.0F});
+  const Tensor y = softmax(a);
+  EXPECT_NEAR(y.data()[0], 0.5F, 1e-5F);
+  EXPECT_NEAR(y.data()[2], 0.0F, 1e-6F);
+}
+
+TEST(Ops, SoftmaxGradient) {
+  util::Pcg32 rng(7);
+  Tensor a = Tensor::randn({2, 5}, rng, 1.0F, true);
+  Tensor w = Tensor::randn({2, 5}, rng);
+  check_gradients(a, [&]() { return sum(mul(softmax(a), w)); });
+}
+
+TEST(Ops, LayernormNormalisesRows) {
+  util::Pcg32 rng(8);
+  Tensor a = Tensor::randn({3, 16}, rng, 5.0F);
+  Tensor gamma = Tensor::full({16}, 1.0F);
+  Tensor beta = Tensor::zeros({16});
+  const Tensor y = layernorm(a, gamma, beta);
+  for (int r = 0; r < 3; ++r) {
+    float mean = 0.0F;
+    for (int j = 0; j < 16; ++j) mean += y.data()[r * 16 + j];
+    mean /= 16.0F;
+    float var = 0.0F;
+    for (int j = 0; j < 16; ++j) {
+      const float c = y.data()[r * 16 + j] - mean;
+      var += c * c;
+    }
+    var /= 16.0F;
+    EXPECT_NEAR(mean, 0.0F, 1e-4F);
+    EXPECT_NEAR(var, 1.0F, 1e-2F);
+  }
+}
+
+TEST(Ops, LayernormGradient) {
+  util::Pcg32 rng(9);
+  Tensor a = Tensor::randn({2, 6}, rng, 2.0F, true);
+  Tensor gamma = Tensor::randn({6}, rng, 1.0F, true);
+  Tensor beta = Tensor::randn({6}, rng, 1.0F, true);
+  Tensor w = Tensor::randn({2, 6}, rng);
+  const auto loss = [&]() { return sum(mul(layernorm(a, gamma, beta), w)); };
+  check_gradients(a, loss);
+  check_gradients(gamma, loss);
+  check_gradients(beta, loss);
+}
+
+TEST(Ops, ActivationGradients) {
+  util::Pcg32 rng(10);
+  Tensor a = Tensor::randn({12}, rng, 1.5F, true);
+  // Nudge values away from ReLU's kink where numeric gradients are invalid.
+  for (auto& v : a.data()) {
+    if (std::fabs(v) < 0.05F) v = 0.1F;
+  }
+  Tensor w = Tensor::randn({12}, rng);
+  check_gradients(a, [&]() { return sum(mul(gelu(a), w)); });
+  check_gradients(a, [&]() { return sum(mul(relu(a), w)); });
+  check_gradients(a, [&]() { return sum(mul(sigmoid(a), w)); });
+  check_gradients(a, [&]() { return sum(mul(tanh_op(a), w)); });
+  check_gradients(a, [&]() { return sum(mul(leaky_relu(a, 0.1F), w)); });
+}
+
+TEST(Ops, SliceAndConcatRoundTrip) {
+  util::Pcg32 rng(11);
+  Tensor a = Tensor::randn({2, 3, 8}, rng);
+  const Tensor left = slice_last(a, 0, 3);
+  const Tensor mid = slice_last(a, 3, 2);
+  const Tensor right = slice_last(a, 5, 3);
+  const Tensor glued = concat_last({left, mid, right});
+  EXPECT_EQ(glued.shape(), a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    EXPECT_FLOAT_EQ(glued.data()[i], a.data()[i]);
+  }
+}
+
+TEST(Ops, SliceGradient) {
+  util::Pcg32 rng(12);
+  Tensor a = Tensor::randn({2, 6}, rng, 1.0F, true);
+  Tensor w = Tensor::randn({2, 3}, rng);
+  check_gradients(a, [&]() { return sum(mul(slice_last(a, 2, 3), w)); });
+}
+
+TEST(Ops, ConcatGradient) {
+  util::Pcg32 rng(13);
+  Tensor a = Tensor::randn({2, 3}, rng, 1.0F, true);
+  Tensor b = Tensor::randn({2, 2}, rng, 1.0F, true);
+  Tensor w = Tensor::randn({2, 5}, rng);
+  const auto loss = [&]() { return sum(mul(concat_last({a, b}), w)); };
+  check_gradients(a, loss);
+  check_gradients(b, loss);
+}
+
+TEST(Ops, SliceRejectsOutOfBounds) {
+  Tensor a({2, 4});
+  EXPECT_THROW(slice_last(a, 3, 2), std::invalid_argument);
+  EXPECT_THROW(slice_last(a, -1, 2), std::invalid_argument);
+}
+
+TEST(Ops, GatherScatterRowsRoundTrip) {
+  Tensor a({4, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  const std::vector<int> idx = {2, 0};
+  const Tensor g = gather_rows(a, idx);
+  EXPECT_FLOAT_EQ(g.data()[0], 5.0F);
+  EXPECT_FLOAT_EQ(g.data()[2], 1.0F);
+  const Tensor s = scatter_rows(g, idx, 4);
+  EXPECT_FLOAT_EQ(s.data()[4], 5.0F);  // row 2 restored
+  EXPECT_FLOAT_EQ(s.data()[2], 0.0F);  // row 1 zero-filled
+}
+
+TEST(Ops, GatherScatterGradients) {
+  util::Pcg32 rng(14);
+  Tensor a = Tensor::randn({4, 3}, rng, 1.0F, true);
+  const std::vector<int> idx = {1, 3};
+  Tensor w = Tensor::randn({2, 3}, rng);
+  check_gradients(a, [&]() { return sum(mul(gather_rows(a, idx), w)); });
+
+  Tensor b = Tensor::randn({2, 3}, rng, 1.0F, true);
+  Tensor w2 = Tensor::randn({5, 3}, rng);
+  check_gradients(b, [&]() { return sum(mul(scatter_rows(b, idx, 5), w2)); });
+}
+
+TEST(Ops, ScatterRejectsBadIndex) {
+  Tensor a({2, 3});
+  EXPECT_THROW(scatter_rows(a, {0, 5}, 4), std::invalid_argument);
+  EXPECT_THROW(scatter_rows(a, {0}, 4), std::invalid_argument);
+}
+
+TEST(Ops, LossesKnownValues) {
+  Tensor p({2}, {1.0F, 3.0F});
+  Tensor t({2}, {0.0F, 1.0F});
+  EXPECT_NEAR(mse_loss(p, t).item(), (1.0F + 4.0F) / 2.0F, 1e-6F);
+  EXPECT_NEAR(l1_loss(p, t).item(), (1.0F + 2.0F) / 2.0F, 1e-6F);
+}
+
+TEST(Ops, LossGradients) {
+  util::Pcg32 rng(15);
+  Tensor p = Tensor::randn({6}, rng, 1.0F, true);
+  Tensor t = Tensor::randn({6}, rng);
+  check_gradients(p, [&]() { return mse_loss(p, t); });
+  check_gradients(p, [&]() { return l1_loss(p, t); });
+}
+
+TEST(Ops, MeanIsSumOverN) {
+  Tensor a({4}, {1, 2, 3, 4});
+  EXPECT_NEAR(mean(a).item(), 2.5F, 1e-6F);
+}
+
+TEST(Ops, Conv2dKnownValues) {
+  // 1x1x3x3 input, 1x1x2x2 all-ones kernel, stride 1, no pad -> 2x2 sums.
+  Tensor a({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor w = Tensor::full({1, 1, 2, 2}, 1.0F);
+  Tensor none;
+  const Tensor y = conv2d(a, w, none, 1, 0);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.data()[0], 12.0F);
+  EXPECT_FLOAT_EQ(y.data()[3], 28.0F);
+}
+
+TEST(Ops, Conv2dStridePad) {
+  Tensor a = Tensor::full({1, 1, 4, 4}, 1.0F);
+  Tensor w = Tensor::full({2, 1, 3, 3}, 1.0F);
+  Tensor bias({2}, {0.0F, 100.0F});
+  const Tensor y = conv2d(a, w, bias, 2, 1);
+  EXPECT_EQ(y.shape(), (Shape{1, 2, 2, 2}));
+  EXPECT_FLOAT_EQ(y.data()[0], 4.0F);  // corner: 2x2 valid taps
+  EXPECT_FLOAT_EQ(y.data()[4], 104.0F);
+}
+
+TEST(Ops, Conv2dGradient) {
+  util::Pcg32 rng(16);
+  Tensor a = Tensor::randn({1, 2, 4, 4}, rng, 1.0F, true);
+  Tensor w = Tensor::randn({3, 2, 3, 3}, rng, 0.5F, true);
+  Tensor bias = Tensor::randn({3}, rng, 0.5F, true);
+  const auto loss = [&]() {
+    const Tensor y = conv2d(a, w, bias, 2, 1);
+    return sum(mul(y, y));
+  };
+  check_gradients(w, loss);
+  check_gradients(bias, loss);
+  check_gradients(a, loss);
+}
+
+TEST(Ops, ConvTransposeInvertsDownsampleShape) {
+  util::Pcg32 rng(17);
+  Tensor a = Tensor::randn({1, 3, 8, 8}, rng);
+  Tensor w_down = Tensor::randn({5, 3, 4, 4}, rng, 0.2F);
+  Tensor none;
+  const Tensor down = conv2d(a, w_down, none, 2, 1);
+  EXPECT_EQ(down.shape(), (Shape{1, 5, 4, 4}));
+  Tensor w_up = Tensor::randn({5, 3, 4, 4}, rng, 0.2F);
+  const Tensor up = conv2d_transpose(down, w_up, none, 2, 1);
+  EXPECT_EQ(up.shape(), (Shape{1, 3, 8, 8}));
+}
+
+TEST(Ops, ConvTransposeGradient) {
+  util::Pcg32 rng(18);
+  Tensor a = Tensor::randn({1, 2, 3, 3}, rng, 1.0F, true);
+  Tensor w = Tensor::randn({2, 3, 4, 4}, rng, 0.5F, true);
+  Tensor bias = Tensor::randn({3}, rng, 0.5F, true);
+  const auto loss = [&]() {
+    const Tensor y = conv2d_transpose(a, w, bias, 2, 1);
+    return sum(mul(y, y));
+  };
+  check_gradients(a, loss);
+  check_gradients(w, loss);
+  check_gradients(bias, loss);
+}
+
+TEST(Ops, ApplyPermutationReordersElements) {
+  Tensor a({4}, {10, 20, 30, 40});
+  const std::vector<std::size_t> src = {3, 2, 1, 0};
+  const Tensor y = apply_permutation(a, src, {2, 2});
+  EXPECT_EQ(y.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(y.data()[0], 40.0F);
+  EXPECT_FLOAT_EQ(y.data()[3], 10.0F);
+}
+
+TEST(Ops, ApplyPermutationGradient) {
+  util::Pcg32 rng(19);
+  Tensor a = Tensor::randn({6}, rng, 1.0F, true);
+  const std::vector<std::size_t> src = {5, 0, 3, 1, 4, 2};
+  Tensor w = Tensor::randn({6}, rng);
+  check_gradients(a, [&]() { return sum(mul(apply_permutation(a, src, {6}), w)); });
+}
+
+TEST(Ops, ApplyPermutationRejectsSizeMismatch) {
+  Tensor a({4});
+  EXPECT_THROW(apply_permutation(a, {0, 1, 2}, {3}), std::invalid_argument);
+  EXPECT_THROW(apply_permutation(a, {0, 1, 2, 3}, {5}), std::invalid_argument);
+}
+
+TEST(Autograd, GradientAccumulatesAcrossUses) {
+  Tensor a({1}, {3.0F}, true);
+  // y = a * a + a => dy/da = 2a + 1 = 7
+  Tensor y = add(mul(a, a), a);
+  y.backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 7.0F);
+}
+
+TEST(Autograd, DiamondGraphHandledOnce) {
+  Tensor a({1}, {2.0F}, true);
+  Tensor b = mul(a, a);        // 4
+  Tensor c = add(b, b);        // 8, b used twice
+  c.backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 8.0F);  // d(2a^2)/da = 4a
+}
+
+TEST(Autograd, ZeroGradClears) {
+  Tensor a({1}, {2.0F}, true);
+  Tensor y = mul(a, a);
+  y.backward();
+  EXPECT_GT(a.grad().size(), 0U);
+  y.zero_grad();
+  EXPECT_TRUE(a.grad().empty());
+}
+
+}  // namespace
+}  // namespace easz::tensor

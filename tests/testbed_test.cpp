@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "codec/jpeg_like.hpp"
+#include "neural_codec/conv_autoencoder.hpp"
+#include "testbed/scenario.hpp"
+#include "util/prng.hpp"
+
+namespace easz::testbed {
+namespace {
+
+core::ReconModelConfig paper_model_config() {
+  core::ReconModelConfig cfg;  // defaults = paper dimensions
+  return cfg;
+}
+
+TEST(Device, PresetsHaveSensibleOrdering) {
+  const DeviceModel edge = jetson_tx2();
+  const DeviceModel server = desktop_2080ti();
+  EXPECT_LT(edge.nn_flops_per_s, server.nn_flops_per_s);
+  EXPECT_LT(edge.cpu_flops_per_s, server.cpu_flops_per_s);
+  EXPECT_LT(edge.gpu_active_power_w, server.gpu_active_power_w);
+}
+
+TEST(Link, TransferTimeIncludesRttAndBandwidth) {
+  const NetworkLink link = wifi_link();
+  const double t = link.transfer_s(60e3);
+  EXPECT_GT(t, link.rtt_s);
+  // ~60 KB at the paper's effective Wi-Fi rate: roughly the 150 ms band.
+  EXPECT_GT(t, 0.08);
+  EXPECT_LT(t, 0.30);
+}
+
+TEST(Scenario, ClassicalCodecIsFastOnEdge) {
+  const Scenario s = paper_testbed();
+  codec::JpegLikeCodec jpeg(50);
+  const PipelineCost c = s.run_codec(jpeg, 768, 512, 40e3);
+  EXPECT_LT(c.latency.encode_s, 0.2);
+  EXPECT_NEAR(c.latency.model_load_s, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(c.edge.gpu_power_w, 0.0);
+}
+
+TEST(Scenario, NeuralCodecReproducesPaperLatencyGap) {
+  // Fig. 1: neural encode ~18 s and load >1 s on TX2 vs ~150 ms transmit.
+  const Scenario s = paper_testbed();
+  neural_codec::ConvAutoencoderCodec mbt(neural_codec::mbt_lite_spec(), 50, 1);
+  const PipelineCost c = s.run_codec(mbt, 768, 512, 40e3);
+  EXPECT_GT(c.latency.encode_s, 10.0);
+  EXPECT_GT(c.latency.model_load_s, 1.0);
+  EXPECT_LT(c.latency.transmit_s, 0.3);
+  EXPECT_GT(c.latency.encode_s / c.latency.transmit_s, 50.0);
+}
+
+TEST(Scenario, EaszEraseSqueezeIsTinyFractionOfTotal) {
+  // Fig. 6a: erase-and-squeeze ~0.7 % of end-to-end latency.
+  const Scenario s = paper_testbed();
+  util::Pcg32 rng(2);
+  core::ReconstructionModel model(paper_model_config(), rng);
+  codec::JpegLikeCodec jpeg(50);
+  const PipelineCost c = s.run_easz(jpeg, model, 768, 512, 2, 40e3);
+  const double total = c.latency.end_to_end_s();
+  EXPECT_GT(total, 0.5);
+  EXPECT_LT(c.latency.erase_squeeze_s / total, 0.05);
+  EXPECT_GT(c.latency.reconstruct_s / total, 0.4);  // recon dominates (74 %)
+}
+
+TEST(Scenario, EaszBeatsNeuralCodecsEndToEnd) {
+  // Fig. 8d: Easz ~89 % faster end-to-end than MBT/Cheng.
+  const Scenario s = paper_testbed();
+  util::Pcg32 rng(3);
+  core::ReconstructionModel model(paper_model_config(), rng);
+  codec::JpegLikeCodec jpeg(50);
+  neural_codec::ConvAutoencoderCodec cheng(neural_codec::cheng_lite_spec(), 50, 4);
+
+  const double easz_total =
+      s.run_easz(jpeg, model, 768, 512, 2, 40e3).latency.end_to_end_s();
+  const double cheng_total =
+      s.run_codec(cheng, 768, 512, 40e3).latency.end_to_end_s();
+  EXPECT_LT(easz_total, cheng_total * 0.35);
+}
+
+TEST(Scenario, EaszPowerAndMemoryAdvantage) {
+  // Fig. 6b/6c: no GPU power on the edge; ~45 % smaller footprint.
+  const Scenario s = paper_testbed();
+  util::Pcg32 rng(5);
+  core::ReconstructionModel model(paper_model_config(), rng);
+  codec::JpegLikeCodec jpeg(50);
+  neural_codec::ConvAutoencoderCodec mbt(neural_codec::mbt_lite_spec(), 50, 6);
+
+  const PipelineCost easz = s.run_easz(jpeg, model, 768, 512, 2, 40e3);
+  const PipelineCost nn = s.run_codec(mbt, 768, 512, 40e3);
+  EXPECT_DOUBLE_EQ(easz.edge.gpu_power_w, 0.0);
+  EXPECT_GT(nn.edge.gpu_power_w, 0.0);
+  EXPECT_LT(easz.edge.total_power_w(), nn.edge.total_power_w());
+  EXPECT_LT(easz.edge.memory_bytes, nn.edge.memory_bytes * 0.7);
+}
+
+TEST(Scenario, LoadInitOverheadAddsToModelLoad) {
+  const Scenario s = paper_testbed();
+  neural_codec::ConvAutoencoderCodec cheng(neural_codec::cheng_lite_spec(), 50, 7);
+  const PipelineCost base = s.run_codec(cheng, 768, 512, 40e3);
+  const PipelineCost heavy =
+      s.run_codec(cheng, 768, 512, 40e3, {.load_init_s = 10.0});
+  EXPECT_NEAR(heavy.latency.model_load_s - base.latency.model_load_s, 10.0,
+              1e-9);
+}
+
+TEST(Scenario, HigherEraseRatioCutsEncodeAndReconCost) {
+  const Scenario s = paper_testbed();
+  util::Pcg32 rng(8);
+  core::ReconstructionModel model(paper_model_config(), rng);
+  codec::JpegLikeCodec jpeg(50);
+  const PipelineCost t1 = s.run_easz(jpeg, model, 768, 512, 1, 40e3);
+  const PipelineCost t4 = s.run_easz(jpeg, model, 768, 512, 4, 40e3);
+  EXPECT_LT(t4.latency.encode_s, t1.latency.encode_s);
+  EXPECT_LT(t4.latency.reconstruct_s, t1.latency.reconstruct_s);
+}
+
+TEST(StageBreakdown, EndToEndSumsStages) {
+  StageBreakdown b;
+  b.erase_squeeze_s = 0.1;
+  b.encode_s = 0.2;
+  b.transmit_s = 0.3;
+  b.decode_s = 0.4;
+  b.reconstruct_s = 0.5;
+  b.model_load_s = 1.0;
+  EXPECT_NEAR(b.end_to_end_s(), 1.5, 1e-12);
+  EXPECT_NEAR(b.end_to_end_s(true), 2.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace easz::testbed

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+namespace easz::util {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(42, 7);
+  Pcg32 b(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, DifferentSeedsProduceDifferentStreams) {
+  Pcg32 a(42, 7);
+  Pcg32 b(43, 7);
+  int same = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32, NextBelowStaysInRange) {
+  Pcg32 rng(1);
+  for (std::uint32_t bound : {1U, 2U, 3U, 10U, 255U, 1000000U}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Pcg32, NextIntInclusiveBounds) {
+  Pcg32 rng(2);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32, FloatInUnitInterval) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const float v = rng.next_float();
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LT(v, 1.0F);
+  }
+}
+
+TEST(Pcg32, FloatMeanNearHalf) {
+  Pcg32 rng(4);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_float();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Pcg32, GaussianMomentsLookStandard) {
+  Pcg32 rng(5);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Pcg32, ShuffleIsPermutation) {
+  Pcg32 rng(6);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), orig.begin()));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Pcg32, SplitStreamsAreIndependent) {
+  Pcg32 parent(7);
+  Pcg32 child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (parent.next_u32() == child.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "2.5"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(s.find("| long-name | 2.5   |"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NE(t.to_string().find("| only |"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 3), "2.000");
+}
+
+}  // namespace
+}  // namespace easz::util
