@@ -1,0 +1,157 @@
+// Server throughput: batched concurrent reconstruction vs single-thread
+// sequential decode (ISSUE 1 acceptance bench).
+//
+// Workload: a fleet of small uploads sharing one deployment mask — the
+// industrial-inspection shape, where cross-request batching pools many
+// partial requests into full transformer batches. The sequential baseline
+// decodes the same set on one thread via EaszPipeline::decode; the server
+// runs `workers` threads with the result cache DISABLED so the comparison
+// measures real reconstruction work, not memoisation. Output images are
+// required to be byte-identical to the sequential decode.
+//
+// Usage: bench_serve [out.json] [workers] [images]
+// Emits a human table on stdout and a JSON report to out.json
+// (default bench_serve.json).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "codec/jpeg_like.hpp"
+#include "serve/server.hpp"
+#include "util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easz;
+  const std::string out_path = argc > 1 ? argv[1] : "bench_serve.json";
+  const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int num_images = argc > 3 ? std::atoi(argv[3]) : 48;
+
+  bench::print_header(
+      "bench_serve: concurrent batched server vs sequential decode",
+      "the server side of asymmetric deployment must scale with cores and "
+      "amortise transformer passes across requests");
+
+  // Deterministic untrained model: reconstruction quality is irrelevant
+  // here, only the forward-pass cost and bit-exactness are.
+  core::ReconModelConfig mcfg;
+  mcfg.patchify = {.patch = 16, .sub_patch = 4};
+  mcfg.channels = 3;
+  mcfg.d_model = 64;
+  mcfg.num_heads = 4;
+  mcfg.ffn_hidden = 128;
+  util::Pcg32 rng(77);
+  const core::ReconstructionModel model(mcfg, rng);
+
+  codec::JpegLikeCodec jpeg(85);
+  core::EaszConfig cfg;
+  cfg.patchify = mcfg.patchify;
+  cfg.erased_per_row = 1;
+  cfg.mask_seed = 7;  // one deployment-wide mask: requests pool into batches
+  const core::EaszPipeline pipeline(cfg, jpeg, &model);
+
+  // Small frames (6 patches each): sequential forward passes are 6-patch,
+  // the server's pooled ones are up to 32-patch.
+  std::vector<core::EaszCompressed> requests;
+  util::Pcg32 data_rng(1234);
+  int total_patches = 0;
+  for (int i = 0; i < num_images; ++i) {
+    const image::Image img = data::synth_photo(48, 32, data_rng);
+    requests.push_back(pipeline.encode(img));
+    total_patches += (requests.back().padded_width / mcfg.patchify.patch) *
+                     (requests.back().padded_height / mcfg.patchify.patch);
+  }
+  std::printf("workload: %d images, %d patches total, %d hardware threads\n",
+              num_images, total_patches,
+              static_cast<int>(std::thread::hardware_concurrency()));
+
+  // ---- single-thread sequential baseline -------------------------------
+  std::vector<image::Image> reference;
+  reference.reserve(requests.size());
+  util::Stopwatch seq_watch;
+  for (const core::EaszCompressed& c : requests) {
+    reference.push_back(pipeline.decode(c));
+  }
+  const double sequential_s = seq_watch.elapsed_seconds();
+
+  // ---- batched concurrent server ---------------------------------------
+  serve::ServerConfig scfg;
+  scfg.workers = workers;
+  scfg.max_queue = num_images;
+  scfg.max_batch_patches = 32;
+  scfg.cache_bytes = 0;  // measure reconstruction, not memoisation
+  serve::ReconServer server(scfg, model);
+  server.register_codec("jpeg", &jpeg);
+
+  std::vector<std::future<serve::ServeResponse>> futures;
+  futures.reserve(requests.size());
+  util::Stopwatch srv_watch;
+  for (const core::EaszCompressed& c : requests) {
+    serve::ServeRequest req;
+    req.compressed = c;
+    req.codec = "jpeg";
+    serve::SubmitResult res = server.submit(std::move(req));
+    if (!res.accepted) {
+      std::fprintf(stderr, "unexpected rejection\n");
+      return 1;
+    }
+    futures.push_back(std::move(res.response));
+  }
+  std::vector<serve::ServeResponse> responses;
+  responses.reserve(futures.size());
+  for (std::future<serve::ServeResponse>& f : futures) {
+    responses.push_back(f.get());
+  }
+  const double server_s = srv_watch.elapsed_seconds();  // before comparisons:
+  bool identical = true;  // verification must not count against the server
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (responses[i].image->data() != reference[i].data()) identical = false;
+  }
+  const serve::ServerStatsSnapshot stats = server.stats();
+
+  const double speedup = sequential_s / server_s;
+  util::Table t({"arm", "wall s", "images/s", "patches/fwd"});
+  // Sequential decode chunks per image, so its forward passes hold at most
+  // one (here: small) image's patches.
+  const double seq_patches_per_fwd =
+      std::min<double>(core::EaszPipeline::kReconstructChunk,
+                       static_cast<double>(total_patches) / num_images);
+  t.add_row({"sequential 1-thread", util::Table::num(sequential_s, 3),
+             util::Table::num(num_images / sequential_s, 2),
+             util::Table::num(seq_patches_per_fwd, 1)});
+  t.add_row({"server " + std::to_string(workers) + "-worker",
+             util::Table::num(server_s, 3),
+             util::Table::num(num_images / server_s, 2),
+             util::Table::num(stats.mean_batch_size(), 1)});
+  t.print();
+  std::printf("speedup: %.2fx   outputs byte-identical: %s\n", speedup,
+              identical ? "yes" : "NO");
+  std::printf("%s", stats.to_string().c_str());
+
+  char head[512];
+  std::snprintf(
+      head, sizeof(head),
+      "{\"bench\":\"bench_serve\",\"images\":%d,\"patches\":%d,"
+      "\"workers\":%d,\"hardware_threads\":%u,"
+      "\"sequential_wall_s\":%.4f,\"sequential_images_per_s\":%.3f,"
+      "\"server_wall_s\":%.4f,\"server_images_per_s\":%.3f,"
+      "\"speedup\":%.3f,\"identical_output\":%s,\"server_stats\":",
+      num_images, total_patches, workers,
+      std::thread::hardware_concurrency(), sequential_s,
+      num_images / sequential_s, server_s, num_images / server_s, speedup,
+      identical ? "true" : "false");
+  const std::string json = std::string(head) + stats.to_json() + "}";
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+  }
+  std::printf("%s\n", json.c_str());
+  return identical ? 0 : 1;
+}

@@ -47,8 +47,12 @@ int main() {
     const testbed::PipelineCost easz_cost = scenario.run_easz(
         jpeg, model, img.width(), img.height(), cfg.erased_per_row,
         static_cast<double>(c.size_bytes()));
-    const testbed::PipelineCost mbt_cost = scenario.run_codec(
-        mbt, img.width(), img.height(), static_cast<double>(c.size_bytes()));
+    // The MBT arm ships its own bitstream, so its transmit cost must be
+    // priced with the neural codec's compressed size, not Easz's payload.
+    const double mbt_bytes =
+        static_cast<double>(mbt.encode(img).bytes.size());
+    const testbed::PipelineCost mbt_cost =
+        scenario.run_codec(mbt, img.width(), img.height(), mbt_bytes);
 
     t.add_row({std::to_string(frame), std::to_string(c.size_bytes()),
                util::Table::num(c.bpp(), 3),

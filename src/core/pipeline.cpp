@@ -56,50 +56,62 @@ EaszCompressed EaszPipeline::encode(const image::Image& img) const {
   return out;
 }
 
-image::Image EaszPipeline::reconstruct_image(const image::Image& zero_filled,
-                                             const EraseMask& mask) const {
-  // Tokens for every patch, reconstructed in manageable batches.
-  const tensor::Tensor all_tokens =
-      image_to_tokens(zero_filled, config_.patchify);
-  const int patch_count = all_tokens.dim(0);
-  const int tokens = all_tokens.dim(1);
-  const int token_dim = all_tokens.dim(2);
-
-  tensor::Tensor result({patch_count, tokens, token_dim});
-  constexpr int kBatch = 32;
-  const std::size_t per_patch =
-      static_cast<std::size_t>(tokens) * token_dim;
-  for (int start = 0; start < patch_count; start += kBatch) {
-    const int count = std::min(kBatch, patch_count - start);
-    tensor::Tensor batch({count, tokens, token_dim});
-    std::copy_n(all_tokens.data().begin() + start * per_patch,
-                count * per_patch, batch.data().begin());
-    const tensor::Tensor recon = model_->reconstruct(batch, mask);
-    std::copy_n(recon.data().begin(), count * per_patch,
-                result.data().begin() + start * per_patch);
-  }
-  return tokens_to_image(result, zero_filled.width(), zero_filled.height(),
-                         zero_filled.channels(), config_.patchify);
-}
-
-image::Image EaszPipeline::decode(const EaszCompressed& c) const {
-  if (model_ == nullptr) {
-    throw std::logic_error("EaszPipeline::decode: no reconstruction model");
-  }
+DecodedTokens EaszPipeline::decode_tokens(const EaszCompressed& c) const {
   const image::Image squeezed = codec_.decode(c.payload);
   const EraseMask mask = EraseMask::from_bytes(
       c.mask_bytes, config_.patchify.grid(), c.erased_per_row);
   const image::Image zero_filled =
       unsqueeze(squeezed, mask, config_.patchify, c.padded_width,
                 c.padded_height, c.axis);
-  const EraseMask recon_mask =
-      c.axis == SqueezeAxis::kVertical ? mask.transposed() : mask;
-  image::Image recon = reconstruct_image(zero_filled, recon_mask);
-  recon = deblock_erased(recon, recon_mask, config_.patchify);
-  if (recon.width() != c.full_width || recon.height() != c.full_height) {
-    recon = recon.crop(0, 0, c.full_width, c.full_height);
+  DecodedTokens d;
+  d.tokens = image_to_tokens(zero_filled, config_.patchify);
+  d.recon_mask = c.axis == SqueezeAxis::kVertical ? mask.transposed() : mask;
+  d.full_width = c.full_width;
+  d.full_height = c.full_height;
+  d.padded_width = zero_filled.width();
+  d.padded_height = zero_filled.height();
+  d.channels = zero_filled.channels();
+  return d;
+}
+
+image::Image EaszPipeline::assemble_decoded(const DecodedTokens& d,
+                                            const tensor::Tensor& recon_tokens,
+                                            const PatchifyConfig& patchify) {
+  image::Image recon = tokens_to_image(recon_tokens, d.padded_width,
+                                       d.padded_height, d.channels, patchify);
+  recon = deblock_erased(recon, d.recon_mask, patchify);
+  if (recon.width() != d.full_width || recon.height() != d.full_height) {
+    recon = recon.crop(0, 0, d.full_width, d.full_height);
   }
   return recon;
+}
+
+image::Image EaszPipeline::assemble(const DecodedTokens& d,
+                                    const tensor::Tensor& recon_tokens) const {
+  return assemble_decoded(d, recon_tokens, config_.patchify);
+}
+
+image::Image EaszPipeline::decode(const EaszCompressed& c) const {
+  if (model_ == nullptr) {
+    throw std::logic_error("EaszPipeline::decode: no reconstruction model");
+  }
+  const DecodedTokens d = decode_tokens(c);
+  const int patch_count = d.tokens.dim(0);
+  const int tokens = d.tokens.dim(1);
+  const int token_dim = d.tokens.dim(2);
+
+  tensor::Tensor result({patch_count, tokens, token_dim});
+  const std::size_t per_patch = static_cast<std::size_t>(tokens) * token_dim;
+  for (int start = 0; start < patch_count; start += kReconstructChunk) {
+    const int count = std::min(kReconstructChunk, patch_count - start);
+    tensor::Tensor batch({count, tokens, token_dim});
+    std::copy_n(d.tokens.data().begin() + start * per_patch, count * per_patch,
+                batch.data().begin());
+    const tensor::Tensor recon = model_->reconstruct(batch, d.recon_mask);
+    std::copy_n(recon.data().begin(), count * per_patch,
+                result.data().begin() + start * per_patch);
+  }
+  return assemble(d, result);
 }
 
 image::Image EaszPipeline::decode_neighbor_fill(const EaszCompressed& c) const {

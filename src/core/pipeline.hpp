@@ -49,6 +49,22 @@ struct EaszCompressed {
   }
 };
 
+/// Server-side intermediate between codec decode and transformer
+/// reconstruction: the zero-filled token batch of one request plus the
+/// geometry needed to assemble the final image. Exposed so a serving layer
+/// (src/serve) can run the transformer over patches POOLED ACROSS REQUESTS
+/// that share a mask, instead of one forward pass per request.
+struct DecodedTokens {
+  tensor::Tensor tokens;  ///< [patches, N^2, token_dim], zeros where erased
+  EraseMask recon_mask;   ///< reconstruction-frame mask (transposed if the
+                          ///< squeeze axis was vertical)
+  int full_width = 0;     ///< crop target (original image geometry)
+  int full_height = 0;
+  int padded_width = 0;   ///< token grid geometry
+  int padded_height = 0;
+  int channels = 0;
+};
+
 class EaszPipeline {
  public:
   /// The pipeline borrows the codec and the model; both must outlive it.
@@ -62,7 +78,33 @@ class EaszPipeline {
 
   /// Server-side decompression + learned reconstruction.
   /// Requires a model. Throws std::logic_error without one.
+  ///
+  /// Equivalent to decode_tokens() + ReconstructionModel::reconstruct (in
+  /// any batch split — per-patch results are batch-composition independent)
+  /// + assemble(). Re-entrant: safe to call concurrently from many threads
+  /// on one pipeline, as long as nobody mutates the codec (set_quality)
+  /// or the model parameters (training) meanwhile.
   [[nodiscard]] image::Image decode(const EaszCompressed& c) const;
+
+  /// Stage 1 of decode(): codec decode + unsqueeze + tokenise. Needs no
+  /// model, so it runs on cheap decode workers. Re-entrant.
+  [[nodiscard]] DecodedTokens decode_tokens(const EaszCompressed& c) const;
+
+  /// Stage 3 of decode(): reconstructed tokens (same shape as `d.tokens`)
+  /// back to pixels — tokens_to_image + edge deblocking + crop. Re-entrant.
+  [[nodiscard]] image::Image assemble(const DecodedTokens& d,
+                                      const tensor::Tensor& recon_tokens) const;
+
+  /// Patch chunk size decode() uses between decode_tokens and assemble; a
+  /// serving layer that wants bit-identical output only needs the same
+  /// model, not the same chunking.
+  static constexpr int kReconstructChunk = 32;
+
+  /// Stage 3 without a pipeline instance: only the patchify config matters
+  /// (the serving layer assembles results without ever touching a codec).
+  static image::Image assemble_decoded(const DecodedTokens& d,
+                                       const tensor::Tensor& recon_tokens,
+                                       const PatchifyConfig& patchify);
 
   /// Decode variant without the transformer: nearest-neighbour fill
   /// (reference baseline, also used when no model is deployed).
@@ -74,10 +116,6 @@ class EaszPipeline {
   [[nodiscard]] const EaszConfig& config() const { return config_; }
 
  private:
-  /// Batched transformer reconstruction over all patches of an image.
-  [[nodiscard]] image::Image reconstruct_image(const image::Image& zero_filled,
-                                               const EraseMask& mask) const;
-
   EaszConfig config_;
   codec::ImageCodec& codec_;
   const ReconstructionModel* model_;

@@ -41,6 +41,13 @@ class ReconstructionModel : public nn::Module {
 
   /// Inference convenience: forward + paste-through of kept tokens (the
   /// decoder only ever has to be trusted for erased content).
+  ///
+  /// Re-entrant: const forward passes only read parameter data, so many
+  /// threads may call this concurrently on one model (the serve runtime
+  /// does) — but not concurrently with training, whose backward pass
+  /// mutates shared gradient buffers. Per-patch outputs are independent of
+  /// batch composition (attention never crosses batch elements), so a
+  /// batch pooled across requests reproduces per-request results exactly.
   [[nodiscard]] nn::Tensor reconstruct(const nn::Tensor& tokens,
                                        const EraseMask& mask) const;
 

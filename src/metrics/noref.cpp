@@ -39,7 +39,7 @@ NoRefCalibration NoRefCalibration::from_synthetic_corpus(int count, int width,
   util::Pcg32 holdout_rng(0x0DD07ULL ^ 0xBEEF);
   double dev_sum = 0.0;
   int dev_count = 0;
-  for (const auto [w, h] : {std::pair{width, height},
+  for (const auto& [w, h] : {std::pair{width, height},
                             std::pair{width * 3 / 4, height * 3 / 4},
                             std::pair{width / 2, height / 2}}) {
     for (int i = 0; i < 3; ++i) {

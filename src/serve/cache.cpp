@@ -1,0 +1,112 @@
+#include "serve/cache.hpp"
+
+namespace easz::serve {
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size,
+                      std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+CacheKey make_cache_key(const core::EaszCompressed& c,
+                        const std::string& codec) {
+  CacheKey k;
+  k.payload_hash = fnv1a64(c.payload.bytes.data(), c.payload.bytes.size());
+  k.mask_hash = fnv1a64(c.mask_bytes.data(), c.mask_bytes.size());
+  k.payload_bytes = c.payload.bytes;
+  k.mask_bytes = c.mask_bytes;
+  k.codec = codec;
+  k.full_width = c.full_width;
+  k.full_height = c.full_height;
+  k.padded_width = c.padded_width;
+  k.padded_height = c.padded_height;
+  k.erased_per_row = c.erased_per_row;
+  k.axis = static_cast<int>(c.axis);
+  return k;
+}
+
+std::size_t CacheKeyHash::operator()(const CacheKey& k) const {
+  std::uint64_t h = k.payload_hash;
+  h = h * 0x9e3779b97f4a7c15ULL + k.mask_hash;
+  h = h * 0x9e3779b97f4a7c15ULL + std::hash<std::string>{}(k.codec);
+  h = h * 0x9e3779b97f4a7c15ULL +
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.full_width))
+           << 32 |
+       static_cast<std::uint32_t>(k.full_height));
+  h = h * 0x9e3779b97f4a7c15ULL +
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.padded_width))
+           << 32 |
+       static_cast<std::uint32_t>(k.padded_height));
+  h = h * 0x9e3779b97f4a7c15ULL +
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.erased_per_row))
+           << 32 |
+       static_cast<std::uint32_t>(k.axis));
+  return static_cast<std::size_t>(h);
+}
+
+ResultCache::ResultCache(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+std::shared_ptr<const image::Image> ResultCache::get(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->image;
+}
+
+void ResultCache::put(const CacheKey& key,
+                      std::shared_ptr<const image::Image> img) {
+  if (img == nullptr) return;
+  // The key's wire bytes are held twice per entry (index_ map key and
+  // Entry.key, the standard list+map LRU layout), so charge them twice to
+  // keep the byte budget honest about real RAM.
+  const std::size_t cost =
+      cost_of(*img) + 2 * (key.payload_bytes.size() + key.mask_bytes.size());
+  if (cost > capacity_) return;  // never admit what could not coexist
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->cost;
+    it->second->image = std::move(img);
+    it->second->cost = cost;
+    bytes_ += cost;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(img), cost});
+    index_[key] = lru_.begin();
+    bytes_ += cost;
+  }
+  evict_to_fit_locked();
+}
+
+void ResultCache::evict_to_fit_locked() {
+  while (bytes_ > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.cost;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = index_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace easz::serve

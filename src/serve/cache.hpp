@@ -1,0 +1,105 @@
+// LRU cache of finished reconstructions.
+//
+// Edge fleets resend identical content all the time — a stuck wildlife
+// camera uploads the same frame every trigger, an industrial line images
+// identical parts — and reconstruction is the expensive stage, so the server
+// memoises final images. The key is everything that determines the output
+// pixels: the mask side channel (hash stands in for the shared mask seed),
+// the request geometry, the payload bytes and the codec that decodes them.
+// Capacity is counted in pixel bytes, the quantity that actually bounds
+// server RAM, and eviction is least-recently-used.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/pipeline.hpp"
+#include "image/image.hpp"
+
+namespace easz::serve {
+
+/// FNV-1a 64-bit — stable, dependency-free content hash for cache keys.
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Identity of a reconstruction result. The hashes bucket lookups cheaply;
+/// equality compares the FULL payload and mask bytes, so a 64-bit hash
+/// collision (constructible against non-cryptographic FNV by an adversarial
+/// client) can never serve another request's pixels. The byte copies are
+/// small next to the cached image they key.
+struct CacheKey {
+  std::uint64_t payload_hash = 0;
+  std::uint64_t mask_hash = 0;  ///< hash of the mask side channel
+  std::vector<std::uint8_t> payload_bytes;
+  std::vector<std::uint8_t> mask_bytes;
+  std::string codec;
+  int full_width = 0;
+  int full_height = 0;
+  int padded_width = 0;
+  int padded_height = 0;
+  int erased_per_row = 0;
+  int axis = 0;
+
+  bool operator==(const CacheKey& o) const = default;
+};
+
+/// Derives the key from a request's wire content.
+CacheKey make_cache_key(const core::EaszCompressed& c, const std::string& codec);
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+};
+
+/// Thread-safe byte-bounded LRU of decoded images. Values are shared_ptr so
+/// a hit can be handed to a client while eviction proceeds concurrently.
+class ResultCache {
+ public:
+  /// `capacity_bytes` 0 disables caching entirely (every get misses).
+  explicit ResultCache(std::size_t capacity_bytes);
+
+  /// Returns the cached image and refreshes recency, or nullptr.
+  [[nodiscard]] std::shared_ptr<const image::Image> get(const CacheKey& key);
+
+  /// Inserts (or refreshes) a result, evicting LRU entries until the total
+  /// byte cost fits. Images larger than the whole capacity are not cached.
+  void put(const CacheKey& key, std::shared_ptr<const image::Image> img);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const image::Image> image;
+    std::size_t cost = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  static std::size_t cost_of(const image::Image& img) {
+    return img.sample_count() * sizeof(float);
+  }
+  void evict_to_fit_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace easz::serve

@@ -1,0 +1,476 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace easz::serve {
+
+namespace {
+
+// Pooling is only sound across requests whose forward passes are truly
+// interchangeable: same erase mask AND same token layout. The channel
+// count is validated against the model at decode time, but the key keeps
+// the token dimension anyway so a mixed group can never form.
+std::string mask_group_key(const core::EraseMask& mask, int token_dim) {
+  const std::vector<std::uint8_t> bytes = mask.to_bytes();
+  std::string key(bytes.begin(), bytes.end());
+  key.push_back('/');
+  key += std::to_string(token_dim);
+  return key;
+}
+
+}  // namespace
+
+ReconServer::ReconServer(ServerConfig config,
+                         const core::ReconstructionModel& model)
+    : config_(config),
+      model_(model),
+      patchify_(model.config().patchify),
+      cache_(config.cache_bytes) {
+  if (config_.workers < 1) {
+    throw std::invalid_argument("ReconServer: need at least one worker");
+  }
+  if (config_.max_queue < 1) {
+    throw std::invalid_argument("ReconServer: need a positive queue bound");
+  }
+  if (config_.max_batch_patches < 1) {
+    throw std::invalid_argument("ReconServer: need a positive batch size");
+  }
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ReconServer::~ReconServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ReconServer::register_codec(const std::string& name,
+                                 codec::ImageCodec* codec) {
+  if (codec == nullptr) {
+    throw std::invalid_argument("ReconServer: null codec");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  codecs_[name] = codec;
+}
+
+SubmitResult ReconServer::submit(ServeRequest request) {
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  const bool caching = cache_.capacity_bytes() > 0;
+  if (caching) {
+    // Hashing + copying the payload into the key only pays off when the
+    // cache can actually store something.
+    job->cache_key =
+        make_cache_key(job->request.compressed, job->request.codec);
+  }
+
+  SubmitResult out;
+  out.response = job->promise.get_future();
+
+  // Fast path: an identical request already reconstructed. Served before
+  // touching the queue — cached work should never be shed by backpressure.
+  if (std::shared_ptr<const image::Image> hit =
+          caching ? cache_.get(job->cache_key) : nullptr) {
+    ServeResponse resp;
+    resp.image = std::move(hit);
+    resp.cache_hit = true;
+    resp.timing.total_s = job->since_submit.elapsed_seconds();
+    stages_.total.record(resp.timing.total_s);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++submitted_;
+      ++completed_;
+    }
+    job->promise.set_value(std::move(resp));
+    out.accepted = true;
+    return out;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ++submitted_;
+  if (static_cast<int>(queue_.size()) >= config_.max_queue) {
+    if (config_.backpressure == BackpressurePolicy::kReject || stopping_) {
+      ++rejected_;
+      out.accepted = false;
+      return out;
+    }
+    space_cv_.wait(lock, [this] {
+      return static_cast<int>(queue_.size()) < config_.max_queue || stopping_;
+    });
+    if (stopping_) {
+      ++rejected_;
+      out.accepted = false;
+      return out;
+    }
+  }
+  queue_.push_back(job);
+  ++outstanding_;
+  max_queue_depth_ = std::max(max_queue_depth_,
+                              static_cast<int>(queue_.size()));
+  out.accepted = true;
+  lock.unlock();
+  work_cv_.notify_one();
+  return out;
+}
+
+void ReconServer::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+bool ReconServer::flush_conditions_locked() const {
+  // No more token deposits are imminent: nothing queued and nobody decoding
+  // (or we are shutting down). Waiting longer could not grow any batch.
+  return (queue_.empty() && decoding_ == 0) || stopping_;
+}
+
+bool ReconServer::group_ready_locked(const PendingGroup& group) const {
+  if (group.patches >= config_.max_batch_patches) return true;
+  if (flush_conditions_locked()) return true;
+  // Age trigger: an under-full group launches once its oldest tokens have
+  // waited max_batch_wait_s. Without this, a rare-mask request would starve
+  // behind a dominant group for as long as the queue stays busy, and the
+  // batch pool's token memory would grow with the backlog instead of being
+  // bounded by the linger window.
+  if (config_.max_batch_wait_s <= 0.0) return true;
+  return !group.spans.empty() &&
+         group.spans.front().inflight->since_tokens_ready.elapsed_seconds() >
+             config_.max_batch_wait_s;
+}
+
+bool ReconServer::batch_ready_locked() const {
+  for (const auto& [key, group] : pending_) {
+    if (group_ready_locked(group)) return true;
+  }
+  return false;
+}
+
+ReconServer::FormedBatch ReconServer::form_batch_locked() {
+  // Among ready groups, prefer the fullest: it amortises the forward pass
+  // best and is the one closest to overflowing.
+  auto best = pending_.end();
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (!group_ready_locked(it->second)) continue;
+    if (best == pending_.end() || it->second.patches > best->second.patches) {
+      best = it;
+    }
+  }
+  PendingGroup& group = best->second;
+
+  FormedBatch batch;
+  batch.mask = group.mask;
+  int budget = config_.max_batch_patches;
+  while (budget > 0 && !group.spans.empty()) {
+    PendingGroup::Span& span = group.spans.front();
+    const int take = std::min(budget, span.count);
+    BatchItem item;
+    item.inflight = span.inflight;
+    item.offset = span.offset;
+    item.count = take;
+    item.batch_wait_s = span.inflight->since_tokens_ready.elapsed_seconds();
+    batch.items.push_back(std::move(item));
+    batch.patches += take;
+    budget -= take;
+    span.offset += take;
+    span.count -= take;
+    group.patches -= take;
+    if (span.count == 0) {
+      group.spans.erase(group.spans.begin());
+    }
+  }
+  if (group.spans.empty()) pending_.erase(best);
+  return batch;
+}
+
+void ReconServer::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (batch_ready_locked()) {
+      FormedBatch batch = form_batch_locked();
+      lock.unlock();
+      run_batch(std::move(batch));
+      lock.lock();
+      continue;
+    }
+    if (!queue_.empty()) {
+      std::shared_ptr<Job> job = queue_.front();
+      queue_.pop_front();
+      ++decoding_;
+      job->timing.queue_wait_s = job->since_submit.elapsed_seconds();
+      space_cv_.notify_one();
+      lock.unlock();
+      run_decode(job);
+      lock.lock();
+      --decoding_;
+      // Last decoder going idle can make the flush condition true for
+      // everyone; batches formed from the deposit also need announcing.
+      work_cv_.notify_all();
+      continue;
+    }
+    if (stopping_ && pending_.empty() && decoding_ == 0) return;
+    if (!pending_.empty() && config_.max_batch_wait_s > 0.0) {
+      // Tokens are parked: sleep only until the soonest age trigger is due,
+      // so an under-full batch launches on time even if no decode
+      // completion notifies us first.
+      double soonest = config_.max_batch_wait_s;
+      for (const auto& [key, group] : pending_) {
+        if (group.spans.empty()) continue;
+        const double remaining =
+            config_.max_batch_wait_s -
+            group.spans.front().inflight->since_tokens_ready.elapsed_seconds();
+        soonest = std::min(soonest, remaining);
+      }
+      work_cv_.wait_for(lock, std::chrono::duration<double>(
+                                  std::max(soonest, 1e-4)));
+    } else {
+      work_cv_.wait(lock);
+    }
+  }
+}
+
+void ReconServer::run_decode(const std::shared_ptr<Job>& job) {
+  try {
+    codec::ImageCodec* codec = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = codecs_.find(job->request.codec);
+      if (it == codecs_.end()) {
+        throw std::runtime_error("ReconServer: unregistered codec '" +
+                                 job->request.codec + "'");
+      }
+      codec = it->second;
+    }
+    // Geometry sanity against the deployed model's patchify. A client
+    // encoded with a different grid produces a differently-sized mask side
+    // channel; EraseMask::from_bytes accepts any buffer that is large
+    // enough, so without an exact-size check the wrong-grid mask would be
+    // silently reinterpreted and garbage pixels returned as success.
+    const core::EaszCompressed& c = job->request.compressed;
+    const int grid = patchify_.grid();
+    const std::size_t expected_mask_bytes =
+        (static_cast<std::size_t>(grid) * grid + 7) / 8;
+    if (c.mask_bytes.size() != expected_mask_bytes) {
+      throw std::runtime_error(
+          "ReconServer: mask side channel is " +
+          std::to_string(c.mask_bytes.size()) + " bytes, expected " +
+          std::to_string(expected_mask_bytes) +
+          " for the deployed grid — patchify mismatch?");
+    }
+    if (c.padded_width % patchify_.patch != 0 ||
+        c.padded_height % patchify_.patch != 0) {
+      throw std::runtime_error(
+          "ReconServer: padded geometry not a multiple of the deployed "
+          "patch size — patchify mismatch?");
+    }
+    core::EaszConfig cfg;
+    cfg.patchify = patchify_;
+    cfg.erased_per_row = c.erased_per_row;
+    cfg.axis = c.axis;
+    const core::EaszPipeline pipeline(cfg, *codec, &model_);
+
+    util::Stopwatch sw;
+    auto inflight = std::make_shared<InFlight>();
+    inflight->decoded = pipeline.decode_tokens(job->request.compressed);
+    job->timing.decode_s = sw.elapsed_seconds();
+    inflight->job = job;
+    if (inflight->decoded.channels != model_.config().channels) {
+      // E.g. a grayscale upload through an RGB deployment: reject here with
+      // a clean per-request error instead of a shape throw mid-batch.
+      throw std::runtime_error(
+          "ReconServer: request channel count " +
+          std::to_string(inflight->decoded.channels) +
+          " does not match the deployed model's " +
+          std::to_string(model_.config().channels));
+    }
+
+    const int patches = inflight->decoded.tokens.dim(0);
+    inflight->result = tensor::Tensor({patches, inflight->decoded.tokens.dim(1),
+                                       inflight->decoded.tokens.dim(2)});
+    inflight->patches_remaining = patches;
+    inflight->since_tokens_ready.reset();
+
+    const std::string key = mask_group_key(inflight->decoded.recon_mask,
+                                           inflight->decoded.tokens.dim(2));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      PendingGroup& group = pending_[key];
+      if (group.spans.empty()) group.mask = inflight->decoded.recon_mask;
+      group.spans.push_back(PendingGroup::Span{inflight, 0, patches});
+      group.patches += patches;
+    }
+    work_cv_.notify_all();
+  } catch (...) {
+    fail_request(job, std::current_exception());
+  }
+}
+
+void ReconServer::run_batch(FormedBatch batch) {
+  const int tokens = patchify_.tokens();
+  const int token_dim = batch.items.front().inflight->decoded.tokens.dim(2);
+  const std::size_t per_patch =
+      static_cast<std::size_t>(tokens) * token_dim;
+
+  tensor::Tensor pooled({batch.patches, tokens, token_dim});
+  std::size_t cursor = 0;
+  for (const BatchItem& item : batch.items) {
+    std::copy_n(item.inflight->decoded.tokens.data().begin() +
+                    static_cast<std::size_t>(item.offset) * per_patch,
+                static_cast<std::size_t>(item.count) * per_patch,
+                pooled.data().begin() + cursor);
+    cursor += static_cast<std::size_t>(item.count) * per_patch;
+  }
+
+  util::Stopwatch sw;
+  tensor::Tensor recon;
+  try {
+    recon = model_.reconstruct(pooled, batch.mask);
+  } catch (...) {
+    // A throwing forward pass must fail the requests it carried, not escape
+    // the worker thread (which would std::terminate the whole server).
+    const std::exception_ptr error = std::current_exception();
+    for (const BatchItem& item : batch.items) {
+      fail_request(item.inflight->job, error);
+    }
+    // Purge the failed requests' not-yet-batched spans so later forward
+    // passes are not wasted on work whose promise is already dead.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        PendingGroup& group = it->second;
+        std::erase_if(group.spans, [&group](const PendingGroup::Span& span) {
+          if (!span.inflight->job->settled) return false;
+          group.patches -= span.count;
+          return true;
+        });
+        it = group.spans.empty() ? pending_.erase(it) : std::next(it);
+      }
+    }
+    return;
+  }
+  const double reconstruct_s = sw.elapsed_seconds();
+  stages_.reconstruct.record(reconstruct_s);
+
+  cursor = 0;
+  for (const BatchItem& item : batch.items) {
+    std::copy_n(recon.data().begin() + cursor,
+                static_cast<std::size_t>(item.count) * per_patch,
+                item.inflight->result.data().begin() +
+                    static_cast<std::size_t>(item.offset) * per_patch);
+    cursor += static_cast<std::size_t>(item.count) * per_patch;
+  }
+
+  std::vector<std::shared_ptr<InFlight>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++batches_;
+    batched_patches_ += static_cast<std::uint64_t>(batch.patches);
+    bool cross_request = false;
+    for (std::size_t i = 1; i < batch.items.size(); ++i) {
+      if (batch.items[i].inflight != batch.items[0].inflight) {
+        cross_request = true;
+        break;
+      }
+    }
+    if (cross_request) ++cross_request_batches_;
+    for (BatchItem& item : batch.items) {
+      RequestTiming& t = item.inflight->job->timing;
+      t.batch_wait_s = std::max(t.batch_wait_s, item.batch_wait_s);
+      t.reconstruct_s += reconstruct_s;
+      item.inflight->patches_remaining -= item.count;
+      if (item.inflight->patches_remaining == 0) {
+        finished.push_back(item.inflight);
+      }
+    }
+  }
+  for (const std::shared_ptr<InFlight>& inflight : finished) {
+    finish_request(inflight);
+  }
+}
+
+void ReconServer::finish_request(const std::shared_ptr<InFlight>& inflight) {
+  const std::shared_ptr<Job>& job = inflight->job;
+  try {
+    util::Stopwatch sw;
+    auto img = std::make_shared<image::Image>(core::EaszPipeline::assemble_decoded(
+        inflight->decoded, inflight->result, patchify_));
+    job->timing.assemble_s = sw.elapsed_seconds();
+    job->timing.total_s = job->since_submit.elapsed_seconds();
+
+    std::shared_ptr<const image::Image> result = std::move(img);
+    if (cache_.capacity_bytes() > 0) cache_.put(job->cache_key, result);
+
+    stages_.queue_wait.record(job->timing.queue_wait_s);
+    stages_.decode.record(job->timing.decode_s);
+    stages_.batch_wait.record(job->timing.batch_wait_s);
+    stages_.assemble.record(job->timing.assemble_s);
+    stages_.total.record(job->timing.total_s);
+
+    ServeResponse resp;
+    resp.image = std::move(result);
+    resp.cache_hit = false;
+    resp.timing = job->timing;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job->settled) return;  // a failed sibling batch got there first
+      job->settled = true;
+      ++completed_;
+      --outstanding_;
+    }
+    idle_cv_.notify_all();
+    job->promise.set_value(std::move(resp));
+  } catch (...) {
+    fail_request(job, std::current_exception());
+  }
+}
+
+void ReconServer::fail_request(const std::shared_ptr<Job>& job,
+                               std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A request split across batches can fail more than once (or fail in
+    // one batch and "finish" in another); only the first settle counts.
+    if (job->settled) return;
+    job->settled = true;
+    ++failed_;
+    --outstanding_;
+  }
+  idle_cv_.notify_all();
+  job->promise.set_exception(error);
+}
+
+ServerStatsSnapshot ReconServer::stats() const {
+  ServerStatsSnapshot s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.rejected = rejected_;
+    s.failed = failed_;
+    s.batches = batches_;
+    s.batched_patches = batched_patches_;
+    s.cross_request_batches = cross_request_batches_;
+    s.queue_depth = static_cast<int>(queue_.size());
+    s.max_queue_depth = max_queue_depth_;
+  }
+  const CacheStats cs = cache_.stats();
+  s.cache_hits = cs.hits;
+  s.cache_misses = cs.misses;
+  s.queue_wait = stages_.queue_wait.summarize();
+  s.decode = stages_.decode.summarize();
+  s.batch_wait = stages_.batch_wait.summarize();
+  s.reconstruct = stages_.reconstruct.summarize();
+  s.assemble = stages_.assemble.summarize();
+  s.total = stages_.total.summarize();
+  return s;
+}
+
+}  // namespace easz::serve

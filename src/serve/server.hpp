@@ -1,0 +1,214 @@
+// Concurrent batched reconstruction server (the paper's asymmetric
+// deployment, server half, grown into a runtime).
+//
+// Many edge clients submit EaszCompressed blobs; the server answers with
+// reconstructed images. Internals (DESIGN.md §3):
+//
+//   submit() -> [bounded request queue] -> worker pool
+//                    worker: cache check happened at submit; codec decode +
+//                            unsqueeze + tokenise (EaszPipeline::decode_tokens)
+//                    -> [batch pool, grouped by erase mask] ->
+//                    worker: one transformer forward over up to
+//                            max_batch_patches patches POOLED ACROSS REQUESTS
+//                            sharing a mask -> scatter -> finished requests
+//                            assembled, cached, promises fulfilled.
+//
+// Why cross-request batching is sound: per-patch transformer outputs are
+// independent of batch composition (see ReconstructionModel::reconstruct),
+// so pooled results are bit-identical to sequential EaszPipeline::decode.
+// Requests that share nothing still win: workers run decode and forward
+// passes concurrently, and the transformer's matmuls amortise better over
+// large batches.
+//
+// Backpressure: the request queue is bounded; submit() either blocks
+// (kBlock) or reports rejection (kReject) when it is full, so a traffic
+// spike degrades into queueing delay or load shedding instead of unbounded
+// memory growth.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "core/pipeline.hpp"
+#include "core/recon_model.hpp"
+#include "serve/cache.hpp"
+#include "serve/stats.hpp"
+#include "util/stopwatch.hpp"
+
+namespace easz::serve {
+
+enum class BackpressurePolicy {
+  kBlock,   ///< submit() waits for queue space (applies backpressure upstream)
+  kReject,  ///< submit() fails fast; caller decides whether to retry
+};
+
+struct ServerConfig {
+  int workers = 4;              ///< worker threads (decode + reconstruct)
+  int max_queue = 64;           ///< bounded request queue length
+  int max_batch_patches = 32;   ///< patches per transformer forward pass
+  /// Oldest tokens a mask group may hold before it is batched even while
+  /// under-full. Bounds both tail latency of rare-mask requests (they are
+  /// never starved by a dominant group under sustained load) and the token
+  /// memory parked in the batch pool (<= decode throughput x this window).
+  /// <= 0 launches every deposit immediately (pure latency mode).
+  double max_batch_wait_s = 0.05;
+  std::size_t cache_bytes = 64ULL << 20;  ///< result cache capacity (0 = off)
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+};
+
+/// One edge upload: the wire blob plus the codec that produced its payload.
+struct ServeRequest {
+  core::EaszCompressed compressed;
+  std::string codec = "jpeg";  ///< name registered via register_codec()
+};
+
+/// Wall-clock stage costs of one request, as experienced by that request.
+struct RequestTiming {
+  double queue_wait_s = 0.0;
+  double decode_s = 0.0;
+  double batch_wait_s = 0.0;
+  double reconstruct_s = 0.0;  ///< forward pass of the batch it rode in
+  double assemble_s = 0.0;
+  double total_s = 0.0;
+};
+
+struct ServeResponse {
+  std::shared_ptr<const image::Image> image;
+  bool cache_hit = false;
+  RequestTiming timing;
+};
+
+struct SubmitResult {
+  bool accepted = false;               ///< false: shed by kReject backpressure
+  std::future<ServeResponse> response;  ///< valid only when accepted
+};
+
+class ReconServer {
+ public:
+  /// The model is borrowed and must outlive the server. Its patchify config
+  /// fixes the token geometry every request must match.
+  ReconServer(ServerConfig config, const core::ReconstructionModel& model);
+
+  /// Drains accepted work, then joins the workers.
+  ~ReconServer();
+
+  ReconServer(const ReconServer&) = delete;
+  ReconServer& operator=(const ReconServer&) = delete;
+
+  /// Makes `codec` available to requests under `name`. The codec is borrowed
+  /// and must outlive the server; registration is allowed at any time but a
+  /// registered codec's quality must not be mutated while serving.
+  void register_codec(const std::string& name, codec::ImageCodec* codec);
+
+  /// Submits one request. Cache hits complete immediately. A queue-full
+  /// condition blocks or rejects according to the backpressure policy.
+  /// Decode failures surface as exceptions on the returned future.
+  SubmitResult submit(ServeRequest request);
+
+  /// Blocks until every accepted request has completed or failed.
+  void drain();
+
+  [[nodiscard]] ServerStatsSnapshot stats() const;
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+ private:
+  // One request in flight, from accept to promise fulfilment.
+  struct Job {
+    ServeRequest request;
+    std::promise<ServeResponse> promise;
+    CacheKey cache_key;
+    util::Stopwatch since_submit;
+    RequestTiming timing;
+    bool settled = false;  // promise already fulfilled/failed (guarded by mu_)
+  };
+
+  // A decoded request waiting for its patches to be reconstructed.
+  struct InFlight {
+    std::shared_ptr<Job> job;
+    core::DecodedTokens decoded;
+    tensor::Tensor result;      // filled batch by batch
+    int patches_remaining = 0;  // guarded by mu_
+    util::Stopwatch since_tokens_ready;
+  };
+
+  // Decoded patches of requests sharing one erase mask, waiting to be
+  // pooled into forward passes.
+  struct PendingGroup {
+    core::EraseMask mask;
+    struct Span {
+      std::shared_ptr<InFlight> inflight;
+      int offset = 0;  // first not-yet-batched patch
+      int count = 0;   // patches left in this span
+    };
+    std::vector<Span> spans;
+    int patches = 0;
+  };
+
+  struct BatchItem {
+    std::shared_ptr<InFlight> inflight;
+    int offset = 0;
+    int count = 0;
+    double batch_wait_s = 0.0;
+  };
+  struct FormedBatch {
+    core::EraseMask mask;
+    std::vector<BatchItem> items;
+    int patches = 0;
+  };
+
+  void worker_loop();
+  // All four run with mu_ held.
+  [[nodiscard]] bool batch_ready_locked() const;
+  [[nodiscard]] bool group_ready_locked(const PendingGroup& group) const;
+  [[nodiscard]] FormedBatch form_batch_locked();
+  [[nodiscard]] bool flush_conditions_locked() const;
+
+  void run_decode(const std::shared_ptr<Job>& job);
+  void run_batch(FormedBatch batch);
+  void finish_request(const std::shared_ptr<InFlight>& inflight);
+  void fail_request(const std::shared_ptr<Job>& job, std::exception_ptr error);
+
+  const ServerConfig config_;
+  const core::ReconstructionModel& model_;
+  const core::PatchifyConfig patchify_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: new job / ready batch / stop
+  std::condition_variable space_cv_;  // submitters: queue has room
+  std::condition_variable idle_cv_;   // drain(): outstanding hit zero
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::unordered_map<std::string, PendingGroup> pending_;  // key: mask bytes
+  std::unordered_map<std::string, codec::ImageCodec*> codecs_;
+  int decoding_ = 0;     // workers currently inside run_decode
+  int outstanding_ = 0;  // accepted but not yet completed/failed
+  int max_queue_depth_ = 0;
+  bool stopping_ = false;
+
+  // Counters (guarded by mu_; read via stats()).
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_patches_ = 0;
+  std::uint64_t cross_request_batches_ = 0;
+
+  struct Stages {
+    StageStats queue_wait, decode, batch_wait, reconstruct, assemble, total;
+  };
+  Stages stages_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace easz::serve

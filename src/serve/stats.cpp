@@ -1,0 +1,142 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace easz::serve {
+
+void StageStats::record(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(seconds);
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  p = std::min(100.0, std::max(0.0, p));
+  // Nearest-rank: smallest sample with at least p% of the mass at or below.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  return samples[rank == 0 ? 0 : rank - 1];
+}
+
+StageSummary StageStats::summarize() const {
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples = samples_;
+  }
+  StageSummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  double sum = 0.0;
+  for (const double v : samples) {
+    sum += v;
+    s.max_s = std::max(s.max_s, v);
+  }
+  s.mean_s = sum / static_cast<double>(samples.size());
+  s.p50_s = percentile(samples, 50.0);
+  s.p95_s = percentile(samples, 95.0);
+  s.p99_s = percentile(samples, 99.0);
+  return s;
+}
+
+namespace {
+
+void append_stage_text(std::string& out, const char* name,
+                       const StageSummary& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "  %-12s n=%-6llu mean %8.2f ms  p50 %8.2f  p95 %8.2f  "
+                "p99 %8.2f  max %8.2f\n",
+                name, static_cast<unsigned long long>(s.count), s.mean_s * 1e3,
+                s.p50_s * 1e3, s.p95_s * 1e3, s.p99_s * 1e3, s.max_s * 1e3);
+  out += buf;
+}
+
+void append_stage_json(std::string& out, const char* name,
+                       const StageSummary& s, bool trailing_comma) {
+  char buf[240];
+  std::snprintf(buf, sizeof(buf),
+                "\"%s\":{\"count\":%llu,\"mean_ms\":%.4f,\"p50_ms\":%.4f,"
+                "\"p95_ms\":%.4f,\"p99_ms\":%.4f,\"max_ms\":%.4f}%s",
+                name, static_cast<unsigned long long>(s.count), s.mean_s * 1e3,
+                s.p50_s * 1e3, s.p95_s * 1e3, s.p99_s * 1e3, s.max_s * 1e3,
+                trailing_comma ? "," : "");
+  out += buf;
+}
+
+}  // namespace
+
+std::string ServerStatsSnapshot::to_string() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "requests: submitted %llu, completed %llu, rejected %llu, "
+                "failed %llu\n",
+                static_cast<unsigned long long>(submitted),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(failed));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "cache: %llu hits / %llu misses (%.1f%% hit rate)\n",
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(cache_misses),
+                cache_hits + cache_misses == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(cache_hits) /
+                          static_cast<double>(cache_hits + cache_misses));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "batches: %llu forward passes, %.2f patches/batch mean, "
+                "%llu cross-request\n",
+                static_cast<unsigned long long>(batches), mean_batch_size(),
+                static_cast<unsigned long long>(cross_request_batches));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "queue: depth %d now, %d peak\n", queue_depth,
+                max_queue_depth);
+  out += buf;
+  out += "stage latencies:\n";
+  append_stage_text(out, "queue_wait", queue_wait);
+  append_stage_text(out, "decode", decode);
+  append_stage_text(out, "batch_wait", batch_wait);
+  append_stage_text(out, "reconstruct", reconstruct);
+  append_stage_text(out, "assemble", assemble);
+  append_stage_text(out, "total", total);
+  return out;
+}
+
+std::string ServerStatsSnapshot::to_json() const {
+  std::string out = "{";
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"submitted\":%llu,\"completed\":%llu,\"rejected\":%llu,"
+      "\"failed\":%llu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
+      "\"batches\":%llu,\"batched_patches\":%llu,"
+      "\"cross_request_batches\":%llu,\"mean_batch_size\":%.4f,"
+      "\"queue_depth\":%d,\"max_queue_depth\":%d,",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(batched_patches),
+      static_cast<unsigned long long>(cross_request_batches), mean_batch_size(),
+      queue_depth, max_queue_depth);
+  out += buf;
+  append_stage_json(out, "queue_wait", queue_wait, true);
+  append_stage_json(out, "decode", decode, true);
+  append_stage_json(out, "batch_wait", batch_wait, true);
+  append_stage_json(out, "reconstruct", reconstruct, true);
+  append_stage_json(out, "assemble", assemble, true);
+  append_stage_json(out, "total", total, false);
+  out += "}";
+  return out;
+}
+
+}  // namespace easz::serve

@@ -1,0 +1,83 @@
+// Serving telemetry: per-stage latency distributions and runtime counters.
+//
+// Each pipeline stage (queue wait, codec decode, batch wait, transformer
+// reconstruction, assembly, end-to-end) records wall-clock samples into a
+// StageStats; snapshots expose p50/p95/p99 so the load generator and
+// bench_serve can report tail latency, which is what a shared reconstruction
+// server is actually judged on. Recording is mutex-guarded and cheap (one
+// push_back); percentile computation happens only at snapshot time.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace easz::serve {
+
+/// Latency distribution summary of one pipeline stage.
+struct StageSummary {
+  std::uint64_t count = 0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+};
+
+/// Thread-safe sample sink for one stage.
+class StageStats {
+ public:
+  void record(double seconds);
+  [[nodiscard]] StageSummary summarize() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+/// Nearest-rank percentile of an UNSORTED sample set (p in [0, 100]).
+/// Exposed for tests; copies and sorts internally.
+double percentile(std::vector<double> samples, double p);
+
+/// One snapshot of everything the server counts. Plain data, safe to copy
+/// around after the server produced it.
+struct ServerStatsSnapshot {
+  // Request accounting.
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;   ///< backpressure drops (kReject policy)
+  std::uint64_t failed = 0;     ///< decode/validation errors
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  // Batching effectiveness.
+  std::uint64_t batches = 0;          ///< transformer forward passes
+  std::uint64_t batched_patches = 0;  ///< patches across all batches
+  std::uint64_t cross_request_batches = 0;  ///< batches mixing >= 2 requests
+
+  // Queue pressure.
+  int max_queue_depth = 0;
+  int queue_depth = 0;  ///< at snapshot time
+
+  // Stage latencies.
+  StageSummary queue_wait;
+  StageSummary decode;       ///< codec decode + unsqueeze + tokenise
+  StageSummary batch_wait;   ///< tokens ready -> batch launched
+  StageSummary reconstruct;  ///< transformer forward (per batch)
+  StageSummary assemble;     ///< tokens -> pixels -> deblock -> crop
+  StageSummary total;        ///< submit -> response ready
+
+  [[nodiscard]] double mean_batch_size() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_patches) /
+                              static_cast<double>(batches);
+  }
+
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string to_string() const;
+  /// Single JSON object (used by easz_serve --json and bench_serve).
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace easz::serve

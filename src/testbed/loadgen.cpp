@@ -1,0 +1,254 @@
+#include "testbed/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "core/pipeline.hpp"
+#include "data/synth.hpp"
+#include "serve/stats.hpp"
+#include "util/prng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace easz::testbed {
+
+namespace {
+
+/// Edge-side cost of shipping one request, on the trace's model clock:
+/// erase-and-squeeze + inner codec encode on the edge device, then the link
+/// transfer. Reconstruction cost is excluded — that is the real server's job.
+double modeled_upload_s(const Scenario& scenario,
+                        const codec::ImageCodec& codec,
+                        const core::ReconstructionModel& model, int width,
+                        int height, int erased_per_row, double payload_bytes) {
+  const PipelineCost cost = scenario.run_easz(codec, model, width, height,
+                                              erased_per_row, payload_bytes);
+  return cost.latency.erase_squeeze_s + cost.latency.encode_s +
+         cost.latency.transmit_s;
+}
+
+serve::ServeRequest encode_request(const core::EaszConfig& cfg,
+                                   codec::ImageCodec& codec,
+                                   const image::Image& img) {
+  const core::EaszPipeline edge(cfg, codec, nullptr);
+  serve::ServeRequest request;
+  request.compressed = edge.encode(img);
+  request.codec = codec.name();
+  return request;
+}
+
+void finalize_trace(LoadTrace& trace) {
+  std::stable_sort(trace.events.begin(), trace.events.end(),
+                   [](const LoadEvent& a, const LoadEvent& b) {
+                     return a.arrival_s < b.arrival_s;
+                   });
+}
+
+}  // namespace
+
+LoadTrace make_wildlife_burst_trace(const core::ReconstructionModel& model,
+                                    codec::ImageCodec& codec, int cameras,
+                                    int bursts, int frames_per_burst,
+                                    double duplicate_prob, std::uint64_t seed) {
+  LoadTrace trace;
+  trace.name = "wildlife_burst";
+  const Scenario field(raspberry_pi4(), desktop_2080ti(), lte_iot_link());
+  util::Pcg32 rng(seed, 0x11dF);
+  const int patch = model.config().patchify.patch;
+  const int w = patch * 5;
+  const int h = patch * 3;
+
+  for (int cam = 0; cam < cameras; ++cam) {
+    // Camera 0 is fully stuck (every frame after its first is a resend) so
+    // timed replays always contain cross-burst duplicates — the ones that
+    // arrive long after the original completed and therefore hit the cache.
+    const double cam_dup_prob =
+        cam == 0 && duplicate_prob > 0.0 ? 1.0 : duplicate_prob;
+    core::EaszConfig cfg;
+    cfg.patchify = model.config().patchify;
+    cfg.erased_per_row = 1;
+    cfg.mask_seed = seed ^ static_cast<std::uint64_t>(cam);
+    // Motion events are sparse; bursts land minutes apart with jitter.
+    double clock = 5.0 * cam + 60.0 * rng.next_float();
+    // A stuck trigger keeps resending its last frame across bursts, so
+    // resends also arrive minutes after the original completed — the case
+    // the result cache exists for (in-flight duplicates just recompute).
+    serve::ServeRequest last_request;
+    std::size_t last_index = 0;
+    bool have_last = false;
+    for (int b = 0; b < bursts; ++b) {
+      for (int f = 0; f < frames_per_burst; ++f) {
+        LoadEvent ev;
+        ev.client_id = cam;
+        const bool resend = have_last && rng.next_float() < cam_dup_prob;
+        if (resend) {
+          // Stuck trigger: byte-identical upload of the previous frame.
+          ev.request = last_request;
+          ev.image_index = last_index;
+        } else {
+          trace.originals.push_back(data::synth_photo(w, h, rng));
+          ev.image_index = trace.originals.size() - 1;
+          ev.request = encode_request(cfg, codec, trace.originals.back());
+          last_request = ev.request;
+          last_index = ev.image_index;
+          have_last = true;
+        }
+        clock += modeled_upload_s(
+            field, codec, model, w, h, cfg.erased_per_row,
+            static_cast<double>(ev.request.compressed.size_bytes()));
+        ev.arrival_s = clock;
+        trace.events.push_back(std::move(ev));
+        clock += 0.25;  // trigger re-arm time between burst frames
+      }
+      clock += 120.0 + 60.0 * rng.next_float();  // gap to the next event
+    }
+  }
+  finalize_trace(trace);
+  return trace;
+}
+
+LoadTrace make_industrial_stream_trace(const core::ReconstructionModel& model,
+                                       codec::ImageCodec& codec, int stations,
+                                       int frames_per_station,
+                                       std::uint64_t seed) {
+  LoadTrace trace;
+  trace.name = "industrial_stream";
+  const Scenario factory = paper_testbed();  // TX2 edge, Wi-Fi, 2080Ti server
+  util::Pcg32 rng(seed, 0xFAC7);
+  const int patch = model.config().patchify.patch;
+  const int w = patch * 4;
+  const int h = patch * 4;
+
+  core::EaszConfig cfg;
+  cfg.patchify = model.config().patchify;
+  cfg.erased_per_row = 2;
+  cfg.mask_seed = seed;  // one deployment-wide mask: every frame batches
+
+  for (int st = 0; st < stations; ++st) {
+    double clock = 0.3 * st;  // stations started in sequence
+    for (int f = 0; f < frames_per_station; ++f) {
+      LoadEvent ev;
+      ev.client_id = st;
+      trace.originals.push_back(data::synth_texture(w, h, rng));
+      ev.image_index = trace.originals.size() - 1;
+      ev.request = encode_request(cfg, codec, trace.originals.back());
+      clock += modeled_upload_s(
+          factory, codec, model, w, h, cfg.erased_per_row,
+          static_cast<double>(ev.request.compressed.size_bytes()));
+      ev.arrival_s = clock;
+      trace.events.push_back(std::move(ev));
+      clock += 2.0;  // line cadence: one part every ~2 s
+    }
+  }
+  finalize_trace(trace);
+  return trace;
+}
+
+LoadTrace make_heterogeneous_trace(const core::ReconstructionModel& model,
+                                   codec::ImageCodec& codec, int clients,
+                                   int frames_per_client, std::uint64_t seed) {
+  LoadTrace trace;
+  trace.name = "heterogeneous_mix";
+  const Scenario lte(raspberry_pi4(), desktop_2080ti(), lte_iot_link());
+  const Scenario wifi = paper_testbed();
+  util::Pcg32 rng(seed, 0x4e7e);
+  const auto patchify = model.config().patchify;
+  const int patch = patchify.patch;
+  const int grid = patchify.grid();
+
+  for (int cl = 0; cl < clients; ++cl) {
+    const Scenario& scenario = cl % 2 == 0 ? lte : wifi;
+    core::EaszConfig cfg;
+    cfg.patchify = patchify;
+    cfg.erased_per_row = 1 + cl % std::min(3, grid - 1);
+    cfg.axis = cl % 3 == 0 ? core::SqueezeAxis::kVertical
+                           : core::SqueezeAxis::kHorizontal;
+    cfg.mask_seed = seed + static_cast<std::uint64_t>(cl) * 977;
+    double clock = 0.7 * cl;
+    for (int f = 0; f < frames_per_client; ++f) {
+      // Sizes sweep ~3x1 to ~6x4 patches, deliberately not patch-aligned.
+      const int w = patch * (3 + (cl + f) % 4) - (f % 2) * (patch / 2);
+      const int h = patch * (1 + (cl + 2 * f) % 4) + (f % 3);
+      LoadEvent ev;
+      ev.client_id = cl;
+      trace.originals.push_back(f % 2 == 0 ? data::synth_photo(w, h, rng)
+                                           : data::synth_cartoon(w, h, rng));
+      ev.image_index = trace.originals.size() - 1;
+      ev.request = encode_request(cfg, codec, trace.originals.back());
+      clock += modeled_upload_s(
+          scenario, codec, model, w, h, cfg.erased_per_row,
+          static_cast<double>(ev.request.compressed.size_bytes()));
+      ev.arrival_s = clock;
+      trace.events.push_back(std::move(ev));
+      clock += 0.5 + 2.0 * rng.next_float();
+    }
+  }
+  finalize_trace(trace);
+  return trace;
+}
+
+ReplayReport replay_trace(const LoadTrace& trace, serve::ReconServer& server,
+                          ReplayOptions options) {
+  ReplayReport report;
+  report.trace = trace.name;
+  report.modeled_span_s = trace.modeled_span_s();
+  if (trace.events.empty()) return report;
+
+  std::vector<std::future<serve::ServeResponse>> futures;
+  futures.reserve(trace.events.size());
+
+  const double t0_model = trace.events.front().arrival_s;
+  const auto t0_wall = std::chrono::steady_clock::now();
+  util::Stopwatch wall;
+  for (const LoadEvent& ev : trace.events) {
+    if (options.time_scale > 0.0) {
+      const auto due =
+          t0_wall + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            (ev.arrival_s - t0_model) * options.time_scale));
+      std::this_thread::sleep_until(due);
+    }
+    serve::SubmitResult res = server.submit(ev.request);
+    if (res.accepted) {
+      futures.push_back(std::move(res.response));
+    } else {
+      ++report.rejected;
+    }
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(futures.size());
+  for (std::future<serve::ServeResponse>& f : futures) {
+    try {
+      const serve::ServeResponse resp = f.get();
+      ++report.completed;
+      latencies.push_back(resp.timing.total_s);
+    } catch (const std::exception&) {
+      ++report.failed;
+    }
+  }
+  report.wall_s = wall.elapsed_seconds();
+  report.throughput_rps =
+      report.wall_s > 0.0 ? report.completed / report.wall_s : 0.0;
+  report.latency_p50_s = serve::percentile(latencies, 50.0);
+  report.latency_p99_s = serve::percentile(latencies, 99.0);
+  report.server = server.stats();
+  return report;
+}
+
+std::string ReplayReport::to_json() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"trace\":\"%s\",\"completed\":%d,\"rejected\":%d,\"failed\":%d,"
+      "\"wall_s\":%.4f,\"modeled_span_s\":%.2f,\"throughput_rps\":%.3f,"
+      "\"latency_p50_ms\":%.3f,\"latency_p99_ms\":%.3f,\"server\":",
+      trace.c_str(), completed, rejected, failed, wall_s, modeled_span_s,
+      throughput_rps, latency_p50_s * 1e3, latency_p99_s * 1e3);
+  return std::string(buf) + server.to_json() + "}";
+}
+
+}  // namespace easz::testbed

@@ -1,0 +1,108 @@
+// Traffic generator for the reconstruction server (DESIGN.md §3.4).
+//
+// Builds replayable traces of edge uploads whose ARRIVAL TIMES come from the
+// analytic device/link models in device.hpp: each simulated client runs the
+// edge half of the pipeline (erase-and-squeeze + inner codec) on its modeled
+// device, ships the payload over its modeled link, and the server sees the
+// request when the transfer completes. Three canonical workloads:
+//
+//   wildlife bursts      Pi-4 camera traps on LTE-IoT uplinks; motion events
+//                        trigger frame bursts, and stuck triggers resend
+//                        byte-identical frames (the result-cache workload).
+//   industrial stream    TX2 inspection stations on factory Wi-Fi; steady
+//                        cadence, uniform geometry — the batching workload.
+//   heterogeneous mix    mixed devices, image sizes, erase ratios and both
+//                        squeeze axes — the worst-case scheduling workload.
+//
+// replay_trace() pushes a trace into a live ReconServer, optionally scaling
+// modeled time (0 = as fast as possible), and reports client-side outcomes
+// next to the server's own stats snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "core/recon_model.hpp"
+#include "serve/server.hpp"
+#include "testbed/scenario.hpp"
+
+namespace easz::testbed {
+
+/// One modeled upload.
+struct LoadEvent {
+  double arrival_s = 0.0;  ///< modeled arrival at the server (trace clock)
+  int client_id = 0;
+  std::size_t image_index = 0;  ///< into LoadTrace::originals
+  serve::ServeRequest request;
+};
+
+/// A replayable workload. Events are sorted by arrival time; `originals`
+/// holds the pre-compression images so callers can verify reconstructions.
+struct LoadTrace {
+  std::string name;
+  std::vector<LoadEvent> events;
+  std::vector<image::Image> originals;
+
+  [[nodiscard]] double modeled_span_s() const {
+    return events.empty() ? 0.0
+                          : events.back().arrival_s - events.front().arrival_s;
+  }
+};
+
+/// Camera-trap bursts: `cameras` Pi-4 clients on LTE-IoT links, each firing
+/// `bursts` motion events of `frames_per_burst` frames. A frame is a
+/// byte-identical resend of the camera's previous frame with probability
+/// `duplicate_prob` (stuck trigger, persisting across bursts); camera 0 is
+/// fully stuck whenever duplicates are enabled, so timed replays always
+/// carry cross-burst resends — the cache's deterministic hits.
+LoadTrace make_wildlife_burst_trace(const core::ReconstructionModel& model,
+                                    codec::ImageCodec& codec, int cameras,
+                                    int bursts, int frames_per_burst,
+                                    double duplicate_prob = 0.5,
+                                    std::uint64_t seed = 42);
+
+/// Inspection stations: TX2 clients on Wi-Fi pushing a steady stream of
+/// uniform-geometry frames — maximum cross-request batching opportunity
+/// because every station shares the deployment's mask seed.
+LoadTrace make_industrial_stream_trace(const core::ReconstructionModel& model,
+                                       codec::ImageCodec& codec, int stations,
+                                       int frames_per_station,
+                                       std::uint64_t seed = 43);
+
+/// Mixed fleet: alternating Pi-4/LTE and TX2/Wi-Fi clients, image sizes from
+/// ~3x1 to ~6x4 patches, erase counts cycling 1..3 and both squeeze axes —
+/// every request family lands in a different batch group.
+LoadTrace make_heterogeneous_trace(const core::ReconstructionModel& model,
+                                   codec::ImageCodec& codec, int clients,
+                                   int frames_per_client,
+                                   std::uint64_t seed = 44);
+
+struct ReplayOptions {
+  /// Wall seconds per modeled second. 0 submits back-to-back (throughput
+  /// mode); 1 replays in modeled real time.
+  double time_scale = 0.0;
+};
+
+struct ReplayReport {
+  std::string trace;
+  int completed = 0;
+  int rejected = 0;
+  int failed = 0;
+  double wall_s = 0.0;          ///< replay wall-clock duration
+  double modeled_span_s = 0.0;  ///< trace duration on the model clock
+  double throughput_rps = 0.0;  ///< completed / wall_s
+  double latency_p50_s = 0.0;   ///< client-observed total latency
+  double latency_p99_s = 0.0;
+  serve::ServerStatsSnapshot server;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Replays a trace against a live server from the calling thread and blocks
+/// until every accepted request resolves.
+ReplayReport replay_trace(const LoadTrace& trace, serve::ReconServer& server,
+                          ReplayOptions options = {});
+
+}  // namespace easz::testbed

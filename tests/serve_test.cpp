@@ -1,0 +1,513 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "codec/jpeg_like.hpp"
+#include "core/pipeline.hpp"
+#include "data/synth.hpp"
+#include "serve/cache.hpp"
+#include "serve/server.hpp"
+#include "serve/stats.hpp"
+#include "testbed/loadgen.hpp"
+#include "util/prng.hpp"
+
+namespace easz::serve {
+namespace {
+
+core::ReconModelConfig tiny_model_config() {
+  core::ReconModelConfig cfg;
+  cfg.patchify = {.patch = 16, .sub_patch = 4};
+  cfg.channels = 3;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.ffn_hidden = 64;
+  return cfg;
+}
+
+image::Image test_image(int w, int h, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  return data::synth_photo(w, h, rng);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(ServeStats, PercentileNearestRank) {
+  std::vector<double> s{5.0, 1.0, 2.0, 4.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(s, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(ServeStats, SummaryAndJson) {
+  StageStats st;
+  for (int i = 1; i <= 100; ++i) st.record(i * 1e-3);
+  const StageSummary s = st.summarize();
+  EXPECT_EQ(s.count, 100U);
+  EXPECT_NEAR(s.p50_s, 50e-3, 1e-9);
+  EXPECT_NEAR(s.p95_s, 95e-3, 1e-9);
+  EXPECT_NEAR(s.p99_s, 99e-3, 1e-9);
+  EXPECT_NEAR(s.max_s, 100e-3, 1e-9);
+
+  ServerStatsSnapshot snap;
+  snap.total = s;
+  snap.batches = 4;
+  snap.batched_patches = 10;
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"mean_batch_size\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"total\":{"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- cache
+
+std::shared_ptr<const image::Image> make_cached(int w, int h) {
+  return std::make_shared<image::Image>(w, h, 3);
+}
+
+CacheKey key_of(std::uint64_t payload_hash) {
+  CacheKey k;
+  k.payload_hash = payload_hash;
+  k.codec = "jpeg";
+  return k;
+}
+
+TEST(ResultCacheTest, HitRefreshesRecency) {
+  // Each 8x8x3 image costs 768 bytes; capacity fits exactly two.
+  ResultCache cache(2 * 768);
+  cache.put(key_of(1), make_cached(8, 8));
+  cache.put(key_of(2), make_cached(8, 8));
+  EXPECT_NE(cache.get(key_of(1)), nullptr);  // 1 becomes most-recent
+  cache.put(key_of(3), make_cached(8, 8));   // evicts 2, not 1
+  EXPECT_NE(cache.get(key_of(1)), nullptr);
+  EXPECT_EQ(cache.get(key_of(2)), nullptr);
+  EXPECT_NE(cache.get(key_of(3)), nullptr);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1U);
+  EXPECT_EQ(s.entries, 2U);
+  EXPECT_LE(s.bytes, cache.capacity_bytes());
+}
+
+TEST(ResultCacheTest, OversizeEntriesAreNotAdmitted) {
+  ResultCache cache(100);
+  cache.put(key_of(1), make_cached(8, 8));  // 768 bytes > 100
+  EXPECT_EQ(cache.get(key_of(1)), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0U);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  cache.put(key_of(1), make_cached(8, 8));
+  EXPECT_EQ(cache.get(key_of(1)), nullptr);
+}
+
+TEST(ResultCacheTest, KeyDistinguishesGeometryAndPayload) {
+  core::EaszCompressed a;
+  a.payload.bytes = {1, 2, 3};
+  a.mask_bytes = {0xF0};
+  a.full_width = 32;
+  a.full_height = 32;
+  core::EaszCompressed b = a;
+  b.full_width = 48;
+  core::EaszCompressed c = a;
+  c.payload.bytes = {1, 2, 4};
+  EXPECT_EQ(make_cache_key(a, "jpeg"), make_cache_key(a, "jpeg"));
+  EXPECT_FALSE(make_cache_key(a, "jpeg") == make_cache_key(b, "jpeg"));
+  EXPECT_FALSE(make_cache_key(a, "jpeg") == make_cache_key(c, "jpeg"));
+  EXPECT_FALSE(make_cache_key(a, "jpeg") == make_cache_key(a, "bpg"));
+}
+
+// ---------------------------------------------------------------- server
+
+struct ServeFixture {
+  util::Pcg32 rng{91};
+  core::ReconstructionModel model{tiny_model_config(), rng};
+  codec::JpegLikeCodec jpeg{85};
+
+  core::EaszConfig edge_config(int erased, core::SqueezeAxis axis,
+                               std::uint64_t mask_seed) {
+    core::EaszConfig cfg;
+    cfg.patchify = tiny_model_config().patchify;
+    cfg.erased_per_row = erased;
+    cfg.axis = axis;
+    cfg.mask_seed = mask_seed;
+    return cfg;
+  }
+
+  ServeRequest make_request(const image::Image& img, int erased = 1,
+                            core::SqueezeAxis axis = core::SqueezeAxis::kHorizontal,
+                            std::uint64_t mask_seed = 7) {
+    const core::EaszPipeline edge(edge_config(erased, axis, mask_seed), jpeg,
+                                  nullptr);
+    ServeRequest r;
+    r.compressed = edge.encode(img);
+    r.codec = "jpeg";
+    return r;
+  }
+
+  image::Image sequential_decode(const ServeRequest& r) {
+    const core::EaszPipeline server_pipeline(
+        edge_config(r.compressed.erased_per_row, r.compressed.axis, 7), jpeg,
+        &model);
+    return server_pipeline.decode(r.compressed);
+  }
+};
+
+TEST(ReconServerTest, ThreadedStressMatchesSequentialDecodeExactly) {
+  ServeFixture fx;
+  constexpr int kClients = 6;
+  constexpr int kImagesPerClient = 4;
+
+  // Pre-build every request and its sequential reference result.
+  std::vector<std::vector<ServeRequest>> requests(kClients);
+  std::vector<std::vector<image::Image>> expected(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kImagesPerClient; ++i) {
+      const auto axis = (c + i) % 2 == 0 ? core::SqueezeAxis::kHorizontal
+                                         : core::SqueezeAxis::kVertical;
+      const image::Image img =
+          test_image(33 + 16 * c + i, 17 + 11 * i, 1000 + c * 100 + i);
+      ServeRequest r = fx.make_request(img, 1 + c % 3, axis,
+                                       /*mask_seed=*/40 + c % 2);
+      expected[c].push_back(fx.sequential_decode(r));
+      requests[c].push_back(std::move(r));
+    }
+  }
+
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.max_queue = 64;
+  cfg.max_batch_patches = 8;  // small, to force many cross-request batches
+  ReconServer server(cfg, fx.model);
+  server.register_codec("jpeg", &fx.jpeg);
+
+  std::vector<std::vector<std::future<ServeResponse>>> futures(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kImagesPerClient; ++i) {
+        SubmitResult res = server.submit(requests[c][i]);
+        ASSERT_TRUE(res.accepted);
+        futures[c].push_back(std::move(res.response));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kImagesPerClient; ++i) {
+      const ServeResponse resp = futures[c][i].get();
+      ASSERT_NE(resp.image, nullptr);
+      const image::Image& got = *resp.image;
+      const image::Image& want = expected[c][i];
+      ASSERT_EQ(got.width(), want.width());
+      ASSERT_EQ(got.height(), want.height());
+      // Byte-identical: batching across requests must not change a single
+      // float (per-patch results are batch-composition independent).
+      EXPECT_EQ(got.data(), want.data()) << "client " << c << " image " << i;
+    }
+  }
+
+  const ServerStatsSnapshot s = server.stats();
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(kClients * kImagesPerClient));
+  EXPECT_EQ(s.failed, 0U);
+  EXPECT_GT(s.batches, 0U);
+  // Every patch of every request went through exactly one forward pass.
+  std::uint64_t expected_patches = 0;
+  for (const auto& per_client : requests) {
+    for (const ServeRequest& r : per_client) {
+      const int patch = tiny_model_config().patchify.patch;
+      expected_patches += static_cast<std::uint64_t>(
+          (r.compressed.padded_width / patch) *
+          (r.compressed.padded_height / patch));
+    }
+  }
+  EXPECT_EQ(s.batched_patches, expected_patches);
+  EXPECT_EQ(s.total.count, static_cast<std::uint64_t>(kClients * kImagesPerClient));
+}
+
+TEST(ReconServerTest, CacheHitServesIdenticalImageWithoutRecompute) {
+  ServeFixture fx;
+  ServerConfig cfg;
+  cfg.workers = 2;
+  ReconServer server(cfg, fx.model);
+  server.register_codec("jpeg", &fx.jpeg);
+
+  const ServeRequest req = fx.make_request(test_image(48, 32, 5));
+  SubmitResult first = server.submit(req);
+  ASSERT_TRUE(first.accepted);
+  const ServeResponse r1 = first.response.get();
+  EXPECT_FALSE(r1.cache_hit);
+
+  const std::uint64_t batches_before = server.stats().batches;
+  SubmitResult second = server.submit(req);
+  ASSERT_TRUE(second.accepted);
+  const ServeResponse r2 = second.response.get();
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r1.image->data(), r2.image->data());
+  EXPECT_EQ(server.stats().batches, batches_before);  // no extra forward pass
+  EXPECT_GE(server.stats().cache_hits, 1U);
+}
+
+TEST(ReconServerTest, RejectBackpressureShedsButCompletesAccepted) {
+  ServeFixture fx;
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_queue = 1;
+  cfg.cache_bytes = 0;  // identical resubmits must not shortcut the queue
+  cfg.backpressure = BackpressurePolicy::kReject;
+  ReconServer server(cfg, fx.model);
+  server.register_codec("jpeg", &fx.jpeg);
+
+  const ServeRequest req = fx.make_request(test_image(64, 48, 6));
+  int accepted = 0;
+  int rejected = 0;
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 32; ++i) {
+    SubmitResult res = server.submit(req);
+    if (res.accepted) {
+      ++accepted;
+      futures.push_back(std::move(res.response));
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);  // 32 instant submits cannot all fit a queue of 1
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+  const ServerStatsSnapshot s = server.stats();
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(accepted));
+  EXPECT_EQ(s.rejected, static_cast<std::uint64_t>(rejected));
+  EXPECT_LE(s.max_queue_depth, cfg.max_queue);
+}
+
+TEST(ReconServerTest, BlockBackpressureCompletesEverything) {
+  ServeFixture fx;
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.max_queue = 2;
+  cfg.cache_bytes = 0;
+  cfg.backpressure = BackpressurePolicy::kBlock;
+  ReconServer server(cfg, fx.model);
+  server.register_codec("jpeg", &fx.jpeg);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 12; ++i) {
+    SubmitResult res = server.submit(fx.make_request(test_image(48, 32, 7)));
+    ASSERT_TRUE(res.accepted);  // kBlock never sheds
+    futures.push_back(std::move(res.response));
+  }
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+  EXPECT_EQ(server.stats().rejected, 0U);
+  EXPECT_EQ(server.stats().completed, 12U);
+}
+
+TEST(ReconServerTest, UnknownCodecFailsTheFuture) {
+  ServeFixture fx;
+  ReconServer server(ServerConfig{}, fx.model);
+  ServeRequest req = fx.make_request(test_image(32, 32, 8));
+  req.codec = "no-such-codec";
+  SubmitResult res = server.submit(req);
+  ASSERT_TRUE(res.accepted);
+  EXPECT_THROW(res.response.get(), std::runtime_error);
+  server.drain();
+  EXPECT_EQ(server.stats().failed, 1U);
+}
+
+TEST(ReconServerTest, ChannelMismatchFailsTheFutureNotTheServer) {
+  ServeFixture fx;
+  ReconServer server(ServerConfig{}, fx.model);
+  server.register_codec("jpeg", &fx.jpeg);
+
+  // A grayscale upload through an RGB deployment must fail its own future
+  // at the decode stage — a shape throw mid-batch would kill the process.
+  const image::Image gray = test_image(32, 32, 12).to_gray();
+  const core::EaszPipeline edge(
+      fx.edge_config(1, core::SqueezeAxis::kHorizontal, 7), fx.jpeg, nullptr);
+  ServeRequest req;
+  req.compressed = edge.encode(gray);
+  req.codec = "jpeg";
+  SubmitResult res = server.submit(std::move(req));
+  ASSERT_TRUE(res.accepted);
+  EXPECT_THROW(res.response.get(), std::runtime_error);
+
+  SubmitResult ok = server.submit(fx.make_request(test_image(32, 32, 12)));
+  ASSERT_TRUE(ok.accepted);
+  EXPECT_NO_THROW(ok.response.get());
+}
+
+TEST(ReconServerTest, CorruptMaskFailsTheFutureNotTheServer) {
+  ServeFixture fx;
+  ReconServer server(ServerConfig{}, fx.model);
+  server.register_codec("jpeg", &fx.jpeg);
+  ServeRequest bad = fx.make_request(test_image(32, 32, 9));
+  bad.compressed.mask_bytes.pop_back();  // truncate the side channel
+  SubmitResult res = server.submit(bad);
+  ASSERT_TRUE(res.accepted);
+  EXPECT_THROW(res.response.get(), std::exception);
+
+  // The server survives and keeps serving.
+  SubmitResult ok = server.submit(fx.make_request(test_image(32, 32, 9)));
+  ASSERT_TRUE(ok.accepted);
+  EXPECT_NO_THROW(ok.response.get());
+}
+
+// Codec whose decode stalls, to keep workers busy and the queue non-empty.
+class SlowJpeg final : public codec::ImageCodec {
+ public:
+  explicit SlowJpeg(int ms) : ms_(ms) {}
+  [[nodiscard]] std::string name() const override { return "slow"; }
+  [[nodiscard]] codec::Compressed encode(const image::Image& img) const override {
+    return inner_.encode(img);
+  }
+  [[nodiscard]] image::Image decode(const codec::Compressed& c) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms_));
+    return inner_.decode(c);
+  }
+  void set_quality(int q) override { inner_.set_quality(q); }
+  [[nodiscard]] int quality() const override { return inner_.quality(); }
+  [[nodiscard]] double encode_flops(int w, int h) const override {
+    return inner_.encode_flops(w, h);
+  }
+  [[nodiscard]] double decode_flops(int w, int h) const override {
+    return inner_.decode_flops(w, h);
+  }
+  [[nodiscard]] std::size_t model_bytes() const override { return 0; }
+
+ private:
+  codec::JpegLikeCodec inner_{85};
+  int ms_;
+};
+
+TEST(ReconServerTest, AgeTriggerPreventsRareMaskStarvation) {
+  ServeFixture fx;
+  SlowJpeg slow(20);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_queue = 4;
+  cfg.max_batch_patches = 100000;  // never reached: only age/flush can launch
+  cfg.max_batch_wait_s = 0.02;
+  cfg.cache_bytes = 0;
+  ReconServer server(cfg, fx.model);
+  server.register_codec("jpeg", &fx.jpeg);
+  server.register_codec("slow", &slow);
+
+  // The victim: a unique mask, decoded quickly, then parked in the pool.
+  SubmitResult victim =
+      server.submit(fx.make_request(test_image(32, 32, 70), 1,
+                                    core::SqueezeAxis::kHorizontal,
+                                    /*mask_seed=*/999));
+  ASSERT_TRUE(victim.accepted);
+
+  // The dominant stream: one shared mask, slow decodes, kBlock pacing keeps
+  // the queue non-empty for ~30 x 20 ms of single-worker time.
+  constexpr int kStream = 30;
+  std::atomic<int> streamed{0};
+  ServeRequest stream_req = fx.make_request(test_image(32, 32, 71));
+  stream_req.codec = "slow";
+  std::thread stream([&] {
+    for (int i = 0; i < kStream; ++i) {
+      if (server.submit(stream_req).accepted) {
+        streamed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  // Without the age trigger the victim's under-full group only launches via
+  // the flush condition — i.e. after the whole stream drains.
+  const auto status = victim.response.wait_for(std::chrono::seconds(5));
+  const int streamed_when_done = streamed.load(std::memory_order_relaxed);
+  ASSERT_EQ(status, std::future_status::ready);
+  EXPECT_LT(streamed_when_done, kStream)
+      << "victim only completed after the dominant stream finished";
+  EXPECT_NO_THROW(victim.response.get());
+  stream.join();
+  server.drain();
+}
+
+TEST(ReconServerTest, DrainWaitsForAllOutstanding) {
+  ServeFixture fx;
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.cache_bytes = 0;
+  ReconServer server(cfg, fx.model);
+  server.register_codec("jpeg", &fx.jpeg);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(server.submit(fx.make_request(test_image(48, 32, 10 + i)))
+                    .accepted);
+  }
+  server.drain();
+  const ServerStatsSnapshot s = server.stats();
+  EXPECT_EQ(s.completed + s.failed, 6U);
+  EXPECT_EQ(s.queue_depth, 0);
+}
+
+// ---------------------------------------------------------------- loadgen
+
+TEST(LoadGenTest, IndustrialTraceBatchesAcrossRequests) {
+  ServeFixture fx;
+  testbed::LoadTrace trace = testbed::make_industrial_stream_trace(
+      fx.model, fx.jpeg, /*stations=*/4, /*frames_per_station=*/3);
+  ASSERT_EQ(trace.events.size(), 12U);
+  // Shared deployment mask: identical mask bytes across stations.
+  const auto& mask0 = trace.events[0].request.compressed.mask_bytes;
+  for (const auto& ev : trace.events) {
+    EXPECT_EQ(ev.request.compressed.mask_bytes, mask0);
+  }
+  // Arrivals are sorted and strictly positive spans.
+  for (std::size_t i = 1; i < trace.events.size(); ++i) {
+    EXPECT_GE(trace.events[i].arrival_s, trace.events[i - 1].arrival_s);
+  }
+
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.max_batch_patches = 64;
+  ReconServer server(cfg, fx.model);
+  server.register_codec("jpeg", &fx.jpeg);
+  const testbed::ReplayReport report = testbed::replay_trace(trace, server);
+  EXPECT_EQ(report.completed, 12);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_GT(report.server.cross_request_batches, 0U);
+  EXPECT_GT(report.throughput_rps, 0.0);
+  EXPECT_NE(report.to_json().find("\"trace\":\"industrial_stream\""),
+            std::string::npos);
+}
+
+TEST(LoadGenTest, WildlifeTraceProducesCacheHits) {
+  ServeFixture fx;
+  testbed::LoadTrace trace = testbed::make_wildlife_burst_trace(
+      fx.model, fx.jpeg, /*cameras=*/2, /*bursts=*/2, /*frames_per_burst=*/4,
+      /*duplicate_prob=*/1.0);  // every non-leading frame is a resend
+  // Every non-leading burst frame is a byte-identical resend, so the trace
+  // has far fewer unique frames than events.
+  EXPECT_LT(trace.originals.size(), trace.events.size());
+
+  ReconServer server(ServerConfig{}, fx.model);
+  server.register_codec("jpeg", &fx.jpeg);
+  const testbed::ReplayReport first = testbed::replay_trace(trace, server);
+  EXPECT_EQ(first.completed, 16);
+  // Duplicates submitted while the original is still in flight legitimately
+  // miss; replaying the drained trace is deterministic: everything hits.
+  const testbed::ReplayReport second = testbed::replay_trace(trace, server);
+  EXPECT_EQ(second.completed, 16);
+  EXPECT_GE(second.server.cache_hits - first.server.cache_hits, 16U);
+  EXPECT_EQ(second.server.batches, first.server.batches);  // no new forwards
+}
+
+TEST(LoadGenTest, HeterogeneousTraceCompletesEverything) {
+  ServeFixture fx;
+  testbed::LoadTrace trace = testbed::make_heterogeneous_trace(
+      fx.model, fx.jpeg, /*clients=*/3, /*frames_per_client=*/3);
+  ASSERT_EQ(trace.events.size(), 9U);
+  ServerConfig cfg;
+  cfg.workers = 4;
+  ReconServer server(cfg, fx.model);
+  server.register_codec("jpeg", &fx.jpeg);
+  const testbed::ReplayReport report = testbed::replay_trace(trace, server);
+  EXPECT_EQ(report.completed, 9);
+  EXPECT_EQ(report.failed, 0);
+}
+
+}  // namespace
+}  // namespace easz::serve

@@ -1,0 +1,163 @@
+// easz_serve — reconstruction-server traffic driver.
+//
+// Spins up the concurrent batched ReconServer and replays one of the
+// testbed's modeled edge workloads against it:
+//
+//   easz_serve [--scenario wildlife|industrial|mixed|all] [--workers N]
+//              [--clients N] [--frames N] [--batch P] [--queue N]
+//              [--cache-mb MB] [--reject] [--time-scale S] [--json out.json]
+//
+// --time-scale replays arrivals on the modeled clock (1 = real time,
+// 0 = as fast as possible, the default). --reject switches backpressure
+// from blocking to load shedding. The JSON report contains one entry per
+// scenario with client-side latency and the server's stage stats.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "codec/bpg_like.hpp"
+#include "codec/jpeg_like.hpp"
+#include "serve/server.hpp"
+#include "testbed/loadgen.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace easz;
+
+const char* flag_value(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  for (int i = 0; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const std::string scenario = flag_value(argc, argv, "--scenario", "all");
+  const int workers = std::atoi(flag_value(argc, argv, "--workers", "4"));
+  const int clients = std::atoi(flag_value(argc, argv, "--clients", "6"));
+  const int frames = std::atoi(flag_value(argc, argv, "--frames", "8"));
+  const int batch = std::atoi(flag_value(argc, argv, "--batch", "32"));
+  const int queue = std::atoi(flag_value(argc, argv, "--queue", "64"));
+  const double cache_mb =
+      std::atof(flag_value(argc, argv, "--cache-mb", "64"));
+  const double time_scale =
+      std::atof(flag_value(argc, argv, "--time-scale", "0"));
+  const char* json_path = flag_value(argc, argv, "--json", nullptr);
+
+  std::printf("easz_serve: %d workers, batch %d, queue %d, cache %.0f MB, "
+              "%s backpressure\n",
+              workers, batch, queue, cache_mb,
+              has_flag(argc, argv, "--reject") ? "reject" : "block");
+
+  // Canonical serving model (matches the examples' p16/b2/d64 deployment).
+  core::ReconModelConfig mcfg;
+  mcfg.patchify = {.patch = 16, .sub_patch = 2};
+  mcfg.channels = 3;
+  mcfg.d_model = 64;
+  mcfg.num_heads = 4;
+  mcfg.ffn_hidden = 128;
+  util::Pcg32 rng(11);
+  const core::ReconstructionModel model(mcfg, rng);
+
+  codec::JpegLikeCodec jpeg(75);
+  codec::BpgLikeCodec bpg(60);
+
+  serve::ServerConfig scfg;
+  scfg.workers = workers;
+  scfg.max_queue = queue;
+  scfg.max_batch_patches = batch;
+  scfg.cache_bytes = static_cast<std::size_t>(cache_mb * 1024.0 * 1024.0);
+  scfg.backpressure = has_flag(argc, argv, "--reject")
+                          ? serve::BackpressurePolicy::kReject
+                          : serve::BackpressurePolicy::kBlock;
+
+  std::vector<testbed::LoadTrace> traces;
+  if (scenario == "wildlife" || scenario == "all") {
+    traces.push_back(testbed::make_wildlife_burst_trace(
+        model, jpeg, clients, /*bursts=*/2, /*frames_per_burst=*/frames / 2));
+  }
+  if (scenario == "industrial" || scenario == "all") {
+    traces.push_back(
+        testbed::make_industrial_stream_trace(model, jpeg, clients, frames));
+  }
+  if (scenario == "mixed" || scenario == "all") {
+    traces.push_back(
+        testbed::make_heterogeneous_trace(model, jpeg, clients, frames));
+  }
+  if (traces.empty()) {
+    std::fprintf(stderr,
+                 "unknown --scenario '%s' (wildlife|industrial|mixed|all)\n",
+                 scenario.c_str());
+    return 2;
+  }
+
+  util::Table t({"scenario", "events", "done", "drop", "fail", "wall s",
+                 "req/s", "p50 ms", "p99 ms", "hit%", "patch/fwd"});
+  std::string json = "[";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const testbed::LoadTrace& trace = traces[i];
+    // Fresh server per scenario so stats do not bleed across workloads.
+    serve::ReconServer server(scfg, model);
+    server.register_codec("jpeg", &jpeg);
+    server.register_codec("bpg", &bpg);
+
+    testbed::ReplayOptions opts;
+    opts.time_scale = time_scale;
+    const testbed::ReplayReport report =
+        testbed::replay_trace(trace, server, opts);
+
+    const auto& s = report.server;
+    const double hit_pct =
+        s.cache_hits + s.cache_misses == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(s.cache_hits) /
+                  static_cast<double>(s.cache_hits + s.cache_misses);
+    t.add_row({trace.name, std::to_string(trace.events.size()),
+               std::to_string(report.completed),
+               std::to_string(report.rejected), std::to_string(report.failed),
+               util::Table::num(report.wall_s, 2),
+               util::Table::num(report.throughput_rps, 1),
+               util::Table::num(report.latency_p50_s * 1e3, 1),
+               util::Table::num(report.latency_p99_s * 1e3, 1),
+               util::Table::num(hit_pct, 0),
+               util::Table::num(s.mean_batch_size(), 1)});
+    json += report.to_json();
+    if (i + 1 < traces.size()) json += ",";
+
+    std::printf("\n--- %s ---\n%s", trace.name.c_str(),
+                s.to_string().c_str());
+  }
+  json += "]";
+
+  std::printf("\n");
+  t.print();
+
+  if (json_path != nullptr) {
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fputs(json.c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "easz_serve: %s\n", e.what());
+  return 2;
+}
