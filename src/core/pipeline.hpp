@@ -81,9 +81,11 @@ class EaszPipeline {
   ///
   /// Equivalent to decode_tokens() + ReconstructionModel::reconstruct (in
   /// any batch split — per-patch results are batch-composition independent)
-  /// + assemble(). Re-entrant: safe to call concurrently from many threads
-  /// on one pipeline, as long as nobody mutates the codec (set_quality)
-  /// or the model parameters (training) meanwhile.
+  /// + assemble(). The reconstruction runs on the grad-free tensor::kern
+  /// inference path, never the autograd substrate. Re-entrant: safe to
+  /// call concurrently from many threads on one pipeline, as long as
+  /// nobody mutates the codec (set_quality) or the model parameters
+  /// (training) meanwhile.
   [[nodiscard]] image::Image decode(const EaszCompressed& c) const;
 
   /// Stage 1 of decode(): codec decode + unsqueeze + tokenise. Needs no

@@ -1,6 +1,10 @@
 #include "core/recon_model.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+
+#include "tensor/kernels.hpp"
 
 namespace easz::core {
 
@@ -76,14 +80,95 @@ nn::Tensor ReconstructionModel::forward(const nn::Tensor& tokens,
   return out;
 }
 
+nn::Tensor ReconstructionModel::infer(const nn::Tensor& tokens,
+                                      const EraseMask& mask) const {
+  namespace kern = tensor::kern;
+  const int total = config_.patchify.tokens();
+  const int token_dim = config_.patchify.token_dim(config_.channels);
+  if (tokens.rank() != 3 || tokens.dim(1) != total ||
+      tokens.dim(2) != token_dim) {
+    throw std::invalid_argument("ReconstructionModel: bad token tensor shape");
+  }
+  if (mask.grid() != config_.patchify.grid()) {
+    throw std::invalid_argument("ReconstructionModel: mask grid mismatch");
+  }
+  const int batch = tokens.dim(0);
+  const int d = config_.d_model;
+  const std::vector<int> kept = mask.kept_indices();
+  const int m = static_cast<int>(kept.size());
+
+  kern::Workspace& ws = kern::Workspace::for_this_thread();
+  ws.reset();
+  const float* in = tokens.data().data();
+  const float* pos = pos_embedding_.data().data();
+
+  // Gather the un-erased tokens of every batch element into [B*m, td].
+  float* kept_tokens =
+      ws.alloc(static_cast<std::size_t>(batch) * m * token_dim);
+  for (int b = 0; b < batch; ++b) {
+    for (int r = 0; r < m; ++r) {
+      const float* src =
+          in + (static_cast<std::size_t>(b) * total + kept[r]) * token_dim;
+      float* dst =
+          kept_tokens + (static_cast<std::size_t>(b) * m + r) * token_dim;
+      std::copy_n(src, token_dim, dst);
+    }
+  }
+
+  // Embed + positional information for the kept grid positions.
+  float* x = ws.alloc(static_cast<std::size_t>(batch) * m * d);
+  embed_->infer(kept_tokens, x, batch * m);
+  for (int b = 0; b < batch; ++b) {
+    for (int r = 0; r < m; ++r) {
+      float* row = x + (static_cast<std::size_t>(b) * m + r) * d;
+      kern::add_rows(row, pos + static_cast<std::size_t>(kept[r]) * d, row, d);
+    }
+  }
+
+  float* ping = ws.alloc(static_cast<std::size_t>(batch) * m * d);
+  float* cur = x;
+  for (const auto& block : encoder_) {
+    block->infer(cur, ping, batch, m, ws);
+    std::swap(cur, ping);
+  }
+
+  // Zero-vector infill: scatter encoded features back into the full grid;
+  // erased positions stay zero and receive only their positional embedding.
+  float* y = ws.alloc(static_cast<std::size_t>(batch) * total * d);
+  std::fill_n(y, static_cast<std::size_t>(batch) * total * d, 0.0F);
+  for (int b = 0; b < batch; ++b) {
+    for (int r = 0; r < m; ++r) {
+      std::copy_n(cur + (static_cast<std::size_t>(b) * m + r) * d, d,
+                  y + (static_cast<std::size_t>(b) * total + kept[r]) * d);
+    }
+  }
+  for (int b = 0; b < batch; ++b) {
+    float* rows = y + static_cast<std::size_t>(b) * total * d;
+    kern::add_rows(rows, pos, rows,
+                   static_cast<std::size_t>(total) * d);  // pos is [N^2, D]
+  }
+
+  float* pong = ws.alloc(static_cast<std::size_t>(batch) * total * d);
+  float* cur_y = y;
+  for (const auto& block : decoder_) {
+    block->infer(cur_y, pong, batch, total, ws);
+    std::swap(cur_y, pong);
+  }
+
+  nn::Tensor out({batch, total, token_dim});
+  head_->infer(cur_y, out.data().data(), batch * total);
+  return out;
+}
+
 nn::Tensor ReconstructionModel::reconstruct(const nn::Tensor& tokens,
                                             const EraseMask& mask) const {
-  const nn::Tensor pred = forward(tokens, mask);
+  // Serving hot path: grad-free kernel forward (see infer). The autograd
+  // forward() stays reserved for training.
+  nn::Tensor out = infer(tokens, mask);
   // Paste-through: keep original values where nothing was erased.
   const int total = config_.patchify.tokens();
   const int token_dim = config_.patchify.token_dim(config_.channels);
   const int batch = tokens.dim(0);
-  nn::Tensor out = pred.detach();
   const std::vector<int> kept = mask.kept_indices();
   for (int b = 0; b < batch; ++b) {
     for (const int j : kept) {

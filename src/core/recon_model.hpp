@@ -35,19 +35,31 @@ class ReconstructionModel : public nn::Module {
 
   /// Full forward pass: `tokens` is [B, N^2, token_dim] with arbitrary values
   /// at erased positions (they are ignored); returns predicted tokens of the
-  /// same shape. Differentiable end to end.
+  /// same shape. Differentiable end to end — this is the TRAINING path.
   [[nodiscard]] nn::Tensor forward(const nn::Tensor& tokens,
                                    const EraseMask& mask) const;
 
-  /// Inference convenience: forward + paste-through of kept tokens (the
-  /// decoder only ever has to be trusted for erased content).
+  /// Grad-free inference entry: same contract and same weights as forward,
+  /// but the whole pass runs on the tensor::kern fast path (register-tiled
+  /// parallel GEMMs, fused softmax/layernorm/bias+GELU) using the calling
+  /// thread's Workspace arena — a steady-state call performs zero heap
+  /// allocations beyond the output tensor. Matches forward() to <= 1e-5
+  /// (same per-element summation order; asserted in kernels_test). Safe to
+  /// call concurrently from many threads; NOT safe concurrently with
+  /// training.
+  [[nodiscard]] nn::Tensor infer(const nn::Tensor& tokens,
+                                 const EraseMask& mask) const;
+
+  /// Inference convenience: infer + paste-through of kept tokens (the
+  /// decoder only ever has to be trusted for erased content). Runs on the
+  /// kernel fast path, never the autograd substrate.
   ///
-  /// Re-entrant: const forward passes only read parameter data, so many
-  /// threads may call this concurrently on one model (the serve runtime
-  /// does) — but not concurrently with training, whose backward pass
-  /// mutates shared gradient buffers. Per-patch outputs are independent of
-  /// batch composition (attention never crosses batch elements), so a
-  /// batch pooled across requests reproduces per-request results exactly.
+  /// Re-entrant: infer passes only read parameter data, so many threads
+  /// may call this concurrently on one model (the serve runtime does) —
+  /// but not concurrently with training, whose backward pass mutates
+  /// shared gradient buffers. Per-patch outputs are independent of batch
+  /// composition (attention never crosses batch elements), so a batch
+  /// pooled across requests reproduces per-request results exactly.
   [[nodiscard]] nn::Tensor reconstruct(const nn::Tensor& tokens,
                                        const EraseMask& mask) const;
 

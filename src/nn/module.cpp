@@ -13,6 +13,17 @@ Linear::Linear(int in_features, int out_features, util::Pcg32& rng)
   bias_ = register_param(b);
 }
 
+void Linear::infer(const float* x, float* y, int rows, bool fuse_gelu,
+                   bool parallel) const {
+  tensor::kern::GemmOpts opts;
+  opts.bias = bias_.data().data();
+  opts.gelu = fuse_gelu;
+  opts.parallel = parallel;
+  tensor::kern::gemm(x, static_cast<std::size_t>(in_), weight_.data().data(),
+                     static_cast<std::size_t>(out_), y,
+                     static_cast<std::size_t>(out_), rows, in_, out_, opts);
+}
+
 Tensor Linear::forward(const Tensor& x) const {
   // Flatten leading dims into rows for the 2-D matmul, then restore.
   tensor::Shape orig = x.shape();
@@ -37,6 +48,12 @@ LayerNorm::LayerNorm(int dim) {
 
 Tensor LayerNorm::forward(const Tensor& x) const {
   return tensor::layernorm(x, gamma_, beta_);
+}
+
+void LayerNorm::infer(const float* x, float* y, std::size_t rows,
+                      bool parallel) const {
+  tensor::kern::layernorm_rows(x, gamma_.data().data(), beta_.data().data(), y,
+                               rows, gamma_.dim(0), 1e-5F, parallel);
 }
 
 }  // namespace easz::nn

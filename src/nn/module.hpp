@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 #include "util/prng.hpp"
@@ -57,6 +58,13 @@ class Linear : public Module {
 
   [[nodiscard]] Tensor forward(const Tensor& x) const;
 
+  /// Grad-free fast path: y[rows, out] = x[rows, in] W + b over raw spans,
+  /// reading the SAME parameter tensors as forward (a shared-weights view,
+  /// nothing is duplicated). `fuse_gelu` applies GELU in the GEMM epilogue
+  /// (the FFN's first projection). Not safe concurrently with training.
+  void infer(const float* x, float* y, int rows, bool fuse_gelu = false,
+             bool parallel = true) const;
+
   [[nodiscard]] int in_features() const { return in_; }
   [[nodiscard]] int out_features() const { return out_; }
 
@@ -73,6 +81,12 @@ class LayerNorm : public Module {
   explicit LayerNorm(int dim);
 
   [[nodiscard]] Tensor forward(const Tensor& x) const;
+
+  /// Grad-free fast path over raw spans; y may alias x.
+  void infer(const float* x, float* y, std::size_t rows,
+             bool parallel = true) const;
+
+  [[nodiscard]] int dim() const { return gamma_.dim(0); }
 
  private:
   Tensor gamma_;

@@ -49,6 +49,55 @@ Tensor MultiHeadAttention::forward(const Tensor& x) const {
   return proj_->forward(merged);
 }
 
+void MultiHeadAttention::infer(const float* x, float* out, int batch,
+                               int tokens, tensor::kern::Workspace& ws) const {
+  namespace kern = tensor::kern;
+  const int d = d_model_;
+  const int hd = head_dim_;
+  const std::size_t rows = static_cast<std::size_t>(batch) * tokens;
+  const std::size_t qkv_ld = 3 * static_cast<std::size_t>(d);
+
+  float* qkv = ws.alloc(rows * qkv_ld);  // [B*T, 3D]
+  qkv_->infer(x, qkv, static_cast<int>(rows));
+
+  float* merged = ws.alloc(rows * static_cast<std::size_t>(d));  // [B*T, D]
+  float* scores = ws.alloc(static_cast<std::size_t>(batch) * heads_ * tokens *
+                           tokens);  // one [T, T] slab per (batch, head)
+
+  const float inv_sqrt_d = 1.0F / std::sqrt(static_cast<float>(hd));
+  // One task per (batch, head): Q K^T -> softmax -> weights V, all on
+  // strided views into the qkv buffer (no per-head slice copies). Inner
+  // kernels run serial — the parallelism is the task fan-out itself.
+  kern::parallel_for(batch * heads_, [&](int task) {
+    const int bi = task / heads_;
+    const int h = task % heads_;
+    const float* base = qkv + static_cast<std::size_t>(bi) * tokens * qkv_ld;
+    const float* q = base + static_cast<std::size_t>(h) * hd;
+    const float* k = base + d + static_cast<std::size_t>(h) * hd;
+    const float* v = base + 2 * static_cast<std::size_t>(d) +
+                     static_cast<std::size_t>(h) * hd;
+    float* sc = scores + static_cast<std::size_t>(task) * tokens * tokens;
+
+    kern::GemmOpts score_opts;
+    score_opts.transpose_b = true;
+    score_opts.scale = inv_sqrt_d;
+    score_opts.parallel = false;
+    kern::gemm(q, qkv_ld, k, qkv_ld, sc, static_cast<std::size_t>(tokens),
+               tokens, hd, tokens, score_opts);
+    kern::softmax_rows(sc, static_cast<std::size_t>(tokens), tokens,
+                       /*parallel=*/false);
+
+    float* mp = merged + static_cast<std::size_t>(bi) * tokens * d +
+                static_cast<std::size_t>(h) * hd;
+    kern::GemmOpts apply_opts;
+    apply_opts.parallel = false;
+    kern::gemm(sc, static_cast<std::size_t>(tokens), v, qkv_ld, mp,
+               static_cast<std::size_t>(d), tokens, tokens, hd, apply_opts);
+  });
+
+  proj_->infer(merged, out, static_cast<int>(rows));
+}
+
 double MultiHeadAttention::flops(int batch, int tokens, int d_model,
                                  int num_heads) {
   (void)num_heads;  // head split does not change the op count
@@ -69,6 +118,14 @@ FeedForward::FeedForward(int d_model, int hidden, util::Pcg32& rng) {
 
 Tensor FeedForward::forward(const Tensor& x) const {
   return fc2_->forward(tensor::gelu(fc1_->forward(x)));
+}
+
+void FeedForward::infer(const float* x, float* out, int rows,
+                        tensor::kern::Workspace& ws) const {
+  float* hidden = ws.alloc(static_cast<std::size_t>(rows) *
+                           static_cast<std::size_t>(fc1_->out_features()));
+  fc1_->infer(x, hidden, rows, /*fuse_gelu=*/true);
+  fc2_->infer(hidden, out, rows);
 }
 
 double FeedForward::flops(int batch, int tokens, int d_model, int hidden) {
@@ -93,6 +150,26 @@ Tensor TransformerBlock::forward(const Tensor& x) const {
   const Tensor a = tensor::add(x, attn_->forward(ln1_->forward(x)));
   const Tensor f = tensor::add(a, ffn_->forward(ln2_->forward(a)));
   return ln3_->forward(f);
+}
+
+void TransformerBlock::infer(const float* x, float* out, int batch, int tokens,
+                             tensor::kern::Workspace& ws) const {
+  namespace kern = tensor::kern;
+  const std::size_t rows = static_cast<std::size_t>(batch) * tokens;
+  const std::size_t n = rows * static_cast<std::size_t>(attn_->d_model());
+
+  float* normed = ws.alloc(n);
+  ln1_->infer(x, normed, rows);
+  float* attn = ws.alloc(n);
+  attn_->infer(normed, attn, batch, tokens, ws);
+  kern::add_rows(x, attn, attn, n);  // attn = x + Attn(LN1(x))
+
+  ln2_->infer(attn, normed, rows);  // normed buffer reused
+  float* ffn = ws.alloc(n);
+  ffn_->infer(normed, ffn, static_cast<int>(rows), ws);
+  kern::add_rows(attn, ffn, ffn, n);
+
+  ln3_->infer(ffn, out, rows);
 }
 
 double TransformerBlock::flops(int batch, int tokens, int d_model,

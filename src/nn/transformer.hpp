@@ -9,11 +9,23 @@
 namespace easz::nn {
 
 /// Multi-head self-attention over [B, T, D] token stacks.
+///
+/// Two execution paths share one set of weights: forward() builds the
+/// autograd DAG (training), infer() runs the grad-free tensor::kern fast
+/// path over raw spans (serving). The infer path reproduces forward's
+/// results element-for-element (same per-element summation order); the
+/// contract is asserted in tests/kernels_test.cpp.
 class MultiHeadAttention : public Module {
  public:
   MultiHeadAttention(int d_model, int num_heads, util::Pcg32& rng);
 
   [[nodiscard]] Tensor forward(const Tensor& x) const;
+
+  /// x, out: [batch * tokens, D] row-major. Parallelises over (batch, head)
+  /// pairs on the kern pool; scratch comes from `ws` (no heap allocation
+  /// once the arena is warm). Not safe concurrently with training.
+  void infer(const float* x, float* out, int batch, int tokens,
+             tensor::kern::Workspace& ws) const;
 
   [[nodiscard]] int d_model() const { return d_model_; }
   [[nodiscard]] int num_heads() const { return heads_; }
@@ -38,6 +50,10 @@ class FeedForward : public Module {
 
   [[nodiscard]] Tensor forward(const Tensor& x) const;
 
+  /// x, out: [rows, D]. Fuses bias+GELU into the first GEMM's epilogue.
+  void infer(const float* x, float* out, int rows,
+             tensor::kern::Workspace& ws) const;
+
   [[nodiscard]] static double flops(int batch, int tokens, int d_model,
                                     int hidden);
 
@@ -54,6 +70,11 @@ class TransformerBlock : public Module {
                    util::Pcg32& rng);
 
   [[nodiscard]] Tensor forward(const Tensor& x) const;
+
+  /// x, out: [batch * tokens, D]; out must not alias x (the residual adds
+  /// re-read x). Runs the whole block on the kern fast path.
+  void infer(const float* x, float* out, int batch, int tokens,
+             tensor::kern::Workspace& ws) const;
 
   [[nodiscard]] static double flops(int batch, int tokens, int d_model,
                                     int num_heads, int ffn_hidden);

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
+
 namespace easz::serve {
 
 namespace {
@@ -36,6 +38,9 @@ ReconServer::ReconServer(ServerConfig config,
   }
   if (config_.max_batch_patches < 1) {
     throw std::invalid_argument("ReconServer: need a positive batch size");
+  }
+  if (config_.kernel_threads > 0) {
+    tensor::kern::set_threads(config_.kernel_threads);
   }
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
@@ -458,6 +463,7 @@ ServerStatsSnapshot ReconServer::stats() const {
     s.batches = batches_;
     s.batched_patches = batched_patches_;
     s.cross_request_batches = cross_request_batches_;
+    s.kernel_threads = tensor::kern::threads();
     s.queue_depth = static_cast<int>(queue_.size());
     s.max_queue_depth = max_queue_depth_;
   }

@@ -10,8 +10,10 @@
 //                    -> [batch pool, grouped by erase mask] ->
 //                    worker: one transformer forward over up to
 //                            max_batch_patches patches POOLED ACROSS REQUESTS
-//                            sharing a mask -> scatter -> finished requests
-//                            assembled, cached, promises fulfilled.
+//                            sharing a mask — on the grad-free tensor::kern
+//                            path (DESIGN.md §4), sized by kernel_threads —
+//                            -> scatter -> finished requests assembled,
+//                            cached, promises fulfilled.
 //
 // Why cross-request batching is sound: per-patch transformer outputs are
 // independent of batch composition (see ReconstructionModel::reconstruct),
@@ -63,6 +65,12 @@ struct ServerConfig {
   double max_batch_wait_s = 0.05;
   std::size_t cache_bytes = 64ULL << 20;  ///< result cache capacity (0 = off)
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// > 0: resize the tensor::kern pool the transformer forward runs on
+  /// (process-global — the last server constructed wins; 0 leaves the pool
+  /// alone). Worker threads batch requests; kernel threads split each
+  /// batch's GEMM row panels, so total CPU footprint is roughly
+  /// workers x kernel_threads at full load.
+  int kernel_threads = 0;
 };
 
 /// One edge upload: the wire blob plus the codec that produced its payload.

@@ -91,9 +91,10 @@ std::string ServerStatsSnapshot::to_string() const {
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "batches: %llu forward passes, %.2f patches/batch mean, "
-                "%llu cross-request\n",
+                "%llu cross-request, %d kernel threads\n",
                 static_cast<unsigned long long>(batches), mean_batch_size(),
-                static_cast<unsigned long long>(cross_request_batches));
+                static_cast<unsigned long long>(cross_request_batches),
+                kernel_threads);
   out += buf;
   std::snprintf(buf, sizeof(buf), "queue: depth %d now, %d peak\n", queue_depth,
                 max_queue_depth);
@@ -117,6 +118,7 @@ std::string ServerStatsSnapshot::to_json() const {
       "\"failed\":%llu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
       "\"batches\":%llu,\"batched_patches\":%llu,"
       "\"cross_request_batches\":%llu,\"mean_batch_size\":%.4f,"
+      "\"kernel_threads\":%d,"
       "\"queue_depth\":%d,\"max_queue_depth\":%d,",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(completed),
@@ -127,7 +129,7 @@ std::string ServerStatsSnapshot::to_json() const {
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(batched_patches),
       static_cast<unsigned long long>(cross_request_batches), mean_batch_size(),
-      queue_depth, max_queue_depth);
+      kernel_threads, queue_depth, max_queue_depth);
   out += buf;
   append_stage_json(out, "queue_wait", queue_wait, true);
   append_stage_json(out, "decode", decode, true);

@@ -56,6 +56,10 @@ struct ServerStatsSnapshot {
   std::uint64_t batched_patches = 0;  ///< patches across all batches
   std::uint64_t cross_request_batches = 0;  ///< batches mixing >= 2 requests
 
+  /// tensor::kern pool width the per-batch forward (the `reconstruct`
+  /// stage below) ran on at snapshot time.
+  int kernel_threads = 0;
+
   // Queue pressure.
   int max_queue_depth = 0;
   int queue_depth = 0;  ///< at snapshot time

@@ -1,0 +1,564 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace easz::tensor::kern {
+
+// ---- thread pool ----------------------------------------------------------
+
+namespace {
+
+struct Job {
+  void (*fn)(void*, int) = nullptr;
+  void* ctx = nullptr;
+  int count = 0;
+  int next_claim = 0;  // guarded by the pool mutex
+  std::atomic<int> remaining{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  Job* link = nullptr;  // FIFO queue, guarded by the pool mutex
+};
+
+// Persistent pool. Jobs live on their caller's stack; workers reach them
+// only through the queue, and a caller unlinks its job before destroying
+// it, so no heap allocation happens per parallel_for.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  ~Pool() { stop_workers(); }
+
+  int lanes() const { return lanes_.load(std::memory_order_relaxed); }
+
+  void resize(int n) {
+    // Serialized against concurrent resizes (e.g. two servers constructed
+    // on different threads); still must not overlap an in-flight
+    // parallel_for, per the header contract.
+    std::lock_guard<std::mutex> resize_lock(resize_mu_);
+    n = std::max(1, n);
+    if (n == lanes()) return;
+    stop_workers();
+    lanes_.store(n, std::memory_order_relaxed);
+    spawn_workers();
+  }
+
+  void run(Job& job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (tail_ != nullptr) {
+        tail_->link = &job;
+      } else {
+        head_ = &job;
+      }
+      tail_ = &job;
+    }
+    cv_.notify_all();
+
+    // The caller is a lane too: claim panels from its own job until none
+    // are left. This guarantees completion even with zero workers.
+    work(job);
+
+    // Unlink before the stack frame dies; a worker that saw the exhausted
+    // job pops it itself, so the job may or may not still be queued.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      unlink_locked(job);
+    }
+    std::unique_lock<std::mutex> lock(job.done_mu);
+    job.done_cv.wait(lock, [&job] { return job.done; });
+  }
+
+ private:
+  Pool() : lanes_(default_threads()) { spawn_workers(); }
+
+  void spawn_workers() {
+    stop_ = false;
+    const int n = lanes() - 1;
+    workers_.reserve(static_cast<std::size_t>(std::max(0, n)));
+    for (int i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+  }
+
+  void unlink_locked(Job& job) {
+    Job** pp = &head_;
+    while (*pp != nullptr && *pp != &job) pp = &(*pp)->link;
+    if (*pp == &job) *pp = job.link;
+    tail_ = nullptr;
+    for (Job* j = head_; j != nullptr; j = j->link) tail_ = j;
+  }
+
+  static void finish_chunk(Job& job) {
+    if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(job.done_mu);
+      job.done = true;
+      job.done_cv.notify_all();
+    }
+  }
+
+  void work(Job& job) {
+    for (;;) {
+      int i;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        i = job.next_claim++;
+      }
+      if (i >= job.count) return;
+      job.fn(job.ctx, i);
+      finish_chunk(job);
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [this] { return stop_ || head_ != nullptr; });
+      if (stop_) return;
+      Job* job = head_;
+      const int i = job->next_claim++;
+      if (i >= job->count) {
+        // Exhausted: pop and look for the next job. In-flight chunks of
+        // this job finish on the lanes that claimed them.
+        head_ = job->link;
+        if (head_ == nullptr) tail_ = nullptr;
+        continue;
+      }
+      lock.unlock();
+      job->fn(job->ctx, i);
+      finish_chunk(*job);
+      lock.lock();
+    }
+  }
+
+  std::atomic<int> lanes_;
+  std::mutex resize_mu_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Job* head_ = nullptr;
+  Job* tail_ = nullptr;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+int default_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+void set_threads(int n) { Pool::instance().resize(n); }
+
+int threads() { return Pool::instance().lanes(); }
+
+namespace detail {
+
+void parallel_for_impl(int count, void (*fn)(void*, int), void* ctx) {
+  if (count <= 0) return;
+  Pool& pool = Pool::instance();
+  if (count == 1 || pool.lanes() <= 1) {
+    for (int i = 0; i < count; ++i) fn(ctx, i);
+    return;
+  }
+  Job job;
+  job.fn = fn;
+  job.ctx = ctx;
+  job.count = count;
+  job.remaining.store(count, std::memory_order_relaxed);
+  pool.run(job);
+}
+
+}  // namespace detail
+
+// ---- workspace ------------------------------------------------------------
+
+float* Workspace::alloc(std::size_t n) {
+  if (n == 0) n = 1;
+  for (Block& block : blocks_) {
+    if (block.data.size() - block.used >= n) {
+      float* p = block.data.data() + block.used;
+      block.used += n;
+      return p;
+    }
+  }
+  ++grows_;
+  blocks_.emplace_back();
+  Block& block = blocks_.back();
+  block.data.resize(std::max(n, kMinBlockFloats));
+  block.used = n;
+  return block.data.data();
+}
+
+void Workspace::reset() {
+  for (Block& block : blocks_) block.used = 0;
+}
+
+std::size_t Workspace::capacity_floats() const {
+  std::size_t total = 0;
+  for (const Block& block : blocks_) total += block.data.size();
+  return total;
+}
+
+Workspace& Workspace::for_this_thread() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+// ---- transcendental approximations ----------------------------------------
+
+namespace {
+
+// Branch-free single-precision e^x, ~2 ulp over the clamped range. Pure
+// arithmetic + integer bit ops, so the autovectoriser turns the softmax
+// and GELU loops into SIMD where scalar expf/tanhf calls never would.
+// libm's expf would round differently in the last bits; the difference is
+// ~1e-7 relative, far inside the layer's 1e-5 equivalence contract.
+__attribute__((always_inline)) inline float fast_exp(float x) {
+  constexpr float kLog2e = 1.44269504088896341F;
+  constexpr float kLn2Hi = 0.693359375F;
+  constexpr float kLn2Lo = -2.12194440e-4F;
+  constexpr float kRound = 12582912.0F;  // 1.5 * 2^23: round-to-nearest trick
+  x = std::max(-87.0F, std::min(88.0F, x));  // keep 2^n finite
+  const float z = x * kLog2e + kRound;
+  const float n = z - kRound;  // round(x * log2(e))
+  const float r = (x - n * kLn2Hi) - n * kLn2Lo;  // r in [-ln2/2, ln2/2]
+  float p = 1.9875691500e-4F;  // Cephes minimax for e^r - 1 - r
+  p = p * r + 1.3981999507e-3F;
+  p = p * r + 8.3334519073e-3F;
+  p = p * r + 4.1665795894e-2F;
+  p = p * r + 1.6666665459e-1F;
+  p = p * r + 5.0000001201e-1F;
+  const float er = (p * r) * r + r + 1.0F;  // p(r)*r^2 + r + 1
+  // 2^n assembled straight into the exponent field.
+  const std::int32_t ni =
+      std::bit_cast<std::int32_t>(z) - std::bit_cast<std::int32_t>(kRound);
+  const float scale = std::bit_cast<float>((ni + 127) << 23);
+  return er * scale;
+}
+
+__attribute__((always_inline)) inline float gelu_approx(float x) {
+  constexpr float kC = 0.7978845608F;  // sqrt(2/pi)
+  constexpr float kA = 0.044715F;
+  const float inner = kC * (x + kA * x * x * x);
+  // tanh(u) = 1 - 2 / (e^{2u} + 1), saturated where e^{2u} dwarfs 1.
+  const float e2u = fast_exp(2.0F * inner);
+  const float t = 1.0F - 2.0F / (e2u + 1.0F);
+  return 0.5F * x * (1.0F + t);
+}
+
+}  // namespace
+
+float gelu_scalar(float x) { return gelu_approx(x); }
+
+// ---- GEMM -----------------------------------------------------------------
+
+namespace {
+
+// Micro-tile: kMr row accumulator strips of kNc floats (3 AVX2 registers
+// each) live across the whole k loop, so each output element is one
+// ascending-k accumulation chain — the same per-element summation order as
+// the autograd matmul, just held in registers instead of memory.
+constexpr int kMr = 4;
+constexpr int kNc = 24;
+
+// Work below this m*n*k stays on the calling thread (panel dispatch costs
+// more than it saves). Matches the OpenMP gate the autograd matmul used.
+constexpr std::size_t kParallelMinFlops = 65536;
+
+// The body is ISA-neutral and always_inline: each dispatch wrapper below
+// pulls it in and compiles it for its own target, which is what makes the
+// cc loops vectorise with AVX2+FMA where available.
+__attribute__((always_inline)) inline void gemm_rows_body(
+    const float* a, std::size_t lda, const float* b, std::size_t ldb, float* c,
+    std::size_t ldc, int m, int k, int n, const float* bias, bool gelu,
+    float scale) {
+  const auto store = [&](float* dst, float acc, int j) {
+    float v = acc * scale;
+    if (bias != nullptr) v += bias[j];
+    if (gelu) v = gelu_approx(v);
+    *dst = v;
+  };
+  int i = 0;
+  for (; i + kMr <= m; i += kMr) {
+    int j = 0;
+    for (; j + kNc <= n; j += kNc) {
+      float acc[kMr][kNc] = {};
+      for (int p = 0; p < k; ++p) {
+        const float* brow = b + static_cast<std::size_t>(p) * ldb + j;
+        for (int r = 0; r < kMr; ++r) {
+          const float ar = a[static_cast<std::size_t>(i + r) * lda + p];
+          for (int cc = 0; cc < kNc; ++cc) acc[r][cc] += ar * brow[cc];
+        }
+      }
+      for (int r = 0; r < kMr; ++r) {
+        float* crow = c + static_cast<std::size_t>(i + r) * ldc + j;
+        for (int cc = 0; cc < kNc; ++cc) store(crow + cc, acc[r][cc], j + cc);
+      }
+    }
+    if (j < n) {  // column remainder, nr < kNc (runtime bound vectorises)
+      const int nr = n - j;
+      float acc[kMr][kNc] = {};
+      for (int p = 0; p < k; ++p) {
+        const float* brow = b + static_cast<std::size_t>(p) * ldb + j;
+        for (int r = 0; r < kMr; ++r) {
+          const float ar = a[static_cast<std::size_t>(i + r) * lda + p];
+          for (int cc = 0; cc < nr; ++cc) acc[r][cc] += ar * brow[cc];
+        }
+      }
+      for (int r = 0; r < kMr; ++r) {
+        float* crow = c + static_cast<std::size_t>(i + r) * ldc + j;
+        for (int cc = 0; cc < nr; ++cc) store(crow + cc, acc[r][cc], j + cc);
+      }
+    }
+  }
+  if (i < m) {  // row remainder, mr < kMr
+    const int mr = m - i;
+    for (int j = 0; j < n; j += kNc) {
+      const int nr = std::min(kNc, n - j);
+      float acc[kMr][kNc] = {};
+      for (int p = 0; p < k; ++p) {
+        const float* brow = b + static_cast<std::size_t>(p) * ldb + j;
+        for (int r = 0; r < mr; ++r) {
+          const float ar = a[static_cast<std::size_t>(i + r) * lda + p];
+          for (int cc = 0; cc < nr; ++cc) acc[r][cc] += ar * brow[cc];
+        }
+      }
+      for (int r = 0; r < mr; ++r) {
+        float* crow = c + static_cast<std::size_t>(i + r) * ldc + j;
+        for (int cc = 0; cc < nr; ++cc) store(crow + cc, acc[r][cc], j + cc);
+      }
+    }
+  }
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define EASZ_KERN_X86_DISPATCH 1
+__attribute__((target("avx2,fma"))) void gemm_rows_avx2(
+    const float* a, std::size_t lda, const float* b, std::size_t ldb, float* c,
+    std::size_t ldc, int m, int k, int n, const float* bias, bool gelu,
+    float scale) {
+  gemm_rows_body(a, lda, b, ldb, c, ldc, m, k, n, bias, gelu, scale);
+}
+#endif
+
+void gemm_rows_base(const float* a, std::size_t lda, const float* b,
+                    std::size_t ldb, float* c, std::size_t ldc, int m, int k,
+                    int n, const float* bias, bool gelu, float scale) {
+  gemm_rows_body(a, lda, b, ldb, c, ldc, m, k, n, bias, gelu, scale);
+}
+
+void gemm_rows(const float* a, std::size_t lda, const float* b,
+               std::size_t ldb, float* c, std::size_t ldc, int m, int k, int n,
+               const GemmOpts& o) {
+#ifdef EASZ_KERN_X86_DISPATCH
+  static const bool use_avx2 =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  if (use_avx2) {
+    gemm_rows_avx2(a, lda, b, ldb, c, ldc, m, k, n, o.bias, o.gelu, o.scale);
+    return;
+  }
+#endif
+  gemm_rows_base(a, lda, b, ldb, c, ldc, m, k, n, o.bias, o.gelu, o.scale);
+}
+
+// Grow-only per-thread scratch for the transpose-B pack. Steady state:
+// zero allocations (it never shrinks).
+std::vector<float>& pack_scratch() {
+  static thread_local std::vector<float> scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void gemm(const float* a, std::size_t lda, const float* b, std::size_t ldb,
+          float* c, std::size_t ldc, int m, int k, int n,
+          const GemmOpts& opts) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+
+  GemmOpts o = opts;
+  if (o.transpose_b) {
+    // Pack B^T ([n, k] row-major -> [k, n]) into thread-local scratch and
+    // fall through to the streaming kernel. Packing only moves data, so
+    // the per-element accumulation order is untouched; the O(k*n) copy is
+    // paid back by contiguous loads in the O(m*k*n) loop.
+    std::vector<float>& scratch = pack_scratch();
+    const std::size_t need = static_cast<std::size_t>(k) * n;
+    if (scratch.size() < need) scratch.resize(need);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * ldb;
+      for (int p = 0; p < k; ++p) {
+        scratch[static_cast<std::size_t>(p) * n + j] = brow[p];
+      }
+    }
+    b = scratch.data();
+    ldb = static_cast<std::size_t>(n);
+    o.transpose_b = false;
+  }
+
+  const std::size_t work = static_cast<std::size_t>(m) * n * k;
+  const int lanes = threads();
+  if (!o.parallel || lanes <= 1 || work < kParallelMinFlops) {
+    gemm_rows(a, lda, b, ldb, c, ldc, m, k, n, o);
+    return;
+  }
+  // Row panels, a multiple of the micro-tile height so every row keeps the
+  // same full-tile/remainder classification whatever the lane count; ~4
+  // panels per lane so fast lanes steal the stragglers' leftovers.
+  int panel = (m + lanes * 4 - 1) / (lanes * 4);
+  panel = std::max(kMr, (panel + kMr - 1) / kMr * kMr);
+  const int panels = (m + panel - 1) / panel;
+  parallel_for(panels, [&](int pi) {
+    const int r0 = pi * panel;
+    const int rows = std::min(panel, m - r0);
+    gemm_rows(a + static_cast<std::size_t>(r0) * lda, lda, b, ldb,
+              c + static_cast<std::size_t>(r0) * ldc, ldc, rows, k, n, o);
+  });
+}
+
+// ---- fused row kernels ----------------------------------------------------
+
+namespace {
+
+// Eight-lane max reduction: a sequential float max loop compiles to a
+// data-dependent branch (mispredicting on random scores); splitting into
+// lanes is branchless and vector-friendly, and max is exact, so any
+// reduction order yields the identical maximum.
+__attribute__((always_inline)) inline float row_max(const float* row, int d) {
+  if (d >= 8) {
+    float lanes[8];
+    for (int c = 0; c < 8; ++c) lanes[c] = row[c];
+    int j = 8;
+    for (; j + 8 <= d; j += 8) {
+      for (int c = 0; c < 8; ++c) lanes[c] = std::max(lanes[c], row[j + c]);
+    }
+    float mx = lanes[0];
+    for (int c = 1; c < 8; ++c) mx = std::max(mx, lanes[c]);
+    for (; j < d; ++j) mx = std::max(mx, row[j]);
+    return mx;
+  }
+  float mx = row[0];
+  for (int j = 1; j < d; ++j) mx = std::max(mx, row[j]);
+  return mx;
+}
+
+// Same shape as the autograd softmax: stable max-shift, exponentiate,
+// sequentially-ordered denominator sum (keeps the summation order), scale.
+// Only the exp is approximated and the max reduced in lanes.
+__attribute__((always_inline)) inline void softmax_span_body(float* x,
+                                                             std::size_t rows,
+                                                             int d) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = x + r * static_cast<std::size_t>(d);
+    const float mx = row_max(row, d);
+    for (int j = 0; j < d; ++j) row[j] = fast_exp(row[j] - mx);
+    float denom = 0.0F;
+    for (int j = 0; j < d; ++j) denom += row[j];
+    const float inv = 1.0F / denom;
+    for (int j = 0; j < d; ++j) row[j] *= inv;
+  }
+}
+
+#ifdef EASZ_KERN_X86_DISPATCH
+__attribute__((target("avx2,fma"))) void softmax_span_avx2(float* x,
+                                                           std::size_t rows,
+                                                           int d) {
+  softmax_span_body(x, rows, d);
+}
+#endif
+
+void softmax_span(float* x, std::size_t rows, int d) {
+#ifdef EASZ_KERN_X86_DISPATCH
+  static const bool use_avx2 =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  if (use_avx2) {
+    softmax_span_avx2(x, rows, d);
+    return;
+  }
+#endif
+  softmax_span_body(x, rows, d);
+}
+
+void layernorm_span(const float* x, const float* gamma, const float* beta,
+                    float* y, std::size_t rows, int d, float eps) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * static_cast<std::size_t>(d);
+    float* yr = y + r * static_cast<std::size_t>(d);
+    float mu = 0.0F;
+    for (int j = 0; j < d; ++j) mu += xr[j];
+    mu /= static_cast<float>(d);
+    float var = 0.0F;
+    for (int j = 0; j < d; ++j) {
+      const float cjm = xr[j] - mu;
+      var += cjm * cjm;
+    }
+    var /= static_cast<float>(d);
+    const float inv_sd = 1.0F / std::sqrt(var + eps);
+    for (int j = 0; j < d; ++j) {
+      yr[j] = (xr[j] - mu) * inv_sd * gamma[j] + beta[j];
+    }
+  }
+}
+
+// Splits `rows` into ~4 chunks per lane and runs `fn(first, count)`.
+template <typename F>
+void parallel_rows(std::size_t rows, std::size_t min_rows, bool parallel,
+                   F&& fn) {
+  const int lanes = threads();
+  if (!parallel || lanes <= 1 || rows < min_rows) {
+    fn(static_cast<std::size_t>(0), rows);
+    return;
+  }
+  const std::size_t chunk =
+      std::max<std::size_t>(1, rows / (static_cast<std::size_t>(lanes) * 4));
+  const int chunks = static_cast<int>((rows + chunk - 1) / chunk);
+  parallel_for(chunks, [&](int ci) {
+    const std::size_t first = static_cast<std::size_t>(ci) * chunk;
+    fn(first, std::min(chunk, rows - first));
+  });
+}
+
+}  // namespace
+
+void softmax_rows(float* x, std::size_t rows, int d, bool parallel) {
+  if (rows == 0 || d <= 0) return;
+  parallel_rows(rows, 256, parallel, [&](std::size_t first, std::size_t n) {
+    softmax_span(x + first * static_cast<std::size_t>(d), n, d);
+  });
+}
+
+void layernorm_rows(const float* x, const float* gamma, const float* beta,
+                    float* y, std::size_t rows, int d, float eps,
+                    bool parallel) {
+  if (rows == 0 || d <= 0) return;
+  parallel_rows(rows, 256, parallel, [&](std::size_t first, std::size_t n) {
+    const std::size_t off = first * static_cast<std::size_t>(d);
+    layernorm_span(x + off, gamma, beta, y + off, n, d, eps);
+  });
+}
+
+void add_rows(const float* a, const float* b, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+}  // namespace easz::tensor::kern

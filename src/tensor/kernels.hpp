@@ -1,0 +1,144 @@
+// Grad-free inference kernels (tensor::kern).
+//
+// The autograd substrate in ops.cpp pays, per op, for a DAG node, a
+// zero-filled output buffer, a std::function backward closure and naive
+// loop nests. That is the right trade for training; it is the wrong one for
+// the serving hot path, where the same transformer forward runs millions of
+// times on frozen weights. This layer provides the forward-only primitives
+// the nn/ infer path is built from:
+//
+//  * gemm(): blocked, register-tiled matrix multiply over raw float spans
+//    with arbitrary row strides, optional transposed B, an optional fused
+//    scale / bias / GELU epilogue, and row-panel parallelism on a
+//    persistent process-global thread pool (idle lanes dynamically steal
+//    the next unclaimed panel).
+//  * softmax_rows() / layernorm_rows(): fused single-pass row kernels.
+//  * Workspace: a grow-only bump arena for activations, so a steady-state
+//    forward performs zero heap allocations (see Workspace notes).
+//
+// Equivalence contract (asserted by tests/kernels_test.cpp): every kernel
+// accumulates each output element over k in ascending order with one fp32
+// accumulator — the same summation order as the autograd ops. The only
+// deliberate numeric deviations are fused multiply-adds (where the CPU
+// supports them) and a ~2-ulp polynomial exp inside softmax/GELU; both sit
+// orders of magnitude inside the tested 1e-5 bound. On x86-64 the hot
+// loops are compiled twice (AVX2+FMA and baseline) and dispatched once at
+// runtime, so the binary stays portable.
+//
+// Threading rules:
+//  * set_threads() resizes the pool; call it only while no parallel_for is
+//    in flight (servers set it at construction).
+//  * parallel_for() is re-entrant across caller threads: concurrent calls
+//    queue jobs FIFO and every caller participates in its own job, so work
+//    completes even with zero pool workers.
+//  * Kernels invoked from inside a parallel_for task must pass
+//    parallel=false (no nested parallelism).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace easz::tensor::kern {
+
+// ---- thread pool ----------------------------------------------------------
+
+/// Lanes the pool would use by default (hardware concurrency, >= 1).
+int default_threads();
+
+/// Total concurrency: the calling thread plus (n - 1) persistent workers.
+/// n < 1 is clamped to 1 (serial). Joins and respawns workers; never call
+/// concurrently with parallel_for.
+void set_threads(int n);
+
+/// Current total concurrency.
+int threads();
+
+namespace detail {
+void parallel_for_impl(int count, void (*fn)(void*, int), void* ctx);
+}  // namespace detail
+
+/// Runs fn(i) for every i in [0, count), distributing indices over the pool.
+/// Blocks until all indices completed. fn must not throw.
+template <typename F>
+void parallel_for(int count, F&& fn) {
+  using Fn = std::remove_reference_t<F>;
+  detail::parallel_for_impl(
+      count, [](void* ctx, int i) { (*static_cast<Fn*>(ctx))(i); },
+      const_cast<void*>(static_cast<const void*>(&fn)));
+}
+
+// ---- workspace arena ------------------------------------------------------
+
+/// Grow-only bump arena for forward-pass activations.
+///
+/// Lifetime: reset() at the top of each forward rewinds the cursor but keeps
+/// every block, so allocation replays hit warm memory. Blocks never move once
+/// handed out (pointers stay valid until reset). After the first forward of a
+/// given shape, subsequent forwards of that shape allocate nothing
+/// (grow_count() is the observable: it only increments when a new block is
+/// actually heap-allocated).
+class Workspace {
+ public:
+  /// Returns n floats of scratch, valid until reset(). Uninitialised.
+  float* alloc(std::size_t n);
+
+  /// Rewinds every block. Pointers from before the reset become dead.
+  void reset();
+
+  /// Number of heap blocks ever allocated — steady state: constant.
+  [[nodiscard]] std::size_t grow_count() const { return grows_; }
+
+  [[nodiscard]] std::size_t capacity_floats() const;
+
+  /// The calling thread's arena (thread_local). One per server worker.
+  static Workspace& for_this_thread();
+
+ private:
+  static constexpr std::size_t kMinBlockFloats = 1U << 18;  // 1 MB
+
+  struct Block {
+    std::vector<float> data;
+    std::size_t used = 0;
+  };
+  std::vector<Block> blocks_;
+  std::size_t grows_ = 0;
+};
+
+// ---- GEMM -----------------------------------------------------------------
+
+struct GemmOpts {
+  const float* bias = nullptr;  ///< [n], added to every output row
+  bool gelu = false;            ///< tanh-approx GELU fused after bias
+  float scale = 1.0F;           ///< multiplies the dot product (before bias)
+  bool transpose_b = false;     ///< B is [n, k] row-major (attention K^T)
+  bool parallel = true;         ///< false inside parallel_for tasks
+};
+
+/// C[m, n] = epilogue(A[m, k] * B) with row strides lda/ldb/ldc (>= the
+/// logical row width). B is [k, n] (or [n, k] when transpose_b). Output is
+/// overwritten, not accumulated. Preconditions unchecked (hot path).
+void gemm(const float* a, std::size_t lda, const float* b, std::size_t ldb,
+          float* c, std::size_t ldc, int m, int k, int n,
+          const GemmOpts& opts = {});
+
+// ---- fused row kernels ----------------------------------------------------
+
+/// In-place numerically-stable softmax over each row of x [rows, d].
+void softmax_rows(float* x, std::size_t rows, int d, bool parallel = true);
+
+/// y[r] = (x[r] - mu_r) * inv_sd_r * gamma + beta per row of x [rows, d].
+/// y may alias x.
+void layernorm_rows(const float* x, const float* gamma, const float* beta,
+                    float* y, std::size_t rows, int d, float eps = 1e-5F,
+                    bool parallel = true);
+
+/// out[i] = a[i] + b[i]; out may alias either input (residual adds).
+void add_rows(const float* a, const float* b, float* out, std::size_t n);
+
+/// Reference scalar of the tanh-approx GELU the fused epilogue applies.
+/// Same formula as tensor::gelu's forward, with tanh evaluated through the
+/// layer's polynomial exp (agreement ~1e-7, inside the 1e-5 contract).
+float gelu_scalar(float x);
+
+}  // namespace easz::tensor::kern

@@ -283,13 +283,8 @@ Tensor bmm(const Tensor& a, const Tensor& b, bool transpose_b) {
   const float* bv = b.data().data();
   float* ov = out->data.data();
   const std::size_t a_stride = static_cast<std::size_t>(m) * k;
-  const std::size_t b_stride = static_cast<std::size_t>(bk) *
-                               static_cast<std::size_t>(transpose_b ? k : n) /
-                               (transpose_b ? 1 : bk) * (transpose_b ? n : bk);
-  // b_stride simplifies to n*k either way; compute directly for clarity:
-  const std::size_t bstride = static_cast<std::size_t>(k) * n;
+  const std::size_t bstride = static_cast<std::size_t>(k) * n;  // [k,n]/[n,k]
   const std::size_t o_stride = static_cast<std::size_t>(m) * n;
-  (void)b_stride;
 #ifdef _OPENMP
 #pragma omp parallel for if (static_cast<std::size_t>(batch) * m * n * k > 65536)
 #endif
@@ -298,19 +293,25 @@ Tensor bmm(const Tensor& a, const Tensor& b, bool transpose_b) {
     const float* bb = bv + bi * bstride;
     float* ob = ov + bi * o_stride;
     for (int i = 0; i < m; ++i) {
-      for (int j = 0; j < n; ++j) {
-        float acc = 0.0F;
-        if (transpose_b) {
+      const float* arow = ab + static_cast<std::size_t>(i) * k;
+      float* orow = ob + static_cast<std::size_t>(i) * n;
+      if (transpose_b) {
+        // B rows are contiguous here, so the dot form already streams.
+        for (int j = 0; j < n; ++j) {
           const float* brow = bb + static_cast<std::size_t>(j) * k;
-          const float* arow = ab + static_cast<std::size_t>(i) * k;
+          float acc = 0.0F;
           for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        } else {
-          const float* arow = ab + static_cast<std::size_t>(i) * k;
-          for (int p = 0; p < k; ++p) {
-            acc += arow[p] * bb[static_cast<std::size_t>(p) * n + j];
-          }
+          orow[j] = acc;
         }
-        ob[static_cast<std::size_t>(i) * n + j] = acc;
+      } else {
+        // Row-accumulate i,p,j order (as in matmul): every B read is a
+        // contiguous row instead of a column-strided walk. Per-element
+        // summation stays ascending in p, so results are unchanged.
+        for (int p = 0; p < k; ++p) {
+          const float aip = arow[p];
+          const float* brow = bb + static_cast<std::size_t>(p) * n;
+          for (int j = 0; j < n; ++j) orow[j] += aip * brow[j];
+        }
       }
     }
   }

@@ -1,0 +1,29 @@
+// Minimal argv flag scanning shared by the tool/bench mains.
+//
+// Flags are space-separated ("--name value"); the last occurrence does NOT
+// win — the first match is returned, matching the historical behaviour of
+// the per-main copies this replaces.
+#pragma once
+
+#include <cstring>
+
+namespace easz::util {
+
+/// Value following `name` in argv, or `fallback` when absent.
+inline const char* flag_value(int argc, char** argv, const char* name,
+                              const char* fallback) {
+  for (int i = 0; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// True when the bare flag `name` appears anywhere in argv.
+inline bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace easz::util

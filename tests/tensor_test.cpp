@@ -404,6 +404,63 @@ TEST(Ops, ApplyPermutationRejectsSizeMismatch) {
   EXPECT_THROW(apply_permutation(a, {0, 1, 2, 3}, {5}), std::invalid_argument);
 }
 
+// ---- negative paths / degenerate shapes -----------------------------------
+
+TEST(Ops, MatmulRejectsIncompatibleShapes) {
+  Tensor a({2, 3});
+  Tensor b({4, 2});  // inner dim 3 != 4
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+  Tensor c({3});  // rank 1
+  EXPECT_THROW(matmul(a, c), std::invalid_argument);
+  Tensor d({1, 2, 3});  // rank 3 belongs to bmm
+  EXPECT_THROW(matmul(d, a), std::invalid_argument);
+}
+
+TEST(Ops, BmmRejectsIncompatibleShapes) {
+  Tensor a({2, 3, 4});
+  EXPECT_THROW(bmm(a, Tensor({3, 4, 5})), std::invalid_argument);  // batch
+  EXPECT_THROW(bmm(a, Tensor({2, 5, 6})), std::invalid_argument);  // inner
+  EXPECT_THROW(bmm(a, Tensor({4, 5})), std::invalid_argument);     // rank
+  // transpose_b flips which dim must match k.
+  EXPECT_THROW(bmm(a, Tensor({2, 4, 5}), true), std::invalid_argument);
+  EXPECT_NO_THROW(bmm(a, Tensor({2, 5, 4}), true));
+}
+
+TEST(Ops, SoftmaxOneWideRowsAreAllOnes) {
+  // d = 1: every row's distribution collapses to certainty. Degenerate but
+  // legal (a 1-token attention context).
+  Tensor a({4, 1}, {-100.0F, 0.0F, 3.5F, 100.0F});
+  const Tensor y = softmax(a);
+  for (int r = 0; r < 4; ++r) EXPECT_FLOAT_EQ(y.data()[r], 1.0F);
+}
+
+TEST(Ops, EmptyRowsAreUnrepresentable) {
+  // Zero-sized dims are rejected at construction, so softmax can never see
+  // an empty row — the throw happens before the op.
+  EXPECT_THROW(Tensor({4, 0}), std::invalid_argument);
+  EXPECT_THROW(Tensor({0}), std::invalid_argument);
+}
+
+TEST(Tensor, DetachCarriesDataAndDropsParents) {
+  Tensor a({2, 2}, {1, 2, 3, 4}, true);
+  Tensor b = mul(a, a);
+  Tensor d = b.detach();
+  // Same values as the source at detach time...
+  EXPECT_EQ(d.data(), b.data());
+  EXPECT_EQ(d.shape(), b.shape());
+  // ...but outside the graph: no parents, no backward hook, no grad flow.
+  EXPECT_TRUE(d.node()->parents.empty());
+  EXPECT_FALSE(static_cast<bool>(d.node()->backward_fn));
+  EXPECT_FALSE(d.requires_grad());
+  // Mutating the detached copy must not corrupt the graph's buffers
+  // (reconstruct()'s paste-through relies on this).
+  d.data()[0] = 99.0F;
+  EXPECT_FLOAT_EQ(b.data()[0], 1.0F);
+  // And backward through the original still works and ignores d.
+  sum(b).backward();
+  EXPECT_FLOAT_EQ(a.grad()[3], 8.0F);  // d(a^2)/da = 2a
+}
+
 TEST(Autograd, GradientAccumulatesAcrossUses) {
   Tensor a({1}, {3.0F}, true);
   // y = a * a + a => dy/da = 2a + 1 = 7

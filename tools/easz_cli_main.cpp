@@ -19,10 +19,13 @@
 #include "core/deblock.hpp"
 #include "image/io_ppm.hpp"
 #include "nn/serialize.hpp"
+#include "util/flags.hpp"
 
 namespace {
 
 using namespace easz;
+using util::flag_value;
+using util::has_flag;
 
 int usage() {
   std::fprintf(stderr,
@@ -33,21 +36,6 @@ int usage() {
                "[--neighbor-fill]\n"
                "  easz info       <in.easz>\n");
   return 2;
-}
-
-const char* flag_value(int argc, char** argv, const char* name,
-                       const char* fallback) {
-  for (int i = 0; i < argc - 1; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
-  }
-  return fallback;
-}
-
-bool has_flag(int argc, char** argv, const char* name) {
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return true;
-  }
-  return false;
 }
 
 int cmd_compress(int argc, char** argv) {

@@ -6,6 +6,10 @@
 //   easz_serve [--scenario wildlife|industrial|mixed|all] [--workers N]
 //              [--clients N] [--frames N] [--batch P] [--queue N]
 //              [--cache-mb MB] [--reject] [--time-scale S] [--json out.json]
+//              [--kernel-threads N]
+//
+// --kernel-threads sizes the tensor::kern pool the transformer forward
+// (reconstruct stage) runs on; 0 keeps the pool at hardware concurrency.
 //
 // --time-scale replays arrivals on the modeled clock (1 = real time,
 // 0 = as fast as possible, the default). --reject switches backpressure
@@ -21,26 +25,14 @@
 #include "codec/jpeg_like.hpp"
 #include "serve/server.hpp"
 #include "testbed/loadgen.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace easz;
-
-const char* flag_value(int argc, char** argv, const char* name,
-                       const char* fallback) {
-  for (int i = 0; i < argc - 1; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
-  }
-  return fallback;
-}
-
-bool has_flag(int argc, char** argv, const char* name) {
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return true;
-  }
-  return false;
-}
+using util::flag_value;
+using util::has_flag;
 
 }  // namespace
 
@@ -55,12 +47,16 @@ int main(int argc, char** argv) try {
       std::atof(flag_value(argc, argv, "--cache-mb", "64"));
   const double time_scale =
       std::atof(flag_value(argc, argv, "--time-scale", "0"));
+  const int kernel_threads =
+      std::atoi(flag_value(argc, argv, "--kernel-threads", "0"));
   const char* json_path = flag_value(argc, argv, "--json", nullptr);
 
   std::printf("easz_serve: %d workers, batch %d, queue %d, cache %.0f MB, "
-              "%s backpressure\n",
+              "%s backpressure, kernel threads %s\n",
               workers, batch, queue, cache_mb,
-              has_flag(argc, argv, "--reject") ? "reject" : "block");
+              has_flag(argc, argv, "--reject") ? "reject" : "block",
+              kernel_threads > 0 ? std::to_string(kernel_threads).c_str()
+                                 : "auto");
 
   // Canonical serving model (matches the examples' p16/b2/d64 deployment).
   core::ReconModelConfig mcfg;
@@ -83,6 +79,7 @@ int main(int argc, char** argv) try {
   scfg.backpressure = has_flag(argc, argv, "--reject")
                           ? serve::BackpressurePolicy::kReject
                           : serve::BackpressurePolicy::kBlock;
+  scfg.kernel_threads = kernel_threads;
 
   std::vector<testbed::LoadTrace> traces;
   if (scenario == "wildlife" || scenario == "all") {
@@ -139,6 +136,12 @@ int main(int argc, char** argv) try {
 
     std::printf("\n--- %s ---\n%s", trace.name.c_str(),
                 s.to_string().c_str());
+    // The headline the kernel layer exists for: per-batch transformer
+    // forward time, visible without digging through the stage table.
+    std::printf("forward: p50 %.2f ms  p95 %.2f ms over %llu batches "
+                "(%d kernel threads)\n",
+                s.reconstruct.p50_s * 1e3, s.reconstruct.p95_s * 1e3,
+                static_cast<unsigned long long>(s.batches), s.kernel_threads);
   }
   json += "]";
 
