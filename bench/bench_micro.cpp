@@ -51,6 +51,65 @@ void BM_Dct2d(benchmark::State& state) {
 }
 BENCHMARK(BM_Dct2d)->Arg(8)->Arg(16)->Arg(32);
 
+// Forward-only 8x8 DCT: the jpeg hot kernel in isolation, so ablation runs
+// catch regressions in the unrolled/FMA path specifically.
+void BM_Dct8x8Forward(benchmark::State& state) {
+  codec::Dct2d dct(8);
+  util::Pcg32 rng(6);
+  std::vector<float> block(64);
+  for (auto& v : block) v = rng.next_float() * 255.0F - 128.0F;
+  for (auto _ : state) {
+    dct.forward(block.data());
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Dct8x8Forward);
+
+// Decode-only rANS with a prebuilt table: the serve-path hot loop (encode
+// and table build excluded), scalar v1 vs interleaved v2.
+void BM_RansDecode(benchmark::State& state) {
+  util::Pcg32 rng(4);
+  std::vector<int> symbols;
+  for (int i = 0; i < 65536; ++i) {
+    int s = 0;
+    while (s < 63 && rng.next_float() < 0.6F) ++s;
+    symbols.push_back(s);
+  }
+  std::vector<std::uint64_t> counts(64, 0);
+  for (const int s : symbols) ++counts[s];
+  const auto table = entropy::FrequencyTable::from_counts(counts);
+  const auto encoded = entropy::rans_encode(symbols, table);
+  table.ensure_lookup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(entropy::rans_decode(
+        encoded.data(), encoded.size(), symbols.size(), table));
+  }
+  state.SetItemsProcessed(state.iterations() * symbols.size());
+}
+BENCHMARK(BM_RansDecode);
+
+void BM_RansDecodeInterleaved(benchmark::State& state) {
+  util::Pcg32 rng(4);
+  std::vector<int> symbols;
+  for (int i = 0; i < 65536; ++i) {
+    int s = 0;
+    while (s < 63 && rng.next_float() < 0.6F) ++s;
+    symbols.push_back(s);
+  }
+  std::vector<std::uint64_t> counts(64, 0);
+  for (const int s : symbols) ++counts[s];
+  const auto table = entropy::FrequencyTable::from_counts(counts);
+  const auto encoded = entropy::rans_encode_interleaved(symbols, table);
+  table.ensure_lookup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(entropy::rans_decode_interleaved(
+        encoded.data(), encoded.size(), symbols.size(), table));
+  }
+  state.SetItemsProcessed(state.iterations() * symbols.size());
+}
+BENCHMARK(BM_RansDecodeInterleaved);
+
 void BM_RansRoundTrip(benchmark::State& state) {
   util::Pcg32 rng(4);
   std::vector<int> symbols;

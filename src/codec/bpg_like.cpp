@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -10,12 +12,19 @@
 #include "entropy/bitstream.hpp"
 #include "entropy/rans.hpp"
 #include "image/color.hpp"
+#include "tensor/kernels.hpp"
 
 namespace easz::codec {
 namespace {
 
 constexpr int kLumaBlock = 16;
 constexpr int kChromaBlock = 8;
+constexpr int kMaxBlock = kLumaBlock;
+
+// v2 container magic. v1 streams (no magic) start with the u32 LE image
+// width, whose fourth byte is nonzero only for widths >= 2^24 — unencodable
+// in practice — so the prefix is an unambiguous version sniff.
+constexpr std::uint8_t kMagicV2[4] = {'E', 'Z', 'B', '2'};
 
 enum class IntraMode : int {
   kDc = 0,
@@ -37,31 +46,41 @@ float quant_step(int quality) {
 // Reference samples for a block at (x0, y0): decoded row above and column
 // left (replicated at image borders; 0.5 when nothing is decoded yet).
 struct RefSamples {
-  std::vector<float> top;   // size n (x0..x0+n-1 at row y0-1)
-  std::vector<float> left;  // size n (y0..y0+n-1 at col x0-1)
+  std::array<float, kMaxBlock> top;   // x0..x0+n-1 at row y0-1
+  std::array<float, kMaxBlock> left;  // y0..y0+n-1 at col x0-1
   float corner = 0.5F;
 };
 
 RefSamples gather_refs(const image::Image& decoded, int x0, int y0, int n) {
   RefSamples r;
-  r.top.resize(n);
-  r.left.resize(n);
+  const int w = decoded.width();
+  const int h = decoded.height();
   const bool has_top = y0 > 0;
   const bool has_left = x0 > 0;
-  for (int x = 0; x < n; ++x) {
-    r.top[x] = has_top
-                   ? decoded.at_clamped(0, y0 - 1, std::min(x0 + x, decoded.width() - 1))
-                   : (has_left ? decoded.at_clamped(0, y0, x0 - 1) : 0.5F);
+  const float* plane = decoded.plane(0);
+  if (has_top) {
+    const float* row = plane + static_cast<std::size_t>(y0 - 1) * w;
+    for (int x = 0; x < n; ++x) r.top[x] = row[std::min(x0 + x, w - 1)];
+  } else {
+    const float v = has_left ? plane[static_cast<std::size_t>(y0) * w + x0 - 1]
+                             : 0.5F;
+    for (int x = 0; x < n; ++x) r.top[x] = v;
   }
-  for (int y = 0; y < n; ++y) {
-    r.left[y] = has_left
-                    ? decoded.at_clamped(0, std::min(y0 + y, decoded.height() - 1), x0 - 1)
-                    : (has_top ? decoded.at_clamped(0, y0 - 1, x0) : 0.5F);
+  if (has_left) {
+    for (int y = 0; y < n; ++y) {
+      r.left[y] =
+          plane[static_cast<std::size_t>(std::min(y0 + y, h - 1)) * w + x0 - 1];
+    }
+  } else {
+    const float v = has_top ? plane[static_cast<std::size_t>(y0 - 1) * w + x0]
+                            : 0.5F;
+    for (int y = 0; y < n; ++y) r.left[y] = v;
   }
-  r.corner = (has_top && has_left) ? decoded.at(0, y0 - 1, x0 - 1)
-             : has_top             ? r.top[0]
-             : has_left            ? r.left[0]
-                                   : 0.5F;
+  r.corner = (has_top && has_left)
+                 ? plane[static_cast<std::size_t>(y0 - 1) * w + x0 - 1]
+             : has_top  ? r.top[0]
+             : has_left ? r.left[0]
+                        : 0.5F;
   return r;
 }
 
@@ -155,11 +174,46 @@ struct PlaneCode {
   std::vector<std::int32_t> escapes;  // raw values for escape symbols
 };
 
+/// Runs fn(bx, by) over every block so that each block executes strictly
+/// after its N / W / NW neighbours — the only blocks intra prediction reads
+/// from. Raster order when serial; anti-diagonal wavefronts on the
+/// tensor::kern pool otherwise (every block on one anti-diagonal is
+/// independent, and diagonal d completes before d+1 starts). Output is
+/// identical either way: per-block work does not depend on scheduling.
+/// fn must not throw (parallel_for contract) — validate inputs first.
+template <typename Fn>
+void for_each_block_wavefront(int bx_count, int by_count, Fn&& fn) {
+  const bool parallel = tensor::kern::threads() > 1 &&
+                        bx_count > 1 && by_count > 1 &&
+                        bx_count * by_count >= 16;
+  if (!parallel) {
+    for (int by = 0; by < by_count; ++by) {
+      for (int bx = 0; bx < bx_count; ++bx) fn(bx, by);
+    }
+    return;
+  }
+  for (int d = 0; d < bx_count + by_count - 1; ++d) {
+    const int by_lo = std::max(0, d - bx_count + 1);
+    const int by_hi = std::min(d, by_count - 1);
+    tensor::kern::parallel_for(by_hi - by_lo + 1, [&](int i) {
+      const int by = by_lo + i;
+      fn(d - by, by);
+    });
+  }
+}
+
+// Per-block encoder output, concatenated in raster block order afterwards so
+// the symbol stream is byte-identical to a sequential encode.
+struct BlockCode {
+  std::vector<int> symbols;
+  std::vector<std::int32_t> escapes;
+  int mode = 0;
+};
+
 // Encodes one plane with intra prediction against its own decoded state,
-// mirroring what the decoder will do. Returns symbols and writes the decoded
-// plane (which the caller uses for distortion checks if desired).
-PlaneCode code_plane(const image::Image& plane, int block, float step,
-                     image::Image* decoded_out) {
+// mirroring what the decoder will do. Blocks run wavefront-parallel; the
+// symbol streams are stitched in block order afterwards.
+PlaneCode code_plane(const image::Image& plane, int block, float step) {
   const int w = plane.width();
   const int h = plane.height();
   const int bx_count = (w + block - 1) / block;
@@ -168,157 +222,225 @@ PlaneCode code_plane(const image::Image& plane, int block, float step,
   const std::vector<int> zig = zigzag_order(block);
 
   image::Image decoded(w, h, 1);
-  PlaneCode out;
-  std::vector<float> pred(static_cast<std::size_t>(block) * block);
-  std::vector<float> resid(static_cast<std::size_t>(block) * block);
-  std::vector<float> best_resid(static_cast<std::size_t>(block) * block);
+  std::vector<BlockCode> blocks(static_cast<std::size_t>(bx_count) * by_count);
 
-  for (int by = 0; by < by_count; ++by) {
-    for (int bx = 0; bx < bx_count; ++bx) {
-      const int x0 = bx * block;
-      const int y0 = by * block;
-      const RefSamples refs = gather_refs(decoded, x0, y0, block);
+  for_each_block_wavefront(bx_count, by_count, [&](int bx, int by) {
+    const int x0 = bx * block;
+    const int y0 = by * block;
+    BlockCode& out = blocks[static_cast<std::size_t>(by) * bx_count + bx];
+    float src[kMaxBlock * kMaxBlock];
+    float pred[kMaxBlock * kMaxBlock];
+    float resid[kMaxBlock * kMaxBlock];
 
-      // Mode decision: minimum residual energy (cheap SAD-style search).
-      int best_mode = 0;
-      float best_cost = std::numeric_limits<float>::max();
-      for (int m = 0; m < static_cast<int>(IntraMode::kCount); ++m) {
-        predict(refs, static_cast<IntraMode>(m), block, pred.data());
-        float cost = 0.0F;
-        for (int y = 0; y < block; ++y) {
-          for (int x = 0; x < block; ++x) {
-            const float v =
-                plane.at_clamped(0, y0 + y, x0 + x) - pred[y * block + x];
-            cost += v * v;
-          }
-        }
-        if (cost < best_cost) {
-          best_cost = cost;
-          best_mode = m;
-          best_resid = pred;
-        }
-      }
-      out.modes.push_back(best_mode);
-      predict(refs, static_cast<IntraMode>(best_mode), block, pred.data());
-
+    // Source block once, border-replicated — the mode search below then
+    // runs over flat arrays instead of per-pixel clamped accessors.
+    {
+      const float* sp = plane.plane(0);
       for (int y = 0; y < block; ++y) {
+        const float* row =
+            sp + static_cast<std::size_t>(std::min(y0 + y, h - 1)) * w;
         for (int x = 0; x < block; ++x) {
-          resid[y * block + x] =
-              (plane.at_clamped(0, y0 + y, x0 + x) - pred[y * block + x]) *
-              255.0F;
-        }
-      }
-      dct.forward(resid.data());
-
-      // Quantise, emit symbols up to the last nonzero (EOB-terminated),
-      // dequantise into the reconstruction.
-      std::vector<int> levels(zig.size());
-      int last_nonzero = -1;
-      for (std::size_t zi = 0; zi < zig.size(); ++zi) {
-        const int idx = zig[zi];
-        // Dead-zone quantiser (intra rounding offset ~1/3, as in HEVC):
-        // coefficients below ~2/3 of a step collapse to zero, trading a tiny
-        // MSE increase for a large rate saving.
-        const float a = resid[idx] / step;
-        const int q = a >= 0.0F ? static_cast<int>(a + 0.3333F)
-                                : -static_cast<int>(-a + 0.3333F);
-        levels[zi] = q;
-        if (q != 0) last_nonzero = static_cast<int>(zi);
-        resid[idx] = static_cast<float>(q) * step;
-      }
-      int zero_run = 0;
-      for (int zi = 0; zi <= last_nonzero; ++zi) {
-        const int q = levels[zi];
-        if (q == 0) {
-          ++zero_run;
-          continue;
-        }
-        while (zero_run > 0) {
-          const int chunk = std::min(zero_run, kMaxZeroRun);
-          out.symbols.push_back(kZeroRunBase + chunk - 1);
-          zero_run -= chunk;
-        }
-        if (q >= -kLevelBias && q <= kLevelBias) {
-          out.symbols.push_back(q + kLevelBias);
-        } else {
-          out.symbols.push_back(kEscape);
-          out.escapes.push_back(q);
-        }
-      }
-      out.symbols.push_back(kEob);
-      dct.inverse(resid.data());
-      for (int y = 0; y < block; ++y) {
-        const int py = y0 + y;
-        if (py >= h) break;
-        for (int x = 0; x < block; ++x) {
-          const int px = x0 + x;
-          if (px >= w) break;
-          decoded.at(0, py, px) = std::clamp(
-              pred[y * block + x] + resid[y * block + x] / 255.0F, 0.0F, 1.0F);
+          src[y * block + x] = row[std::min(x0 + x, w - 1)];
         }
       }
     }
+
+    const RefSamples refs = gather_refs(decoded, x0, y0, block);
+
+    // Mode decision: minimum residual energy (cheap SAD-style search).
+    int best_mode = 0;
+    float best_cost = std::numeric_limits<float>::max();
+    for (int m = 0; m < static_cast<int>(IntraMode::kCount); ++m) {
+      predict(refs, static_cast<IntraMode>(m), block, pred);
+      float cost = 0.0F;
+      for (int i = 0; i < block * block; ++i) {
+        const float v = src[i] - pred[i];
+        cost += v * v;
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_mode = m;
+      }
+    }
+    out.mode = best_mode;
+    predict(refs, static_cast<IntraMode>(best_mode), block, pred);
+
+    for (int i = 0; i < block * block; ++i) {
+      resid[i] = (src[i] - pred[i]) * 255.0F;
+    }
+    dct.forward(resid);
+
+    // Quantise, emit symbols up to the last nonzero (EOB-terminated),
+    // dequantise into the reconstruction.
+    std::array<int, kMaxBlock * kMaxBlock> levels;
+    int last_nonzero = -1;
+    for (std::size_t zi = 0; zi < zig.size(); ++zi) {
+      const int idx = zig[zi];
+      // Dead-zone quantiser (intra rounding offset ~1/3, as in HEVC):
+      // coefficients below ~2/3 of a step collapse to zero, trading a tiny
+      // MSE increase for a large rate saving.
+      const float a = resid[idx] / step;
+      const int q = a >= 0.0F ? static_cast<int>(a + 0.3333F)
+                              : -static_cast<int>(-a + 0.3333F);
+      levels[zi] = q;
+      if (q != 0) last_nonzero = static_cast<int>(zi);
+      resid[idx] = static_cast<float>(q) * step;
+    }
+    int zero_run = 0;
+    for (int zi = 0; zi <= last_nonzero; ++zi) {
+      const int q = levels[zi];
+      if (q == 0) {
+        ++zero_run;
+        continue;
+      }
+      while (zero_run > 0) {
+        const int chunk = std::min(zero_run, kMaxZeroRun);
+        out.symbols.push_back(kZeroRunBase + chunk - 1);
+        zero_run -= chunk;
+      }
+      if (q >= -kLevelBias && q <= kLevelBias) {
+        out.symbols.push_back(q + kLevelBias);
+      } else {
+        out.symbols.push_back(kEscape);
+        out.escapes.push_back(q);
+      }
+    }
+    out.symbols.push_back(kEob);
+
+    dct.inverse(resid);
+    const int ph = std::min(block, h - y0);
+    const int pw = std::min(block, w - x0);
+    float* dp = decoded.plane(0);
+    for (int y = 0; y < ph; ++y) {
+      float* row = dp + static_cast<std::size_t>(y0 + y) * w + x0;
+      const float* pr = pred + y * block;
+      const float* rs = resid + y * block;
+      for (int x = 0; x < pw; ++x) {
+        row[x] = std::clamp(pr[x] + rs[x] * (1.0F / 255.0F), 0.0F, 1.0F);
+      }
+    }
+  });
+
+  PlaneCode out;
+  out.modes.reserve(blocks.size());
+  for (const BlockCode& b : blocks) {
+    out.modes.push_back(b.mode);
+    out.symbols.insert(out.symbols.end(), b.symbols.begin(), b.symbols.end());
+    out.escapes.insert(out.escapes.end(), b.escapes.begin(), b.escapes.end());
   }
-  if (decoded_out != nullptr) *decoded_out = std::move(decoded);
   return out;
 }
 
-image::Image decode_plane(const std::vector<int>& symbols,
+// Validated per-block views into a plane's symbol/escape streams, produced
+// by one serial scan so the wavefront reconstruction below is throw-free.
+struct BlockSpan {
+  std::uint32_t sym_begin = 0;
+  std::uint32_t sym_end = 0;    // one past this block's EOB
+  std::uint32_t esc_begin = 0;
+};
+
+std::vector<BlockSpan> scan_block_spans(const int* symbols,
+                                        std::size_t symbol_count,
+                                        std::size_t escape_count,
+                                        std::size_t block_count,
+                                        std::size_t coeffs_per_block) {
+  std::vector<BlockSpan> spans(block_count);
+  std::size_t pos = 0;
+  std::size_t esc = 0;
+  for (std::size_t b = 0; b < block_count; ++b) {
+    spans[b].sym_begin = static_cast<std::uint32_t>(pos);
+    spans[b].esc_begin = static_cast<std::uint32_t>(esc);
+    std::size_t zi = 0;
+    for (;;) {
+      if (pos >= symbol_count) {
+        throw std::runtime_error("bpg: symbol stream underrun");
+      }
+      const int sym = symbols[pos++];
+      if (sym == kEob) break;
+      if (sym >= kZeroRunBase && sym < kZeroRunBase + kMaxZeroRun) {
+        zi += static_cast<std::size_t>(sym - kZeroRunBase + 1);
+        continue;
+      }
+      if (zi >= coeffs_per_block) {
+        throw std::runtime_error("bpg: coeff overrun");
+      }
+      ++zi;
+      if (sym == kEscape) {
+        if (esc >= escape_count) {
+          throw std::runtime_error("bpg: escape stream underrun");
+        }
+        ++esc;
+      }
+    }
+    spans[b].sym_end = static_cast<std::uint32_t>(pos);
+  }
+  return spans;
+}
+
+image::Image decode_plane(const int* symbols, std::size_t symbol_count,
                           const std::vector<int>& modes,
                           const std::vector<std::int32_t>& escapes, int w,
                           int h, int block, float step) {
   const int bx_count = (w + block - 1) / block;
   const int by_count = (h + block - 1) / block;
+  const std::size_t block_count =
+      static_cast<std::size_t>(bx_count) * by_count;
+  if (modes.size() != block_count) {
+    throw std::runtime_error("bpg: mode count mismatch");
+  }
+  for (const int m : modes) {
+    if (m < 0 || m >= static_cast<int>(IntraMode::kCount)) {
+      throw std::runtime_error("bpg: bad intra mode");
+    }
+  }
   const Dct2d dct(block);
   const std::vector<int> zig = zigzag_order(block);
 
+  // One serial scan splits the plane's streams into per-block spans and
+  // validates every token, so the wavefront reconstruction cannot throw.
+  const std::vector<BlockSpan> spans =
+      scan_block_spans(symbols, symbol_count, escapes.size(), block_count,
+                       zig.size());
+
   image::Image decoded(w, h, 1);
-  std::vector<float> pred(static_cast<std::size_t>(block) * block);
-  std::vector<float> resid(static_cast<std::size_t>(block) * block);
-  std::size_t sym_pos = 0;
-  std::size_t esc_pos = 0;
-  std::size_t mode_pos = 0;
+  for_each_block_wavefront(bx_count, by_count, [&](int bx, int by) {
+    const int x0 = bx * block;
+    const int y0 = by * block;
+    const std::size_t bi = static_cast<std::size_t>(by) * bx_count + bx;
+    const BlockSpan& span = spans[bi];
 
-  for (int by = 0; by < by_count; ++by) {
-    for (int bx = 0; bx < bx_count; ++bx) {
-      const int x0 = bx * block;
-      const int y0 = by * block;
-      const RefSamples refs = gather_refs(decoded, x0, y0, block);
-      const auto mode = static_cast<IntraMode>(modes[mode_pos++]);
-      predict(refs, mode, block, pred.data());
+    float pred[kMaxBlock * kMaxBlock];
+    float resid[kMaxBlock * kMaxBlock];
+    const RefSamples refs = gather_refs(decoded, x0, y0, block);
+    predict(refs, static_cast<IntraMode>(modes[bi]), block, pred);
 
-      // Every block is EOB-terminated (even full ones); read until EOB so the
-      // symbol stream stays in sync.
-      std::fill(resid.begin(), resid.end(), 0.0F);
-      for (std::size_t zi = 0;;) {
-        const int sym = symbols[sym_pos++];
-        if (sym == kEob) break;
-        if (sym >= kZeroRunBase && sym < kZeroRunBase + kMaxZeroRun) {
-          zi += static_cast<std::size_t>(sym - kZeroRunBase + 1);
-          continue;
-        }
-        if (zi >= zig.size()) throw std::runtime_error("bpg: coeff overrun");
-        int q = 0;
-        if (sym == kEscape) {
-          q = escapes[esc_pos++];
-        } else {
-          q = sym - kLevelBias;
-        }
-        resid[zig[zi++]] = static_cast<float>(q) * step;
+    std::fill_n(resid, block * block, 0.0F);
+    std::size_t esc = span.esc_begin;
+    std::size_t zi = 0;
+    for (std::uint32_t p = span.sym_begin;;) {
+      const int sym = symbols[p++];
+      if (sym == kEob) break;
+      if (sym >= kZeroRunBase && sym < kZeroRunBase + kMaxZeroRun) {
+        zi += static_cast<std::size_t>(sym - kZeroRunBase + 1);
+        continue;
       }
-      dct.inverse(resid.data());
-      for (int y = 0; y < block; ++y) {
-        const int py = y0 + y;
-        if (py >= h) break;
-        for (int x = 0; x < block; ++x) {
-          const int px = x0 + x;
-          if (px >= w) break;
-          decoded.at(0, py, px) = std::clamp(
-              pred[y * block + x] + resid[y * block + x] / 255.0F, 0.0F, 1.0F);
-        }
+      const int q = sym == kEscape ? escapes[esc++] : sym - kLevelBias;
+      resid[zig[zi++]] = static_cast<float>(q) * step;
+    }
+    dct.inverse(resid);
+
+    const int ph = std::min(block, h - y0);
+    const int pw = std::min(block, w - x0);
+    float* dp = decoded.plane(0);
+    for (int y = 0; y < ph; ++y) {
+      float* row = dp + static_cast<std::size_t>(y0 + y) * w + x0;
+      const float* pr = pred + y * block;
+      const float* rs = resid + y * block;
+      for (int x = 0; x < pw; ++x) {
+        row[x] = std::clamp(pr[x] + rs[x] * (1.0F / 255.0F), 0.0F, 1.0F);
       }
     }
-  }
+  });
   return decoded;
 }
 
@@ -328,7 +450,9 @@ void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   }
 }
 
-std::uint32_t read_u32(const std::uint8_t* data, std::size_t& pos) {
+std::uint32_t read_u32(const std::uint8_t* data, std::size_t size,
+                       std::size_t& pos) {
+  if (pos + 4 > size) throw std::out_of_range("bpg: truncated header");
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
     v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
@@ -351,19 +475,19 @@ Compressed BpgLikeCodec::encode(const image::Image& img) const {
   const float step = quant_step(quality_);
 
   std::vector<PlaneCode> planes;
-  planes.push_back(code_plane(ycbcr.channel(0), kLumaBlock, step, nullptr));
+  planes.push_back(code_plane(ycbcr.channel(0), kLumaBlock, step));
   if (color) {
     planes.push_back(code_plane(image::downsample2x(ycbcr.channel(1)),
-                                kChromaBlock, step * 1.2F, nullptr));
+                                kChromaBlock, step * 1.2F));
     planes.push_back(code_plane(image::downsample2x(ycbcr.channel(2)),
-                                kChromaBlock, step * 1.2F, nullptr));
+                                kChromaBlock, step * 1.2F));
   }
 
-  // Container: header, per-plane side info (modes, escapes, symbol count),
-  // then ONE rANS stream over the concatenated coefficient symbols of all
-  // planes — a single shared frequency table keeps the fixed overhead small
-  // at low rates.
-  std::vector<std::uint8_t> bytes;
+  // v2 container: magic, header, per-plane side info (modes, escapes,
+  // symbol count), then ONE interleaved rANS stream over the concatenated
+  // coefficient symbols of all planes — a single shared frequency table
+  // keeps the fixed overhead small at low rates.
+  std::vector<std::uint8_t> bytes(kMagicV2, kMagicV2 + 4);
   append_u32(bytes, static_cast<std::uint32_t>(img.width()));
   append_u32(bytes, static_cast<std::uint32_t>(img.height()));
   bytes.push_back(color ? 1 : 0);
@@ -389,7 +513,7 @@ Compressed BpgLikeCodec::encode(const image::Image& img) const {
     all_symbols.insert(all_symbols.end(), p.symbols.begin(), p.symbols.end());
   }
   const std::vector<std::uint8_t> payload =
-      entropy::rans_encode_with_table(all_symbols, kCoeffAlphabet);
+      entropy::rans_encode_interleaved_with_table(all_symbols, kCoeffAlphabet);
   append_u32(bytes, static_cast<std::uint32_t>(payload.size()));
   bytes.insert(bytes.end(), payload.begin(), payload.end());
 
@@ -402,10 +526,25 @@ Compressed BpgLikeCodec::encode(const image::Image& img) const {
 }
 
 image::Image BpgLikeCodec::decode(const Compressed& c) const {
-  std::size_t pos = 0;
   const auto* data = c.bytes.data();
-  const int width = static_cast<int>(read_u32(data, pos));
-  const int height = static_cast<int>(read_u32(data, pos));
+  const std::size_t size = c.bytes.size();
+  // Version sniff: v2 containers start with the magic; v1 containers start
+  // with the u32 width whose high byte is always zero for encodable sizes.
+  const bool v2 = size >= 4 && std::memcmp(data, kMagicV2, 4) == 0;
+  std::size_t pos = v2 ? 4 : 0;
+
+  const auto width_u = read_u32(data, size, pos);
+  const auto height_u = read_u32(data, size, pos);
+  // Geometry sanity BEFORE any count-driven allocation: every later header
+  // count is cross-checked against block counts derived from it, so a
+  // bit-flipped count cannot demand a multi-gigabyte resize (a corrupt
+  // upload on a serve host must cost an exception, not an OOM spike).
+  if (width_u == 0 || height_u == 0 || width_u > 65535 || height_u > 65535) {
+    throw std::runtime_error("bpg: implausible geometry");
+  }
+  const int width = static_cast<int>(width_u);
+  const int height = static_cast<int>(height_u);
+  if (pos + 2 > size) throw std::out_of_range("bpg: truncated header");
   const bool color = data[pos++] != 0;
   const int q = data[pos++];
   const float step = quant_step(q);
@@ -416,47 +555,76 @@ image::Image BpgLikeCodec::decode(const Compressed& c) const {
     std::size_t symbol_count = 0;
   };
   const int plane_count = color ? 3 : 1;
+  const auto blocks_of = [](int dim, int block) {
+    return static_cast<std::size_t>((dim + block - 1) / block);
+  };
+  const int cw = (width + 1) / 2;
+  const int ch = (height + 1) / 2;
   std::vector<PlaneSideInfo> sides(plane_count);
   std::size_t total_symbols = 0;
-  for (auto& side : sides) {
-    const auto mode_count = read_u32(data, pos);
+  for (int p = 0; p < plane_count; ++p) {
+    PlaneSideInfo& side = sides[p];
+    const int block = p == 0 ? kLumaBlock : kChromaBlock;
+    const std::size_t expected_blocks =
+        p == 0 ? blocks_of(width, block) * blocks_of(height, block)
+               : blocks_of(cw, block) * blocks_of(ch, block);
+    const auto mode_count = read_u32(data, size, pos);
+    if (mode_count != expected_blocks) {
+      throw std::runtime_error("bpg: mode count does not match geometry");
+    }
     side.modes.resize(mode_count);
     {
-      const std::size_t packed_len = (mode_count * 3 + 7) / 8;
+      const std::size_t packed_len =
+          (static_cast<std::size_t>(mode_count) * 3 + 7) / 8;
+      if (pos + packed_len > size) {
+        throw std::out_of_range("bpg: truncated modes");
+      }
       entropy::BitReader mode_bits(data + pos, packed_len);
       for (auto& m : side.modes) m = static_cast<int>(mode_bits.read_bits(3));
       pos += packed_len;
     }
-    const auto escape_count = read_u32(data, pos);
+    const auto escape_count = read_u32(data, size, pos);
+    if (pos + static_cast<std::size_t>(escape_count) * 4 > size) {
+      throw std::out_of_range("bpg: truncated escapes");
+    }
     side.escapes.resize(escape_count);
     for (auto& e : side.escapes) {
-      e = static_cast<std::int32_t>(read_u32(data, pos));
+      e = static_cast<std::int32_t>(read_u32(data, size, pos));
     }
-    side.symbol_count = read_u32(data, pos);
+    side.symbol_count = read_u32(data, size, pos);
+    // Worst-case stream for a block: every coefficient a level symbol plus
+    // interleaved maximal runs, then EOB — bounded by 2*n^2 + 1.
+    const std::size_t coeffs = static_cast<std::size_t>(block) * block;
+    if (side.symbol_count > expected_blocks * (2 * coeffs + 1)) {
+      throw std::runtime_error("bpg: implausible symbol count");
+    }
     total_symbols += side.symbol_count;
   }
-  const auto payload_size = read_u32(data, pos);
+  const auto payload_size = read_u32(data, size, pos);
+  if (pos + payload_size > size) {
+    throw std::out_of_range("bpg: truncated payload");
+  }
+  // v1 payloads decode through the scalar single-state path — bit-exact
+  // with every stream ever written; v2 payloads ride the interleaved lanes.
   const std::vector<int> all_symbols =
-      entropy::rans_decode_with_table(data + pos, payload_size, total_symbols);
+      v2 ? entropy::rans_decode_interleaved_with_table(data + pos, payload_size,
+                                                       total_symbols)
+         : entropy::rans_decode_with_table(data + pos, payload_size,
+                                           total_symbols);
   pos += payload_size;
 
   std::size_t sym_offset = 0;
   const auto read_plane = [&](const PlaneSideInfo& side, int w, int h,
                               int block, float plane_step) -> image::Image {
-    const std::vector<int> symbols(
-        all_symbols.begin() + static_cast<std::ptrdiff_t>(sym_offset),
-        all_symbols.begin() +
-            static_cast<std::ptrdiff_t>(sym_offset + side.symbol_count));
+    const int* sym = all_symbols.data() + sym_offset;
     sym_offset += side.symbol_count;
-    return decode_plane(symbols, side.modes, side.escapes, w, h, block,
-                        plane_step);
+    return decode_plane(sym, side.symbol_count, side.modes, side.escapes, w, h,
+                        block, plane_step);
   };
 
   const image::Image y = read_plane(sides[0], width, height, kLumaBlock, step);
   if (!color) return y;
 
-  const int cw = (width + 1) / 2;
-  const int ch = (height + 1) / 2;
   const image::Image cb = read_plane(sides[1], cw, ch, kChromaBlock, step * 1.2F);
   const image::Image cr = read_plane(sides[2], cw, ch, kChromaBlock, step * 1.2F);
 

@@ -1,7 +1,13 @@
 // 2-D type-II DCT / type-III inverse DCT for small square blocks.
 //
 // Shared by the JPEG-style (8x8) and BPG-style (variable block) codecs.
-// Implemented as separable matrix products with precomputed basis tables.
+// The transform is separable — two small matrix multiplies against a
+// precomputed orthonormal basis — and is executed as exactly that:
+// dedicated fully-unrolled kernels for the hot 8x8 and 16x16 shapes
+// (compiled twice, AVX2+FMA and baseline, dispatched at runtime like
+// tensor::kern), and tensor::kern::gemm for every other size. Instances
+// are immutable after construction and safe to share across threads (the
+// block-parallel codec paths rely on this).
 #pragma once
 
 #include <vector>
@@ -23,8 +29,8 @@ class Dct2d {
 
  private:
   int n_;
-  std::vector<float> basis_;  // basis_[k * n + x] = c_k cos(...)
-  mutable std::vector<float> scratch_;
+  std::vector<float> basis_;    // basis_[k * n + x] = c_k cos(...)
+  std::vector<float> basis_t_;  // transpose, so every product streams rows
 };
 
 }  // namespace easz::codec

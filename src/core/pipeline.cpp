@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/deblock.hpp"
+#include "util/stopwatch.hpp"
 
 namespace easz::core {
 
@@ -56,8 +57,14 @@ EaszCompressed EaszPipeline::encode(const image::Image& img) const {
   return out;
 }
 
-DecodedTokens EaszPipeline::decode_tokens(const EaszCompressed& c) const {
+DecodedTokens EaszPipeline::decode_tokens(const EaszCompressed& c,
+                                          DecodeTokensTiming* timing) const {
+  util::Stopwatch codec_sw;
   const image::Image squeezed = codec_.decode(c.payload);
+  if (timing != nullptr) {
+    timing->codec_decode_s = codec_sw.elapsed_seconds();
+    timing->codec_pixels = squeezed.pixel_count();
+  }
   const EraseMask mask = EraseMask::from_bytes(
       c.mask_bytes, config_.patchify.grid(), c.erased_per_row);
   const image::Image zero_filled =

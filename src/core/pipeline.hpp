@@ -88,9 +88,19 @@ class EaszPipeline {
   /// (training) meanwhile.
   [[nodiscard]] image::Image decode(const EaszCompressed& c) const;
 
+  /// Wall-clock sub-stage costs of one decode_tokens() call, for serving
+  /// telemetry: the classical codec decode is the dominant non-neural cost
+  /// and is reported as its own throughput figure in serve stats.
+  struct DecodeTokensTiming {
+    double codec_decode_s = 0.0;   ///< inner ImageCodec::decode only
+    std::uint64_t codec_pixels = 0;  ///< pixels that decode produced
+  };
+
   /// Stage 1 of decode(): codec decode + unsqueeze + tokenise. Needs no
-  /// model, so it runs on cheap decode workers. Re-entrant.
-  [[nodiscard]] DecodedTokens decode_tokens(const EaszCompressed& c) const;
+  /// model, so it runs on cheap decode workers. Re-entrant. `timing`, when
+  /// non-null, receives the codec-decode sub-stage cost.
+  [[nodiscard]] DecodedTokens decode_tokens(
+      const EaszCompressed& c, DecodeTokensTiming* timing = nullptr) const;
 
   /// Stage 3 of decode(): reconstructed tokens (same shape as `d.tokens`)
   /// back to pixels — tokens_to_image + edge deblocking + crop. Re-entrant.

@@ -7,7 +7,7 @@
 namespace easz::entropy {
 namespace {
 
-constexpr std::uint32_t kRansLowerBound = 1U << 23U;  // renormalisation bound
+constexpr std::uint32_t kRansLowerBound = 1U << 23U;  // v1 renormalisation bound
 
 }  // namespace
 
@@ -44,45 +44,97 @@ FrequencyTable FrequencyTable::from_counts(
     assigned += q;
     remainders.emplace_back(exact - static_cast<double>(q), s);
   }
-  // Distribute the leftover (positive or negative) mass.
-  std::sort(remainders.begin(), remainders.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
   std::int64_t leftover =
       static_cast<std::int64_t>(kProbScale) - static_cast<std::int64_t>(assigned);
+  if (leftover < 0) {
+    // The floor-of-1 clamps oversubscribed the budget. Shrink every symbol
+    // proportionally to the real budget in ONE pass (the old code re-ran
+    // std::max_element per surplus slot, O(n * leftover)); the
+    // largest-remainder fixup below settles the residual few slots.
+    std::uint64_t shrunk = 0;
+    remainders.clear();
+    for (int s = 0; s < n; ++s) {
+      if (table.freq_[s] == 0) continue;
+      const double exact = static_cast<double>(table.freq_[s]) *
+                           static_cast<double>(kProbScale) /
+                           static_cast<double>(assigned);
+      auto q = static_cast<std::uint32_t>(exact);
+      if (q == 0) q = 1;
+      table.freq_[s] = q;
+      shrunk += q;
+      remainders.emplace_back(exact - static_cast<double>(q), s);
+    }
+    leftover = static_cast<std::int64_t>(kProbScale) -
+               static_cast<std::int64_t>(shrunk);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
   std::size_t idx = 0;
   while (leftover > 0) {
+    // Top up the symbols that lost the most to flooring, cyclically.
     table.freq_[remainders[idx % remainders.size()].second] += 1;
     --leftover;
     ++idx;
   }
-  idx = 0;
-  while (leftover < 0) {
-    // Shrink the most-frequent symbols, never below 1.
-    auto max_it = std::max_element(table.freq_.begin(), table.freq_.end());
-    if (*max_it <= 1) {
-      throw std::runtime_error("FrequencyTable: cannot normalise");
+  if (leftover < 0) {
+    // Proportional shrink can still overshoot by a few slots when many
+    // symbols sit at the floor of 1. Take them back from the symbols that
+    // kept the most fractional headroom (smallest remainder first), never
+    // below 1.
+    idx = remainders.size();
+    bool progressed = false;
+    while (leftover < 0) {
+      if (idx == 0) {
+        if (!progressed) {
+          throw std::runtime_error("FrequencyTable: cannot normalise");
+        }
+        idx = remainders.size();
+        progressed = false;
+      }
+      --idx;
+      auto& f = table.freq_[remainders[idx].second];
+      if (f > 1) {
+        f -= 1;
+        ++leftover;
+        progressed = true;
+      }
     }
-    *max_it -= 1;
-    ++leftover;
   }
 
   table.cum_.assign(n + 1, 0);
   for (int s = 0; s < n; ++s) table.cum_[s + 1] = table.cum_[s] + table.freq_[s];
-  table.build_lookup();
   return table;
 }
 
-void FrequencyTable::build_lookup() {
-  slot_to_symbol_.assign(kProbScale, 0);
-  for (int s = 0; s < alphabet_size(); ++s) {
-    for (std::uint32_t k = cum_[s]; k < cum_[s + 1]; ++k) {
-      slot_to_symbol_[k] = static_cast<std::uint16_t>(s);
+void FrequencyTable::ensure_lookup() const {
+  if (lookup_built()) return;
+  const int n = alphabet_size();
+  sym_fc_.resize(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    sym_fc_[s] = (freq_[s] << 16U) | cum_[s];
+  }
+  if (n <= 256) {
+    // +4 bytes of padding so 32-bit gathers addressed at any slot never read
+    // past the allocation.
+    slot_sym8_.assign(kProbScale + 4, 0);
+    for (int s = 0; s < n; ++s) {
+      for (std::uint32_t k = cum_[s]; k < cum_[s + 1]; ++k) {
+        slot_sym8_[k] = static_cast<std::uint8_t>(s);
+      }
+    }
+  } else {
+    slot_sym16_.assign(kProbScale + 2, 0);
+    for (int s = 0; s < n; ++s) {
+      for (std::uint32_t k = cum_[s]; k < cum_[s + 1]; ++k) {
+        slot_sym16_[k] = static_cast<std::uint16_t>(s);
+      }
     }
   }
 }
 
 int FrequencyTable::symbol_from_slot(std::uint32_t slot) const {
-  return slot_to_symbol_[slot];
+  ensure_lookup();
+  return slot_sym8_.empty() ? slot_sym16_[slot] : slot_sym8_[slot];
 }
 
 std::vector<std::uint8_t> FrequencyTable::serialize() const {
@@ -141,7 +193,6 @@ FrequencyTable FrequencyTable::deserialize(const std::uint8_t* data,
   if (table.cum_[n] != kProbScale) {
     throw std::runtime_error("FrequencyTable: corrupt table sum");
   }
-  table.build_lookup();
   if (consumed != nullptr) *consumed = pos;
   return table;
 }
@@ -158,7 +209,27 @@ double FrequencyTable::entropy_bits() const {
 
 std::vector<std::uint8_t> rans_encode(const std::vector<int>& symbols,
                                       const FrequencyTable& table) {
-  std::vector<std::uint8_t> out;
+  // Reserve from the entropy estimate and emit back to front: the stream is
+  // naturally produced last-byte-first, so writing downward from the end of
+  // the buffer replaces the old push_back-then-std::reverse.
+  std::size_t cap = static_cast<std::size_t>(
+                        table.entropy_bits() *
+                        static_cast<double>(symbols.size()) / 8.0) +
+                    symbols.size() / 16 + 64;
+  std::vector<std::uint8_t> buf(cap);
+  std::size_t pos = cap;
+  const auto emit = [&buf, &pos](std::uint8_t byte) {
+    if (pos == 0) {
+      // Estimate fell short (pathological table/content mismatch): grow at
+      // the front, keeping the already-written tail in place.
+      std::vector<std::uint8_t> bigger(buf.size() * 2 + 64);
+      std::copy(buf.begin(), buf.end(), bigger.end() - buf.size());
+      pos = bigger.size() - buf.size();
+      buf.swap(bigger);
+    }
+    buf[--pos] = byte;
+  };
+
   std::uint32_t state = kRansLowerBound;
   // Encode in reverse so the decoder emits in forward order.
   for (auto it = symbols.rbegin(); it != symbols.rend(); ++it) {
@@ -169,7 +240,7 @@ std::vector<std::uint8_t> rans_encode(const std::vector<int>& symbols,
     const std::uint32_t x_max =
         ((kRansLowerBound >> FrequencyTable::kProbBits) << 8U) * f;
     while (state >= x_max) {
-      out.push_back(static_cast<std::uint8_t>(state & 0xFFU));
+      emit(static_cast<std::uint8_t>(state & 0xFFU));
       state >>= 8U;
     }
     state = ((state / f) << FrequencyTable::kProbBits) + (state % f) +
@@ -177,16 +248,17 @@ std::vector<std::uint8_t> rans_encode(const std::vector<int>& symbols,
   }
   // Flush final 4-byte state.
   for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(state & 0xFFU));
+    emit(static_cast<std::uint8_t>(state & 0xFFU));
     state >>= 8U;
   }
-  std::reverse(out.begin(), out.end());
-  return out;
+  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(pos));
+  return buf;
 }
 
 std::vector<int> rans_decode(const std::uint8_t* data, std::size_t size,
                              std::size_t count, const FrequencyTable& table) {
   if (size < 4) throw std::out_of_range("rans_decode: buffer too small");
+  table.ensure_lookup();
   std::size_t pos = 0;
   std::uint32_t state = 0;
   for (int i = 0; i < 4; ++i) {
@@ -194,12 +266,16 @@ std::vector<int> rans_decode(const std::uint8_t* data, std::size_t size,
   }
 
   std::vector<int> symbols(count);
+  const std::uint32_t* fc = table.sym_fc();
+  const std::uint8_t* sym8 = table.slot_sym8();
+  const std::uint16_t* sym16 = table.slot_sym16();
   for (std::size_t i = 0; i < count; ++i) {
     const std::uint32_t slot = state & (FrequencyTable::kProbScale - 1U);
-    const int s = table.symbol_from_slot(slot);
+    const int s = sym8 != nullptr ? sym8[slot] : sym16[slot];
     symbols[i] = s;
-    state = table.freq(s) * (state >> FrequencyTable::kProbBits) + slot -
-            table.cum_freq(s);
+    const std::uint32_t v = fc[s];
+    state = (v >> 16U) * (state >> FrequencyTable::kProbBits) + slot -
+            (v & 0xFFFFU);
     while (state < kRansLowerBound) {
       if (pos >= size) throw std::out_of_range("rans_decode: truncated stream");
       state = (state << 8U) | data[pos++];
@@ -208,18 +284,28 @@ std::vector<int> rans_decode(const std::uint8_t* data, std::size_t size,
   return symbols;
 }
 
-std::vector<std::uint8_t> rans_encode_with_table(const std::vector<int>& symbols,
-                                                 int alphabet_size) {
+namespace {
+
+FrequencyTable table_from_symbols(const std::vector<int>& symbols,
+                                  int alphabet_size, const char* who) {
   std::vector<std::uint64_t> counts(alphabet_size, 0);
   for (const int s : symbols) {
     if (s < 0 || s >= alphabet_size) {
-      throw std::invalid_argument("rans_encode_with_table: symbol out of range");
+      throw std::invalid_argument(std::string(who) + ": symbol out of range");
     }
     ++counts[s];
   }
   // No Laplace floor: every symbol the decoder will request was observed
   // here, and flooring a wide alphabet wastes table mass and table bytes.
-  const FrequencyTable table = FrequencyTable::from_counts(counts, false);
+  return FrequencyTable::from_counts(counts, false);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> rans_encode_with_table(const std::vector<int>& symbols,
+                                                 int alphabet_size) {
+  const FrequencyTable table =
+      table_from_symbols(symbols, alphabet_size, "rans_encode_with_table");
   std::vector<std::uint8_t> out = table.serialize();
   const std::vector<std::uint8_t> payload = rans_encode(symbols, table);
   out.insert(out.end(), payload.begin(), payload.end());
@@ -231,6 +317,25 @@ std::vector<int> rans_decode_with_table(const std::uint8_t* data,
   std::size_t consumed = 0;
   const FrequencyTable table = FrequencyTable::deserialize(data, size, &consumed);
   return rans_decode(data + consumed, size - consumed, count, table);
+}
+
+std::vector<std::uint8_t> rans_encode_interleaved_with_table(
+    const std::vector<int>& symbols, int alphabet_size) {
+  const FrequencyTable table = table_from_symbols(
+      symbols, alphabet_size, "rans_encode_interleaved_with_table");
+  std::vector<std::uint8_t> out = table.serialize();
+  const std::vector<std::uint8_t> payload =
+      rans_encode_interleaved(symbols, table);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<int> rans_decode_interleaved_with_table(const std::uint8_t* data,
+                                                    std::size_t size,
+                                                    std::size_t count) {
+  std::size_t consumed = 0;
+  const FrequencyTable table = FrequencyTable::deserialize(data, size, &consumed);
+  return rans_decode_interleaved(data + consumed, size - consumed, count, table);
 }
 
 }  // namespace easz::entropy

@@ -284,8 +284,11 @@ void ReconServer::run_decode(const std::shared_ptr<Job>& job) {
 
     util::Stopwatch sw;
     auto inflight = std::make_shared<InFlight>();
-    inflight->decoded = pipeline.decode_tokens(job->request.compressed);
+    core::EaszPipeline::DecodeTokensTiming decode_timing;
+    inflight->decoded =
+        pipeline.decode_tokens(job->request.compressed, &decode_timing);
     job->timing.decode_s = sw.elapsed_seconds();
+    job->timing.codec_decode_s = decode_timing.codec_decode_s;
     inflight->job = job;
     if (inflight->decoded.channels != model_.config().channels) {
       // E.g. a grayscale upload through an RGB deployment: reject here with
@@ -305,8 +308,10 @@ void ReconServer::run_decode(const std::shared_ptr<Job>& job) {
 
     const std::string key = mask_group_key(inflight->decoded.recon_mask,
                                            inflight->decoded.tokens.dim(2));
+    stages_.codec_decode.record(decode_timing.codec_decode_s);
     {
       std::lock_guard<std::mutex> lock(mu_);
+      codec_pixels_ += decode_timing.codec_pixels;
       PendingGroup& group = pending_[key];
       if (group.spans.empty()) group.mask = inflight->decoded.recon_mask;
       group.spans.push_back(PendingGroup::Span{inflight, 0, patches});
@@ -464,6 +469,7 @@ ServerStatsSnapshot ReconServer::stats() const {
     s.batched_patches = batched_patches_;
     s.cross_request_batches = cross_request_batches_;
     s.kernel_threads = tensor::kern::threads();
+    s.codec_pixels = codec_pixels_;
     s.queue_depth = static_cast<int>(queue_.size());
     s.max_queue_depth = max_queue_depth_;
   }
@@ -472,6 +478,7 @@ ServerStatsSnapshot ReconServer::stats() const {
   s.cache_misses = cs.misses;
   s.queue_wait = stages_.queue_wait.summarize();
   s.decode = stages_.decode.summarize();
+  s.codec_decode = stages_.codec_decode.summarize();
   s.batch_wait = stages_.batch_wait.summarize();
   s.reconstruct = stages_.reconstruct.summarize();
   s.assemble = stages_.assemble.summarize();

@@ -83,6 +83,7 @@ struct ServeRequest {
 struct RequestTiming {
   double queue_wait_s = 0.0;
   double decode_s = 0.0;
+  double codec_decode_s = 0.0;  ///< inner ImageCodec::decode (within decode)
   double batch_wait_s = 0.0;
   double reconstruct_s = 0.0;  ///< forward pass of the batch it rode in
   double assemble_s = 0.0;
@@ -210,9 +211,11 @@ class ReconServer {
   std::uint64_t batches_ = 0;
   std::uint64_t batched_patches_ = 0;
   std::uint64_t cross_request_batches_ = 0;
+  std::uint64_t codec_pixels_ = 0;
 
   struct Stages {
-    StageStats queue_wait, decode, batch_wait, reconstruct, assemble, total;
+    StageStats queue_wait, decode, codec_decode, batch_wait, reconstruct,
+        assemble, total;
   };
   Stages stages_;
 

@@ -99,9 +99,14 @@ std::string ServerStatsSnapshot::to_string() const {
   std::snprintf(buf, sizeof(buf), "queue: depth %d now, %d peak\n", queue_depth,
                 max_queue_depth);
   out += buf;
+  std::snprintf(buf, sizeof(buf), "codec decode: %.2f MP/s (%llu pixels)\n",
+                codec_decode_mpps(),
+                static_cast<unsigned long long>(codec_pixels));
+  out += buf;
   out += "stage latencies:\n";
   append_stage_text(out, "queue_wait", queue_wait);
   append_stage_text(out, "decode", decode);
+  append_stage_text(out, "codec_decode", codec_decode);
   append_stage_text(out, "batch_wait", batch_wait);
   append_stage_text(out, "reconstruct", reconstruct);
   append_stage_text(out, "assemble", assemble);
@@ -111,7 +116,7 @@ std::string ServerStatsSnapshot::to_string() const {
 
 std::string ServerStatsSnapshot::to_json() const {
   std::string out = "{";
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "\"submitted\":%llu,\"completed\":%llu,\"rejected\":%llu,"
@@ -119,6 +124,7 @@ std::string ServerStatsSnapshot::to_json() const {
       "\"batches\":%llu,\"batched_patches\":%llu,"
       "\"cross_request_batches\":%llu,\"mean_batch_size\":%.4f,"
       "\"kernel_threads\":%d,"
+      "\"codec_pixels\":%llu,\"codec_decode_mpps\":%.4f,"
       "\"queue_depth\":%d,\"max_queue_depth\":%d,",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(completed),
@@ -129,10 +135,12 @@ std::string ServerStatsSnapshot::to_json() const {
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(batched_patches),
       static_cast<unsigned long long>(cross_request_batches), mean_batch_size(),
-      kernel_threads, queue_depth, max_queue_depth);
+      kernel_threads, static_cast<unsigned long long>(codec_pixels),
+      codec_decode_mpps(), queue_depth, max_queue_depth);
   out += buf;
   append_stage_json(out, "queue_wait", queue_wait, true);
   append_stage_json(out, "decode", decode, true);
+  append_stage_json(out, "codec_decode", codec_decode, true);
   append_stage_json(out, "batch_wait", batch_wait, true);
   append_stage_json(out, "reconstruct", reconstruct, true);
   append_stage_json(out, "assemble", assemble, true);

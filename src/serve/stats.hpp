@@ -60,22 +60,36 @@ struct ServerStatsSnapshot {
   /// stage below) ran on at snapshot time.
   int kernel_threads = 0;
 
+  /// Pixels produced by the classical codec-decode sub-stage (inside
+  /// `decode` below); with the codec_decode stage's total time this yields
+  /// the per-stage throughput figure.
+  std::uint64_t codec_pixels = 0;
+
   // Queue pressure.
   int max_queue_depth = 0;
   int queue_depth = 0;  ///< at snapshot time
 
   // Stage latencies.
   StageSummary queue_wait;
-  StageSummary decode;       ///< codec decode + unsqueeze + tokenise
-  StageSummary batch_wait;   ///< tokens ready -> batch launched
-  StageSummary reconstruct;  ///< transformer forward (per batch)
-  StageSummary assemble;     ///< tokens -> pixels -> deblock -> crop
-  StageSummary total;        ///< submit -> response ready
+  StageSummary decode;        ///< codec decode + unsqueeze + tokenise
+  StageSummary codec_decode;  ///< inner ImageCodec::decode only
+  StageSummary batch_wait;    ///< tokens ready -> batch launched
+  StageSummary reconstruct;   ///< transformer forward (per batch)
+  StageSummary assemble;      ///< tokens -> pixels -> deblock -> crop
+  StageSummary total;         ///< submit -> response ready
 
   [[nodiscard]] double mean_batch_size() const {
     return batches == 0 ? 0.0
                         : static_cast<double>(batched_patches) /
                               static_cast<double>(batches);
+  }
+
+  /// Codec-decode throughput in megapixels/s (0 when nothing decoded yet).
+  [[nodiscard]] double codec_decode_mpps() const {
+    const double total_s =
+        codec_decode.mean_s * static_cast<double>(codec_decode.count);
+    return total_s <= 0.0 ? 0.0
+                          : static_cast<double>(codec_pixels) / total_s / 1e6;
   }
 
   /// Multi-line human-readable report.

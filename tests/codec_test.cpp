@@ -10,10 +10,13 @@
 #include "codec/dct.hpp"
 #include "codec/jpeg_like.hpp"
 #include "data/synth.hpp"
+#include "tensor/kernels.hpp"
 #include "util/prng.hpp"
 
 namespace easz::codec {
 namespace {
+
+#include "golden_v1_streams.inc"
 
 double image_mse(const image::Image& a, const image::Image& b) {
   double acc = 0.0;
@@ -191,6 +194,97 @@ TEST(BpgLike, DeterministicEncoding) {
   util::Pcg32 rng(15);
   const image::Image img = data::synth_photo(64, 48, rng);
   EXPECT_EQ(codec.encode(img).bytes, codec.encode(img).bytes);
+}
+
+TEST(BpgLike, V1GoldenStreamStillDecodes) {
+  // Container written by the seed (pre-v2) encoder: no magic, scalar rANS
+  // payload. Symbol-level decode is bit-exact forever; pixel output is
+  // compared after 8-bit quantisation with tolerance 1 because the inverse
+  // DCT now runs on FMA kernels (last-mantissa-bit differences only).
+  Compressed c;
+  c.bytes.assign(kGoldenBpgV1, kGoldenBpgV1 + sizeof(kGoldenBpgV1));
+  c.width = 48;
+  c.height = 32;
+  c.channels = 1;
+  BpgLikeCodec codec(40);
+  const image::Image decoded = codec.decode(c);
+  ASSERT_EQ(decoded.width(), 48);
+  ASSERT_EQ(decoded.height(), 32);
+  ASSERT_EQ(decoded.channels(), 1);
+  const auto bytes = decoded.to_bytes();
+  ASSERT_EQ(bytes.size(), sizeof(kGoldenBpgV1Pixels));
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const int diff = std::abs(static_cast<int>(bytes[i]) -
+                              static_cast<int>(kGoldenBpgV1Pixels[i]));
+    ASSERT_LE(diff, 1) << "pixel " << i;
+  }
+}
+
+TEST(BpgLike, V2ContainerCarriesMagic) {
+  BpgLikeCodec codec(50);
+  util::Pcg32 rng(21);
+  const image::Image img = data::synth_photo(64, 48, rng);
+  const Compressed c = codec.encode(img);
+  ASSERT_GE(c.bytes.size(), 4U);
+  EXPECT_EQ(c.bytes[0], 'E');
+  EXPECT_EQ(c.bytes[1], 'Z');
+  EXPECT_EQ(c.bytes[2], 'B');
+  EXPECT_EQ(c.bytes[3], '2');
+}
+
+class CodecThreadInvariance : public testing::TestWithParam<std::string> {
+ protected:
+  void TearDown() override { tensor::kern::set_threads(saved_); }
+  int saved_ = tensor::kern::threads();
+};
+
+TEST_P(CodecThreadInvariance, EncodeAndDecodeAreThreadCountInvariant) {
+  // The block-parallel paths must produce byte-identical streams and pixels
+  // at any pool width (including the serial fallback).
+  auto codec = make_classical_codec(GetParam(), 55);
+  util::Pcg32 rng(22);
+  const image::Image img = data::synth_photo(150, 90, rng);
+
+  tensor::kern::set_threads(1);
+  const Compressed c1 = codec->encode(img);
+  const image::Image d1 = codec->decode(c1);
+
+  tensor::kern::set_threads(4);
+  const Compressed c4 = codec->encode(img);
+  const image::Image d4 = codec->decode(c1);
+
+  EXPECT_EQ(c1.bytes, c4.bytes);
+  ASSERT_EQ(d1.data().size(), d4.data().size());
+  for (std::size_t i = 0; i < d1.data().size(); ++i) {
+    ASSERT_EQ(d1.data()[i], d4.data()[i]) << "sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClassical, CodecThreadInvariance,
+                         testing::Values("jpeg", "bpg"));
+
+TEST(BpgLike, CorruptStreamThrowsInsteadOfCrashing) {
+  BpgLikeCodec codec(50);
+  util::Pcg32 rng(23);
+  const image::Image img = data::synth_photo(64, 48, rng);
+  Compressed c = codec.encode(img);
+  // Truncate mid-payload.
+  Compressed cut = c;
+  cut.bytes.resize(cut.bytes.size() / 2);
+  EXPECT_THROW(codec.decode(cut), std::exception);
+
+  // Poisoned header counts must be rejected against the geometry before any
+  // count-sized allocation happens (a corrupt upload costs an exception,
+  // not a multi-gigabyte resize). mode_count sits after magic + w + h +
+  // color + quality in the v2 layout.
+  Compressed poisoned = c;
+  for (int i = 0; i < 4; ++i) poisoned.bytes[14 + i] = 0xFF;
+  EXPECT_THROW(codec.decode(poisoned), std::exception);
+
+  // Implausible geometry is rejected outright.
+  Compressed huge = c;
+  huge.bytes[7] = 0xFF;  // width high byte
+  EXPECT_THROW(codec.decode(huge), std::exception);
 }
 
 TEST(Codec, FactoryRejectsUnknownName) {

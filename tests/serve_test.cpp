@@ -226,6 +226,17 @@ TEST(ReconServerTest, ThreadedStressMatchesSequentialDecodeExactly) {
   }
   EXPECT_EQ(s.batched_patches, expected_patches);
   EXPECT_EQ(s.total.count, static_cast<std::uint64_t>(kClients * kImagesPerClient));
+
+  // The codec-decode sub-stage is surfaced with one sample per decoded
+  // request and a positive throughput figure, in both report formats.
+  EXPECT_EQ(s.codec_decode.count,
+            static_cast<std::uint64_t>(kClients * kImagesPerClient));
+  EXPECT_GT(s.codec_pixels, 0U);
+  EXPECT_GT(s.codec_decode_mpps(), 0.0);
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("\"codec_decode\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"codec_decode_mpps\":"), std::string::npos);
+  EXPECT_NE(s.to_string().find("codec decode:"), std::string::npos);
 }
 
 TEST(ReconServerTest, CacheHitServesIdenticalImageWithoutRecompute) {

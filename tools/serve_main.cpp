@@ -142,6 +142,11 @@ int main(int argc, char** argv) try {
                 "(%d kernel threads)\n",
                 s.reconstruct.p50_s * 1e3, s.reconstruct.p95_s * 1e3,
                 static_cast<unsigned long long>(s.batches), s.kernel_threads);
+    // The classical half of the decode budget: interleaved-rANS + fast-DCT
+    // codec throughput, per stage.
+    std::printf("codec decode: %.1f MP/s over %llu requests\n",
+                s.codec_decode_mpps(),
+                static_cast<unsigned long long>(s.codec_decode.count));
   }
   json += "]";
 
