@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "core/patchify.hpp"
+
 namespace easz::core {
 namespace {
 
@@ -53,6 +55,7 @@ class Reader {
     const auto blob = read_blob(n);
     return std::string(blob.begin(), blob.end());
   }
+  [[nodiscard]] bool at_end() const { return pos_ == bytes_.size(); }
 
  private:
   void check(std::size_t n) const {
@@ -113,13 +116,59 @@ ParsedContainer parse_container(const std::vector<std::uint8_t>& bytes) {
   out.compressed.padded_width = static_cast<int>(r.read32());
   out.compressed.padded_height = static_cast<int>(r.read32());
   out.compressed.erased_per_row = r.read16();
+  const std::uint8_t axis_byte = r.read_blob(1)[0];
+  if (axis_byte > 1) {
+    // Strict: the serializer only ever writes 0/1, and treating 2..255 as
+    // "vertical" would make corrupt containers parse unfaithfully.
+    throw std::runtime_error("easz container: bad squeeze axis");
+  }
   out.compressed.axis =
-      r.read_blob(1)[0] != 0 ? SqueezeAxis::kVertical : SqueezeAxis::kHorizontal;
+      axis_byte != 0 ? SqueezeAxis::kVertical : SqueezeAxis::kHorizontal;
   out.compressed.mask_bytes = r.read_blob(r.read32());
   out.compressed.payload.width = static_cast<int>(r.read32());
   out.compressed.payload.height = static_cast<int>(r.read32());
   out.compressed.payload.channels = r.read16();
   out.compressed.payload.bytes = r.read_blob(r.read32());
+  if (!r.at_end()) {
+    throw std::runtime_error("easz container: trailing bytes");
+  }
+
+  // Semantic validation: every field a serializer can produce satisfies the
+  // invariants below, so a header corruption that survives the bounds
+  // checks still fails loudly here instead of propagating garbage geometry
+  // into decode (where it would surface as a confusing shape error at best
+  // and out-of-bounds indexing at worst).
+  const EaszCompressed& c = out.compressed;
+  // Bound BEFORE padded_geometry: a near-INT_MAX width would make its
+  // `width + patch - 1` rounding overflow (signed UB) on hostile input.
+  constexpr int kMaxSide = 1 << 24;  // 16M px/side, far past any real image
+  if (c.full_width <= 0 || c.full_height <= 0 || c.full_width > kMaxSide ||
+      c.full_height > kMaxSide) {
+    throw std::runtime_error("easz container: implausible image geometry");
+  }
+  const PaddedGeometry g =
+      padded_geometry(c.full_width, c.full_height, out.patchify.patch);
+  if (c.padded_width != g.padded_w || c.padded_height != g.padded_h) {
+    throw std::runtime_error(
+        "easz container: padded geometry inconsistent with image size");
+  }
+  const int grid = out.patchify.grid();
+  if (c.erased_per_row < 0 || c.erased_per_row >= grid) {
+    throw std::runtime_error("easz container: erased_per_row out of range");
+  }
+  const std::size_t expected_mask_bytes =
+      (static_cast<std::size_t>(grid) * grid + 7) / 8;
+  if (c.mask_bytes.size() != expected_mask_bytes) {
+    throw std::runtime_error(
+        "easz container: mask side channel size does not match the grid");
+  }
+  if (c.payload.width <= 0 || c.payload.height <= 0 ||
+      c.payload.width > c.padded_width || c.payload.height > c.padded_height) {
+    throw std::runtime_error("easz container: implausible payload geometry");
+  }
+  if (c.payload.channels < 1 || c.payload.channels > 4) {
+    throw std::runtime_error("easz container: implausible channel count");
+  }
   return out;
 }
 

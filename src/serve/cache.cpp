@@ -1,5 +1,8 @@
 #include "serve/cache.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace easz::serve {
 
 std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size,
@@ -48,65 +51,113 @@ std::size_t CacheKeyHash::operator()(const CacheKey& k) const {
   return static_cast<std::size_t>(h);
 }
 
-ResultCache::ResultCache(std::size_t capacity_bytes)
-    : capacity_(capacity_bytes) {}
+ResultCache::ResultCache(std::size_t capacity_bytes, int shards)
+    : capacity_(capacity_bytes) {
+  if (shards < 1) {
+    throw std::invalid_argument("ResultCache: need at least one shard");
+  }
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_capacity_ = capacity_ / static_cast<std::size_t>(shards);
+}
+
+int ResultCache::shard_of(const CacheKey& key) const {
+  // The index maps inside each shard consume the hash's low bits, so the
+  // shard selector remixes (splitmix64 finalizer) and uses different bits —
+  // otherwise shard-mates would also chain into the same buckets.
+  std::uint64_t h = CacheKeyHash{}(key);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<int>(h % shards_.size());
+}
 
 std::shared_ptr<const image::Image> ResultCache::get(const CacheKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_of(key))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
     return nullptr;
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh
   return it->second->image;
 }
 
 void ResultCache::put(const CacheKey& key,
                       std::shared_ptr<const image::Image> img) {
   if (img == nullptr) return;
-  // The key's wire bytes are held twice per entry (index_ map key and
-  // Entry.key, the standard list+map LRU layout), so charge them twice to
-  // keep the byte budget honest about real RAM.
-  const std::size_t cost =
-      cost_of(*img) + 2 * (key.payload_bytes.size() + key.mask_bytes.size());
-  if (cost > capacity_) return;  // never admit what could not coexist
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    bytes_ -= it->second->cost;
+  const std::size_t cost = cost_of(key, *img);
+  if (cost > shard_capacity_) return;  // never admit what could not coexist
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_of(key))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->cost;
     it->second->image = std::move(img);
     it->second->cost = cost;
-    bytes_ += cost;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    shard.bytes += cost;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
-    lru_.push_front(Entry{key, std::move(img), cost});
-    index_[key] = lru_.begin();
-    bytes_ += cost;
+    shard.lru.push_front(Entry{key, std::move(img), cost});
+    shard.index[key] = shard.lru.begin();
+    shard.bytes += cost;
   }
-  evict_to_fit_locked();
+  evict_to_fit_locked(shard, shard_capacity_);
 }
 
-void ResultCache::evict_to_fit_locked() {
-  while (bytes_ > capacity_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    bytes_ -= victim.cost;
-    index_.erase(victim.key);
-    lru_.pop_back();
-    ++evictions_;
+void ResultCache::evict_to_fit_locked(Shard& shard, std::size_t budget) {
+  while (shard.bytes > budget && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.cost;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
   }
 }
 
 CacheStats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   CacheStats s;
-  s.hits = hits_;
-  s.misses = misses_;
-  s.evictions = evictions_;
-  s.entries = index_.size();
-  s.bytes = bytes_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.hits += shard->hits;
+    s.misses += shard->misses;
+    s.evictions += shard->evictions;
+    s.entries += shard->index.size();
+    s.bytes += shard->bytes;
+  }
   return s;
+}
+
+CacheStats ResultCache::shard_stats(int shard) const {
+  if (shard < 0 || shard >= shards()) {
+    throw std::out_of_range("ResultCache: shard index out of range");
+  }
+  const Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  CacheStats out;
+  out.hits = s.hits;
+  out.misses = s.misses;
+  out.evictions = s.evictions;
+  out.entries = s.index.size();
+  out.bytes = s.bytes;
+  return out;
+}
+
+std::size_t ResultCache::recompute_bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Entry& e : shard->lru) {
+      total += cost_of(e.key, *e.image);
+    }
+  }
+  return total;
 }
 
 }  // namespace easz::serve

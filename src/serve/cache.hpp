@@ -1,4 +1,4 @@
-// LRU cache of finished reconstructions.
+// Sharded LRU cache of finished reconstructions.
 //
 // Edge fleets resend identical content all the time — a stuck wildlife
 // camera uploads the same frame every trigger, an industrial line images
@@ -6,8 +6,18 @@
 // memoises final images. The key is everything that determines the output
 // pixels: the mask side channel (hash stands in for the shared mask seed),
 // the request geometry, the payload bytes and the codec that decodes them.
-// Capacity is counted in pixel bytes, the quantity that actually bounds
-// server RAM, and eviction is least-recently-used.
+// Tenancy is deliberately NOT part of the key: identical bytes decode to
+// identical pixels, so tenants share hits.
+//
+// The table is split into N shards selected by key hash, each with its own
+// mutex, LRU list and byte budget (capacity / N). At high worker counts
+// every request path touches the cache (probe at submit, insert at finish),
+// and a single mutex there serialises otherwise independent workers; with
+// shards, concurrent hits/inserts contend only when they land in the same
+// shard. Eviction is least-recently-used PER SHARD — the budget split makes
+// eviction local, at the cost of a slightly earlier eviction for a shard
+// receiving outsized entries. Capacity is counted in pixel + key bytes, the
+// quantity that actually bounds server RAM.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +26,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "image/image.hpp"
@@ -62,22 +73,41 @@ struct CacheStats {
   std::size_t bytes = 0;
 };
 
-/// Thread-safe byte-bounded LRU of decoded images. Values are shared_ptr so
-/// a hit can be handed to a client while eviction proceeds concurrently.
+/// Thread-safe byte-bounded sharded LRU of decoded images. Values are
+/// shared_ptr so a hit can be handed to a client while eviction proceeds
+/// concurrently.
 class ResultCache {
  public:
   /// `capacity_bytes` 0 disables caching entirely (every get misses).
-  explicit ResultCache(std::size_t capacity_bytes);
+  /// `shards` splits the table and the byte budget `shards` ways; 1 keeps
+  /// the classic single-lock LRU (and exact global LRU order).
+  explicit ResultCache(std::size_t capacity_bytes, int shards = 1);
 
   /// Returns the cached image and refreshes recency, or nullptr.
   [[nodiscard]] std::shared_ptr<const image::Image> get(const CacheKey& key);
 
-  /// Inserts (or refreshes) a result, evicting LRU entries until the total
-  /// byte cost fits. Images larger than the whole capacity are not cached.
+  /// Inserts (or refreshes) a result, evicting LRU entries of the key's
+  /// shard until its byte budget fits. Images larger than one shard's
+  /// budget are not cached.
   void put(const CacheKey& key, std::shared_ptr<const image::Image> img);
 
+  /// Aggregate over all shards.
   [[nodiscard]] CacheStats stats() const;
+  /// One shard's view (tests: per-shard eviction/accounting checks).
+  [[nodiscard]] CacheStats shard_stats(int shard) const;
+
   [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+  [[nodiscard]] int shards() const { return static_cast<int>(shards_.size()); }
+  [[nodiscard]] std::size_t shard_capacity_bytes() const {
+    return shard_capacity_;
+  }
+  /// Shard a key routes to (stable across runs; tests build colliding keys).
+  [[nodiscard]] int shard_of(const CacheKey& key) const;
+
+  /// Audit hook: re-derives every resident entry's cost from its image and
+  /// key bytes and sums them, bypassing the incremental `bytes` counters.
+  /// Equal to stats().bytes iff byte accounting is exact.
+  [[nodiscard]] std::size_t recompute_bytes() const;
 
  private:
   struct Entry {
@@ -87,19 +117,28 @@ class ResultCache {
   };
   using LruList = std::list<Entry>;
 
-  static std::size_t cost_of(const image::Image& img) {
-    return img.sample_count() * sizeof(float);
+  struct Shard {
+    mutable std::mutex mu;
+    LruList lru;  // front = most recent
+    std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  static std::size_t cost_of(const CacheKey& key, const image::Image& img) {
+    // The key's wire bytes are held twice per entry (index map key and
+    // Entry.key, the standard list+map LRU layout), so charge them twice to
+    // keep the byte budget honest about real RAM.
+    return img.sample_count() * sizeof(float) +
+           2 * (key.payload_bytes.size() + key.mask_bytes.size());
   }
-  void evict_to_fit_locked();
+  static void evict_to_fit_locked(Shard& shard, std::size_t budget);
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  LruList lru_;  // front = most recent
-  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index_;
-  std::size_t bytes_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  std::size_t shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace easz::serve

@@ -26,18 +26,31 @@ std::string mask_group_key(const core::EraseMask& mask, int token_dim) {
 
 ReconServer::ReconServer(ServerConfig config,
                          const core::ReconstructionModel& model)
-    : config_(config),
+    : config_(std::move(config)),
       model_(model),
       patchify_(model.config().patchify),
-      cache_(config.cache_bytes) {
-  if (config_.workers < 1) {
-    throw std::invalid_argument("ReconServer: need at least one worker");
+      cache_(config_.cache_bytes, std::max(1, config_.cache_shards)),
+      tenants_(config_.sched_clock) {
+  if (config_.workers < 0) {
+    throw std::invalid_argument(
+        "ReconServer: workers must be >= 0 (0 = manual scheduling mode)");
+  }
+  if (config_.workers == 0 &&
+      config_.backpressure == BackpressurePolicy::kBlock) {
+    // A submitter blocked on queue space could only be freed by a worker
+    // popping the queue — and manual mode has none; the thread that would
+    // call step() is the one asleep. Fail loudly instead of deadlocking.
+    throw std::invalid_argument(
+        "ReconServer: manual scheduling mode requires kReject backpressure");
   }
   if (config_.max_queue < 1) {
     throw std::invalid_argument("ReconServer: need a positive queue bound");
   }
   if (config_.max_batch_patches < 1) {
     throw std::invalid_argument("ReconServer: need a positive batch size");
+  }
+  for (const TenantConfig& tenant : config_.tenants) {
+    tenants_.add(tenant);
   }
   if (config_.kernel_threads > 0) {
     tensor::kern::set_threads(config_.kernel_threads);
@@ -67,9 +80,58 @@ void ReconServer::register_codec(const std::string& name,
   codecs_[name] = codec;
 }
 
+double ReconServer::sched_now_s() const {
+  if (config_.sched_clock) return config_.sched_clock();
+  return uptime_.elapsed_seconds();
+}
+
+void ReconServer::deliver_response(Job& job, ServeResponse response) {
+  if (job.callback) {
+    // The callback contract forbids throwing; a violation must not escape a
+    // worker thread (std::terminate), so it is contained here.
+    try {
+      job.callback(std::move(response), nullptr);
+    } catch (...) {
+    }
+  } else {
+    job.promise.set_value(std::move(response));
+  }
+}
+
+void ReconServer::deliver_error(Job& job, std::exception_ptr error) {
+  if (job.callback) {
+    try {
+      job.callback(ServeResponse{}, error);
+    } catch (...) {
+    }
+  } else {
+    job.promise.set_exception(error);
+  }
+}
+
 SubmitResult ReconServer::submit(ServeRequest request) {
   auto job = std::make_shared<Job>();
   job->request = std::move(request);
+  SubmitResult out;
+  out.response = job->promise.get_future();
+  out.status = submit_job(job);
+  out.accepted = out.status == SubmitStatus::kAccepted;
+  return out;
+}
+
+SubmitStatus ReconServer::submit_async(ServeRequest request,
+                                       ResponseCallback callback) {
+  if (!callback) {
+    throw std::invalid_argument("ReconServer: submit_async needs a callback");
+  }
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  job->callback = std::move(callback);
+  return submit_job(job);
+}
+
+SubmitStatus ReconServer::submit_job(const std::shared_ptr<Job>& job) {
+  job->tenant = tenants_.resolve(job->request.tenant);
   const bool caching = cache_.capacity_bytes() > 0;
   if (caching) {
     // Hashing + copying the payload into the key only pays off when the
@@ -78,11 +140,9 @@ SubmitResult ReconServer::submit(ServeRequest request) {
         make_cache_key(job->request.compressed, job->request.codec);
   }
 
-  SubmitResult out;
-  out.response = job->promise.get_future();
-
   // Fast path: an identical request already reconstructed. Served before
-  // touching the queue — cached work should never be shed by backpressure.
+  // admission — a hit costs no reconstruction capacity, which is the
+  // resource the tenant limits exist to protect.
   if (std::shared_ptr<const image::Image> hit =
           caching ? cache_.get(job->cache_key) : nullptr) {
     ServeResponse resp;
@@ -90,52 +150,107 @@ SubmitResult ReconServer::submit(ServeRequest request) {
     resp.cache_hit = true;
     resp.timing.total_s = job->since_submit.elapsed_seconds();
     stages_.total.record(resp.timing.total_s);
+    StageStats* tenant_total = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++submitted_;
       ++completed_;
+      TenantLocal& tl = tenant_local_[job->tenant];
+      ++tl.submitted;
+      ++tl.completed;
+      ++tl.cache_hits;
+      tenant_total = &tl.total;
     }
-    job->promise.set_value(std::move(resp));
-    out.accepted = true;
-    return out;
+    tenant_total->record(resp.timing.total_s);
+    deliver_response(*job, std::move(resp));
+    return SubmitStatus::kAccepted;
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
-  ++submitted_;
-  if (static_cast<int>(queue_.size()) >= config_.max_queue) {
-    if (config_.backpressure == BackpressurePolicy::kReject || stopping_) {
-      ++rejected_;
-      out.accepted = false;
-      return out;
+  // Tenant admission: rate + quota, before the queue. The registry lock is
+  // never nested inside mu_ on this path; the WDRR weight rides along in
+  // the same acquisition.
+  int weight = 1;
+  const Admission admission = tenants_.try_admit(job->tenant, &weight);
+  if (admission != Admission::kAdmitted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+    ++rejected_;
+    ++tenant_local_[job->tenant].submitted;
+    return admission == Admission::kRateLimited ? SubmitStatus::kRateLimited
+                                                : SubmitStatus::kQuotaExceeded;
+  }
+
+  bool shed = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++submitted_;
+    TenantLocal& tl = tenant_local_[job->tenant];
+    ++tl.submitted;
+    TenantQueue& tq = queues_[job->tenant];
+    if (static_cast<int>(tq.jobs.size()) >= config_.max_queue) {
+      if (config_.backpressure == BackpressurePolicy::kReject || stopping_) {
+        shed = true;
+      } else {
+        space_cv_.wait(lock, [this, &tq] {
+          return static_cast<int>(tq.jobs.size()) < config_.max_queue ||
+                 stopping_;
+        });
+        if (stopping_) shed = true;
+      }
     }
-    space_cv_.wait(lock, [this] {
-      return static_cast<int>(queue_.size()) < config_.max_queue || stopping_;
-    });
-    if (stopping_) {
+    if (shed) {
       ++rejected_;
-      out.accepted = false;
-      return out;
+      ++tl.shed_queue_full;
+    } else {
+      tq.weight = weight;
+      tq.jobs.push_back(job);
+      ++queued_;
+      ++outstanding_;
+      if (!tq.active) {
+        tq.active = true;
+        rr_.push_back(job->tenant);
+      }
+      max_queue_depth_ = std::max(max_queue_depth_, queued_);
     }
   }
-  queue_.push_back(job);
-  ++outstanding_;
-  max_queue_depth_ = std::max(max_queue_depth_,
-                              static_cast<int>(queue_.size()));
-  out.accepted = true;
-  lock.unlock();
+  if (shed) {
+    // Undo the admission entirely — slot AND token — or a persistently
+    // full queue would drain the bucket with requests that did no work
+    // and misreport later sheds as kRateLimited.
+    tenants_.cancel_admission(job->tenant);
+    return SubmitStatus::kQueueFull;
+  }
   work_cv_.notify_one();
-  return out;
+  return SubmitStatus::kAccepted;
 }
 
 void ReconServer::drain() {
+  if (config_.workers == 0) {
+    // Manual scheduling mode: the caller's thread IS the worker. The flush
+    // condition guarantees step() only goes idle once nothing is queued,
+    // decoding or parked in the batch pool.
+    while (step()) {
+    }
+    return;
+  }
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+bool ReconServer::step() {
+  if (config_.workers != 0) {
+    throw std::logic_error(
+        "ReconServer: step() is only valid in manual scheduling mode "
+        "(workers == 0)");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  return try_step_locked(lock);
 }
 
 bool ReconServer::flush_conditions_locked() const {
   // No more token deposits are imminent: nothing queued and nobody decoding
   // (or we are shutting down). Waiting longer could not grow any batch.
-  return (queue_.empty() && decoding_ == 0) || stopping_;
+  return (queued_ == 0 && decoding_ == 0) || stopping_;
 }
 
 bool ReconServer::group_ready_locked(const PendingGroup& group) const {
@@ -145,10 +260,11 @@ bool ReconServer::group_ready_locked(const PendingGroup& group) const {
   // waited max_batch_wait_s. Without this, a rare-mask request would starve
   // behind a dominant group for as long as the queue stays busy, and the
   // batch pool's token memory would grow with the backlog instead of being
-  // bounded by the linger window.
+  // bounded by the linger window. Ages run on the scheduler clock so the
+  // deterministic harness can trip this trigger by advancing virtual time.
   if (config_.max_batch_wait_s <= 0.0) return true;
   return !group.spans.empty() &&
-         group.spans.front().inflight->since_tokens_ready.elapsed_seconds() >
+         sched_now_s() - group.spans.front().inflight->ready_t >
              config_.max_batch_wait_s;
 }
 
@@ -196,46 +312,84 @@ ReconServer::FormedBatch ReconServer::form_batch_locked() {
   return batch;
 }
 
+std::shared_ptr<ReconServer::Job> ReconServer::pop_next_locked() {
+  // Weighted-deficit round robin over tenants with queued work: the tenant
+  // at the ring head gets a quantum of `weight` pops before the ring
+  // rotates, so over any saturated window tenant throughput converges to
+  // the weight ratio — a flooding tenant can fill only its own queue and
+  // its own share of dequeues.
+  while (!rr_.empty()) {
+    const std::string name = rr_.front();
+    TenantQueue& tq = queues_[name];
+    if (tq.jobs.empty()) {  // defensive: emptied queues leave the ring below
+      tq.active = false;
+      tq.deficit = 0;
+      rr_.pop_front();
+      continue;
+    }
+    if (tq.deficit <= 0) tq.deficit = tq.weight;  // fresh visit, fresh quantum
+    std::shared_ptr<Job> job = std::move(tq.jobs.front());
+    tq.jobs.pop_front();
+    --queued_;
+    --tq.deficit;
+    if (tq.jobs.empty()) {
+      tq.active = false;
+      tq.deficit = 0;  // an idle tenant does not bank unused quantum
+      rr_.pop_front();
+    } else if (tq.deficit <= 0) {
+      rr_.pop_front();
+      rr_.push_back(name);
+    }
+    return job;
+  }
+  return nullptr;
+}
+
+bool ReconServer::try_step_locked(std::unique_lock<std::mutex>& lock) {
+  if (batch_ready_locked()) {
+    FormedBatch batch = form_batch_locked();
+    lock.unlock();
+    run_batch(std::move(batch));
+    lock.lock();
+    return true;
+  }
+  if (std::shared_ptr<Job> job = pop_next_locked()) {
+    ++decoding_;
+    job->timing.queue_wait_s = job->since_submit.elapsed_seconds();
+    space_cv_.notify_all();  // different tenants wait on different queues
+    lock.unlock();
+    run_decode(job);
+    lock.lock();
+    --decoding_;
+    // Last decoder going idle can make the flush condition true for
+    // everyone; batches formed from the deposit also need announcing.
+    work_cv_.notify_all();
+    return true;
+  }
+  return false;
+}
+
 void ReconServer::worker_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (batch_ready_locked()) {
-      FormedBatch batch = form_batch_locked();
-      lock.unlock();
-      run_batch(std::move(batch));
-      lock.lock();
-      continue;
+    if (try_step_locked(lock)) continue;
+    if (stopping_ && queued_ == 0 && pending_.empty() && decoding_ == 0) {
+      return;
     }
-    if (!queue_.empty()) {
-      std::shared_ptr<Job> job = queue_.front();
-      queue_.pop_front();
-      ++decoding_;
-      job->timing.queue_wait_s = job->since_submit.elapsed_seconds();
-      space_cv_.notify_one();
-      lock.unlock();
-      run_decode(job);
-      lock.lock();
-      --decoding_;
-      // Last decoder going idle can make the flush condition true for
-      // everyone; batches formed from the deposit also need announcing.
-      work_cv_.notify_all();
-      continue;
-    }
-    if (stopping_ && pending_.empty() && decoding_ == 0) return;
     if (!pending_.empty() && config_.max_batch_wait_s > 0.0) {
       // Tokens are parked: sleep only until the soonest age trigger is due,
       // so an under-full batch launches on time even if no decode
       // completion notifies us first.
       double soonest = config_.max_batch_wait_s;
+      const double now = sched_now_s();
       for (const auto& [key, group] : pending_) {
         if (group.spans.empty()) continue;
-        const double remaining =
-            config_.max_batch_wait_s -
-            group.spans.front().inflight->since_tokens_ready.elapsed_seconds();
+        const double remaining = config_.max_batch_wait_s -
+                                 (now - group.spans.front().inflight->ready_t);
         soonest = std::min(soonest, remaining);
       }
-      work_cv_.wait_for(lock, std::chrono::duration<double>(
-                                  std::max(soonest, 1e-4)));
+      work_cv_.wait_for(lock,
+                        std::chrono::duration<double>(std::max(soonest, 1e-4)));
     } else {
       work_cv_.wait(lock);
     }
@@ -305,6 +459,7 @@ void ReconServer::run_decode(const std::shared_ptr<Job>& job) {
                                        inflight->decoded.tokens.dim(2)});
     inflight->patches_remaining = patches;
     inflight->since_tokens_ready.reset();
+    inflight->ready_t = sched_now_s();
 
     const std::string key = mask_group_key(inflight->decoded.recon_mask,
                                            inflight->decoded.tokens.dim(2));
@@ -418,25 +573,43 @@ void ReconServer::finish_request(const std::shared_ptr<InFlight>& inflight) {
     std::shared_ptr<const image::Image> result = std::move(img);
     if (cache_.capacity_bytes() > 0) cache_.put(job->cache_key, result);
 
-    stages_.queue_wait.record(job->timing.queue_wait_s);
-    stages_.decode.record(job->timing.decode_s);
-    stages_.batch_wait.record(job->timing.batch_wait_s);
-    stages_.assemble.record(job->timing.assemble_s);
-    stages_.total.record(job->timing.total_s);
-
     ServeResponse resp;
     resp.image = std::move(result);
     resp.cache_hit = false;
     resp.timing = job->timing;
+    StageStats* tenant_total = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (job->settled) return;  // a failed sibling batch got there first
       job->settled = true;
       ++completed_;
+      TenantLocal& tl = tenant_local_[job->tenant];
+      ++tl.completed;
+      tenant_total = &tl.total;
+    }
+    tenants_.release(job->tenant);
+
+    stages_.queue_wait.record(job->timing.queue_wait_s);
+    stages_.decode.record(job->timing.decode_s);
+    stages_.batch_wait.record(job->timing.batch_wait_s);
+    stages_.assemble.record(job->timing.assemble_s);
+    stages_.total.record(job->timing.total_s);
+    tenant_total->record(job->timing.total_s);
+
+    // Deliver BEFORE counting the request as no longer outstanding:
+    // drain() promises that every accepted request "has completed", and
+    // for the callback path completion includes the callback itself.
+    try {
+      deliver_response(*job, std::move(resp));
+    } catch (...) {
+      // Already settled; swallow so the countdown below still happens and
+      // drain() cannot hang on a throwing promise/callback edge case.
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
       --outstanding_;
     }
     idle_cv_.notify_all();
-    job->promise.set_value(std::move(resp));
   } catch (...) {
     fail_request(job, std::current_exception());
   }
@@ -451,14 +624,30 @@ void ReconServer::fail_request(const std::shared_ptr<Job>& job,
     if (job->settled) return;
     job->settled = true;
     ++failed_;
+    ++tenant_local_[job->tenant].failed;
+  }
+  tenants_.release(job->tenant);
+  // As in finish_request: the error delivery is part of "completed or
+  // failed", so it happens before drain()'s countdown.
+  try {
+    deliver_error(*job, error);
+  } catch (...) {
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     --outstanding_;
   }
   idle_cv_.notify_all();
-  job->promise.set_exception(error);
 }
 
 ServerStatsSnapshot ReconServer::stats() const {
   ServerStatsSnapshot s;
+  struct LocalCopy {
+    std::uint64_t submitted = 0, completed = 0, failed = 0, cache_hits = 0,
+                  shed_queue_full = 0;
+    const StageStats* total = nullptr;
+  };
+  std::map<std::string, LocalCopy> locals;
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.submitted = submitted_;
@@ -470,12 +659,38 @@ ServerStatsSnapshot ReconServer::stats() const {
     s.cross_request_batches = cross_request_batches_;
     s.kernel_threads = tensor::kern::threads();
     s.codec_pixels = codec_pixels_;
-    s.queue_depth = static_cast<int>(queue_.size());
+    s.queue_depth = queued_;
     s.max_queue_depth = max_queue_depth_;
+    for (const auto& [name, tl] : tenant_local_) {
+      locals[name] = LocalCopy{tl.submitted, tl.completed, tl.failed,
+                               tl.cache_hits, tl.shed_queue_full, &tl.total};
+    }
   }
   const CacheStats cs = cache_.stats();
   s.cache_hits = cs.hits;
   s.cache_misses = cs.misses;
+  // Per-tenant: registry admission counters merged with serve-side locals.
+  // tenant_local_ entries are never erased, so the pointers collected above
+  // stay valid after mu_ is dropped (StageStats locks itself).
+  for (const TenantAdmissionStats& a : tenants_.snapshot()) {
+    TenantStatsSnapshot t;
+    t.name = a.name;
+    t.weight = a.weight;
+    t.admitted = a.admitted;
+    t.shed_rate_limited = a.rate_limited;
+    t.shed_quota = a.quota_rejected;
+    t.inflight = a.inflight;
+    const auto it = locals.find(a.name);
+    if (it != locals.end()) {
+      t.submitted = it->second.submitted;
+      t.completed = it->second.completed;
+      t.failed = it->second.failed;
+      t.cache_hits = it->second.cache_hits;
+      t.shed_queue_full = it->second.shed_queue_full;
+      t.total = it->second.total->summarize();
+    }
+    s.tenants.push_back(std::move(t));
+  }
   s.queue_wait = stages_.queue_wait.summarize();
   s.decode = stages_.decode.summarize();
   s.codec_decode = stages_.codec_decode.summarize();

@@ -1,37 +1,55 @@
-// Concurrent batched reconstruction server (the paper's asymmetric
-// deployment, server half, grown into a runtime).
+// Concurrent batched multi-tenant reconstruction server (the paper's
+// asymmetric deployment, server half, grown into a runtime).
 //
 // Many edge clients submit EaszCompressed blobs; the server answers with
-// reconstructed images. Internals (DESIGN.md §3):
+// reconstructed images. Internals (DESIGN.md §3, §6):
 //
-//   submit() -> [bounded request queue] -> worker pool
-//                    worker: cache check happened at submit; codec decode +
-//                            unsqueeze + tokenise (EaszPipeline::decode_tokens)
-//                    -> [batch pool, grouped by erase mask] ->
-//                    worker: one transformer forward over up to
-//                            max_batch_patches patches POOLED ACROSS REQUESTS
-//                            sharing a mask — on the grad-free tensor::kern
-//                            path (DESIGN.md §4), sized by kernel_threads —
-//                            -> scatter -> finished requests assembled,
-//                            cached, promises fulfilled.
+//   submit()/submit_async()
+//     -> tenant admission (token bucket + inflight quota, serve/tenant.hpp)
+//     -> [per-tenant bounded queues, weighted-deficit round-robin dequeue]
+//     -> worker pool
+//          worker: cache check happened at submit; codec decode +
+//                  unsqueeze + tokenise (EaszPipeline::decode_tokens)
+//          -> [batch pool, grouped by erase mask] ->
+//          worker: one transformer forward over up to max_batch_patches
+//                  patches POOLED ACROSS REQUESTS sharing a mask — on the
+//                  grad-free tensor::kern path (DESIGN.md §4), sized by
+//                  kernel_threads — -> scatter -> finished requests
+//                  assembled, cached (sharded LRU), promises/callbacks
+//                  fulfilled.
 //
 // Why cross-request batching is sound: per-patch transformer outputs are
 // independent of batch composition (see ReconstructionModel::reconstruct),
-// so pooled results are bit-identical to sequential EaszPipeline::decode.
-// Requests that share nothing still win: workers run decode and forward
-// passes concurrently, and the transformer's matmuls amortise better over
-// large batches.
+// so pooled results are bit-identical to sequential EaszPipeline::decode —
+// under ANY dequeue order, which is why priority scheduling cannot change
+// a single output byte.
 //
-// Backpressure: the request queue is bounded; submit() either blocks
-// (kBlock) or reports rejection (kReject) when it is full, so a traffic
-// spike degrades into queueing delay or load shedding instead of unbounded
-// memory growth.
+// Tenant isolation: each tenant owns a bounded FIFO; workers drain tenants
+// weighted-deficit round-robin, so a flooding tenant saturates its own
+// queue and its own share of worker bandwidth, never the whole server.
+// Admission (rate + burst + max-inflight) sheds excess load per tenant
+// before it touches a queue. Requests that name no (or an unknown) tenant
+// ride the built-in "default" tenant and see the classic single-queue
+// behaviour.
+//
+// Backpressure: per-tenant queues are bounded; submit() either blocks
+// (kBlock) or reports rejection (kReject) when the tenant's queue is full,
+// so a traffic spike degrades into queueing delay or load shedding instead
+// of unbounded memory growth.
+//
+// Determinism hooks (tests/serve_sched_test.cpp): `sched_clock` replaces
+// the scheduler's time source (batch aging, token-bucket refill) with a
+// virtual clock, and `workers = 0` starts no threads — the caller drives
+// the scheduler one action at a time via step(), making interleavings
+// reproducible enough to prove fairness and quota invariants exactly.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -44,6 +62,7 @@
 #include "core/recon_model.hpp"
 #include "serve/cache.hpp"
 #include "serve/stats.hpp"
+#include "serve/tenant.hpp"
 #include "util/stopwatch.hpp"
 
 namespace easz::serve {
@@ -54,8 +73,12 @@ enum class BackpressurePolicy {
 };
 
 struct ServerConfig {
-  int workers = 4;              ///< worker threads (decode + reconstruct)
-  int max_queue = 64;           ///< bounded request queue length
+  /// Worker threads (decode + reconstruct). 0 = manual scheduling mode: no
+  /// threads start and the caller pumps the scheduler via step(). Manual
+  /// mode requires kReject backpressure (a blocked submitter could never
+  /// be woken — the constructor enforces this).
+  int workers = 4;
+  int max_queue = 64;           ///< bounded request queue length PER TENANT
   int max_batch_patches = 32;   ///< patches per transformer forward pass
   /// Oldest tokens a mask group may hold before it is batched even while
   /// under-full. Bounds both tail latency of rare-mask requests (they are
@@ -64,6 +87,8 @@ struct ServerConfig {
   /// <= 0 launches every deposit immediately (pure latency mode).
   double max_batch_wait_s = 0.05;
   std::size_t cache_bytes = 64ULL << 20;  ///< result cache capacity (0 = off)
+  /// Result-cache shard count (lock striping; byte budget splits evenly).
+  int cache_shards = 8;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   /// > 0: resize the tensor::kern pool the transformer forward runs on
   /// (process-global — the last server constructed wins; 0 leaves the pool
@@ -71,12 +96,21 @@ struct ServerConfig {
   /// batch's GEMM row panels, so total CPU footprint is roughly
   /// workers x kernel_threads at full load.
   int kernel_threads = 0;
+  /// Tenants registered at construction; more may be added at runtime via
+  /// tenants().add(). Requests naming none of them ride the default tenant.
+  std::vector<TenantConfig> tenants;
+  /// Scheduler time source override (virtual clock for deterministic
+  /// tests). Governs batch aging and token-bucket refill; latency
+  /// TELEMETRY stays on the wall clock. Empty = monotonic wall clock.
+  ClockFn sched_clock;
 };
 
-/// One edge upload: the wire blob plus the codec that produced its payload.
+/// One edge upload: the wire blob plus the codec that produced its payload
+/// and the tenant whose policy governs it ("" = default tenant).
 struct ServeRequest {
   core::EaszCompressed compressed;
   std::string codec = "jpeg";  ///< name registered via register_codec()
+  std::string tenant;          ///< name registered via tenants().add()
 };
 
 /// Wall-clock stage costs of one request, as experienced by that request.
@@ -96,10 +130,26 @@ struct ServeResponse {
   RequestTiming timing;
 };
 
+/// Why a submit did (not) enter the pipeline.
+enum class SubmitStatus {
+  kAccepted,
+  kQueueFull,       ///< tenant queue full under kReject (or stop during block)
+  kRateLimited,     ///< tenant token bucket empty
+  kQuotaExceeded,   ///< tenant max_inflight reached
+};
+
 struct SubmitResult {
-  bool accepted = false;               ///< false: shed by kReject backpressure
+  bool accepted = false;  ///< false: shed — see status for the reason
+  SubmitStatus status = SubmitStatus::kAccepted;
   std::future<ServeResponse> response;  ///< valid only when accepted
 };
+
+/// Completion hook for submit_async(). Exactly one of (response, error) is
+/// meaningful: error == nullptr on success. Invoked on a worker thread (or
+/// inline from submit_async for cache hits); must not throw and should not
+/// block — hand heavy work to another thread.
+using ResponseCallback =
+    std::function<void(ServeResponse response, std::exception_ptr error)>;
 
 class ReconServer {
  public:
@@ -118,26 +168,49 @@ class ReconServer {
   /// registered codec's quality must not be mutated while serving.
   void register_codec(const std::string& name, codec::ImageCodec* codec);
 
-  /// Submits one request. Cache hits complete immediately. A queue-full
-  /// condition blocks or rejects according to the backpressure policy.
-  /// Decode failures surface as exceptions on the returned future.
+  /// Submits one request. Cache hits complete immediately (bypassing
+  /// admission — they consume no reconstruction capacity). A shed request
+  /// reports why in `status`. Decode failures surface as exceptions on the
+  /// returned future.
   SubmitResult submit(ServeRequest request);
 
-  /// Blocks until every accepted request has completed or failed.
+  /// Open-loop submission: like submit() but delivers the outcome through
+  /// `callback` instead of a future, so a driver can pump requests without
+  /// parking a thread per response. Cache hits invoke the callback inline
+  /// before returning. On a shed submit the callback is NEVER invoked —
+  /// the returned status is the whole story.
+  SubmitStatus submit_async(ServeRequest request, ResponseCallback callback);
+
+  /// Blocks until every accepted request has completed or failed. In
+  /// manual scheduling mode (workers == 0) this pumps step() instead.
   void drain();
+
+  /// Manual scheduling mode only (workers == 0): runs ONE scheduler action
+  /// — launch a ready batch, else decode one dequeued request — on the
+  /// calling thread. Returns false when there is nothing to do. The
+  /// deterministic harness interleaves step() with virtual-clock advances
+  /// to replay any schedule it wants, byte-for-byte reproducibly.
+  bool step();
+
+  /// Tenant table (add/inspect at any time; see serve/tenant.hpp).
+  [[nodiscard]] TenantRegistry& tenants() { return tenants_; }
+  [[nodiscard]] const TenantRegistry& tenants() const { return tenants_; }
 
   [[nodiscard]] ServerStatsSnapshot stats() const;
   [[nodiscard]] const ServerConfig& config() const { return config_; }
+  [[nodiscard]] const ResultCache& cache() const { return cache_; }
 
  private:
-  // One request in flight, from accept to promise fulfilment.
+  // One request in flight, from accept to promise/callback fulfilment.
   struct Job {
     ServeRequest request;
+    std::string tenant;  // resolved tenant name (admission + WDRR + stats)
     std::promise<ServeResponse> promise;
+    ResponseCallback callback;  // non-null: callback path, promise unused
     CacheKey cache_key;
     util::Stopwatch since_submit;
     RequestTiming timing;
-    bool settled = false;  // promise already fulfilled/failed (guarded by mu_)
+    bool settled = false;  // outcome already delivered (guarded by mu_)
   };
 
   // A decoded request waiting for its patches to be reconstructed.
@@ -146,7 +219,8 @@ class ReconServer {
     core::DecodedTokens decoded;
     tensor::Tensor result;      // filled batch by batch
     int patches_remaining = 0;  // guarded by mu_
-    util::Stopwatch since_tokens_ready;
+    util::Stopwatch since_tokens_ready;  // wall clock, for batch_wait stats
+    double ready_t = 0.0;                // sched clock, for the age trigger
   };
 
   // Decoded patches of requests sharing one erase mask, waiting to be
@@ -174,12 +248,41 @@ class ReconServer {
     int patches = 0;
   };
 
+  // One tenant's slice of the request queue. Entries are never erased, so
+  // references handed out under mu_ stay valid across rehashes and waits.
+  struct TenantQueue {
+    std::deque<std::shared_ptr<Job>> jobs;
+    int weight = 1;   // refreshed from the registry at enqueue
+    int deficit = 0;  // WDRR pops remaining before the ring rotates
+    bool active = false;  // currently linked into rr_
+  };
+
+  // Per-tenant serve-side counters + latency (admission counters live in
+  // the registry). std::map: stable references for lock-free recording.
+  struct TenantLocal {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t shed_queue_full = 0;
+    StageStats total;  // self-locking; recorded outside mu_
+  };
+
   void worker_loop();
-  // All four run with mu_ held.
+  // Runs one scheduler action if any is ready; `lock` must hold mu_ and is
+  // released around the action. Returns false when nothing was runnable.
+  bool try_step_locked(std::unique_lock<std::mutex>& lock);
+  SubmitStatus submit_job(const std::shared_ptr<Job>& job);
+  void deliver_response(Job& job, ServeResponse response);
+  void deliver_error(Job& job, std::exception_ptr error);
+  [[nodiscard]] double sched_now_s() const;
+
+  // All of these run with mu_ held.
   [[nodiscard]] bool batch_ready_locked() const;
   [[nodiscard]] bool group_ready_locked(const PendingGroup& group) const;
   [[nodiscard]] FormedBatch form_batch_locked();
   [[nodiscard]] bool flush_conditions_locked() const;
+  [[nodiscard]] std::shared_ptr<Job> pop_next_locked();
 
   void run_decode(const std::shared_ptr<Job>& job);
   void run_batch(FormedBatch batch);
@@ -190,14 +293,19 @@ class ReconServer {
   const core::ReconstructionModel& model_;
   const core::PatchifyConfig patchify_;
   ResultCache cache_;
+  TenantRegistry tenants_;
+  util::Stopwatch uptime_;  // default scheduler clock base
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers: new job / ready batch / stop
-  std::condition_variable space_cv_;  // submitters: queue has room
+  std::condition_variable space_cv_;  // submitters: some tenant queue has room
   std::condition_variable idle_cv_;   // drain(): outstanding hit zero
-  std::deque<std::shared_ptr<Job>> queue_;
+  std::unordered_map<std::string, TenantQueue> queues_;  // key: resolved tenant
+  std::deque<std::string> rr_;  // WDRR ring: tenants with queued jobs
+  int queued_ = 0;              // total jobs across tenant queues
   std::unordered_map<std::string, PendingGroup> pending_;  // key: mask bytes
   std::unordered_map<std::string, codec::ImageCodec*> codecs_;
+  std::map<std::string, TenantLocal> tenant_local_;
   int decoding_ = 0;     // workers currently inside run_decode
   int outstanding_ = 0;  // accepted but not yet completed/failed
   int max_queue_depth_ = 0;

@@ -67,6 +67,47 @@ void append_stage_json(std::string& out, const char* name,
   out += buf;
 }
 
+void append_tenant_text(std::string& out, const TenantStatsSnapshot& t) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  %-12s w%-2d submitted %-6llu done %-6llu shed %llu "
+                "(queue %llu, rate %llu, quota %llu)  p50 %7.2f ms  "
+                "p95 %7.2f ms\n",
+                t.name.c_str(), t.weight,
+                static_cast<unsigned long long>(t.submitted),
+                static_cast<unsigned long long>(t.completed),
+                static_cast<unsigned long long>(t.rejected()),
+                static_cast<unsigned long long>(t.shed_queue_full),
+                static_cast<unsigned long long>(t.shed_rate_limited),
+                static_cast<unsigned long long>(t.shed_quota),
+                t.total.p50_s * 1e3, t.total.p95_s * 1e3);
+  out += buf;
+}
+
+void append_tenant_json(std::string& out, const TenantStatsSnapshot& t,
+                        bool trailing_comma) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"name\":\"%s\",\"weight\":%d,\"submitted\":%llu,\"admitted\":%llu,"
+      "\"completed\":%llu,\"failed\":%llu,\"cache_hits\":%llu,"
+      "\"rejected\":%llu,\"shed_queue_full\":%llu,"
+      "\"shed_rate_limited\":%llu,\"shed_quota\":%llu,\"inflight\":%d,"
+      "\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f}%s",
+      t.name.c_str(), t.weight, static_cast<unsigned long long>(t.submitted),
+      static_cast<unsigned long long>(t.admitted),
+      static_cast<unsigned long long>(t.completed),
+      static_cast<unsigned long long>(t.failed),
+      static_cast<unsigned long long>(t.cache_hits),
+      static_cast<unsigned long long>(t.rejected()),
+      static_cast<unsigned long long>(t.shed_queue_full),
+      static_cast<unsigned long long>(t.shed_rate_limited),
+      static_cast<unsigned long long>(t.shed_quota), t.inflight,
+      t.total.p50_s * 1e3, t.total.p95_s * 1e3, t.total.p99_s * 1e3,
+      trailing_comma ? "," : "");
+  out += buf;
+}
+
 }  // namespace
 
 std::string ServerStatsSnapshot::to_string() const {
@@ -103,6 +144,10 @@ std::string ServerStatsSnapshot::to_string() const {
                 codec_decode_mpps(),
                 static_cast<unsigned long long>(codec_pixels));
   out += buf;
+  if (!tenants.empty()) {
+    out += "tenants:\n";
+    for (const TenantStatsSnapshot& t : tenants) append_tenant_text(out, t);
+  }
   out += "stage latencies:\n";
   append_stage_text(out, "queue_wait", queue_wait);
   append_stage_text(out, "decode", decode);
@@ -138,6 +183,11 @@ std::string ServerStatsSnapshot::to_json() const {
       kernel_threads, static_cast<unsigned long long>(codec_pixels),
       codec_decode_mpps(), queue_depth, max_queue_depth);
   out += buf;
+  out += "\"tenants\":[";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    append_tenant_json(out, tenants[i], i + 1 < tenants.size());
+  }
+  out += "],";
   append_stage_json(out, "queue_wait", queue_wait, true);
   append_stage_json(out, "decode", decode, true);
   append_stage_json(out, "codec_decode", codec_decode, true);

@@ -40,13 +40,36 @@ class StageStats {
 /// Exposed for tests; copies and sorts internally.
 double percentile(std::vector<double> samples, double p);
 
+/// Everything the server knows about one tenant at snapshot time:
+/// admission-side counters from the TenantRegistry merged with the serve
+/// path's completion counters and end-to-end latency distribution.
+struct TenantStatsSnapshot {
+  std::string name;
+  int weight = 1;
+  std::uint64_t submitted = 0;  ///< includes shed and cache-hit requests
+  std::uint64_t admitted = 0;   ///< passed rate + quota admission
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t shed_queue_full = 0;     ///< kReject backpressure drops
+  std::uint64_t shed_rate_limited = 0;   ///< token bucket empty at submit
+  std::uint64_t shed_quota = 0;          ///< max_inflight reached at submit
+  int inflight = 0;                      ///< at snapshot time
+  StageSummary total;                    ///< per-tenant submit -> response
+
+  /// All submits shed before reaching a worker, for any reason.
+  [[nodiscard]] std::uint64_t rejected() const {
+    return shed_queue_full + shed_rate_limited + shed_quota;
+  }
+};
+
 /// One snapshot of everything the server counts. Plain data, safe to copy
 /// around after the server produced it.
 struct ServerStatsSnapshot {
   // Request accounting.
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
-  std::uint64_t rejected = 0;   ///< backpressure drops (kReject policy)
+  std::uint64_t rejected = 0;   ///< total shed: queue-full + rate + quota
   std::uint64_t failed = 0;     ///< decode/validation errors
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
@@ -65,9 +88,13 @@ struct ServerStatsSnapshot {
   /// the per-stage throughput figure.
   std::uint64_t codec_pixels = 0;
 
-  // Queue pressure.
+  // Queue pressure (summed over per-tenant queues).
   int max_queue_depth = 0;
   int queue_depth = 0;  ///< at snapshot time
+
+  /// Per-tenant breakdown, name-ordered. Always contains at least the
+  /// default tenant once it has seen traffic.
+  std::vector<TenantStatsSnapshot> tenants;
 
   // Stage latencies.
   StageSummary queue_wait;

@@ -1,0 +1,148 @@
+#include "serve/tenant.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace easz::serve {
+
+TenantRegistry::TenantRegistry(ClockFn clock)
+    : clock_(std::move(clock)), t0_(std::chrono::steady_clock::now()) {
+  State def;
+  def.config.name = kDefaultTenant;
+  tenants_.emplace(kDefaultTenant, std::move(def));
+}
+
+double TenantRegistry::now_s() const {
+  if (clock_) return clock_();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+double TenantRegistry::burst_of(const TenantConfig& config) {
+  if (config.burst > 0.0) return config.burst;
+  return std::max(config.rate_per_s, 1.0);
+}
+
+namespace {
+
+// Tenant names are identifiers, not free text: they flow verbatim into
+// JSON reports and CLI tables (neither escapes), so the registry rejects
+// anything that could corrupt those sinks instead of escaping at each one.
+bool valid_tenant_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void TenantRegistry::add(TenantConfig config) {
+  if (!valid_tenant_name(config.name)) {
+    throw std::invalid_argument(
+        "TenantRegistry: tenant name must be 1-64 chars of [A-Za-z0-9_.-]");
+  }
+  if (config.weight < 1) {
+    throw std::invalid_argument("TenantRegistry: tenant '" + config.name +
+                                "' needs weight >= 1");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  State& s = tenants_[config.name];
+  // Replacing policy resets the bucket (it is sized by the new burst) but
+  // keeps counters and inflight holds: the requests are still out there.
+  s.config = std::move(config);
+  s.bucket_primed = false;
+}
+
+bool TenantRegistry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.count(name) != 0;
+}
+
+std::string TenantRegistry::resolve(const std::string& name) const {
+  if (name.empty()) return kDefaultTenant;
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.count(name) != 0 ? name : kDefaultTenant;
+}
+
+int TenantRegistry::weight(const std::string& resolved) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(resolved);
+  return it == tenants_.end() ? 1 : it->second.config.weight;
+}
+
+Admission TenantRegistry::try_admit(const std::string& resolved,
+                                    int* weight_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(resolved);
+  if (it == tenants_.end()) it = tenants_.find(kDefaultTenant);
+  State& s = it->second;
+  if (weight_out != nullptr) *weight_out = s.config.weight;
+
+  const bool limited = s.config.rate_per_s > 0.0;
+  if (limited) {
+    const double now = now_s();
+    const double burst = burst_of(s.config);
+    if (!s.bucket_primed) {
+      s.tokens = burst;  // a fresh tenant may burst immediately
+      s.bucket_primed = true;
+    } else {
+      s.tokens = std::min(
+          burst, s.tokens + (now - s.last_refill_s) * s.config.rate_per_s);
+    }
+    s.last_refill_s = now;
+    if (s.tokens < 1.0) {
+      ++s.rate_limited;
+      return Admission::kRateLimited;
+    }
+  }
+  if (s.config.max_inflight > 0 && s.inflight >= s.config.max_inflight) {
+    ++s.quota_rejected;
+    return Admission::kQuotaExceeded;
+  }
+  if (limited) s.tokens -= 1.0;
+  ++s.inflight;
+  ++s.admitted;
+  return Admission::kAdmitted;
+}
+
+void TenantRegistry::release(const std::string& resolved) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(resolved);
+  if (it == tenants_.end()) it = tenants_.find(kDefaultTenant);
+  if (it->second.inflight > 0) --it->second.inflight;
+}
+
+void TenantRegistry::cancel_admission(const std::string& resolved) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(resolved);
+  if (it == tenants_.end()) it = tenants_.find(kDefaultTenant);
+  State& s = it->second;
+  if (s.inflight > 0) --s.inflight;
+  if (s.admitted > 0) --s.admitted;  // the request never ran
+  if (s.config.rate_per_s > 0.0 && s.bucket_primed) {
+    s.tokens = std::min(burst_of(s.config), s.tokens + 1.0);
+  }
+}
+
+std::vector<TenantAdmissionStats> TenantRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantAdmissionStats> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, s] : tenants_) {
+    TenantAdmissionStats t;
+    t.name = name;
+    t.weight = s.config.weight;
+    t.admitted = s.admitted;
+    t.rate_limited = s.rate_limited;
+    t.quota_rejected = s.quota_rejected;
+    t.inflight = s.inflight;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace easz::serve

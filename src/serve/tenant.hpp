@@ -1,0 +1,129 @@
+// Multi-tenant admission control for the reconstruction server.
+//
+// The paper's asymmetric deployment puts one server in front of many
+// heterogeneous edge fleets; a wildlife-camera fleet and an industrial
+// inspection line are different TENANTS of the same reconstruction
+// capacity, and a flooding fleet must not be able to crowd out the rest.
+// The registry holds per-tenant policy and enforces it at submit() time:
+//
+//   weight        relative share of worker dequeue bandwidth (WDRR in
+//                 ReconServer, DESIGN.md §6.2) — a 3:1 weight pair splits
+//                 a saturated server's throughput 3:1
+//   rate + burst  token-bucket admission: sustained requests/s plus a
+//                 burst allowance; beyond it submits are shed as
+//                 kRateLimited before they touch the queue
+//   max_inflight  cap on accepted-but-unsettled requests, bounding the
+//                 queue + batch-pool memory any one tenant can pin
+//
+// Requests naming an unregistered (or empty) tenant resolve to a built-in
+// "default" tenant with weight 1 and no limits, so single-tenant callers
+// never have to think about any of this.
+//
+// Time is read through an injectable ClockFn so the deterministic test
+// harness (tests/serve_sched_test.cpp) can drive bucket refill with a
+// virtual clock; the default is a monotonic wall clock.
+#pragma once
+
+#include <cstdint>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace easz::serve {
+
+/// Monotonic seconds source. Scheduling decisions (bucket refill, batch
+/// aging) go through this hook; wall-clock *telemetry* does not.
+using ClockFn = std::function<double()>;
+
+struct TenantConfig {
+  std::string name;
+  int weight = 1;           ///< WDRR share; must be >= 1
+  double rate_per_s = 0.0;  ///< sustained admission rate; <= 0 = unlimited
+  double burst = 0.0;       ///< bucket capacity; <= 0 defaults to max(rate, 1)
+  int max_inflight = 0;     ///< accepted-but-unsettled cap; 0 = unlimited
+};
+
+enum class Admission {
+  kAdmitted,
+  kRateLimited,    ///< token bucket empty
+  kQuotaExceeded,  ///< max_inflight reached
+};
+
+/// Admission-side view of one tenant at snapshot time.
+struct TenantAdmissionStats {
+  std::string name;
+  int weight = 1;
+  std::uint64_t admitted = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t quota_rejected = 0;
+  int inflight = 0;
+};
+
+/// Thread-safe tenant table. Never holds the server mutex; the server may
+/// call into it while locked (weight lookups) but not vice versa.
+class TenantRegistry {
+ public:
+  static constexpr const char* kDefaultTenant = "default";
+
+  /// `clock` overrides the bucket-refill time source (tests); empty uses a
+  /// monotonic wall clock anchored at construction.
+  explicit TenantRegistry(ClockFn clock = {});
+
+  /// Inserts or replaces a tenant. Replacing kDefaultTenant customises the
+  /// policy applied to unregistered tenant names. Throws on weight < 1 and
+  /// on names that are not 1-64 chars of [A-Za-z0-9_.-] (names flow
+  /// verbatim into JSON reports, so they must be identifiers).
+  void add(TenantConfig config);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Maps a request's tenant field to the tenant that governs it:
+  /// the registered name, else kDefaultTenant.
+  [[nodiscard]] std::string resolve(const std::string& name) const;
+
+  /// WDRR weight of a RESOLVED tenant name.
+  [[nodiscard]] int weight(const std::string& resolved) const;
+
+  /// Rate/quota check for one request of a RESOLVED tenant. kAdmitted
+  /// consumes one bucket token and holds one inflight slot until release().
+  /// `weight_out` (optional) receives the tenant's WDRR weight in the same
+  /// lock acquisition, sparing the submit hot path a second one.
+  Admission try_admit(const std::string& resolved, int* weight_out = nullptr);
+
+  /// Returns the inflight slot of one settled (completed/failed) request.
+  void release(const std::string& resolved);
+
+  /// Undoes a try_admit for a request that never entered the pipeline
+  /// (e.g. shed at the queue-full check): returns the inflight slot AND
+  /// refunds the bucket token, so a full queue cannot drain the rate
+  /// limiter with requests that did no work.
+  void cancel_admission(const std::string& resolved);
+
+  /// All tenants in name order (deterministic for reports).
+  [[nodiscard]] std::vector<TenantAdmissionStats> snapshot() const;
+
+ private:
+  struct State {
+    TenantConfig config;
+    double tokens = 0.0;
+    double last_refill_s = 0.0;
+    bool bucket_primed = false;  // tokens start at burst on first use
+    int inflight = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rate_limited = 0;
+    std::uint64_t quota_rejected = 0;
+  };
+
+  [[nodiscard]] double now_s() const;
+  [[nodiscard]] static double burst_of(const TenantConfig& config);
+
+  mutable std::mutex mu_;
+  ClockFn clock_;
+  std::chrono::steady_clock::time_point t0_;
+  std::map<std::string, State> tenants_;  // ordered: stable snapshots
+};
+
+}  // namespace easz::serve

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <future>
+#include <map>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -31,11 +35,13 @@ double modeled_upload_s(const Scenario& scenario,
 
 serve::ServeRequest encode_request(const core::EaszConfig& cfg,
                                    codec::ImageCodec& codec,
-                                   const image::Image& img) {
+                                   const image::Image& img,
+                                   const std::string& tenant) {
   const core::EaszPipeline edge(cfg, codec, nullptr);
   serve::ServeRequest request;
   request.compressed = edge.encode(img);
   request.codec = codec.name();
+  request.tenant = tenant;
   return request;
 }
 
@@ -90,7 +96,8 @@ LoadTrace make_wildlife_burst_trace(const core::ReconstructionModel& model,
         } else {
           trace.originals.push_back(data::synth_photo(w, h, rng));
           ev.image_index = trace.originals.size() - 1;
-          ev.request = encode_request(cfg, codec, trace.originals.back());
+          ev.request =
+              encode_request(cfg, codec, trace.originals.back(), "wildlife");
           last_request = ev.request;
           last_index = ev.image_index;
           have_last = true;
@@ -133,7 +140,8 @@ LoadTrace make_industrial_stream_trace(const core::ReconstructionModel& model,
       ev.client_id = st;
       trace.originals.push_back(data::synth_texture(w, h, rng));
       ev.image_index = trace.originals.size() - 1;
-      ev.request = encode_request(cfg, codec, trace.originals.back());
+      ev.request =
+          encode_request(cfg, codec, trace.originals.back(), "industrial");
       clock += modeled_upload_s(
           factory, codec, model, w, h, cfg.erased_per_row,
           static_cast<double>(ev.request.compressed.size_bytes()));
@@ -176,7 +184,10 @@ LoadTrace make_heterogeneous_trace(const core::ReconstructionModel& model,
       trace.originals.push_back(f % 2 == 0 ? data::synth_photo(w, h, rng)
                                            : data::synth_cartoon(w, h, rng));
       ev.image_index = trace.originals.size() - 1;
-      ev.request = encode_request(cfg, codec, trace.originals.back());
+      // Tenant follows the device/link model: LTE camera fleets are the
+      // wildlife tenant, Wi-Fi inspection stations the industrial one.
+      ev.request = encode_request(cfg, codec, trace.originals.back(),
+                                  cl % 2 == 0 ? "wildlife" : "industrial");
       clock += modeled_upload_s(
           scenario, codec, model, w, h, cfg.erased_per_row,
           static_cast<double>(ev.request.compressed.size_bytes()));
@@ -189,6 +200,36 @@ LoadTrace make_heterogeneous_trace(const core::ReconstructionModel& model,
   return trace;
 }
 
+namespace {
+
+// Client-side outcome accumulator shared by the sync and async replay
+// paths. The async path mutates it from worker-thread callbacks, so all
+// access goes through `mu`.
+struct ReplayAccounting {
+  std::mutex mu;
+  std::condition_variable all_done;
+  int outstanding = 0;
+  std::map<std::string, ReplayReport::TenantOutcome> tenants;
+  std::map<std::string, std::vector<double>> latencies;
+
+  void settled(const std::string& tenant, const serve::ServeResponse& resp,
+               const std::exception_ptr& error, bool was_outstanding) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (error) {
+      ++tenants[tenant].failed;
+    } else {
+      ++tenants[tenant].completed;
+      latencies[tenant].push_back(resp.timing.total_s);
+    }
+    if (was_outstanding) {
+      --outstanding;
+      all_done.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
 ReplayReport replay_trace(const LoadTrace& trace, serve::ReconServer& server,
                           ReplayOptions options) {
   ReplayReport report;
@@ -196,8 +237,13 @@ ReplayReport replay_trace(const LoadTrace& trace, serve::ReconServer& server,
   report.modeled_span_s = trace.modeled_span_s();
   if (trace.events.empty()) return report;
 
+  ReplayAccounting acc;
   std::vector<std::future<serve::ServeResponse>> futures;
-  futures.reserve(trace.events.size());
+  std::vector<std::string> future_tenants;  // parallel to futures (sync path)
+  if (!options.async) {
+    futures.reserve(trace.events.size());
+    future_tenants.reserve(trace.events.size());
+  }
 
   const double t0_model = trace.events.front().arrival_s;
   const auto t0_wall = std::chrono::steady_clock::now();
@@ -211,30 +257,71 @@ ReplayReport replay_trace(const LoadTrace& trace, serve::ReconServer& server,
                             (ev.arrival_s - t0_model) * options.time_scale));
       std::this_thread::sleep_until(due);
     }
-    serve::SubmitResult res = server.submit(ev.request);
-    if (res.accepted) {
-      futures.push_back(std::move(res.response));
+    const std::string tenant = ev.request.tenant.empty()
+                                   ? serve::TenantRegistry::kDefaultTenant
+                                   : ev.request.tenant;
+    if (options.async) {
+      // Open-loop: account the submit as outstanding BEFORE it happens —
+      // a cache hit invokes the callback inline, inside submit_async.
+      {
+        std::lock_guard<std::mutex> lock(acc.mu);
+        ++acc.outstanding;
+      }
+      const serve::SubmitStatus status = server.submit_async(
+          ev.request, [&acc, tenant](serve::ServeResponse resp,
+                                     std::exception_ptr error) {
+            acc.settled(tenant, resp, error, /*was_outstanding=*/true);
+          });
+      if (status != serve::SubmitStatus::kAccepted) {
+        std::lock_guard<std::mutex> lock(acc.mu);
+        --acc.outstanding;
+        ++acc.tenants[tenant].rejected;
+      }
     } else {
-      ++report.rejected;
+      serve::SubmitResult res = server.submit(ev.request);
+      if (res.accepted) {
+        futures.push_back(std::move(res.response));
+        future_tenants.push_back(tenant);
+      } else {
+        std::lock_guard<std::mutex> lock(acc.mu);
+        ++acc.tenants[tenant].rejected;
+      }
     }
   }
 
-  std::vector<double> latencies;
-  latencies.reserve(futures.size());
-  for (std::future<serve::ServeResponse>& f : futures) {
-    try {
-      const serve::ServeResponse resp = f.get();
-      ++report.completed;
-      latencies.push_back(resp.timing.total_s);
-    } catch (const std::exception&) {
-      ++report.failed;
+  if (options.async) {
+    std::unique_lock<std::mutex> lock(acc.mu);
+    acc.all_done.wait(lock, [&acc] { return acc.outstanding == 0; });
+  } else {
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      try {
+        const serve::ServeResponse resp = futures[i].get();
+        acc.settled(future_tenants[i], resp, nullptr,
+                    /*was_outstanding=*/false);
+      } catch (const std::exception&) {
+        acc.settled(future_tenants[i], serve::ServeResponse{},
+                    std::current_exception(), /*was_outstanding=*/false);
+      }
     }
   }
   report.wall_s = wall.elapsed_seconds();
+
+  std::vector<double> all_latencies;
+  for (auto& [tenant, outcome] : acc.tenants) {
+    outcome.tenant = tenant;
+    std::vector<double>& lat = acc.latencies[tenant];
+    outcome.latency_p50_s = serve::percentile(lat, 50.0);
+    outcome.latency_p95_s = serve::percentile(lat, 95.0);
+    all_latencies.insert(all_latencies.end(), lat.begin(), lat.end());
+    report.completed += outcome.completed;
+    report.rejected += outcome.rejected;
+    report.failed += outcome.failed;
+    report.tenants.push_back(outcome);
+  }
   report.throughput_rps =
       report.wall_s > 0.0 ? report.completed / report.wall_s : 0.0;
-  report.latency_p50_s = serve::percentile(latencies, 50.0);
-  report.latency_p99_s = serve::percentile(latencies, 99.0);
+  report.latency_p50_s = serve::percentile(all_latencies, 50.0);
+  report.latency_p99_s = serve::percentile(all_latencies, 99.0);
   report.server = server.stats();
   return report;
 }
@@ -245,10 +332,22 @@ std::string ReplayReport::to_json() const {
       buf, sizeof(buf),
       "{\"trace\":\"%s\",\"completed\":%d,\"rejected\":%d,\"failed\":%d,"
       "\"wall_s\":%.4f,\"modeled_span_s\":%.2f,\"throughput_rps\":%.3f,"
-      "\"latency_p50_ms\":%.3f,\"latency_p99_ms\":%.3f,\"server\":",
+      "\"latency_p50_ms\":%.3f,\"latency_p99_ms\":%.3f,\"tenants\":[",
       trace.c_str(), completed, rejected, failed, wall_s, modeled_span_s,
       throughput_rps, latency_p50_s * 1e3, latency_p99_s * 1e3);
-  return std::string(buf) + server.to_json() + "}";
+  std::string out(buf);
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantOutcome& t = tenants[i];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"tenant\":\"%s\",\"completed\":%d,\"rejected\":%d,"
+                  "\"failed\":%d,\"p50_ms\":%.3f,\"p95_ms\":%.3f}%s",
+                  t.tenant.c_str(), t.completed, t.rejected, t.failed,
+                  t.latency_p50_s * 1e3, t.latency_p95_s * 1e3,
+                  i + 1 < tenants.size() ? "," : "");
+    out += buf;
+  }
+  out += "],\"server\":";
+  return out + server.to_json() + "}";
 }
 
 }  // namespace easz::testbed

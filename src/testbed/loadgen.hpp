@@ -30,7 +30,10 @@
 
 namespace easz::testbed {
 
-/// One modeled upload.
+/// One modeled upload. The request carries a tenant derived from the
+/// device/link model that produced it (Pi-4/LTE-IoT fleets -> "wildlife",
+/// TX2/Wi-Fi stations -> "industrial"), so a multi-tenant server can apply
+/// per-fleet weight/rate policy to a replayed trace.
 struct LoadEvent {
   double arrival_s = 0.0;  ///< modeled arrival at the server (trace clock)
   int client_id = 0;
@@ -83,6 +86,11 @@ struct ReplayOptions {
   /// Wall seconds per modeled second. 0 submits back-to-back (throughput
   /// mode); 1 replays in modeled real time.
   double time_scale = 0.0;
+  /// Drive the server open-loop through submit_async() callbacks instead of
+  /// holding one future per request: the replay thread only submits, and
+  /// completions land on worker threads. Client-side outcome accounting is
+  /// identical either way.
+  bool async = false;
 };
 
 struct ReplayReport {
@@ -96,6 +104,18 @@ struct ReplayReport {
   double latency_p50_s = 0.0;   ///< client-observed total latency
   double latency_p99_s = 0.0;
   serve::ServerStatsSnapshot server;
+
+  /// Client-observed outcomes split by the tenant each event was tagged
+  /// with (tenant-name ordered; single-tenant traces have one entry).
+  struct TenantOutcome {
+    std::string tenant;
+    int completed = 0;
+    int rejected = 0;
+    int failed = 0;
+    double latency_p50_s = 0.0;
+    double latency_p95_s = 0.0;
+  };
+  std::vector<TenantOutcome> tenants;
 
   [[nodiscard]] std::string to_json() const;
 };

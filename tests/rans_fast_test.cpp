@@ -121,6 +121,53 @@ TEST(RansInterleaved, TruncatedStreamThrows) {
                std::exception);
 }
 
+// Fuzz-style breadth behind the hand-picked negative cases above: over a
+// seeded corpus, EVERY truncation length and hundreds of random byte
+// corruptions must end in a clean throw or a decode (possibly of wrong
+// symbols — that is entropy coding), never a crash or out-of-range read.
+TEST(RansInterleaved, TruncationSweepThrowsAtEveryLength) {
+  const auto symbols = skewed_symbols(3000, 24, 137);
+  const auto table = table_for(symbols, 24);
+  const auto encoded = rans_encode_interleaved(symbols, table);
+  for (std::size_t n = 0; n < encoded.size(); ++n) {
+    EXPECT_THROW(
+        rans_decode_interleaved(encoded.data(), n, symbols.size(), table),
+        std::exception)
+        << "prefix " << n;
+  }
+  EXPECT_EQ(rans_decode_interleaved(encoded.data(), encoded.size(),
+                                    symbols.size(), table),
+            symbols);
+}
+
+TEST(RansInterleaved, RandomCorruptionNeverEscapesAsCrash) {
+  const auto symbols = skewed_symbols(2000, 16, 139);
+  const auto table = table_for(symbols, 16);
+  const auto encoded = rans_encode_interleaved(symbols, table);
+  util::Pcg32 fuzz(0xC0FE);
+  int threw = 0, decoded = 0, wrong = 0;
+  for (int trial = 0; trial < 600; ++trial) {
+    auto mutated = encoded;
+    const int flips = 1 + fuzz.next_int(0, 3);
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos =
+          fuzz.next_below(static_cast<std::uint32_t>(mutated.size()));
+      mutated[pos] ^= static_cast<std::uint8_t>(1U << fuzz.next_int(0, 7));
+    }
+    try {
+      const auto out = rans_decode_interleaved(mutated.data(), mutated.size(),
+                                               symbols.size(), table);
+      ++decoded;
+      if (out != symbols) ++wrong;  // tolerated; crashing is not
+    } catch (const std::exception&) {
+      ++threw;
+    }
+  }
+  EXPECT_EQ(threw + decoded, 600);
+  // The lane-offset/word-bounds validators must be load-bearing.
+  EXPECT_GT(threw, 0);
+}
+
 TEST(RansInterleaved, CorruptLaneOffsetThrows) {
   const auto symbols = skewed_symbols(5000, 32, 137);
   const auto table = table_for(symbols, 32);

@@ -5,16 +5,29 @@
 //
 //   easz_serve [--scenario wildlife|industrial|mixed|all] [--workers N]
 //              [--clients N] [--frames N] [--batch P] [--queue N]
-//              [--cache-mb MB] [--reject] [--time-scale S] [--json out.json]
-//              [--kernel-threads N]
+//              [--cache-mb MB] [--cache-shards N] [--reject]
+//              [--time-scale S] [--json out.json] [--kernel-threads N]
+//              [--tenants name:weight[:rate[:burst[:inflight]]],...]
+//              [--async]
 //
 // --kernel-threads sizes the tensor::kern pool the transformer forward
 // (reconstruct stage) runs on; 0 keeps the pool at hardware concurrency.
 //
+// --tenants registers per-fleet policy, e.g.
+//   easz_serve --tenants wildlife:3,industrial:1
+// gives the wildlife fleet 3x the industrial fleet's worker share (WDRR
+// weights); optional suffixes add a token-bucket rate (req/s), burst and
+// max-inflight quota: wildlife:3:50:100:32. Traces tag each request with
+// the fleet that produced it, so policy applies end to end.
+//
+// --async drives the server open-loop through submit_async callbacks
+// instead of one blocking future per request.
+//
 // --time-scale replays arrivals on the modeled clock (1 = real time,
 // 0 = as fast as possible, the default). --reject switches backpressure
 // from blocking to load shedding. The JSON report contains one entry per
-// scenario with client-side latency and the server's stage stats.
+// scenario with client-side latency (overall and per tenant) and the
+// server's stage + tenant stats.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +47,36 @@ using namespace easz;
 using util::flag_value;
 using util::has_flag;
 
+// Parses "name:weight[:rate[:burst[:inflight]]],..." into tenant configs.
+std::vector<serve::TenantConfig> parse_tenants(const std::string& spec) {
+  std::vector<serve::TenantConfig> out;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+
+    serve::TenantConfig t;
+    std::vector<std::string> fields;
+    std::size_t fstart = 0;
+    while (fstart <= entry.size()) {
+      std::size_t fend = entry.find(':', fstart);
+      if (fend == std::string::npos) fend = entry.size();
+      fields.push_back(entry.substr(fstart, fend - fstart));
+      fstart = fend + 1;
+    }
+    t.name = fields[0];
+    if (fields.size() > 1) t.weight = std::atoi(fields[1].c_str());
+    if (fields.size() > 2) t.rate_per_s = std::atof(fields[2].c_str());
+    if (fields.size() > 3) t.burst = std::atof(fields[3].c_str());
+    if (fields.size() > 4) t.max_inflight = std::atoi(fields[4].c_str());
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -49,14 +92,31 @@ int main(int argc, char** argv) try {
       std::atof(flag_value(argc, argv, "--time-scale", "0"));
   const int kernel_threads =
       std::atoi(flag_value(argc, argv, "--kernel-threads", "0"));
+  const int cache_shards =
+      std::atoi(flag_value(argc, argv, "--cache-shards", "8"));
+  const std::string tenants_spec = flag_value(argc, argv, "--tenants", "");
+  const bool async = has_flag(argc, argv, "--async");
   const char* json_path = flag_value(argc, argv, "--json", nullptr);
 
-  std::printf("easz_serve: %d workers, batch %d, queue %d, cache %.0f MB, "
-              "%s backpressure, kernel threads %s\n",
-              workers, batch, queue, cache_mb,
+  std::printf("easz_serve: %d workers, batch %d, queue %d/tenant, "
+              "cache %.0f MB x%d shards, %s backpressure, %s submit, "
+              "kernel threads %s\n",
+              workers, batch, queue, cache_mb, cache_shards,
               has_flag(argc, argv, "--reject") ? "reject" : "block",
+              async ? "async" : "blocking",
               kernel_threads > 0 ? std::to_string(kernel_threads).c_str()
                                  : "auto");
+  const std::vector<serve::TenantConfig> tenants =
+      parse_tenants(tenants_spec);
+  for (const serve::TenantConfig& t : tenants) {
+    std::printf("tenant %-12s weight %d, rate %s/s, burst %s, inflight %s\n",
+                t.name.c_str(), t.weight,
+                t.rate_per_s > 0 ? std::to_string(t.rate_per_s).c_str()
+                                 : "unlimited",
+                t.burst > 0 ? std::to_string(t.burst).c_str() : "auto",
+                t.max_inflight > 0 ? std::to_string(t.max_inflight).c_str()
+                                   : "unlimited");
+  }
 
   // Canonical serving model (matches the examples' p16/b2/d64 deployment).
   core::ReconModelConfig mcfg;
@@ -80,6 +140,8 @@ int main(int argc, char** argv) try {
                           ? serve::BackpressurePolicy::kReject
                           : serve::BackpressurePolicy::kBlock;
   scfg.kernel_threads = kernel_threads;
+  scfg.cache_shards = cache_shards;
+  scfg.tenants = tenants;
 
   std::vector<testbed::LoadTrace> traces;
   if (scenario == "wildlife" || scenario == "all") {
@@ -113,6 +175,7 @@ int main(int argc, char** argv) try {
 
     testbed::ReplayOptions opts;
     opts.time_scale = time_scale;
+    opts.async = async;
     const testbed::ReplayReport report =
         testbed::replay_trace(trace, server, opts);
 
@@ -147,6 +210,12 @@ int main(int argc, char** argv) try {
     std::printf("codec decode: %.1f MP/s over %llu requests\n",
                 s.codec_decode_mpps(),
                 static_cast<unsigned long long>(s.codec_decode.count));
+    for (const testbed::ReplayReport::TenantOutcome& to : report.tenants) {
+      std::printf("client view %-12s done %d drop %d fail %d  "
+                  "p50 %.1f ms  p95 %.1f ms\n",
+                  to.tenant.c_str(), to.completed, to.rejected, to.failed,
+                  to.latency_p50_s * 1e3, to.latency_p95_s * 1e3);
+    }
   }
   json += "]";
 
