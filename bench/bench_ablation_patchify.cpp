@@ -33,9 +33,16 @@ int main() {
   struct Cfg {
     int n, b;
   };
-  for (const Cfg c : {Cfg{8, 1}, Cfg{16, 2}, Cfg{32, 4}, Cfg{16, 4}}) {
+  const Cfg cfgs[] = {Cfg{8, 1}, Cfg{16, 2}, Cfg{32, 4}, Cfg{16, 4}};
+  for (std::size_t ci = 0; ci < std::size(cfgs); ++ci) {
+    const Cfg c = cfgs[ci];
     const core::PatchifyConfig pc{.patch = c.n, .sub_patch = c.b};
-    bench::BenchModel bm = bench::make_trained_model(pc, 48, 10, 121 + c.n);
+    // Seed by sweep INDEX, not by c.n: the old `121 + c.n` collided for
+    // the two n=16 configs, training them on identical streams and hiding
+    // any b-dependence in the comparison (bench seeding policy,
+    // bench/common.hpp).
+    bench::BenchModel bm = bench::make_trained_model(
+        pc, 48, 10, 121 + static_cast<std::uint64_t>(ci));
     const data::DatasetSpec spec = data::kodak_like_spec(0.25F);
     image::Image img = data::load_image(spec, 0).crop(0, 0, kW, kH);
     const core::EraseMask mask = core::make_diagonal_mask(pc.grid());

@@ -4,6 +4,19 @@
 // resolution scaling applied to keep CPU runtimes sane) and (b) the paper's
 // reported numbers next to ours, so EXPERIMENTS.md can be regenerated from
 // bench output alone.
+//
+// SEEDING POLICY: construct every Pcg32 exactly once, OUTSIDE any loop
+// whose iterations are meant to be compared or averaged, and let it
+// advance across iterations. Re-seeding inside the loop hands every
+// iteration the same leading stream, so "variance" across iterations
+// collapses to re-measuring one workload — the reported spread (and any
+// cross-config comparison) becomes meaningless. When a sweep needs
+// per-config determinism instead (one model per config), derive the seed
+// from the SWEEP INDEX, never from a config field that can collide
+// (bench_ablation_patchify's `121 + c.n` once gave both n=16 configs
+// identical training streams). Deliberate same-seed reuse to replay one
+// workload under two implementations (bench_micro's rANS trio) is fine —
+// that is reproduction, not variance measurement.
 #pragma once
 
 #include <cstdio>

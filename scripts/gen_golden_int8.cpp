@@ -1,0 +1,58 @@
+// Dev-time generator for tests/golden_int8.inc (see quant_test.cpp).
+// Reproduces the exact construction GoldenInt8.* tests perform, and emits
+// the expected bytes as a checked-in header.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "util/prng.hpp"
+
+using namespace easz;
+
+int main() {
+  util::Pcg32 wrng(77);
+  nn::Linear lin(32, 24, wrng);
+  lin.build_quant(1.75F);
+  const nn::Linear::QuantState& q = lin.quant();
+
+  util::Pcg32 xrng(88);
+  std::vector<float> x(8 * 32);
+  for (auto& v : x) v = xrng.next_float() * 4.0F - 2.0F;
+
+  std::vector<float> y_plain(8 * 24), y_gelu(8 * 24);
+  lin.infer_q(x.data(), y_plain.data(), 8, /*fuse_gelu=*/false);
+  lin.infer_q(x.data(), y_gelu.data(), 8, /*fuse_gelu=*/true);
+
+  std::printf(
+      "// Golden int8 artefacts for tests/quant_test.cpp (GoldenInt8.*).\n"
+      "// Generated from the fixed-seed construction documented there; the\n"
+      "// int8 path's output is pinned BIT-FOR-BIT, so any epilogue or\n"
+      "// quantizer refactor that moves a single mantissa bit fails loudly\n"
+      "// instead of drifting silently. Regenerate only for an intentional\n"
+      "// format change (see the test comment for the recipe).\n");
+
+  std::printf("[[maybe_unused]] constexpr unsigned char kGoldenWq[] = {\n");
+  for (std::size_t i = 0; i < q.w_q.size(); ++i) {
+    if (i % 16 == 0) std::printf("    ");
+    std::printf("0x%02X,", static_cast<unsigned char>(q.w_q[i]));
+    if (i % 16 == 15) std::printf("\n");
+  }
+  std::printf("\n};\n");
+
+  const auto dump_u32 = [](const char* name, const float* v, std::size_t n) {
+    std::printf("[[maybe_unused]] constexpr unsigned int %s[] = {\n", name);
+    for (std::size_t i = 0; i < n; ++i) {
+      unsigned int bits = 0;
+      std::memcpy(&bits, v + i, 4);
+      if (i % 6 == 0) std::printf("    ");
+      std::printf("0x%08X,", bits);
+      if (i % 6 == 5) std::printf("\n");
+    }
+    std::printf("\n};\n");
+  };
+  dump_u32("kGoldenWScaleBits", q.w_scale.data(), q.w_scale.size());
+  dump_u32("kGoldenOutPlainBits", y_plain.data(), y_plain.size());
+  dump_u32("kGoldenOutGeluBits", y_gelu.data(), y_gelu.size());
+  return 0;
+}

@@ -98,7 +98,8 @@ image::Image EaszPipeline::assemble(const DecodedTokens& d,
   return assemble_decoded(d, recon_tokens, config_.patchify);
 }
 
-image::Image EaszPipeline::decode(const EaszCompressed& c) const {
+image::Image EaszPipeline::decode(const EaszCompressed& c,
+                                  nn::Precision precision) const {
   if (model_ == nullptr) {
     throw std::logic_error("EaszPipeline::decode: no reconstruction model");
   }
@@ -114,7 +115,8 @@ image::Image EaszPipeline::decode(const EaszCompressed& c) const {
     tensor::Tensor batch({count, tokens, token_dim});
     std::copy_n(d.tokens.data().begin() + start * per_patch, count * per_patch,
                 batch.data().begin());
-    const tensor::Tensor recon = model_->reconstruct(batch, d.recon_mask);
+    const tensor::Tensor recon =
+        model_->reconstruct(batch, d.recon_mask, precision);
     std::copy_n(recon.data().begin(), count * per_patch,
                 result.data().begin() + start * per_patch);
   }

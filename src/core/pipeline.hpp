@@ -80,13 +80,16 @@ class EaszPipeline {
   /// Requires a model. Throws std::logic_error without one.
   ///
   /// Equivalent to decode_tokens() + ReconstructionModel::reconstruct (in
-  /// any batch split — per-patch results are batch-composition independent)
-  /// + assemble(). The reconstruction runs on the grad-free tensor::kern
-  /// inference path, never the autograd substrate. Re-entrant: safe to
+  /// any batch split — per-patch results are batch-composition independent
+  /// at either precision) + assemble(). The reconstruction runs on the
+  /// grad-free tensor::kern inference path, never the autograd substrate;
+  /// kInt8 requires a quantized model (DESIGN.md §7). Re-entrant: safe to
   /// call concurrently from many threads on one pipeline, as long as
   /// nobody mutates the codec (set_quality) or the model parameters
-  /// (training) meanwhile.
-  [[nodiscard]] image::Image decode(const EaszCompressed& c) const;
+  /// (training/quantization) meanwhile.
+  [[nodiscard]] image::Image decode(
+      const EaszCompressed& c,
+      nn::Precision precision = nn::Precision::kFp32) const;
 
   /// Wall-clock sub-stage costs of one decode_tokens() call, for serving
   /// telemetry: the classical codec decode is the dominant non-neural cost

@@ -81,8 +81,15 @@ nn::Tensor ReconstructionModel::forward(const nn::Tensor& tokens,
 }
 
 nn::Tensor ReconstructionModel::infer(const nn::Tensor& tokens,
-                                      const EraseMask& mask) const {
+                                      const EraseMask& mask,
+                                      nn::Precision precision) const {
   namespace kern = tensor::kern;
+  const bool int8 = precision == nn::Precision::kInt8;
+  if (int8 && !is_quantized()) {
+    throw std::logic_error(
+        "ReconstructionModel: int8 inference requested but the model is not "
+        "quantized (run calibrate_and_quantize or apply an EAZQ sidecar)");
+  }
   const int total = config_.patchify.tokens();
   const int token_dim = config_.patchify.token_dim(config_.channels);
   if (tokens.rank() != 3 || tokens.dim(1) != total ||
@@ -117,7 +124,11 @@ nn::Tensor ReconstructionModel::infer(const nn::Tensor& tokens,
 
   // Embed + positional information for the kept grid positions.
   float* x = ws.alloc(static_cast<std::size_t>(batch) * m * d);
-  embed_->infer(kept_tokens, x, batch * m);
+  if (int8) {
+    embed_->infer_q(kept_tokens, x, batch * m);
+  } else {
+    embed_->infer(kept_tokens, x, batch * m);
+  }
   for (int b = 0; b < batch; ++b) {
     for (int r = 0; r < m; ++r) {
       float* row = x + (static_cast<std::size_t>(b) * m + r) * d;
@@ -128,7 +139,11 @@ nn::Tensor ReconstructionModel::infer(const nn::Tensor& tokens,
   float* ping = ws.alloc(static_cast<std::size_t>(batch) * m * d);
   float* cur = x;
   for (const auto& block : encoder_) {
-    block->infer(cur, ping, batch, m, ws);
+    if (int8) {
+      block->infer_q(cur, ping, batch, m, ws);
+    } else {
+      block->infer(cur, ping, batch, m, ws);
+    }
     std::swap(cur, ping);
   }
 
@@ -151,20 +166,29 @@ nn::Tensor ReconstructionModel::infer(const nn::Tensor& tokens,
   float* pong = ws.alloc(static_cast<std::size_t>(batch) * total * d);
   float* cur_y = y;
   for (const auto& block : decoder_) {
-    block->infer(cur_y, pong, batch, total, ws);
+    if (int8) {
+      block->infer_q(cur_y, pong, batch, total, ws);
+    } else {
+      block->infer(cur_y, pong, batch, total, ws);
+    }
     std::swap(cur_y, pong);
   }
 
   nn::Tensor out({batch, total, token_dim});
-  head_->infer(cur_y, out.data().data(), batch * total);
+  if (int8) {
+    head_->infer_q(cur_y, out.data().data(), batch * total);
+  } else {
+    head_->infer(cur_y, out.data().data(), batch * total);
+  }
   return out;
 }
 
 nn::Tensor ReconstructionModel::reconstruct(const nn::Tensor& tokens,
-                                            const EraseMask& mask) const {
+                                            const EraseMask& mask,
+                                            nn::Precision precision) const {
   // Serving hot path: grad-free kernel forward (see infer). The autograd
   // forward() stays reserved for training.
-  nn::Tensor out = infer(tokens, mask);
+  nn::Tensor out = infer(tokens, mask, precision);
   // Paste-through: keep original values where nothing was erased.
   const int total = config_.patchify.tokens();
   const int token_dim = config_.patchify.token_dim(config_.channels);
@@ -182,6 +206,76 @@ nn::Tensor ReconstructionModel::reconstruct(const nn::Tensor& tokens,
   // Clamp predictions into the valid sample range.
   for (auto& v : out.data()) v = std::min(1.0F, std::max(0.0F, v));
   return out;
+}
+
+std::vector<nn::Linear*> ReconstructionModel::linears() const {
+  std::vector<nn::Linear*> out;
+  out.push_back(embed_.get());
+  for (const auto& block : encoder_) block->collect_linears(out);
+  for (const auto& block : decoder_) block->collect_linears(out);
+  out.push_back(head_.get());
+  return out;
+}
+
+void ReconstructionModel::calibrate_and_quantize(
+    const std::vector<CalibSample>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument(
+        "ReconstructionModel: calibration needs at least one sample");
+  }
+  // Observers record absmax per Linear input during plain fp32 inference;
+  // the whole pass is the production code path, so calibration sees exactly
+  // the activation distribution serving will. Start from a clean slate so
+  // RE-calibration reflects these samples, not the widest range ever seen.
+  for (nn::Linear* l : linears()) l->reset_observed_absmax();
+  nn::set_calibration(true);
+  try {
+    for (const CalibSample& s : samples) (void)infer(s.tokens, s.mask);
+  } catch (...) {
+    nn::set_calibration(false);
+    throw;
+  }
+  nn::set_calibration(false);
+  for (nn::Linear* l : linears()) l->build_quant(l->observed_absmax());
+}
+
+bool ReconstructionModel::is_quantized() const {
+  for (nn::Linear* l : linears()) {
+    if (!l->quantized()) return false;
+  }
+  return true;
+}
+
+nn::QuantSidecar ReconstructionModel::quant_sidecar() const {
+  nn::QuantSidecar out;
+  for (nn::Linear* l : linears()) {
+    const nn::Linear::QuantState& q = l->quant();  // throws if not quantized
+    nn::QuantSidecar::Layer layer;
+    layer.in = static_cast<std::uint32_t>(l->in_features());
+    layer.out = static_cast<std::uint32_t>(l->out_features());
+    layer.act_scale = q.act_scale;
+    layer.w_scale = q.w_scale;
+    layer.w_q = q.w_q;
+    out.layers.push_back(std::move(layer));
+  }
+  return out;
+}
+
+void ReconstructionModel::apply_quant_sidecar(const nn::QuantSidecar& sidecar) {
+  const std::vector<nn::Linear*> layers = linears();
+  if (sidecar.layers.size() != layers.size()) {
+    throw std::invalid_argument(
+        "ReconstructionModel: sidecar layer count does not match the model");
+  }
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const nn::QuantSidecar::Layer& l = sidecar.layers[i];
+    if (static_cast<int>(l.in) != layers[i]->in_features() ||
+        static_cast<int>(l.out) != layers[i]->out_features()) {
+      throw std::invalid_argument(
+          "ReconstructionModel: sidecar layer dimensions do not match");
+    }
+    layers[i]->apply_quant(l.act_scale, l.w_scale, l.w_q);
+  }
 }
 
 double ReconstructionModel::flops_per_batch(int batch, int erased_per_row) const {

@@ -13,6 +13,7 @@
 
 #include "core/mask.hpp"
 #include "core/patchify.hpp"
+#include "nn/quantize.hpp"
 #include "nn/transformer.hpp"
 
 namespace easz::core {
@@ -43,12 +44,18 @@ class ReconstructionModel : public nn::Module {
   /// but the whole pass runs on the tensor::kern fast path (register-tiled
   /// parallel GEMMs, fused softmax/layernorm/bias+GELU) using the calling
   /// thread's Workspace arena — a steady-state call performs zero heap
-  /// allocations beyond the output tensor. Matches forward() to <= 1e-5
-  /// (same per-element summation order; asserted in kernels_test). Safe to
-  /// call concurrently from many threads; NOT safe concurrently with
-  /// training.
-  [[nodiscard]] nn::Tensor infer(const nn::Tensor& tokens,
-                                 const EraseMask& mask) const;
+  /// allocations beyond the output tensor. At kFp32, matches forward() to
+  /// <= 1e-5 (same per-element summation order; asserted in kernels_test).
+  /// At kInt8, every Linear runs the quantized kernel (requires
+  /// is_quantized(); throws std::logic_error otherwise) and results are
+  /// DETERMINISTIC per precision: static calibrated scales make each patch
+  /// row's output independent of batch composition and thread count, so
+  /// pooled serving batches reproduce per-request bytes exactly
+  /// (tests/quant_test.cpp). Safe to call concurrently from many threads;
+  /// NOT safe concurrently with training or quantization.
+  [[nodiscard]] nn::Tensor infer(
+      const nn::Tensor& tokens, const EraseMask& mask,
+      nn::Precision precision = nn::Precision::kFp32) const;
 
   /// Inference convenience: infer + paste-through of kept tokens (the
   /// decoder only ever has to be trusted for erased content). Runs on the
@@ -60,14 +67,45 @@ class ReconstructionModel : public nn::Module {
   /// shared gradient buffers. Per-patch outputs are independent of batch
   /// composition (attention never crosses batch elements), so a batch
   /// pooled across requests reproduces per-request results exactly.
-  [[nodiscard]] nn::Tensor reconstruct(const nn::Tensor& tokens,
-                                       const EraseMask& mask) const;
+  [[nodiscard]] nn::Tensor reconstruct(
+      const nn::Tensor& tokens, const EraseMask& mask,
+      nn::Precision precision = nn::Precision::kFp32) const;
+
+  // ---- int8 quantization (DESIGN.md §7) ----
+
+  /// One calibration input: a token batch plus the mask it decodes under.
+  struct CalibSample {
+    nn::Tensor tokens;
+    EraseMask mask;
+  };
+
+  /// Post-training quantization: runs fp32 inference over `samples` with
+  /// activation observers on (absmax per Linear input), then quantizes
+  /// every Linear per output channel with the observed ranges. Single-
+  /// threaded; must not overlap serving or training. Idempotent given the
+  /// same weights and samples (deterministic bytes).
+  void calibrate_and_quantize(const std::vector<CalibSample>& samples);
+
+  /// True once every Linear carries int8 state (calibrated or sidecar).
+  [[nodiscard]] bool is_quantized() const;
+
+  /// Exports the frozen int8 plan (layer order: embed, encoder blocks'
+  /// qkv/proj/fc1/fc2, decoder blocks' ditto, head) for the EAZQ sidecar.
+  /// Throws std::logic_error when not quantized.
+  [[nodiscard]] nn::QuantSidecar quant_sidecar() const;
+
+  /// Installs a sidecar exported from an architecturally identical model.
+  /// Throws on layer count / dimension mismatch or corrupt scales.
+  void apply_quant_sidecar(const nn::QuantSidecar& sidecar);
 
   /// Forward FLOPs for `batch` patches at erase count T per row — drives the
   /// testbed latency model (server-side reconstruction stage).
   [[nodiscard]] double flops_per_batch(int batch, int erased_per_row) const;
 
  private:
+  /// Every Linear in sidecar order (see quant_sidecar).
+  [[nodiscard]] std::vector<nn::Linear*> linears() const;
+
   ReconModelConfig config_;
   std::unique_ptr<nn::Linear> embed_;       // token_dim -> d_model
   nn::Tensor pos_embedding_;                // [N^2, d_model]

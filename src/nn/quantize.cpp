@@ -6,10 +6,21 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "nn/serialize.hpp"
+
 namespace easz::nn {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x45535A38;  // "ESZ8"
+constexpr std::uint32_t kMagic = 0x45535A38;      // "ESZ8"
+constexpr std::uint32_t kEazqMagic = 0x515A4145;  // "EAZQ"
+constexpr std::uint16_t kEazqVersion = 1;
+
+// Plausibility bounds for EAZQ dimensions: a corrupt count field must throw
+// before it can drive an allocation (the byte-bounds check against the
+// remaining buffer is the hard guarantee; these keep error messages clean).
+constexpr std::uint32_t kMaxLayers = 4096;
+constexpr std::uint32_t kMaxInFeatures = 65536;   // pack_b_s8's exact bound
+constexpr std::uint32_t kMaxOutFeatures = 1U << 20;
 
 }  // namespace
 
@@ -122,6 +133,162 @@ void load_quantized(std::vector<tensor::Tensor>& params,
   if (!in) throw std::runtime_error("load_quantized: read failed");
   const QuantizedParams q = deserialize_quantized(bytes);
   dequantize_int8(q, params);
+}
+
+// ---- EAZQ sidecar ---------------------------------------------------------
+
+std::size_t QuantSidecar::byte_size() const {
+  std::size_t n = 4 + 2 + 4;  // magic + version + layer count
+  for (const Layer& l : layers) {
+    n += 4 + 4 + 4 + l.w_scale.size() * 4 + l.w_q.size();
+  }
+  return n;
+}
+
+std::vector<std::uint8_t> serialize_quant_sidecar(const QuantSidecar& q) {
+  std::vector<std::uint8_t> out;
+  out.reserve(q.byte_size());
+  const auto push_f32 = [&out](float v) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v, 4);
+    wire::push_u32(out, bits);
+  };
+  wire::push_u32(out, kEazqMagic);
+  out.push_back(static_cast<std::uint8_t>(kEazqVersion & 0xFFU));
+  out.push_back(static_cast<std::uint8_t>((kEazqVersion >> 8U) & 0xFFU));
+  wire::push_u32(out, static_cast<std::uint32_t>(q.layers.size()));
+  for (const QuantSidecar::Layer& l : q.layers) {
+    if (l.w_scale.size() != l.out ||
+        l.w_q.size() != static_cast<std::size_t>(l.in) * l.out) {
+      throw std::invalid_argument("EAZQ sidecar: inconsistent layer sizes");
+    }
+    wire::push_u32(out, l.in);
+    wire::push_u32(out, l.out);
+    push_f32(l.act_scale);
+    for (const float s : l.w_scale) push_f32(s);
+    const auto* raw = reinterpret_cast<const std::uint8_t*>(l.w_q.data());
+    out.insert(out.end(), raw, raw + l.w_q.size());
+  }
+  return out;
+}
+
+QuantSidecar parse_quant_sidecar(const std::uint8_t* data, std::size_t size) {
+  std::size_t pos = 0;
+  const auto need = [&](std::size_t n) {
+    if (pos + n > size) {
+      throw std::runtime_error("EAZQ sidecar: truncated");
+    }
+  };
+  const auto read32 = [&] {
+    return wire::read_u32(data, size, pos, "EAZQ sidecar");
+  };
+  const auto read_f32 = [&]() -> float {
+    const std::uint32_t bits = read32();
+    float v = 0.0F;
+    std::memcpy(&v, &bits, 4);
+    return v;
+  };
+  const auto check_scale = [](float s, const char* what) {
+    if (!std::isfinite(s) || s <= 0.0F) {
+      throw std::runtime_error(std::string("EAZQ sidecar: corrupt ") + what +
+                               " (must be finite and positive)");
+    }
+    return s;
+  };
+
+  if (read32() != kEazqMagic) {
+    throw std::runtime_error("EAZQ sidecar: bad magic");
+  }
+  need(2);
+  const std::uint16_t version = static_cast<std::uint16_t>(
+      data[pos] | (data[pos + 1] << 8U));
+  pos += 2;
+  if (version != kEazqVersion) {
+    throw std::runtime_error("EAZQ sidecar: unsupported version");
+  }
+  const std::uint32_t count = read32();
+  if (count > kMaxLayers) {
+    throw std::runtime_error("EAZQ sidecar: implausible layer count");
+  }
+  QuantSidecar out;
+  out.layers.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    QuantSidecar::Layer l;
+    l.in = read32();
+    l.out = read32();
+    if (l.in == 0 || l.out == 0 || l.in > kMaxInFeatures ||
+        l.out > kMaxOutFeatures) {
+      throw std::runtime_error("EAZQ sidecar: implausible layer dimensions");
+    }
+    l.act_scale = check_scale(read_f32(), "activation scale");
+    // Bounds are checked against the remaining buffer BEFORE any
+    // dimension-sized allocation, so a corrupt count cannot drive one.
+    need(static_cast<std::size_t>(l.out) * 4);
+    l.w_scale.reserve(l.out);
+    for (std::uint32_t j = 0; j < l.out; ++j) {
+      l.w_scale.push_back(check_scale(read_f32(), "weight scale"));
+    }
+    const std::size_t wq_bytes = static_cast<std::size_t>(l.in) * l.out;
+    need(wq_bytes);
+    l.w_q.resize(wq_bytes);
+    std::memcpy(l.w_q.data(), data + pos, wq_bytes);
+    pos += wq_bytes;
+    out.layers.push_back(std::move(l));
+  }
+  if (pos != size) {
+    throw std::runtime_error("EAZQ sidecar: trailing bytes");
+  }
+  return out;
+}
+
+QuantSidecar parse_quant_sidecar(const std::vector<std::uint8_t>& bytes) {
+  return parse_quant_sidecar(bytes.data(), bytes.size());
+}
+
+std::vector<std::uint8_t> serialize_checkpoint_with_quant(
+    const std::vector<tensor::Tensor>& params, const QuantSidecar& q) {
+  std::vector<std::uint8_t> out = serialize_parameters(params);
+  const std::vector<std::uint8_t> side = serialize_quant_sidecar(q);
+  out.insert(out.end(), side.begin(), side.end());
+  return out;
+}
+
+std::optional<QuantSidecar> deserialize_checkpoint_with_quant(
+    std::vector<tensor::Tensor>& params,
+    const std::vector<std::uint8_t>& bytes) {
+  deserialize_parameters(params, bytes);
+  const std::size_t end = parameters_section_size(bytes);
+  if (end == bytes.size()) return std::nullopt;
+  // Parse the tail in place: it carries the full int8 weight payload, so
+  // copying it into a fresh vector first would double the load footprint.
+  return parse_quant_sidecar(bytes.data() + end, bytes.size() - end);
+}
+
+void save_checkpoint_with_quant(const std::vector<tensor::Tensor>& params,
+                                const QuantSidecar& q,
+                                const std::string& path) {
+  const auto bytes = serialize_checkpoint_with_quant(params, q);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("save_checkpoint_with_quant: cannot open " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("save_checkpoint_with_quant: write failed");
+}
+
+std::optional<QuantSidecar> load_checkpoint_with_quant(
+    std::vector<tensor::Tensor>& params, const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw std::runtime_error("load_checkpoint_with_quant: cannot open " + path);
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw std::runtime_error("load_checkpoint_with_quant: read failed");
+  return deserialize_checkpoint_with_quant(params, bytes);
 }
 
 double max_abs_error(const QuantizedParams& q,

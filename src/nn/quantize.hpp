@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,5 +51,55 @@ void load_quantized(std::vector<tensor::Tensor>& params,
 /// max|w| / 127 per tensor; exposed for tests and accuracy reporting.
 double max_abs_error(const QuantizedParams& q,
                      const std::vector<tensor::Tensor>& params);
+
+// ---- EAZQ inference-quantization sidecar (DESIGN.md §7) -------------------
+//
+// Where the ESZ8 checkpoint above compresses STORAGE (dequantised back to
+// fp32 on load), the EAZQ sidecar carries the artefacts the int8 INFERENCE
+// path executes with: per-Linear activation scales from calibration plus
+// per-output-channel weight scales and the s8 weights themselves. It is
+// appended after the ESZ1 parameter section of a model checkpoint, so one
+// file deploys both the fp32 training weights and the frozen int8 plan.
+//
+// Wire format (little-endian):
+//   u32 magic 'EAZQ'   u16 version   u32 layer_count
+//   per layer: u32 in, u32 out, f32 act_scale,
+//              f32 w_scale[out], s8 w_q[in * out]
+// Parsing is strict: truncation at ANY offset, trailing bytes, implausible
+// dimensions and non-finite / non-positive scales all throw — a corrupt
+// scale table must never reach the dequant epilogue as NaN.
+
+struct QuantSidecar {
+  struct Layer {
+    std::uint32_t in = 0;
+    std::uint32_t out = 0;
+    float act_scale = 1.0F;
+    std::vector<float> w_scale;    ///< [out]
+    std::vector<std::int8_t> w_q;  ///< [in, out] row-major
+  };
+  std::vector<Layer> layers;
+
+  [[nodiscard]] std::size_t byte_size() const;
+};
+
+std::vector<std::uint8_t> serialize_quant_sidecar(const QuantSidecar& q);
+/// Span variant: parses `size` bytes at `data` (e.g. a checkpoint tail in
+/// place — the sidecar carries the full int8 weight payload, so loaders
+/// should not copy it just to parse it).
+QuantSidecar parse_quant_sidecar(const std::uint8_t* data, std::size_t size);
+QuantSidecar parse_quant_sidecar(const std::vector<std::uint8_t>& bytes);
+
+/// ESZ1 parameter section + EAZQ sidecar in one buffer / file.
+std::vector<std::uint8_t> serialize_checkpoint_with_quant(
+    const std::vector<tensor::Tensor>& params, const QuantSidecar& q);
+/// Loads the parameters and returns the sidecar if one is appended;
+/// trailing bytes that are not a valid EAZQ section throw.
+std::optional<QuantSidecar> deserialize_checkpoint_with_quant(
+    std::vector<tensor::Tensor>& params, const std::vector<std::uint8_t>& bytes);
+
+void save_checkpoint_with_quant(const std::vector<tensor::Tensor>& params,
+                                const QuantSidecar& q, const std::string& path);
+std::optional<QuantSidecar> load_checkpoint_with_quant(
+    std::vector<tensor::Tensor>& params, const std::string& path);
 
 }  // namespace easz::nn

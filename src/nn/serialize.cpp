@@ -9,20 +9,48 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x45535A31;  // "ESZ1"
 
+// Single ESZ1 walker: validates the section structure and, when `params`
+// is non-null, copies tensor data out along the way. Returns the byte
+// offset one past the section, so parameters_section_size and
+// deserialize_parameters can never disagree about where the section ends
+// (an appended EAZQ sidecar is parsed from exactly that offset).
+std::size_t walk_parameters(const std::vector<std::uint8_t>& bytes,
+                            std::vector<tensor::Tensor>* params) {
+  std::size_t pos = 0;
+  const auto read32 = [&] {
+    return wire::read_u32(bytes.data(), bytes.size(), pos, "checkpoint");
+  };
+  if (read32() != kMagic) throw std::runtime_error("checkpoint: bad magic");
+  const std::uint32_t count = read32();
+  if (params != nullptr && count != params->size()) {
+    throw std::runtime_error("checkpoint: parameter count mismatch");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t n = read32();
+    if (params != nullptr && n != (*params)[i].numel()) {
+      throw std::runtime_error("checkpoint: tensor size mismatch");
+    }
+    const std::size_t byte_len = static_cast<std::size_t>(n) * sizeof(float);
+    if (pos + byte_len > bytes.size()) {
+      throw std::runtime_error("checkpoint: truncated tensor data");
+    }
+    if (params != nullptr) {
+      std::memcpy((*params)[i].data().data(), bytes.data() + pos, byte_len);
+    }
+    pos += byte_len;
+  }
+  return pos;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> serialize_parameters(
     const std::vector<tensor::Tensor>& params) {
   std::vector<std::uint8_t> out;
-  const auto push32 = [&out](std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) {
-      out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFU));
-    }
-  };
-  push32(kMagic);
-  push32(static_cast<std::uint32_t>(params.size()));
+  wire::push_u32(out, kMagic);
+  wire::push_u32(out, static_cast<std::uint32_t>(params.size()));
   for (const auto& p : params) {
-    push32(static_cast<std::uint32_t>(p.numel()));
+    wire::push_u32(out, static_cast<std::uint32_t>(p.numel()));
     const auto* bytes = reinterpret_cast<const std::uint8_t*>(p.data().data());
     out.insert(out.end(), bytes, bytes + p.numel() * sizeof(float));
   }
@@ -31,34 +59,11 @@ std::vector<std::uint8_t> serialize_parameters(
 
 void deserialize_parameters(std::vector<tensor::Tensor>& params,
                             const std::vector<std::uint8_t>& bytes) {
-  std::size_t pos = 0;
-  const auto read32 = [&]() -> std::uint32_t {
-    if (pos + 4 > bytes.size()) {
-      throw std::runtime_error("checkpoint: truncated");
-    }
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(bytes[pos++]) << (8 * i);
-    }
-    return v;
-  };
-  if (read32() != kMagic) throw std::runtime_error("checkpoint: bad magic");
-  const std::uint32_t count = read32();
-  if (count != params.size()) {
-    throw std::runtime_error("checkpoint: parameter count mismatch");
-  }
-  for (auto& p : params) {
-    const std::uint32_t n = read32();
-    if (n != p.numel()) {
-      throw std::runtime_error("checkpoint: tensor size mismatch");
-    }
-    const std::size_t byte_len = static_cast<std::size_t>(n) * sizeof(float);
-    if (pos + byte_len > bytes.size()) {
-      throw std::runtime_error("checkpoint: truncated tensor data");
-    }
-    std::memcpy(p.data().data(), bytes.data() + pos, byte_len);
-    pos += byte_len;
-  }
+  (void)walk_parameters(bytes, &params);
+}
+
+std::size_t parameters_section_size(const std::vector<std::uint8_t>& bytes) {
+  return walk_parameters(bytes, nullptr);
 }
 
 void save_parameters(const std::vector<tensor::Tensor>& params,

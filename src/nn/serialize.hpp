@@ -5,12 +5,41 @@
 // account model-load bytes.
 #pragma once
 
+#include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "tensor/tensor.hpp"
 
 namespace easz::nn {
+
+/// Little-endian u32 wire helpers shared by the checkpoint formats (ESZ1
+/// parameter section, EAZQ quantization sidecar) — one byte-order
+/// implementation, so a bounds-check or endianness fix cannot silently
+/// miss a copy.
+namespace wire {
+
+inline void push_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFU));
+  }
+}
+
+/// Reads at `pos` (advancing it); throws "<what>: truncated" on overrun.
+inline std::uint32_t read_u32(const std::uint8_t* data, std::size_t size,
+                              std::size_t& pos, const char* what) {
+  if (pos + 4 > size) {
+    throw std::runtime_error(std::string(what) + ": truncated");
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace wire
 
 /// Writes all parameters to `path`. Throws std::runtime_error on I/O failure.
 void save_parameters(const std::vector<tensor::Tensor>& params,
@@ -20,10 +49,17 @@ void save_parameters(const std::vector<tensor::Tensor>& params,
 void load_parameters(std::vector<tensor::Tensor>& params,
                      const std::string& path);
 
-/// In-memory variant used by tests.
+/// In-memory variant used by tests. deserialize_parameters reads exactly
+/// the ESZ1 section and ignores anything after it (an appended EAZQ
+/// sidecar, see nn/quantize.hpp, is the intended tail).
 std::vector<std::uint8_t> serialize_parameters(
     const std::vector<tensor::Tensor>& params);
 void deserialize_parameters(std::vector<tensor::Tensor>& params,
                             const std::vector<std::uint8_t>& bytes);
+
+/// Byte length of the ESZ1 section at the head of `bytes` — walks the
+/// per-tensor length prefixes without copying data, so a sidecar reader
+/// can find its own section. Throws std::runtime_error on malformed input.
+std::size_t parameters_section_size(const std::vector<std::uint8_t>& bytes);
 
 }  // namespace easz::nn

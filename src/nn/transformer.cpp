@@ -49,18 +49,13 @@ Tensor MultiHeadAttention::forward(const Tensor& x) const {
   return proj_->forward(merged);
 }
 
-void MultiHeadAttention::infer(const float* x, float* out, int batch,
-                               int tokens, tensor::kern::Workspace& ws) const {
+void MultiHeadAttention::attend(const float* qkv, float* out, int batch,
+                                int tokens, tensor::kern::Workspace& ws) const {
   namespace kern = tensor::kern;
   const int d = d_model_;
   const int hd = head_dim_;
-  const std::size_t rows = static_cast<std::size_t>(batch) * tokens;
   const std::size_t qkv_ld = 3 * static_cast<std::size_t>(d);
 
-  float* qkv = ws.alloc(rows * qkv_ld);  // [B*T, 3D]
-  qkv_->infer(x, qkv, static_cast<int>(rows));
-
-  float* merged = ws.alloc(rows * static_cast<std::size_t>(d));  // [B*T, D]
   float* scores = ws.alloc(static_cast<std::size_t>(batch) * heads_ * tokens *
                            tokens);  // one [T, T] slab per (batch, head)
 
@@ -87,15 +82,34 @@ void MultiHeadAttention::infer(const float* x, float* out, int batch,
     kern::softmax_rows(sc, static_cast<std::size_t>(tokens), tokens,
                        /*parallel=*/false);
 
-    float* mp = merged + static_cast<std::size_t>(bi) * tokens * d +
+    float* mp = out + static_cast<std::size_t>(bi) * tokens * d +
                 static_cast<std::size_t>(h) * hd;
     kern::GemmOpts apply_opts;
     apply_opts.parallel = false;
     kern::gemm(sc, static_cast<std::size_t>(tokens), v, qkv_ld, mp,
                static_cast<std::size_t>(d), tokens, tokens, hd, apply_opts);
   });
+}
 
+void MultiHeadAttention::infer(const float* x, float* out, int batch,
+                               int tokens, tensor::kern::Workspace& ws) const {
+  const std::size_t rows = static_cast<std::size_t>(batch) * tokens;
+  float* qkv = ws.alloc(rows * 3 * static_cast<std::size_t>(d_model_));
+  qkv_->infer(x, qkv, static_cast<int>(rows));
+  float* merged = ws.alloc(rows * static_cast<std::size_t>(d_model_));
+  attend(qkv, merged, batch, tokens, ws);
   proj_->infer(merged, out, static_cast<int>(rows));
+}
+
+void MultiHeadAttention::infer_q(const float* x, float* out, int batch,
+                                 int tokens,
+                                 tensor::kern::Workspace& ws) const {
+  const std::size_t rows = static_cast<std::size_t>(batch) * tokens;
+  float* qkv = ws.alloc(rows * 3 * static_cast<std::size_t>(d_model_));
+  qkv_->infer_q(x, qkv, static_cast<int>(rows));
+  float* merged = ws.alloc(rows * static_cast<std::size_t>(d_model_));
+  attend(qkv, merged, batch, tokens, ws);
+  proj_->infer_q(merged, out, static_cast<int>(rows));
 }
 
 double MultiHeadAttention::flops(int batch, int tokens, int d_model,
@@ -126,6 +140,14 @@ void FeedForward::infer(const float* x, float* out, int rows,
                            static_cast<std::size_t>(fc1_->out_features()));
   fc1_->infer(x, hidden, rows, /*fuse_gelu=*/true);
   fc2_->infer(hidden, out, rows);
+}
+
+void FeedForward::infer_q(const float* x, float* out, int rows,
+                          tensor::kern::Workspace& ws) const {
+  float* hidden = ws.alloc(static_cast<std::size_t>(rows) *
+                           static_cast<std::size_t>(fc1_->out_features()));
+  fc1_->infer_q(x, hidden, rows, /*fuse_gelu=*/true);
+  fc2_->infer_q(hidden, out, rows);
 }
 
 double FeedForward::flops(int batch, int tokens, int d_model, int hidden) {
@@ -167,6 +189,26 @@ void TransformerBlock::infer(const float* x, float* out, int batch, int tokens,
   ln2_->infer(attn, normed, rows);  // normed buffer reused
   float* ffn = ws.alloc(n);
   ffn_->infer(normed, ffn, static_cast<int>(rows), ws);
+  kern::add_rows(attn, ffn, ffn, n);
+
+  ln3_->infer(ffn, out, rows);
+}
+
+void TransformerBlock::infer_q(const float* x, float* out, int batch,
+                               int tokens, tensor::kern::Workspace& ws) const {
+  namespace kern = tensor::kern;
+  const std::size_t rows = static_cast<std::size_t>(batch) * tokens;
+  const std::size_t n = rows * static_cast<std::size_t>(attn_->d_model());
+
+  float* normed = ws.alloc(n);
+  ln1_->infer(x, normed, rows);
+  float* attn = ws.alloc(n);
+  attn_->infer_q(normed, attn, batch, tokens, ws);
+  kern::add_rows(x, attn, attn, n);  // attn = x + Attn(LN1(x))
+
+  ln2_->infer(attn, normed, rows);  // normed buffer reused
+  float* ffn = ws.alloc(n);
+  ffn_->infer_q(normed, ffn, static_cast<int>(rows), ws);
   kern::add_rows(attn, ffn, ffn, n);
 
   ln3_->infer(ffn, out, rows);

@@ -27,6 +27,21 @@ class MultiHeadAttention : public Module {
   void infer(const float* x, float* out, int batch, int tokens,
              tensor::kern::Workspace& ws) const;
 
+  /// Int8 variant: qkv and output projections run the quantized kernel;
+  /// the attention core (scores, softmax, weighted sum) stays fp32 —
+  /// activations round-trip through int8 only at layer boundaries
+  /// (DESIGN.md §7). Requires quantized() == true.
+  void infer_q(const float* x, float* out, int batch, int tokens,
+               tensor::kern::Workspace& ws) const;
+
+  [[nodiscard]] bool quantized() const {
+    return qkv_->quantized() && proj_->quantized();
+  }
+  void collect_linears(std::vector<Linear*>& out) const {
+    out.push_back(qkv_.get());
+    out.push_back(proj_.get());
+  }
+
   [[nodiscard]] int d_model() const { return d_model_; }
   [[nodiscard]] int num_heads() const { return heads_; }
 
@@ -36,6 +51,11 @@ class MultiHeadAttention : public Module {
                                     int num_heads);
 
  private:
+  // Shared fp32 attention core: qkv [B*T, 3D] -> out [B*T, D] (both the
+  // fp32 and int8 paths ride it; only the projections differ).
+  void attend(const float* qkv, float* out, int batch, int tokens,
+              tensor::kern::Workspace& ws) const;
+
   int d_model_;
   int heads_;
   int head_dim_;
@@ -53,6 +73,20 @@ class FeedForward : public Module {
   /// x, out: [rows, D]. Fuses bias+GELU into the first GEMM's epilogue.
   void infer(const float* x, float* out, int rows,
              tensor::kern::Workspace& ws) const;
+
+  /// Int8 variant: both projections quantized, dequant + bias + GELU fused
+  /// into fc1's epilogue; the hidden activation re-enters int8 at fc2's
+  /// boundary with its own calibrated scale.
+  void infer_q(const float* x, float* out, int rows,
+               tensor::kern::Workspace& ws) const;
+
+  [[nodiscard]] bool quantized() const {
+    return fc1_->quantized() && fc2_->quantized();
+  }
+  void collect_linears(std::vector<Linear*>& out) const {
+    out.push_back(fc1_.get());
+    out.push_back(fc2_.get());
+  }
 
   [[nodiscard]] static double flops(int batch, int tokens, int d_model,
                                     int hidden);
@@ -75,6 +109,19 @@ class TransformerBlock : public Module {
   /// re-read x). Runs the whole block on the kern fast path.
   void infer(const float* x, float* out, int batch, int tokens,
              tensor::kern::Workspace& ws) const;
+
+  /// Int8 variant: layernorms, residual adds and the attention core stay
+  /// fp32; every Linear runs the quantized kernel.
+  void infer_q(const float* x, float* out, int batch, int tokens,
+               tensor::kern::Workspace& ws) const;
+
+  [[nodiscard]] bool quantized() const {
+    return attn_->quantized() && ffn_->quantized();
+  }
+  void collect_linears(std::vector<Linear*>& out) const {
+    attn_->collect_linears(out);
+    ffn_->collect_linears(out);
+  }
 
   [[nodiscard]] static double flops(int batch, int tokens, int d_model,
                                     int num_heads, int ffn_hidden);

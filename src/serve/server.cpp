@@ -11,14 +11,19 @@ namespace easz::serve {
 namespace {
 
 // Pooling is only sound across requests whose forward passes are truly
-// interchangeable: same erase mask AND same token layout. The channel
-// count is validated against the model at decode time, but the key keeps
-// the token dimension anyway so a mixed group can never form.
-std::string mask_group_key(const core::EraseMask& mask, int token_dim) {
+// interchangeable: same erase mask, same token layout AND same precision
+// (an int8 forward produces different bytes than fp32, so mixing would
+// make a request's output depend on its batch mates). The channel count is
+// validated against the model at decode time, but the key keeps the token
+// dimension anyway so a mixed group can never form.
+std::string mask_group_key(const core::EraseMask& mask, int token_dim,
+                           nn::Precision precision) {
   const std::vector<std::uint8_t> bytes = mask.to_bytes();
   std::string key(bytes.begin(), bytes.end());
   key.push_back('/');
   key += std::to_string(token_dim);
+  key.push_back('/');
+  key += nn::precision_name(precision);
   return key;
 }
 
@@ -49,6 +54,31 @@ ReconServer::ReconServer(ServerConfig config,
   if (config_.max_batch_patches < 1) {
     throw std::invalid_argument("ReconServer: need a positive batch size");
   }
+  // Resolve the precision policy against the deployed model up front: a
+  // misconfigured deployment should fail at construction, not per request.
+  model_quantized_ = model_.is_quantized();
+  const bool quantized = model_quantized_;
+  switch (config_.precision) {
+    case PrecisionPolicy::kFp32:
+      default_precision_ = nn::Precision::kFp32;
+      break;
+    case PrecisionPolicy::kInt8:
+      if (!quantized) {
+        throw std::invalid_argument(
+            "ReconServer: precision int8 requires a quantized model "
+            "(calibrate_and_quantize or an EAZQ sidecar)");
+      }
+      default_precision_ = nn::Precision::kInt8;
+      break;
+    case PrecisionPolicy::kAuto:
+      default_precision_ =
+          quantized ? nn::Precision::kInt8 : nn::Precision::kFp32;
+      break;
+  }
+  // The registry enforces the int8 capability from here on, so BOTH
+  // config-time tenants and later tenants().add() calls fail at
+  // configuration time instead of throwing out of every submit.
+  tenants_.allow_int8(quantized);
   for (const TenantConfig& tenant : config_.tenants) {
     tenants_.add(tenant);
   }
@@ -130,14 +160,33 @@ SubmitStatus ReconServer::submit_async(ServeRequest request,
   return submit_job(job);
 }
 
+nn::Precision ReconServer::resolve_precision(
+    const std::string& resolved_tenant) const {
+  switch (tenants_.precision_of(resolved_tenant)) {
+    case TenantPrecision::kFp32:
+      return nn::Precision::kFp32;
+    case TenantPrecision::kInt8:
+      // Unreachable on an unquantized model: the registry rejects kInt8
+      // pins at add() time once allow_int8(false) is set (constructor).
+      return nn::Precision::kInt8;
+    case TenantPrecision::kInherit:
+      break;
+  }
+  return default_precision_;
+}
+
 SubmitStatus ReconServer::submit_job(const std::shared_ptr<Job>& job) {
   job->tenant = tenants_.resolve(job->request.tenant);
+  job->precision = resolve_precision(job->tenant);
   const bool caching = cache_.capacity_bytes() > 0;
   if (caching) {
     // Hashing + copying the payload into the key only pays off when the
-    // cache can actually store something.
-    job->cache_key =
-        make_cache_key(job->request.compressed, job->request.codec);
+    // cache can actually store something. The precision rides in the key's
+    // codec field: fp32 and int8 reconstructions of one blob are different
+    // images and must never satisfy each other's lookups.
+    job->cache_key = make_cache_key(
+        job->request.compressed,
+        job->request.codec + '#' + nn::precision_name(job->precision));
   }
 
   // Fast path: an identical request already reconstructed. Served before
@@ -289,6 +338,7 @@ ReconServer::FormedBatch ReconServer::form_batch_locked() {
 
   FormedBatch batch;
   batch.mask = group.mask;
+  batch.precision = group.precision;
   int budget = config_.max_batch_patches;
   while (budget > 0 && !group.spans.empty()) {
     PendingGroup::Span& span = group.spans.front();
@@ -461,14 +511,18 @@ void ReconServer::run_decode(const std::shared_ptr<Job>& job) {
     inflight->since_tokens_ready.reset();
     inflight->ready_t = sched_now_s();
 
-    const std::string key = mask_group_key(inflight->decoded.recon_mask,
-                                           inflight->decoded.tokens.dim(2));
+    const std::string key =
+        mask_group_key(inflight->decoded.recon_mask,
+                       inflight->decoded.tokens.dim(2), job->precision);
     stages_.codec_decode.record(decode_timing.codec_decode_s);
     {
       std::lock_guard<std::mutex> lock(mu_);
       codec_pixels_ += decode_timing.codec_pixels;
       PendingGroup& group = pending_[key];
-      if (group.spans.empty()) group.mask = inflight->decoded.recon_mask;
+      if (group.spans.empty()) {
+        group.mask = inflight->decoded.recon_mask;
+        group.precision = job->precision;
+      }
       group.spans.push_back(PendingGroup::Span{inflight, 0, patches});
       group.patches += patches;
     }
@@ -497,7 +551,7 @@ void ReconServer::run_batch(FormedBatch batch) {
   util::Stopwatch sw;
   tensor::Tensor recon;
   try {
-    recon = model_.reconstruct(pooled, batch.mask);
+    recon = model_.reconstruct(pooled, batch.mask, batch.precision);
   } catch (...) {
     // A throwing forward pass must fail the requests it carried, not escape
     // the worker thread (which would std::terminate the whole server).
@@ -523,6 +577,9 @@ void ReconServer::run_batch(FormedBatch batch) {
   }
   const double reconstruct_s = sw.elapsed_seconds();
   stages_.reconstruct.record(reconstruct_s);
+  if (batch.precision == nn::Precision::kInt8) {
+    stages_.reconstruct_int8.record(reconstruct_s);
+  }
 
   cursor = 0;
   for (const BatchItem& item : batch.items) {
@@ -537,6 +594,7 @@ void ReconServer::run_batch(FormedBatch batch) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++batches_;
+    if (batch.precision == nn::Precision::kInt8) ++batches_int8_;
     batched_patches_ += static_cast<std::uint64_t>(batch.patches);
     bool cross_request = false;
     for (std::size_t i = 1; i < batch.items.size(); ++i) {
@@ -657,6 +715,8 @@ ServerStatsSnapshot ReconServer::stats() const {
     s.batches = batches_;
     s.batched_patches = batched_patches_;
     s.cross_request_batches = cross_request_batches_;
+    s.batches_int8 = batches_int8_;
+    s.precision = nn::precision_name(default_precision_);
     s.kernel_threads = tensor::kern::threads();
     s.codec_pixels = codec_pixels_;
     s.queue_depth = queued_;
@@ -676,6 +736,11 @@ ServerStatsSnapshot ReconServer::stats() const {
     TenantStatsSnapshot t;
     t.name = a.name;
     t.weight = a.weight;
+    t.precision = a.precision == TenantPrecision::kInherit
+                      ? "inherit"
+                      : nn::precision_name(a.precision == TenantPrecision::kInt8
+                                               ? nn::Precision::kInt8
+                                               : nn::Precision::kFp32);
     t.admitted = a.admitted;
     t.shed_rate_limited = a.rate_limited;
     t.shed_quota = a.quota_rejected;
@@ -696,6 +761,7 @@ ServerStatsSnapshot ReconServer::stats() const {
   s.codec_decode = stages_.codec_decode.summarize();
   s.batch_wait = stages_.batch_wait.summarize();
   s.reconstruct = stages_.reconstruct.summarize();
+  s.reconstruct_int8 = stages_.reconstruct_int8.summarize();
   s.assemble = stages_.assemble.summarize();
   s.total = stages_.total.summarize();
   return s;

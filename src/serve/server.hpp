@@ -72,6 +72,12 @@ enum class BackpressurePolicy {
   kReject,  ///< submit() fails fast; caller decides whether to retry
 };
 
+/// Server-wide numeric path for the reconstruct stage (DESIGN.md §7).
+/// kAuto picks int8 when the deployed model is quantized, else fp32.
+/// Per-tenant TenantConfig::precision overrides this per request; batches
+/// and cache entries never mix precisions.
+enum class PrecisionPolicy { kFp32, kInt8, kAuto };
+
 struct ServerConfig {
   /// Worker threads (decode + reconstruct). 0 = manual scheduling mode: no
   /// threads start and the caller pumps the scheduler via step(). Manual
@@ -96,6 +102,10 @@ struct ServerConfig {
   /// batch's GEMM row panels, so total CPU footprint is roughly
   /// workers x kernel_threads at full load.
   int kernel_threads = 0;
+  /// Default reconstruct precision. kInt8 (and any tenant pinning kInt8)
+  /// requires the deployed model to be quantized — the constructor throws
+  /// otherwise; kAuto degrades to fp32 instead.
+  PrecisionPolicy precision = PrecisionPolicy::kFp32;
   /// Tenants registered at construction; more may be added at runtime via
   /// tenants().add(). Requests naming none of them ride the default tenant.
   std::vector<TenantConfig> tenants;
@@ -205,6 +215,7 @@ class ReconServer {
   struct Job {
     ServeRequest request;
     std::string tenant;  // resolved tenant name (admission + WDRR + stats)
+    nn::Precision precision = nn::Precision::kFp32;  // resolved at submit
     std::promise<ServeResponse> promise;
     ResponseCallback callback;  // non-null: callback path, promise unused
     CacheKey cache_key;
@@ -223,10 +234,12 @@ class ReconServer {
     double ready_t = 0.0;                // sched clock, for the age trigger
   };
 
-  // Decoded patches of requests sharing one erase mask, waiting to be
-  // pooled into forward passes.
+  // Decoded patches of requests sharing one erase mask AND one precision,
+  // waiting to be pooled into forward passes (the group key carries both,
+  // so a mixed-precision batch can never form).
   struct PendingGroup {
     core::EraseMask mask;
+    nn::Precision precision = nn::Precision::kFp32;
     struct Span {
       std::shared_ptr<InFlight> inflight;
       int offset = 0;  // first not-yet-batched patch
@@ -244,6 +257,7 @@ class ReconServer {
   };
   struct FormedBatch {
     core::EraseMask mask;
+    nn::Precision precision = nn::Precision::kFp32;
     std::vector<BatchItem> items;
     int patches = 0;
   };
@@ -267,6 +281,12 @@ class ReconServer {
     std::uint64_t shed_queue_full = 0;
     StageStats total;  // self-locking; recorded outside mu_
   };
+
+  /// Precision governing one request: the tenant's override, else the
+  /// server default. An int8 override is always satisfiable here — the
+  /// registry rejects kInt8 pins at add() time on unquantized models.
+  [[nodiscard]] nn::Precision resolve_precision(
+      const std::string& resolved_tenant) const;
 
   void worker_loop();
   // Runs one scheduler action if any is ready; `lock` must hold mu_ and is
@@ -292,6 +312,10 @@ class ReconServer {
   const ServerConfig config_;
   const core::ReconstructionModel& model_;
   const core::PatchifyConfig patchify_;
+  nn::Precision default_precision_ = nn::Precision::kFp32;  // resolved kAuto
+  // Snapshot at construction: the model may not be (de)quantized while
+  // serving, and is_quantized() walks every layer — not a per-submit cost.
+  bool model_quantized_ = false;
   ResultCache cache_;
   TenantRegistry tenants_;
   util::Stopwatch uptime_;  // default scheduler clock base
@@ -319,11 +343,12 @@ class ReconServer {
   std::uint64_t batches_ = 0;
   std::uint64_t batched_patches_ = 0;
   std::uint64_t cross_request_batches_ = 0;
+  std::uint64_t batches_int8_ = 0;  // of batches_, forwards run at int8
   std::uint64_t codec_pixels_ = 0;
 
   struct Stages {
     StageStats queue_wait, decode, codec_decode, batch_wait, reconstruct,
-        assemble, total;
+        reconstruct_int8, assemble, total;
   };
   Stages stages_;
 

@@ -70,10 +70,10 @@ void append_stage_json(std::string& out, const char* name,
 void append_tenant_text(std::string& out, const TenantStatsSnapshot& t) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "  %-12s w%-2d submitted %-6llu done %-6llu shed %llu "
+                "  %-12s w%-2d %-7s submitted %-6llu done %-6llu shed %llu "
                 "(queue %llu, rate %llu, quota %llu)  p50 %7.2f ms  "
                 "p95 %7.2f ms\n",
-                t.name.c_str(), t.weight,
+                t.name.c_str(), t.weight, t.precision.c_str(),
                 static_cast<unsigned long long>(t.submitted),
                 static_cast<unsigned long long>(t.completed),
                 static_cast<unsigned long long>(t.rejected()),
@@ -89,12 +89,14 @@ void append_tenant_json(std::string& out, const TenantStatsSnapshot& t,
   char buf[512];
   std::snprintf(
       buf, sizeof(buf),
-      "{\"name\":\"%s\",\"weight\":%d,\"submitted\":%llu,\"admitted\":%llu,"
+      "{\"name\":\"%s\",\"weight\":%d,\"precision\":\"%s\","
+      "\"submitted\":%llu,\"admitted\":%llu,"
       "\"completed\":%llu,\"failed\":%llu,\"cache_hits\":%llu,"
       "\"rejected\":%llu,\"shed_queue_full\":%llu,"
       "\"shed_rate_limited\":%llu,\"shed_quota\":%llu,\"inflight\":%d,"
       "\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f}%s",
-      t.name.c_str(), t.weight, static_cast<unsigned long long>(t.submitted),
+      t.name.c_str(), t.weight, t.precision.c_str(),
+      static_cast<unsigned long long>(t.submitted),
       static_cast<unsigned long long>(t.admitted),
       static_cast<unsigned long long>(t.completed),
       static_cast<unsigned long long>(t.failed),
@@ -131,11 +133,13 @@ std::string ServerStatsSnapshot::to_string() const {
                           static_cast<double>(cache_hits + cache_misses));
   out += buf;
   std::snprintf(buf, sizeof(buf),
-                "batches: %llu forward passes, %.2f patches/batch mean, "
-                "%llu cross-request, %d kernel threads\n",
-                static_cast<unsigned long long>(batches), mean_batch_size(),
+                "batches: %llu forward passes (%llu int8), %.2f patches/batch "
+                "mean, %llu cross-request, %d kernel threads, precision %s\n",
+                static_cast<unsigned long long>(batches),
+                static_cast<unsigned long long>(batches_int8),
+                mean_batch_size(),
                 static_cast<unsigned long long>(cross_request_batches),
-                kernel_threads);
+                kernel_threads, precision.c_str());
   out += buf;
   std::snprintf(buf, sizeof(buf), "queue: depth %d now, %d peak\n", queue_depth,
                 max_queue_depth);
@@ -154,6 +158,9 @@ std::string ServerStatsSnapshot::to_string() const {
   append_stage_text(out, "codec_decode", codec_decode);
   append_stage_text(out, "batch_wait", batch_wait);
   append_stage_text(out, "reconstruct", reconstruct);
+  if (reconstruct_int8.count > 0) {
+    append_stage_text(out, "recon_int8", reconstruct_int8);
+  }
   append_stage_text(out, "assemble", assemble);
   append_stage_text(out, "total", total);
   return out;
@@ -167,8 +174,9 @@ std::string ServerStatsSnapshot::to_json() const {
       "\"submitted\":%llu,\"completed\":%llu,\"rejected\":%llu,"
       "\"failed\":%llu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
       "\"batches\":%llu,\"batched_patches\":%llu,"
-      "\"cross_request_batches\":%llu,\"mean_batch_size\":%.4f,"
-      "\"kernel_threads\":%d,"
+      "\"cross_request_batches\":%llu,\"batches_int8\":%llu,"
+      "\"mean_batch_size\":%.4f,"
+      "\"precision\":\"%s\",\"kernel_threads\":%d,"
       "\"codec_pixels\":%llu,\"codec_decode_mpps\":%.4f,"
       "\"queue_depth\":%d,\"max_queue_depth\":%d,",
       static_cast<unsigned long long>(submitted),
@@ -179,8 +187,10 @@ std::string ServerStatsSnapshot::to_json() const {
       static_cast<unsigned long long>(cache_misses),
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(batched_patches),
-      static_cast<unsigned long long>(cross_request_batches), mean_batch_size(),
-      kernel_threads, static_cast<unsigned long long>(codec_pixels),
+      static_cast<unsigned long long>(cross_request_batches),
+      static_cast<unsigned long long>(batches_int8), mean_batch_size(),
+      precision.c_str(), kernel_threads,
+      static_cast<unsigned long long>(codec_pixels),
       codec_decode_mpps(), queue_depth, max_queue_depth);
   out += buf;
   out += "\"tenants\":[";
@@ -193,6 +203,7 @@ std::string ServerStatsSnapshot::to_json() const {
   append_stage_json(out, "codec_decode", codec_decode, true);
   append_stage_json(out, "batch_wait", batch_wait, true);
   append_stage_json(out, "reconstruct", reconstruct, true);
+  append_stage_json(out, "reconstruct_int8", reconstruct_int8, true);
   append_stage_json(out, "assemble", assemble, true);
   append_stage_json(out, "total", total, false);
   out += "}";

@@ -46,6 +46,8 @@ double percentile(std::vector<double> samples, double p);
 struct TenantStatsSnapshot {
   std::string name;
   int weight = 1;
+  /// "inherit" (rides the server default), "fp32" or "int8".
+  std::string precision = "inherit";
   std::uint64_t submitted = 0;  ///< includes shed and cache-hit requests
   std::uint64_t admitted = 0;   ///< passed rate + quota admission
   std::uint64_t completed = 0;
@@ -78,6 +80,11 @@ struct ServerStatsSnapshot {
   std::uint64_t batches = 0;          ///< transformer forward passes
   std::uint64_t batched_patches = 0;  ///< patches across all batches
   std::uint64_t cross_request_batches = 0;  ///< batches mixing >= 2 requests
+  std::uint64_t batches_int8 = 0;     ///< of `batches`, run at int8
+
+  /// Server-default reconstruct precision ("fp32" or "int8"); per-tenant
+  /// overrides appear in the tenant rows.
+  std::string precision = "fp32";
 
   /// tensor::kern pool width the per-batch forward (the `reconstruct`
   /// stage below) ran on at snapshot time.
@@ -101,7 +108,9 @@ struct ServerStatsSnapshot {
   StageSummary decode;        ///< codec decode + unsqueeze + tokenise
   StageSummary codec_decode;  ///< inner ImageCodec::decode only
   StageSummary batch_wait;    ///< tokens ready -> batch launched
-  StageSummary reconstruct;   ///< transformer forward (per batch)
+  StageSummary reconstruct;   ///< transformer forward (per batch, both
+                              ///< precisions)
+  StageSummary reconstruct_int8;  ///< the int8 subset of `reconstruct`
   StageSummary assemble;      ///< tokens -> pixels -> deblock -> crop
   StageSummary total;         ///< submit -> response ready
 

@@ -50,11 +50,22 @@ void TenantRegistry::add(TenantConfig config) {
                                 "' needs weight >= 1");
   }
   std::lock_guard<std::mutex> lock(mu_);
+  if (config.precision == TenantPrecision::kInt8 && !int8_allowed_) {
+    throw std::invalid_argument(
+        "TenantRegistry: tenant '" + config.name +
+        "' pins int8 but int8 serving is unavailable (the deployed model "
+        "is not quantized)");
+  }
   State& s = tenants_[config.name];
   // Replacing policy resets the bucket (it is sized by the new burst) but
   // keeps counters and inflight holds: the requests are still out there.
   s.config = std::move(config);
   s.bucket_primed = false;
+}
+
+void TenantRegistry::allow_int8(bool allowed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int8_allowed_ = allowed;
 }
 
 bool TenantRegistry::has(const std::string& name) const {
@@ -72,6 +83,14 @@ int TenantRegistry::weight(const std::string& resolved) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = tenants_.find(resolved);
   return it == tenants_.end() ? 1 : it->second.config.weight;
+}
+
+TenantPrecision TenantRegistry::precision_of(
+    const std::string& resolved) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(resolved);
+  return it == tenants_.end() ? TenantPrecision::kInherit
+                              : it->second.config.precision;
 }
 
 Admission TenantRegistry::try_admit(const std::string& resolved,
@@ -136,6 +155,7 @@ std::vector<TenantAdmissionStats> TenantRegistry::snapshot() const {
     TenantAdmissionStats t;
     t.name = name;
     t.weight = s.config.weight;
+    t.precision = s.config.precision;
     t.admitted = s.admitted;
     t.rate_limited = s.rate_limited;
     t.quota_rejected = s.quota_rejected;

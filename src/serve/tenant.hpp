@@ -38,12 +38,20 @@ namespace easz::serve {
 /// aging) go through this hook; wall-clock *telemetry* does not.
 using ClockFn = std::function<double()>;
 
+/// Per-tenant numeric-path override: kInherit rides the server's configured
+/// precision; kFp32/kInt8 pin this tenant's reconstructions regardless of
+/// it. Batches never mix precisions (the batch pool keys on it), and the
+/// result cache keys on it too, so a tenant's bytes are a function of its
+/// own precision only.
+enum class TenantPrecision { kInherit, kFp32, kInt8 };
+
 struct TenantConfig {
   std::string name;
   int weight = 1;           ///< WDRR share; must be >= 1
   double rate_per_s = 0.0;  ///< sustained admission rate; <= 0 = unlimited
   double burst = 0.0;       ///< bucket capacity; <= 0 defaults to max(rate, 1)
   int max_inflight = 0;     ///< accepted-but-unsettled cap; 0 = unlimited
+  TenantPrecision precision = TenantPrecision::kInherit;
 };
 
 enum class Admission {
@@ -56,6 +64,7 @@ enum class Admission {
 struct TenantAdmissionStats {
   std::string name;
   int weight = 1;
+  TenantPrecision precision = TenantPrecision::kInherit;
   std::uint64_t admitted = 0;
   std::uint64_t rate_limited = 0;
   std::uint64_t quota_rejected = 0;
@@ -73,10 +82,18 @@ class TenantRegistry {
   explicit TenantRegistry(ClockFn clock = {});
 
   /// Inserts or replaces a tenant. Replacing kDefaultTenant customises the
-  /// policy applied to unregistered tenant names. Throws on weight < 1 and
-  /// on names that are not 1-64 chars of [A-Za-z0-9_.-] (names flow
-  /// verbatim into JSON reports, so they must be identifiers).
+  /// policy applied to unregistered tenant names. Throws on weight < 1, on
+  /// names that are not 1-64 chars of [A-Za-z0-9_.-] (names flow verbatim
+  /// into JSON reports, so they must be identifiers), and on a kInt8
+  /// precision pin when int8 serving is unavailable (see allow_int8) — a
+  /// misconfigured tenant must fail at configuration time, not turn every
+  /// later submit into a throw.
   void add(TenantConfig config);
+
+  /// Declares whether kInt8 precision pins are satisfiable (the owning
+  /// server sets this from the deployed model's quantization state before
+  /// registering any tenant). Defaults to true for standalone use.
+  void allow_int8(bool allowed);
 
   [[nodiscard]] bool has(const std::string& name) const;
 
@@ -86,6 +103,10 @@ class TenantRegistry {
 
   /// WDRR weight of a RESOLVED tenant name.
   [[nodiscard]] int weight(const std::string& resolved) const;
+
+  /// Precision override of a RESOLVED tenant name (kInherit when the
+  /// tenant does not pin one).
+  [[nodiscard]] TenantPrecision precision_of(const std::string& resolved) const;
 
   /// Rate/quota check for one request of a RESOLVED tenant. kAdmitted
   /// consumes one bucket token and holds one inflight slot until release().
@@ -123,6 +144,7 @@ class TenantRegistry {
   mutable std::mutex mu_;
   ClockFn clock_;
   std::chrono::steady_clock::time_point t0_;
+  bool int8_allowed_ = true;
   std::map<std::string, State> tenants_;  // ordered: stable snapshots
 };
 

@@ -1,0 +1,55 @@
+// Internal transcendental approximations shared by the kern translation
+// units (fp32 kernels in kernels.cpp, int8 epilogue in kernels_int8.cpp).
+//
+// Everything here is pure float arithmetic + integer bit manipulation: no
+// libm calls, no lookup tables, no data-dependent branches. That makes the
+// functions (a) autovectorisable inside whatever ISA context inlines them
+// and (b) bit-deterministic for a FIXED ISA context — which is why the int8
+// dequant epilogue, which pins its output bytes in tests/golden_int8.inc,
+// is compiled exactly once for the baseline ISA and never under an AVX2
+// target attribute (FMA contraction would change the last bits).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+namespace easz::tensor::kern::detail {
+
+// Branch-free single-precision e^x, ~2 ulp over the clamped range. libm's
+// expf would round differently in the last bits; the difference is ~1e-7
+// relative, far inside the layer's 1e-5 equivalence contract.
+__attribute__((always_inline)) inline float fast_exp(float x) {
+  constexpr float kLog2e = 1.44269504088896341F;
+  constexpr float kLn2Hi = 0.693359375F;
+  constexpr float kLn2Lo = -2.12194440e-4F;
+  constexpr float kRound = 12582912.0F;  // 1.5 * 2^23: round-to-nearest trick
+  x = std::max(-87.0F, std::min(88.0F, x));  // keep 2^n finite
+  const float z = x * kLog2e + kRound;
+  const float n = z - kRound;  // round(x * log2(e))
+  const float r = (x - n * kLn2Hi) - n * kLn2Lo;  // r in [-ln2/2, ln2/2]
+  float p = 1.9875691500e-4F;  // Cephes minimax for e^r - 1 - r
+  p = p * r + 1.3981999507e-3F;
+  p = p * r + 8.3334519073e-3F;
+  p = p * r + 4.1665795894e-2F;
+  p = p * r + 1.6666665459e-1F;
+  p = p * r + 5.0000001201e-1F;
+  const float er = (p * r) * r + r + 1.0F;  // p(r)*r^2 + r + 1
+  // 2^n assembled straight into the exponent field.
+  const std::int32_t ni =
+      std::bit_cast<std::int32_t>(z) - std::bit_cast<std::int32_t>(kRound);
+  const float scale = std::bit_cast<float>((ni + 127) << 23);
+  return er * scale;
+}
+
+__attribute__((always_inline)) inline float gelu_approx(float x) {
+  constexpr float kC = 0.7978845608F;  // sqrt(2/pi)
+  constexpr float kA = 0.044715F;
+  const float inner = kC * (x + kA * x * x * x);
+  // tanh(u) = 1 - 2 / (e^{2u} + 1), saturated where e^{2u} dwarfs 1.
+  const float e2u = fast_exp(2.0F * inner);
+  const float t = 1.0F - 2.0F / (e2u + 1.0F);
+  return 0.5F * x * (1.0F + t);
+}
+
+}  // namespace easz::tensor::kern::detail

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <type_traits>
 #include <vector>
 
@@ -140,5 +141,68 @@ void add_rows(const float* a, const float* b, float* out, std::size_t n);
 /// Same formula as tensor::gelu's forward, with tanh evaluated through the
 /// layer's polynomial exp (agreement ~1e-7, inside the 1e-5 contract).
 float gelu_scalar(float x);
+
+// ---- int8 GEMM (kernels_int8.cpp) -----------------------------------------
+//
+// Quantization convention (DESIGN.md §7):
+//   activations  u8 with a fixed zero point of 128:
+//                  q = clamp(lrintf(x / act_scale) + 128, 0, 255)
+//   weights      s8, symmetric PER OUTPUT CHANNEL:
+//                  wq[p][j] = clamp(lrintf(w[p][j] / w_scale[j]), -127, 127)
+//   accumulate   exact i32 (no saturation anywhere; k is bounded so the
+//                 worst case 255 * 127 * k stays far below 2^31)
+//   dequantize   y[i][j] = float(acc - 128 * col_sum[j]) * dq_scale[j]
+//                          (+ bias[j]) (GELU'd), with
+//                 dq_scale[j] = act_scale * w_scale[j] and
+//                 col_sum[j] = sum_p wq[p][j] (the zero-point correction).
+//
+// Exactness contract (asserted by tests/quant_test.cpp): the i32 accumulator
+// is a plain integer sum, so it is identical on every path; the dequant
+// epilogue is ONE shared function compiled once for the baseline ISA (no
+// FMA contraction), so the fp32 outputs are bit-identical between the AVX2
+// and scalar kernels, between thread counts, and across batch compositions
+// (static scales make row results row-local). tests/golden_int8.inc pins
+// the exact output bytes.
+
+/// Activation zero point: fp32 0.0 maps to u8 128.
+inline constexpr int kActZeroPoint = 128;
+
+/// Weights packed for the madd-pair kernel: k is processed two at a time,
+/// so element (p, j) of the [k, n] s8 matrix lives at
+/// data[(p/2 * n + j) * 2 + p%2]; odd k pads the final pair with zeros
+/// (exact: the pad contributes 0 to every accumulator).
+struct PackedBInt8 {
+  std::vector<std::int8_t> data;
+  int k = 0;
+  int n = 0;
+  [[nodiscard]] int k_pairs() const { return (k + 1) / 2; }
+  [[nodiscard]] bool empty() const { return data.empty(); }
+};
+
+/// Packs a row-major s8 [k, n] matrix. Throws std::invalid_argument on
+/// non-positive dims or k > 65536 (i32 accumulator headroom, ~30x margin).
+PackedBInt8 pack_b_s8(const std::int8_t* b, int k, int n);
+
+/// q[i] = clamp(lrintf(x[i] / act_scale) + 128, 0, 255). act_scale must be
+/// positive and finite (validated by the callers that load it from disk).
+/// lrintf rounds to nearest-even in the default FP environment — the same
+/// everywhere, which keeps quantized bytes platform-stable.
+void quantize_rows_u8(const float* x, std::uint8_t* q, std::size_t count,
+                      float act_scale);
+
+struct QuantGemmOpts {
+  const float* bias = nullptr;  ///< [n], added after dequantization
+  bool gelu = false;            ///< same tanh-approx GELU as GemmOpts
+  bool parallel = true;         ///< false inside parallel_for tasks
+};
+
+/// C[m, n] = epilogue(dequant(A_u8[m, k] * B_s8)) with row strides lda/ldc.
+/// `dq_scale` and `col_sum` are per-output-channel ([n], see convention
+/// above). Output rows depend only on their own input row — pooling
+/// requests into one call reproduces per-request results exactly.
+void gemm_u8s8(const std::uint8_t* a, std::size_t lda, const PackedBInt8& b,
+               float* c, std::size_t ldc, int m, int k, int n,
+               const float* dq_scale, const std::int32_t* col_sum,
+               const QuantGemmOpts& opts = {});
 
 }  // namespace easz::tensor::kern

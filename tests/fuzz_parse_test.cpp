@@ -1,5 +1,6 @@
-// Property/fuzz-style negative tests for the two wire formats an untrusted
-// client controls: the EAZC container and the EZB2 (bpg-like) bitstream.
+// Property/fuzz-style negative tests for the wire formats an untrusted
+// party controls: the EAZC container, the EZB2 (bpg-like) bitstream and
+// the EAZQ quantization sidecar of model checkpoints.
 //
 // The contract under test is the hostile-input half of "a deployable codec
 // needs a self-describing file format": seeded corpora of random bit flips
@@ -14,11 +15,16 @@
 #include <cstdint>
 #include <vector>
 
+#include <cmath>
+#include <cstring>
+
 #include "codec/bpg_like.hpp"
 #include "codec/jpeg_like.hpp"
 #include "core/container.hpp"
 #include "core/pipeline.hpp"
 #include "data/synth.hpp"
+#include "nn/quantize.hpp"
+#include "nn/serialize.hpp"
 #include "util/prng.hpp"
 
 namespace easz {
@@ -188,6 +194,153 @@ TEST(Ezb2Fuzz, HeaderBitFlipsThrowAcrossTheWholeHeader) {
     }
   }
   EXPECT_EQ(threw, tried) << "corrupt magic must never decode";
+}
+
+// ------------------------------------------------------- EAZQ sidecar
+
+nn::QuantSidecar small_sidecar() {
+  nn::QuantSidecar q;
+  util::Pcg32 rng(17);
+  for (const auto& [in, out] : {std::pair{12, 8}, std::pair{8, 16}}) {
+    nn::QuantSidecar::Layer l;
+    l.in = static_cast<std::uint32_t>(in);
+    l.out = static_cast<std::uint32_t>(out);
+    l.act_scale = 0.01F + rng.next_float() * 0.1F;
+    for (int j = 0; j < out; ++j) {
+      l.w_scale.push_back(0.001F + rng.next_float() * 0.01F);
+    }
+    for (int i = 0; i < in * out; ++i) {
+      l.w_q.push_back(
+          static_cast<std::int8_t>(static_cast<int>(rng.next_below(255)) - 127));
+    }
+    q.layers.push_back(std::move(l));
+  }
+  return q;
+}
+
+bool sidecar_equal(const nn::QuantSidecar& a, const nn::QuantSidecar& b) {
+  if (a.layers.size() != b.layers.size()) return false;
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    const auto& la = a.layers[i];
+    const auto& lb = b.layers[i];
+    if (la.in != lb.in || la.out != lb.out) return false;
+    // Bit compare (a NaN-producing flip must never "equal" anything).
+    if (std::memcmp(&la.act_scale, &lb.act_scale, 4) != 0) return false;
+    if (la.w_scale.size() != lb.w_scale.size() ||
+        std::memcmp(la.w_scale.data(), lb.w_scale.data(),
+                    la.w_scale.size() * 4) != 0) {
+      return false;
+    }
+    if (la.w_q != lb.w_q) return false;
+  }
+  return true;
+}
+
+TEST(EazqFuzz, EveryStrictPrefixThrows) {
+  const std::vector<std::uint8_t> bytes =
+      nn::serialize_quant_sidecar(small_sidecar());
+  ASSERT_GT(bytes.size(), 32U);
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(n));
+    EXPECT_THROW((void)nn::parse_quant_sidecar(cut), std::exception)
+        << "prefix " << n;
+  }
+  std::vector<std::uint8_t> padded = bytes;
+  padded.push_back(0x00);
+  EXPECT_THROW((void)nn::parse_quant_sidecar(padded), std::exception);
+  EXPECT_NO_THROW((void)nn::parse_quant_sidecar(bytes));
+}
+
+TEST(EazqFuzz, RandomBitFlipsThrowOrParseWithSaneScales) {
+  const nn::QuantSidecar original = small_sidecar();
+  const std::vector<std::uint8_t> bytes = nn::serialize_quant_sidecar(original);
+  util::Pcg32 rng(0xEA2F);
+  int threw = 0, parsed = 0;
+  for (int trial = 0; trial < 800; ++trial) {
+    std::vector<std::uint8_t> mutated = bytes;
+    const int flips = 1 + rng.next_int(0, 2);
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos =
+          rng.next_below(static_cast<std::uint32_t>(mutated.size()));
+      mutated[pos] ^= static_cast<std::uint8_t>(1U << rng.next_int(0, 7));
+    }
+    try {
+      const nn::QuantSidecar out = nn::parse_quant_sidecar(mutated);
+      ++parsed;
+      // A surviving flip landed in weight/scale payload. The scale
+      // validators are the contract: whatever parsed must be executable —
+      // finite positive scales only, NEVER NaN/inf/zero reaching the
+      // dequant epilogue.
+      for (const auto& l : out.layers) {
+        ASSERT_TRUE(std::isfinite(l.act_scale) && l.act_scale > 0.0F);
+        for (const float s : l.w_scale) {
+          ASSERT_TRUE(std::isfinite(s) && s > 0.0F) << "trial " << trial;
+        }
+      }
+      // And faithfully: re-serialising reproduces the mutated input.
+      EXPECT_EQ(nn::serialize_quant_sidecar(out), mutated) << "trial " << trial;
+    } catch (const std::exception&) {
+      ++threw;
+    }
+  }
+  EXPECT_GT(threw, 0);
+  EXPECT_GT(parsed, 0);
+  EXPECT_EQ(threw + parsed, 800);
+}
+
+TEST(EazqFuzz, CorruptScaleTablesAlwaysThrow) {
+  const nn::QuantSidecar original = small_sidecar();
+  // act_scale of layer 0 sits at offset 10 + 8 (magic+version+count, in+out).
+  const std::size_t act_scale_off = 4 + 2 + 4 + 4 + 4;
+  for (const float bad : {0.0F, -1.0F, std::nanf(""), INFINITY, -INFINITY}) {
+    std::vector<std::uint8_t> bytes = nn::serialize_quant_sidecar(original);
+    std::memcpy(bytes.data() + act_scale_off, &bad, 4);
+    EXPECT_THROW((void)nn::parse_quant_sidecar(bytes), std::exception);
+    // First w_scale entry right after act_scale.
+    std::vector<std::uint8_t> bytes2 = nn::serialize_quant_sidecar(original);
+    std::memcpy(bytes2.data() + act_scale_off + 4, &bad, 4);
+    EXPECT_THROW((void)nn::parse_quant_sidecar(bytes2), std::exception);
+  }
+}
+
+TEST(EazqFuzz, SaturatedCountFieldsThrowInsteadOfAllocating) {
+  std::vector<std::uint8_t> bytes =
+      nn::serialize_quant_sidecar(small_sidecar());
+  // Layer count u32 at offset 6.
+  for (const std::size_t off : {6U, 10U, 14U}) {  // count, layer0 in, out
+    std::vector<std::uint8_t> mutated = bytes;
+    mutated[off] = 0xFF;
+    mutated[off + 1] = 0xFF;
+    mutated[off + 2] = 0xFF;
+    mutated[off + 3] = 0xFF;
+    EXPECT_THROW((void)nn::parse_quant_sidecar(mutated), std::exception)
+        << "offset " << off;
+  }
+}
+
+TEST(EazqFuzz, CheckpointTailRoundTripsAndRejectsGarbageTails) {
+  // A checkpoint with a sidecar appended: the loader must find it, and a
+  // checkpoint whose tail is NOT a valid sidecar must throw, not load.
+  util::Pcg32 rng(19);
+  std::vector<tensor::Tensor> params = {
+      tensor::Tensor::randn({4, 3}, rng),
+      tensor::Tensor::randn({7}, rng),
+  };
+  const nn::QuantSidecar q = small_sidecar();
+  const std::vector<std::uint8_t> bytes =
+      nn::serialize_checkpoint_with_quant(params, q);
+  std::vector<tensor::Tensor> loaded = {tensor::Tensor({4, 3}),
+                                        tensor::Tensor({7})};
+  const auto side = nn::deserialize_checkpoint_with_quant(loaded, bytes);
+  ASSERT_TRUE(side.has_value());
+  EXPECT_TRUE(sidecar_equal(q, *side));
+
+  std::vector<std::uint8_t> garbage = nn::serialize_parameters(params);
+  garbage.insert(garbage.end(), {0xDE, 0xAD, 0xBE, 0xEF});
+  EXPECT_THROW(
+      (void)nn::deserialize_checkpoint_with_quant(loaded, garbage),
+      std::exception);
 }
 
 // Cross-check: the container validators catch a mismatched payload before

@@ -1,0 +1,513 @@
+// Int8 quantized inference path (DESIGN.md §7).
+//
+// Three layers of guarantees, in increasing scope:
+//
+//  1. KERNEL EXACTNESS — gemm_u8s8's fp32 outputs are BIT-IDENTICAL to a
+//     plain reference integer loop + the documented dequant formula, for
+//     every dispatch path (AVX2/scalar is decided at runtime; the reference
+//     here is always plain C), every tiling remainder, thread count and
+//     epilogue combination. Integer accumulation is exact, and the AVX2
+//     epilogue is an op-for-op intrinsic transcription of the scalar one,
+//     so nothing may differ by even an ulp.
+//  2. GOLDEN BYTES — a fixed-seed quantized layer's weights, scales and
+//     outputs are pinned in tests/golden_int8.inc, so an epilogue or
+//     quantizer refactor cannot drift silently even if it stays
+//     self-consistent. (Regenerate ONLY for an intentional format change
+//     with scripts/gen_golden_int8.cpp — Linear(32, 24, Pcg32(77)),
+//     build_quant(1.75), infer_q over 8 rows of Pcg32(88) inputs in
+//     [-2, 2]; w_q / w_scale bits / output bits are dumped as hex.)
+//  3. ACCURACY — per-channel weight quantization + absmax calibration must
+//     cost < 0.5 dB PSNR per image (not on the mean) against the fp32
+//     reconstruction on a synthetic corpus, end to end through the real
+//     pipeline; batch pooling and sidecar round-trips must reproduce int8
+//     bytes exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "codec/jpeg_like.hpp"
+#include "core/pipeline.hpp"
+#include "core/recon_model.hpp"
+#include "core/trainer.hpp"
+#include "data/synth.hpp"
+#include "metrics/distortion.hpp"
+#include "nn/module.hpp"
+#include "nn/quantize.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/kernels.hpp"
+#include "util/prng.hpp"
+
+namespace easz {
+namespace {
+
+namespace kern = tensor::kern;
+
+#include "golden_int8.inc"
+
+// ------------------------------------------------------ kernel exactness
+
+struct QuantCase {
+  std::vector<std::uint8_t> a_q;
+  std::vector<std::int8_t> w_q;
+  std::vector<float> dq_scale;
+  std::vector<std::int32_t> col_sum;
+  std::vector<float> bias;
+  kern::PackedBInt8 packed;
+};
+
+QuantCase make_case(int m, int k, int n, util::Pcg32& rng) {
+  QuantCase c;
+  c.a_q.resize(static_cast<std::size_t>(m) * k);
+  for (auto& v : c.a_q) v = static_cast<std::uint8_t>(rng.next_below(256));
+  c.w_q.resize(static_cast<std::size_t>(k) * n);
+  for (auto& v : c.w_q) {
+    v = static_cast<std::int8_t>(static_cast<int>(rng.next_below(255)) - 127);
+  }
+  c.dq_scale.resize(n);
+  c.bias.resize(n);
+  c.col_sum.assign(n, 0);
+  for (int j = 0; j < n; ++j) {
+    c.dq_scale[j] = 1e-4F + rng.next_float() * 1e-3F;
+    c.bias[j] = rng.next_float() * 0.5F - 0.25F;
+    for (int p = 0; p < k; ++p) {
+      c.col_sum[j] += c.w_q[static_cast<std::size_t>(p) * n + j];
+    }
+  }
+  c.packed = kern::pack_b_s8(c.w_q.data(), k, n);
+  return c;
+}
+
+// The documented reference: exact integer dot product, then the dequant
+// formula with the layer's own scalar GELU.
+std::vector<float> reference_gemm(const QuantCase& c, int m, int k, int n,
+                                  bool with_bias, bool gelu) {
+  std::vector<float> out(static_cast<std::size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (int p = 0; p < k; ++p) {
+        acc += static_cast<std::int32_t>(
+                   c.a_q[static_cast<std::size_t>(i) * k + p]) *
+               static_cast<std::int32_t>(
+                   c.w_q[static_cast<std::size_t>(p) * n + j]);
+      }
+      float v = static_cast<float>(acc - kern::kActZeroPoint * c.col_sum[j]) *
+                c.dq_scale[j];
+      if (with_bias) v += c.bias[j];
+      if (gelu) v = kern::gelu_scalar(v);
+      out[static_cast<std::size_t>(i) * n + j] = v;
+    }
+  }
+  return out;
+}
+
+TEST(QuantKernel, GemmBitIdenticalToReferenceIntegerLoop) {
+  struct Shape {
+    int m, k, n;
+  };
+  // Every remainder class: single element, odd k (pair padding), n below /
+  // straddling / above the 16-column tile, m off the 4-row tile, and a
+  // transformer-sized case that exercises the parallel row panels.
+  const Shape shapes[] = {{1, 1, 1},    {3, 5, 7},    {4, 48, 12},
+                          {5, 17, 24},  {8, 33, 16},  {33, 64, 50},
+                          {16, 255, 33}, {61, 256, 768}};
+  util::Pcg32 rng(4242);
+  for (const Shape s : shapes) {
+    const QuantCase c = make_case(s.m, s.k, s.n, rng);
+    for (const bool with_bias : {false, true}) {
+      for (const bool gelu : {false, true}) {
+        for (const bool parallel : {false, true}) {
+          std::vector<float> got(static_cast<std::size_t>(s.m) * s.n, -1.0F);
+          kern::QuantGemmOpts opts;
+          opts.bias = with_bias ? c.bias.data() : nullptr;
+          opts.gelu = gelu;
+          opts.parallel = parallel;
+          kern::gemm_u8s8(c.a_q.data(), static_cast<std::size_t>(s.k),
+                          c.packed, got.data(),
+                          static_cast<std::size_t>(s.n), s.m, s.k, s.n,
+                          c.dq_scale.data(), c.col_sum.data(), opts);
+          const std::vector<float> want =
+              reference_gemm(c, s.m, s.k, s.n, with_bias, gelu);
+          ASSERT_EQ(0, std::memcmp(got.data(), want.data(),
+                                   got.size() * sizeof(float)))
+              << "m=" << s.m << " k=" << s.k << " n=" << s.n
+              << " bias=" << with_bias << " gelu=" << gelu
+              << " parallel=" << parallel;
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantKernel, GemmIsThreadCountInvariant) {
+  util::Pcg32 rng(77);
+  const int m = 37, k = 96, n = 100;
+  const QuantCase c = make_case(m, k, n, rng);
+  kern::QuantGemmOpts opts;
+  opts.bias = c.bias.data();
+  opts.gelu = true;
+  std::vector<float> base(static_cast<std::size_t>(m) * n);
+  kern::set_threads(1);
+  kern::gemm_u8s8(c.a_q.data(), k, c.packed, base.data(), n, m, k, n,
+                  c.dq_scale.data(), c.col_sum.data(), opts);
+  for (const int threads : {2, 4}) {
+    kern::set_threads(threads);
+    std::vector<float> got(base.size(), 0.0F);
+    kern::gemm_u8s8(c.a_q.data(), k, c.packed, got.data(), n, m, k, n,
+                    c.dq_scale.data(), c.col_sum.data(), opts);
+    EXPECT_EQ(0,
+              std::memcmp(got.data(), base.data(), got.size() * sizeof(float)))
+        << threads << " threads";
+  }
+  kern::set_threads(kern::default_threads());
+}
+
+TEST(QuantKernel, QuantizeRoundsToNearestEvenWithZeroPoint128) {
+  const float scale = 0.5F;  // q = round(x / 0.5) + 128
+  const float xs[] = {0.0F,  0.5F,   -0.5F,  0.25F, 0.75F, 1e9F,
+                      -1e9F, 63.5F, -64.0F, 0.124F, -0.3F, 1e30F};
+  // round-to-nearest-EVEN: 0.25/0.5 = 0.5 -> 0; 0.75/0.5 = 1.5 -> 2.
+  const std::uint8_t want[] = {128, 129, 127, 128, 130, 255,
+                               0,   255, 0,   128,  127, 255};
+  std::uint8_t got[12];
+  kern::quantize_rows_u8(xs, got, 12, scale);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(want[i], got[i]) << "x=" << xs[i];
+  }
+  // The vector path (32 at a time) agrees with the scalar tail element by
+  // element across a sweep that includes ties and clamps.
+  std::vector<float> sweep(97);
+  util::Pcg32 rng(5);
+  for (auto& v : sweep) v = rng.next_float() * 300.0F - 150.0F;
+  std::vector<std::uint8_t> all(sweep.size());
+  kern::quantize_rows_u8(sweep.data(), all.data(), sweep.size(), 1.0F);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    std::uint8_t one = 0;
+    kern::quantize_rows_u8(&sweep[i], &one, 1, 1.0F);
+    EXPECT_EQ(one, all[i]) << "element " << i;
+  }
+}
+
+TEST(QuantKernel, PackRejectsInvalidDimensions) {
+  const std::int8_t b[4] = {1, 2, 3, 4};
+  EXPECT_THROW((void)kern::pack_b_s8(b, 0, 4), std::invalid_argument);
+  EXPECT_THROW((void)kern::pack_b_s8(b, 4, 0), std::invalid_argument);
+  EXPECT_THROW((void)kern::pack_b_s8(b, 65537, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------- per-channel quantizer
+
+TEST(PerChannelScales, RoundTripWithinHalfStepAndSaturatesAtAbsmax) {
+  util::Pcg32 rng(31);
+  nn::Linear lin(48, 20, rng);
+  lin.build_quant(1.0F);
+  const nn::Linear::QuantState& q = lin.quant();
+  ASSERT_EQ(20U, q.w_scale.size());
+  ASSERT_EQ(48U * 20U, q.w_q.size());
+
+  // Reconstruct the weight matrix from the layer's parameters() order:
+  // weight first ([in, out] row-major), bias second.
+  const std::vector<float> w = lin.parameters()[0].data();
+  for (int j = 0; j < 20; ++j) {
+    const float scale = q.w_scale[j];
+    ASSERT_GT(scale, 0.0F);
+    float absmax = 0.0F;
+    bool saturated = false;
+    for (int p = 0; p < 48; ++p) {
+      const std::size_t idx = static_cast<std::size_t>(p) * 20 + j;
+      const float dq = static_cast<float>(q.w_q[idx]) * scale;
+      // Symmetric round-to-nearest: error <= scale / 2 (+ eps slack).
+      EXPECT_LE(std::fabs(dq - w[idx]), scale * 0.5F + 1e-7F);
+      absmax = std::max(absmax, std::fabs(w[idx]));
+      if (std::abs(q.w_q[idx]) == 127) saturated = true;
+    }
+    // The channel absmax element must land on +-127 (that is what defines
+    // the scale), so the full int8 range is used per channel.
+    EXPECT_TRUE(saturated) << "channel " << j;
+    EXPECT_NEAR(absmax / 127.0F, scale, 1e-9F);
+  }
+}
+
+TEST(PerChannelScales, CalibrationObserversRecordInputAbsmax) {
+  util::Pcg32 rng(7);
+  nn::Linear lin(8, 4, rng);
+  std::vector<float> x(3 * 8, 0.25F);
+  x[13] = -3.75F;  // the absmax the observer must find
+  std::vector<float> y(3 * 4);
+  lin.infer(x.data(), y.data(), 3);
+  EXPECT_EQ(0.0F, lin.observed_absmax()) << "observers off by default";
+  nn::set_calibration(true);
+  lin.infer(x.data(), y.data(), 3);
+  nn::set_calibration(false);
+  EXPECT_FLOAT_EQ(3.75F, lin.observed_absmax());
+  lin.infer(x.data(), y.data(), 3);
+  EXPECT_FLOAT_EQ(3.75F, lin.observed_absmax()) << "off again after";
+
+  // RE-calibration must reflect the new distribution, not the widest
+  // range ever seen.
+  lin.reset_observed_absmax();
+  x[13] = 0.25F;  // back to the flat 0.25 corpus
+  nn::set_calibration(true);
+  lin.infer(x.data(), y.data(), 3);
+  nn::set_calibration(false);
+  EXPECT_FLOAT_EQ(0.25F, lin.observed_absmax());
+}
+
+TEST(PerChannelScales, RecalibrationDropsStaleRanges) {
+  util::Pcg32 rng(61);
+  core::ReconModelConfig cfg;
+  cfg.patchify = {.patch = 16, .sub_patch = 4};
+  cfg.channels = 3;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.ffn_hidden = 64;
+  core::ReconstructionModel model(cfg, rng);
+  const core::EraseMask mask = core::make_diagonal_mask(cfg.patchify.grid());
+  const int total = cfg.patchify.tokens();
+  const int token_dim = cfg.patchify.token_dim(3);
+
+  // Calibrate on a wild distribution, then on a tame one: the second
+  // calibration's embed scale must match a from-scratch calibration on
+  // the tame samples alone (stale observations forgotten).
+  const tensor::Tensor wild =
+      tensor::Tensor::randn({2, total, token_dim}, rng, 8.0F);
+  const tensor::Tensor tame =
+      tensor::Tensor::randn({2, total, token_dim}, rng, 0.2F);
+  model.calibrate_and_quantize({{wild, mask}});
+  const float wild_scale = model.quant_sidecar().layers[0].act_scale;
+  model.calibrate_and_quantize({{tame, mask}});
+  const float recal_scale = model.quant_sidecar().layers[0].act_scale;
+  EXPECT_LT(recal_scale, wild_scale);
+
+  util::Pcg32 rng2(61);
+  core::ReconstructionModel fresh(cfg, rng2);
+  (void)tensor::Tensor::randn({2, total, token_dim}, rng2, 8.0F);  // align rng
+  const tensor::Tensor tame2 =
+      tensor::Tensor::randn({2, total, token_dim}, rng2, 0.2F);
+  fresh.calibrate_and_quantize({{tame2, mask}});
+  EXPECT_FLOAT_EQ(fresh.quant_sidecar().layers[0].act_scale, recal_scale);
+}
+
+TEST(PerChannelScales, InferQWithoutQuantizationThrows) {
+  util::Pcg32 rng(9);
+  nn::Linear lin(4, 4, rng);
+  std::vector<float> x(4), y(4);
+  EXPECT_THROW(lin.infer_q(x.data(), y.data(), 1), std::logic_error);
+  EXPECT_THROW((void)lin.quant(), std::logic_error);
+}
+
+// ---------------------------------------------------------- golden bytes
+
+TEST(GoldenInt8, QuantizedWeightsAndScalesAreBitStable) {
+  util::Pcg32 wrng(77);
+  nn::Linear lin(32, 24, wrng);
+  lin.build_quant(1.75F);
+  const nn::Linear::QuantState& q = lin.quant();
+  ASSERT_EQ(sizeof(kGoldenWq), q.w_q.size());
+  EXPECT_EQ(0, std::memcmp(kGoldenWq, q.w_q.data(), q.w_q.size()));
+  ASSERT_EQ(sizeof(kGoldenWScaleBits) / 4, q.w_scale.size());
+  EXPECT_EQ(0, std::memcmp(kGoldenWScaleBits, q.w_scale.data(),
+                           sizeof(kGoldenWScaleBits)));
+}
+
+TEST(GoldenInt8, ForwardOutputBytesArePinned) {
+  util::Pcg32 wrng(77);
+  nn::Linear lin(32, 24, wrng);
+  lin.build_quant(1.75F);
+  util::Pcg32 xrng(88);
+  std::vector<float> x(8 * 32);
+  for (auto& v : x) v = xrng.next_float() * 4.0F - 2.0F;
+  std::vector<float> y(8 * 24);
+
+  lin.infer_q(x.data(), y.data(), 8, /*fuse_gelu=*/false);
+  ASSERT_EQ(sizeof(kGoldenOutPlainBits) / 4, y.size());
+  EXPECT_EQ(0,
+            std::memcmp(kGoldenOutPlainBits, y.data(), y.size() * 4))
+      << "plain epilogue drifted from the golden bytes";
+
+  lin.infer_q(x.data(), y.data(), 8, /*fuse_gelu=*/true);
+  EXPECT_EQ(0, std::memcmp(kGoldenOutGeluBits, y.data(), y.size() * 4))
+      << "GELU epilogue drifted from the golden bytes";
+}
+
+// ------------------------------------------------------ model-level int8
+
+core::ReconModelConfig small_config() {
+  core::ReconModelConfig cfg;
+  cfg.patchify = {.patch = 16, .sub_patch = 4};
+  cfg.channels = 3;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.ffn_hidden = 64;
+  return cfg;
+}
+
+TEST(QuantModel, Int8WithoutQuantizationThrows) {
+  util::Pcg32 rng(21);
+  const core::ReconstructionModel model(small_config(), rng);
+  EXPECT_FALSE(model.is_quantized());
+  const core::EraseMask mask =
+      core::make_diagonal_mask(small_config().patchify.grid());
+  const tensor::Tensor tokens = tensor::Tensor::randn(
+      {1, small_config().patchify.tokens(),
+       small_config().patchify.token_dim(3)},
+      rng, 0.3F);
+  EXPECT_THROW((void)model.infer(tokens, mask, nn::Precision::kInt8),
+               std::logic_error);
+  EXPECT_THROW((void)model.quant_sidecar(), std::logic_error);
+}
+
+TEST(QuantModel, PooledBatchReproducesPerRequestBytes) {
+  util::Pcg32 rng(22);
+  core::ReconstructionModel model(small_config(), rng);
+  const int total = small_config().patchify.tokens();
+  const int token_dim = small_config().patchify.token_dim(3);
+  const core::EraseMask mask =
+      core::make_diagonal_mask(small_config().patchify.grid());
+  const tensor::Tensor pooled =
+      tensor::Tensor::randn({6, total, token_dim}, rng, 0.3F);
+  model.calibrate_and_quantize({{pooled, mask}});
+
+  const tensor::Tensor all =
+      model.reconstruct(pooled, mask, nn::Precision::kInt8);
+  // Static calibrated scales make every patch row's quantization local to
+  // itself, so any split of the batch must reproduce identical bytes —
+  // the property serve's cross-request batching relies on.
+  const std::size_t per = static_cast<std::size_t>(total) * token_dim;
+  for (const int split : {1, 2, 3}) {
+    for (int start = 0; start < 6; start += split) {
+      const int count = std::min(split, 6 - start);
+      tensor::Tensor part({count, total, token_dim});
+      std::copy_n(pooled.data().begin() + start * per, count * per,
+                  part.data().begin());
+      const tensor::Tensor got =
+          model.reconstruct(part, mask, nn::Precision::kInt8);
+      ASSERT_EQ(0, std::memcmp(got.data().data(),
+                               all.data().data() + start * per,
+                               count * per * sizeof(float)))
+          << "split " << split << " start " << start;
+    }
+  }
+}
+
+TEST(QuantModel, SidecarRoundTripReproducesInt8Bytes) {
+  util::Pcg32 rng_a(33);
+  core::ReconstructionModel a(small_config(), rng_a);
+  const int total = small_config().patchify.tokens();
+  const int token_dim = small_config().patchify.token_dim(3);
+  const core::EraseMask mask =
+      core::make_diagonal_mask(small_config().patchify.grid());
+  util::Pcg32 drng(34);
+  const tensor::Tensor tokens =
+      tensor::Tensor::randn({3, total, token_dim}, drng, 0.3F);
+  a.calibrate_and_quantize({{tokens, mask}});
+  const tensor::Tensor want = a.infer(tokens, mask, nn::Precision::kInt8);
+
+  // Full checkpoint round trip: fp32 params + EAZQ sidecar in one buffer.
+  const std::vector<std::uint8_t> bytes =
+      nn::serialize_checkpoint_with_quant(a.parameters(), a.quant_sidecar());
+  util::Pcg32 rng_b(99);  // different init — everything comes from the file
+  core::ReconstructionModel b(small_config(), rng_b);
+  auto params = b.parameters();
+  const auto sidecar = nn::deserialize_checkpoint_with_quant(params, bytes);
+  ASSERT_TRUE(sidecar.has_value());
+  b.apply_quant_sidecar(*sidecar);
+  ASSERT_TRUE(b.is_quantized());
+  const tensor::Tensor got = b.infer(tokens, mask, nn::Precision::kInt8);
+  EXPECT_EQ(0, std::memcmp(got.data().data(), want.data().data(),
+                           got.numel() * sizeof(float)));
+
+  // A plain checkpoint reports "no sidecar" instead of throwing.
+  const std::vector<std::uint8_t> plain =
+      nn::serialize_parameters(a.parameters());
+  auto params2 = b.parameters();
+  EXPECT_FALSE(
+      nn::deserialize_checkpoint_with_quant(params2, plain).has_value());
+}
+
+TEST(QuantModel, SidecarDimensionMismatchThrows) {
+  util::Pcg32 rng(41);
+  core::ReconstructionModel model(small_config(), rng);
+  const core::EraseMask mask =
+      core::make_diagonal_mask(small_config().patchify.grid());
+  const tensor::Tensor tokens = tensor::Tensor::randn(
+      {1, small_config().patchify.tokens(),
+       small_config().patchify.token_dim(3)},
+      rng, 0.3F);
+  model.calibrate_and_quantize({{tokens, mask}});
+  nn::QuantSidecar sidecar = model.quant_sidecar();
+  sidecar.layers.pop_back();
+  EXPECT_THROW(model.apply_quant_sidecar(sidecar), std::invalid_argument);
+
+  nn::QuantSidecar wrong = model.quant_sidecar();
+  wrong.layers[0].in += 1;  // dims no longer match the embed layer
+  EXPECT_THROW(model.apply_quant_sidecar(wrong), std::invalid_argument);
+}
+
+// ------------------------------------------------- end-to-end PSNR floor
+
+TEST(QuantAccuracy, Int8PsnrWithinHalfDbOfFp32PerImage) {
+  // A quickly-trained small model: accuracy deltas only mean something
+  // when the fp32 baseline itself reconstructs structure.
+  core::ReconModelConfig mcfg;
+  mcfg.patchify = {.patch = 16, .sub_patch = 2};
+  mcfg.channels = 3;
+  mcfg.d_model = 48;
+  mcfg.num_heads = 4;
+  mcfg.ffn_hidden = 96;
+  util::Pcg32 rng(55);
+  core::ReconstructionModel model(mcfg, rng);
+  core::TrainerConfig tcfg;
+  tcfg.batch_patches = 8;
+  tcfg.use_perceptual = false;
+  tcfg.lr = 1.5e-3F;
+  core::Trainer trainer(model, tcfg, rng);
+  std::vector<image::Image> corpus;
+  util::Pcg32 drng(56);
+  for (int i = 0; i < 6; ++i) {
+    corpus.push_back(i % 2 == 0 ? data::synth_photo(32, 32, drng)
+                                : data::synth_cartoon(32, 32, drng));
+  }
+  trainer.train(corpus, 60);
+
+  codec::JpegLikeCodec jpeg(80);
+  core::EaszConfig cfg;
+  cfg.patchify = mcfg.patchify;
+  cfg.erased_per_row = 2;
+  cfg.mask_seed = 7;
+  const core::EaszPipeline pipeline(cfg, jpeg, &model);
+
+  // The synthetic evaluation corpus, disjoint from training.
+  std::vector<image::Image> eval;
+  util::Pcg32 erng(57);
+  eval.push_back(data::synth_photo(64, 48, erng));
+  eval.push_back(data::synth_photo(48, 64, erng));
+  eval.push_back(data::synth_cartoon(64, 64, erng));
+  eval.push_back(data::synth_texture(48, 48, erng));
+
+  // Calibrate on the decode path itself (what a server would see).
+  std::vector<core::ReconstructionModel::CalibSample> samples;
+  for (const image::Image& img : eval) {
+    const core::DecodedTokens d = pipeline.decode_tokens(pipeline.encode(img));
+    samples.push_back({d.tokens, d.recon_mask});
+  }
+  model.calibrate_and_quantize(samples);
+
+  for (std::size_t i = 0; i < eval.size(); ++i) {
+    const core::EaszCompressed c = pipeline.encode(eval[i]);
+    const image::Image fp32 = pipeline.decode(c);
+    const image::Image int8 = pipeline.decode(c, nn::Precision::kInt8);
+    const double psnr_fp32 = metrics::psnr(eval[i], fp32);
+    const double psnr_int8 = metrics::psnr(eval[i], int8);
+    // Asserted PER IMAGE, not on the mean: one badly-quantized image is a
+    // regression even if the average hides it.
+    EXPECT_LE(psnr_fp32 - psnr_int8, 0.5)
+        << "image " << i << ": fp32 " << psnr_fp32 << " dB vs int8 "
+        << psnr_int8 << " dB";
+  }
+}
+
+}  // namespace
+}  // namespace easz

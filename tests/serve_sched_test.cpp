@@ -103,11 +103,32 @@ struct SchedFixture {
     return r;
   }
 
-  image::Image sequential_decode(const ServeRequest& r) {
+  image::Image sequential_decode(const ServeRequest& r,
+                                 nn::Precision precision =
+                                     nn::Precision::kFp32) {
     const core::EaszPipeline server_pipeline(
         edge_config(r.compressed.erased_per_row, r.compressed.axis, 7), jpeg,
         &model);
-    return server_pipeline.decode(r.compressed);
+    return server_pipeline.decode(r.compressed, precision);
+  }
+
+  /// Post-training-quantizes the fixture model on decode-path samples (the
+  /// activation distribution serving actually sees).
+  void quantize_model() {
+    std::vector<core::ReconstructionModel::CalibSample> samples;
+    for (int i = 0; i < 3; ++i) {
+      const image::Image img = test_image(40 + 8 * i, 24 + 8 * i, 600 + i);
+      const core::EaszPipeline edge(
+          edge_config(1 + i % 2, core::SqueezeAxis::kHorizontal, 7), jpeg,
+          nullptr);
+      const core::EaszPipeline server_pipeline(
+          edge_config(1 + i % 2, core::SqueezeAxis::kHorizontal, 7), jpeg,
+          &model);
+      const core::DecodedTokens d =
+          server_pipeline.decode_tokens(edge.encode(img));
+      samples.push_back({d.tokens, d.recon_mask});
+    }
+    model.calibrate_and_quantize(samples);
   }
 };
 
@@ -503,6 +524,122 @@ TEST(ServeSchedTest, ByteIdenticalToSequentialDecodeAt148Workers) {
     EXPECT_EQ(s.failed, 0U);
     EXPECT_GE(s.cache_hits, static_cast<std::uint64_t>(kRequests));
   }
+}
+
+// ------------------------------------------------------ mixed precision
+
+// Tenants pinning different precisions share one server, one model and —
+// crucially — the same erase masks, so without the precision tag in the
+// batch-pool key their patches would pool into the same forward pass and
+// every output byte would depend on batch-mate precision. The contract:
+// each request's bytes equal an INDEPENDENT sequential decode at that
+// request's precision, at every worker count, and the cache never serves
+// one precision's image for the other.
+TEST(ServeSchedTest, MixedPrecisionTenantsStayByteIdenticalPerPrecision) {
+  SchedFixture fx;
+  fx.quantize_model();
+  ASSERT_TRUE(fx.model.is_quantized());
+
+  constexpr int kRequests = 12;
+  std::vector<ServeRequest> requests;
+  std::vector<image::Image> expected;
+  for (int i = 0; i < kRequests; ++i) {
+    // hifi pins fp32, fast pins int8, the default tenant inherits the
+    // server's kAuto (= int8 on a quantized model). SAME mask seed across
+    // tenants: fp32 and int8 requests deliberately share erase masks.
+    const char* tenant = i % 3 == 0 ? "hifi" : (i % 3 == 1 ? "fast" : "");
+    const nn::Precision precision =
+        i % 3 == 0 ? nn::Precision::kFp32 : nn::Precision::kInt8;
+    const image::Image img = test_image(33 + 7 * (i % 4), 17 + 9 * (i % 3),
+                                        700 + i);
+    ServeRequest r = fx.make_request(img, tenant, 1 + i % 2);
+    expected.push_back(fx.sequential_decode(r, precision));
+    requests.push_back(std::move(r));
+  }
+
+  for (const int workers : {1, 4, 8}) {
+    ServerConfig cfg;
+    cfg.workers = workers;
+    cfg.max_queue = 64;
+    cfg.max_batch_patches = 8;  // force cross-request pooling pressure
+    cfg.cache_bytes = 1ULL << 20;
+    cfg.precision = PrecisionPolicy::kAuto;
+    cfg.tenants = {
+        TenantConfig{.name = "hifi", .precision = TenantPrecision::kFp32},
+        TenantConfig{.name = "fast", .precision = TenantPrecision::kInt8},
+    };
+    ReconServer server(cfg, fx.model);
+    server.register_codec("jpeg", &fx.jpeg);
+
+    std::vector<std::future<ServeResponse>> futures;
+    for (const ServeRequest& r : requests) {
+      SubmitResult res = server.submit(r);
+      ASSERT_TRUE(res.accepted);
+      futures.push_back(std::move(res.response));
+    }
+    for (int i = 0; i < kRequests; ++i) {
+      const ServeResponse resp = futures[i].get();
+      ASSERT_NE(resp.image, nullptr);
+      EXPECT_EQ(resp.image->data(), expected[i].data())
+          << "workers=" << workers << " request " << i;
+    }
+
+    // Same blob through both pinned tenants: different bytes (the int8
+    // path genuinely differs), and each comes back cache-consistent on a
+    // second pass — the precision lives in the cache key.
+    ServeRequest as_hifi = requests[1];  // a "fast" request originally
+    as_hifi.tenant = "hifi";
+    const ServeResponse hifi_resp = server.submit(as_hifi).response.get();
+    const image::Image hifi_ref = fx.sequential_decode(as_hifi);
+    EXPECT_EQ(hifi_resp.image->data(), hifi_ref.data());
+    EXPECT_NE(hifi_resp.image->data(), expected[1].data())
+        << "fp32 and int8 reconstructions of one blob should differ";
+    for (int i = 0; i < kRequests; ++i) {
+      const ServeResponse resp = server.submit(requests[i]).response.get();
+      EXPECT_TRUE(resp.cache_hit);
+      EXPECT_EQ(resp.image->data(), expected[i].data())
+          << "cached bytes must stay per-precision (request " << i << ")";
+    }
+
+    const ServerStatsSnapshot s = server.stats();
+    EXPECT_EQ(s.failed, 0U);
+    EXPECT_EQ(s.precision, "int8") << "kAuto on a quantized model";
+    EXPECT_GT(s.batches_int8, 0U);
+    EXPECT_LT(s.batches_int8, s.batches) << "fp32 batches ran too";
+    EXPECT_EQ(tenant_row(s, "hifi").precision, "fp32");
+    EXPECT_EQ(tenant_row(s, "fast").precision, "int8");
+    EXPECT_EQ(tenant_row(s, "default").precision, "inherit");
+  }
+}
+
+TEST(ServeSchedTest, Int8PolicyOnUnquantizedModelIsRejectedAtConstruction) {
+  util::Pcg32 rng(121);
+  core::ReconstructionModel raw(tiny_model_config(), rng);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.precision = PrecisionPolicy::kInt8;
+  EXPECT_THROW((ReconServer{cfg, raw}), std::invalid_argument);
+
+  ServerConfig tcfg;
+  tcfg.workers = 1;
+  tcfg.tenants = {
+      TenantConfig{.name = "fast", .precision = TenantPrecision::kInt8}};
+  EXPECT_THROW((ReconServer{tcfg, raw}), std::invalid_argument);
+
+  // kAuto degrades to fp32 instead of throwing.
+  ServerConfig acfg;
+  acfg.workers = 1;
+  acfg.precision = PrecisionPolicy::kAuto;
+  ReconServer server(acfg, raw);
+  EXPECT_EQ(server.stats().precision, "fp32");
+
+  // A RUNTIME-added int8 pin fails at add() time too (configuration-time
+  // failure, not a throw out of every later submit).
+  EXPECT_THROW(server.tenants().add(TenantConfig{
+                   .name = "late", .precision = TenantPrecision::kInt8}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(server.tenants().add(TenantConfig{
+      .name = "late", .precision = TenantPrecision::kFp32}));
 }
 
 // --------------------------------------------------------- async submit

@@ -7,8 +7,14 @@
 //              [--clients N] [--frames N] [--batch P] [--queue N]
 //              [--cache-mb MB] [--cache-shards N] [--reject]
 //              [--time-scale S] [--json out.json] [--kernel-threads N]
-//              [--tenants name:weight[:rate[:burst[:inflight]]],...]
-//              [--async]
+//              [--tenants name:weight[:rate[:burst[:inflight[:precision]]]],...]
+//              [--async] [--precision fp32|int8|auto]
+//
+// --precision selects the reconstruct stage's numeric path (DESIGN.md §7).
+// int8/auto quantize the model at startup: a loadgen-style synthetic
+// sample is pushed through the fp32 path with activation observers on,
+// then every Linear freezes per-output-channel int8 weights. A tenant's
+// trailing :fp32/:int8 field pins that tenant regardless of the default.
 //
 // --kernel-threads sizes the tensor::kern pool the transformer forward
 // (reconstruct stage) runs on; 0 keeps the pool at hardware concurrency.
@@ -28,6 +34,7 @@
 // from blocking to load shedding. The JSON report contains one entry per
 // scenario with client-side latency (overall and per tenant) and the
 // server's stage + tenant stats.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +43,7 @@
 
 #include "codec/bpg_like.hpp"
 #include "codec/jpeg_like.hpp"
+#include "data/synth.hpp"
 #include "serve/server.hpp"
 #include "testbed/loadgen.hpp"
 #include "util/flags.hpp"
@@ -72,6 +80,16 @@ std::vector<serve::TenantConfig> parse_tenants(const std::string& spec) {
     if (fields.size() > 2) t.rate_per_s = std::atof(fields[2].c_str());
     if (fields.size() > 3) t.burst = std::atof(fields[3].c_str());
     if (fields.size() > 4) t.max_inflight = std::atoi(fields[4].c_str());
+    if (fields.size() > 5 && !fields[5].empty()) {
+      if (fields[5] == "fp32") {
+        t.precision = serve::TenantPrecision::kFp32;
+      } else if (fields[5] == "int8") {
+        t.precision = serve::TenantPrecision::kInt8;
+      } else {
+        throw std::invalid_argument("tenant precision must be fp32 or int8: " +
+                                    fields[5]);
+      }
+    }
     out.push_back(std::move(t));
   }
   return out;
@@ -97,15 +115,28 @@ int main(int argc, char** argv) try {
   const std::string tenants_spec = flag_value(argc, argv, "--tenants", "");
   const bool async = has_flag(argc, argv, "--async");
   const char* json_path = flag_value(argc, argv, "--json", nullptr);
+  const std::string precision_flag =
+      flag_value(argc, argv, "--precision", "fp32");
+  serve::PrecisionPolicy precision = serve::PrecisionPolicy::kFp32;
+  if (precision_flag == "int8") {
+    precision = serve::PrecisionPolicy::kInt8;
+  } else if (precision_flag == "auto") {
+    precision = serve::PrecisionPolicy::kAuto;
+  } else if (precision_flag != "fp32") {
+    std::fprintf(stderr, "unknown --precision '%s' (fp32|int8|auto)\n",
+                 precision_flag.c_str());
+    return 2;
+  }
 
   std::printf("easz_serve: %d workers, batch %d, queue %d/tenant, "
               "cache %.0f MB x%d shards, %s backpressure, %s submit, "
-              "kernel threads %s\n",
+              "kernel threads %s, precision %s\n",
               workers, batch, queue, cache_mb, cache_shards,
               has_flag(argc, argv, "--reject") ? "reject" : "block",
               async ? "async" : "blocking",
               kernel_threads > 0 ? std::to_string(kernel_threads).c_str()
-                                 : "auto");
+                                 : "auto",
+              precision_flag.c_str());
   const std::vector<serve::TenantConfig> tenants =
       parse_tenants(tenants_spec);
   for (const serve::TenantConfig& t : tenants) {
@@ -126,10 +157,41 @@ int main(int argc, char** argv) try {
   mcfg.num_heads = 4;
   mcfg.ffn_hidden = 128;
   util::Pcg32 rng(11);
-  const core::ReconstructionModel model(mcfg, rng);
+  core::ReconstructionModel model(mcfg, rng);
 
   codec::JpegLikeCodec jpeg(75);
   codec::BpgLikeCodec bpg(60);
+
+  // Quantization is needed when the server default is int8/auto OR any
+  // tenant pins int8 (the per-tenant override works regardless of the
+  // default, so it must be able to trigger calibration by itself).
+  const bool any_tenant_int8 =
+      std::any_of(tenants.begin(), tenants.end(), [](const auto& t) {
+        return t.precision == serve::TenantPrecision::kInt8;
+      });
+  if (precision != serve::PrecisionPolicy::kFp32 || any_tenant_int8) {
+    // Loadgen-style calibration sample: synthetic frames shaped like the
+    // traces below, pushed through the production decode path at both
+    // erase ratios and axes the scenarios use, so the observers see the
+    // activation ranges serving will.
+    std::vector<core::ReconstructionModel::CalibSample> samples;
+    util::Pcg32 calib_rng(0xCA1B);
+    for (int i = 0; i < 6; ++i) {
+      const image::Image img = data::synth_photo(96, 64, calib_rng);
+      core::EaszConfig cfg;
+      cfg.patchify = mcfg.patchify;
+      cfg.erased_per_row = 1 + i % 2;
+      cfg.axis = i % 2 == 0 ? core::SqueezeAxis::kHorizontal
+                            : core::SqueezeAxis::kVertical;
+      cfg.mask_seed = 7 + i;
+      const core::EaszPipeline pipeline(cfg, jpeg, &model);
+      const core::DecodedTokens d = pipeline.decode_tokens(pipeline.encode(img));
+      samples.push_back({d.tokens, d.recon_mask});
+    }
+    model.calibrate_and_quantize(samples);
+    std::printf("quantized: %zu calibration samples, int8 weights frozen\n",
+                samples.size());
+  }
 
   serve::ServerConfig scfg;
   scfg.workers = workers;
@@ -142,6 +204,7 @@ int main(int argc, char** argv) try {
   scfg.kernel_threads = kernel_threads;
   scfg.cache_shards = cache_shards;
   scfg.tenants = tenants;
+  scfg.precision = precision;
 
   std::vector<testbed::LoadTrace> traces;
   if (scenario == "wildlife" || scenario == "all") {
