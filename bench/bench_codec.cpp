@@ -19,6 +19,8 @@
 #include "codec/jpeg_like.hpp"
 #include "data/synth.hpp"
 #include "entropy/rans.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/registry.hpp"
 #include "tensor/kernels.hpp"
 #include "util/prng.hpp"
 
@@ -331,6 +333,29 @@ int main(int argc, char** argv) {
   };
   dump_codec("jpeg", fj, true);
   dump_codec("bpg", fb, false);
+
+  // Hardware counters around a 1-thread bpg decode burst (the stage the
+  // block-parallel work targets); "unavailable" per counter when the kernel
+  // forbids perf_event_open. Always carries the llc_miss key (ROADMAP 2).
+  obs::PerfReading perf;
+  {
+    codec::Compressed comp = bpg.encode(img);
+    obs::PerfCounters counters;
+    obs::PerfScope scope(counters, perf);
+    for (int r = 0; r < codec_reps; ++r) (void)bpg.decode(comp);
+  }
+  std::printf("hardware counters (1-thread bpg decode burst)\n  %s\n",
+              perf.to_json().c_str());
+
+  // Registry totals accumulated during the runs above: wavefront/block task
+  // counts from the codecs plus the kern pool's steal counters.
+  const obs::Registry::Snapshot reg = obs::Registry::global().snapshot();
+  std::fprintf(f, "},\"perf\":%s,\"obs_totals\":{", perf.to_json().c_str());
+  for (std::size_t i = 0; i < reg.counters.size(); ++i) {
+    std::fprintf(f, "%s\"%s\":%llu", i == 0 ? "" : ",",
+                 reg.counters[i].first.c_str(),
+                 static_cast<unsigned long long>(reg.counters[i].second));
+  }
   std::fprintf(f, "}}\n");
   std::fclose(f);
   std::printf("\nJSON report: %s\n", out_path.c_str());

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/recon_model.hpp"
+#include "obs/perf_counters.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
@@ -433,6 +434,31 @@ int main(int argc, char** argv) try {
     std::printf(
         "\ntransformer forward, int8 vs fp32 kernel (tokens per second)\n");
     t.print();
+  }
+  // ---- hardware counters (ROADMAP item 2: llc_miss in bench JSON) ---------
+  //
+  // Cycles/instructions/LLC refs+misses around a single-thread GEMM burst
+  // at the serve-model qkv shape — the memory-hierarchy signature of the
+  // kernel hot loop. Degrades to "unavailable" per counter when
+  // perf_event_open is not permitted (see obs/perf_counters.hpp).
+  {
+    const int m = 128, k = 64, n = 192;
+    const tensor::Tensor a = tensor::Tensor::randn({m, k}, rng);
+    const tensor::Tensor b = tensor::Tensor::randn({k, n}, rng);
+    std::vector<float> c(static_cast<std::size_t>(m) * n);
+    kern::set_threads(1);
+    obs::PerfCounters counters;
+    obs::PerfReading reading;
+    {
+      obs::PerfScope scope(counters, reading);
+      for (int r = 0; r < (smoke ? 4 : 32); ++r) {
+        kern::gemm(a.data().data(), k, b.data().data(), n, c.data(), n, m, k,
+                   n);
+      }
+    }
+    json += ",\"perf\":" + reading.to_json();
+    std::printf("\nhardware counters (1-thread GEMM %dx%dx%d burst)\n  %s\n",
+                m, k, n, reading.to_json().c_str());
   }
   json += "}";
   kern::set_threads(kern::default_threads());

@@ -12,10 +12,25 @@
 #include "entropy/bitstream.hpp"
 #include "entropy/rans.hpp"
 #include "image/color.hpp"
+#include "obs/registry.hpp"
 #include "tensor/kernels.hpp"
 
 namespace easz::codec {
 namespace {
+
+// Wavefront-scheduler task counts (DESIGN.md §8.2): blocks processed and
+// anti-diagonal launches. blocks/wavefronts is the mean wavefront width —
+// how much parallelism the intra dependency structure actually exposed.
+struct BpgMetrics {
+  obs::Counter& blocks = obs::Registry::global().counter("codec.bpg.blocks");
+  obs::Counter& wavefronts =
+      obs::Registry::global().counter("codec.bpg.wavefronts");
+};
+
+BpgMetrics& bpg_metrics() {
+  static BpgMetrics m;
+  return m;
+}
 
 constexpr int kLumaBlock = 16;
 constexpr int kChromaBlock = 8;
@@ -183,6 +198,8 @@ struct PlaneCode {
 /// fn must not throw (parallel_for contract) — validate inputs first.
 template <typename Fn>
 void for_each_block_wavefront(int bx_count, int by_count, Fn&& fn) {
+  bpg_metrics().blocks.add(
+      static_cast<std::uint64_t>(bx_count) * static_cast<std::uint64_t>(by_count));
   const bool parallel = tensor::kern::threads() > 1 &&
                         bx_count > 1 && by_count > 1 &&
                         bx_count * by_count >= 16;
@@ -192,6 +209,8 @@ void for_each_block_wavefront(int bx_count, int by_count, Fn&& fn) {
     }
     return;
   }
+  bpg_metrics().wavefronts.add(
+      static_cast<std::uint64_t>(bx_count + by_count - 1));
   for (int d = 0; d < bx_count + by_count - 1; ++d) {
     const int by_lo = std::max(0, d - bx_count + 1);
     const int by_hi = std::min(d, by_count - 1);

@@ -9,6 +9,7 @@
 #include "entropy/bitstream.hpp"
 #include "entropy/huffman.hpp"
 #include "image/color.hpp"
+#include "obs/registry.hpp"
 #include "tensor/kernels.hpp"
 
 namespace easz::codec {
@@ -16,6 +17,21 @@ namespace {
 
 constexpr int kBlock = 8;
 constexpr int kBlockArea = kBlock * kBlock;
+
+// Per-stage task counts for the block-parallel passes (DESIGN.md §8.2):
+// blocks pushed through the forward DCT+quantise pass and the inverse
+// dequantise+IDCT pass, regardless of whether they ran pooled or inline.
+struct JpegMetrics {
+  obs::Counter& encode_blocks =
+      obs::Registry::global().counter("codec.jpeg.encode_blocks");
+  obs::Counter& decode_blocks =
+      obs::Registry::global().counter("codec.jpeg.decode_blocks");
+};
+
+JpegMetrics& jpeg_metrics() {
+  static JpegMetrics m;
+  return m;
+}
 
 // ITU-T T.81 Annex K reference quantisation tables.
 constexpr std::array<int, kBlockArea> kLumaQuant = {
@@ -124,6 +140,7 @@ PlaneSymbols encode_plane(const image::Image& plane,
       q[i] = static_cast<int>(std::lround(coeff));
     }
   };
+  jpeg_metrics().encode_blocks.add(block_count);
   if (tensor::kern::threads() > 1 && block_count >= 32) {
     tensor::kern::parallel_for(static_cast<int>(block_count), quantise_block);
   } else {
@@ -243,6 +260,7 @@ image::Image decode_plane(entropy::BitReader& br, int width, int height,
       }
     }
   };
+  jpeg_metrics().decode_blocks.add(block_count);
   if (tensor::kern::threads() > 1 && block_count >= 32) {
     tensor::kern::parallel_for(static_cast<int>(block_count),
                                reconstruct_block);

@@ -1,0 +1,126 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/registry.hpp"
+
+namespace easz::obs {
+
+namespace {
+
+// Stripe selection: each thread gets a sticky stripe assigned round-robin
+// at first record, so steady-state recorders never share a cache line
+// (until more than kStripes threads exist, where sharing is still correct,
+// just contended).
+int stripe_of_this_thread() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(mine %
+                          static_cast<unsigned>(LatencyHistogram::kStripes));
+}
+
+constexpr double kOverflowEdgeUs = 2147483648.0;  // 2^31 µs
+
+}  // namespace
+
+int bucket_index(double seconds) {
+  const double us = seconds * 1e6;
+  if (!(us >= 1.0)) return 0;  // also catches NaN and negatives
+  if (us >= kOverflowEdgeUs) return kHistBuckets - 1;
+  int exp;
+  const double frac = std::frexp(us, &exp);  // us = frac * 2^exp, frac ∈ [0.5, 1)
+  const int octave = exp - 1;                // us ∈ [2^octave, 2^(octave+1))
+  const int sub = std::min(
+      kSubBuckets - 1,
+      static_cast<int>((frac - 0.5) * 2.0 * static_cast<double>(kSubBuckets)));
+  return 1 + octave * kSubBuckets + sub;
+}
+
+double bucket_lower_edge_s(int index) {
+  if (index <= 0) return 0.0;
+  if (index >= kHistBuckets - 1) return kOverflowEdgeUs * 1e-6;
+  const int octave = (index - 1) / kSubBuckets;
+  const int sub = (index - 1) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, octave) *
+         1e-6;
+}
+
+double bucket_upper_edge_s(int index) {
+  if (index < 0) return 0.0;
+  if (index >= kHistBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return bucket_lower_edge_s(index + 1);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (int i = 0; i < kHistBuckets; ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum_s += other.sum_s;
+  max_s = std::max(max_s, other.max_s);
+}
+
+double HistogramSnapshot::quantile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Nearest rank: the smallest sample with at least p% of the mass at or
+  // below it — the same convention as serve::percentile().
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kHistBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      if (i >= kHistBuckets - 1) return max_s;  // overflow: only exact bound
+      const double mid = 0.5 * (bucket_lower_edge_s(i) + bucket_upper_edge_s(i));
+      // The exact max tightens the top bucket: no estimate may exceed it.
+      return max_s > 0.0 ? std::min(mid, max_s) : mid;
+    }
+  }
+  return max_s;
+}
+
+void LatencyHistogram::record(double seconds) {
+  if (!enabled()) return;
+  Stripe& stripe = stripes_[static_cast<std::size_t>(stripe_of_this_thread())];
+  const int bucket = bucket_index(seconds);
+  stripe.counts[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  // Nanosecond integer sum: fetch_add on u64 is wait-free where it matters;
+  // values are clamped into the same range the buckets cover, so the sum
+  // cannot be poisoned by a wild sample.
+  const double clamped =
+      std::isfinite(seconds) ? std::max(0.0, std::min(seconds, 4.0e3)) : 0.0;
+  const auto ns = static_cast<std::uint64_t>(std::llround(clamped * 1e9));
+  stripe.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+  // Exact max via CAS; retries only while another thread is raising it.
+  std::uint64_t seen = stripe.max_ns.load(std::memory_order_relaxed);
+  while (ns > seen && !stripe.max_ns.compare_exchange_weak(
+                          seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot s;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t max_ns = 0;
+  for (const Stripe& stripe : stripes_) {
+    for (int i = 0; i < kHistBuckets; ++i) {
+      s.counts[static_cast<std::size_t>(i)] +=
+          stripe.counts[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+    }
+    sum_ns += stripe.sum_ns.load(std::memory_order_relaxed);
+    max_ns = std::max(max_ns, stripe.max_ns.load(std::memory_order_relaxed));
+  }
+  for (const std::uint64_t c : s.counts) s.count += c;
+  s.sum_s = static_cast<double>(sum_ns) * 1e-9;
+  s.max_s = static_cast<double>(max_ns) * 1e-9;
+  return s;
+}
+
+}  // namespace easz::obs

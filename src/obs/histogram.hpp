@@ -1,0 +1,109 @@
+// Lock-free log-bucketed latency histograms (observability substrate,
+// DESIGN.md §8.1).
+//
+// The serve hot path records one latency sample per stage per request; under
+// a production fleet that is millions of records/s across worker threads.
+// The old telemetry (a mutex + unbounded std::vector<double> per stage)
+// serialized every worker on one lock and grew without bound — this layer
+// replaces it with a fixed-layout histogram whose record() is wait-free
+// O(1): one relaxed fetch_add into a striped bucket array plus a relaxed
+// fetch_add of the nanosecond sum (a CAS loop maintains the exact max, the
+// only non-wait-free piece, and it converges in a handful of iterations).
+//
+// Bucket layout (log2-linear, the HdrHistogram/DDSketch family):
+//   bucket 0                     [0, 1 µs)   underflow (also NaN/negative)
+//   buckets 1 .. kOctaves*kSub   octave o = 0..kOctaves-1 split into kSub
+//                                equal-width linear buckets:
+//                                [2^o * (1 + s/kSub), 2^o * (1 + (s+1)/kSub)) µs
+//   bucket kBuckets-1            [2^kOctaves µs, ∞)  overflow
+//
+// With kSub = 4 and kOctaves = 31 that is 126 buckets covering 1 µs to
+// ~2147 s — the whole plausible serving range — in ~1 KB per stripe.
+//
+// Error bound: a quantile is reported as the arithmetic midpoint of the
+// bucket holding its nearest-rank sample, so the relative error against the
+// true sample is at most (bucket width / 2) / bucket lower edge
+// = 1 / (2 * kSub) = 12.5%, independent of magnitude. count/mean/max are
+// exact. tests/obs_test.cpp asserts the bound across distributions;
+// serve keeps an exact-reservoir opt-out (EASZ_OBS_EXACT) for golden tests.
+//
+// Snapshots are plain data: mergeable (associative, commutative) so
+// per-thread/per-replica histograms aggregate into fleet views.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace easz::obs {
+
+inline constexpr int kSubBuckets = 4;   ///< linear buckets per octave
+inline constexpr int kOctaves = 31;     ///< 1 µs .. 2^31 µs (~35.8 min)
+inline constexpr int kHistBuckets = 2 + kOctaves * kSubBuckets;  // 126
+
+/// Documented quantile error bound: relative to the true nearest-rank
+/// sample, at most 1/(2*kSubBuckets).
+inline constexpr double kMaxQuantileRelError = 1.0 / (2.0 * kSubBuckets);
+
+/// Bucket index of a latency in seconds. O(1), never throws; NaN, negative
+/// and sub-microsecond values land in the underflow bucket.
+[[nodiscard]] int bucket_index(double seconds);
+
+/// Inclusive lower edge of a bucket, in seconds (bucket 0 → 0).
+[[nodiscard]] double bucket_lower_edge_s(int index);
+
+/// Exclusive upper edge, in seconds (overflow bucket → +inf).
+[[nodiscard]] double bucket_upper_edge_s(int index);
+
+/// Mergeable point-in-time view of one histogram. Plain data.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kHistBuckets> counts{};
+  std::uint64_t count = 0;   ///< sum of counts[] (kept for convenience)
+  double sum_s = 0.0;        ///< exact sum of recorded values
+  double max_s = 0.0;        ///< exact maximum recorded value
+
+  /// Element-wise accumulate: associative and commutative, so any merge
+  /// tree over thread/replica snapshots yields the same aggregate.
+  void merge(const HistogramSnapshot& other);
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum_s / static_cast<double>(count);
+  }
+
+  /// Nearest-rank quantile estimate, p in [0, 100]: the midpoint of the
+  /// bucket holding the rank-⌈p/100·n⌉ sample, clamped to the exact max.
+  /// Relative error vs the true sample ≤ kMaxQuantileRelError.
+  [[nodiscard]] double quantile(double p) const;
+};
+
+/// Multi-producer wait-free latency histogram. Threads record concurrently
+/// with no mutual exclusion; memory is fixed at construction (kStripes
+/// cache-line-padded bucket arrays — striping keeps concurrent recorders
+/// off each other's cache lines, it is not needed for correctness).
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Wait-free O(1). No-op when obs::enabled() is false.
+  void record(double seconds);
+
+  /// Consistent-enough view for telemetry: counts are loaded relaxed, so a
+  /// snapshot taken concurrently with recording may miss in-flight samples
+  /// but never tears a bucket; once recorders quiesce it is exact.
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  static constexpr int kStripes = 8;
+
+ private:
+  struct alignas(64) Stripe {
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> counts{};
+    std::atomic<std::uint64_t> sum_ns{0};
+    std::atomic<std::uint64_t> max_ns{0};
+  };
+
+  std::array<Stripe, kStripes> stripes_;
+};
+
+}  // namespace easz::obs

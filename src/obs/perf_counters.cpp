@@ -1,0 +1,143 @@
+#include "obs/perf_counters.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace easz::obs {
+
+namespace {
+
+#if defined(__linux__)
+
+// (type, config) of the four events, in fds_[] order.
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+constexpr EventSpec kSpecs[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+};
+
+int open_event(const EventSpec& spec) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = 1;
+  // User-space only: works at perf_event_paranoid <= 2 (the common
+  // unprivileged ceiling) and measures our code, not the kernel's.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // pid=0, cpu=-1: this thread, any CPU it migrates to.
+  const long fd = syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0UL);
+  return static_cast<int>(fd);
+}
+
+std::uint64_t read_counter(int fd) {
+  std::uint64_t value = 0;
+  if (fd >= 0 && read(fd, &value, sizeof(value)) != sizeof(value)) value = 0;
+  return value;
+}
+
+#endif  // __linux__
+
+void append_counter_json(std::string& out, const char* name, bool ok,
+                         std::uint64_t value) {
+  char buf[96];
+  if (ok) {
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", name,
+                  static_cast<unsigned long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), ",\"%s\":\"unavailable\"", name);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string PerfReading::to_json() const {
+  std::string out = available() ? "{\"available\":true" : "{\"available\":false";
+  append_counter_json(out, "cycles", cycles_ok, cycles);
+  append_counter_json(out, "instructions", instructions_ok, instructions);
+  append_counter_json(out, "llc_refs", llc_refs_ok, llc_refs);
+  append_counter_json(out, "llc_miss", llc_misses_ok, llc_misses);
+  char buf[96];
+  if (cycles_ok && instructions_ok) {
+    std::snprintf(buf, sizeof(buf), ",\"ipc\":%.4f", ipc());
+    out += buf;
+  }
+  if (llc_refs_ok && llc_misses_ok) {
+    std::snprintf(buf, sizeof(buf), ",\"llc_miss_ratio\":%.4f",
+                  llc_miss_ratio());
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+#if defined(__linux__)
+
+PerfCounters::PerfCounters() {
+  for (int i = 0; i < kEvents; ++i) fds_[i] = open_event(kSpecs[i]);
+}
+
+PerfCounters::~PerfCounters() {
+  for (const int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+bool PerfCounters::available() const {
+  for (const int fd : fds_) {
+    if (fd >= 0) return true;
+  }
+  return false;
+}
+
+void PerfCounters::start() {
+  for (const int fd : fds_) {
+    if (fd < 0) continue;
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+PerfReading PerfCounters::stop() {
+  for (const int fd : fds_) {
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+  PerfReading r;
+  r.cycles_ok = fds_[0] >= 0;
+  r.instructions_ok = fds_[1] >= 0;
+  r.llc_refs_ok = fds_[2] >= 0;
+  r.llc_misses_ok = fds_[3] >= 0;
+  r.cycles = read_counter(fds_[0]);
+  r.instructions = read_counter(fds_[1]);
+  r.llc_refs = read_counter(fds_[2]);
+  r.llc_misses = read_counter(fds_[3]);
+  return r;
+}
+
+#else  // !__linux__: explicit no-op — observability must never be a build
+       // or runtime dependency.
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+bool PerfCounters::available() const { return false; }
+void PerfCounters::start() {}
+PerfReading PerfCounters::stop() { return PerfReading{}; }
+
+#endif
+
+}  // namespace easz::obs

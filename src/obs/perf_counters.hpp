@@ -1,0 +1,102 @@
+// Hardware performance counters via perf_event_open (DESIGN.md §8.4).
+//
+// 5GC²ache's lesson — serving throughput is governed by what stays
+// LLC-resident — is only actionable if the benches MEASURE cache
+// behaviour. This wrapper opens the four counters the memory-hierarchy
+// work needs (cycles, instructions, LLC references, LLC misses) for the
+// calling thread and reads them around a measured region.
+//
+// Availability matrix (DESIGN.md §8.4): perf_event_open fails with EACCES
+// under perf_event_paranoid >= 2 without CAP_PERFMON (most CI containers),
+// with ENOENT on hardware without the generic cache events (some VMs), and
+// the syscall does not exist off Linux. Every failure mode degrades to
+// available() == false per counter; readings render "unavailable" instead
+// of fake zeros, and nothing else in the system changes behaviour — the
+// wrapper is observability, never a dependency.
+//
+// Usage: construct once (opens fds), then start()/stop() around regions,
+// or the RAII PerfScope for exception-safe measurement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace easz::obs {
+
+/// One measured region's counter deltas. A field is meaningful only when
+/// its _ok flag is set (counters fail to open independently).
+struct PerfReading {
+  bool cycles_ok = false;
+  bool instructions_ok = false;
+  bool llc_refs_ok = false;
+  bool llc_misses_ok = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_refs = 0;
+  std::uint64_t llc_misses = 0;
+
+  /// Any hardware counter usable at all.
+  [[nodiscard]] bool available() const {
+    return cycles_ok || instructions_ok || llc_refs_ok || llc_misses_ok;
+  }
+  [[nodiscard]] double ipc() const {
+    return cycles_ok && instructions_ok && cycles > 0
+               ? static_cast<double>(instructions) / static_cast<double>(cycles)
+               : 0.0;
+  }
+  [[nodiscard]] double llc_miss_ratio() const {
+    return llc_refs_ok && llc_misses_ok && llc_refs > 0
+               ? static_cast<double>(llc_misses) /
+                     static_cast<double>(llc_refs)
+               : 0.0;
+  }
+
+  /// {"available":true,"cycles":…,"instructions":…,"ipc":…,"llc_refs":…,
+  /// "llc_miss":…,"llc_miss_ratio":…} with "unavailable" strings for
+  /// counters that could not be opened ({"available":false,
+  /// "llc_miss":"unavailable"} when nothing opened). Always contains an
+  /// "llc_miss" key — the ROADMAP item 2 contract for bench JSON.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Per-thread counter set. Not thread-safe: measure from the thread that
+/// constructed it (counters follow the calling thread, which is what the
+/// single-threaded bench timing loops want; pool workers are measured in
+/// aggregate through cycles anyway).
+class PerfCounters {
+ public:
+  PerfCounters();   ///< opens whatever the kernel permits; never throws
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True when at least one counter opened.
+  [[nodiscard]] bool available() const;
+
+  void start();          ///< reset + enable all open counters
+  PerfReading stop();    ///< disable and read deltas since start()
+
+ private:
+  static constexpr int kEvents = 4;
+  int fds_[kEvents] = {-1, -1, -1, -1};
+};
+
+/// RAII measurement: starts at construction, stops into `out` at scope
+/// exit (exception-safe, so a throwing measured region still reads).
+class PerfScope {
+ public:
+  PerfScope(PerfCounters& counters, PerfReading& out)
+      : counters_(counters), out_(out) {
+    counters_.start();
+  }
+  ~PerfScope() { out_ = counters_.stop(); }
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+ private:
+  PerfCounters& counters_;
+  PerfReading& out_;
+};
+
+}  // namespace easz::obs

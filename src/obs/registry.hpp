@@ -1,0 +1,122 @@
+// Named counter/gauge registry with interval diffing (DESIGN.md §8.2).
+//
+// Every subsystem that wants a production metric — serve request
+// accounting, the tensor::kern pool's steal counters, the block-parallel
+// codecs' task counts — registers a named Counter or Gauge once and then
+// mutates it lock-free from any thread. Registration (name → stable
+// address) takes a mutex; the hot path is one relaxed atomic op.
+//
+// Interval diffing: a Snapshot stamps every value with a monotonic time, so
+// two snapshots yield rates (Δvalue / Δt) — the req/s, shed/s and
+// cache-hit-ratio lines easz_serve emits as JSON-lines every
+// --stats-every seconds without any per-record bookkeeping.
+//
+// Process-global kill switches:
+//   enabled()            master gate: when false, histogram records,
+//                        counter adds and trace spans become no-ops
+//                        (bench_serve measures the on/off delta — the
+//                        documented < 2% instrumentation-overhead budget).
+//   exact_percentiles()  opt-in exact-reservoir mode for StageStats
+//                        (EASZ_OBS_EXACT=1 or set programmatically): golden
+//                        latency tests assert exact percentiles; production
+//                        rides the bounded-error histogram.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace easz::obs {
+
+/// Master observability gate (default on). Relaxed-atomic read on every
+/// record; flipping it mid-flight only affects subsequent records.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+/// Exact-percentile reservoir mode for serve::StageStats. Initialised from
+/// the EASZ_OBS_EXACT environment variable ("" or "0" = off), overridable
+/// at runtime for tests.
+[[nodiscard]] bool exact_percentiles();
+void set_exact_percentiles(bool on);
+
+/// Monotonically increasing event count. Wait-free add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous level (queue depth, inflight). Wait-free set/add.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide registry for library-level metrics (kern pool, codecs).
+  /// Per-server metrics live in the server's own instance so two servers
+  /// (or back-to-back bench scenarios) never pollute each other.
+  static Registry& global();
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. The reference stays valid for the registry's lifetime. Names
+  /// must be 1-128 chars of [A-Za-z0-9_.-] (they flow verbatim into JSON);
+  /// anything else throws std::invalid_argument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+
+  struct Snapshot {
+    double t_s = 0.0;  ///< monotonic stamp (process-wide steady clock)
+    std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
+    std::vector<std::pair<std::string, std::int64_t>> gauges;     // name-sorted
+
+    /// Counter value by name (0 when absent).
+    [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+    [[nodiscard]] std::int64_t gauge(const std::string& name) const;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Per-second rate of a counter between two snapshots (0 when the
+  /// interval is empty or the counter went backwards, which only happens
+  /// across registry lifetimes).
+  static double rate(const Snapshot& prev, const Snapshot& cur,
+                     const std::string& name);
+
+  /// One JSON object: {"t_s":…,"interval_s":…,"rates":{…},"gauges":{…},
+  /// "totals":{…}} — rates for every counter, levels for every gauge.
+  static std::string delta_json(const Snapshot& prev, const Snapshot& cur);
+
+ private:
+  mutable std::mutex mu_;
+  // unique_ptr: node-stable addresses survive rehash-free map growth AND
+  // keep Counter/Gauge non-movable (they hold atomics).
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+}  // namespace easz::obs

@@ -1,0 +1,139 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/registry.hpp"
+
+namespace easz::obs {
+
+namespace {
+
+// Small dense per-thread lane ids: chrome://tracing renders one lane per
+// tid, so worker threads appear as parallel tracks instead of one giant
+// hashed integer each.
+std::uint32_t lane_of_this_thread() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return mine;
+}
+
+}  // namespace
+
+const char* span_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kQueueWait:
+      return "queue_wait";
+    case SpanKind::kDecode:
+      return "decode";
+    case SpanKind::kCodecDecode:
+      return "codec_decode";
+    case SpanKind::kBatchWait:
+      return "batch_wait";
+    case SpanKind::kReconstruct:
+      return "reconstruct";
+    case SpanKind::kAssemble:
+      return "assemble";
+    case SpanKind::kTotal:
+      return "total";
+    case SpanKind::kCacheHit:
+      return "cache_hit";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()) {
+  if (capacity == 0) return;
+  const std::size_t cap = std::bit_ceil(capacity);
+  slots_ = std::make_unique<Slot[]>(cap);
+  mask_ = cap - 1;
+}
+
+double TraceRing::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRing::record(std::uint64_t request_id, SpanKind kind,
+                       double start_us, double duration_us,
+                       std::uint32_t aux) {
+  if (!slots_ || !obs::enabled()) return;
+  const std::uint64_t ticket =
+      next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & mask_];
+  // Seqlock publish: odd while writing, 2*(ticket+1) when done. A reader
+  // that observes different seq values before/after its field loads
+  // discards the slot.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.request_id.store(request_id, std::memory_order_relaxed);
+  slot.start_ns.store(
+      static_cast<std::uint64_t>(std::llround(std::max(0.0, start_us) * 1e3)),
+      std::memory_order_relaxed);
+  slot.duration_ns.store(
+      static_cast<std::uint64_t>(
+          std::llround(std::max(0.0, duration_us) * 1e3)),
+      std::memory_order_relaxed);
+  slot.meta.store(static_cast<std::uint64_t>(kind) |
+                      (static_cast<std::uint64_t>(lane_of_this_thread()) << 8) |
+                      (static_cast<std::uint64_t>(aux) << 32),
+                  std::memory_order_relaxed);
+  slot.seq.store(2 * (ticket + 1), std::memory_order_release);
+}
+
+std::vector<TraceRing::Span> TraceRing::collect() const {
+  std::vector<Span> out;
+  if (!slots_) return out;
+  const std::size_t cap = mask_ + 1;
+  out.reserve(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 == 0 || (s1 & 1) != 0) continue;  // empty or mid-write
+    Span span;
+    span.request_id = slot.request_id.load(std::memory_order_relaxed);
+    span.start_us =
+        static_cast<double>(slot.start_ns.load(std::memory_order_relaxed)) *
+        1e-3;
+    span.duration_us =
+        static_cast<double>(slot.duration_ns.load(std::memory_order_relaxed)) *
+        1e-3;
+    const std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+    span.kind = static_cast<SpanKind>(meta & 0xFF);
+    span.tid = static_cast<std::uint32_t>((meta >> 8) & 0xFFFFFF);
+    span.aux = static_cast<std::uint32_t>(meta >> 32);
+    const std::uint64_t s2 = slot.seq.load(std::memory_order_acquire);
+    if (s1 != s2) continue;  // overwritten mid-read: drop, never corrupt
+    out.push_back(span);
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start_us != b.start_us ? a.start_us < b.start_us
+                                    : a.request_id < b.request_id;
+  });
+  return out;
+}
+
+std::string TraceRing::to_chrome_json() const {
+  const std::vector<Span> spans = collect();
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"name\":\"%s\",\"cat\":\"serve\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"req\":%llu,"
+        "\"n\":%u}}",
+        i == 0 ? "" : ",", span_name(s.kind), s.tid, s.start_us,
+        s.duration_us, static_cast<unsigned long long>(s.request_id), s.aux);
+    out += buf;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace easz::obs

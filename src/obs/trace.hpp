@@ -1,0 +1,110 @@
+// Request tracing: fixed-size lock-free span ring + Chrome trace export
+// (DESIGN.md §8.3).
+//
+// Every request is minted a process-unique id at submit; each pipeline
+// stage it crosses (queue wait → codec decode → batch wait → reconstruct →
+// assemble → total, or the cache-hit short circuit) records one span —
+// {request id, stage, start, duration, recording thread} — into a ring of
+// atomic slots. Recording is a relaxed fetch_add for the slot ticket plus
+// five relaxed atomic stores; the ring holds the most recent `capacity`
+// spans and overwrites the oldest, so memory is fixed no matter how long
+// the server runs.
+//
+// Export renders the surviving spans as Chrome trace-event-format JSON
+// ("X" complete events, microsecond timestamps): load the file in
+// chrome://tracing or https://ui.perfetto.dev and batching stalls, WDRR
+// interleavings and per-worker lanes become visible as a timeline
+// (`easz_serve --trace-out trace.json`).
+//
+// Consistency: slots use a seqlock-style ticket (odd while a writer is
+// mid-span, even when published). Every field is an atomic, so concurrent
+// export is race-free (TSan-clean); a reader discards slots whose ticket
+// changed mid-read. Telemetry-grade: an export racing a wrap may drop a
+// handful of the oldest spans, never corrupt one.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace easz::obs {
+
+/// Pipeline stages a span can describe. Values are stable (they appear in
+/// exported traces); append only.
+enum class SpanKind : std::uint8_t {
+  kQueueWait = 0,
+  kDecode = 1,
+  kCodecDecode = 2,
+  kBatchWait = 3,
+  kReconstruct = 4,
+  kAssemble = 5,
+  kTotal = 6,
+  kCacheHit = 7,
+};
+
+[[nodiscard]] const char* span_name(SpanKind kind);
+
+class TraceRing {
+ public:
+  /// `capacity` spans are retained (rounded up to a power of two);
+  /// 0 disables the ring entirely — record() becomes a cheap no-op and
+  /// no slot memory is allocated.
+  explicit TraceRing(std::size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  [[nodiscard]] bool enabled() const { return slots_ != nullptr; }
+  [[nodiscard]] std::size_t capacity() const {
+    return slots_ ? mask_ + 1 : 0;
+  }
+
+  /// Process-unique request id, starting at 1. Works even when disabled
+  /// (ids also ride responses and client-side reports).
+  [[nodiscard]] std::uint64_t mint_request_id() {
+    return next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Microseconds since ring construction (the exported timebase).
+  [[nodiscard]] double now_us() const;
+
+  /// Records one span. Lock-free; `aux` is a small payload rendered into
+  /// the event args (patch count for reconstruct spans, 0 otherwise).
+  void record(std::uint64_t request_id, SpanKind kind, double start_us,
+              double duration_us, std::uint32_t aux = 0);
+
+  struct Span {
+    std::uint64_t request_id = 0;
+    SpanKind kind = SpanKind::kTotal;
+    std::uint32_t tid = 0;  ///< small per-thread lane id (export lanes)
+    std::uint32_t aux = 0;
+    double start_us = 0.0;
+    double duration_us = 0.0;
+  };
+
+  /// All published spans, oldest first. Sorted by start time.
+  [[nodiscard]] std::vector<Span> collect() const;
+
+  /// {"traceEvents":[…]} — one "X" (complete) event per span.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // 0 empty; odd writing; even published
+    std::atomic<std::uint64_t> request_id{0};
+    std::atomic<std::uint64_t> start_ns{0};
+    std::atomic<std::uint64_t> duration_ns{0};
+    std::atomic<std::uint64_t> meta{0};  // kind | tid<<8 | aux<<32
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_ = static_cast<std::size_t>(-1);  // capacity-1; -1 = off
+  std::atomic<std::uint64_t> next_ticket_{0};
+  std::atomic<std::uint64_t> next_request_id_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace easz::obs

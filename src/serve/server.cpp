@@ -35,7 +35,9 @@ ReconServer::ReconServer(ServerConfig config,
       model_(model),
       patchify_(model.config().patchify),
       cache_(config_.cache_bytes, std::max(1, config_.cache_shards)),
-      tenants_(config_.sched_clock) {
+      tenants_(config_.sched_clock),
+      trace_(static_cast<std::size_t>(std::max(0, config_.trace_spans))),
+      hot_(obs_) {
   if (config_.workers < 0) {
     throw std::invalid_argument(
         "ReconServer: workers must be >= 0 (0 = manual scheduling mode)");
@@ -146,6 +148,7 @@ SubmitResult ReconServer::submit(ServeRequest request) {
   out.response = job->promise.get_future();
   out.status = submit_job(job);
   out.accepted = out.status == SubmitStatus::kAccepted;
+  out.request_id = job->request_id;
   return out;
 }
 
@@ -176,6 +179,9 @@ nn::Precision ReconServer::resolve_precision(
 }
 
 SubmitStatus ReconServer::submit_job(const std::shared_ptr<Job>& job) {
+  job->request_id = trace_.mint_request_id();
+  job->submit_us = trace_.now_us();
+  hot_.submitted.add();
   job->tenant = tenants_.resolve(job->request.tenant);
   job->precision = resolve_precision(job->tenant);
   const bool caching = cache_.capacity_bytes() > 0;
@@ -197,8 +203,13 @@ SubmitStatus ReconServer::submit_job(const std::shared_ptr<Job>& job) {
     ServeResponse resp;
     resp.image = std::move(hit);
     resp.cache_hit = true;
+    resp.request_id = job->request_id;
     resp.timing.total_s = job->since_submit.elapsed_seconds();
     stages_.total.record(resp.timing.total_s);
+    hot_.completed.add();
+    hot_.cache_hits.add();
+    trace_.record(job->request_id, obs::SpanKind::kCacheHit, job->submit_us,
+                  resp.timing.total_s * 1e6);
     StageStats* tenant_total = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -214,6 +225,7 @@ SubmitStatus ReconServer::submit_job(const std::shared_ptr<Job>& job) {
     deliver_response(*job, std::move(resp));
     return SubmitStatus::kAccepted;
   }
+  if (caching) hot_.cache_misses.add();
 
   // Tenant admission: rate + quota, before the queue. The registry lock is
   // never nested inside mu_ on this path; the WDRR weight rides along in
@@ -221,6 +233,9 @@ SubmitStatus ReconServer::submit_job(const std::shared_ptr<Job>& job) {
   int weight = 1;
   const Admission admission = tenants_.try_admit(job->tenant, &weight);
   if (admission != Admission::kAdmitted) {
+    (admission == Admission::kRateLimited ? hot_.shed_rate_limited
+                                          : hot_.shed_quota)
+        .add();
     std::lock_guard<std::mutex> lock(mu_);
     ++submitted_;
     ++rejected_;
@@ -260,8 +275,10 @@ SubmitStatus ReconServer::submit_job(const std::shared_ptr<Job>& job) {
         rr_.push_back(job->tenant);
       }
       max_queue_depth_ = std::max(max_queue_depth_, queued_);
+      hot_.queue_depth.set(queued_);
     }
   }
+  if (shed) hot_.shed_queue_full.add();
   if (shed) {
     // Undo the admission entirely — slot AND token — or a persistently
     // full queue would drain the bucket with requests that did no work
@@ -406,6 +423,9 @@ bool ReconServer::try_step_locked(std::unique_lock<std::mutex>& lock) {
   if (std::shared_ptr<Job> job = pop_next_locked()) {
     ++decoding_;
     job->timing.queue_wait_s = job->since_submit.elapsed_seconds();
+    hot_.queue_depth.set(queued_);
+    trace_.record(job->request_id, obs::SpanKind::kQueueWait, job->submit_us,
+                  job->timing.queue_wait_s * 1e6);
     space_cv_.notify_all();  // different tenants wait on different queues
     lock.unlock();
     run_decode(job);
@@ -515,6 +535,15 @@ void ReconServer::run_decode(const std::shared_ptr<Job>& job) {
         mask_group_key(inflight->decoded.recon_mask,
                        inflight->decoded.tokens.dim(2), job->precision);
     stages_.codec_decode.record(decode_timing.codec_decode_s);
+    // Spans are recorded at completion: start = now - measured duration, on
+    // the shared trace clock. codec decode is the leading sub-stage of
+    // decode, so both spans share a start.
+    const double decode_start_us =
+        trace_.now_us() - job->timing.decode_s * 1e6;
+    trace_.record(job->request_id, obs::SpanKind::kDecode, decode_start_us,
+                  job->timing.decode_s * 1e6);
+    trace_.record(job->request_id, obs::SpanKind::kCodecDecode,
+                  decode_start_us, job->timing.codec_decode_s * 1e6);
     {
       std::lock_guard<std::mutex> lock(mu_);
       codec_pixels_ += decode_timing.codec_pixels;
@@ -580,6 +609,20 @@ void ReconServer::run_batch(FormedBatch batch) {
   if (batch.precision == nn::Precision::kInt8) {
     stages_.reconstruct_int8.record(reconstruct_s);
   }
+  hot_.batches.add();
+  hot_.batched_patches.add(static_cast<std::uint64_t>(batch.patches));
+  // Per-request view of the shared forward pass: every rider gets a
+  // batch_wait span ending at launch and a reconstruct span (aux = how many
+  // of the batch's patches were its own).
+  const double recon_start_us = trace_.now_us() - reconstruct_s * 1e6;
+  for (const BatchItem& item : batch.items) {
+    const std::uint64_t rid = item.inflight->job->request_id;
+    trace_.record(rid, obs::SpanKind::kBatchWait,
+                  recon_start_us - item.batch_wait_s * 1e6,
+                  item.batch_wait_s * 1e6);
+    trace_.record(rid, obs::SpanKind::kReconstruct, recon_start_us,
+                  reconstruct_s * 1e6, static_cast<std::uint32_t>(item.count));
+  }
 
   cursor = 0;
   for (const BatchItem& item : batch.items) {
@@ -634,6 +677,7 @@ void ReconServer::finish_request(const std::shared_ptr<InFlight>& inflight) {
     ServeResponse resp;
     resp.image = std::move(result);
     resp.cache_hit = false;
+    resp.request_id = job->request_id;
     resp.timing = job->timing;
     StageStats* tenant_total = nullptr;
     {
@@ -646,6 +690,7 @@ void ReconServer::finish_request(const std::shared_ptr<InFlight>& inflight) {
       tenant_total = &tl.total;
     }
     tenants_.release(job->tenant);
+    hot_.completed.add();
 
     stages_.queue_wait.record(job->timing.queue_wait_s);
     stages_.decode.record(job->timing.decode_s);
@@ -653,6 +698,13 @@ void ReconServer::finish_request(const std::shared_ptr<InFlight>& inflight) {
     stages_.assemble.record(job->timing.assemble_s);
     stages_.total.record(job->timing.total_s);
     tenant_total->record(job->timing.total_s);
+
+    const double end_us = trace_.now_us();
+    trace_.record(job->request_id, obs::SpanKind::kAssemble,
+                  end_us - job->timing.assemble_s * 1e6,
+                  job->timing.assemble_s * 1e6);
+    trace_.record(job->request_id, obs::SpanKind::kTotal, job->submit_us,
+                  job->timing.total_s * 1e6);
 
     // Deliver BEFORE counting the request as no longer outstanding:
     // drain() promises that every accepted request "has completed", and
@@ -685,6 +737,7 @@ void ReconServer::fail_request(const std::shared_ptr<Job>& job,
     ++tenant_local_[job->tenant].failed;
   }
   tenants_.release(job->tenant);
+  hot_.failed.add();
   // As in finish_request: the error delivery is part of "completed or
   // failed", so it happens before drain()'s countdown.
   try {

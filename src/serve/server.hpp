@@ -60,6 +60,8 @@
 #include "codec/codec.hpp"
 #include "core/pipeline.hpp"
 #include "core/recon_model.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/cache.hpp"
 #include "serve/stats.hpp"
 #include "serve/tenant.hpp"
@@ -113,6 +115,10 @@ struct ServerConfig {
   /// tests). Governs batch aging and token-bucket refill; latency
   /// TELEMETRY stays on the wall clock. Empty = monotonic wall clock.
   ClockFn sched_clock;
+  /// Request-trace ring capacity in spans (the last N stage spans are
+  /// retained and exportable as Chrome trace JSON via trace()). 0 turns
+  /// tracing off entirely; request ids are still minted.
+  int trace_spans = 4096;
 };
 
 /// One edge upload: the wire blob plus the codec that produced its payload
@@ -137,6 +143,10 @@ struct RequestTiming {
 struct ServeResponse {
   std::shared_ptr<const image::Image> image;
   bool cache_hit = false;
+  /// Server-unique trace id minted at submit (1-based; 0 only in
+  /// default-constructed responses). Keys this request's spans in the
+  /// exported trace and lets clients correlate callbacks with submits.
+  std::uint64_t request_id = 0;
   RequestTiming timing;
 };
 
@@ -151,6 +161,7 @@ enum class SubmitStatus {
 struct SubmitResult {
   bool accepted = false;  ///< false: shed — see status for the reason
   SubmitStatus status = SubmitStatus::kAccepted;
+  std::uint64_t request_id = 0;  ///< trace id (minted even for shed submits)
   std::future<ServeResponse> response;  ///< valid only when accepted
 };
 
@@ -210,6 +221,19 @@ class ReconServer {
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   [[nodiscard]] const ResultCache& cache() const { return cache_; }
 
+  /// This server's metric registry: serve.* counters (submitted, completed,
+  /// shed.*, cache_hits, batches, …) plus the serve.queue_depth gauge.
+  /// Per-instance so concurrent servers / back-to-back bench scenarios
+  /// never pollute each other; library-level metrics (kern pool, codecs)
+  /// live in obs::Registry::global(). Snapshot + obs::Registry::delta_json
+  /// yields the JSON-lines rate report easz_serve --stats-every emits.
+  [[nodiscard]] obs::Registry& obs() { return obs_; }
+  [[nodiscard]] const obs::Registry& obs() const { return obs_; }
+
+  /// Request-span ring (last config().trace_spans stage spans); export via
+  /// trace().to_chrome_json(). Disabled (empty) when trace_spans == 0.
+  [[nodiscard]] const obs::TraceRing& trace() const { return trace_; }
+
  private:
   // One request in flight, from accept to promise/callback fulfilment.
   struct Job {
@@ -220,6 +244,8 @@ class ReconServer {
     ResponseCallback callback;  // non-null: callback path, promise unused
     CacheKey cache_key;
     util::Stopwatch since_submit;
+    std::uint64_t request_id = 0;  // trace id, minted at submit
+    double submit_us = 0.0;        // submit instant on the trace clock
     RequestTiming timing;
     bool settled = false;  // outcome already delivered (guarded by mu_)
   };
@@ -309,6 +335,34 @@ class ReconServer {
   void finish_request(const std::shared_ptr<InFlight>& inflight);
   void fail_request(const std::shared_ptr<Job>& job, std::exception_ptr error);
 
+  // Hot-path metric handles, resolved once at construction so workers never
+  // touch the registry's name map (one relaxed atomic add per event).
+  struct HotMetrics {
+    explicit HotMetrics(obs::Registry& r)
+        : submitted(r.counter("serve.submitted")),
+          completed(r.counter("serve.completed")),
+          failed(r.counter("serve.failed")),
+          cache_hits(r.counter("serve.cache_hits")),
+          cache_misses(r.counter("serve.cache_misses")),
+          shed_queue_full(r.counter("serve.shed.queue_full")),
+          shed_rate_limited(r.counter("serve.shed.rate_limited")),
+          shed_quota(r.counter("serve.shed.quota")),
+          batches(r.counter("serve.batches")),
+          batched_patches(r.counter("serve.batched_patches")),
+          queue_depth(r.gauge("serve.queue_depth")) {}
+    obs::Counter& submitted;
+    obs::Counter& completed;
+    obs::Counter& failed;
+    obs::Counter& cache_hits;
+    obs::Counter& cache_misses;
+    obs::Counter& shed_queue_full;
+    obs::Counter& shed_rate_limited;
+    obs::Counter& shed_quota;
+    obs::Counter& batches;
+    obs::Counter& batched_patches;
+    obs::Gauge& queue_depth;
+  };
+
   const ServerConfig config_;
   const core::ReconstructionModel& model_;
   const core::PatchifyConfig patchify_;
@@ -318,6 +372,9 @@ class ReconServer {
   bool model_quantized_ = false;
   ResultCache cache_;
   TenantRegistry tenants_;
+  obs::Registry obs_;
+  obs::TraceRing trace_;
+  HotMetrics hot_;  // must follow obs_ (references into it)
   util::Stopwatch uptime_;  // default scheduler clock base
 
   mutable std::mutex mu_;

@@ -4,11 +4,16 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/registry.hpp"
+
 namespace easz::serve {
 
 void StageStats::record(double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  samples_.push_back(seconds);
+  hist_.record(seconds);
+  if (obs::exact_percentiles() && obs::enabled()) {
+    std::lock_guard<std::mutex> lock(exact_mu_);
+    if (exact_.size() < kExactSampleCap) exact_.push_back(seconds);
+  }
 }
 
 double percentile(std::vector<double> samples, double p) {
@@ -22,23 +27,35 @@ double percentile(std::vector<double> samples, double p) {
 }
 
 StageSummary StageStats::summarize() const {
-  std::vector<double> samples;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    samples = samples_;
+  if (obs::exact_percentiles()) {
+    std::vector<double> samples;
+    {
+      std::lock_guard<std::mutex> lock(exact_mu_);
+      samples = exact_;
+    }
+    if (!samples.empty()) {
+      StageSummary s;
+      s.count = samples.size();
+      double sum = 0.0;
+      for (const double v : samples) {
+        sum += v;
+        s.max_s = std::max(s.max_s, v);
+      }
+      s.mean_s = sum / static_cast<double>(samples.size());
+      s.p50_s = percentile(samples, 50.0);
+      s.p95_s = percentile(samples, 95.0);
+      s.p99_s = percentile(samples, 99.0);
+      return s;
+    }
   }
+  const obs::HistogramSnapshot h = hist_.snapshot();
   StageSummary s;
-  s.count = samples.size();
-  if (samples.empty()) return s;
-  double sum = 0.0;
-  for (const double v : samples) {
-    sum += v;
-    s.max_s = std::max(s.max_s, v);
-  }
-  s.mean_s = sum / static_cast<double>(samples.size());
-  s.p50_s = percentile(samples, 50.0);
-  s.p95_s = percentile(samples, 95.0);
-  s.p99_s = percentile(samples, 99.0);
+  s.count = h.count;
+  s.mean_s = h.mean();
+  s.max_s = h.max_s;
+  s.p50_s = h.quantile(50.0);
+  s.p95_s = h.quantile(95.0);
+  s.p99_s = h.quantile(99.0);
   return s;
 }
 

@@ -4,14 +4,23 @@
 // reconstruction, assembly, end-to-end) records wall-clock samples into a
 // StageStats; snapshots expose p50/p95/p99 so the load generator and
 // bench_serve can report tail latency, which is what a shared reconstruction
-// server is actually judged on. Recording is mutex-guarded and cheap (one
-// push_back); percentile computation happens only at snapshot time.
+// server is actually judged on.
+//
+// Recording rides the observability substrate (src/obs): a wait-free O(1)
+// log-bucketed histogram with fixed memory, so a worker never takes a lock
+// or grows a vector on the hot path no matter how long the server runs.
+// Percentiles carry the histogram's documented relative error bound
+// (obs::kMaxQuantileRelError); count/mean/max stay exact. Golden tests that
+// assert exact percentiles opt into the bounded exact-sample reservoir via
+// EASZ_OBS_EXACT=1 or obs::set_exact_percentiles(true).
 #pragma once
 
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/histogram.hpp"
 
 namespace easz::serve {
 
@@ -25,15 +34,36 @@ struct StageSummary {
   double max_s = 0.0;
 };
 
-/// Thread-safe sample sink for one stage.
+/// Thread-safe sample sink for one stage. record() is wait-free O(1) (one
+/// striped histogram update); memory is fixed at construction. In exact
+/// mode (obs::exact_percentiles()) samples are ALSO kept verbatim — capped
+/// at kExactSampleCap — and summarize() computes exact nearest-rank
+/// percentiles from them, which is what golden latency tests assert.
 class StageStats {
  public:
+  /// Exact-mode reservoir bound: plenty for any test run, and a hard
+  /// ceiling so even exact mode cannot grow without limit in production.
+  static constexpr std::size_t kExactSampleCap = 1 << 16;
+
+  StageStats() = default;
+  StageStats(const StageStats&) = delete;
+  StageStats& operator=(const StageStats&) = delete;
+
   void record(double seconds);
   [[nodiscard]] StageSummary summarize() const;
 
+  /// Raw histogram view (mergeable across stages/servers; see
+  /// obs::HistogramSnapshot::merge).
+  [[nodiscard]] obs::HistogramSnapshot histogram() const {
+    return hist_.snapshot();
+  }
+
  private:
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
+  obs::LatencyHistogram hist_;
+  // Exact-mode reservoir only; untouched (no lock taken) unless
+  // obs::exact_percentiles() is on.
+  mutable std::mutex exact_mu_;
+  std::vector<double> exact_;
 };
 
 /// Nearest-rank percentile of an UNSORTED sample set (p in [0, 100]).

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/registry.hpp"
 #include "tensor/kern_math.hpp"
 
 namespace easz::tensor::kern {
@@ -16,6 +17,30 @@ namespace easz::tensor::kern {
 // ---- thread pool ----------------------------------------------------------
 
 namespace {
+
+// Pool telemetry (obs::Registry::global(), DESIGN.md §8.2). References are
+// resolved once — recording is a single relaxed atomic add, cheap enough
+// for the per-chunk path.
+//   kern.pool.jobs           parallel_for calls dispatched to the pool
+//   kern.pool.inline_jobs    parallel_for calls run inline (1 lane / 1 chunk)
+//   kern.pool.chunks_stolen  chunks executed by worker lanes (the rest ran
+//                            on the calling lane — steal ratio gauges how
+//                            well GEMM panels actually spread)
+//   kern.pool.idle_waits     times a worker found the queue empty and slept
+struct PoolMetrics {
+  obs::Counter& jobs = obs::Registry::global().counter("kern.pool.jobs");
+  obs::Counter& inline_jobs =
+      obs::Registry::global().counter("kern.pool.inline_jobs");
+  obs::Counter& chunks_stolen =
+      obs::Registry::global().counter("kern.pool.chunks_stolen");
+  obs::Counter& idle_waits =
+      obs::Registry::global().counter("kern.pool.idle_waits");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
 
 struct Job {
   void (*fn)(void*, int) = nullptr;
@@ -135,6 +160,7 @@ class Pool {
   void worker_loop() {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
+      if (head_ == nullptr && !stop_) pool_metrics().idle_waits.add();
       cv_.wait(lock, [this] { return stop_ || head_ != nullptr; });
       if (stop_) return;
       Job* job = head_;
@@ -148,6 +174,7 @@ class Pool {
       }
       lock.unlock();
       job->fn(job->ctx, i);
+      pool_metrics().chunks_stolen.add();
       finish_chunk(*job);
       lock.lock();
     }
@@ -180,9 +207,11 @@ void parallel_for_impl(int count, void (*fn)(void*, int), void* ctx) {
   if (count <= 0) return;
   Pool& pool = Pool::instance();
   if (count == 1 || pool.lanes() <= 1) {
+    pool_metrics().inline_jobs.add();
     for (int i = 0; i < count; ++i) fn(ctx, i);
     return;
   }
+  pool_metrics().jobs.add();
   Job job;
   job.fn = fn;
   job.ctx = ctx;

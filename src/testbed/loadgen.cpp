@@ -220,11 +220,30 @@ struct ReplayAccounting {
     } else {
       ++tenants[tenant].completed;
       latencies[tenant].push_back(resp.timing.total_s);
+      if (resp.request_id != 0) {
+        tenants[tenant].request_ids.push_back(resp.request_id);
+      }
     }
     if (was_outstanding) {
       --outstanding;
       all_done.notify_all();
     }
+  }
+
+  // One shed submit: total + per-reason breakdown. The sync path passes the
+  // id minted for the shed request; async sheds have none (id = 0).
+  void shed(const std::string& tenant, serve::SubmitStatus status,
+            std::uint64_t request_id) {
+    std::lock_guard<std::mutex> lock(mu);
+    ReplayReport::TenantOutcome& t = tenants[tenant];
+    ++t.rejected;
+    switch (status) {
+      case serve::SubmitStatus::kQueueFull: ++t.shed_queue_full; break;
+      case serve::SubmitStatus::kRateLimited: ++t.shed_rate_limited; break;
+      case serve::SubmitStatus::kQuotaExceeded: ++t.shed_quota; break;
+      case serve::SubmitStatus::kAccepted: break;  // unreachable on sheds
+    }
+    if (request_id != 0) t.request_ids.push_back(request_id);
   }
 };
 
@@ -273,9 +292,11 @@ ReplayReport replay_trace(const LoadTrace& trace, serve::ReconServer& server,
             acc.settled(tenant, resp, error, /*was_outstanding=*/true);
           });
       if (status != serve::SubmitStatus::kAccepted) {
-        std::lock_guard<std::mutex> lock(acc.mu);
-        --acc.outstanding;
-        ++acc.tenants[tenant].rejected;
+        {
+          std::lock_guard<std::mutex> lock(acc.mu);
+          --acc.outstanding;
+        }
+        acc.shed(tenant, status, /*request_id=*/0);
       }
     } else {
       serve::SubmitResult res = server.submit(ev.request);
@@ -283,8 +304,7 @@ ReplayReport replay_trace(const LoadTrace& trace, serve::ReconServer& server,
         futures.push_back(std::move(res.response));
         future_tenants.push_back(tenant);
       } else {
-        std::lock_guard<std::mutex> lock(acc.mu);
-        ++acc.tenants[tenant].rejected;
+        acc.shed(tenant, res.status, res.request_id);
       }
     }
   }
@@ -316,6 +336,32 @@ ReplayReport replay_trace(const LoadTrace& trace, serve::ReconServer& server,
     report.completed += outcome.completed;
     report.rejected += outcome.rejected;
     report.failed += outcome.failed;
+    if (options.registry != nullptr) {
+      // Client-side mirror of the server's serve.* counters, published per
+      // tenant so a scheduler test can prove conservation: every submit is
+      // exactly one of completed/shed.*/failed on BOTH sides of the wire.
+      obs::Registry& reg = *options.registry;
+      const std::string p = "client." + tenant;
+      reg.counter(p + ".completed").add(
+          static_cast<std::uint64_t>(outcome.completed));
+      reg.counter(p + ".rejected").add(
+          static_cast<std::uint64_t>(outcome.rejected));
+      reg.counter(p + ".failed").add(
+          static_cast<std::uint64_t>(outcome.failed));
+      reg.counter(p + ".shed.queue_full").add(
+          static_cast<std::uint64_t>(outcome.shed_queue_full));
+      reg.counter(p + ".shed.rate_limited").add(
+          static_cast<std::uint64_t>(outcome.shed_rate_limited));
+      reg.counter(p + ".shed.quota").add(
+          static_cast<std::uint64_t>(outcome.shed_quota));
+      std::uint64_t max_id = 0;
+      for (const std::uint64_t id : outcome.request_ids)
+        max_id = std::max(max_id, id);
+      if (max_id != 0) {
+        reg.gauge(p + ".max_request_id")
+            .set(static_cast<std::int64_t>(max_id));
+      }
+    }
     report.tenants.push_back(outcome);
   }
   report.throughput_rps =
@@ -340,9 +386,13 @@ std::string ReplayReport::to_json() const {
     const TenantOutcome& t = tenants[i];
     std::snprintf(buf, sizeof(buf),
                   "{\"tenant\":\"%s\",\"completed\":%d,\"rejected\":%d,"
-                  "\"failed\":%d,\"p50_ms\":%.3f,\"p95_ms\":%.3f}%s",
+                  "\"failed\":%d,\"p50_ms\":%.3f,\"p95_ms\":%.3f,"
+                  "\"shed\":{\"queue_full\":%d,\"rate_limited\":%d,"
+                  "\"quota\":%d},\"request_ids\":%zu}%s",
                   t.tenant.c_str(), t.completed, t.rejected, t.failed,
                   t.latency_p50_s * 1e3, t.latency_p95_s * 1e3,
+                  t.shed_queue_full, t.shed_rate_limited, t.shed_quota,
+                  t.request_ids.size(),
                   i + 1 < tenants.size() ? "," : "");
     out += buf;
   }

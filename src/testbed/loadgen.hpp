@@ -25,6 +25,7 @@
 
 #include "codec/codec.hpp"
 #include "core/recon_model.hpp"
+#include "obs/registry.hpp"
 #include "serve/server.hpp"
 #include "testbed/scenario.hpp"
 
@@ -91,6 +92,13 @@ struct ReplayOptions {
   /// completions land on worker threads. Client-side outcome accounting is
   /// identical either way.
   bool async = false;
+  /// When set, the replay publishes its CLIENT-side view into this registry:
+  /// client.<tenant>.completed/.rejected/.failed counters, a shed-reason
+  /// breakdown (client.<tenant>.shed.queue_full/.rate_limited/.quota) and a
+  /// client.<tenant>.max_request_id gauge from the server-minted ids it saw.
+  /// Cross-checking these against the server's own serve.* counters is how
+  /// tests prove no outcome is lost between submit and settle.
+  obs::Registry* registry = nullptr;
 };
 
 struct ReplayReport {
@@ -110,10 +118,18 @@ struct ReplayReport {
   struct TenantOutcome {
     std::string tenant;
     int completed = 0;
-    int rejected = 0;
+    int rejected = 0;  ///< total shed = queue_full + rate_limited + quota
     int failed = 0;
+    int shed_queue_full = 0;
+    int shed_rate_limited = 0;
+    int shed_quota = 0;
     double latency_p50_s = 0.0;
     double latency_p95_s = 0.0;
+    /// Server-minted request ids observed by this tenant's clients, in
+    /// settle order: completed responses carry theirs; sync-path shed
+    /// submits mint one too (async sheds report only a status). Uniqueness
+    /// across tenants is a trace-correctness invariant tests assert.
+    std::vector<std::uint64_t> request_ids;
   };
   std::vector<TenantOutcome> tenants;
 

@@ -23,16 +23,20 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "codec/jpeg_like.hpp"
 #include "core/pipeline.hpp"
 #include "data/synth.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/cache.hpp"
 #include "serve/server.hpp"
 #include "serve/stats.hpp"
 #include "serve/tenant.hpp"
+#include "testbed/loadgen.hpp"
 #include "util/prng.hpp"
 
 namespace easz::serve {
@@ -877,6 +881,173 @@ TEST(ServeSchedTest, SnapshotCarriesTenantRowsInTextAndJson) {
   EXPECT_NE(json.find("\"name\":\"wildlife\""), std::string::npos);
   EXPECT_NE(json.find("\"shed_rate_limited\""), std::string::npos);
   EXPECT_NE(s.to_string().find("tenants:"), std::string::npos);
+}
+
+// ----------------------------------------------- observability (DESIGN §8)
+
+// Request ids are minted at submit — one per submit, strictly unique, and
+// carried on the response (accepted), the SubmitResult (shed) and the
+// cache-hit short circuit alike, so every outcome is traceable.
+TEST(ServeSchedTest, RequestIdsAreUniqueAcrossAllSubmitOutcomes) {
+  SchedFixture fx;
+  ServerConfig cfg = fx.manual_config();
+  cfg.cache_bytes = 4 << 20;  // enable the hit path
+  cfg.tenants = {TenantConfig{.name = "q", .weight = 1, .rate_per_s = 0.0,
+                              .burst = 0.0, .max_inflight = 2}};
+  ReconServer server(cfg, fx.model);
+  server.register_codec("jpeg", &fx.jpeg);
+
+  std::set<std::uint64_t> ids;
+  const ServeRequest req = fx.make_request(test_image(32, 32, 970), "q");
+
+  // Two admits fill the quota; the third submit sheds — but still gets an id.
+  SubmitResult a = server.submit(req);
+  SubmitResult b = server.submit(fx.make_request(test_image(32, 32, 971), "q"));
+  SubmitResult shed =
+      server.submit(fx.make_request(test_image(32, 32, 972), "q"));
+  ASSERT_TRUE(a.accepted);
+  ASSERT_TRUE(b.accepted);
+  ASSERT_FALSE(shed.accepted);
+  EXPECT_EQ(shed.status, SubmitStatus::kQuotaExceeded);
+  for (const std::uint64_t id : {a.request_id, b.request_id, shed.request_id}) {
+    EXPECT_NE(id, 0U);
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate request id " << id;
+  }
+
+  server.drain();
+  // The response echoes the id the submit was assigned.
+  EXPECT_EQ(a.response.get().request_id, a.request_id);
+  EXPECT_EQ(b.response.get().request_id, b.request_id);
+
+  // A byte-identical resend hits the cache: fresh id, hit-flagged response.
+  SubmitResult hit = server.submit(req);
+  ASSERT_TRUE(hit.accepted);
+  const ServeResponse hit_resp = hit.response.get();
+  EXPECT_TRUE(hit_resp.cache_hit);
+  EXPECT_EQ(hit_resp.request_id, hit.request_id);
+  EXPECT_TRUE(ids.insert(hit.request_id).second);
+}
+
+// The loadgen's client-side registry view must agree exactly with the
+// server's own accounting: every submit is exactly one of completed /
+// shed-by-reason / failed on BOTH sides of the wire, per tenant.
+TEST(ServeSchedTest, ClientRegistryCrossChecksServerCounters) {
+  SchedFixture fx;
+  ServerConfig cfg;  // threaded server, wall clock, reject backpressure
+  cfg.workers = 2;
+  cfg.max_queue = 2;  // tiny queue: queue-full sheds under the burst
+  cfg.cache_bytes = 0;
+  cfg.backpressure = BackpressurePolicy::kReject;
+  cfg.tenants = {TenantConfig{.name = "industrial", .weight = 1,
+                              .rate_per_s = 200.0, .burst = 4.0,
+                              .max_inflight = 0}};
+  ReconServer server(cfg, fx.model);
+  server.register_codec("jpeg", &fx.jpeg);
+
+  const testbed::LoadTrace trace = testbed::make_industrial_stream_trace(
+      fx.model, fx.jpeg, /*stations=*/3, /*frames_per_station=*/6);
+  testbed::ReplayOptions opts;
+  opts.registry = &server.obs();
+  const testbed::ReplayReport report =
+      testbed::replay_trace(trace, server, opts);
+
+  const ServerStatsSnapshot stats = server.stats();
+  const obs::Registry::Snapshot reg = server.obs().snapshot();
+  ASSERT_EQ(report.tenants.size(), 1U);
+  const testbed::ReplayReport::TenantOutcome& client = report.tenants[0];
+  EXPECT_EQ(client.tenant, "industrial");
+
+  // Client outcome == client registry counters == server tenant row.
+  const TenantStatsSnapshot row = tenant_row(stats, "industrial");
+  EXPECT_EQ(reg.counter("client.industrial.completed"),
+            static_cast<std::uint64_t>(client.completed));
+  EXPECT_EQ(reg.counter("client.industrial.completed"), row.completed);
+  EXPECT_EQ(reg.counter("client.industrial.failed"), row.failed);
+  EXPECT_EQ(reg.counter("client.industrial.shed.queue_full"),
+            row.shed_queue_full);
+  EXPECT_EQ(reg.counter("client.industrial.shed.rate_limited"),
+            row.shed_rate_limited);
+  EXPECT_EQ(reg.counter("client.industrial.shed.quota"), row.shed_quota);
+  EXPECT_EQ(client.shed_queue_full + client.shed_rate_limited +
+                client.shed_quota,
+            client.rejected);
+
+  // Server-side hot counters agree with the mutex-guarded snapshot.
+  EXPECT_EQ(reg.counter("serve.submitted"), stats.submitted);
+  EXPECT_EQ(reg.counter("serve.completed"), stats.completed);
+  EXPECT_EQ(reg.counter("serve.failed"), stats.failed);
+  EXPECT_EQ(reg.counter("serve.shed.queue_full") +
+                reg.counter("serve.shed.rate_limited") +
+                reg.counter("serve.shed.quota"),
+            stats.rejected);
+
+  // Conservation: every submitted request settled exactly one way.
+  EXPECT_EQ(stats.submitted, stats.completed + stats.rejected + stats.failed);
+
+  // Sync-path replay records one id per settle (sheds mint ids too) and
+  // they are unique — the trace-correctness invariant.
+  EXPECT_EQ(client.request_ids.size(),
+            static_cast<std::size_t>(client.completed + client.rejected));
+  std::set<std::uint64_t> unique(client.request_ids.begin(),
+                                 client.request_ids.end());
+  EXPECT_EQ(unique.size(), client.request_ids.size());
+  EXPECT_EQ(reg.gauge("client.industrial.max_request_id"),
+            static_cast<std::int64_t>(*unique.rbegin()));
+}
+
+// The span ring must cover every pipeline stage of a completed request and
+// key spans by the ids responses carried; the Chrome export renders them.
+TEST(ServeSchedTest, TraceRingCoversAllStagesOfCompletedRequests) {
+  SchedFixture fx;
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.cache_bytes = 4 << 20;
+  cfg.trace_spans = 1024;
+  ReconServer server(cfg, fx.model);
+  server.register_codec("jpeg", &fx.jpeg);
+
+  std::vector<SubmitResult> results;
+  for (int i = 0; i < 4; ++i) {
+    results.push_back(
+        server.submit(fx.make_request(test_image(32, 32, 980 + i), "")));
+    ASSERT_TRUE(results.back().accepted);
+  }
+  std::set<std::uint64_t> ids;
+  for (SubmitResult& r : results) ids.insert(r.response.get().request_id);
+  // Byte-identical resend: exercises the cache-hit span.
+  const ServeRequest dup = fx.make_request(test_image(32, 32, 980), "");
+  ASSERT_TRUE(server.submit(dup).accepted);
+  SubmitResult hit = server.submit(dup);
+  ASSERT_TRUE(hit.accepted);
+  ASSERT_TRUE(hit.response.get().cache_hit);
+  server.drain();
+
+  const std::vector<obs::TraceRing::Span> spans = server.trace().collect();
+  ASSERT_FALSE(spans.empty());
+  std::set<obs::SpanKind> kinds;
+  std::set<std::uint64_t> total_ids;
+  for (const obs::TraceRing::Span& s : spans) {
+    kinds.insert(s.kind);
+    if (s.kind == obs::SpanKind::kTotal) total_ids.insert(s.request_id);
+    EXPECT_GE(s.duration_us, 0.0);
+  }
+  // Every stage of the normal path plus the cache-hit short circuit.
+  for (const obs::SpanKind k :
+       {obs::SpanKind::kQueueWait, obs::SpanKind::kDecode,
+        obs::SpanKind::kCodecDecode, obs::SpanKind::kBatchWait,
+        obs::SpanKind::kReconstruct, obs::SpanKind::kAssemble,
+        obs::SpanKind::kTotal, obs::SpanKind::kCacheHit}) {
+    EXPECT_TRUE(kinds.count(k)) << "missing span kind " << obs::span_name(k);
+  }
+  // Every completed request's id shows up as a total span.
+  for (const std::uint64_t id : ids) {
+    EXPECT_TRUE(total_ids.count(id)) << "no total span for request " << id;
+  }
+
+  const std::string chrome = server.trace().to_chrome_json();
+  EXPECT_NE(chrome.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"reconstruct\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"cache_hit\""), std::string::npos);
 }
 
 }  // namespace

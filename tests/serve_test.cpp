@@ -8,6 +8,7 @@
 #include "codec/jpeg_like.hpp"
 #include "core/pipeline.hpp"
 #include "data/synth.hpp"
+#include "obs/registry.hpp"
 #include "serve/cache.hpp"
 #include "serve/server.hpp"
 #include "serve/stats.hpp"
@@ -43,9 +44,15 @@ TEST(ServeStats, PercentileNearestRank) {
 }
 
 TEST(ServeStats, SummaryAndJson) {
+  // Golden exact percentiles: opt into the exact-sample reservoir.
+  // Production rides the bounded-error histogram, whose error bound is
+  // asserted separately in tests/obs_test.cpp.
+  const bool prev_exact = obs::exact_percentiles();
+  obs::set_exact_percentiles(true);
   StageStats st;
   for (int i = 1; i <= 100; ++i) st.record(i * 1e-3);
   const StageSummary s = st.summarize();
+  obs::set_exact_percentiles(prev_exact);
   EXPECT_EQ(s.count, 100U);
   EXPECT_NEAR(s.p50_s, 50e-3, 1e-9);
   EXPECT_NEAR(s.p95_s, 95e-3, 1e-9);

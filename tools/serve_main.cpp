@@ -9,6 +9,15 @@
 //              [--time-scale S] [--json out.json] [--kernel-threads N]
 //              [--tenants name:weight[:rate[:burst[:inflight[:precision]]]],...]
 //              [--async] [--precision fp32|int8|auto]
+//              [--trace-out trace.json] [--stats-every S] [--stats-out f.jsonl]
+//
+// Observability (DESIGN.md §8): --trace-out exports the request-span ring of
+// the LAST replayed scenario as Chrome trace-event JSON (open in
+// chrome://tracing or Perfetto). --stats-every S emits one JSON-lines rate
+// report (req/s, shed/s, cache-hit ratio, queue depth) per S seconds of
+// replay from the server's metric registry, to --stats-out (default stdout);
+// a final line always flushes at scenario end, so even replays shorter than
+// one interval produce output.
 //
 // --precision selects the reconstruct stage's numeric path (DESIGN.md §7).
 // int8/auto quantize the model at startup: a loadgen-style synthetic
@@ -35,10 +44,16 @@
 // scenario with client-side latency (overall and per tenant) and the
 // server's stage + tenant stats.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "codec/bpg_like.hpp"
@@ -95,6 +110,58 @@ std::vector<serve::TenantConfig> parse_tenants(const std::string& spec) {
   return out;
 }
 
+// Periodic JSON-lines stats emitter: samples a server's metric registry
+// every `interval_s` on a background thread and writes one
+// Registry::delta_json line per interval (rates + totals + gauges). stop()
+// always emits a final line covering the tail interval, so short replays
+// still produce non-empty output — the CI smoke test depends on that.
+class StatsReporter {
+ public:
+  StatsReporter(serve::ReconServer& server, double interval_s, std::FILE* out)
+      : server_(server), out_(out) {
+    prev_ = server_.obs().snapshot();
+    thread_ = std::thread([this, interval_s] {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!stop_cv_.wait_for(
+          lock, std::chrono::duration<double>(interval_s),
+          [this] { return stopping_; })) {
+        emit_line();
+      }
+    });
+  }
+
+  ~StatsReporter() { stop(); }
+
+  void stop() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    stop_cv_.notify_all();
+    thread_.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    emit_line();  // tail interval: guarantees at least one line per scenario
+    std::fflush(out_);
+  }
+
+ private:
+  void emit_line() {  // callers hold mu_
+    const obs::Registry::Snapshot cur = server_.obs().snapshot();
+    std::fprintf(out_, "%s\n",
+                 obs::Registry::delta_json(prev_, cur).c_str());
+    prev_ = cur;
+  }
+
+  serve::ReconServer& server_;
+  std::FILE* out_;
+  obs::Registry::Snapshot prev_;
+  std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -115,6 +182,10 @@ int main(int argc, char** argv) try {
   const std::string tenants_spec = flag_value(argc, argv, "--tenants", "");
   const bool async = has_flag(argc, argv, "--async");
   const char* json_path = flag_value(argc, argv, "--json", nullptr);
+  const char* trace_out = flag_value(argc, argv, "--trace-out", nullptr);
+  const double stats_every =
+      std::atof(flag_value(argc, argv, "--stats-every", "0"));
+  const char* stats_out_path = flag_value(argc, argv, "--stats-out", nullptr);
   const std::string precision_flag =
       flag_value(argc, argv, "--precision", "fp32");
   serve::PrecisionPolicy precision = serve::PrecisionPolicy::kFp32;
@@ -226,6 +297,15 @@ int main(int argc, char** argv) try {
     return 2;
   }
 
+  std::FILE* stats_file = stdout;
+  if (stats_every > 0.0 && stats_out_path != nullptr) {
+    stats_file = std::fopen(stats_out_path, "w");
+    if (stats_file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", stats_out_path);
+      return 1;
+    }
+  }
+
   util::Table t({"scenario", "events", "done", "drop", "fail", "wall s",
                  "req/s", "p50 ms", "p99 ms", "hit%", "patch/fwd"});
   std::string json = "[";
@@ -239,8 +319,29 @@ int main(int argc, char** argv) try {
     testbed::ReplayOptions opts;
     opts.time_scale = time_scale;
     opts.async = async;
+    opts.registry = &server.obs();  // client.* counters land next to serve.*
+    std::unique_ptr<StatsReporter> reporter;
+    if (stats_every > 0.0) {
+      reporter = std::make_unique<StatsReporter>(server, stats_every,
+                                                 stats_file);
+    }
     const testbed::ReplayReport report =
         testbed::replay_trace(trace, server, opts);
+    if (reporter) reporter->stop();
+    // The ring holds the most recent trace_spans spans, so with multiple
+    // scenarios the export reflects the LAST one (each runs a fresh server).
+    if (trace_out != nullptr && i + 1 == traces.size()) {
+      if (std::FILE* f = std::fopen(trace_out, "w")) {
+        const std::string chrome = server.trace().to_chrome_json();
+        std::fputs(chrome.c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %s (%s trace)\n", trace_out, trace.name.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", trace_out);
+        return 1;
+      }
+    }
 
     const auto& s = report.server;
     const double hit_pct =
@@ -281,6 +382,8 @@ int main(int argc, char** argv) try {
     }
   }
   json += "]";
+
+  if (stats_file != stdout) std::fclose(stats_file);
 
   std::printf("\n");
   t.print();
