@@ -21,13 +21,24 @@
 // documented 2% instrumentation budget (run in release CI only — debug
 // builds and loaded machines are too noisy for a hard gate).
 //
+// A fourth section measures the staged decode pipeline (DESIGN.md §9):
+// depth-1 (near-lockstep stages) vs depth-N overlapped execution on the
+// same fleet, per-stage occupancy and assemble-ring depth percentiles,
+// per-stage LLC misses attributed action-by-action on a manually-stepped
+// server, and an LLC-shaping A/B on the paper-scale d256 model comparing
+// forward-stage misses per request with batch shaping on vs off. Outputs
+// must stay byte-identical across every arm.
+//
 // Usage: bench_serve [out.json] [workers] [images] [--check-overhead]
+//                    [--pipeline-depth N] [--pin-workers] [--llc BYTES]
 // Emits a human table on stdout and a JSON report to out.json
 // (default bench_serve.json).
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,10 +55,19 @@
 int main(int argc, char** argv) {
   using namespace easz;
   bool check_overhead = false;
+  bool pin_workers = false;
+  int pipeline_depth = 2;
+  std::size_t llc_override = 0;  // 0 = detect (sysfs/sysconf, else default)
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check-overhead") == 0) {
       check_overhead = true;
+    } else if (std::strcmp(argv[i], "--pin-workers") == 0) {
+      pin_workers = true;
+    } else if (std::strcmp(argv[i], "--pipeline-depth") == 0 && i + 1 < argc) {
+      pipeline_depth = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--llc") == 0 && i + 1 < argc) {
+      llc_override = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
       positional.push_back(argv[i]);
     }
@@ -245,6 +265,208 @@ int main(int argc, char** argv) {
   }
   tt.print();
 
+  // ---- staged pipeline: depth-1 vs depth-N -----------------------------
+  // Same fleet, same workers, cache off; the only difference is how many
+  // reconstructed batches may park in the assemble ring, i.e. how much the
+  // ALU-bound forward of batch N overlaps the memory-bound assemble of
+  // batch N-1. Best-of-3 per arm; bytes must match the sequential
+  // reference in both.
+  bool pipeline_identical = true;
+  serve::ServerStatsSnapshot pipe_stats;
+  const auto pipeline_arm = [&](int depth,
+                                serve::ServerStatsSnapshot* out) -> double {
+    serve::ServerConfig pcfg = scfg;
+    pcfg.pipeline_depth = depth;
+    pcfg.pin_workers = pin_workers;
+    serve::ReconServer s(pcfg, model);
+    s.register_codec("jpeg", &jpeg);
+    std::vector<std::future<serve::ServeResponse>> fs;
+    fs.reserve(requests.size());
+    util::Stopwatch w;
+    for (const core::EaszCompressed& c : requests) {
+      serve::ServeRequest req;
+      req.compressed = c;
+      req.codec = "jpeg";
+      fs.push_back(s.submit(std::move(req)).response);
+    }
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      const serve::ServeResponse resp = fs[i].get();
+      if (resp.image->data() != reference[i].data()) pipeline_identical = false;
+    }
+    const double wall = w.elapsed_seconds();
+    if (out != nullptr) *out = s.stats();
+    return wall;
+  };
+  double depth1_s = 1e100;
+  double pipelined_s = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    depth1_s = std::min(depth1_s, pipeline_arm(1, nullptr));
+    serve::ServerStatsSnapshot snap;
+    const double wall = pipeline_arm(pipeline_depth, &snap);
+    if (wall < pipelined_s) {
+      pipelined_s = wall;
+      pipe_stats = snap;
+    }
+  }
+  const double pipe_ratio = depth1_s / pipelined_s;
+  // Occupancy: fraction of total worker-seconds each stage kept busy.
+  const double worker_s = std::max(1e-12, pipelined_s * workers);
+  const double occ_decode = pipe_stats.stage_busy_decode_s / worker_s;
+  const double occ_forward = pipe_stats.stage_busy_forward_s / worker_s;
+  const double occ_assemble = pipe_stats.stage_busy_assemble_s / worker_s;
+  std::printf(
+      "\nstaged pipeline (%d workers%s): depth 1 %.4f s, depth %d %.4f s "
+      "(%.2fx), byte-identical: %s\n",
+      workers, pin_workers ? ", pinned" : "", depth1_s, pipeline_depth,
+      pipelined_s, pipe_ratio, pipeline_identical ? "yes" : "NO");
+  std::printf(
+      "  occupancy: decode %.0f%% / forward %.0f%% / assemble %.0f%%, "
+      "ring depth p50 %.1f p95 %.1f (cap %zu), %llu ring-full stalls\n",
+      occ_decode * 100.0, occ_forward * 100.0, occ_assemble * 100.0,
+      pipe_stats.ring_depth.p50_s, pipe_stats.ring_depth.p95_s,
+      pipe_stats.assemble_ring_capacity,
+      static_cast<unsigned long long>(pipe_stats.ring_full_stalls));
+
+  // ---- per-stage LLC misses (manually-stepped server) ------------------
+  // Hardware counters are per-thread, so attribution needs every stage on
+  // the measuring thread: workers=0 mode steps the scheduler one action at
+  // a time, and each step_stage() return value says which stage the
+  // wrapped counter deltas belong to. A virtual clock flushes under-full
+  // tail batches deterministically (age triggers fire only when we advance
+  // it, so pooling behaviour does not depend on step timing).
+  struct StageProfile {
+    std::uint64_t miss[3] = {0, 0, 0};     // decode / forward / assemble
+    std::uint64_t actions[3] = {0, 0, 0};
+    bool llc_ok = false;
+    int shaped_batch = 0;
+    std::size_t llc_budget = 0;
+    std::vector<std::shared_ptr<const image::Image>> images;
+  };
+  const auto stepped_profile =
+      [&jpeg](const core::ReconstructionModel& m,
+              const std::vector<core::EaszCompressed>& reqs, int depth,
+              int max_batch, bool shape, std::size_t llc) -> StageProfile {
+    double virtual_now = 0.0;
+    serve::ServerConfig c;
+    c.workers = 0;
+    c.backpressure = serve::BackpressurePolicy::kReject;
+    c.max_queue = static_cast<int>(reqs.size()) + 1;
+    c.max_batch_patches = max_batch;
+    c.max_batch_wait_s = 1.0;  // pool until full; flush via clock advance
+    c.cache_bytes = 0;
+    c.pipeline_depth = depth;
+    c.shape_batches_to_llc = shape;
+    c.llc_bytes = llc;
+    c.sched_clock = [&virtual_now] { return virtual_now; };
+    serve::ReconServer s(c, m);
+    s.register_codec("jpeg", &jpeg);
+    std::vector<std::future<serve::ServeResponse>> fs;
+    fs.reserve(reqs.size());
+    for (const core::EaszCompressed& rc : reqs) {
+      serve::ServeRequest req;
+      req.compressed = rc;
+      req.codec = "jpeg";
+      fs.push_back(s.submit(std::move(req)).response);
+    }
+    StageProfile prof;
+    prof.shaped_batch = s.shaped_batch_patches(nn::Precision::kFp32);
+    prof.llc_budget = s.llc_budget_bytes();
+    obs::PerfCounters pc;
+    int assembled = 0;
+    int idle_streak = 0;
+    while (assembled < static_cast<int>(reqs.size()) && idle_streak < 3) {
+      pc.start();
+      const serve::StageAction a = s.step_stage();
+      const obs::PerfReading r = pc.stop();
+      if (a == serve::StageAction::kIdle) {
+        ++idle_streak;
+        virtual_now += 2.0;  // trip age triggers for under-full tails
+        continue;
+      }
+      idle_streak = 0;
+      const int idx = a == serve::StageAction::kDecode    ? 0
+                      : a == serve::StageAction::kForward ? 1
+                                                          : 2;
+      ++prof.actions[idx];
+      if (r.llc_misses_ok) {
+        prof.llc_ok = true;
+        prof.miss[idx] += r.llc_misses;
+      }
+      if (a == serve::StageAction::kAssemble) ++assembled;
+    }
+    prof.images.reserve(fs.size());
+    for (std::future<serve::ServeResponse>& f : fs) {
+      prof.images.push_back(f.get().image);
+    }
+    return prof;
+  };
+
+  const StageProfile stage_prof =
+      stepped_profile(model, requests, pipeline_depth, 32, false, 0);
+  bool stepped_identical = true;
+  for (std::size_t i = 0; i < stage_prof.images.size(); ++i) {
+    if (stage_prof.images[i]->data() != reference[i].data()) {
+      stepped_identical = false;
+    }
+  }
+  pipeline_identical = pipeline_identical && stepped_identical;
+  if (stage_prof.llc_ok) {
+    std::printf(
+        "  llc_miss by stage (stepped): decode %llu, forward %llu, "
+        "assemble %llu\n",
+        static_cast<unsigned long long>(stage_prof.miss[0]),
+        static_cast<unsigned long long>(stage_prof.miss[1]),
+        static_cast<unsigned long long>(stage_prof.miss[2]));
+  } else {
+    std::printf("  llc_miss by stage: unavailable (perf_event_open denied)\n");
+  }
+
+  // ---- LLC-conscious batch shaping A/B on the paper-scale model --------
+  // The d64 bench model vanishes inside any L3; shaping only matters when
+  // weights + a big pooled batch's activations contend for the cache. The
+  // paper-scale d256 model is that regime: unshaped pools to one huge
+  // forward, shaped picks the CacheBudget batch. Fewer forward-stage
+  // misses per request with identical bytes is the whole point.
+  core::ReconModelConfig paper_cfg = mcfg;
+  paper_cfg.d_model = 256;
+  paper_cfg.num_heads = 8;
+  paper_cfg.ffn_hidden = 1024;
+  util::Pcg32 paper_rng(99);
+  const core::ReconstructionModel paper_model(paper_cfg, paper_rng);
+  const core::EaszPipeline paper_pipe(cfg, jpeg, &paper_model);
+  std::vector<core::EaszCompressed> paper_requests;
+  util::Pcg32 paper_data_rng(4321);
+  int paper_patches = 0;
+  for (int i = 0; i < 8; ++i) {
+    const image::Image img = data::synth_photo(96, 64, paper_data_rng);
+    paper_requests.push_back(paper_pipe.encode(img));
+    paper_patches +=
+        (paper_requests.back().padded_width / mcfg.patchify.patch) *
+        (paper_requests.back().padded_height / mcfg.patchify.patch);
+  }
+  const StageProfile unshaped = stepped_profile(
+      paper_model, paper_requests, pipeline_depth, paper_patches, false,
+      llc_override);
+  const StageProfile shaped = stepped_profile(
+      paper_model, paper_requests, pipeline_depth, paper_patches, true,
+      llc_override);
+  bool shaping_identical = true;
+  for (std::size_t i = 0; i < paper_requests.size(); ++i) {
+    if (shaped.images[i]->data() != unshaped.images[i]->data()) {
+      shaping_identical = false;
+    }
+  }
+  const double req_n = static_cast<double>(paper_requests.size());
+  const double unshaped_fwd_miss = static_cast<double>(unshaped.miss[1]) / req_n;
+  const double shaped_fwd_miss = static_cast<double>(shaped.miss[1]) / req_n;
+  std::printf(
+      "  llc shaping (d256, %d patches, budget %.1f MB): batch %d -> %d, "
+      "forward llc_miss/req %.0f -> %.0f%s, byte-identical: %s\n",
+      paper_patches, shaped.llc_budget / 1048576.0, paper_patches,
+      shaped.shaped_batch, unshaped_fwd_miss, shaped_fwd_miss,
+      shaped.llc_ok ? "" : " (counters unavailable)",
+      shaping_identical ? "yes" : "NO");
+
   // ---- instrumentation overhead ----------------------------------------
   // (a) Raw record cost: mean ns per LatencyHistogram::record across a
   //     value sweep (every bucket region gets hit, no single-bucket branch
@@ -302,9 +524,60 @@ int main(int argc, char** argv) {
                 "\"off_wall_s\":%.4f,\"overhead_pct\":%.3f}",
                 record_ns, on_s, off_s, overhead_pct);
 
+  // Stage misses render as numbers when the counters opened and as
+  // "unavailable" strings otherwise — same convention as PerfReading.
+  char stage_miss_json[256];
+  if (stage_prof.llc_ok) {
+    std::snprintf(stage_miss_json, sizeof(stage_miss_json),
+                  "{\"available\":true,\"decode\":%llu,\"forward\":%llu,"
+                  "\"assemble\":%llu}",
+                  static_cast<unsigned long long>(stage_prof.miss[0]),
+                  static_cast<unsigned long long>(stage_prof.miss[1]),
+                  static_cast<unsigned long long>(stage_prof.miss[2]));
+  } else {
+    std::snprintf(stage_miss_json, sizeof(stage_miss_json),
+                  "{\"available\":false,\"decode\":\"unavailable\","
+                  "\"forward\":\"unavailable\",\"assemble\":\"unavailable\"}");
+  }
+  char shaping_miss_json[160];
+  if (shaped.llc_ok) {
+    std::snprintf(shaping_miss_json, sizeof(shaping_miss_json),
+                  "\"unshaped_forward_llc_miss_per_req\":%.1f,"
+                  "\"shaped_forward_llc_miss_per_req\":%.1f",
+                  unshaped_fwd_miss, shaped_fwd_miss);
+  } else {
+    std::snprintf(shaping_miss_json, sizeof(shaping_miss_json),
+                  "\"unshaped_forward_llc_miss_per_req\":\"unavailable\","
+                  "\"shaped_forward_llc_miss_per_req\":\"unavailable\"");
+  }
+  char pipeline_json[1024];
+  std::snprintf(
+      pipeline_json, sizeof(pipeline_json),
+      ",\"serve_pipeline\":{\"depth\":%d,\"pin_workers\":%s,"
+      "\"depth1_wall_s\":%.4f,\"pipelined_wall_s\":%.4f,"
+      "\"pipelined_vs_unpipelined\":%.3f,\"identical_output\":%s,"
+      "\"occupancy\":{\"decode\":%.3f,\"forward\":%.3f,\"assemble\":%.3f},"
+      "\"ring_depth\":{\"p50\":%.1f,\"p95\":%.1f,\"cap\":%zu,"
+      "\"full_stalls\":%llu},"
+      "\"stage_llc_miss\":%s,"
+      "\"llc_shaping\":{\"model_d\":%d,\"requests\":%zu,\"patches\":%d,"
+      "\"budget_bytes\":%zu,\"unshaped_batch\":%d,\"shaped_batch\":%d,"
+      "%s,\"identical_output\":%s}}"
+      ",\"serve\":[{\"scenario\":\"pipelined_vs_depth1\","
+      "\"pipelined_vs_unpipelined\":%.3f}]",
+      pipeline_depth, pin_workers ? "true" : "false", depth1_s, pipelined_s,
+      pipe_ratio, pipeline_identical ? "true" : "false", occ_decode,
+      occ_forward, occ_assemble, pipe_stats.ring_depth.p50_s,
+      pipe_stats.ring_depth.p95_s, pipe_stats.assemble_ring_capacity,
+      static_cast<unsigned long long>(pipe_stats.ring_full_stalls),
+      stage_miss_json, paper_cfg.d_model, paper_requests.size(),
+      paper_patches, shaped.llc_budget, paper_patches, shaped.shaped_batch,
+      shaping_miss_json, shaping_identical ? "true" : "false", pipe_ratio);
+
   const std::string json = std::string(head) + stats.to_json() +
                            ",\"two_tenant\":" + tenant_report.to_json() +
-                           obs_json + ",\"perf\":" + perf.to_json() + "}";
+                           pipeline_json + obs_json +
+                           ",\"perf\":" + perf.to_json() + "}";
   if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
     std::fputs(json.c_str(), f);
     std::fputc('\n', f);
@@ -321,5 +594,5 @@ int main(int argc, char** argv) {
                  overhead_pct, on_s, off_s);
     return 4;
   }
-  return identical ? 0 : 1;
+  return identical && pipeline_identical && shaping_identical ? 0 : 1;
 }

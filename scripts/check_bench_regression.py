@@ -27,10 +27,14 @@ def match_entry(entries, baseline_entry, keys):
 
 
 # section name -> (identity keys, gated metric)
+# A (current, baseline) pair only gates the sections its baseline lists, so
+# the same script serves bench_infer (baseline_infer.json) and bench_serve
+# (baseline_serve.json) reports — CI invokes it once per pair.
 GATES = {
     "forward": (("config",), "kernel_vs_autograd_t1"),
     "forward_int8": (("config",), "int8_vs_fp32_t1"),
     "gemm_int8": (("m", "k", "n"), "int8_vs_fp32"),
+    "serve": (("scenario",), "pipelined_vs_unpipelined"),
 }
 
 

@@ -1,0 +1,163 @@
+#include "serve/cache_budget.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace easz::serve {
+
+namespace {
+
+// Parses sysfs cache sizes of the form "8192K" / "16M" / "262144".
+std::size_t parse_cache_size(const char* text) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text) return 0;
+  switch (*end) {
+    case 'K':
+    case 'k':
+      return static_cast<std::size_t>(value) << 10;
+    case 'M':
+    case 'm':
+      return static_cast<std::size_t>(value) << 20;
+    case 'G':
+    case 'g':
+      return static_cast<std::size_t>(value) << 30;
+    default:
+      return static_cast<std::size_t>(value);
+  }
+}
+
+std::size_t read_small_file(const std::string& path, char* buf,
+                            std::size_t cap) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return 0;
+  const std::size_t n = std::fread(buf, 1, cap - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  return n;
+}
+
+}  // namespace
+
+CacheBudget::CacheBudget(ModelFootprint footprint, std::size_t llc_bytes)
+    : footprint_(footprint),
+      llc_bytes_(llc_bytes == 0 ? kDefaultLlcBytes : llc_bytes) {}
+
+std::size_t CacheBudget::detect_llc_bytes() {
+#if defined(__linux__)
+  // Walk cpu0's cache indices and keep the largest Unified level — index
+  // numbering is not guaranteed to put L3 at index3 on every topology.
+  char buf[64];
+  std::size_t best = 0;
+  for (int index = 0; index < 8; ++index) {
+    const std::string base =
+        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(index);
+    if (read_small_file(base + "/type", buf, sizeof(buf)) == 0) continue;
+    if (std::strncmp(buf, "Unified", 7) != 0) continue;
+    if (read_small_file(base + "/size", buf, sizeof(buf)) == 0) continue;
+    best = std::max(best, parse_cache_size(buf));
+  }
+  if (best > 0) return best;
+#endif
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+  const long l3 = sysconf(_SC_LEVEL3_CACHE_SIZE);
+  if (l3 > 0) return static_cast<std::size_t>(l3);
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  const long l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (l2 > 0) return static_cast<std::size_t>(l2);
+#endif
+  return 0;
+}
+
+ModelFootprint CacheBudget::footprint_of(const core::ReconModelConfig& cfg) {
+  const std::size_t d = static_cast<std::size_t>(cfg.d_model);
+  const std::size_t ffn = static_cast<std::size_t>(cfg.ffn_hidden);
+  const std::size_t tokens = static_cast<std::size_t>(cfg.patchify.tokens());
+  const std::size_t token_dim =
+      static_cast<std::size_t>(cfg.patchify.token_dim(cfg.channels));
+  const std::size_t blocks =
+      static_cast<std::size_t>(cfg.encoder_blocks + cfg.decoder_blocks);
+
+  // Exact parameter split (mirrors ReconstructionModel's layer list):
+  // Linear weight matrices quantize to s8; biases, layernorm affines and
+  // the positional embedding stay fp32 on both paths.
+  const std::size_t linear_weights =
+      token_dim * d +                              // embed
+      blocks * (d * 3 * d + d * d +                // qkv + proj per block
+                d * ffn + ffn * d) +               // fc1 + fc2 per block
+      d * token_dim;                               // head
+  const std::size_t fp32_rest =
+      d + blocks * (3 * d + d + ffn + d) +         // biases (embed + blocks)
+      token_dim +                                  // head bias
+      blocks * 6 * d +                             // 3 layernorms x (γ, β)
+      tokens * d;                                  // positional embedding
+
+  ModelFootprint f;
+  f.weight_bytes_fp32 = (linear_weights + fp32_rest) * sizeof(float);
+  // int8: packed B tiles at 1 byte/weight plus per-output-channel dequant
+  // scale and column-sum correction (one float + one int32 per column).
+  const std::size_t dequant_cols =
+      d +                                          // embed outputs
+      blocks * (3 * d + d + ffn + d) +             // qkv/proj/fc1/fc2 outputs
+      token_dim;                                   // head outputs
+  f.weight_bytes_int8 =
+      linear_weights + dequant_cols * 8 + fp32_rest * sizeof(float);
+
+  // Per-patch transient set, in floats: the residual stream plus the widest
+  // simultaneously-live buffers of one block (qkv expansion, attention
+  // score tile, ffn hidden) and the token in/out copies at the boundary.
+  // Coarse by design — it only has to be monotone in the config.
+  const std::size_t act_floats =
+      tokens * (4 * d + ffn + 2 * token_dim) +
+      static_cast<std::size_t>(cfg.num_heads) * tokens * tokens;
+  f.act_bytes_per_patch_fp32 = act_floats * sizeof(float);
+  // int8 adds the u8 A-copies of the widest GEMM inputs (residual stream
+  // and ffn hidden) on top of the fp32 buffers they were quantized from.
+  f.act_bytes_per_patch_int8 =
+      f.act_bytes_per_patch_fp32 + tokens * (d + ffn);
+
+  // rANS slot→sym (16KB) + packed freq/cum (1KB) tables per decode stream,
+  // rounded up for stream state and the codec's coefficient scratch.
+  f.fixed_overhead_bytes = 32 << 10;
+  return f;
+}
+
+std::size_t CacheBudget::budget_bytes() const {
+  return llc_bytes_ / 100 * kLlcUtilizationPct;
+}
+
+std::size_t CacheBudget::working_set_bytes(int patches,
+                                           nn::Precision precision) const {
+  const bool int8 = precision == nn::Precision::kInt8;
+  const std::size_t weights =
+      int8 ? footprint_.weight_bytes_int8 : footprint_.weight_bytes_fp32;
+  const std::size_t per_patch = int8 ? footprint_.act_bytes_per_patch_int8
+                                     : footprint_.act_bytes_per_patch_fp32;
+  return weights + footprint_.fixed_overhead_bytes +
+         static_cast<std::size_t>(std::max(0, patches)) * per_patch;
+}
+
+int CacheBudget::shape_batch(int requested_max,
+                             nn::Precision precision) const {
+  requested_max = std::max(1, requested_max);
+  const std::size_t budget = budget_bytes();
+  const std::size_t base = working_set_bytes(0, precision);
+  if (base >= budget) return 1;  // weights alone overflow: batching can't help
+  const bool int8 = precision == nn::Precision::kInt8;
+  const std::size_t per_patch = int8 ? footprint_.act_bytes_per_patch_int8
+                                     : footprint_.act_bytes_per_patch_fp32;
+  if (per_patch == 0) return requested_max;
+  const std::size_t fit = (budget - base) / per_patch;
+  const int shaped = static_cast<int>(
+      std::min<std::size_t>(fit, static_cast<std::size_t>(requested_max)));
+  return std::max(1, shaped);
+}
+
+}  // namespace easz::serve

@@ -1,0 +1,94 @@
+// LLC-conscious batch shaping (DESIGN.md §9.2).
+//
+// The serve forward's throughput is governed by what stays last-level-cache
+// resident (5GC²ache, PAPERS.md): once weights + packed int8 tiles +
+// activations for a pooled batch outgrow the LLC, every GEMM panel streams
+// from DRAM and per-patch cost roughly doubles. CacheBudget is the analytic
+// working-set model the server consults at construction to pick the largest
+// patch-batch whose forward stays cache-resident — per precision, because an
+// int8 deployment parks 4x fewer weight bytes and therefore affords a larger
+// batch inside the same cache.
+//
+// The model is deliberately coarse (no associativity, no sharing with other
+// processes): it only has to rank batch sizes monotonically and land the
+// knee within a factor of ~2, which the per-stage llc_miss counters in
+// bench_serve validate empirically. All arithmetic is integer/deterministic:
+// the same footprint and LLC size always shape the same batch, which the
+// deterministic harness asserts.
+#pragma once
+
+#include <cstddef>
+
+#include "core/recon_model.hpp"
+
+namespace easz::serve {
+
+/// Cache-relevant byte footprint of one deployed reconstruction model,
+/// split into the batch-independent resident set (weights) and the
+/// per-patch transient set (activations). Derived analytically from the
+/// model config via CacheBudget::footprint_of, or hand-built in tests.
+struct ModelFootprint {
+  /// fp32 parameter bytes the forward touches every pass (all Linears,
+  /// layernorm affines, positional embedding).
+  std::size_t weight_bytes_fp32 = 0;
+  /// int8 path: packed s8 B tiles + per-channel dequant scale / column-sum
+  /// tables for every Linear, plus the fp32 non-Linear remainder.
+  std::size_t weight_bytes_int8 = 0;
+  /// Peak simultaneously-live activation bytes per pooled patch (residual
+  /// stream, qkv, attention scores, ffn hidden, token in/out copies).
+  std::size_t act_bytes_per_patch_fp32 = 0;
+  /// int8 adds the u8-quantized A copies on top of the fp32 activations.
+  std::size_t act_bytes_per_patch_int8 = 0;
+  /// Batch-independent extras sharing the cache with the forward: rANS
+  /// slot→sym + freq tables (~20KB), slot-table walk state, code.
+  std::size_t fixed_overhead_bytes = 0;
+};
+
+class CacheBudget {
+ public:
+  /// Used when the LLC size is neither configured nor detectable — a
+  /// conservative mid-range desktop/server L3.
+  static constexpr std::size_t kDefaultLlcBytes = 8ULL << 20;
+
+  /// Fraction of the LLC the forward may claim. The remainder absorbs the
+  /// decode stage's stream buffers, the result cache's hot entries and
+  /// whatever else the machine is doing — shaping to 100% would thrash on
+  /// the first interleaved decode.
+  static constexpr int kLlcUtilizationPct = 75;
+
+  /// llc_bytes == 0 falls back to kDefaultLlcBytes (detection is the
+  /// caller's job via detect_llc_bytes, so tests stay deterministic).
+  CacheBudget(ModelFootprint footprint, std::size_t llc_bytes);
+
+  /// Analytic footprint of a model config (exact parameter count; coarse
+  /// but monotone activation estimate — see DESIGN.md §9.2 for the terms).
+  [[nodiscard]] static ModelFootprint footprint_of(
+      const core::ReconModelConfig& config);
+
+  /// Unified last-level cache size of cpu0 via sysfs, sysconf fallback.
+  /// Returns 0 when the platform exposes neither (callers substitute
+  /// kDefaultLlcBytes or a configured size).
+  [[nodiscard]] static std::size_t detect_llc_bytes();
+
+  /// Bytes the forward of `patches` pooled patches keeps live at once.
+  [[nodiscard]] std::size_t working_set_bytes(int patches,
+                                              nn::Precision precision) const;
+
+  /// Largest batch in [1, requested_max] whose working set fits the
+  /// budget. Never returns less than 1: when the weights alone overflow
+  /// the LLC there is no cache-resident batch size, and patch-at-a-time
+  /// forwards would only add per-pass overhead on top of the same misses.
+  [[nodiscard]] int shape_batch(int requested_max,
+                                nn::Precision precision) const;
+
+  [[nodiscard]] std::size_t llc_bytes() const { return llc_bytes_; }
+  /// llc_bytes scaled by kLlcUtilizationPct — what shape_batch fits into.
+  [[nodiscard]] std::size_t budget_bytes() const;
+  [[nodiscard]] const ModelFootprint& footprint() const { return footprint_; }
+
+ private:
+  ModelFootprint footprint_;
+  std::size_t llc_bytes_ = 0;
+};
+
+}  // namespace easz::serve

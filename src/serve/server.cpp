@@ -4,11 +4,53 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "serve/cache_budget.hpp"
 #include "tensor/kernels.hpp"
+#include "util/affinity.hpp"
 
 namespace easz::serve {
 
+const char* stage_action_name(StageAction action) {
+  switch (action) {
+    case StageAction::kIdle:
+      return "idle";
+    case StageAction::kDecode:
+      return "decode";
+    case StageAction::kForward:
+      return "forward";
+    case StageAction::kAssemble:
+      return "assemble";
+  }
+  return "?";
+}
+
 namespace {
+
+// Stage preference orders (DESIGN.md §9.1). Every worker owns one order and
+// walks it until a stage has runnable work — preference first, then
+// "stealing" from the other stages so the pool stays work-conserving even
+// when a stage runs dry. Assemble precedes decode in every order that does
+// not lead with it: finished requests hold decoded-token memory and a
+// client promise, so draining them beats admitting new work. The manual
+// harness (workers == 0) always uses kAssembleFirst, which makes step()
+// trajectories a deterministic function of submit order + clock advances.
+constexpr StageAction kForwardFirst[3] = {
+    StageAction::kForward, StageAction::kAssemble, StageAction::kDecode};
+constexpr StageAction kDecodeFirst[3] = {
+    StageAction::kDecode, StageAction::kAssemble, StageAction::kForward};
+constexpr StageAction kAssembleFirst[3] = {
+    StageAction::kAssemble, StageAction::kForward, StageAction::kDecode};
+
+const StageAction* worker_stage_order(int worker_index) {
+  switch (worker_index % 3) {
+    case 1:
+      return kDecodeFirst;
+    case 2:
+      return kAssembleFirst;
+    default:
+      return kForwardFirst;
+  }
+}
 
 // Pooling is only sound across requests whose forward passes are truly
 // interchangeable: same erase mask, same token layout AND same precision
@@ -56,6 +98,25 @@ ReconServer::ReconServer(ServerConfig config,
   if (config_.max_batch_patches < 1) {
     throw std::invalid_argument("ReconServer: need a positive batch size");
   }
+  if (config_.pipeline_depth < 1) {
+    throw std::invalid_argument("ReconServer: need a positive pipeline depth");
+  }
+  assemble_ring_capacity_ =
+      static_cast<std::size_t>(config_.pipeline_depth) *
+      static_cast<std::size_t>(std::max(1, config_.workers));
+  shaped_max_patches_fp32_ = config_.max_batch_patches;
+  shaped_max_patches_int8_ = config_.max_batch_patches;
+  if (config_.shape_batches_to_llc) {
+    llc_budget_ = config_.llc_bytes != 0 ? config_.llc_bytes
+                                         : CacheBudget::detect_llc_bytes();
+    if (llc_budget_ == 0) llc_budget_ = CacheBudget::kDefaultLlcBytes;
+    const CacheBudget budget(CacheBudget::footprint_of(model_.config()),
+                             llc_budget_);
+    shaped_max_patches_fp32_ =
+        budget.shape_batch(config_.max_batch_patches, nn::Precision::kFp32);
+    shaped_max_patches_int8_ =
+        budget.shape_batch(config_.max_batch_patches, nn::Precision::kInt8);
+  }
   // Resolve the precision policy against the deployed model up front: a
   // misconfigured deployment should fail at construction, not per request.
   model_quantized_ = model_.is_quantized();
@@ -84,12 +145,23 @@ ReconServer::ReconServer(ServerConfig config,
   for (const TenantConfig& tenant : config_.tenants) {
     tenants_.add(tenant);
   }
+  if (config_.pin_workers) {
+    // Pin BEFORE resizing so the kern pool (re)spawns its lanes pinned.
+    // Process-global like kernel_threads: the last server constructed wins.
+    tensor::kern::set_pin_threads(true);
+  }
   if (config_.kernel_threads > 0) {
     tensor::kern::set_threads(config_.kernel_threads);
   }
   workers_.reserve(static_cast<std::size_t>(config_.workers));
+  const int cpus = util::affinity_cpu_count();
   for (int i = 0; i < config_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
+    if (config_.pin_workers && cpus > 0) {
+      // Round-robin over the affinity set; failure (or an unsupported
+      // platform) is a silent no-op — pinning is a hint, never a contract.
+      util::pin_thread_to_cpu(workers_.back(), i % cpus);
+    }
   }
 }
 
@@ -303,14 +375,21 @@ void ReconServer::drain() {
   idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
-bool ReconServer::step() {
+StageAction ReconServer::step_stage() {
   if (config_.workers != 0) {
     throw std::logic_error(
         "ReconServer: step() is only valid in manual scheduling mode "
         "(workers == 0)");
   }
   std::unique_lock<std::mutex> lock(mu_);
-  return try_step_locked(lock);
+  return try_step_locked(lock, kAssembleFirst);
+}
+
+bool ReconServer::step() { return step_stage() != StageAction::kIdle; }
+
+int ReconServer::shaped_batch_patches(nn::Precision precision) const {
+  return precision == nn::Precision::kInt8 ? shaped_max_patches_int8_
+                                           : shaped_max_patches_fp32_;
 }
 
 bool ReconServer::flush_conditions_locked() const {
@@ -320,7 +399,7 @@ bool ReconServer::flush_conditions_locked() const {
 }
 
 bool ReconServer::group_ready_locked(const PendingGroup& group) const {
-  if (group.patches >= config_.max_batch_patches) return true;
+  if (group.patches >= shaped_batch_patches(group.precision)) return true;
   if (flush_conditions_locked()) return true;
   // Age trigger: an under-full group launches once its oldest tokens have
   // waited max_batch_wait_s. Without this, a rare-mask request would starve
@@ -356,7 +435,7 @@ ReconServer::FormedBatch ReconServer::form_batch_locked() {
   FormedBatch batch;
   batch.mask = group.mask;
   batch.precision = group.precision;
-  int budget = config_.max_batch_patches;
+  int budget = shaped_batch_patches(group.precision);
   while (budget > 0 && !group.spans.empty()) {
     PendingGroup::Span& span = group.spans.front();
     const int take = std::min(budget, span.count);
@@ -412,38 +491,85 @@ std::shared_ptr<ReconServer::Job> ReconServer::pop_next_locked() {
   return nullptr;
 }
 
-bool ReconServer::try_step_locked(std::unique_lock<std::mutex>& lock) {
-  if (batch_ready_locked()) {
-    FormedBatch batch = form_batch_locked();
-    lock.unlock();
-    run_batch(std::move(batch));
-    lock.lock();
-    return true;
+StageAction ReconServer::try_step_locked(std::unique_lock<std::mutex>& lock,
+                                         const StageAction* order) {
+  for (int i = 0; i < 3; ++i) {
+    switch (order[i]) {
+      case StageAction::kAssemble: {
+        if (assemble_ring_.empty()) break;
+        std::shared_ptr<InFlight> inflight =
+            std::move(assemble_ring_.front());
+        assemble_ring_.pop_front();
+        // Count at claim time, not completion: finish_request fulfills the
+        // promise while unlocked, so a caller woken by the future must
+        // already see this action in stats().
+        ++stage_actions_[2];
+        lock.unlock();
+        util::Stopwatch sw;
+        finish_request(inflight);
+        const double busy = sw.elapsed_seconds();
+        lock.lock();
+        stage_busy_s_[2] += busy;
+        // Ring space freed can unblock a stalled forward launcher.
+        work_cv_.notify_all();
+        return StageAction::kAssemble;
+      }
+      case StageAction::kForward: {
+        if (!batch_ready_locked()) break;
+        if (assemble_ring_.size() >= assemble_ring_capacity_) {
+          // Backpressure: assembly lags by a full pipeline window. Fall
+          // through to the next stage in the order (assemble is always
+          // behind forward in an order that didn't lead with it), so the
+          // would-be launcher drains the ring instead of growing it.
+          ++ring_full_stalls_;
+          break;
+        }
+        FormedBatch batch = form_batch_locked();
+        ++stage_actions_[1];  // claim-time, as above
+        lock.unlock();
+        util::Stopwatch sw;
+        run_forward(std::move(batch));
+        const double busy = sw.elapsed_seconds();
+        lock.lock();
+        stage_busy_s_[1] += busy;
+        return StageAction::kForward;
+      }
+      case StageAction::kDecode: {
+        std::shared_ptr<Job> job = pop_next_locked();
+        if (!job) break;
+        ++decoding_;
+        job->timing.queue_wait_s = job->since_submit.elapsed_seconds();
+        hot_.queue_depth.set(queued_);
+        trace_.record(job->request_id, obs::SpanKind::kQueueWait,
+                      job->submit_us, job->timing.queue_wait_s * 1e6);
+        space_cv_.notify_all();  // different tenants wait on different queues
+        ++stage_actions_[0];  // claim-time, as above
+        lock.unlock();
+        util::Stopwatch sw;
+        run_decode(job);
+        const double busy = sw.elapsed_seconds();
+        lock.lock();
+        --decoding_;
+        stage_busy_s_[0] += busy;
+        // Last decoder going idle can make the flush condition true for
+        // everyone; batches formed from the deposit also need announcing.
+        work_cv_.notify_all();
+        return StageAction::kDecode;
+      }
+      case StageAction::kIdle:
+        break;
+    }
   }
-  if (std::shared_ptr<Job> job = pop_next_locked()) {
-    ++decoding_;
-    job->timing.queue_wait_s = job->since_submit.elapsed_seconds();
-    hot_.queue_depth.set(queued_);
-    trace_.record(job->request_id, obs::SpanKind::kQueueWait, job->submit_us,
-                  job->timing.queue_wait_s * 1e6);
-    space_cv_.notify_all();  // different tenants wait on different queues
-    lock.unlock();
-    run_decode(job);
-    lock.lock();
-    --decoding_;
-    // Last decoder going idle can make the flush condition true for
-    // everyone; batches formed from the deposit also need announcing.
-    work_cv_.notify_all();
-    return true;
-  }
-  return false;
+  return StageAction::kIdle;
 }
 
-void ReconServer::worker_loop() {
+void ReconServer::worker_loop(int worker_index) {
+  const StageAction* order = worker_stage_order(worker_index);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (try_step_locked(lock)) continue;
-    if (stopping_ && queued_ == 0 && pending_.empty() && decoding_ == 0) {
+    if (try_step_locked(lock, order) != StageAction::kIdle) continue;
+    if (stopping_ && queued_ == 0 && pending_.empty() && decoding_ == 0 &&
+        assemble_ring_.empty()) {
       return;
     }
     if (!pending_.empty() && config_.max_batch_wait_s > 0.0) {
@@ -561,7 +687,7 @@ void ReconServer::run_decode(const std::shared_ptr<Job>& job) {
   }
 }
 
-void ReconServer::run_batch(FormedBatch batch) {
+void ReconServer::run_forward(FormedBatch batch) {
   const int tokens = patchify_.tokens();
   const int token_dim = batch.items.front().inflight->decoded.tokens.dim(2);
   const std::size_t per_patch =
@@ -633,7 +759,8 @@ void ReconServer::run_batch(FormedBatch batch) {
     cursor += static_cast<std::size_t>(item.count) * per_patch;
   }
 
-  std::vector<std::shared_ptr<InFlight>> finished;
+  std::size_t ring_depth = 0;
+  bool pushed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++batches_;
@@ -653,12 +780,18 @@ void ReconServer::run_batch(FormedBatch batch) {
       t.reconstruct_s += reconstruct_s;
       item.inflight->patches_remaining -= item.count;
       if (item.inflight->patches_remaining == 0) {
-        finished.push_back(item.inflight);
+        // Hand off to the assemble stage instead of finishing inline: the
+        // forward worker returns to ALU work while another worker (or the
+        // next manual step) runs the memory-bound tokens->pixels pass.
+        assemble_ring_.push_back(item.inflight);
+        pushed = true;
       }
     }
+    ring_depth = assemble_ring_.size();
   }
-  for (const std::shared_ptr<InFlight>& inflight : finished) {
-    finish_request(inflight);
+  if (pushed) {
+    ring_depth_.record(static_cast<double>(ring_depth));
+    work_cv_.notify_all();  // wake assemble-preferring workers
   }
 }
 
@@ -774,6 +907,18 @@ ServerStatsSnapshot ReconServer::stats() const {
     s.codec_pixels = codec_pixels_;
     s.queue_depth = queued_;
     s.max_queue_depth = max_queue_depth_;
+    s.pipeline_depth = config_.pipeline_depth;
+    s.assemble_ring_capacity = assemble_ring_capacity_;
+    s.ring_full_stalls = ring_full_stalls_;
+    s.stage_actions_decode = stage_actions_[0];
+    s.stage_actions_forward = stage_actions_[1];
+    s.stage_actions_assemble = stage_actions_[2];
+    s.stage_busy_decode_s = stage_busy_s_[0];
+    s.stage_busy_forward_s = stage_busy_s_[1];
+    s.stage_busy_assemble_s = stage_busy_s_[2];
+    s.shaped_batch_fp32 = shaped_max_patches_fp32_;
+    s.shaped_batch_int8 = shaped_max_patches_int8_;
+    s.llc_budget_bytes = llc_budget_;
     for (const auto& [name, tl] : tenant_local_) {
       locals[name] = LocalCopy{tl.submitted, tl.completed, tl.failed,
                                tl.cache_hits, tl.shed_queue_full, &tl.total};
@@ -817,6 +962,7 @@ ServerStatsSnapshot ReconServer::stats() const {
   s.reconstruct_int8 = stages_.reconstruct_int8.summarize();
   s.assemble = stages_.assemble.summarize();
   s.total = stages_.total.summarize();
+  s.ring_depth = ring_depth_.summarize();
   return s;
 }
 

@@ -7,16 +7,23 @@
 //   submit()/submit_async()
 //     -> tenant admission (token bucket + inflight quota, serve/tenant.hpp)
 //     -> [per-tenant bounded queues, weighted-deficit round-robin dequeue]
-//     -> worker pool
-//          worker: cache check happened at submit; codec decode +
-//                  unsqueeze + tokenise (EaszPipeline::decode_tokens)
+//     -> staged worker pipeline (DESIGN.md §9): three explicit stage tasks
+//        connected by small bounded pools, so stage K of batch N overlaps
+//        stage K+1 of batch N-1 —
+//          DECODE   codec decode + unsqueeze + tokenise
+//                   (EaszPipeline::decode_tokens)
 //          -> [batch pool, grouped by erase mask] ->
-//          worker: one transformer forward over up to max_batch_patches
-//                  patches POOLED ACROSS REQUESTS sharing a mask — on the
-//                  grad-free tensor::kern path (DESIGN.md §4), sized by
-//                  kernel_threads — -> scatter -> finished requests
-//                  assembled, cached (sharded LRU), promises/callbacks
-//                  fulfilled.
+//          FORWARD  one transformer forward over up to max_batch_patches
+//                   patches POOLED ACROSS REQUESTS sharing a mask — on the
+//                   grad-free tensor::kern path (DESIGN.md §4), sized by
+//                   kernel_threads (and optionally shaped to the LLC, §9.2)
+//                   — then scatter
+//          -> [bounded assemble ring, capacity pipeline_depth x workers] ->
+//          ASSEMBLE tokens -> pixels -> deblock, cached (sharded LRU),
+//                   promises/callbacks fulfilled.
+//        Workers specialize by stage (index mod 3 picks which stage they
+//        try first) but steal across stages whenever their preferred stage
+//        has no runnable work, so the pool stays work-conserving.
 //
 // Why cross-request batching is sound: per-patch transformer outputs are
 // independent of batch composition (see ReconstructionModel::reconstruct),
@@ -80,6 +87,18 @@ enum class BackpressurePolicy {
 /// and cache entries never mix precisions.
 enum class PrecisionPolicy { kFp32, kInt8, kAuto };
 
+/// One scheduler action of the staged decode pipeline. step_stage() reports
+/// which stage it ran so the deterministic harness (and the per-stage
+/// perf-counter bench) can attribute work action by action.
+enum class StageAction {
+  kIdle = 0,  ///< nothing runnable
+  kDecode,    ///< dequeued one request, decoded it into the batch pool
+  kForward,   ///< pooled one batch, ran the transformer forward, scattered
+  kAssemble,  ///< popped one finished request off the ring, delivered it
+};
+
+[[nodiscard]] const char* stage_action_name(StageAction action);
+
 struct ServerConfig {
   /// Worker threads (decode + reconstruct). 0 = manual scheduling mode: no
   /// threads start and the caller pumps the scheduler via step(). Manual
@@ -119,6 +138,27 @@ struct ServerConfig {
   /// retained and exportable as Chrome trace JSON via trace()). 0 turns
   /// tracing off entirely; request ids are still minted.
   int trace_spans = 4096;
+  /// Forward→assemble pipeline depth: how many fully-reconstructed requests
+  /// may park in the bounded assemble ring per worker (capacity =
+  /// pipeline_depth x max(1, workers)). 1 forces near-lockstep stages (a
+  /// forward stalls until the previous batch's requests are assembled);
+  /// 2-3 lets the ALU-bound forward of batch N overlap the memory-bound
+  /// assemble of batch N-1. Output bytes are identical at every depth.
+  int pipeline_depth = 2;
+  /// Pin serve workers (and the tensor::kern pool) round-robin across the
+  /// CPUs in this process's affinity set, so a stage-specialized worker
+  /// keeps its slot tables / packed-B tiles in one core's private caches.
+  /// Graceful no-op on platforms without thread affinity.
+  bool pin_workers = false;
+  /// Shape max_batch_patches down so the forward's working set (weights +
+  /// packed-B tiles + activations + slot tables — see serve/cache_budget.hpp)
+  /// stays LLC-resident. Shaping is per precision: an int8 tenant pool
+  /// affords a larger batch than fp32 inside the same cache. Off by
+  /// default; output bytes are identical either way.
+  bool shape_batches_to_llc = false;
+  /// LLC size the shaper budgets against. 0 = detect via sysfs/sysconf,
+  /// falling back to CacheBudget::kDefaultLlcBytes when undetectable.
+  std::size_t llc_bytes = 0;
 };
 
 /// One edge upload: the wire blob plus the codec that produced its payload
@@ -206,12 +246,25 @@ class ReconServer {
   /// manual scheduling mode (workers == 0) this pumps step() instead.
   void drain();
 
-  /// Manual scheduling mode only (workers == 0): runs ONE scheduler action
-  /// — launch a ready batch, else decode one dequeued request — on the
-  /// calling thread. Returns false when there is nothing to do. The
-  /// deterministic harness interleaves step() with virtual-clock advances
-  /// to replay any schedule it wants, byte-for-byte reproducibly.
+  /// Manual scheduling mode only (workers == 0): runs EXACTLY ONE
+  /// pipeline-stage action — assemble one finished request if the ring
+  /// holds any, else launch one ready batch's forward, else decode one
+  /// dequeued request (that fixed priority makes trajectories replayable)
+  /// — on the calling thread and reports which stage ran. kIdle means
+  /// there was nothing to do. The deterministic harness interleaves
+  /// step_stage() with virtual-clock advances to replay any schedule it
+  /// wants, byte-for-byte reproducibly.
+  StageAction step_stage();
+
+  /// step_stage() != kIdle — the classic pump-until-idle driver.
   bool step();
+
+  /// Effective per-forward patch budget for `precision` after LLC shaping
+  /// (== config().max_batch_patches when shape_batches_to_llc is off).
+  [[nodiscard]] int shaped_batch_patches(nn::Precision precision) const;
+
+  /// LLC size the batch shaper budgeted against (0 when shaping is off).
+  [[nodiscard]] std::size_t llc_budget_bytes() const { return llc_budget_; }
 
   /// Tenant table (add/inspect at any time; see serve/tenant.hpp).
   [[nodiscard]] TenantRegistry& tenants() { return tenants_; }
@@ -314,10 +367,13 @@ class ReconServer {
   [[nodiscard]] nn::Precision resolve_precision(
       const std::string& resolved_tenant) const;
 
-  void worker_loop();
-  // Runs one scheduler action if any is ready; `lock` must hold mu_ and is
-  // released around the action. Returns false when nothing was runnable.
-  bool try_step_locked(std::unique_lock<std::mutex>& lock);
+  void worker_loop(int worker_index);
+  // Runs one pipeline-stage action if any is ready, trying stages in
+  // `order` (a 3-element preference array — the stage-specialization /
+  // work-stealing policy); `lock` must hold mu_ and is released around the
+  // action. Returns the stage that ran, kIdle when nothing was runnable.
+  StageAction try_step_locked(std::unique_lock<std::mutex>& lock,
+                              const StageAction* order);
   SubmitStatus submit_job(const std::shared_ptr<Job>& job);
   void deliver_response(Job& job, ServeResponse response);
   void deliver_error(Job& job, std::exception_ptr error);
@@ -331,7 +387,11 @@ class ReconServer {
   [[nodiscard]] std::shared_ptr<Job> pop_next_locked();
 
   void run_decode(const std::shared_ptr<Job>& job);
-  void run_batch(FormedBatch batch);
+  // Forward stage: pool, reconstruct, scatter. Requests whose last patches
+  // landed are pushed onto the assemble ring, NOT finished inline — that is
+  // the next stage's job (and possibly another worker's).
+  void run_forward(FormedBatch batch);
+  // Assemble stage body (tokens -> pixels -> cache -> deliver).
   void finish_request(const std::shared_ptr<InFlight>& inflight);
   void fail_request(const std::shared_ptr<Job>& job, std::exception_ptr error);
 
@@ -392,6 +452,28 @@ class ReconServer {
   int max_queue_depth_ = 0;
   bool stopping_ = false;
 
+  // Forward -> assemble inter-stage ring (guarded by mu_): requests whose
+  // last patches were scattered, waiting for an assemble-stage action.
+  // Bounded at pipeline_depth x max(1, workers) requests — a forward only
+  // LAUNCHES while the ring has room (one batch may overshoot by its own
+  // rider count), which backpressures the ALU stages when assembly lags
+  // instead of letting finished token tensors pile up unboundedly.
+  std::deque<std::shared_ptr<InFlight>> assemble_ring_;
+  std::size_t assemble_ring_capacity_ = 1;
+  std::uint64_t ring_full_stalls_ = 0;  // forwards skipped on a full ring
+
+  // LLC-shaped per-precision forward budgets (== max_batch_patches when
+  // shaping is off). Immutable after construction.
+  int shaped_max_patches_fp32_ = 0;
+  int shaped_max_patches_int8_ = 0;
+  std::size_t llc_budget_ = 0;
+
+  // Per-stage pipeline telemetry (guarded by mu_): how many actions each
+  // stage ran and how long the pool spent inside them — occupancy =
+  // busy_s / (workers x wall) is the bench's pipeline-health headline.
+  std::uint64_t stage_actions_[3] = {0, 0, 0};  // decode, forward, assemble
+  double stage_busy_s_[3] = {0.0, 0.0, 0.0};
+
   // Counters (guarded by mu_; read via stats()).
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
@@ -408,6 +490,10 @@ class ReconServer {
         reconstruct_int8, assemble, total;
   };
   Stages stages_;
+  // Assemble-ring depth sampled after every forward-stage push (unit:
+  // requests, not seconds). p95 pinned near capacity means assembly is the
+  // bottleneck; near zero means the pipeline never filled.
+  StageStats ring_depth_;
 
   std::vector<std::thread> workers_;
 };

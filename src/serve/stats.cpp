@@ -161,6 +161,25 @@ std::string ServerStatsSnapshot::to_string() const {
   std::snprintf(buf, sizeof(buf), "queue: depth %d now, %d peak\n", queue_depth,
                 max_queue_depth);
   out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "pipeline: depth %d (ring cap %llu), actions "
+                "%llu decode / %llu forward / %llu assemble, "
+                "%llu ring-full stalls, ring depth p50 %.1f p95 %.1f\n",
+                pipeline_depth,
+                static_cast<unsigned long long>(assemble_ring_capacity),
+                static_cast<unsigned long long>(stage_actions_decode),
+                static_cast<unsigned long long>(stage_actions_forward),
+                static_cast<unsigned long long>(stage_actions_assemble),
+                static_cast<unsigned long long>(ring_full_stalls),
+                ring_depth.p50_s, ring_depth.p95_s);
+  out += buf;
+  if (llc_budget_bytes > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "llc shaping: budget %.1f MB -> batch %d fp32 / %d int8\n",
+                  static_cast<double>(llc_budget_bytes) / (1 << 20),
+                  shaped_batch_fp32, shaped_batch_int8);
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf), "codec decode: %.2f MP/s (%llu pixels)\n",
                 codec_decode_mpps(),
                 static_cast<unsigned long long>(codec_pixels));
@@ -209,6 +228,27 @@ std::string ServerStatsSnapshot::to_json() const {
       precision.c_str(), kernel_threads,
       static_cast<unsigned long long>(codec_pixels),
       codec_decode_mpps(), queue_depth, max_queue_depth);
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"pipeline\":{\"depth\":%d,\"ring_capacity\":%llu,"
+      "\"ring_full_stalls\":%llu,"
+      "\"actions\":{\"decode\":%llu,\"forward\":%llu,\"assemble\":%llu},"
+      "\"busy_s\":{\"decode\":%.6f,\"forward\":%.6f,\"assemble\":%.6f},"
+      "\"ring_depth\":{\"count\":%llu,\"p50\":%.2f,\"p95\":%.2f,"
+      "\"max\":%.2f}},"
+      "\"llc_shaping\":{\"budget_bytes\":%llu,\"batch_fp32\":%d,"
+      "\"batch_int8\":%d},",
+      pipeline_depth, static_cast<unsigned long long>(assemble_ring_capacity),
+      static_cast<unsigned long long>(ring_full_stalls),
+      static_cast<unsigned long long>(stage_actions_decode),
+      static_cast<unsigned long long>(stage_actions_forward),
+      static_cast<unsigned long long>(stage_actions_assemble),
+      stage_busy_decode_s, stage_busy_forward_s, stage_busy_assemble_s,
+      static_cast<unsigned long long>(ring_depth.count), ring_depth.p50_s,
+      ring_depth.p95_s, ring_depth.max_s,
+      static_cast<unsigned long long>(llc_budget_bytes), shaped_batch_fp32,
+      shaped_batch_int8);
   out += buf;
   out += "\"tenants\":[";
   for (std::size_t i = 0; i < tenants.size(); ++i) {

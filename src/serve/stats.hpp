@@ -129,6 +129,28 @@ struct ServerStatsSnapshot {
   int max_queue_depth = 0;
   int queue_depth = 0;  ///< at snapshot time
 
+  // Staged pipeline health (DESIGN.md §9). Stage occupancy of stage S is
+  // stage_busy_S_s / (workers x wall) — the bench computes it since only
+  // the bench knows the wall window.
+  int pipeline_depth = 1;
+  std::size_t assemble_ring_capacity = 0;  ///< in requests
+  std::uint64_t ring_full_stalls = 0;  ///< forwards skipped on a full ring
+  std::uint64_t stage_actions_decode = 0;
+  std::uint64_t stage_actions_forward = 0;
+  std::uint64_t stage_actions_assemble = 0;
+  double stage_busy_decode_s = 0.0;
+  double stage_busy_forward_s = 0.0;
+  double stage_busy_assemble_s = 0.0;
+  /// Assemble-ring depth sampled after every forward push (requests).
+  StageSummary ring_depth;
+
+  // LLC-conscious batch shaping (serve/cache_budget.hpp). When shaping is
+  // off both shaped sizes equal max_batch_patches and llc_budget_bytes
+  // is 0.
+  int shaped_batch_fp32 = 0;
+  int shaped_batch_int8 = 0;
+  std::size_t llc_budget_bytes = 0;
+
   /// Per-tenant breakdown, name-ordered. Always contains at least the
   /// default tenant once it has seen traffic.
   std::vector<TenantStatsSnapshot> tenants;

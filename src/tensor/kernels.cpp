@@ -11,12 +11,26 @@
 
 #include "obs/registry.hpp"
 #include "tensor/kern_math.hpp"
+#include "util/affinity.hpp"
 
 namespace easz::tensor::kern {
 
 // ---- thread pool ----------------------------------------------------------
 
 namespace {
+
+// One idle-spin step: keep the core's pipeline polite while watching the
+// job epoch, without yielding the timeslice (the whole point of spinning
+// is sub-microsecond wakeup for the next GEMM burst).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
 
 // Pool telemetry (obs::Registry::global(), DESIGN.md §8.2). References are
 // resolved once — recording is a single relaxed atomic add, cheap enough
@@ -27,6 +41,11 @@ namespace {
 //                            on the calling lane — steal ratio gauges how
 //                            well GEMM panels actually spread)
 //   kern.pool.idle_waits     times a worker found the queue empty and slept
+//   kern.pool.parked         workers currently parked on the cv (gauge) —
+//                            lanes_-1 at rest, dipping toward 0 under load;
+//                            spinning lanes are NOT parked, so a steady
+//                            nonzero dip with no jobs means the spin window
+//                            is too long
 struct PoolMetrics {
   obs::Counter& jobs = obs::Registry::global().counter("kern.pool.jobs");
   obs::Counter& inline_jobs =
@@ -35,6 +54,7 @@ struct PoolMetrics {
       obs::Registry::global().counter("kern.pool.chunks_stolen");
   obs::Counter& idle_waits =
       obs::Registry::global().counter("kern.pool.idle_waits");
+  obs::Gauge& parked = obs::Registry::global().gauge("kern.pool.parked");
 };
 
 PoolMetrics& pool_metrics() {
@@ -80,6 +100,16 @@ class Pool {
     spawn_workers();
   }
 
+  void set_pin(bool pin) {
+    std::lock_guard<std::mutex> resize_lock(resize_mu_);
+    if (pin == pin_.load(std::memory_order_relaxed)) return;
+    stop_workers();
+    pin_.store(pin, std::memory_order_relaxed);
+    spawn_workers();
+  }
+
+  bool pinned() const { return pin_.load(std::memory_order_relaxed); }
+
   void run(Job& job) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -90,6 +120,9 @@ class Pool {
       }
       tail_ = &job;
     }
+    // Release-publish the enqueue to spinning lanes: a spinner that sees
+    // the new epoch relocks and finds the job without a cv round trip.
+    job_epoch_.fetch_add(1, std::memory_order_release);
     cv_.notify_all();
 
     // The caller is a lane too: claim panels from its own job until none
@@ -110,18 +143,18 @@ class Pool {
   Pool() : lanes_(default_threads()) { spawn_workers(); }
 
   void spawn_workers() {
-    stop_ = false;
+    stop_.store(false, std::memory_order_relaxed);
     const int n = lanes() - 1;
     workers_.reserve(static_cast<std::size_t>(std::max(0, n)));
     for (int i = 0; i < n; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i); });
     }
   }
 
   void stop_workers() {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
+      stop_.store(true, std::memory_order_release);
     }
     cv_.notify_all();
     for (std::thread& t : workers_) t.join();
@@ -157,13 +190,51 @@ class Pool {
     }
   }
 
-  void worker_loop() {
+  // A lane with no queued work spins this many relax iterations watching
+  // the job epoch before parking on the cv. GEMM jobs arrive in bursts a
+  // few microseconds apart during a pooled forward; a parked lane pays a
+  // futex wake + scheduler hop per job, a spinning lane picks the next one
+  // up in nanoseconds. The bound keeps a stage-idle pipeline worker's
+  // lanes (serve, DESIGN.md §9.1) from burning cycles the busy stage needs:
+  // ~4k pauses is a handful of microseconds, then the lane parks for real.
+  static constexpr int kIdleSpins = 4096;
+
+  void worker_loop(int lane_index) {
+    if (pin_.load(std::memory_order_relaxed)) {
+      // Lane 0 is whatever thread calls run(); offset so dedicated lanes
+      // spread over the remaining allowed CPUs. Best-effort by contract.
+      util::pin_current_thread_to_cpu(lane_index + 1);
+    }
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
-      if (head_ == nullptr && !stop_) pool_metrics().idle_waits.add();
-      cv_.wait(lock, [this] { return stop_ || head_ != nullptr; });
-      if (stop_) return;
+      if (head_ == nullptr && !stop_.load(std::memory_order_relaxed)) {
+        // Bounded spin-then-park: drop the lock, watch the epoch.
+        const std::uint64_t epoch =
+            job_epoch_.load(std::memory_order_relaxed);
+        lock.unlock();
+        bool signalled = false;
+        for (int spin = 0; spin < kIdleSpins; ++spin) {
+          if (job_epoch_.load(std::memory_order_acquire) != epoch ||
+              stop_.load(std::memory_order_acquire)) {
+            signalled = true;
+            break;
+          }
+          cpu_relax();
+        }
+        lock.lock();
+        if (!signalled && head_ == nullptr &&
+            !stop_.load(std::memory_order_relaxed)) {
+          pool_metrics().idle_waits.add();
+          pool_metrics().parked.add(1);
+          cv_.wait(lock, [this] {
+            return stop_.load(std::memory_order_relaxed) || head_ != nullptr;
+          });
+          pool_metrics().parked.add(-1);
+        }
+      }
+      if (stop_.load(std::memory_order_relaxed)) return;
       Job* job = head_;
+      if (job == nullptr) continue;
       const int i = job->next_claim++;
       if (i >= job->count) {
         // Exhausted: pop and look for the next job. In-flight chunks of
@@ -181,12 +252,16 @@ class Pool {
   }
 
   std::atomic<int> lanes_;
+  std::atomic<bool> pin_{false};
+  // Bumped (release) on every enqueue so spinning lanes detect new work
+  // without taking mu_; stop_ is atomic for the same lock-free spin reads.
+  std::atomic<std::uint64_t> job_epoch_{0};
+  std::atomic<bool> stop_{false};
   std::mutex resize_mu_;
   std::mutex mu_;
   std::condition_variable cv_;
   Job* head_ = nullptr;
   Job* tail_ = nullptr;
-  bool stop_ = false;
   std::vector<std::thread> workers_;
 };
 
@@ -200,6 +275,10 @@ int default_threads() {
 void set_threads(int n) { Pool::instance().resize(n); }
 
 int threads() { return Pool::instance().lanes(); }
+
+void set_pin_threads(bool pin) { Pool::instance().set_pin(pin); }
+
+bool pin_threads() { return Pool::instance().pinned(); }
 
 namespace detail {
 

@@ -55,6 +55,16 @@ void set_threads(int n);
 /// Current total concurrency.
 int threads();
 
+/// Pin (or unpin) the pool's dedicated lanes round-robin across the
+/// process's allowed CPUs (util/affinity.hpp). Joins and respawns workers
+/// like set_threads — never call concurrently with parallel_for. Graceful
+/// no-op on platforms without thread affinity; the serve runtime enables
+/// this via ServerConfig::pin_workers.
+void set_pin_threads(bool pin);
+
+/// Whether lane pinning is currently requested (not whether it succeeded).
+bool pin_threads();
+
 namespace detail {
 void parallel_for_impl(int count, void (*fn)(void*, int), void* ctx);
 }  // namespace detail

@@ -1,0 +1,68 @@
+#include "util/affinity.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <vector>
+#endif
+
+namespace easz::util {
+
+#if defined(__linux__)
+
+namespace {
+
+// The process's allowed CPUs, in index order. cgroup/taskset restrictions
+// make "cpu i" and "the i-th allowed cpu" different things; pinning must
+// honour the mask or setaffinity fails outright inside containers.
+std::vector<int> allowed_cpus() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) != 0) return {};
+  std::vector<int> cpus;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &set)) cpus.push_back(cpu);
+  }
+  return cpus;
+}
+
+bool pin_native(pthread_t handle, int cpu) {
+  const std::vector<int> cpus = allowed_cpus();
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpus[static_cast<std::size_t>(cpu) % cpus.size()], &set);
+  return pthread_setaffinity_np(handle, sizeof(set), &set) == 0;
+}
+
+}  // namespace
+
+int affinity_cpu_count() {
+  const std::vector<int> cpus = allowed_cpus();
+  if (!cpus.empty()) return static_cast<int>(cpus.size());
+  return static_cast<int>(std::thread::hardware_concurrency());
+}
+
+bool pin_thread_to_cpu(std::thread& thread, int cpu) {
+  if (cpu < 0 || !thread.joinable()) return false;
+  return pin_native(thread.native_handle(), cpu);
+}
+
+bool pin_current_thread_to_cpu(int cpu) {
+  if (cpu < 0) return false;
+  return pin_native(pthread_self(), cpu);
+}
+
+#else  // graceful no-op elsewhere (macOS has no public setaffinity)
+
+int affinity_cpu_count() {
+  return static_cast<int>(std::thread::hardware_concurrency());
+}
+
+bool pin_thread_to_cpu(std::thread&, int) { return false; }
+
+bool pin_current_thread_to_cpu(int) { return false; }
+
+#endif
+
+}  // namespace easz::util

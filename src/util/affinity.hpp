@@ -1,0 +1,27 @@
+// Thread/CPU affinity helpers (DESIGN.md §9.3).
+//
+// Pinning is a HINT everywhere it is used: every function here degrades to
+// a harmless no-op (returning false / 0) on platforms without a thread
+// affinity API, and callers must not change behaviour on failure. The serve
+// runtime pins its stage workers and the tensor::kern lanes round-robin so
+// a worker's slot tables and packed-B tiles stay in one core's private
+// caches instead of bouncing with the scheduler.
+#pragma once
+
+#include <thread>
+
+namespace easz::util {
+
+/// CPUs available to this process (its affinity mask when the platform
+/// exposes one, else hardware_concurrency). 0 when even that is unknown.
+[[nodiscard]] int affinity_cpu_count();
+
+/// Pins `thread` to logical CPU `cpu` (index into the process's affinity
+/// set). Returns true on success, false on failure or unsupported
+/// platforms — callers treat both the same.
+bool pin_thread_to_cpu(std::thread& thread, int cpu);
+
+/// Pins the calling thread. Same contract as pin_thread_to_cpu.
+bool pin_current_thread_to_cpu(int cpu);
+
+}  // namespace easz::util

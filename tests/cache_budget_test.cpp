@@ -1,0 +1,154 @@
+// CacheBudget: the analytic LLC working-set model behind serve batch
+// shaping (DESIGN.md §9.2). Everything here is integer arithmetic on a
+// configured LLC size, so the tests pin exact values: a hand-built
+// footprint shapes to a hand-computable batch, clamps hold at both
+// extremes (model dwarfed by / dwarfing the cache), and the per-precision
+// split affords int8 deployments a strictly-larger-or-equal batch than
+// fp32 inside the same cache. detect_llc_bytes() is deliberately NOT
+// asserted against a value — it is machine-dependent; only its contract
+// (never negative, callers substitute defaults for 0) matters.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "serve/cache_budget.hpp"
+
+namespace easz::serve {
+namespace {
+
+// Round-number footprint so expected batches are mental arithmetic.
+ModelFootprint toy_footprint() {
+  ModelFootprint f;
+  f.weight_bytes_fp32 = 500'000;
+  f.weight_bytes_int8 = 160'000;
+  f.act_bytes_per_patch_fp32 = 10'000;
+  f.act_bytes_per_patch_int8 = 12'000;
+  f.fixed_overhead_bytes = 50'000;
+  return f;
+}
+
+core::ReconModelConfig paper_d256_config() {
+  core::ReconModelConfig cfg;
+  cfg.patchify = {.patch = 16, .sub_patch = 4};
+  cfg.channels = 3;
+  cfg.d_model = 256;
+  cfg.num_heads = 8;
+  cfg.ffn_hidden = 1024;
+  return cfg;
+}
+
+TEST(CacheBudgetTest, ShapesDeterministicBatchFromConfiguredLlc) {
+  // llc 1MB (decimal for easy math): budget = 1'000'000 / 100 * 75
+  // = 750'000. Base fp32 working set = 500'000 + 50'000 = 550'000, leaving
+  // 200'000 bytes => exactly 20 patches at 10'000 bytes each.
+  const CacheBudget budget(toy_footprint(), 1'000'000);
+  EXPECT_EQ(budget.llc_bytes(), 1'000'000U);
+  EXPECT_EQ(budget.budget_bytes(), 750'000U);
+  EXPECT_EQ(budget.working_set_bytes(0, nn::Precision::kFp32), 550'000U);
+  EXPECT_EQ(budget.working_set_bytes(20, nn::Precision::kFp32), 750'000U);
+
+  EXPECT_EQ(budget.shape_batch(64, nn::Precision::kFp32), 20);
+  // The cap is a ceiling, not a target: smaller requests pass through.
+  EXPECT_EQ(budget.shape_batch(8, nn::Precision::kFp32), 8);
+  EXPECT_EQ(budget.shape_batch(20, nn::Precision::kFp32), 20);
+  // Degenerate request sizes clamp to at least one patch.
+  EXPECT_EQ(budget.shape_batch(0, nn::Precision::kFp32), 1);
+  EXPECT_EQ(budget.shape_batch(-5, nn::Precision::kFp32), 1);
+
+  // Same inputs, fresh instance: identical answer (no hidden state).
+  const CacheBudget again(toy_footprint(), 1'000'000);
+  EXPECT_EQ(again.shape_batch(64, nn::Precision::kFp32), 20);
+}
+
+TEST(CacheBudgetTest, WorkingSetIsAffineInBatchSize) {
+  const CacheBudget budget(toy_footprint(), 1'000'000);
+  const std::size_t base = budget.working_set_bytes(0, nn::Precision::kInt8);
+  for (int b : {1, 3, 17, 128}) {
+    EXPECT_EQ(budget.working_set_bytes(b, nn::Precision::kInt8),
+              base + static_cast<std::size_t>(b) * 12'000U);
+  }
+}
+
+TEST(CacheBudgetTest, TinyModelNeverShapesAboveRequest) {
+  // A model that vanishes inside the LLC must not inflate the batch past
+  // what the scheduler asked for — shaping only ever shrinks.
+  ModelFootprint f;
+  f.weight_bytes_fp32 = 4'096;
+  f.weight_bytes_int8 = 2'048;
+  f.act_bytes_per_patch_fp32 = 64;
+  f.act_bytes_per_patch_int8 = 80;
+  const CacheBudget budget(f, 32ULL << 20);
+  EXPECT_EQ(budget.shape_batch(1, nn::Precision::kFp32), 1);
+  EXPECT_EQ(budget.shape_batch(48, nn::Precision::kFp32), 48);
+  EXPECT_EQ(budget.shape_batch(48, nn::Precision::kInt8), 48);
+}
+
+TEST(CacheBudgetTest, HugeModelClampsToSinglePatch) {
+  // Weights alone overflow the cache: no batch size is cache-resident, so
+  // shaping returns 1 (per-patch forwards would add overhead, not hits).
+  ModelFootprint f;
+  f.weight_bytes_fp32 = 512ULL << 20;
+  f.weight_bytes_int8 = 128ULL << 20;
+  f.act_bytes_per_patch_fp32 = 1 << 20;
+  f.act_bytes_per_patch_int8 = 1 << 20;
+  const CacheBudget budget(f, 8ULL << 20);
+  EXPECT_EQ(budget.shape_batch(1, nn::Precision::kFp32), 1);
+  EXPECT_EQ(budget.shape_batch(1024, nn::Precision::kFp32), 1);
+  EXPECT_EQ(budget.shape_batch(1024, nn::Precision::kInt8), 1);
+}
+
+TEST(CacheBudgetTest, ZeroLlcFallsBackToDefault) {
+  const CacheBudget budget(toy_footprint(), 0);
+  EXPECT_EQ(budget.llc_bytes(), CacheBudget::kDefaultLlcBytes);
+  EXPECT_GT(budget.shape_batch(1 << 20, nn::Precision::kFp32), 1);
+}
+
+TEST(CacheBudgetTest, AnalyticFootprintOrdersPrecisionsAndScales) {
+  const ModelFootprint d256 = CacheBudget::footprint_of(paper_d256_config());
+  // int8 parks ~4x fewer Linear-weight bytes but pays extra activation
+  // bytes for the u8 A-copies.
+  EXPECT_LT(d256.weight_bytes_int8, d256.weight_bytes_fp32);
+  EXPECT_GT(d256.act_bytes_per_patch_int8, d256.act_bytes_per_patch_fp32);
+  EXPECT_GT(d256.weight_bytes_fp32, 0U);
+  EXPECT_GT(d256.fixed_overhead_bytes, 0U);
+
+  // Monotone in model width: the shaping decision only needs ranking.
+  core::ReconModelConfig small = paper_d256_config();
+  small.d_model = 64;
+  small.ffn_hidden = 256;
+  const ModelFootprint d64 = CacheBudget::footprint_of(small);
+  EXPECT_LT(d64.weight_bytes_fp32, d256.weight_bytes_fp32);
+  EXPECT_LT(d64.act_bytes_per_patch_fp32, d256.act_bytes_per_patch_fp32);
+}
+
+TEST(CacheBudgetTest, MixedTenantShapingIsPerPrecision) {
+  // The serve scheduler keys pending batches by (shape, precision); each
+  // group is shaped with ITS precision. With the paper-scale model in a
+  // cache it does not trivially fit, the int8 group affords at least the
+  // fp32 batch — usually strictly more, since 4x fewer weight bytes are
+  // resident.
+  const ModelFootprint f = CacheBudget::footprint_of(paper_d256_config());
+  const CacheBudget budget(f, 8ULL << 20);
+  const int fp32 = budget.shape_batch(256, nn::Precision::kFp32);
+  const int int8 = budget.shape_batch(256, nn::Precision::kInt8);
+  EXPECT_GE(fp32, 1);
+  EXPECT_LE(fp32, 256);
+  EXPECT_GE(int8, fp32);
+
+  // And both react to the cache actually shrinking: a quarter of the LLC
+  // shapes no larger batches than the full LLC.
+  const CacheBudget quarter(f, 2ULL << 20);
+  EXPECT_LE(quarter.shape_batch(256, nn::Precision::kFp32), fp32);
+  EXPECT_LE(quarter.shape_batch(256, nn::Precision::kInt8), int8);
+}
+
+TEST(CacheBudgetTest, DetectReturnsZeroOrPlausibleSize) {
+  const std::size_t detected = CacheBudget::detect_llc_bytes();
+  if (detected != 0) {
+    EXPECT_GE(detected, 64ULL << 10);   // no L2/L3 smaller than 64KB
+    EXPECT_LE(detected, 4096ULL << 20); // nor larger than 4GB
+  }
+}
+
+}  // namespace
+}  // namespace easz::serve

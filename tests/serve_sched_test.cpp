@@ -36,6 +36,7 @@
 #include "serve/server.hpp"
 #include "serve/stats.hpp"
 #include "serve/tenant.hpp"
+#include "tensor/kernels.hpp"
 #include "testbed/loadgen.hpp"
 #include "util/prng.hpp"
 
@@ -439,11 +440,20 @@ TEST(ServeSchedTest, AgeTriggerFiresOnVirtualClockAdvance) {
   EXPECT_EQ(server.stats().completed, 0U);
 
   // Advance past the linger window: the next step must LAUNCH the aged
-  // group (a completion appears) even though the queue is non-empty.
+  // group's forward (a batch appears) even though the queue is non-empty.
+  // Under the staged pipeline the forward does NOT complete the request —
+  // it parks it on the assemble ring for the next stage action.
   fx.clock.t = 5.1;
-  ASSERT_TRUE(server.step());
+  EXPECT_EQ(server.step_stage(), StageAction::kForward);
   EXPECT_EQ(server.stats().queue_depth, 1);  // no decode happened
-  EXPECT_GE(server.stats().completed, 1U);
+  EXPECT_EQ(server.stats().completed, 0U);
+  EXPECT_EQ(server.stats().batches, 1U);
+
+  // The very next step must be the assemble stage (it outranks decode in
+  // the manual order), and only now does the completion appear.
+  EXPECT_EQ(server.step_stage(), StageAction::kAssemble);
+  EXPECT_EQ(server.stats().queue_depth, 1);
+  EXPECT_EQ(server.stats().completed, 1U);
 
   server.drain();
   for (auto& f : futures) EXPECT_NO_THROW(f.get());
@@ -464,9 +474,99 @@ TEST(ServeSchedTest, StepRequiresManualModeAndDrainsToIdle) {
       stepped.submit(fx.make_request(test_image(32, 32, 700), "")).accepted);
   int steps = 0;
   while (stepped.step()) ++steps;
-  EXPECT_GE(steps, 2);  // at least one decode + one batch
+  EXPECT_GE(steps, 3);  // at least one decode + one forward + one assemble
   EXPECT_EQ(stepped.stats().completed, 1U);
   EXPECT_EQ(stepped.stats().queue_depth, 0);
+}
+
+// ---------------------------------------------- staged pipeline, scripted
+
+// One pipeline-stage action per step(), in a replayable order: the same
+// submit sequence on a frozen clock yields the exact same stage-action
+// trajectory on every run, the trajectory shows the staged shape (all
+// decodes, then forward/assemble alternating — assemble outranks decode in
+// the manual order), and the outputs stay byte-identical to sequential
+// decode at every pipeline depth.
+TEST(ServeSchedTest, PipelineStepTrajectoryIsReplayableAndStaged) {
+  SchedFixture fx;
+  constexpr int kRequests = 3;
+  std::vector<ServeRequest> requests;
+  std::vector<image::Image> expected;
+  for (int i = 0; i < kRequests; ++i) {
+    // Three distinct mask groups: each request is its own batch, so the
+    // trajectory exercises three full forward+assemble rounds.
+    ServeRequest r =
+        fx.make_request(test_image(32, 32, 300 + i), "", 1,
+                        core::SqueezeAxis::kHorizontal, /*mask_seed=*/70 + i);
+    expected.push_back(fx.sequential_decode(r));
+    requests.push_back(std::move(r));
+  }
+
+  auto run = [&](int depth) {
+    ServerConfig cfg = fx.manual_config();
+    cfg.pipeline_depth = depth;
+    // Linger window + frozen clock: deposits park until the queue drains,
+    // so the trajectory's decode and forward phases separate cleanly.
+    cfg.max_batch_wait_s = 100.0;
+    cfg.max_batch_patches = 1 << 20;
+    ReconServer server(cfg, fx.model);
+    server.register_codec("jpeg", &fx.jpeg);
+    std::vector<std::future<ServeResponse>> futures;
+    for (const ServeRequest& r : requests) {
+      SubmitResult res = server.submit(r);
+      EXPECT_TRUE(res.accepted);
+      futures.push_back(std::move(res.response));
+    }
+    std::vector<StageAction> trajectory;
+    std::uint64_t completed_before = 0;
+    for (;;) {
+      const StageAction action = server.step_stage();
+      if (action == StageAction::kIdle) break;
+      trajectory.push_back(action);
+      // Exactly-one-action-per-call: a completion can only appear across a
+      // step that ran the assemble stage, and then exactly one.
+      const std::uint64_t completed = server.stats().completed;
+      if (action == StageAction::kAssemble) {
+        EXPECT_EQ(completed, completed_before + 1);
+      } else {
+        EXPECT_EQ(completed, completed_before);
+      }
+      completed_before = completed;
+    }
+    std::vector<image::Image> images;
+    for (auto& f : futures) images.push_back(*f.get().image);
+    const ServerStatsSnapshot s = server.stats();
+    EXPECT_EQ(s.stage_actions_decode, static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(s.stage_actions_forward, s.batches);
+    EXPECT_EQ(s.stage_actions_assemble, static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(s.pipeline_depth, depth);
+    return std::make_pair(trajectory, images);
+  };
+
+  for (const int depth : {1, 2, 3}) {
+    const auto [trajectory, images] = run(depth);
+    // Scripted shape: the flush condition holds back every batch until the
+    // queue is empty, so the trajectory is 3 decodes, then alternating
+    // forward/assemble (assemble preferred the moment the ring is
+    // non-empty) — at EVERY depth, because the manual order drains the
+    // ring before launching the next forward.
+    const std::vector<StageAction> want = {
+        StageAction::kDecode,   StageAction::kDecode, StageAction::kDecode,
+        StageAction::kForward,  StageAction::kAssemble,
+        StageAction::kForward,  StageAction::kAssemble,
+        StageAction::kForward,  StageAction::kAssemble};
+    EXPECT_EQ(trajectory, want) << "depth=" << depth;
+    // Replay: the identical submit sequence yields the identical
+    // trajectory AND identical bytes.
+    const auto [replayed, replay_images] = run(depth);
+    EXPECT_EQ(replayed, trajectory) << "depth=" << depth;
+    for (int i = 0; i < kRequests; ++i) {
+      EXPECT_EQ(images[i].data(), expected[i].data())
+          << "depth=" << depth << " request " << i;
+      EXPECT_EQ(replay_images[i].data(), expected[i].data())
+          << "depth=" << depth << " request " << i;
+    }
+  }
 }
 
 // ----------------------------------------------- byte-identity, threaded
@@ -492,18 +592,91 @@ TEST(ServeSchedTest, ByteIdenticalToSequentialDecodeAt148Workers) {
     requests.push_back(std::move(r));
   }
 
+  // Every (worker count x pipeline depth) combination must reproduce the
+  // sequential bytes: the staged pipeline reorders WHEN stages run, never
+  // WHAT they compute. Depth 1 runs the stages near-lockstep (a forward
+  // waits on the previous batch's assembly), depth 3 lets three windows
+  // overlap — same bytes either way.
   for (const int workers : {1, 4, 8}) {
+    for (const int depth : {1, 2, 3}) {
+      ServerConfig cfg;
+      cfg.workers = workers;
+      cfg.pipeline_depth = depth;
+      cfg.max_queue = 64;
+      cfg.max_batch_patches = 8;  // force cross-request batches
+      cfg.cache_bytes = 1ULL << 20;
+      cfg.cache_shards = 4;
+      cfg.tenants = {TenantConfig{.name = "wildlife", .weight = 3},
+                     TenantConfig{.name = "industrial", .weight = 1},
+                     TenantConfig{.name = "bulk", .weight = 2}};
+      ReconServer server(cfg, fx.model);
+      server.register_codec("jpeg", &fx.jpeg);
+
+      std::vector<std::future<ServeResponse>> futures;
+      for (const ServeRequest& r : requests) {
+        SubmitResult res = server.submit(r);
+        ASSERT_TRUE(res.accepted);
+        futures.push_back(std::move(res.response));
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        const ServeResponse resp = futures[i].get();
+        ASSERT_NE(resp.image, nullptr);
+        EXPECT_EQ(resp.image->data(), expected[i].data())
+            << "workers=" << workers << " depth=" << depth << " request "
+            << i;
+      }
+
+      // Second pass rides the sharded cache and must stay byte-identical.
+      for (int i = 0; i < kRequests; ++i) {
+        const ServeResponse resp = server.submit(requests[i]).response.get();
+        EXPECT_TRUE(resp.cache_hit);
+        EXPECT_EQ(resp.image->data(), expected[i].data());
+      }
+      const ServerStatsSnapshot s = server.stats();
+      EXPECT_EQ(s.failed, 0U);
+      EXPECT_GE(s.cache_hits, static_cast<std::uint64_t>(kRequests));
+      // Every request went through exactly one assemble-stage action.
+      EXPECT_EQ(s.stage_actions_assemble,
+                static_cast<std::uint64_t>(kRequests));
+    }
+  }
+}
+
+// LLC shaping and worker pinning are pure performance knobs: shaped batch
+// sizes are a deterministic function of the configured LLC size, and
+// neither knob may change a single output byte.
+TEST(ServeSchedTest, LlcShapingAndPinningPreserveBytes) {
+  SchedFixture fx;
+  constexpr int kRequests = 6;
+  std::vector<ServeRequest> requests;
+  std::vector<image::Image> expected;
+  for (int i = 0; i < kRequests; ++i) {
+    ServeRequest r = fx.make_request(test_image(40, 28, 910 + i), "");
+    expected.push_back(fx.sequential_decode(r));
+    requests.push_back(std::move(r));
+  }
+
+  int shaped_before = 0;
+  for (int pass = 0; pass < 2; ++pass) {
     ServerConfig cfg;
-    cfg.workers = workers;
-    cfg.max_queue = 64;
-    cfg.max_batch_patches = 8;  // force cross-request batches
-    cfg.cache_bytes = 1ULL << 20;
-    cfg.cache_shards = 4;
-    cfg.tenants = {TenantConfig{.name = "wildlife", .weight = 3},
-                   TenantConfig{.name = "industrial", .weight = 1},
-                   TenantConfig{.name = "bulk", .weight = 2}};
+    cfg.workers = 2;
+    cfg.pin_workers = true;  // graceful no-op where unsupported
+    cfg.shape_batches_to_llc = true;
+    cfg.llc_bytes = 2ULL << 20;  // configured, not detected: deterministic
+    cfg.max_batch_patches = 64;
+    cfg.cache_bytes = 0;
     ReconServer server(cfg, fx.model);
     server.register_codec("jpeg", &fx.jpeg);
+
+    const int shaped = server.shaped_batch_patches(nn::Precision::kFp32);
+    EXPECT_GE(shaped, 1);
+    EXPECT_LE(shaped, 64);
+    if (pass == 0) {
+      shaped_before = shaped;
+    } else {
+      EXPECT_EQ(shaped, shaped_before) << "shaping must be deterministic";
+    }
+    EXPECT_EQ(server.llc_budget_bytes(), 2ULL << 20);
 
     std::vector<std::future<ServeResponse>> futures;
     for (const ServeRequest& r : requests) {
@@ -514,20 +687,12 @@ TEST(ServeSchedTest, ByteIdenticalToSequentialDecodeAt148Workers) {
     for (int i = 0; i < kRequests; ++i) {
       const ServeResponse resp = futures[i].get();
       ASSERT_NE(resp.image, nullptr);
-      EXPECT_EQ(resp.image->data(), expected[i].data())
-          << "workers=" << workers << " request " << i;
+      EXPECT_EQ(resp.image->data(), expected[i].data()) << "request " << i;
     }
-
-    // Second pass rides the sharded cache and must stay byte-identical.
-    for (int i = 0; i < kRequests; ++i) {
-      const ServeResponse resp = server.submit(requests[i]).response.get();
-      EXPECT_TRUE(resp.cache_hit);
-      EXPECT_EQ(resp.image->data(), expected[i].data());
-    }
-    const ServerStatsSnapshot s = server.stats();
-    EXPECT_EQ(s.failed, 0U);
-    EXPECT_GE(s.cache_hits, static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(server.stats().shaped_batch_fp32, shaped);
   }
+  // Restore the process-global pool to unpinned for later tests.
+  tensor::kern::set_pin_threads(false);
 }
 
 // ------------------------------------------------------ mixed precision

@@ -10,6 +10,15 @@
 //              [--tenants name:weight[:rate[:burst[:inflight[:precision]]]],...]
 //              [--async] [--precision fp32|int8|auto]
 //              [--trace-out trace.json] [--stats-every S] [--stats-out f.jsonl]
+//              [--pipeline-depth N] [--pin-workers] [--shape-llc] [--llc BYTES]
+//
+// Staged-pipeline knobs (DESIGN.md §9): --pipeline-depth bounds how many
+// reconstructed requests may park in the forward→assemble ring per worker
+// (1 = near-lockstep stages, 2-3 overlap forward N with assemble N-1);
+// --pin-workers pins serve workers and kernel-pool lanes round-robin
+// across the process's allowed CPUs (graceful no-op where unsupported);
+// --shape-llc caps batches so the forward's working set stays LLC-resident,
+// against --llc BYTES (0 = detect). None of these change output bytes.
 //
 // Observability (DESIGN.md §8): --trace-out exports the request-span ring of
 // the LAST replayed scenario as Chrome trace-event JSON (open in
@@ -186,6 +195,12 @@ int main(int argc, char** argv) try {
   const double stats_every =
       std::atof(flag_value(argc, argv, "--stats-every", "0"));
   const char* stats_out_path = flag_value(argc, argv, "--stats-out", nullptr);
+  const int pipeline_depth =
+      std::atoi(flag_value(argc, argv, "--pipeline-depth", "2"));
+  const bool pin_workers = has_flag(argc, argv, "--pin-workers");
+  const bool shape_llc = has_flag(argc, argv, "--shape-llc");
+  const std::size_t llc_bytes = static_cast<std::size_t>(
+      std::atoll(flag_value(argc, argv, "--llc", "0")));
   const std::string precision_flag =
       flag_value(argc, argv, "--precision", "fp32");
   serve::PrecisionPolicy precision = serve::PrecisionPolicy::kFp32;
@@ -201,13 +216,15 @@ int main(int argc, char** argv) try {
 
   std::printf("easz_serve: %d workers, batch %d, queue %d/tenant, "
               "cache %.0f MB x%d shards, %s backpressure, %s submit, "
-              "kernel threads %s, precision %s\n",
+              "kernel threads %s, precision %s, pipeline depth %d%s%s\n",
               workers, batch, queue, cache_mb, cache_shards,
               has_flag(argc, argv, "--reject") ? "reject" : "block",
               async ? "async" : "blocking",
               kernel_threads > 0 ? std::to_string(kernel_threads).c_str()
                                  : "auto",
-              precision_flag.c_str());
+              precision_flag.c_str(), pipeline_depth,
+              pin_workers ? ", pinned workers" : "",
+              shape_llc ? ", llc-shaped batches" : "");
   const std::vector<serve::TenantConfig> tenants =
       parse_tenants(tenants_spec);
   for (const serve::TenantConfig& t : tenants) {
@@ -276,6 +293,10 @@ int main(int argc, char** argv) try {
   scfg.cache_shards = cache_shards;
   scfg.tenants = tenants;
   scfg.precision = precision;
+  scfg.pipeline_depth = pipeline_depth;
+  scfg.pin_workers = pin_workers;
+  scfg.shape_batches_to_llc = shape_llc;
+  scfg.llc_bytes = llc_bytes;
 
   std::vector<testbed::LoadTrace> traces;
   if (scenario == "wildlife" || scenario == "all") {
