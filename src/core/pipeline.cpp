@@ -83,10 +83,11 @@ DecodedTokens EaszPipeline::decode_tokens(const EaszCompressed& c,
 
 image::Image EaszPipeline::assemble_decoded(const DecodedTokens& d,
                                             const tensor::Tensor& recon_tokens,
-                                            const PatchifyConfig& patchify) {
+                                            const PatchifyConfig& patchify,
+                                            bool deblock) {
   image::Image recon = tokens_to_image(recon_tokens, d.padded_width,
                                        d.padded_height, d.channels, patchify);
-  recon = deblock_erased(recon, d.recon_mask, patchify);
+  if (deblock) recon = deblock_erased(recon, d.recon_mask, patchify);
   if (recon.width() != d.full_width || recon.height() != d.full_height) {
     recon = recon.crop(0, 0, d.full_width, d.full_height);
   }
@@ -94,15 +95,23 @@ image::Image EaszPipeline::assemble_decoded(const DecodedTokens& d,
 }
 
 image::Image EaszPipeline::assemble(const DecodedTokens& d,
-                                    const tensor::Tensor& recon_tokens) const {
-  return assemble_decoded(d, recon_tokens, config_.patchify);
+                                    const tensor::Tensor& recon_tokens,
+                                    bool deblock) const {
+  return assemble_decoded(d, recon_tokens, config_.patchify, deblock);
 }
 
 image::Image EaszPipeline::decode(const EaszCompressed& c,
                                   nn::Precision precision) const {
+  return decode(c, DecodeOptions{.precision = precision});
+}
+
+image::Image EaszPipeline::decode(const EaszCompressed& c,
+                                  const DecodeOptions& options) const {
+  if (options.coarse_fill) return decode_neighbor_fill(c);
   if (model_ == nullptr) {
     throw std::logic_error("EaszPipeline::decode: no reconstruction model");
   }
+  const nn::Precision precision = options.precision;
   const DecodedTokens d = decode_tokens(c);
   const int patch_count = d.tokens.dim(0);
   const int tokens = d.tokens.dim(1);
@@ -120,7 +129,7 @@ image::Image EaszPipeline::decode(const EaszCompressed& c,
     std::copy_n(recon.data().begin(), count * per_patch,
                 result.data().begin() + start * per_patch);
   }
-  return assemble(d, result);
+  return assemble(d, result, options.deblock);
 }
 
 image::Image EaszPipeline::decode_neighbor_fill(const EaszCompressed& c) const {

@@ -91,6 +91,28 @@ class EaszPipeline {
       const EaszCompressed& c,
       nn::Precision precision = nn::Precision::kFp32) const;
 
+  /// Rung-parameterized decode (DESIGN.md §10): the knobs the serving
+  /// layer's degradation ladder turns, expressed as a sequential reference
+  /// so "byte-identical to sequential decode at that rung" is a checkable
+  /// contract, not a metaphor. Each combination is deterministic: the same
+  /// compressed input and options always produce the same bytes.
+  struct DecodeOptions {
+    nn::Precision precision = nn::Precision::kFp32;
+    /// false: skip the edge-deblocking pass of assemble (cheaper, blockier).
+    bool deblock = true;
+    /// true: coarse erase-mask reconstruction — erased sub-patches are
+    /// nearest-neighbour-filled from their kept row mates instead of being
+    /// predicted by the transformer. No forward pass runs at all (precision
+    /// is ignored) and deblocking is skipped; equivalent to
+    /// decode_neighbor_fill(). The overload ladder's last rung before shed.
+    bool coarse_fill = false;
+  };
+
+  /// decode() with explicit rung parameters. decode(c, p) is exactly
+  /// decode(c, {.precision = p}).
+  [[nodiscard]] image::Image decode(const EaszCompressed& c,
+                                    const DecodeOptions& options) const;
+
   /// Wall-clock sub-stage costs of one decode_tokens() call, for serving
   /// telemetry: the classical codec decode is the dominant non-neural cost
   /// and is reported as its own throughput figure in serve stats.
@@ -107,8 +129,10 @@ class EaszPipeline {
 
   /// Stage 3 of decode(): reconstructed tokens (same shape as `d.tokens`)
   /// back to pixels — tokens_to_image + edge deblocking + crop. Re-entrant.
+  /// `deblock = false` omits the deblocking pass (ladder rung kNoDeblock).
   [[nodiscard]] image::Image assemble(const DecodedTokens& d,
-                                      const tensor::Tensor& recon_tokens) const;
+                                      const tensor::Tensor& recon_tokens,
+                                      bool deblock = true) const;
 
   /// Patch chunk size decode() uses between decode_tokens and assemble; a
   /// serving layer that wants bit-identical output only needs the same
@@ -119,7 +143,8 @@ class EaszPipeline {
   /// (the serving layer assembles results without ever touching a codec).
   static image::Image assemble_decoded(const DecodedTokens& d,
                                        const tensor::Tensor& recon_tokens,
-                                       const PatchifyConfig& patchify);
+                                       const PatchifyConfig& patchify,
+                                       bool deblock = true);
 
   /// Decode variant without the transformer: nearest-neighbour fill
   /// (reference baseline, also used when no model is deployed).

@@ -102,11 +102,23 @@ class ReconstructionModel : public nn::Module {
   /// testbed latency model (server-side reconstruction stage).
   [[nodiscard]] double flops_per_batch(int batch, int erased_per_row) const;
 
+  // ---- deployment versioning (DESIGN.md §10) ----
+
+  /// Monotonic deployment version tag. 0 = unversioned (fresh construction);
+  /// the serve runtime stamps each hot-reloaded checkpoint with the next
+  /// version at deploy time. Carried on the model — not beside it — so batch
+  /// group keys and response metadata can name the exact weights that
+  /// produced a byte stream. Not serialized: a checkpoint is version-free
+  /// until deployed.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  void set_version(std::uint64_t v) { version_ = v; }
+
  private:
   /// Every Linear in sidecar order (see quant_sidecar).
   [[nodiscard]] std::vector<nn::Linear*> linears() const;
 
   ReconModelConfig config_;
+  std::uint64_t version_ = 0;               // deployment tag, see version()
   std::unique_ptr<nn::Linear> embed_;       // token_dim -> d_model
   nn::Tensor pos_embedding_;                // [N^2, d_model]
   std::vector<std::unique_ptr<nn::TransformerBlock>> encoder_;

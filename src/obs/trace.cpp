@@ -41,6 +41,10 @@ const char* span_name(SpanKind kind) {
       return "total";
     case SpanKind::kCacheHit:
       return "cache_hit";
+    case SpanKind::kRungTransition:
+      return "rung_transition";
+    case SpanKind::kFailed:
+      return "failed";
   }
   return "unknown";
 }

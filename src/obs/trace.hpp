@@ -43,6 +43,12 @@ enum class SpanKind : std::uint8_t {
   kAssemble = 5,
   kTotal = 6,
   kCacheHit = 7,
+  /// A tenant's degradation ladder moved (DESIGN.md §10). Zero-duration
+  /// marker at the submit that triggered the walk; aux = the NEW rung.
+  kRungTransition = 8,
+  /// The request settled with an error (aux = the rung it ran at). Spans
+  /// submit -> failure delivery, mirroring kTotal for successes.
+  kFailed = 9,
 };
 
 [[nodiscard]] const char* span_name(SpanKind kind);

@@ -49,30 +49,41 @@ CacheBudget::CacheBudget(ModelFootprint footprint, std::size_t llc_bytes)
     : footprint_(footprint),
       llc_bytes_(llc_bytes == 0 ? kDefaultLlcBytes : llc_bytes) {}
 
-std::size_t CacheBudget::detect_llc_bytes() {
-#if defined(__linux__)
-  // Walk cpu0's cache indices and keep the largest Unified level — index
-  // numbering is not guaranteed to put L3 at index3 on every topology.
+std::size_t CacheBudget::detect_llc_bytes_in(const std::string& cache_dir) {
+  // Walk the cache indices and keep the largest Unified cache of level
+  // >= 3 — index numbering is not guaranteed to put L3 at index3 on every
+  // topology. The level gate is the whole point: L2 is also "Unified", so
+  // without it a host exposing only per-core L2 (VMs, containers) would
+  // report that private cache as the shared LLC. A missing `level` file
+  // disqualifies the index: better to fall back to the documented default
+  // than to trust a cache we cannot place in the hierarchy.
   char buf[64];
   std::size_t best = 0;
   for (int index = 0; index < 8; ++index) {
-    const std::string base =
-        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(index);
+    const std::string base = cache_dir + "/index" + std::to_string(index);
     if (read_small_file(base + "/type", buf, sizeof(buf)) == 0) continue;
     if (std::strncmp(buf, "Unified", 7) != 0) continue;
+    if (read_small_file(base + "/level", buf, sizeof(buf)) == 0) continue;
+    if (std::strtol(buf, nullptr, 10) < 3) continue;
     if (read_small_file(base + "/size", buf, sizeof(buf)) == 0) continue;
     best = std::max(best, parse_cache_size(buf));
   }
-  if (best > 0) return best;
+  return best;
+}
+
+std::size_t CacheBudget::detect_llc_bytes() {
+#if defined(__linux__)
+  const std::size_t sysfs =
+      detect_llc_bytes_in("/sys/devices/system/cpu/cpu0/cache");
+  if (sysfs > 0) return sysfs;
 #endif
 #if defined(_SC_LEVEL3_CACHE_SIZE)
   const long l3 = sysconf(_SC_LEVEL3_CACHE_SIZE);
   if (l3 > 0) return static_cast<std::size_t>(l3);
 #endif
-#if defined(_SC_LEVEL2_CACHE_SIZE)
-  const long l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
-  if (l2 > 0) return static_cast<std::size_t>(l2);
-#endif
+  // Deliberately no _SC_LEVEL2_CACHE_SIZE fallback: per-core L2 is not a
+  // shared LLC, and treating it as one shapes batches pathologically
+  // small. Hosts with no detectable L3 get kDefaultLlcBytes instead.
   return 0;
 }
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "core/recon_model.hpp"
 
@@ -65,10 +66,21 @@ class CacheBudget {
   [[nodiscard]] static ModelFootprint footprint_of(
       const core::ReconModelConfig& config);
 
-  /// Unified last-level cache size of cpu0 via sysfs, sysconf fallback.
-  /// Returns 0 when the platform exposes neither (callers substitute
-  /// kDefaultLlcBytes or a configured size).
+  /// Shared last-level cache size of cpu0 via sysfs (Unified caches of
+  /// level >= 3 only), _SC_LEVEL3_CACHE_SIZE fallback. Level matters: L2
+  /// is also typed "Unified" in sysfs, so a host exposing only per-core
+  /// L2 (common in VMs and containers) would otherwise report a tiny
+  /// private cache as the shared LLC and shape batches far too small.
+  /// Such hosts return 0 and callers substitute kDefaultLlcBytes — a
+  /// documented conservative default beats a confidently wrong L2 size.
   [[nodiscard]] static std::size_t detect_llc_bytes();
+
+  /// Testable core of detect_llc_bytes: walks `cache_dir`/index{0..7}
+  /// expecting sysfs-layout `type` / `level` / `size` files. Exposed so
+  /// unit tests can run the exact production parser against captured
+  /// sysfs fixtures instead of whatever host CI lands on.
+  [[nodiscard]] static std::size_t detect_llc_bytes_in(
+      const std::string& cache_dir);
 
   /// Bytes the forward of `patches` pooled patches keeps live at once.
   [[nodiscard]] std::size_t working_set_bytes(int patches,

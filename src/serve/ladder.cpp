@@ -1,0 +1,105 @@
+#include "serve/ladder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace easz::serve {
+
+namespace {
+
+// Cap on buffered latency samples per window. Windows are short, so this is
+// only a safety bound; overflow samples are dropped (deterministically — the
+// first kMaxSamples of a window always win).
+constexpr std::size_t kMaxSamples = 8192;
+
+double p95(std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  // Nearest-rank p95 on the sorted window. nth_element is enough: only the
+  // ranked element matters, and the partial order it produces is
+  // deterministic for a fixed input sequence.
+  const std::size_t rank =
+      (samples.size() * 95 + 99) / 100;  // ceil(n * 0.95), 1-based
+  const std::size_t idx = (rank == 0 ? 0 : rank - 1);
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(idx),
+                   samples.end());
+  return samples[idx];
+}
+
+}  // namespace
+
+const char* ladder_rung_name(LadderRung r) {
+  switch (r) {
+    case LadderRung::kFull: return "full";
+    case LadderRung::kInt8: return "int8";
+    case LadderRung::kNoDeblock: return "no_deblock";
+    case LadderRung::kCoarse: return "coarse";
+    case LadderRung::kShed: return "shed";
+  }
+  return "?";
+}
+
+RungPlan rung_plan(LadderRung r) {
+  RungPlan p;
+  switch (r) {
+    case LadderRung::kFull:
+      break;
+    case LadderRung::kInt8:
+      p.use_int8 = true;
+      break;
+    case LadderRung::kNoDeblock:
+      p.use_int8 = true;
+      p.deblock = false;
+      break;
+    case LadderRung::kCoarse:
+      p.use_int8 = true;  // moot: no forward pass runs
+      p.deblock = false;
+      p.coarse_fill = true;
+      break;
+    case LadderRung::kShed:
+      p.shed = true;
+      break;
+  }
+  return p;
+}
+
+void TenantLadder::record_latency(double seconds) {
+  if (!enabled()) return;
+  if (samples_.size() < kMaxSamples) samples_.push_back(seconds);
+}
+
+LadderRung TenantLadder::observe(double now, double oldest_wait_s) {
+  if (!enabled()) return rung_;
+  if (!window_open_) {
+    window_open_ = true;
+    window_start_ = now;
+    return rung_;
+  }
+  if (now - window_start_ < config_.window_s) return rung_;
+
+  // Window rotation: one pressure reading, at most one rung of movement.
+  const double slo = config_.slo_p95_s;
+  double pressure = std::max(0.0, oldest_wait_s) / slo;
+  if (static_cast<int>(samples_.size()) >= config_.min_samples) {
+    pressure = std::max(pressure, p95(samples_) / slo);
+  }
+  last_pressure_ = pressure;
+
+  const int cur = static_cast<int>(rung_);
+  const int max = static_cast<int>(config_.max_rung);
+  int next = cur;
+  if (pressure >= config_.climb_ratio && cur < max) {
+    next = cur + 1;
+  } else if (pressure <= config_.descend_ratio && cur > 0) {
+    next = cur - 1;
+  }
+  if (next != cur) {
+    rung_ = static_cast<LadderRung>(next);
+    ++transitions_;
+  }
+  samples_.clear();
+  window_start_ = now;
+  return rung_;
+}
+
+}  // namespace easz::serve

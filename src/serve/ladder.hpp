@@ -1,0 +1,109 @@
+// SLO-aware degradation ladder (DESIGN.md §10).
+//
+// Under sustained overload the server should degrade OUTPUT QUALITY before it
+// degrades AVAILABILITY: force int8 inference, then skip the deblocking pass,
+// then fall back to coarse nearest-neighbour reconstruction, and only shed as
+// the final rung. Each tenant walks its own ladder, driven by the pressure
+// its requests observe against its p95 latency SLO.
+//
+// Determinism contract: every input to the ladder is read on the server's
+// injectable scheduler clock (ServerConfig::sched_clock), decisions happen
+// only at submit time when a sample window rotates, and the walk moves at
+// most one rung per rotation. A scripted overload in `workers = 0` + step()
+// mode therefore yields an exact, replayable rung trajectory — the same
+// submissions at the same virtual-clock instants always produce the same
+// rung sequence (tests/serve_sched_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace easz::serve {
+
+/// Degradation rungs, mildest first. Rungs are CUMULATIVE: each one keeps
+/// the cheaper substitutions of the rungs below it (kNoDeblock also runs
+/// int8 where available; kCoarse skips the forward pass entirely, making
+/// precision moot). Requests served at rung R are byte-identical to a
+/// sequential EaszPipeline::decode at R's DecodeOptions.
+enum class LadderRung : int {
+  kFull = 0,       ///< fp32 (or configured precision) + deblocking
+  kInt8 = 1,       ///< force int8 inference (fp32 if no quantized model)
+  kNoDeblock = 2,  ///< + skip the edge-deblocking pass of assemble
+  kCoarse = 3,     ///< nearest-neighbour fill; no transformer forward at all
+  kShed = 4,       ///< reject new work (SubmitStatus::kOverloaded)
+};
+
+inline constexpr int kLadderRungs = 5;
+
+[[nodiscard]] const char* ladder_rung_name(LadderRung r);
+
+struct LadderConfig {
+  /// Per-tenant p95 latency target in sched-clock seconds. <= 0 disables
+  /// the ladder (rung stays kFull forever).
+  double slo_p95_s = 0.0;
+  /// Sample window; the rung is reconsidered each time a window closes.
+  double window_s = 0.25;
+  /// Climb one rung when pressure >= climb_ratio (pressure 1.0 == at SLO).
+  double climb_ratio = 1.0;
+  /// Descend one rung when pressure <= descend_ratio. The gap between the
+  /// two ratios is the hysteresis band that stops rung flapping.
+  double descend_ratio = 0.7;
+  /// Below this many latency samples in a window, the p95 term is ignored
+  /// and only queue-wait pressure counts (early windows would otherwise
+  /// compute a p95 from one or two requests).
+  int min_samples = 4;
+  /// Highest rung the walk may reach (set below kShed to forbid shedding).
+  LadderRung max_rung = LadderRung::kShed;
+};
+
+/// What the scheduler substitutes at a rung. Derived purely from the rung;
+/// the server intersects `use_int8` with model quantization and tenant
+/// precision policy.
+struct RungPlan {
+  bool use_int8 = false;
+  bool deblock = true;
+  bool coarse_fill = false;
+  bool shed = false;
+};
+
+[[nodiscard]] RungPlan rung_plan(LadderRung r);
+
+/// Per-tenant deterministic ladder state machine. NOT internally locked:
+/// the server mutates it only under its scheduler mutex.
+class TenantLadder {
+ public:
+  TenantLadder() = default;
+  explicit TenantLadder(LadderConfig config) : config_(config) {}
+
+  [[nodiscard]] const LadderConfig& config() const { return config_; }
+  [[nodiscard]] bool enabled() const { return config_.slo_p95_s > 0.0; }
+  [[nodiscard]] LadderRung rung() const { return rung_; }
+
+  /// Feed one completed request's submit->settle latency (sched clock).
+  /// Cache hits are excluded by the caller: they say nothing about decode
+  /// pressure and would dilute the p95 toward zero.
+  void record_latency(double seconds);
+
+  /// Rotate the window if due and walk at most one rung. `now` is the sched
+  /// clock; `oldest_wait_s` is the age of the oldest queued request (0 when
+  /// the queue is empty) — the leading indicator that lets the ladder climb
+  /// before any slow request completes. Returns the (possibly new) rung.
+  LadderRung observe(double now, double oldest_wait_s);
+
+  /// Pressure computed at the last window rotation (max of p95/slo and
+  /// oldest-wait/slo); 0 before the first rotation. For stats export.
+  [[nodiscard]] double last_pressure() const { return last_pressure_; }
+  /// Total rung transitions since construction. For stats export.
+  [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  LadderConfig config_;
+  LadderRung rung_ = LadderRung::kFull;
+  std::vector<double> samples_;
+  bool window_open_ = false;
+  double window_start_ = 0.0;
+  double last_pressure_ = 0.0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace easz::serve

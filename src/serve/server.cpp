@@ -53,19 +53,22 @@ const StageAction* worker_stage_order(int worker_index) {
 }
 
 // Pooling is only sound across requests whose forward passes are truly
-// interchangeable: same erase mask, same token layout AND same precision
-// (an int8 forward produces different bytes than fp32, so mixing would
-// make a request's output depend on its batch mates). The channel count is
-// validated against the model at decode time, but the key keeps the token
-// dimension anyway so a mixed group can never form.
+// interchangeable: same erase mask, same token layout, same precision (an
+// int8 forward produces different bytes than fp32, so mixing would make a
+// request's output depend on its batch mates) AND same model version — a
+// hot swap mid-run must never tear a batch across weights (DESIGN.md §10).
+// The channel count is validated against the model at decode time, but the
+// key keeps the token dimension anyway so a mixed group can never form.
 std::string mask_group_key(const core::EraseMask& mask, int token_dim,
-                           nn::Precision precision) {
+                           nn::Precision precision, std::uint64_t version) {
   const std::vector<std::uint8_t> bytes = mask.to_bytes();
   std::string key(bytes.begin(), bytes.end());
   key.push_back('/');
   key += std::to_string(token_dim);
   key.push_back('/');
   key += nn::precision_name(precision);
+  key.push_back('/');
+  key += std::to_string(version);
   return key;
 }
 
@@ -104,44 +107,26 @@ ReconServer::ReconServer(ServerConfig config,
   assemble_ring_capacity_ =
       static_cast<std::size_t>(config_.pipeline_depth) *
       static_cast<std::size_t>(std::max(1, config_.workers));
-  shaped_max_patches_fp32_ = config_.max_batch_patches;
-  shaped_max_patches_int8_ = config_.max_batch_patches;
   if (config_.shape_batches_to_llc) {
     llc_budget_ = config_.llc_bytes != 0 ? config_.llc_bytes
                                          : CacheBudget::detect_llc_bytes();
     if (llc_budget_ == 0) llc_budget_ = CacheBudget::kDefaultLlcBytes;
-    const CacheBudget budget(CacheBudget::footprint_of(model_.config()),
-                             llc_budget_);
-    shaped_max_patches_fp32_ =
-        budget.shape_batch(config_.max_batch_patches, nn::Precision::kFp32);
-    shaped_max_patches_int8_ =
-        budget.shape_batch(config_.max_batch_patches, nn::Precision::kInt8);
   }
-  // Resolve the precision policy against the deployed model up front: a
-  // misconfigured deployment should fail at construction, not per request.
-  model_quantized_ = model_.is_quantized();
-  const bool quantized = model_quantized_;
-  switch (config_.precision) {
-    case PrecisionPolicy::kFp32:
-      default_precision_ = nn::Precision::kFp32;
-      break;
-    case PrecisionPolicy::kInt8:
-      if (!quantized) {
-        throw std::invalid_argument(
-            "ReconServer: precision int8 requires a quantized model "
-            "(calibrate_and_quantize or an EAZQ sidecar)");
-      }
-      default_precision_ = nn::Precision::kInt8;
-      break;
-    case PrecisionPolicy::kAuto:
-      default_precision_ =
-          quantized ? nn::Precision::kInt8 : nn::Precision::kFp32;
-      break;
-  }
+  // Version 1: the construction-time model, borrowed (non-owning slot).
+  // Precision-policy resolution happens inside make_slot so a misconfigured
+  // deployment fails at construction, not per request — and the same check
+  // guards every later deploy_model.
+  current_slot_ = make_slot(
+      std::shared_ptr<const core::ReconstructionModel>(
+          &model_, [](const core::ReconstructionModel*) {}),
+      next_version_);
+  retained_[current_slot_->version] = current_slot_;
+  ++next_version_;
+  hot_.model_version.set(static_cast<std::int64_t>(current_slot_->version));
   // The registry enforces the int8 capability from here on, so BOTH
   // config-time tenants and later tenants().add() calls fail at
   // configuration time instead of throwing out of every submit.
-  tenants_.allow_int8(quantized);
+  tenants_.allow_int8(current_slot_->quantized);
   for (const TenantConfig& tenant : config_.tenants) {
     tenants_.add(tenant);
   }
@@ -189,13 +174,171 @@ double ReconServer::sched_now_s() const {
   return uptime_.elapsed_seconds();
 }
 
+std::shared_ptr<const ReconServer::ModelSlot> ReconServer::make_slot(
+    std::shared_ptr<const core::ReconstructionModel> model,
+    std::uint64_t version) const {
+  auto slot = std::make_shared<ModelSlot>();
+  slot->model = std::move(model);
+  slot->version = version;
+  // is_quantized() walks every layer — snapshot it once per deploy, never
+  // per submit. A slot's model must not be (de)quantized while deployed.
+  slot->quantized = slot->model->is_quantized();
+  switch (config_.precision) {
+    case PrecisionPolicy::kFp32:
+      slot->default_precision = nn::Precision::kFp32;
+      break;
+    case PrecisionPolicy::kInt8:
+      if (!slot->quantized) {
+        throw std::invalid_argument(
+            "ReconServer: precision int8 requires a quantized model "
+            "(calibrate_and_quantize or an EAZQ sidecar)");
+      }
+      slot->default_precision = nn::Precision::kInt8;
+      break;
+    case PrecisionPolicy::kAuto:
+      slot->default_precision =
+          slot->quantized ? nn::Precision::kInt8 : nn::Precision::kFp32;
+      break;
+  }
+  // Shaped budgets are per slot: two versions of "the same" architecture
+  // can still differ in footprint (e.g. one carries int8 planes).
+  slot->shaped_fp32 = config_.max_batch_patches;
+  slot->shaped_int8 = config_.max_batch_patches;
+  if (config_.shape_batches_to_llc && llc_budget_ > 0) {
+    const CacheBudget budget(CacheBudget::footprint_of(slot->model->config()),
+                             llc_budget_);
+    slot->shaped_fp32 =
+        budget.shape_batch(config_.max_batch_patches, nn::Precision::kFp32);
+    slot->shaped_int8 =
+        budget.shape_batch(config_.max_batch_patches, nn::Precision::kInt8);
+  }
+  return slot;
+}
+
+std::uint64_t ReconServer::deploy_model(
+    std::shared_ptr<core::ReconstructionModel> model) {
+  if (!model) {
+    throw std::invalid_argument("ReconServer: deploy_model needs a model");
+  }
+  // Token geometry must match the running deployment: queued requests were
+  // validated (and decoded) against patchify_/channels, and a swap must
+  // never invalidate work already admitted.
+  const core::ReconModelConfig& mc = model->config();
+  if (mc.patchify.patch != patchify_.patch ||
+      mc.patchify.sub_patch != patchify_.sub_patch) {
+    throw std::invalid_argument(
+        "ReconServer: deploy_model patchify mismatch with the running "
+        "deployment");
+  }
+  if (mc.channels != model_.config().channels) {
+    throw std::invalid_argument(
+        "ReconServer: deploy_model channel count mismatch with the running "
+        "deployment");
+  }
+  const bool quantized = model->is_quantized();
+  if (!quantized && config_.precision == PrecisionPolicy::kInt8) {
+    throw std::invalid_argument(
+        "ReconServer: deploy_model needs a quantized model under the int8 "
+        "precision policy");
+  }
+  if (!quantized && tenants_.has_int8_pin()) {
+    throw std::invalid_argument(
+        "ReconServer: deploy_model needs a quantized model while a tenant "
+        "pins int8 precision");
+  }
+  std::uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    version = next_version_++;
+    model->set_version(version);
+    std::shared_ptr<const ModelSlot> slot = make_slot(std::move(model), version);
+    current_slot_ = slot;
+    retained_[version] = slot;
+    ++deploys_;
+    // Prune superseded versions nobody pins. In-flight jobs are safe: they
+    // hold their own shared_ptr (the swap epoch guard), so the weights die
+    // only when the last batch on them settles.
+    const std::vector<std::uint64_t> pins = tenants_.pinned_versions();
+    for (auto it = retained_.begin(); it != retained_.end();) {
+      const bool keep =
+          it->first == version ||
+          std::find(pins.begin(), pins.end(), it->first) != pins.end();
+      it = keep ? std::next(it) : retained_.erase(it);
+    }
+  }
+  // Future tenant adds must match the new current model's capability.
+  tenants_.allow_int8(quantized);
+  hot_.model_version.set(static_cast<std::int64_t>(version));
+  return version;
+}
+
+std::uint64_t ReconServer::model_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_slot_->version;
+}
+
+LadderRung ReconServer::tenant_rung(const std::string& tenant) const {
+  const std::string resolved = tenants_.resolve(tenant);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenant_local_.find(resolved);
+  return it == tenant_local_.end() ? LadderRung::kFull
+                                   : it->second.ladder.rung();
+}
+
+std::shared_ptr<const ReconServer::ModelSlot> ReconServer::slot_for_locked(
+    std::uint64_t pin_version) const {
+  if (pin_version != 0) {
+    const auto it = retained_.find(pin_version);
+    if (it != retained_.end()) return it->second;
+    // Pinned version already pruned (pin added after the deploy that
+    // dropped it): documented fallback to current.
+  }
+  return current_slot_;
+}
+
+LadderRung ReconServer::observe_ladder_locked(const std::string& tenant,
+                                              const TenantConfig& policy,
+                                              std::uint64_t request_id) {
+  TenantLocal& tl = tenant_local_[tenant];
+  if (!tl.ladder_init) {
+    // Config snapshot on first touch: tenant SLO override on top of the
+    // server-wide ladder knobs. Later policy edits apply to new servers,
+    // not a live ladder — determinism beats hot reconfiguration here.
+    LadderConfig lc = config_.ladder;
+    if (policy.slo_p95_s > 0.0) lc.slo_p95_s = policy.slo_p95_s;
+    tl.ladder = TenantLadder(lc);
+    tl.ladder_init = true;
+  }
+  double oldest_wait_s = 0.0;
+  const auto qit = queues_.find(tenant);
+  if (qit != queues_.end() && !qit->second.jobs.empty()) {
+    oldest_wait_s =
+        std::max(0.0, sched_now_s() - qit->second.jobs.front()->submit_t);
+  }
+  const LadderRung before = tl.ladder.rung();
+  LadderRung rung = tl.ladder.observe(sched_now_s(), oldest_wait_s);
+  if (rung != before) {
+    hot_.ladder_rung.set(static_cast<std::int64_t>(rung));
+    trace_.record(request_id, obs::SpanKind::kRungTransition, trace_.now_us(),
+                  0.0, static_cast<std::uint32_t>(rung));
+  }
+  if (policy.forced_rung >= 0) {
+    // Ops brownout switch: bypasses the state machine, does not seed it.
+    rung = static_cast<LadderRung>(
+        std::min(policy.forced_rung, kLadderRungs - 1));
+  }
+  return rung;
+}
+
 void ReconServer::deliver_response(Job& job, ServeResponse response) {
   if (job.callback) {
     // The callback contract forbids throwing; a violation must not escape a
-    // worker thread (std::terminate), so it is contained here.
+    // worker thread (std::terminate), so it is contained here — but never
+    // silently: the contract breach is counted.
     try {
       job.callback(std::move(response), nullptr);
     } catch (...) {
+      hot_.callback_errors.add();
     }
   } else {
     job.promise.set_value(std::move(response));
@@ -205,8 +348,13 @@ void ReconServer::deliver_response(Job& job, ServeResponse response) {
 void ReconServer::deliver_error(Job& job, std::exception_ptr error) {
   if (job.callback) {
     try {
-      job.callback(ServeResponse{}, error);
+      ServeResponse resp;
+      resp.request_id = job.request_id;
+      resp.rung = static_cast<int>(job.rung);
+      resp.model_version = job.slot ? job.slot->version : 0;
+      job.callback(std::move(resp), error);
     } catch (...) {
+      hot_.callback_errors.add();
     }
   } else {
     job.promise.set_exception(error);
@@ -236,46 +384,96 @@ SubmitStatus ReconServer::submit_async(ServeRequest request,
 }
 
 nn::Precision ReconServer::resolve_precision(
-    const std::string& resolved_tenant) const {
+    const std::string& resolved_tenant, const ModelSlot& slot) const {
   switch (tenants_.precision_of(resolved_tenant)) {
     case TenantPrecision::kFp32:
       return nn::Precision::kFp32;
     case TenantPrecision::kInt8:
-      // Unreachable on an unquantized model: the registry rejects kInt8
-      // pins at add() time once allow_int8(false) is set (constructor).
+      // Unreachable on an unquantized slot: the registry rejects kInt8
+      // pins while int8 is unavailable, and deploy_model rejects an
+      // unquantized swap while any such pin exists.
       return nn::Precision::kInt8;
     case TenantPrecision::kInherit:
       break;
   }
-  return default_precision_;
+  return slot.default_precision;
 }
 
 SubmitStatus ReconServer::submit_job(const std::shared_ptr<Job>& job) {
   job->request_id = trace_.mint_request_id();
   job->submit_us = trace_.now_us();
+  job->submit_t = sched_now_s();
   hot_.submitted.add();
   job->tenant = tenants_.resolve(job->request.tenant);
-  job->precision = resolve_precision(job->tenant);
+  const TenantConfig policy = tenants_.config_of(job->tenant);
+
+  // Ladder + model-slot resolution, one mu_ acquisition. The rung decides
+  // the decode parameters and those parameters name the cache entry, so
+  // both are resolved before the cache probe below.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->slot = slot_for_locked(policy.pin_version);
+    job->rung = observe_ladder_locked(job->tenant, policy, job->request_id);
+  }
+  const RungPlan plan = rung_plan(job->rung);
+  if (plan.shed) {
+    // Last rung: reject everything for this tenant (cache probes included)
+    // until the pressure window says otherwise.
+    hot_.shed_overloaded.add();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+    ++rejected_;
+    ++shed_overloaded_;
+    TenantLocal& tl = tenant_local_[job->tenant];
+    ++tl.submitted;
+    ++tl.shed_overloaded;
+    return SubmitStatus::kOverloaded;
+  }
+  job->precision = resolve_precision(job->tenant, *job->slot);
+  if (plan.use_int8 && job->slot->quantized &&
+      policy.precision != TenantPrecision::kFp32) {
+    // Rung substitution. A tenant that explicitly pins fp32 keeps it (the
+    // pin is a quality contract); it still loses deblocking and the
+    // transformer at the higher rungs.
+    job->precision = nn::Precision::kInt8;
+  }
+  job->deblock = plan.deblock;
+  job->coarse = plan.coarse_fill;
+
   const bool caching = cache_.capacity_bytes() > 0;
   if (caching) {
     // Hashing + copying the payload into the key only pays off when the
-    // cache can actually store something. The precision rides in the key's
-    // codec field: fp32 and int8 reconstructions of one blob are different
-    // images and must never satisfy each other's lookups.
-    job->cache_key = make_cache_key(
-        job->request.compressed,
-        job->request.codec + '#' + nn::precision_name(job->precision));
+    // cache can actually store something. The key's codec field names
+    // every knob the output bytes depend on: precision (fp32 and int8
+    // reconstructions of one blob are different images), model version
+    // (different weights, different bytes) and the rung's decode options.
+    // The coarse rung never touches the model, so its entries are shared
+    // across precisions and versions by construction.
+    std::string variant = job->request.codec;
+    variant += '#';
+    if (job->coarse) {
+      variant += "coarse";
+    } else {
+      variant += nn::precision_name(job->precision);
+      variant += "#v";
+      variant += std::to_string(job->slot->version);
+      if (!job->deblock) variant += "#nodb";
+    }
+    job->cache_key = make_cache_key(job->request.compressed, variant);
   }
 
   // Fast path: an identical request already reconstructed. Served before
   // admission — a hit costs no reconstruction capacity, which is the
-  // resource the tenant limits exist to protect.
+  // resource the tenant limits exist to protect. Hits also record no
+  // ladder latency sample: they say nothing about decode pressure.
   if (std::shared_ptr<const image::Image> hit =
           caching ? cache_.get(job->cache_key) : nullptr) {
     ServeResponse resp;
     resp.image = std::move(hit);
     resp.cache_hit = true;
     resp.request_id = job->request_id;
+    resp.rung = static_cast<int>(job->rung);
+    resp.model_version = job->slot->version;
     resp.timing.total_s = job->since_submit.elapsed_seconds();
     stages_.total.record(resp.timing.total_s);
     hot_.completed.add();
@@ -388,8 +586,9 @@ StageAction ReconServer::step_stage() {
 bool ReconServer::step() { return step_stage() != StageAction::kIdle; }
 
 int ReconServer::shaped_batch_patches(nn::Precision precision) const {
-  return precision == nn::Precision::kInt8 ? shaped_max_patches_int8_
-                                           : shaped_max_patches_fp32_;
+  std::lock_guard<std::mutex> lock(mu_);
+  return precision == nn::Precision::kInt8 ? current_slot_->shaped_int8
+                                           : current_slot_->shaped_fp32;
 }
 
 bool ReconServer::flush_conditions_locked() const {
@@ -399,7 +598,12 @@ bool ReconServer::flush_conditions_locked() const {
 }
 
 bool ReconServer::group_ready_locked(const PendingGroup& group) const {
-  if (group.patches >= shaped_batch_patches(group.precision)) return true;
+  // Budgets are per slot: a group formed on a superseded version keeps the
+  // batch shape that version's footprint was shaped to.
+  const int budget = group.precision == nn::Precision::kInt8
+                         ? group.slot->shaped_int8
+                         : group.slot->shaped_fp32;
+  if (group.patches >= budget) return true;
   if (flush_conditions_locked()) return true;
   // Age trigger: an under-full group launches once its oldest tokens have
   // waited max_batch_wait_s. Without this, a rare-mask request would starve
@@ -435,7 +639,9 @@ ReconServer::FormedBatch ReconServer::form_batch_locked() {
   FormedBatch batch;
   batch.mask = group.mask;
   batch.precision = group.precision;
-  int budget = shaped_batch_patches(group.precision);
+  batch.slot = group.slot;
+  int budget = group.precision == nn::Precision::kInt8 ? group.slot->shaped_int8
+                                                       : group.slot->shaped_fp32;
   while (budget > 0 && !group.spans.empty()) {
     PendingGroup::Span& span = group.spans.front();
     const int take = std::min(budget, span.count);
@@ -594,6 +800,7 @@ void ReconServer::worker_loop(int worker_index) {
 
 void ReconServer::run_decode(const std::shared_ptr<Job>& job) {
   try {
+    if (config_.fault_injection) config_.fault_injection(StageAction::kDecode);
     codec::ImageCodec* codec = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -630,7 +837,24 @@ void ReconServer::run_decode(const std::shared_ptr<Job>& job) {
     cfg.patchify = patchify_;
     cfg.erased_per_row = c.erased_per_row;
     cfg.axis = c.axis;
-    const core::EaszPipeline pipeline(cfg, *codec, &model_);
+    const core::ReconstructionModel& model = *job->slot->model;
+    const core::EaszPipeline pipeline(cfg, *codec, &model);
+
+    if (job->coarse) {
+      // Coarse rung (DESIGN.md §10): nearest-neighbour fill needs no
+      // transformer, so the whole request completes inside this decode
+      // action — byte-identical to EaszPipeline::decode with
+      // coarse_fill = true, by construction.
+      util::Stopwatch sw;
+      auto img = std::make_shared<image::Image>(
+          pipeline.decode_neighbor_fill(job->request.compressed));
+      job->timing.decode_s = sw.elapsed_seconds();
+      trace_.record(job->request_id, obs::SpanKind::kDecode,
+                    trace_.now_us() - job->timing.decode_s * 1e6,
+                    job->timing.decode_s * 1e6);
+      settle_success(job, std::move(img));
+      return;
+    }
 
     util::Stopwatch sw;
     auto inflight = std::make_shared<InFlight>();
@@ -640,14 +864,14 @@ void ReconServer::run_decode(const std::shared_ptr<Job>& job) {
     job->timing.decode_s = sw.elapsed_seconds();
     job->timing.codec_decode_s = decode_timing.codec_decode_s;
     inflight->job = job;
-    if (inflight->decoded.channels != model_.config().channels) {
+    if (inflight->decoded.channels != model.config().channels) {
       // E.g. a grayscale upload through an RGB deployment: reject here with
       // a clean per-request error instead of a shape throw mid-batch.
       throw std::runtime_error(
           "ReconServer: request channel count " +
           std::to_string(inflight->decoded.channels) +
           " does not match the deployed model's " +
-          std::to_string(model_.config().channels));
+          std::to_string(model.config().channels));
     }
 
     const int patches = inflight->decoded.tokens.dim(0);
@@ -657,9 +881,9 @@ void ReconServer::run_decode(const std::shared_ptr<Job>& job) {
     inflight->since_tokens_ready.reset();
     inflight->ready_t = sched_now_s();
 
-    const std::string key =
-        mask_group_key(inflight->decoded.recon_mask,
-                       inflight->decoded.tokens.dim(2), job->precision);
+    const std::string key = mask_group_key(inflight->decoded.recon_mask,
+                                           inflight->decoded.tokens.dim(2),
+                                           job->precision, job->slot->version);
     stages_.codec_decode.record(decode_timing.codec_decode_s);
     // Spans are recorded at completion: start = now - measured duration, on
     // the shared trace clock. codec decode is the leading sub-stage of
@@ -677,6 +901,7 @@ void ReconServer::run_decode(const std::shared_ptr<Job>& job) {
       if (group.spans.empty()) {
         group.mask = inflight->decoded.recon_mask;
         group.precision = job->precision;
+        group.slot = job->slot;
       }
       group.spans.push_back(PendingGroup::Span{inflight, 0, patches});
       group.patches += patches;
@@ -706,7 +931,10 @@ void ReconServer::run_forward(FormedBatch batch) {
   util::Stopwatch sw;
   tensor::Tensor recon;
   try {
-    recon = model_.reconstruct(pooled, batch.mask, batch.precision);
+    if (config_.fault_injection) config_.fault_injection(StageAction::kForward);
+    // The batch's pinned slot, not the current one: a deploy_model racing
+    // this forward must not tear the batch onto new weights.
+    recon = batch.slot->model->reconstruct(pooled, batch.mask, batch.precision);
   } catch (...) {
     // A throwing forward pass must fail the requests it carried, not escape
     // the worker thread (which would std::terminate the whole server).
@@ -798,64 +1026,78 @@ void ReconServer::run_forward(FormedBatch batch) {
 void ReconServer::finish_request(const std::shared_ptr<InFlight>& inflight) {
   const std::shared_ptr<Job>& job = inflight->job;
   try {
+    if (config_.fault_injection) {
+      config_.fault_injection(StageAction::kAssemble);
+    }
     util::Stopwatch sw;
     auto img = std::make_shared<image::Image>(core::EaszPipeline::assemble_decoded(
-        inflight->decoded, inflight->result, patchify_));
+        inflight->decoded, inflight->result, patchify_, job->deblock));
     job->timing.assemble_s = sw.elapsed_seconds();
-    job->timing.total_s = job->since_submit.elapsed_seconds();
-
-    std::shared_ptr<const image::Image> result = std::move(img);
-    if (cache_.capacity_bytes() > 0) cache_.put(job->cache_key, result);
-
-    ServeResponse resp;
-    resp.image = std::move(result);
-    resp.cache_hit = false;
-    resp.request_id = job->request_id;
-    resp.timing = job->timing;
-    StageStats* tenant_total = nullptr;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (job->settled) return;  // a failed sibling batch got there first
-      job->settled = true;
-      ++completed_;
-      TenantLocal& tl = tenant_local_[job->tenant];
-      ++tl.completed;
-      tenant_total = &tl.total;
-    }
-    tenants_.release(job->tenant);
-    hot_.completed.add();
-
-    stages_.queue_wait.record(job->timing.queue_wait_s);
-    stages_.decode.record(job->timing.decode_s);
-    stages_.batch_wait.record(job->timing.batch_wait_s);
-    stages_.assemble.record(job->timing.assemble_s);
-    stages_.total.record(job->timing.total_s);
-    tenant_total->record(job->timing.total_s);
-
-    const double end_us = trace_.now_us();
-    trace_.record(job->request_id, obs::SpanKind::kAssemble,
-                  end_us - job->timing.assemble_s * 1e6,
-                  job->timing.assemble_s * 1e6);
-    trace_.record(job->request_id, obs::SpanKind::kTotal, job->submit_us,
-                  job->timing.total_s * 1e6);
-
-    // Deliver BEFORE counting the request as no longer outstanding:
-    // drain() promises that every accepted request "has completed", and
-    // for the callback path completion includes the callback itself.
-    try {
-      deliver_response(*job, std::move(resp));
-    } catch (...) {
-      // Already settled; swallow so the countdown below still happens and
-      // drain() cannot hang on a throwing promise/callback edge case.
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --outstanding_;
-    }
-    idle_cv_.notify_all();
+    settle_success(job, std::move(img));
   } catch (...) {
     fail_request(job, std::current_exception());
   }
+}
+
+void ReconServer::settle_success(const std::shared_ptr<Job>& job,
+                                 std::shared_ptr<const image::Image> img) {
+  job->timing.total_s = job->since_submit.elapsed_seconds();
+  if (cache_.capacity_bytes() > 0) cache_.put(job->cache_key, img);
+
+  ServeResponse resp;
+  resp.image = std::move(img);
+  resp.cache_hit = false;
+  resp.request_id = job->request_id;
+  resp.rung = static_cast<int>(job->rung);
+  resp.model_version = job->slot->version;
+  resp.timing = job->timing;
+  StageStats* tenant_total = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job->settled) return;  // a failed sibling batch got there first
+    job->settled = true;
+    ++completed_;
+    TenantLocal& tl = tenant_local_[job->tenant];
+    ++tl.completed;
+    tenant_total = &tl.total;
+    // Ladder pressure sample: submit -> settle on the SCHED clock, so the
+    // deterministic harness controls every input to the rung walk. Cache
+    // hits never reach this path and never dilute the window.
+    tl.ladder.record_latency(std::max(0.0, sched_now_s() - job->submit_t));
+  }
+  tenants_.release(job->tenant);
+  hot_.completed.add();
+
+  stages_.queue_wait.record(job->timing.queue_wait_s);
+  stages_.decode.record(job->timing.decode_s);
+  stages_.batch_wait.record(job->timing.batch_wait_s);
+  stages_.assemble.record(job->timing.assemble_s);
+  stages_.total.record(job->timing.total_s);
+  tenant_total->record(job->timing.total_s);
+
+  const double end_us = trace_.now_us();
+  if (job->timing.assemble_s > 0.0) {
+    trace_.record(job->request_id, obs::SpanKind::kAssemble,
+                  end_us - job->timing.assemble_s * 1e6,
+                  job->timing.assemble_s * 1e6);
+  }
+  trace_.record(job->request_id, obs::SpanKind::kTotal, job->submit_us,
+                job->timing.total_s * 1e6);
+
+  // Deliver BEFORE counting the request as no longer outstanding:
+  // drain() promises that every accepted request "has completed", and
+  // for the callback path completion includes the callback itself.
+  try {
+    deliver_response(*job, std::move(resp));
+  } catch (...) {
+    // Already settled; swallow so the countdown below still happens and
+    // drain() cannot hang on a throwing promise/callback edge case.
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --outstanding_;
+  }
+  idle_cv_.notify_all();
 }
 
 void ReconServer::fail_request(const std::shared_ptr<Job>& job,
@@ -869,9 +1111,16 @@ void ReconServer::fail_request(const std::shared_ptr<Job>& job,
     ++failed_;
     ++tenant_local_[job->tenant].failed;
   }
-  tenants_.release(job->tenant);
+  // A failed request returns its inflight slot AND its rate token (the
+  // tenant got no service for it), but stays counted as admitted — see
+  // TenantRegistry::release_failed for the contract.
+  tenants_.release_failed(job->tenant);
   hot_.failed.add();
-  // As in finish_request: the error delivery is part of "completed or
+  hot_.requests_failed.add();
+  trace_.record(job->request_id, obs::SpanKind::kFailed, job->submit_us,
+                trace_.now_us() - job->submit_us,
+                static_cast<std::uint32_t>(job->rung));
+  // As in settle_success: the error delivery is part of "completed or
   // failed", so it happens before drain()'s countdown.
   try {
     deliver_error(*job, error);
@@ -888,7 +1137,10 @@ ServerStatsSnapshot ReconServer::stats() const {
   ServerStatsSnapshot s;
   struct LocalCopy {
     std::uint64_t submitted = 0, completed = 0, failed = 0, cache_hits = 0,
-                  shed_queue_full = 0;
+                  shed_queue_full = 0, shed_overloaded = 0;
+    std::string rung = "full";
+    double ladder_pressure = 0.0;
+    std::uint64_t rung_transitions = 0;
     const StageStats* total = nullptr;
   };
   std::map<std::string, LocalCopy> locals;
@@ -897,12 +1149,16 @@ ServerStatsSnapshot ReconServer::stats() const {
     s.submitted = submitted_;
     s.completed = completed_;
     s.rejected = rejected_;
+    s.shed_overloaded = shed_overloaded_;
     s.failed = failed_;
+    s.model_version = current_slot_->version;
+    s.model_versions_retained = static_cast<int>(retained_.size());
+    s.deploys = deploys_;
     s.batches = batches_;
     s.batched_patches = batched_patches_;
     s.cross_request_batches = cross_request_batches_;
     s.batches_int8 = batches_int8_;
-    s.precision = nn::precision_name(default_precision_);
+    s.precision = nn::precision_name(current_slot_->default_precision);
     s.kernel_threads = tensor::kern::threads();
     s.codec_pixels = codec_pixels_;
     s.queue_depth = queued_;
@@ -916,12 +1172,22 @@ ServerStatsSnapshot ReconServer::stats() const {
     s.stage_busy_decode_s = stage_busy_s_[0];
     s.stage_busy_forward_s = stage_busy_s_[1];
     s.stage_busy_assemble_s = stage_busy_s_[2];
-    s.shaped_batch_fp32 = shaped_max_patches_fp32_;
-    s.shaped_batch_int8 = shaped_max_patches_int8_;
+    s.shaped_batch_fp32 = current_slot_->shaped_fp32;
+    s.shaped_batch_int8 = current_slot_->shaped_int8;
     s.llc_budget_bytes = llc_budget_;
     for (const auto& [name, tl] : tenant_local_) {
-      locals[name] = LocalCopy{tl.submitted, tl.completed, tl.failed,
-                               tl.cache_hits, tl.shed_queue_full, &tl.total};
+      LocalCopy lc;
+      lc.submitted = tl.submitted;
+      lc.completed = tl.completed;
+      lc.failed = tl.failed;
+      lc.cache_hits = tl.cache_hits;
+      lc.shed_queue_full = tl.shed_queue_full;
+      lc.shed_overloaded = tl.shed_overloaded;
+      lc.rung = ladder_rung_name(tl.ladder.rung());
+      lc.ladder_pressure = tl.ladder.last_pressure();
+      lc.rung_transitions = tl.ladder.transitions();
+      lc.total = &tl.total;
+      locals[name] = std::move(lc);
     }
   }
   const CacheStats cs = cache_.stats();
@@ -950,6 +1216,10 @@ ServerStatsSnapshot ReconServer::stats() const {
       t.failed = it->second.failed;
       t.cache_hits = it->second.cache_hits;
       t.shed_queue_full = it->second.shed_queue_full;
+      t.shed_overloaded = it->second.shed_overloaded;
+      t.rung = it->second.rung;
+      t.ladder_pressure = it->second.ladder_pressure;
+      t.rung_transitions = it->second.rung_transitions;
       t.total = it->second.total->summarize();
     }
     s.tenants.push_back(std::move(t));

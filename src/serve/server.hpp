@@ -70,6 +70,7 @@
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "serve/cache.hpp"
+#include "serve/ladder.hpp"
 #include "serve/stats.hpp"
 #include "serve/tenant.hpp"
 #include "util/stopwatch.hpp"
@@ -159,6 +160,15 @@ struct ServerConfig {
   /// LLC size the shaper budgets against. 0 = detect via sysfs/sysconf,
   /// falling back to CacheBudget::kDefaultLlcBytes when undetectable.
   std::size_t llc_bytes = 0;
+  /// Server-default degradation-ladder policy (serve/ladder.hpp, DESIGN.md
+  /// §10). Disabled unless ladder.slo_p95_s > 0; TenantConfig::slo_p95_s
+  /// overrides the SLO per tenant (the other knobs are server-wide).
+  LadderConfig ladder;
+  /// Test-only fault injection: invoked at the START of each stage-action
+  /// body (kDecode/kForward/kAssemble) with the stage about to run; a throw
+  /// from here exercises the failure path exactly as a throwing codec /
+  /// forward / assemble would. Never set in production.
+  std::function<void(StageAction)> fault_injection;
 };
 
 /// One edge upload: the wire blob plus the codec that produced its payload
@@ -187,6 +197,13 @@ struct ServeResponse {
   /// default-constructed responses). Keys this request's spans in the
   /// exported trace and lets clients correlate callbacks with submits.
   std::uint64_t request_id = 0;
+  /// Degradation-ladder rung this request was served at (LadderRung as an
+  /// int; 0 = full quality). Clients see exactly what they were degraded to.
+  int rung = 0;
+  /// Deployed model version the reconstruction ran on (DESIGN.md §10).
+  /// Every byte of `image` is a function of exactly this version — batches
+  /// never mix versions, even mid-hot-swap.
+  std::uint64_t model_version = 0;
   RequestTiming timing;
 };
 
@@ -196,6 +213,7 @@ enum class SubmitStatus {
   kQueueFull,       ///< tenant queue full under kReject (or stop during block)
   kRateLimited,     ///< tenant token bucket empty
   kQuotaExceeded,   ///< tenant max_inflight reached
+  kOverloaded,      ///< tenant ladder at its shed rung (DESIGN.md §10)
 };
 
 struct SubmitResult {
@@ -259,6 +277,27 @@ class ReconServer {
   /// step_stage() != kIdle — the classic pump-until-idle driver.
   bool step();
 
+  /// Versioned hot model reload (DESIGN.md §10). Validates the new model's
+  /// token geometry (patchify + channels) against the deployed one, stamps
+  /// it with the next version number and atomically makes it current.
+  /// NO DRAIN: requests pin their model slot (a shared_ptr) at submit, so
+  /// in-flight batches finish on the version they started with — the epoch
+  /// guard is the shared_ptr refcount itself. Superseded versions stay
+  /// retained while any tenant pins them (TenantConfig::pin_version) and
+  /// are pruned otherwise. Throws std::invalid_argument on a geometry
+  /// mismatch, or when the new model is unquantized while the server
+  /// precision policy is kInt8 or any tenant pins int8. Returns the new
+  /// version. Thread-safe against concurrent submits.
+  std::uint64_t deploy_model(std::shared_ptr<core::ReconstructionModel> model);
+
+  /// Version of the model new non-pinned submits run on (1-based; the
+  /// construction-time model is version 1).
+  [[nodiscard]] std::uint64_t model_version() const;
+
+  /// Current ladder rung of a tenant ("" = default tenant). kFull until
+  /// the tenant's first pressure window closes.
+  [[nodiscard]] LadderRung tenant_rung(const std::string& tenant) const;
+
   /// Effective per-forward patch budget for `precision` after LLC shaping
   /// (== config().max_batch_patches when shape_batches_to_llc is off).
   [[nodiscard]] int shaped_batch_patches(nn::Precision precision) const;
@@ -288,17 +327,38 @@ class ReconServer {
   [[nodiscard]] const obs::TraceRing& trace() const { return trace_; }
 
  private:
+  // One deployed model version. Immutable after construction; shared by
+  // every job submitted while it was current (plus tenants pinning it).
+  // The shared_ptr refcount IS the swap epoch guard: deploy_model replaces
+  // `current_slot_` and the old slot dies when its last in-flight batch
+  // settles, with no drain barrier.
+  struct ModelSlot {
+    std::shared_ptr<const core::ReconstructionModel> model;
+    std::uint64_t version = 0;
+    bool quantized = false;
+    nn::Precision default_precision = nn::Precision::kFp32;  // resolved kAuto
+    // LLC-shaped per-precision forward budgets for THIS model's footprint
+    // (== max_batch_patches when shaping is off).
+    int shaped_fp32 = 0;
+    int shaped_int8 = 0;
+  };
+
   // One request in flight, from accept to promise/callback fulfilment.
   struct Job {
     ServeRequest request;
     std::string tenant;  // resolved tenant name (admission + WDRR + stats)
     nn::Precision precision = nn::Precision::kFp32;  // resolved at submit
+    std::shared_ptr<const ModelSlot> slot;  // model version pinned at submit
+    LadderRung rung = LadderRung::kFull;    // ladder decision at submit
+    bool deblock = true;    // rung plan: run assemble's deblocking pass
+    bool coarse = false;    // rung plan: neighbour-fill, no forward at all
     std::promise<ServeResponse> promise;
     ResponseCallback callback;  // non-null: callback path, promise unused
     CacheKey cache_key;
     util::Stopwatch since_submit;
     std::uint64_t request_id = 0;  // trace id, minted at submit
     double submit_us = 0.0;        // submit instant on the trace clock
+    double submit_t = 0.0;         // submit instant on the SCHED clock
     RequestTiming timing;
     bool settled = false;  // outcome already delivered (guarded by mu_)
   };
@@ -313,12 +373,14 @@ class ReconServer {
     double ready_t = 0.0;                // sched clock, for the age trigger
   };
 
-  // Decoded patches of requests sharing one erase mask AND one precision,
-  // waiting to be pooled into forward passes (the group key carries both,
-  // so a mixed-precision batch can never form).
+  // Decoded patches of requests sharing one erase mask, one precision AND
+  // one model version, waiting to be pooled into forward passes (the group
+  // key carries all three, so a mixed-precision or torn mixed-version batch
+  // can never form — hot swap included).
   struct PendingGroup {
     core::EraseMask mask;
     nn::Precision precision = nn::Precision::kFp32;
+    std::shared_ptr<const ModelSlot> slot;
     struct Span {
       std::shared_ptr<InFlight> inflight;
       int offset = 0;  // first not-yet-batched patch
@@ -337,6 +399,7 @@ class ReconServer {
   struct FormedBatch {
     core::EraseMask mask;
     nn::Precision precision = nn::Precision::kFp32;
+    std::shared_ptr<const ModelSlot> slot;
     std::vector<BatchItem> items;
     int patches = 0;
   };
@@ -358,14 +421,21 @@ class ReconServer {
     std::uint64_t failed = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t shed_queue_full = 0;
+    std::uint64_t shed_overloaded = 0;  // ladder shed-rung rejections
     StageStats total;  // self-locking; recorded outside mu_
+    // Degradation ladder state (guarded by mu_, like the counters above).
+    // Config snapshot taken on first touch: tenant SLO override (if any)
+    // over the server-wide LadderConfig.
+    TenantLadder ladder;
+    bool ladder_init = false;
   };
 
   /// Precision governing one request: the tenant's override, else the
-  /// server default. An int8 override is always satisfiable here — the
-  /// registry rejects kInt8 pins at add() time on unquantized models.
+  /// slot's default. An int8 override is always satisfiable on the slot it
+  /// resolves against — the registry rejects kInt8 pins on unquantized
+  /// models and deploy_model rejects unquantized swaps under int8 pins.
   [[nodiscard]] nn::Precision resolve_precision(
-      const std::string& resolved_tenant) const;
+      const std::string& resolved_tenant, const ModelSlot& slot) const;
 
   void worker_loop(int worker_index);
   // Runs one pipeline-stage action if any is ready, trying stages in
@@ -394,6 +464,25 @@ class ReconServer {
   // Assemble stage body (tokens -> pixels -> cache -> deliver).
   void finish_request(const std::shared_ptr<InFlight>& inflight);
   void fail_request(const std::shared_ptr<Job>& job, std::exception_ptr error);
+  // Common success tail of finish_request and the coarse-rung decode path:
+  // cache put, counters, latency/ladder samples, delivery, outstanding_--.
+  void settle_success(const std::shared_ptr<Job>& job,
+                      std::shared_ptr<const image::Image> img);
+
+  // Builds a ModelSlot (precision resolution + LLC shaping) for `version`.
+  [[nodiscard]] std::shared_ptr<const ModelSlot> make_slot(
+      std::shared_ptr<const core::ReconstructionModel> model,
+      std::uint64_t version) const;
+  // Slot governing one submit: the tenant's pinned version when retained,
+  // else current. Called with mu_ held.
+  [[nodiscard]] std::shared_ptr<const ModelSlot> slot_for_locked(
+      std::uint64_t pin_version) const;
+  // Ladder decision for one submit (mu_ held): lazily builds the tenant's
+  // ladder, feeds it `now` + the tenant's oldest queued wait, applies any
+  // forced_rung override, and emits the transition trace/gauge.
+  [[nodiscard]] LadderRung observe_ladder_locked(
+      const std::string& tenant, const TenantConfig& policy,
+      std::uint64_t request_id);
 
   // Hot-path metric handles, resolved once at construction so workers never
   // touch the registry's name map (one relaxed atomic add per event).
@@ -402,34 +491,43 @@ class ReconServer {
         : submitted(r.counter("serve.submitted")),
           completed(r.counter("serve.completed")),
           failed(r.counter("serve.failed")),
+          requests_failed(r.counter("serve.requests.failed")),
+          callback_errors(r.counter("serve.callback_errors")),
           cache_hits(r.counter("serve.cache_hits")),
           cache_misses(r.counter("serve.cache_misses")),
           shed_queue_full(r.counter("serve.shed.queue_full")),
           shed_rate_limited(r.counter("serve.shed.rate_limited")),
           shed_quota(r.counter("serve.shed.quota")),
+          shed_overloaded(r.counter("serve.shed.overloaded")),
           batches(r.counter("serve.batches")),
           batched_patches(r.counter("serve.batched_patches")),
-          queue_depth(r.gauge("serve.queue_depth")) {}
+          queue_depth(r.gauge("serve.queue_depth")),
+          model_version(r.gauge("model.version")),
+          ladder_rung(r.gauge("ladder.rung")) {}
     obs::Counter& submitted;
     obs::Counter& completed;
     obs::Counter& failed;
+    // serve.failed predates this name and stays for dashboard compat;
+    // serve.requests.failed is the documented failure counter (always
+    // bumped together — DESIGN.md §10).
+    obs::Counter& requests_failed;
+    obs::Counter& callback_errors;  // throwing ResponseCallbacks, contained
     obs::Counter& cache_hits;
     obs::Counter& cache_misses;
     obs::Counter& shed_queue_full;
     obs::Counter& shed_rate_limited;
     obs::Counter& shed_quota;
+    obs::Counter& shed_overloaded;  // ladder shed-rung rejections
     obs::Counter& batches;
     obs::Counter& batched_patches;
     obs::Gauge& queue_depth;
+    obs::Gauge& model_version;  // current deployed version (1-based)
+    obs::Gauge& ladder_rung;    // most recent rung decision, any tenant
   };
 
   const ServerConfig config_;
-  const core::ReconstructionModel& model_;
-  const core::PatchifyConfig patchify_;
-  nn::Precision default_precision_ = nn::Precision::kFp32;  // resolved kAuto
-  // Snapshot at construction: the model may not be (de)quantized while
-  // serving, and is_quantized() walks every layer — not a per-submit cost.
-  bool model_quantized_ = false;
+  const core::ReconstructionModel& model_;  // construction-time model (v1)
+  const core::PatchifyConfig patchify_;     // fixed across deploys
   ResultCache cache_;
   TenantRegistry tenants_;
   obs::Registry obs_;
@@ -452,6 +550,15 @@ class ReconServer {
   int max_queue_depth_ = 0;
   bool stopping_ = false;
 
+  // Versioned model slots (guarded by mu_). current_slot_ serves new
+  // non-pinned submits; retained_ additionally keeps superseded versions
+  // alive while a tenant pins them. Jobs hold their own shared_ptr copies,
+  // so pruning here never invalidates in-flight work.
+  std::shared_ptr<const ModelSlot> current_slot_;
+  std::map<std::uint64_t, std::shared_ptr<const ModelSlot>> retained_;
+  std::uint64_t next_version_ = 1;
+  std::uint64_t deploys_ = 0;
+
   // Forward -> assemble inter-stage ring (guarded by mu_): requests whose
   // last patches were scattered, waiting for an assemble-stage action.
   // Bounded at pipeline_depth x max(1, workers) requests — a forward only
@@ -462,10 +569,8 @@ class ReconServer {
   std::size_t assemble_ring_capacity_ = 1;
   std::uint64_t ring_full_stalls_ = 0;  // forwards skipped on a full ring
 
-  // LLC-shaped per-precision forward budgets (== max_batch_patches when
-  // shaping is off). Immutable after construction.
-  int shaped_max_patches_fp32_ = 0;
-  int shaped_max_patches_int8_ = 0;
+  // LLC budget the batch shaper used (per-slot shaped budgets live in the
+  // ModelSlot — footprints differ across deployed versions).
   std::size_t llc_budget_ = 0;
 
   // Per-stage pipeline telemetry (guarded by mu_): how many actions each
@@ -478,6 +583,7 @@ class ReconServer {
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t shed_overloaded_ = 0;  // of rejected_: ladder shed rung
   std::uint64_t failed_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_patches_ = 0;

@@ -85,32 +85,35 @@ void append_stage_json(std::string& out, const char* name,
 }
 
 void append_tenant_text(std::string& out, const TenantStatsSnapshot& t) {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
-                "  %-12s w%-2d %-7s submitted %-6llu done %-6llu shed %llu "
-                "(queue %llu, rate %llu, quota %llu)  p50 %7.2f ms  "
-                "p95 %7.2f ms\n",
-                t.name.c_str(), t.weight, t.precision.c_str(),
+                "  %-12s w%-2d %-7s rung %-10s submitted %-6llu done %-6llu "
+                "shed %llu (queue %llu, rate %llu, quota %llu, overload %llu)"
+                "  p50 %7.2f ms  p95 %7.2f ms\n",
+                t.name.c_str(), t.weight, t.precision.c_str(), t.rung.c_str(),
                 static_cast<unsigned long long>(t.submitted),
                 static_cast<unsigned long long>(t.completed),
                 static_cast<unsigned long long>(t.rejected()),
                 static_cast<unsigned long long>(t.shed_queue_full),
                 static_cast<unsigned long long>(t.shed_rate_limited),
                 static_cast<unsigned long long>(t.shed_quota),
+                static_cast<unsigned long long>(t.shed_overloaded),
                 t.total.p50_s * 1e3, t.total.p95_s * 1e3);
   out += buf;
 }
 
 void append_tenant_json(std::string& out, const TenantStatsSnapshot& t,
                         bool trailing_comma) {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "{\"name\":\"%s\",\"weight\":%d,\"precision\":\"%s\","
       "\"submitted\":%llu,\"admitted\":%llu,"
       "\"completed\":%llu,\"failed\":%llu,\"cache_hits\":%llu,"
       "\"rejected\":%llu,\"shed_queue_full\":%llu,"
-      "\"shed_rate_limited\":%llu,\"shed_quota\":%llu,\"inflight\":%d,"
+      "\"shed_rate_limited\":%llu,\"shed_quota\":%llu,"
+      "\"shed_overloaded\":%llu,\"inflight\":%d,"
+      "\"rung\":\"%s\",\"ladder_pressure\":%.4f,\"rung_transitions\":%llu,"
       "\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f}%s",
       t.name.c_str(), t.weight, t.precision.c_str(),
       static_cast<unsigned long long>(t.submitted),
@@ -121,7 +124,10 @@ void append_tenant_json(std::string& out, const TenantStatsSnapshot& t,
       static_cast<unsigned long long>(t.rejected()),
       static_cast<unsigned long long>(t.shed_queue_full),
       static_cast<unsigned long long>(t.shed_rate_limited),
-      static_cast<unsigned long long>(t.shed_quota), t.inflight,
+      static_cast<unsigned long long>(t.shed_quota),
+      static_cast<unsigned long long>(t.shed_overloaded), t.inflight,
+      t.rung.c_str(), t.ladder_pressure,
+      static_cast<unsigned long long>(t.rung_transitions),
       t.total.p50_s * 1e3, t.total.p95_s * 1e3, t.total.p99_s * 1e3,
       trailing_comma ? "," : "");
   out += buf;
@@ -133,12 +139,19 @@ std::string ServerStatsSnapshot::to_string() const {
   std::string out;
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "requests: submitted %llu, completed %llu, rejected %llu, "
-                "failed %llu\n",
+                "requests: submitted %llu, completed %llu, rejected %llu "
+                "(%llu overload-shed), failed %llu\n",
                 static_cast<unsigned long long>(submitted),
                 static_cast<unsigned long long>(completed),
                 static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(shed_overloaded),
                 static_cast<unsigned long long>(failed));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "model: version %llu (%d retained, %llu hot swaps)\n",
+                static_cast<unsigned long long>(model_version),
+                model_versions_retained,
+                static_cast<unsigned long long>(deploys));
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "cache: %llu hits / %llu misses (%.1f%% hit rate)\n",
@@ -208,7 +221,10 @@ std::string ServerStatsSnapshot::to_json() const {
   std::snprintf(
       buf, sizeof(buf),
       "\"submitted\":%llu,\"completed\":%llu,\"rejected\":%llu,"
+      "\"shed_overloaded\":%llu,"
       "\"failed\":%llu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
+      "\"model_version\":%llu,\"model_versions_retained\":%d,"
+      "\"deploys\":%llu,"
       "\"batches\":%llu,\"batched_patches\":%llu,"
       "\"cross_request_batches\":%llu,\"batches_int8\":%llu,"
       "\"mean_batch_size\":%.4f,"
@@ -218,9 +234,12 @@ std::string ServerStatsSnapshot::to_json() const {
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(shed_overloaded),
       static_cast<unsigned long long>(failed),
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(model_version), model_versions_retained,
+      static_cast<unsigned long long>(deploys),
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(batched_patches),
       static_cast<unsigned long long>(cross_request_batches),

@@ -86,12 +86,18 @@ struct TenantStatsSnapshot {
   std::uint64_t shed_queue_full = 0;     ///< kReject backpressure drops
   std::uint64_t shed_rate_limited = 0;   ///< token bucket empty at submit
   std::uint64_t shed_quota = 0;          ///< max_inflight reached at submit
+  std::uint64_t shed_overloaded = 0;     ///< ladder shed-rung rejections
   int inflight = 0;                      ///< at snapshot time
   StageSummary total;                    ///< per-tenant submit -> response
 
+  // Degradation-ladder state (DESIGN.md §10).
+  std::string rung = "full";             ///< current rung name
+  double ladder_pressure = 0.0;          ///< at the last window rotation
+  std::uint64_t rung_transitions = 0;    ///< walks since server start
+
   /// All submits shed before reaching a worker, for any reason.
   [[nodiscard]] std::uint64_t rejected() const {
-    return shed_queue_full + shed_rate_limited + shed_quota;
+    return shed_queue_full + shed_rate_limited + shed_quota + shed_overloaded;
   }
 };
 
@@ -102,9 +108,16 @@ struct ServerStatsSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t rejected = 0;   ///< total shed: queue-full + rate + quota
-  std::uint64_t failed = 0;     ///< decode/validation errors
+                                ///< + ladder overload
+  std::uint64_t shed_overloaded = 0;  ///< of `rejected`: ladder shed rung
+  std::uint64_t failed = 0;     ///< decode/forward/assemble errors
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+
+  // Versioned hot reload (DESIGN.md §10).
+  std::uint64_t model_version = 0;    ///< version serving non-pinned submits
+  int model_versions_retained = 0;    ///< current + tenant-pinned versions
+  std::uint64_t deploys = 0;          ///< hot swaps since construction
 
   // Batching effectiveness.
   std::uint64_t batches = 0;          ///< transformer forward passes

@@ -93,6 +93,30 @@ TenantPrecision TenantRegistry::precision_of(
                               : it->second.config.precision;
 }
 
+TenantConfig TenantRegistry::config_of(const std::string& resolved) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(resolved);
+  if (it == tenants_.end()) it = tenants_.find(kDefaultTenant);
+  return it->second.config;
+}
+
+bool TenantRegistry::has_int8_pin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, s] : tenants_) {
+    if (s.config.precision == TenantPrecision::kInt8) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint64_t> TenantRegistry::pinned_versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> out;
+  for (const auto& [name, s] : tenants_) {
+    if (s.config.pin_version != 0) out.push_back(s.config.pin_version);
+  }
+  return out;
+}
+
 Admission TenantRegistry::try_admit(const std::string& resolved,
                                     int* weight_out) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -142,6 +166,19 @@ void TenantRegistry::cancel_admission(const std::string& resolved) {
   State& s = it->second;
   if (s.inflight > 0) --s.inflight;
   if (s.admitted > 0) --s.admitted;  // the request never ran
+  if (s.config.rate_per_s > 0.0 && s.bucket_primed) {
+    s.tokens = std::min(burst_of(s.config), s.tokens + 1.0);
+  }
+}
+
+void TenantRegistry::release_failed(const std::string& resolved) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(resolved);
+  if (it == tenants_.end()) it = tenants_.find(kDefaultTenant);
+  State& s = it->second;
+  if (s.inflight > 0) --s.inflight;
+  // Token refund mirrors cancel_admission; `admitted` stays — the request
+  // ran (see release_failed contract in the header).
   if (s.config.rate_per_s > 0.0 && s.bucket_primed) {
     s.tokens = std::min(burst_of(s.config), s.tokens + 1.0);
   }

@@ -52,6 +52,20 @@ struct TenantConfig {
   double burst = 0.0;       ///< bucket capacity; <= 0 defaults to max(rate, 1)
   int max_inflight = 0;     ///< accepted-but-unsettled cap; 0 = unlimited
   TenantPrecision precision = TenantPrecision::kInherit;
+  /// p95 latency SLO (sched-clock seconds) driving this tenant's
+  /// degradation ladder (serve/ladder.hpp). <= 0 inherits the server's
+  /// ServerConfig::ladder default (which itself may be disabled).
+  double slo_p95_s = 0.0;
+  /// Ops override: pin this tenant to a fixed ladder rung (0 = full .. 4 =
+  /// shed; values are LadderRung). -1 lets the SLO-driven walk decide.
+  /// Forcing a rung is the manual brownout switch — it bypasses the state
+  /// machine entirely, it does not seed it.
+  int forced_rung = -1;
+  /// Pin this tenant's requests to one deployed model version (DESIGN.md
+  /// §10). 0 follows the current version. A pinned version stays retained
+  /// across deploys as long as the pin exists; pinning a version that was
+  /// already pruned falls back to current.
+  std::uint64_t pin_version = 0;
 };
 
 enum class Admission {
@@ -108,6 +122,17 @@ class TenantRegistry {
   /// tenant does not pin one).
   [[nodiscard]] TenantPrecision precision_of(const std::string& resolved) const;
 
+  /// Full policy of a RESOLVED tenant name, by value (one lock acquisition
+  /// for the submit path, which needs slo/forced_rung/pin_version at once).
+  [[nodiscard]] TenantConfig config_of(const std::string& resolved) const;
+
+  /// True when any registered tenant pins kInt8 precision (deploying an
+  /// unquantized model must fail while such a pin exists).
+  [[nodiscard]] bool has_int8_pin() const;
+
+  /// All nonzero pin_version values across tenants (deploys retain these).
+  [[nodiscard]] std::vector<std::uint64_t> pinned_versions() const;
+
   /// Rate/quota check for one request of a RESOLVED tenant. kAdmitted
   /// consumes one bucket token and holds one inflight slot until release().
   /// `weight_out` (optional) receives the tenant's WDRR weight in the same
@@ -122,6 +147,16 @@ class TenantRegistry {
   /// refunds the bucket token, so a full queue cannot drain the rate
   /// limiter with requests that did no work.
   void cancel_admission(const std::string& resolved);
+
+  /// Settles a request that was admitted, ran, and FAILED: returns the
+  /// inflight slot and refunds the bucket token (the tenant received no
+  /// service for it — a server-side fault must not also eat into the
+  /// tenant's rate budget), but KEEPS the `admitted` counter, unlike
+  /// cancel_admission: the request did enter the pipeline and consumed
+  /// capacity, and stats must say so. Trade-off, documented in DESIGN.md
+  /// §10: a tenant submitting only poison requests is throttled by its
+  /// max_inflight quota, not its rate.
+  void release_failed(const std::string& resolved);
 
   /// All tenants in name order (deterministic for reports).
   [[nodiscard]] std::vector<TenantAdmissionStats> snapshot() const;

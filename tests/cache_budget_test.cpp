@@ -10,6 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdio>
+#include <filesystem>
+#include <string>
 
 #include "serve/cache_budget.hpp"
 
@@ -148,6 +151,109 @@ TEST(CacheBudgetTest, DetectReturnsZeroOrPlausibleSize) {
     EXPECT_GE(detected, 64ULL << 10);   // no L2/L3 smaller than 64KB
     EXPECT_LE(detected, 4096ULL << 20); // nor larger than 4GB
   }
+}
+
+// ---- sysfs fixture tests for detect_llc_bytes_in ------------------------
+//
+// Each fixture reproduces a real cpu0/cache/ layout (captured from hosts
+// this has actually misdetected on) so the exact production parser runs
+// against known topologies regardless of what machine CI lands on.
+
+class SysfsFixture {
+ public:
+  SysfsFixture() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("easz_cache_fixture_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->current_test_info()
+                               ->line()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~SysfsFixture() { std::filesystem::remove_all(dir_); }
+
+  void add_index(int index, const std::string& type, const std::string& level,
+                 const std::string& size) {
+    const std::filesystem::path base = dir_ / ("index" + std::to_string(index));
+    std::filesystem::create_directories(base);
+    // sysfs files end in a newline; reproduce that so the parser is tested
+    // against the real format.
+    if (!type.empty()) write(base / "type", type + "\n");
+    if (!level.empty()) write(base / "level", level + "\n");
+    if (!size.empty()) write(base / "size", size + "\n");
+  }
+
+  [[nodiscard]] std::string path() const { return dir_.string(); }
+
+ private:
+  static void write(const std::filesystem::path& p, const std::string& text) {
+    std::FILE* f = std::fopen(p.string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST(CacheBudgetTest, DetectFindsSharedL3OnDesktopTopology) {
+  // Typical bare-metal layout: split L1 at index0/1, private unified L2 at
+  // index2, shared unified L3 at index3. Only the L3 qualifies.
+  SysfsFixture fx;
+  fx.add_index(0, "Data", "1", "32K");
+  fx.add_index(1, "Instruction", "1", "32K");
+  fx.add_index(2, "Unified", "2", "512K");
+  fx.add_index(3, "Unified", "3", "16384K");
+  EXPECT_EQ(CacheBudget::detect_llc_bytes_in(fx.path()), 16384ULL << 10);
+}
+
+TEST(CacheBudgetTest, DetectIgnoresPerCoreL2OnlyHosts) {
+  // The misdetection this guards against: VM/container guests often expose
+  // only per-core caches, topping out at a unified L2. That L2 is NOT a
+  // shared LLC — detection must return 0 so callers take the documented
+  // kDefaultLlcBytes instead of shaping batches against a 4MB private
+  // cache (or worse, a 256K one).
+  SysfsFixture fx;
+  fx.add_index(0, "Data", "1", "32K");
+  fx.add_index(1, "Instruction", "1", "32K");
+  fx.add_index(2, "Unified", "2", "4096K");
+  EXPECT_EQ(CacheBudget::detect_llc_bytes_in(fx.path()), 0U);
+
+  // And the downstream contract: 0 feeds through to the 8MB default.
+  const CacheBudget budget(toy_footprint(),
+                           CacheBudget::detect_llc_bytes_in(fx.path()));
+  EXPECT_EQ(budget.llc_bytes(), CacheBudget::kDefaultLlcBytes);
+}
+
+TEST(CacheBudgetTest, DetectRequiresLevelFile) {
+  // A Unified cache whose level file is missing cannot be placed in the
+  // hierarchy — it could be an L2. Disqualify it rather than guess.
+  SysfsFixture fx;
+  fx.add_index(0, "Unified", "", "16M");
+  EXPECT_EQ(CacheBudget::detect_llc_bytes_in(fx.path()), 0U);
+}
+
+TEST(CacheBudgetTest, DetectKeepsLargestQualifyingLevel) {
+  // eDRAM-style L4 behind a 6M L3: the LLC is the largest level >= 3,
+  // wherever sysfs put it in the index order.
+  SysfsFixture fx;
+  fx.add_index(0, "Unified", "4", "128M");
+  fx.add_index(1, "Unified", "3", "6144K");
+  fx.add_index(2, "Unified", "2", "256K");
+  EXPECT_EQ(CacheBudget::detect_llc_bytes_in(fx.path()), 128ULL << 20);
+}
+
+TEST(CacheBudgetTest, DetectParsesSysfsSizeSuffixes) {
+  SysfsFixture k, m, bare;
+  k.add_index(0, "Unified", "3", "30720K");
+  EXPECT_EQ(CacheBudget::detect_llc_bytes_in(k.path()), 30720ULL << 10);
+  m.add_index(0, "Unified", "3", "24M");
+  EXPECT_EQ(CacheBudget::detect_llc_bytes_in(m.path()), 24ULL << 20);
+  bare.add_index(0, "Unified", "3", "8388608");
+  EXPECT_EQ(CacheBudget::detect_llc_bytes_in(bare.path()), 8ULL << 20);
+}
+
+TEST(CacheBudgetTest, DetectHandlesEmptyOrMissingDir) {
+  EXPECT_EQ(CacheBudget::detect_llc_bytes_in("/nonexistent/easz_no_such"), 0U);
 }
 
 }  // namespace

@@ -11,6 +11,23 @@
 //              [--async] [--precision fp32|int8|auto]
 //              [--trace-out trace.json] [--stats-every S] [--stats-out f.jsonl]
 //              [--pipeline-depth N] [--pin-workers] [--shape-llc] [--llc BYTES]
+//              [--slo-p95-ms MS] [--save-checkpoint f.ckpt] [--reload f.ckpt]
+//              [--inject-fault-every N]
+//
+// Overload resilience (DESIGN.md §10): --slo-p95-ms arms the per-tenant
+// degradation ladder — when a tenant's observed p95 (or oldest queued
+// wait) breaches the target, its requests step down through int8 →
+// no-deblock → coarse-fill → shed until pressure clears. --save-checkpoint
+// writes the serving model (ESZ1 params + EAZQ sidecar when quantized)
+// after startup calibration; --reload watches that path and hot-swaps the
+// checkpoint into the running server (no drain: in-flight batches finish
+// on their pinned version). A reload triggers on SIGHUP or when the poll
+// (every --stats-every seconds, else 250ms) first observes the file or a
+// newer mtime. Point --save-checkpoint and --reload at the same path for a
+// self-contained swap exercise — the CI reload smoke does exactly that.
+// --inject-fault-every N makes every Nth decode action throw, driving the
+// hardened failure path under replay traffic; the CI fault smoke asserts
+// requests.failed > 0 with a clean drain and exit.
 //
 // Staged-pipeline knobs (DESIGN.md §9): --pipeline-depth bounds how many
 // reconstructed requests may park in the forward→assemble ring per worker
@@ -56,9 +73,11 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -68,6 +87,8 @@
 #include "codec/bpg_like.hpp"
 #include "codec/jpeg_like.hpp"
 #include "data/synth.hpp"
+#include "nn/quantize.hpp"
+#include "nn/serialize.hpp"
 #include "serve/server.hpp"
 #include "testbed/loadgen.hpp"
 #include "util/flags.hpp"
@@ -171,6 +192,111 @@ class StatsReporter {
   std::thread thread_;
 };
 
+// SIGHUP sets this; the ReloadWatcher's next poll consumes it. sig_atomic_t
+// because a signal handler may not touch anything heavier.
+volatile std::sig_atomic_t g_reload_signal = 0;
+
+void handle_sighup(int) { g_reload_signal = 1; }
+
+// Hot-reload watcher: polls a checkpoint path on a background thread and
+// deploys it into the running server via ReconServer::deploy_model (atomic
+// slot swap — in-flight batches finish on their pinned version, no drain).
+// Triggers on SIGHUP, on first observing the file, and on any later mtime
+// change. A failed load/validate logs and keeps serving the old version:
+// a bad checkpoint on disk must never take the server down.
+class ReloadWatcher {
+ public:
+  ReloadWatcher(serve::ReconServer& server, std::string path,
+                core::ReconModelConfig mcfg, double poll_s)
+      : server_(server), path_(std::move(path)), mcfg_(mcfg) {
+    thread_ = std::thread([this, poll_s] {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Check-then-wait: a checkpoint already on disk deploys on the first
+      // pass instead of one poll interval late.
+      while (true) {
+        poll_once();
+        if (stop_cv_.wait_for(lock, std::chrono::duration<double>(poll_s),
+                              [this] { return stopping_; })) {
+          return;
+        }
+      }
+    });
+  }
+
+  ~ReloadWatcher() { stop(); }
+
+  void stop() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    stop_cv_.notify_all();
+    thread_.join();
+  }
+
+  [[nodiscard]] std::uint64_t deploys() const { return deploys_.load(); }
+
+ private:
+  void poll_once() {
+    const bool signalled = g_reload_signal != 0;
+    if (signalled) g_reload_signal = 0;
+    std::error_code ec;
+    if (!std::filesystem::exists(path_, ec) || ec) return;
+    const auto mtime = std::filesystem::last_write_time(path_, ec);
+    if (ec) return;
+    const bool changed = !seen_ || mtime != last_mtime_;
+    if (!signalled && !changed) return;
+    seen_ = true;
+    last_mtime_ = mtime;
+    try {
+      deploy();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "reload: %s rejected: %s (still serving model v%llu)\n",
+                   path_.c_str(), e.what(),
+                   static_cast<unsigned long long>(server_.model_version()));
+    }
+  }
+
+  void deploy() {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    if (f == nullptr) throw std::runtime_error("cannot read " + path_);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> bytes(size > 0 ? static_cast<std::size_t>(size)
+                                             : 0);
+    const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (got != bytes.size()) throw std::runtime_error("short read " + path_);
+
+    // Fresh model of the serving architecture; every weight comes from the
+    // file (the rng init is fully overwritten by the parameter load).
+    util::Pcg32 rng(1);
+    auto model = std::make_shared<core::ReconstructionModel>(mcfg_, rng);
+    auto params = model->parameters();
+    const auto sidecar = nn::deserialize_checkpoint_with_quant(params, bytes);
+    if (sidecar.has_value()) model->apply_quant_sidecar(*sidecar);
+    const std::uint64_t version = server_.deploy_model(std::move(model));
+    deploys_.fetch_add(1);
+    std::printf("reload: %s deployed as model v%llu (%s)\n", path_.c_str(),
+                static_cast<unsigned long long>(version),
+                sidecar.has_value() ? "ESZ1+EAZQ" : "ESZ1, fp32 only");
+  }
+
+  serve::ReconServer& server_;
+  const std::string path_;
+  const core::ReconModelConfig mcfg_;
+  std::atomic<std::uint64_t> deploys_{0};
+  bool seen_ = false;
+  std::filesystem::file_time_type last_mtime_;
+  std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -201,6 +327,13 @@ int main(int argc, char** argv) try {
   const bool shape_llc = has_flag(argc, argv, "--shape-llc");
   const std::size_t llc_bytes = static_cast<std::size_t>(
       std::atoll(flag_value(argc, argv, "--llc", "0")));
+  const double slo_p95_ms =
+      std::atof(flag_value(argc, argv, "--slo-p95-ms", "0"));
+  const int inject_fault_every =
+      std::atoi(flag_value(argc, argv, "--inject-fault-every", "0"));
+  const char* save_ckpt =
+      flag_value(argc, argv, "--save-checkpoint", nullptr);
+  const char* reload_path = flag_value(argc, argv, "--reload", nullptr);
   const std::string precision_flag =
       flag_value(argc, argv, "--precision", "fp32");
   serve::PrecisionPolicy precision = serve::PrecisionPolicy::kFp32;
@@ -225,6 +358,9 @@ int main(int argc, char** argv) try {
               precision_flag.c_str(), pipeline_depth,
               pin_workers ? ", pinned workers" : "",
               shape_llc ? ", llc-shaped batches" : "");
+  if (slo_p95_ms > 0.0) {
+    std::printf("degradation ladder armed: p95 SLO %.1f ms\n", slo_p95_ms);
+  }
   const std::vector<serve::TenantConfig> tenants =
       parse_tenants(tenants_spec);
   for (const serve::TenantConfig& t : tenants) {
@@ -281,6 +417,29 @@ int main(int argc, char** argv) try {
                 samples.size());
   }
 
+  if (save_ckpt != nullptr) {
+    // One file carries both sections when quantized, so reloading it
+    // restores the full int8 plan — required for a hot swap under an int8
+    // default or any tenant int8 pin (deploy_model rejects unquantized
+    // checkpoints there).
+    const auto params = model.parameters();
+    const std::vector<std::uint8_t> bytes =
+        model.is_quantized()
+            ? nn::serialize_checkpoint_with_quant(params,
+                                                  model.quant_sidecar())
+            : nn::serialize_parameters(params);
+    if (std::FILE* f = std::fopen(save_ckpt, "wb")) {
+      std::fwrite(bytes.data(), 1, bytes.size(), f);
+      std::fclose(f);
+      std::printf("saved checkpoint %s (%zu bytes, %s)\n", save_ckpt,
+                  bytes.size(),
+                  model.is_quantized() ? "ESZ1+EAZQ" : "ESZ1");
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", save_ckpt);
+      return 1;
+    }
+  }
+
   serve::ServerConfig scfg;
   scfg.workers = workers;
   scfg.max_queue = queue;
@@ -297,6 +456,28 @@ int main(int argc, char** argv) try {
   scfg.pin_workers = pin_workers;
   scfg.shape_batches_to_llc = shape_llc;
   scfg.llc_bytes = llc_bytes;
+  scfg.ladder.slo_p95_s = slo_p95_ms / 1000.0;
+  if (inject_fault_every > 0) {
+    // Resilience smoke hook: every Nth decode action throws, exercising the
+    // hardened failure path (exact accounting, quota/token refund, clean
+    // drain) under real replay traffic. The loadgen settles erred futures/
+    // callbacks like any client would, so the replay completes normally.
+    auto decode_count = std::make_shared<std::atomic<int>>(0);
+    scfg.fault_injection = [decode_count,
+                            inject_fault_every](serve::StageAction stage) {
+      if (stage == serve::StageAction::kDecode &&
+          decode_count->fetch_add(1) % inject_fault_every ==
+              inject_fault_every - 1) {
+        throw std::runtime_error("injected decode fault (smoke)");
+      }
+    };
+    std::printf("fault injection armed: every %d%s decode throws\n",
+                inject_fault_every, inject_fault_every == 2 ? "nd" : "th");
+  }
+
+#if defined(__unix__) || defined(__APPLE__)
+  if (reload_path != nullptr) std::signal(SIGHUP, handle_sighup);
+#endif
 
   std::vector<testbed::LoadTrace> traces;
   if (scenario == "wildlife" || scenario == "all") {
@@ -346,8 +527,15 @@ int main(int argc, char** argv) try {
       reporter = std::make_unique<StatsReporter>(server, stats_every,
                                                  stats_file);
     }
+    std::unique_ptr<ReloadWatcher> reloader;
+    if (reload_path != nullptr) {
+      reloader = std::make_unique<ReloadWatcher>(
+          server, reload_path, mcfg,
+          stats_every > 0.0 ? stats_every : 0.25);
+    }
     const testbed::ReplayReport report =
         testbed::replay_trace(trace, server, opts);
+    if (reloader) reloader->stop();
     if (reporter) reporter->stop();
     // The ring holds the most recent trace_spans spans, so with multiple
     // scenarios the export reflects the LAST one (each runs a fresh server).
