@@ -21,6 +21,12 @@
 // documented 2% instrumentation budget (run in release CI only — debug
 // builds and loaded machines are too noisy for a hard gate).
 //
+// A networked section runs the same fleet over real TCP: two replica
+// servers behind the consistent-hash router on loopback, four socket
+// clients, responses verified byte-for-byte against the sequential
+// reference, and a second pass showing repeat keys landing as replica
+// cache hits (Linux only; prints "unavailable" elsewhere).
+//
 // A fourth section measures the staged decode pipeline (DESIGN.md §9):
 // depth-1 (near-lockstep stages) vs depth-N overlapped execution on the
 // same fleet, per-stage occupancy and assemble-ring depth percentiles,
@@ -48,7 +54,9 @@
 #include "obs/histogram.hpp"
 #include "obs/perf_counters.hpp"
 #include "obs/registry.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
+#include "serve/transport.hpp"
 #include "testbed/loadgen.hpp"
 #include "util/stopwatch.hpp"
 
@@ -264,6 +272,111 @@ int main(int argc, char** argv) {
                 util::Table::num(to.latency_p95_s * 1e3, 1)});
   }
   tt.print();
+
+  // ---- networked tier: loopback sockets through the router -------------
+  // The same fleet, but over real TCP: two replica servers behind a
+  // consistent-hash router, a socket client per simulated camera, and the
+  // responses checked byte-for-byte against the sequential reference. A
+  // second identical pass shows cache affinity: every repeat key re-routes
+  // to the replica whose result cache already holds it.
+  bool net_identical = true;
+  std::string networked_json =
+      ",\"networked\":{\"available\":false}";
+  try {
+    serve::ServerConfig ncfg = scfg;
+    ncfg.cache_bytes = 8ULL << 20;  // affinity pass needs a live cache
+    serve::ReconServer replica0(ncfg, model);
+    serve::ReconServer replica1(ncfg, model);
+    replica0.register_codec("jpeg", &jpeg);
+    replica1.register_codec("jpeg", &jpeg);
+    serve::ServeTransport transport0(replica0, serve::TransportConfig{});
+    serve::ServeTransport transport1(replica1, serve::TransportConfig{});
+    serve::RouterConfig rcfg;
+    rcfg.replicas = {{"127.0.0.1", transport0.port()},
+                     {"127.0.0.1", transport1.port()}};
+    serve::ReplicaRouter router(rcfg);
+
+    testbed::LoadTrace net_trace;
+    net_trace.name = "networked_fleet";
+    for (int i = 0; i < num_images; ++i) {
+      testbed::LoadEvent ev;
+      ev.client_id = i % 4;  // 4 socket clients, closed-loop
+      ev.image_index = static_cast<std::size_t>(i);
+      ev.request.compressed = requests[i];
+      ev.request.codec = "jpeg";
+      net_trace.events.push_back(std::move(ev));
+    }
+
+    testbed::SocketReplayOptions nopts;
+    nopts.port = router.port();
+    nopts.on_response = [&](const testbed::LoadEvent& ev,
+                            const serve::wire::WireResponse& resp) {
+      if (resp.status != serve::wire::ResponseStatus::kOk) return;
+      const std::vector<float>& want = reference[ev.image_index].data();
+      if (resp.pixels.size() != want.size() * sizeof(float) ||
+          std::memcmp(resp.pixels.data(), want.data(),
+                      resp.pixels.size()) != 0) {
+        net_identical = false;
+      }
+    };
+    const testbed::ReplayReport pass1 =
+        testbed::replay_trace_sockets(net_trace, nopts);
+    const testbed::ReplayReport pass2 =
+        testbed::replay_trace_sockets(net_trace, nopts);
+
+    const std::uint64_t affinity_hits =
+        replica0.stats().cache_hits + replica1.stats().cache_hits;
+    std::printf(
+        "\nnetworked (2 replicas behind easz_router, 4 socket clients): "
+        "pass1 %d done in %.3f s (%.1f req/s), pass2 %d done, "
+        "%llu/%d repeat keys were replica-cache hits, byte-identical: %s\n",
+        pass1.completed, pass1.wall_s, pass1.throughput_rps, pass2.completed,
+        static_cast<unsigned long long>(affinity_hits), num_images,
+        net_identical ? "yes" : "NO");
+    util::Table nt({"replica", "forwarded", "responses", "failed", "p50 ms",
+                    "p95 ms"});
+    std::string per_replica_json;
+    for (int r = 0; r < 2; ++r) {
+      const serve::ReplicaStats rs = router.replica_stats(r);
+      nt.add_row({std::to_string(r), std::to_string(rs.forwarded),
+                  std::to_string(rs.responses), std::to_string(rs.failed),
+                  util::Table::num(rs.latency.quantile(50.0) * 1e3, 2),
+                  util::Table::num(rs.latency.quantile(95.0) * 1e3, 2)});
+      char rj[192];
+      std::snprintf(rj, sizeof(rj),
+                    "%s{\"forwarded\":%llu,\"responses\":%llu,"
+                    "\"failed\":%llu,\"p50_s\":%.6f,\"p95_s\":%.6f}",
+                    r == 0 ? "" : ",",
+                    static_cast<unsigned long long>(rs.forwarded),
+                    static_cast<unsigned long long>(rs.responses),
+                    static_cast<unsigned long long>(rs.failed),
+                    rs.latency.quantile(50.0), rs.latency.quantile(95.0));
+      per_replica_json += rj;
+    }
+    nt.print();
+
+    char nj[512];
+    std::snprintf(
+        nj, sizeof(nj),
+        ",\"networked\":{\"available\":true,\"replicas\":2,"
+        "\"completed\":%d,\"failed\":%d,\"wall_s\":%.4f,"
+        "\"throughput_rps\":%.2f,\"affinity_cache_hits\":%llu,"
+        "\"identical_output\":%s,\"per_replica\":[",
+        pass1.completed, pass1.failed, pass1.wall_s, pass1.throughput_rps,
+        static_cast<unsigned long long>(affinity_hits),
+        net_identical ? "true" : "false");
+    networked_json = std::string(nj) + per_replica_json + "]}";
+
+    router.stop();
+    transport0.stop();
+    transport1.stop();
+    replica0.drain();
+    replica1.drain();
+  } catch (const std::exception& e) {
+    // Non-Linux builds have no epoll transport; report and move on rather
+    // than failing the whole bench.
+    std::printf("\nnetworked tier unavailable: %s\n", e.what());
+  }
 
   // ---- staged pipeline: depth-1 vs depth-N -----------------------------
   // Same fleet, same workers, cache off; the only difference is how many
@@ -576,7 +689,7 @@ int main(int argc, char** argv) {
 
   const std::string json = std::string(head) + stats.to_json() +
                            ",\"two_tenant\":" + tenant_report.to_json() +
-                           pipeline_json + obs_json +
+                           networked_json + pipeline_json + obs_json +
                            ",\"perf\":" + perf.to_json() + "}";
   if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
     std::fputs(json.c_str(), f);
@@ -594,5 +707,7 @@ int main(int argc, char** argv) {
                  overhead_pct, on_s, off_s);
     return 4;
   }
-  return identical && pipeline_identical && shaping_identical ? 0 : 1;
+  return identical && pipeline_identical && shaping_identical && net_identical
+             ? 0
+             : 1;
 }

@@ -1,0 +1,363 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "serve/cache.hpp"
+#include "serve/wire.hpp"
+
+namespace easz::serve {
+
+namespace {
+
+double steady_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- HashRing
+
+HashRing::HashRing(std::size_t replica_count, int vnodes)
+    : replica_count_(replica_count) {
+  if (replica_count == 0) {
+    throw std::invalid_argument("HashRing: need at least one replica");
+  }
+  if (vnodes < 1) throw std::invalid_argument("HashRing: vnodes must be >= 1");
+  ring_.reserve(replica_count * static_cast<std::size_t>(vnodes));
+  for (std::size_t r = 0; r < replica_count; ++r) {
+    for (int v = 0; v < vnodes; ++v) {
+      // Deterministic vnode identity: hash the "replica:vnode" label so the
+      // placement depends on nothing but (replica_count, vnodes).
+      const std::string label =
+          "replica-" + std::to_string(r) + ":" + std::to_string(v);
+      const std::uint64_t point = fnv1a64(
+          reinterpret_cast<const std::uint8_t*>(label.data()), label.size());
+      ring_.emplace_back(point, static_cast<std::uint32_t>(r));
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t HashRing::lookup(std::uint64_t key) const {
+  // First point clockwise from the key, wrapping past the top.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const std::pair<std::uint64_t, std::uint32_t>& entry,
+         std::uint64_t k) { return entry.first < k; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+// ----------------------------------------------------------- ReplicaRouter
+
+// One replica connection: a send thread drains `queue` into the socket, a
+// receive thread polls responses and relays them to the waiting client
+// connection. The two threads share one WireClient — safe because send only
+// writes the fd and receive only reads it (distinct stream directions).
+struct ReplicaRouter::Leg {
+  std::size_t index = 0;
+  std::string host;
+  int port = 0;
+
+  WireClient client;
+
+  struct Pending {
+    std::shared_ptr<TcpEndpoint::Sender> reply;
+    std::uint64_t original_tag = 0;
+    double start_s = 0.0;
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::pair<std::uint64_t, std::vector<std::uint8_t>>> queue;
+  std::unordered_map<std::uint64_t, Pending> pending;
+  bool down = false;      // replica unreachable: fail fast
+  bool stopping = false;  // router shutdown
+
+  std::thread send_thread;
+  std::thread recv_thread;
+
+  // Metrics (owned by the router's registry).
+  obs::Counter* forwarded = nullptr;
+  obs::Counter* responses = nullptr;
+  obs::Counter* shed = nullptr;
+  obs::Counter* failed = nullptr;
+  obs::LatencyHistogram latency;
+};
+
+namespace {
+
+// Answers one client with a router-generated failure (leg down / queue
+// full / shutdown). Best effort: a dead client Sender just drops it.
+void fail_to_client(const std::shared_ptr<TcpEndpoint::Sender>& reply,
+                    std::uint64_t original_tag, const std::string& why,
+                    obs::Counter& dropped) {
+  wire::WireResponse resp = wire::make_failed_response(why, 0);
+  resp.client_tag = original_tag;
+  if (!reply->send(wire::encode_response(resp))) dropped.add();
+}
+
+}  // namespace
+
+ReplicaRouter::ReplicaRouter(RouterConfig config)
+    : config_(std::move(config)),
+      ring_(config_.replicas.size(), config_.vnodes),
+      parse_errors_(registry_.counter("router.parse_errors")),
+      dropped_responses_(registry_.counter("router.dropped_responses")) {
+  // Bring every leg up BEFORE opening the front door: a router that cannot
+  // reach its fleet refuses to start rather than black-holing traffic.
+  legs_.reserve(config_.replicas.size());
+  for (std::size_t i = 0; i < config_.replicas.size(); ++i) {
+    auto leg = std::make_unique<Leg>();
+    leg->index = i;
+    leg->host = config_.replicas[i].host;
+    leg->port = config_.replicas[i].port;
+    const std::string prefix = "router.replica" + std::to_string(i);
+    leg->forwarded = &registry_.counter(prefix + ".forwarded");
+    leg->responses = &registry_.counter(prefix + ".responses");
+    leg->shed = &registry_.counter(prefix + ".shed");
+    leg->failed = &registry_.counter(prefix + ".failed");
+    leg->client.connect(leg->host, leg->port, config_.connect_timeout_s);
+    legs_.push_back(std::move(leg));
+  }
+
+  for (auto& leg_ptr : legs_) {
+    Leg* leg = leg_ptr.get();
+    obs::Counter* dropped = &dropped_responses_;
+
+    leg->send_thread = std::thread([leg, dropped] {
+      while (true) {
+        std::pair<std::uint64_t, std::vector<std::uint8_t>> item;
+        {
+          std::unique_lock<std::mutex> lock(leg->mu);
+          leg->cv.wait(lock, [leg] {
+            return leg->stopping || leg->down || !leg->queue.empty();
+          });
+          if (leg->stopping || leg->down) return;
+          item = std::move(leg->queue.front());
+          leg->queue.pop_front();
+        }
+        try {
+          // Raw frame write: the body was re-encoded with the router tag by
+          // on_frame, so send it verbatim rather than re-parsing.
+          leg->client.send_frame(item.second);
+        } catch (const std::exception&) {
+          // Replica gone mid-send. Every queued frame has a pending entry
+          // (on_frame registers it before enqueueing), so failing the
+          // pending map covers the in-flight item and the queue both. The
+          // recv thread sees `down` (or EOF) and exits on its own.
+          std::unique_lock<std::mutex> lock(leg->mu);
+          leg->down = true;
+          auto pend = std::move(leg->pending);
+          leg->pending.clear();
+          leg->queue.clear();
+          lock.unlock();
+          leg->cv.notify_all();
+          for (auto& entry : pend) {
+            Leg::Pending& p = entry.second;
+            leg->failed->add();
+            fail_to_client(p.reply, p.original_tag,
+                           "replica " + std::to_string(leg->index) +
+                               " unavailable",
+                           *dropped);
+          }
+          return;
+        }
+      }
+    });
+
+    leg->recv_thread = std::thread([leg, dropped] {
+      while (true) {
+        {
+          std::lock_guard<std::mutex> lock(leg->mu);
+          if (leg->stopping || leg->down) break;
+        }
+        std::optional<wire::WireResponse> resp;
+        try {
+          resp = leg->client.poll_response(0.2);
+        } catch (const std::exception&) {
+          // EOF or corrupt stream: the replica is gone.
+          std::unique_lock<std::mutex> lock(leg->mu);
+          leg->down = true;
+          auto pend = std::move(leg->pending);
+          leg->pending.clear();
+          leg->queue.clear();
+          lock.unlock();
+          leg->cv.notify_all();
+          for (auto& entry : pend) {
+            Leg::Pending& p = entry.second;
+            leg->failed->add();
+            fail_to_client(p.reply, p.original_tag,
+                           "replica " + std::to_string(leg->index) +
+                               " unavailable",
+                           *dropped);
+          }
+          break;
+        }
+        if (!resp) continue;
+
+        Leg::Pending p;
+        {
+          std::lock_guard<std::mutex> lock(leg->mu);
+          auto it = leg->pending.find(resp->client_tag);
+          if (it == leg->pending.end()) {
+            // Unknown tag: the replica answered something we already
+            // failed (or garbage). Count and move on.
+            dropped->add();
+            continue;
+          }
+          p = std::move(it->second);
+          leg->pending.erase(it);
+        }
+        leg->latency.record(steady_now_s() - p.start_s);
+        leg->responses->add();
+        const bool was_shed = resp->status == wire::ResponseStatus::kShed;
+        if (was_shed) leg->shed->add();
+        resp->client_tag = p.original_tag;
+        // Propagate shed as backpressure on the CLIENT connection too: the
+        // fleet is saying no, so stop reading this client until it hears it.
+        if (!p.reply->send(wire::encode_response(*resp), was_shed)) {
+          dropped->add();
+        }
+      }
+    });
+  }
+
+  front_ = std::make_unique<TcpEndpoint>(
+      config_.front,
+      [this](std::vector<std::uint8_t> body,
+             const std::shared_ptr<TcpEndpoint::Sender>& reply) {
+        on_frame(std::move(body), reply);
+      },
+      registry_, "router.front");
+}
+
+ReplicaRouter::~ReplicaRouter() { stop(); }
+
+int ReplicaRouter::port() const { return front_->port(); }
+
+std::size_t ReplicaRouter::replica_for(std::uint64_t routing_key) const {
+  return ring_.lookup(routing_key);
+}
+
+void ReplicaRouter::on_frame(
+    std::vector<std::uint8_t> body,
+    const std::shared_ptr<TcpEndpoint::Sender>& reply) {
+  static std::atomic<std::uint64_t> next_tag{1};
+
+  wire::WireRequest request;
+  try {
+    request = wire::parse_request(body);
+  } catch (const wire::WireError& e) {
+    parse_errors_.add();
+    wire::WireResponse resp = wire::make_failed_response(e.what(), 0);
+    if (!reply->send(wire::encode_response(resp))) dropped_responses_.add();
+    return;
+  }
+
+  const std::uint64_t original_tag = request.client_tag;
+  Leg& leg = *legs_[ring_.lookup(wire::routing_hash(request))];
+
+  const std::uint64_t router_tag =
+      next_tag.fetch_add(1, std::memory_order_relaxed);
+  request.client_tag = router_tag;
+  std::vector<std::uint8_t> frame = wire::encode_request(request);
+
+  {
+    std::lock_guard<std::mutex> lock(leg.mu);
+    if (leg.down || leg.stopping ||
+        leg.queue.size() >= config_.max_leg_queue) {
+      leg.failed->add();
+      fail_to_client(reply, original_tag,
+                     leg.down || leg.stopping
+                         ? "replica " + std::to_string(leg.index) +
+                               " unavailable"
+                         : "replica " + std::to_string(leg.index) +
+                               " queue full",
+                     dropped_responses_);
+      return;
+    }
+    leg.pending.emplace(
+        router_tag, Leg::Pending{reply, original_tag, steady_now_s()});
+    leg.queue.emplace_back(router_tag, std::move(frame));
+    leg.forwarded->add();
+  }
+  leg.cv.notify_one();
+}
+
+ReplicaStats ReplicaRouter::replica_stats(std::size_t index) const {
+  const Leg& leg = *legs_.at(index);
+  ReplicaStats stats;
+  stats.forwarded = leg.forwarded->value();
+  stats.responses = leg.responses->value();
+  stats.shed = leg.shed->value();
+  stats.failed = leg.failed->value();
+  stats.latency = leg.latency.snapshot();
+  return stats;
+}
+
+std::string ReplicaRouter::stats_json() const {
+  std::ostringstream out;
+  out << "{\"replicas\":[";
+  for (std::size_t i = 0; i < legs_.size(); ++i) {
+    const ReplicaStats s = replica_stats(i);
+    if (i != 0) out << ",";
+    out << "{\"index\":" << i << ",\"host\":\"" << legs_[i]->host
+        << "\",\"port\":" << legs_[i]->port
+        << ",\"forwarded\":" << s.forwarded
+        << ",\"responses\":" << s.responses << ",\"shed\":" << s.shed
+        << ",\"failed\":" << s.failed << ",\"p50_s\":"
+        << s.latency.quantile(50.0) << ",\"p95_s\":"
+        << s.latency.quantile(95.0) << "}";
+  }
+  out << "],\"parse_errors\":" << parse_errors_.value()
+      << ",\"dropped_responses\":" << dropped_responses_.value();
+  const obs::Registry::Snapshot snap = registry_.snapshot();
+  out << ",\"front\":{\"accepted\":"
+      << snap.counter("router.front.accepted")
+      << ",\"closed\":" << snap.counter("router.front.closed")
+      << ",\"rx_frames\":" << snap.counter("router.front.rx_frames")
+      << ",\"tx_frames\":" << snap.counter("router.front.tx_frames") << "}}";
+  return out.str();
+}
+
+void ReplicaRouter::stop() {
+  // Front door first: no new requests can arrive once it is down.
+  if (front_) front_->stop();
+  for (auto& leg_ptr : legs_) {
+    Leg& leg = *leg_ptr;
+    std::unordered_map<std::uint64_t, Leg::Pending> pend;
+    {
+      std::lock_guard<std::mutex> lock(leg.mu);
+      if (leg.stopping) continue;
+      leg.stopping = true;
+      pend = std::move(leg.pending);
+      leg.pending.clear();
+      leg.queue.clear();
+    }
+    leg.cv.notify_all();
+    if (leg.send_thread.joinable()) leg.send_thread.join();
+    if (leg.recv_thread.joinable()) leg.recv_thread.join();
+    leg.client.close();
+    for (auto& entry : pend) {
+            Leg::Pending& p = entry.second;
+      leg.failed->add();
+      fail_to_client(p.reply, p.original_tag, "router shutting down",
+                     dropped_responses_);
+    }
+  }
+}
+
+}  // namespace easz::serve

@@ -1,0 +1,126 @@
+// Consistent-hash replica router (DESIGN.md §11.3).
+//
+// One easz_router fronts N easz_serve --listen replicas. Client frames
+// arrive on the router's own TcpEndpoint; each request is hashed with
+// wire::routing_hash — a stable 64-bit digest over exactly the fields of
+// the replica's result-cache key (payload, mask, codec, geometry,
+// precision) — and forwarded to the replica that owns that point on a
+// consistent-hash ring. Identical uploads therefore always land on the
+// replica whose result cache already holds them: the fleet's aggregate
+// cache behaves like one cache sharded by key instead of N caches each
+// cold for (N-1)/N of the traffic. Adding or removing a replica remaps
+// only ~1/N of the key space (the classic ring property), so a fleet
+// resize does not flush every shard.
+//
+// Plumbing per replica ("leg"): one WireClient shared by a send thread
+// (drains a bounded queue of re-tagged request frames) and a receive
+// thread (polls responses, matches them to waiting client connections by
+// the router-assigned tag, restores the client's original tag). Responses
+// complete in replica-settle order; the tag demux is what makes that safe.
+// A leg that loses its replica fails its pending and queued requests with
+// kFailed responses (clients see an error, never a hang) and subsequent
+// requests hashed to it fail fast until the leg reconnects.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+#include "serve/transport.hpp"
+
+namespace easz::serve {
+
+/// Consistent-hash ring over replica indices. `vnodes` virtual points per
+/// replica smooth the key-space split (64 vnodes keeps the max/min load
+/// ratio within ~30% for small fleets). Deterministic: the ring depends
+/// only on (replica_count, vnodes), so every router instance — and the
+/// affinity test — agrees on placement.
+class HashRing {
+ public:
+  HashRing(std::size_t replica_count, int vnodes = 64);
+
+  /// Replica owning `key`: the first ring point clockwise from it.
+  [[nodiscard]] std::size_t lookup(std::uint64_t key) const;
+  [[nodiscard]] std::size_t replica_count() const { return replica_count_; }
+
+ private:
+  std::size_t replica_count_;
+  // (ring point, replica index), sorted by point.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+struct RouterConfig {
+  /// Front-door listener (host/port/limits) for client connections.
+  TransportConfig front;
+  /// Replica endpoints, index order = ring identity.
+  struct Replica {
+    std::string host;
+    int port = 0;
+  };
+  std::vector<Replica> replicas;
+  int vnodes = 64;
+  /// How long each leg retries its initial connect (replicas may still be
+  /// binding when the router starts).
+  double connect_timeout_s = 10.0;
+  /// Request frames queued per leg before new arrivals fail fast.
+  std::size_t max_leg_queue = 1024;
+};
+
+/// Per-replica forwarding stats for stats_json() / tests.
+struct ReplicaStats {
+  std::uint64_t forwarded = 0;  ///< requests routed to this replica
+  std::uint64_t responses = 0;  ///< responses relayed back to clients
+  std::uint64_t shed = 0;       ///< of those, kShed
+  std::uint64_t failed = 0;     ///< failed locally (leg down, queue full)
+  obs::HistogramSnapshot latency;  ///< forward→response, seconds
+};
+
+class ReplicaRouter {
+ public:
+  /// Connects every leg (throws std::runtime_error when a replica cannot
+  /// be reached within connect_timeout_s) and opens the front door.
+  explicit ReplicaRouter(RouterConfig config);
+  ~ReplicaRouter();
+
+  ReplicaRouter(const ReplicaRouter&) = delete;
+  ReplicaRouter& operator=(const ReplicaRouter&) = delete;
+
+  /// Front-door port actually bound.
+  [[nodiscard]] int port() const;
+
+  /// Ring placement for a key — exposed so tests can assert affinity
+  /// without sniffing traffic.
+  [[nodiscard]] std::size_t replica_for(std::uint64_t routing_key) const;
+
+  [[nodiscard]] ReplicaStats replica_stats(std::size_t index) const;
+
+  /// {"replicas":[{index,host,port,forwarded,responses,shed,failed,
+  /// p50_s,p95_s},...], "front":{...counters...}} — the JSON easz_router
+  /// emits on --stats-every and at exit.
+  [[nodiscard]] std::string stats_json() const;
+
+  [[nodiscard]] obs::Registry& obs() { return registry_; }
+
+  /// Closes the front door first (no new requests), then drains and joins
+  /// every leg, failing whatever is still pending. Safe to call twice.
+  void stop();
+
+ private:
+  struct Leg;
+
+  void on_frame(std::vector<std::uint8_t> body,
+                const std::shared_ptr<TcpEndpoint::Sender>& reply);
+
+  RouterConfig config_;
+  HashRing ring_;
+  obs::Registry registry_;
+  obs::Counter& parse_errors_;
+  obs::Counter& dropped_responses_;
+  std::vector<std::unique_ptr<Leg>> legs_;
+  std::unique_ptr<TcpEndpoint> front_;
+};
+
+}  // namespace easz::serve

@@ -384,7 +384,8 @@ SubmitStatus ReconServer::submit_async(ServeRequest request,
 }
 
 nn::Precision ReconServer::resolve_precision(
-    const std::string& resolved_tenant, const ModelSlot& slot) const {
+    const std::string& resolved_tenant, const ModelSlot& slot,
+    TenantPrecision request_override) const {
   switch (tenants_.precision_of(resolved_tenant)) {
     case TenantPrecision::kFp32:
       return nn::Precision::kFp32;
@@ -393,6 +394,18 @@ nn::Precision ReconServer::resolve_precision(
       // pins while int8 is unavailable, and deploy_model rejects an
       // unquantized swap while any such pin exists.
       return nn::Precision::kInt8;
+    case TenantPrecision::kInherit:
+      break;
+  }
+  // No tenant pin: the request's own ask (the wire precision field) is
+  // honoured when satisfiable; an int8 ask on an unquantized slot degrades
+  // to the slot default exactly like PrecisionPolicy::kAuto does.
+  switch (request_override) {
+    case TenantPrecision::kFp32:
+      return nn::Precision::kFp32;
+    case TenantPrecision::kInt8:
+      if (slot.quantized) return nn::Precision::kInt8;
+      break;
     case TenantPrecision::kInherit:
       break;
   }
@@ -429,7 +442,8 @@ SubmitStatus ReconServer::submit_job(const std::shared_ptr<Job>& job) {
     ++tl.shed_overloaded;
     return SubmitStatus::kOverloaded;
   }
-  job->precision = resolve_precision(job->tenant, *job->slot);
+  job->precision =
+      resolve_precision(job->tenant, *job->slot, job->request.precision);
   if (plan.use_int8 && job->slot->quantized &&
       policy.precision != TenantPrecision::kFp32) {
     // Rung substitution. A tenant that explicitly pins fp32 keeps it (the

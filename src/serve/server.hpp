@@ -177,6 +177,13 @@ struct ServeRequest {
   core::EaszCompressed compressed;
   std::string codec = "jpeg";  ///< name registered via register_codec()
   std::string tenant;          ///< name registered via tenants().add()
+  /// Per-REQUEST numeric-path ask (the wire protocol's precision field,
+  /// DESIGN.md §11). Resolution order: tenant pin > this > slot default —
+  /// a tenant's fp32 pin is a quality contract no request can override.
+  /// kInt8 on an unquantized deployment degrades to the slot default, the
+  /// same policy as PrecisionPolicy::kAuto; the precision actually served
+  /// still keys the batch pool and the result cache, so bytes stay exact.
+  TenantPrecision precision = TenantPrecision::kInherit;
 };
 
 /// Wall-clock stage costs of one request, as experienced by that request.
@@ -431,11 +438,14 @@ class ReconServer {
   };
 
   /// Precision governing one request: the tenant's override, else the
-  /// slot's default. An int8 override is always satisfiable on the slot it
-  /// resolves against — the registry rejects kInt8 pins on unquantized
-  /// models and deploy_model rejects unquantized swaps under int8 pins.
+  /// request's own ask (wire clients), else the slot's default. A tenant
+  /// int8 override is always satisfiable on the slot it resolves against —
+  /// the registry rejects kInt8 pins on unquantized models and deploy_model
+  /// rejects unquantized swaps under int8 pins; a REQUEST int8 ask carries
+  /// no such guarantee and degrades to the slot default when unquantized.
   [[nodiscard]] nn::Precision resolve_precision(
-      const std::string& resolved_tenant, const ModelSlot& slot) const;
+      const std::string& resolved_tenant, const ModelSlot& slot,
+      TenantPrecision request_override) const;
 
   void worker_loop(int worker_index);
   // Runs one pipeline-stage action if any is ready, trying stages in

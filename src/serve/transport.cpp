@@ -1,0 +1,632 @@
+#include "serve/transport.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "serve/server.hpp"
+
+#if defined(__linux__)
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+
+namespace easz::serve {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error("transport: fcntl(O_NONBLOCK) failed");
+  }
+}
+
+double steady_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Resolves host:port (numeric or named) and connects a blocking socket.
+// Returns -1 on failure (callers retry against their deadline).
+int try_connect(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd >= 0) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ TcpEndpoint
+
+struct TcpEndpoint::Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  wire::Deframer deframer;
+  std::deque<std::vector<std::uint8_t>> writeq;
+  std::size_t write_offset = 0;   // into writeq.front()
+  std::size_t backlog_bytes = 0;  // unsent bytes across writeq
+  int inflight = 0;       // frames handed to the handler, not yet answered
+  bool shedding = false;  // latest submit shed; holds reads until flushed
+  std::uint32_t armed = 0;  // epoll interest currently installed
+  std::shared_ptr<Sender> sender;
+
+  explicit Conn(std::size_t max_frame) : deframer(max_frame) {}
+};
+
+// One response (or shed marker) queued by a worker thread for the epoll
+// thread to attach to its connection.
+struct TcpEndpoint::Outbox {
+  std::uint64_t conn_id = 0;
+  std::vector<std::uint8_t> frame;
+  bool shed = false;
+};
+
+struct TcpEndpoint::Impl {
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int event_fd = -1;
+  std::thread thread;
+  std::atomic<bool> stopping{false};
+  bool stopped = false;  // stop() ran to completion (guarded by stop_mu)
+  std::mutex stop_mu;
+
+  std::mutex outbox_mu;
+  std::deque<Outbox> outbox;
+
+  // Epoll-thread-only state.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  std::uint64_t next_conn_id = 2;  // epoll tags 0/1 = listen fd / eventfd
+  std::vector<std::uint8_t> read_buf = std::vector<std::uint8_t>(256 << 10);
+
+  // Metrics.
+  obs::Gauge* connections = nullptr;
+  obs::Counter* accepted = nullptr;
+  obs::Counter* closed = nullptr;
+  obs::Counter* rx_frames = nullptr;
+  obs::Counter* tx_frames = nullptr;
+  obs::Counter* rx_bytes = nullptr;
+  obs::Counter* tx_bytes = nullptr;
+  obs::Counter* dropped = nullptr;
+  obs::Counter* suspensions = nullptr;
+};
+
+bool TcpEndpoint::Sender::send(std::vector<std::uint8_t> frame, bool shed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (endpoint_ == nullptr) return false;
+  Impl& impl = *endpoint_->impl_;
+  {
+    std::lock_guard<std::mutex> qlock(impl.outbox_mu);
+    impl.outbox.push_back({conn_id_, std::move(frame), shed});
+  }
+  const std::uint64_t one = 1;
+  // A full eventfd counter (impossible at 2^64) would drop the wakeup, not
+  // the frame; the loop drains the whole outbox on every tick anyway.
+  [[maybe_unused]] const ssize_t n =
+      ::write(impl.event_fd, &one, sizeof(one));
+  return true;
+}
+
+TcpEndpoint::TcpEndpoint(TransportConfig config, FrameHandler handler,
+                         obs::Registry& registry,
+                         const std::string& metric_prefix)
+    : config_(std::move(config)),
+      handler_(std::move(handler)),
+      impl_(std::make_unique<Impl>()) {
+  Impl& im = *impl_;
+  im.connections = &registry.gauge(metric_prefix + ".connections");
+  im.accepted = &registry.counter(metric_prefix + ".accepted");
+  im.closed = &registry.counter(metric_prefix + ".closed");
+  im.rx_frames = &registry.counter(metric_prefix + ".rx_frames");
+  im.tx_frames = &registry.counter(metric_prefix + ".tx_frames");
+  im.rx_bytes = &registry.counter(metric_prefix + ".rx_bytes");
+  im.tx_bytes = &registry.counter(metric_prefix + ".tx_bytes");
+  im.dropped = &registry.counter(metric_prefix + ".dropped_responses");
+  im.suspensions = &registry.counter(metric_prefix + ".read_suspensions");
+
+  im.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (im.listen_fd < 0) throw std::runtime_error("transport: socket failed");
+  const int one = 1;
+  ::setsockopt(im.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(im.listen_fd);
+    throw std::runtime_error("transport: bad listen address " + config_.host);
+  }
+  if (::bind(im.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(im.listen_fd, 128) != 0) {
+    ::close(im.listen_fd);
+    throw std::runtime_error("transport: cannot bind " + config_.host + ":" +
+                             std::to_string(config_.port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(im.listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(im.listen_fd);
+
+  im.epoll_fd = ::epoll_create1(0);
+  im.event_fd = ::eventfd(0, EFD_NONBLOCK);
+  if (im.epoll_fd < 0 || im.event_fd < 0) {
+    ::close(im.listen_fd);
+    if (im.epoll_fd >= 0) ::close(im.epoll_fd);
+    throw std::runtime_error("transport: epoll/eventfd creation failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // 0 = listen fd
+  ::epoll_ctl(im.epoll_fd, EPOLL_CTL_ADD, im.listen_fd, &ev);
+  ev.events = EPOLLIN;
+  ev.data.u64 = 1;  // 1 = eventfd
+  ::epoll_ctl(im.epoll_fd, EPOLL_CTL_ADD, im.event_fd, &ev);
+
+  im.thread = std::thread([this] { loop(); });
+}
+
+TcpEndpoint::~TcpEndpoint() { stop(); }
+
+void TcpEndpoint::stop() {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> slock(im.stop_mu);
+  if (im.stopped) return;
+  im.stopping.store(true);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(im.event_fd, &one, sizeof(one));
+  im.thread.join();
+  // The loop closed the conn fds on exit; senders are marked dead here so
+  // any worker callback still holding one drops its response safely.
+  for (auto& [id, conn] : im.conns) {
+    std::lock_guard<std::mutex> lock(conn->sender->mu_);
+    conn->sender->endpoint_ = nullptr;
+  }
+  im.conns.clear();
+  ::close(im.event_fd);
+  ::close(im.listen_fd);
+  ::close(im.epoll_fd);
+  im.stopped = true;
+}
+
+void TcpEndpoint::loop() {
+  Impl& im = *impl_;
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+
+  // --- helpers (epoll thread only) ------------------------------------
+  auto desired_interest = [this](const Conn& c) -> std::uint32_t {
+    std::uint32_t want = 0;
+    const bool backlogged =
+        c.inflight >= config_.max_pipelined ||
+        c.backlog_bytes >= config_.max_write_backlog ||
+        (c.shedding && c.backlog_bytes > 0);
+    if (!backlogged) want |= EPOLLIN;
+    if (c.backlog_bytes > 0) want |= EPOLLOUT;
+    return want;
+  };
+  auto update_interest = [&](Conn& c) {
+    const std::uint32_t want = desired_interest(c);
+    if (want == c.armed) return;
+    if ((c.armed & EPOLLIN) != 0 && (want & EPOLLIN) == 0) {
+      im.suspensions->add();
+    }
+    epoll_event ev{};
+    ev.events = want | EPOLLRDHUP;
+    ev.data.u64 = c.id;
+    ::epoll_ctl(im.epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
+    c.armed = want;
+  };
+  auto close_conn = [&](std::uint64_t id) {
+    auto it = im.conns.find(id);
+    if (it == im.conns.end()) return;
+    Conn& c = *it->second;
+    ::epoll_ctl(im.epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+    {
+      std::lock_guard<std::mutex> lock(c.sender->mu_);
+      c.sender->endpoint_ = nullptr;
+    }
+    im.closed->add();
+    im.connections->add(-1);
+    im.conns.erase(it);
+  };
+  auto flush_writes = [&](Conn& c) -> bool {  // false: connection broken
+    while (!c.writeq.empty()) {
+      const std::vector<std::uint8_t>& front = c.writeq.front();
+      const std::size_t remaining = front.size() - c.write_offset;
+      const ssize_t n = ::send(c.fd, front.data() + c.write_offset,
+                               remaining, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        return false;
+      }
+      im.tx_bytes->add(static_cast<std::uint64_t>(n));
+      c.backlog_bytes -= static_cast<std::size_t>(n);
+      c.write_offset += static_cast<std::size_t>(n);
+      if (c.write_offset == front.size()) {
+        im.tx_frames->add();
+        c.writeq.pop_front();
+        c.write_offset = 0;
+      }
+    }
+    c.shedding = false;  // fully drained: backpressure episode over
+    return true;
+  };
+  auto read_conn = [&](Conn& c) -> bool {  // false: close the connection
+    while (true) {
+      const ssize_t n =
+          ::recv(c.fd, im.read_buf.data(), im.read_buf.size(), 0);
+      if (n == 0) return false;  // orderly EOF
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        return false;
+      }
+      im.rx_bytes->add(static_cast<std::uint64_t>(n));
+      try {
+        c.deframer.feed(im.read_buf.data(), static_cast<std::size_t>(n));
+        while (auto body = c.deframer.next()) {
+          im.rx_frames->add();
+          ++c.inflight;
+          handler_(std::move(*body), c.sender);
+        }
+      } catch (const wire::WireError&) {
+        // Oversize-length frame: the stream's framing is lost, close.
+        return false;
+      }
+      // Respect backpressure between reads: stop draining the socket the
+      // moment this connection crosses a limit.
+      if (desired_interest(c) == 0 ||
+          (desired_interest(c) & EPOLLIN) == 0) {
+        return true;
+      }
+    }
+  };
+  auto drain_outbox = [&]() {
+    std::deque<Outbox> batch;
+    {
+      std::lock_guard<std::mutex> lock(im.outbox_mu);
+      batch.swap(im.outbox);
+    }
+    for (Outbox& out : batch) {
+      auto it = im.conns.find(out.conn_id);
+      if (it == im.conns.end()) {
+        im.dropped->add();  // response raced the close; nothing listens
+        continue;
+      }
+      Conn& c = *it->second;
+      if (c.inflight > 0) --c.inflight;
+      c.backlog_bytes += out.frame.size();
+      c.writeq.push_back(std::move(out.frame));
+      if (out.shed) c.shedding = true;
+      if (!flush_writes(c)) {
+        close_conn(c.id);
+        continue;
+      }
+      update_interest(c);
+    }
+  };
+  auto accept_new = [&]() {
+    while (true) {
+      const int fd = ::accept4(im.listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) return;
+      if (im.conns.size() >=
+          static_cast<std::size_t>(config_.max_connections)) {
+        ::close(fd);  // over capacity: refuse outright
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_unique<Conn>(config_.max_frame_bytes);
+      conn->fd = fd;
+      conn->id = im.next_conn_id++;
+      conn->sender = std::make_shared<Sender>();
+      conn->sender->endpoint_ = this;
+      conn->sender->conn_id_ = conn->id;
+      conn->armed = EPOLLIN;
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLRDHUP;
+      ev.data.u64 = conn->id;
+      ::epoll_ctl(im.epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+      im.conns.emplace(conn->id, std::move(conn));
+      im.accepted->add();
+      im.connections->add(1);
+    }
+  };
+  // ---------------------------------------------------------------------
+
+  while (true) {
+    const int n = ::epoll_wait(im.epoll_fd, events, kMaxEvents, 100);
+    if (im.stopping.load()) break;
+    drain_outbox();
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == 0) {
+        accept_new();
+        continue;
+      }
+      if (tag == 1) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(im.event_fd, &drained, sizeof(drained));
+        drain_outbox();
+        continue;
+      }
+      auto it = im.conns.find(tag);
+      if (it == im.conns.end()) continue;
+      Conn& c = *it->second;
+      const std::uint32_t ev = events[i].events;
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(c.id);
+        continue;
+      }
+      if ((ev & EPOLLOUT) != 0 && !flush_writes(c)) {
+        close_conn(c.id);
+        continue;
+      }
+      if ((ev & (EPOLLIN | EPOLLRDHUP)) != 0 && !read_conn(c)) {
+        close_conn(c.id);
+        continue;
+      }
+      update_interest(c);
+    }
+  }
+  // Shutdown: close every socket; Sender death is finalized by stop()
+  // after the join (it owns the conns map teardown).
+  for (auto& [id, conn] : im.conns) {
+    ::epoll_ctl(im.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+  }
+}
+
+// ---------------------------------------------------------- ServeTransport
+
+ServeTransport::ServeTransport(ReconServer& server, TransportConfig config)
+    : server_(server),
+      parse_errors_(server.obs().counter("transport.parse_errors")),
+      dropped_responses_(
+          server.obs().counter("transport.dropped_responses")) {
+  endpoint_ = std::make_unique<TcpEndpoint>(
+      std::move(config),
+      [this](std::vector<std::uint8_t> body,
+             const std::shared_ptr<TcpEndpoint::Sender>& reply) {
+        on_frame(std::move(body), reply);
+      },
+      server.obs(), "transport");
+}
+
+ServeTransport::~ServeTransport() { stop(); }
+
+void ServeTransport::on_frame(
+    std::vector<std::uint8_t> body,
+    const std::shared_ptr<TcpEndpoint::Sender>& reply) {
+  wire::WireRequest request;
+  try {
+    request = wire::parse_request(body);
+  } catch (const wire::WireError& e) {
+    // The frame was garbage but the FRAMING held, so the stream is still
+    // in sync: answer with a failure and keep the connection.
+    parse_errors_.add();
+    wire::WireResponse resp = wire::make_failed_response(e.what(), 0);
+    if (!reply->send(wire::encode_response(resp))) {
+      dropped_responses_.add();
+    }
+    return;
+  }
+
+  const std::uint64_t tag = request.client_tag;
+  obs::Counter& dropped = dropped_responses_;
+  const SubmitStatus status = server_.submit_async(
+      request.to_serve_request(),
+      [reply, tag, &dropped](ServeResponse response,
+                             std::exception_ptr error) {
+        // Worker-thread completion. The server has already settled the
+        // request (slot released, tokens refunded on failure) — all that
+        // remains is shipping bytes, and a dead Sender just drops them.
+        wire::WireResponse resp;
+        if (error) {
+          std::string what = "request failed";
+          try {
+            std::rethrow_exception(error);
+          } catch (const std::exception& e) {
+            what = e.what();
+          } catch (...) {
+          }
+          resp = wire::make_failed_response(what, response.request_id);
+        } else {
+          resp = wire::make_ok_response(response);
+        }
+        resp.client_tag = tag;
+        if (!reply->send(wire::encode_response(resp))) dropped.add();
+      });
+  if (status != SubmitStatus::kAccepted) {
+    // Shed at admission: the callback will never run. Answer inline and
+    // engage read backpressure until this response has flushed.
+    wire::WireResponse resp = wire::make_shed_response(status, 0);
+    resp.client_tag = tag;
+    if (!reply->send(wire::encode_response(resp), /*shed=*/true)) {
+      dropped_responses_.add();
+    }
+  }
+}
+
+// -------------------------------------------------------------- WireClient
+
+WireClient::WireClient(WireClient&& other) noexcept
+    : fd_(other.fd_), deframer_(std::move(other.deframer_)) {
+  other.fd_ = -1;
+}
+
+WireClient& WireClient::operator=(WireClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    deframer_ = std::move(other.deframer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void WireClient::connect(const std::string& host, int port,
+                         double timeout_s) {
+  close();
+  const double deadline = steady_now_s() + timeout_s;
+  while (true) {
+    fd_ = try_connect(host, port);
+    if (fd_ >= 0) return;
+    if (steady_now_s() >= deadline) {
+      throw std::runtime_error("WireClient: cannot connect to " + host + ":" +
+                               std::to_string(port));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+void WireClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  deframer_ = wire::Deframer();
+}
+
+void WireClient::send_request(const wire::WireRequest& request) {
+  send_frame(wire::encode_request(request));
+}
+
+void WireClient::send_frame(const std::vector<std::uint8_t>& frame) {
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      throw std::runtime_error("WireClient: connection broken during send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<wire::WireResponse> WireClient::poll_response(
+    double timeout_s) {
+  const double deadline = steady_now_s() + timeout_s;
+  std::uint8_t buf[64 << 10];
+  while (true) {
+    if (auto body = deframer_.next()) {
+      return wire::parse_response(*body);
+    }
+    const double remaining = deadline - steady_now_s();
+    if (remaining <= 0.0) return std::nullopt;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr =
+        ::poll(&pfd, 1, static_cast<int>(remaining * 1000.0) + 1);
+    if (pr <= 0) continue;
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      throw std::runtime_error("WireClient: connection closed by peer");
+    }
+    deframer_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+wire::WireResponse WireClient::recv_response(double timeout_s) {
+  if (auto resp = poll_response(timeout_s)) return std::move(*resp);
+  throw std::runtime_error("WireClient: response timeout");
+}
+
+wire::WireResponse WireClient::roundtrip(const wire::WireRequest& request) {
+  send_request(request);
+  return recv_response();
+}
+
+}  // namespace easz::serve
+
+#else  // !__linux__
+
+namespace easz::serve {
+
+// Portable stubs: the networked tier is epoll-based and Linux-only (like
+// perf_counters' graceful degradation, construction states why clearly
+// instead of failing to compile the whole library elsewhere).
+
+struct TcpEndpoint::Impl {};
+
+bool TcpEndpoint::Sender::send(std::vector<std::uint8_t>, bool) {
+  return false;
+}
+
+TcpEndpoint::TcpEndpoint(TransportConfig, FrameHandler, obs::Registry&,
+                         const std::string&) {
+  throw std::runtime_error("TcpEndpoint requires Linux epoll");
+}
+TcpEndpoint::~TcpEndpoint() = default;
+void TcpEndpoint::stop() {}
+void TcpEndpoint::loop() {}
+
+ServeTransport::ServeTransport(ReconServer& server, TransportConfig)
+    : server_(server),
+      parse_errors_(server.obs().counter("transport.parse_errors")),
+      dropped_responses_(
+          server.obs().counter("transport.dropped_responses")) {
+  throw std::runtime_error("ServeTransport requires Linux epoll");
+}
+ServeTransport::~ServeTransport() = default;
+void ServeTransport::on_frame(std::vector<std::uint8_t>,
+                              const std::shared_ptr<TcpEndpoint::Sender>&) {}
+
+WireClient::WireClient(WireClient&&) noexcept {}
+WireClient& WireClient::operator=(WireClient&&) noexcept { return *this; }
+void WireClient::connect(const std::string&, int, double) {
+  throw std::runtime_error("WireClient requires Linux sockets");
+}
+void WireClient::close() {}
+void WireClient::send_request(const wire::WireRequest&) {
+  throw std::runtime_error("WireClient requires Linux sockets");
+}
+void WireClient::send_frame(const std::vector<std::uint8_t>&) {
+  throw std::runtime_error("WireClient requires Linux sockets");
+}
+wire::WireResponse WireClient::recv_response(double) {
+  throw std::runtime_error("WireClient requires Linux sockets");
+}
+std::optional<wire::WireResponse> WireClient::poll_response(double) {
+  throw std::runtime_error("WireClient requires Linux sockets");
+}
+wire::WireResponse WireClient::roundtrip(const wire::WireRequest&) {
+  throw std::runtime_error("WireClient requires Linux sockets");
+}
+
+}  // namespace easz::serve
+
+#endif

@@ -1,0 +1,197 @@
+// TCP front-end for the reconstruction server (DESIGN.md §11).
+//
+// The transport is a LAYER over ReconServer, not a rewrite: every frame
+// that parses rides the existing submit_async() open-loop path, so
+// admission, WDRR scheduling, the staged pipeline, the ladder and the
+// failure funnel all apply to socket traffic exactly as to in-process
+// submits — and the deterministic harness (workers=0 + step()) keeps
+// working untouched underneath.
+//
+// One epoll thread owns all sockets (DESIGN.md §11.2 has the state
+// machine):
+//
+//   accept   non-blocking accept4, TCP_NODELAY, EPOLLIN armed
+//   read     drain until EAGAIN into the connection's wire::Deframer;
+//            each complete frame is handed to the FrameHandler (which for
+//            ServeTransport parses it and calls submit_async)
+//   write    responses are enqueued from WORKER threads via the
+//            connection's thread-safe Sender (an eventfd wakes the loop);
+//            the loop flushes each connection's write queue until EAGAIN,
+//            keeping a byte offset into the front frame — partial writes
+//            resume exactly where they stopped
+//   close    EOF/error/oversize-frame tears the connection down; its
+//            Sender is marked dead, so late worker callbacks drop their
+//            response (counted) instead of touching a stale fd. The
+//            REQUEST still settles in the server — the PR-8 funnel
+//            releases the inflight slot, refunds the rate token and frees
+//            the pinned model slot whether or not anyone is listening.
+//
+// Backpressure: reads are suspended (EPOLLIN disarmed) while any of
+//   - pipelined inflight frames >= max_pipelined,
+//   - the write backlog >= max_write_backlog bytes,
+//   - the tenant shed the connection's latest submit and the shed
+//     response has not yet flushed (mark_shedding),
+// holds, and resume when all clear. A flooding client therefore fills its
+// own socket buffer and stalls, instead of pumping frames into a tenant
+// that is already rejecting them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "serve/wire.hpp"
+
+namespace easz::serve {
+
+class ReconServer;
+
+struct TransportConfig {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the actual one back via port().
+  int port = 0;
+  int max_connections = 256;
+  std::size_t max_frame_bytes = wire::kMaxFrameBytes;
+  /// Frames handed to the handler but not yet answered, per connection,
+  /// before reads suspend.
+  int max_pipelined = 64;
+  /// Unflushed response bytes per connection before reads suspend.
+  std::size_t max_write_backlog = 8ULL << 20;
+};
+
+/// Generic epoll frame server: deframes length-prefixed frames off every
+/// connection and hands the bodies to one handler. ServeTransport binds it
+/// to a ReconServer; the replica router reuses it unchanged for its own
+/// front door.
+class TcpEndpoint {
+ public:
+  /// Thread-safe response channel of ONE connection. Worker callbacks hold
+  /// it as shared_ptr; after the connection dies send() returns false and
+  /// the frame is dropped (callers count it).
+  class Sender {
+   public:
+    /// Enqueues one fully-encoded frame for write (any thread). `shed`
+    /// additionally marks the connection as shedding, which keeps reads
+    /// suspended until the write queue fully drains. Returns false when
+    /// the connection is gone — the frame was not (and will never be)
+    /// sent.
+    bool send(std::vector<std::uint8_t> frame, bool shed = false);
+
+   private:
+    friend class TcpEndpoint;
+    std::mutex mu_;
+    TcpEndpoint* endpoint_ = nullptr;  // null once dead
+    std::uint64_t conn_id_ = 0;
+  };
+
+  /// Called on the epoll thread with each deframed frame BODY. Must not
+  /// block (hand work to submit_async / a pool); may call reply->send()
+  /// inline.
+  using FrameHandler = std::function<void(
+      std::vector<std::uint8_t> body,
+      const std::shared_ptr<Sender>& reply)>;
+
+  /// Binds and starts the epoll thread. Metrics land in `registry` under
+  /// `metric_prefix` (.connections gauge, .accepted/.closed/.rx_frames/
+  /// .tx_frames/.rx_bytes/.tx_bytes/.dropped_responses/.read_suspensions
+  /// counters). Throws std::runtime_error when the socket cannot bind.
+  TcpEndpoint(TransportConfig config, FrameHandler handler,
+              obs::Registry& registry, const std::string& metric_prefix);
+  ~TcpEndpoint();
+
+  TcpEndpoint(const TcpEndpoint&) = delete;
+  TcpEndpoint& operator=(const TcpEndpoint&) = delete;
+
+  /// Port actually bound (== config.port unless that was 0).
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Stops accepting, closes every connection, joins the epoll thread.
+  /// Safe to call twice. Pending worker callbacks observe dead Senders.
+  void stop();
+
+ private:
+  struct Conn;
+  struct Outbox;
+  struct Impl;
+
+  void loop();
+
+  TransportConfig config_;
+  FrameHandler handler_;
+  int port_ = 0;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The serving tier's front door: TcpEndpoint bound to ReconServer. Parsed
+/// requests ride submit_async; parse failures answer with a kFailed
+/// response on the still-framed connection (and count
+/// <prefix>.parse_errors); shed submits answer immediately with the
+/// SubmitStatus reason and engage read backpressure.
+class ServeTransport {
+ public:
+  /// Starts serving immediately. The server must outlive this object, and
+  /// stop() must be called (or the transport destroyed) before the server
+  /// is torn down. Metrics land in server.obs() under "transport".
+  ServeTransport(ReconServer& server, TransportConfig config);
+  ~ServeTransport();
+
+  [[nodiscard]] int port() const { return endpoint_->port(); }
+  void stop() { endpoint_->stop(); }
+
+ private:
+  void on_frame(std::vector<std::uint8_t> body,
+                const std::shared_ptr<TcpEndpoint::Sender>& reply);
+
+  ReconServer& server_;
+  obs::Counter& parse_errors_;
+  obs::Counter& dropped_responses_;
+  std::unique_ptr<TcpEndpoint> endpoint_;
+};
+
+/// Blocking client of the wire protocol: the socket loadgen's per-client
+/// connection, the router's replica legs and the tests' loopback probe.
+/// One instance is NOT thread-safe; use one per thread.
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient() { close(); }
+  WireClient(WireClient&& other) noexcept;
+  WireClient& operator=(WireClient&& other) noexcept;
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Connects, retrying until `timeout_s` (a replica may still be binding
+  /// when its clients start — CI races otherwise). Throws on timeout.
+  void connect(const std::string& host, int port, double timeout_s = 5.0);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Blocking full-frame write (throws on a broken connection).
+  void send_request(const wire::WireRequest& request);
+  /// Same, for an already-encoded frame (the router re-tags and forwards
+  /// without re-encoding twice).
+  void send_frame(const std::vector<std::uint8_t>& frame);
+  /// Blocking read of the next response frame (throws WireError on corrupt
+  /// bytes, runtime_error on timeout/EOF).
+  wire::WireResponse recv_response(double timeout_s = 60.0);
+  /// Like recv_response but returns nullopt on timeout instead of throwing
+  /// — the router's receiver threads poll this so a quiet replica is not an
+  /// error. Still throws on EOF/corrupt bytes.
+  std::optional<wire::WireResponse> poll_response(double timeout_s);
+  /// send + recv; the classic closed-loop client step.
+  wire::WireResponse roundtrip(const wire::WireRequest& request);
+
+  /// Raw fd (tests: shutdown()/close() mid-flight for disconnect paths).
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  wire::Deframer deframer_;
+};
+
+}  // namespace easz::serve

@@ -1,0 +1,382 @@
+#include "serve/wire.hpp"
+
+#include <cstring>
+
+#include "serve/cache.hpp"
+
+namespace easz::serve::wire {
+namespace {
+
+// The 16M px/side bound mirrors core::parse_container's: far past any real
+// image, well before `width * height * channels * 4` can overflow size_t.
+constexpr int kMaxSide = 1 << 24;
+constexpr std::size_t kMaxNameBytes = 128;  // tenant / codec identifiers
+
+void push16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFFU));
+  out.push_back(static_cast<std::uint8_t>((v >> 8U) & 0xFFU));
+}
+
+void push32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFU));
+  }
+}
+
+void push64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFU));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint8_t read8() {
+    check(1);
+    return bytes_[pos_++];
+  }
+  std::uint16_t read16() {
+    check(2);
+    const std::uint16_t v =
+        static_cast<std::uint16_t>(bytes_[pos_] | (bytes_[pos_ + 1] << 8U));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t read32() {
+    check(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t read64() {
+    std::uint64_t v = read32();
+    return v | (static_cast<std::uint64_t>(read32()) << 32U);
+  }
+  std::vector<std::uint8_t> read_blob(std::size_t n) {
+    check(n);
+    std::vector<std::uint8_t> out(
+        bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+        bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  std::string read_string(std::size_t max_bytes) {
+    const std::uint32_t n = read32();
+    if (n > max_bytes) throw WireError("wire: string field too long");
+    const auto blob = read_blob(n);
+    return std::string(blob.begin(), blob.end());
+  }
+  [[nodiscard]] bool at_end() const { return pos_ == bytes_.size(); }
+
+ private:
+  void check(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) throw WireError("wire: truncated frame");
+  }
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+void push_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  push32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::vector<std::uint8_t> finish_frame(std::vector<std::uint8_t> body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kLengthPrefixBytes + body.size());
+  push32(out, static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Reader open_body(const std::vector<std::uint8_t>& body, FrameKind expect) {
+  Reader r(body);
+  if (r.read32() != kMagic) throw WireError("wire: bad magic");
+  const std::uint8_t kind = r.read8();
+  if (kind != static_cast<std::uint8_t>(expect)) {
+    throw WireError("wire: unexpected frame kind");
+  }
+  return r;
+}
+
+}  // namespace
+
+ServeRequest WireRequest::to_serve_request() const {
+  ServeRequest out;
+  out.compressed = compressed;
+  out.codec = codec;
+  out.tenant = tenant;
+  switch (precision) {
+    case WirePrecision::kDefault: out.precision = TenantPrecision::kInherit;
+      break;
+    case WirePrecision::kFp32: out.precision = TenantPrecision::kFp32; break;
+    case WirePrecision::kInt8: out.precision = TenantPrecision::kInt8; break;
+  }
+  return out;
+}
+
+image::Image WireResponse::to_image() const {
+  if (status != ResponseStatus::kOk) {
+    throw WireError("wire: to_image on a non-ok response");
+  }
+  image::Image img(width, height, channels);
+  std::memcpy(img.data().data(), pixels.data(), pixels.size());
+  return img;
+}
+
+WireResponse make_ok_response(const ServeResponse& response) {
+  WireResponse out;
+  out.status = ResponseStatus::kOk;
+  out.cache_hit = response.cache_hit ? 1 : 0;
+  out.rung = static_cast<std::uint8_t>(response.rung);
+  out.request_id = response.request_id;
+  out.model_version = response.model_version;
+  const image::Image& img = *response.image;
+  out.width = img.width();
+  out.height = img.height();
+  out.channels = img.channels();
+  out.pixels.resize(img.data().size() * sizeof(float));
+  static_assert(sizeof(float) == 4, "wire format assumes 32-bit floats");
+  std::memcpy(out.pixels.data(), img.data().data(), out.pixels.size());
+  return out;
+}
+
+WireResponse make_shed_response(SubmitStatus status,
+                                std::uint64_t request_id) {
+  WireResponse out;
+  out.status = ResponseStatus::kShed;
+  out.submit_status = static_cast<std::uint8_t>(status);
+  out.request_id = request_id;
+  return out;
+}
+
+WireResponse make_failed_response(const std::string& error,
+                                  std::uint64_t request_id) {
+  WireResponse out;
+  out.status = ResponseStatus::kFailed;
+  out.request_id = request_id;
+  out.error = error;
+  return out;
+}
+
+std::vector<std::uint8_t> encode_request(const WireRequest& request) {
+  std::vector<std::uint8_t> body;
+  push32(body, kMagic);
+  body.push_back(static_cast<std::uint8_t>(FrameKind::kRequest));
+  push64(body, request.client_tag);
+  push_string(body, request.tenant);
+  body.push_back(static_cast<std::uint8_t>(request.precision));
+  push_string(body, request.codec);
+
+  const core::EaszCompressed& c = request.compressed;
+  push32(body, static_cast<std::uint32_t>(c.full_width));
+  push32(body, static_cast<std::uint32_t>(c.full_height));
+  push32(body, static_cast<std::uint32_t>(c.padded_width));
+  push32(body, static_cast<std::uint32_t>(c.padded_height));
+  push16(body, static_cast<std::uint16_t>(c.erased_per_row));
+  body.push_back(c.axis == core::SqueezeAxis::kVertical ? 1 : 0);
+  push32(body, static_cast<std::uint32_t>(c.mask_bytes.size()));
+  body.insert(body.end(), c.mask_bytes.begin(), c.mask_bytes.end());
+  push32(body, static_cast<std::uint32_t>(c.payload.width));
+  push32(body, static_cast<std::uint32_t>(c.payload.height));
+  push16(body, static_cast<std::uint16_t>(c.payload.channels));
+  push32(body, static_cast<std::uint32_t>(c.payload.bytes.size()));
+  body.insert(body.end(), c.payload.bytes.begin(), c.payload.bytes.end());
+  return finish_frame(std::move(body));
+}
+
+std::vector<std::uint8_t> encode_response(const WireResponse& response) {
+  std::vector<std::uint8_t> body;
+  push32(body, kMagic);
+  body.push_back(static_cast<std::uint8_t>(FrameKind::kResponse));
+  push64(body, response.client_tag);
+  body.push_back(static_cast<std::uint8_t>(response.status));
+  body.push_back(response.submit_status);
+  body.push_back(response.cache_hit);
+  body.push_back(response.rung);
+  push64(body, response.request_id);
+  push64(body, response.model_version);
+  if (response.status == ResponseStatus::kOk) {
+    push32(body, static_cast<std::uint32_t>(response.width));
+    push32(body, static_cast<std::uint32_t>(response.height));
+    push16(body, static_cast<std::uint16_t>(response.channels));
+    push32(body, static_cast<std::uint32_t>(response.pixels.size()));
+    body.insert(body.end(), response.pixels.begin(), response.pixels.end());
+  } else {
+    push_string(body, response.error);
+  }
+  return finish_frame(std::move(body));
+}
+
+FrameKind frame_kind(const std::vector<std::uint8_t>& body) {
+  Reader r(body);
+  if (r.read32() != kMagic) throw WireError("wire: bad magic");
+  const std::uint8_t kind = r.read8();
+  if (kind != static_cast<std::uint8_t>(FrameKind::kRequest) &&
+      kind != static_cast<std::uint8_t>(FrameKind::kResponse)) {
+    throw WireError("wire: unknown frame kind");
+  }
+  return static_cast<FrameKind>(kind);
+}
+
+WireRequest parse_request(const std::vector<std::uint8_t>& body) {
+  Reader r = open_body(body, FrameKind::kRequest);
+  WireRequest out;
+  out.client_tag = r.read64();
+  out.tenant = r.read_string(kMaxNameBytes);
+  const std::uint8_t precision = r.read8();
+  if (precision > static_cast<std::uint8_t>(WirePrecision::kInt8)) {
+    throw WireError("wire: bad precision byte");
+  }
+  out.precision = static_cast<WirePrecision>(precision);
+  out.codec = r.read_string(kMaxNameBytes);
+  if (out.codec.empty()) throw WireError("wire: empty codec name");
+
+  core::EaszCompressed& c = out.compressed;
+  c.full_width = static_cast<int>(r.read32());
+  c.full_height = static_cast<int>(r.read32());
+  c.padded_width = static_cast<int>(r.read32());
+  c.padded_height = static_cast<int>(r.read32());
+  c.erased_per_row = r.read16();
+  const std::uint8_t axis = r.read8();
+  if (axis > 1) throw WireError("wire: bad squeeze axis");
+  c.axis = axis != 0 ? core::SqueezeAxis::kVertical
+                     : core::SqueezeAxis::kHorizontal;
+  c.mask_bytes = r.read_blob(r.read32());
+  c.payload.width = static_cast<int>(r.read32());
+  c.payload.height = static_cast<int>(r.read32());
+  c.payload.channels = r.read16();
+  c.payload.bytes = r.read_blob(r.read32());
+  if (!r.at_end()) throw WireError("wire: trailing bytes in request");
+
+  // Plausibility bounds in the style of parse_container. The receiving
+  // replica's decode re-validates everything against ITS patchify config
+  // (the wire cannot know it); these checks stop garbage geometry before it
+  // reaches per-request error handling.
+  if (c.full_width <= 0 || c.full_height <= 0 || c.full_width > kMaxSide ||
+      c.full_height > kMaxSide) {
+    throw WireError("wire: implausible image geometry");
+  }
+  if (c.padded_width < c.full_width || c.padded_height < c.full_height ||
+      c.padded_width > 2 * kMaxSide || c.padded_height > 2 * kMaxSide) {
+    throw WireError("wire: implausible padded geometry");
+  }
+  if (c.payload.width <= 0 || c.payload.height <= 0 ||
+      c.payload.width > c.padded_width ||
+      c.payload.height > c.padded_height) {
+    throw WireError("wire: implausible payload geometry");
+  }
+  if (c.payload.channels < 1 || c.payload.channels > 4) {
+    throw WireError("wire: implausible channel count");
+  }
+  return out;
+}
+
+WireResponse parse_response(const std::vector<std::uint8_t>& body) {
+  Reader r = open_body(body, FrameKind::kResponse);
+  WireResponse out;
+  out.client_tag = r.read64();
+  const std::uint8_t status = r.read8();
+  if (status > static_cast<std::uint8_t>(ResponseStatus::kFailed)) {
+    throw WireError("wire: bad response status");
+  }
+  out.status = static_cast<ResponseStatus>(status);
+  out.submit_status = r.read8();
+  if (out.submit_status >
+      static_cast<std::uint8_t>(SubmitStatus::kOverloaded)) {
+    throw WireError("wire: bad submit status byte");
+  }
+  out.cache_hit = r.read8();
+  if (out.cache_hit > 1) throw WireError("wire: bad cache_hit byte");
+  out.rung = r.read8();
+  if (out.rung > 4) throw WireError("wire: bad rung byte");
+  out.request_id = r.read64();
+  out.model_version = r.read64();
+  if (out.status == ResponseStatus::kOk) {
+    out.width = static_cast<int>(r.read32());
+    out.height = static_cast<int>(r.read32());
+    out.channels = r.read16();
+    if (out.width <= 0 || out.height <= 0 || out.width > kMaxSide ||
+        out.height > kMaxSide) {
+      throw WireError("wire: implausible response geometry");
+    }
+    if (out.channels != 1 && out.channels != 3) {
+      throw WireError("wire: implausible response channel count");
+    }
+    const std::uint32_t pixel_bytes = r.read32();
+    const std::size_t expected = static_cast<std::size_t>(out.width) *
+                                 static_cast<std::size_t>(out.height) *
+                                 static_cast<std::size_t>(out.channels) *
+                                 sizeof(float);
+    if (pixel_bytes != expected) {
+      throw WireError("wire: pixel byte count does not match geometry");
+    }
+    out.pixels = r.read_blob(pixel_bytes);
+  } else {
+    out.error = r.read_string(body.size());
+  }
+  if (!r.at_end()) throw WireError("wire: trailing bytes in response");
+  return out;
+}
+
+std::uint64_t routing_hash(const WireRequest& request) {
+  // Mirror of serve::make_cache_key + the precision override: every field
+  // that determines the replica's cached output bytes feeds the hash, so
+  // byte-identical resends route identically (the cache-affinity contract)
+  // and differing geometry/precision spreads across the ring.
+  const core::EaszCompressed& c = request.compressed;
+  std::uint64_t h = fnv1a64(c.payload.bytes.data(), c.payload.bytes.size());
+  h = fnv1a64(c.mask_bytes.data(), c.mask_bytes.size(), h);
+  h = fnv1a64(reinterpret_cast<const std::uint8_t*>(request.codec.data()),
+              request.codec.size(), h);
+  const std::uint32_t geom[8] = {
+      static_cast<std::uint32_t>(c.full_width),
+      static_cast<std::uint32_t>(c.full_height),
+      static_cast<std::uint32_t>(c.padded_width),
+      static_cast<std::uint32_t>(c.padded_height),
+      static_cast<std::uint32_t>(c.erased_per_row),
+      static_cast<std::uint32_t>(c.axis == core::SqueezeAxis::kVertical),
+      static_cast<std::uint32_t>(c.payload.channels),
+      static_cast<std::uint32_t>(request.precision)};
+  return fnv1a64(reinterpret_cast<const std::uint8_t*>(geom), sizeof(geom),
+                 h);
+}
+
+void Deframer::feed(const std::uint8_t* data, std::size_t n) {
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<std::vector<std::uint8_t>> Deframer::next() {
+  if (buf_.size() - pos_ < kLengthPrefixBytes) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(buf_[pos_ + i]) << (8 * i);
+  }
+  if (len > max_frame_bytes_) {
+    throw WireError("wire: frame length " + std::to_string(len) +
+                    " exceeds limit " + std::to_string(max_frame_bytes_));
+  }
+  if (buf_.size() - pos_ - kLengthPrefixBytes < len) return std::nullopt;
+  const auto begin =
+      buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + kLengthPrefixBytes);
+  std::vector<std::uint8_t> body(begin, begin + len);
+  pos_ += kLengthPrefixBytes + len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return body;
+}
+
+}  // namespace easz::serve::wire

@@ -1,0 +1,160 @@
+// Binary wire protocol for the networked serving tier (DESIGN.md §11).
+//
+// Edge clients and the replica router talk to easz_serve over TCP in
+// length-prefixed binary frames:
+//
+//   [u32 body_len][body]
+//   body = [u32 magic 'EZW1'][u8 kind][kind-specific fields ...]
+//
+// A REQUEST carries everything submit() needs: tenant, a per-request
+// precision override, the inner-codec name and the EaszCompressed blob
+// (geometry + mask side channel + payload) — the same fields as the EAZC
+// file container minus the patchify config, which the deployed model fixes.
+// A RESPONSE carries the outcome: ok (raw float32 pixels — BIT-identical to
+// the in-process ServeResponse image, so loopback equality is exact), shed
+// (the SubmitStatus reason) or failed (the error text), plus the request id,
+// ladder rung and model version the in-process API reports.
+//
+// Parsing is strict in the style of core::parse_container (fuzzed the same
+// way, tests/wire_test.cpp): every read is bounds-checked, enum bytes
+// outside their range throw, announced lengths are validated against what
+// actually follows, trailing bytes throw, and the deframer rejects an
+// announced body length above `max_frame_bytes` BEFORE allocating for it —
+// a hostile 4-GB length prefix costs the server 4 bytes of buffering, not
+// 4 GB. A frame that parses re-encodes to the identical bytes
+// (round-trip-faithful), which is what the bit-flip corpus asserts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "image/image.hpp"
+#include "serve/server.hpp"
+
+namespace easz::serve::wire {
+
+/// All wire parse failures throw this (a std::runtime_error like the
+/// container parser's, but a distinct type so transports can tell a corrupt
+/// frame from an internal error).
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint32_t kMagic = 0x31575A45;  // "EZW1" little-endian
+inline constexpr std::size_t kLengthPrefixBytes = 4;
+/// Default ceiling on one frame's body. Generous next to real request
+/// payloads (a few hundred KB) and response pixels (<= ~48 MB at the 16M
+/// side bound would not fit anyway — images that large are rejected by the
+/// geometry checks first).
+inline constexpr std::size_t kMaxFrameBytes = 64ULL << 20;
+
+enum class FrameKind : std::uint8_t { kRequest = 1, kResponse = 2 };
+
+/// Per-request numeric-path override carried on the wire. kDefault rides
+/// the tenant/server policy; kFp32/kInt8 behave like a tenant precision pin
+/// for this request's cache/batch keying on the replica.
+enum class WirePrecision : std::uint8_t { kDefault = 0, kFp32 = 1, kInt8 = 2 };
+
+enum class ResponseStatus : std::uint8_t { kOk = 0, kShed = 1, kFailed = 2 };
+
+struct WireRequest {
+  /// Client-chosen correlation token, echoed verbatim in the response.
+  /// Responses complete in SETTLE order, not submit order (cache hits
+  /// return inline, batches finish whenever they finish), so a pipelining
+  /// client — the router above all — must demux by tag, not by position.
+  /// Deliberately excluded from routing_hash.
+  std::uint64_t client_tag = 0;
+  std::string tenant;  ///< "" rides the default tenant
+  WirePrecision precision = WirePrecision::kDefault;
+  std::string codec = "jpeg";
+  core::EaszCompressed compressed;
+
+  /// View as the in-process submit() request type (tenant, codec, blob AND
+  /// the precision override — the server resolves it after tenant pins).
+  [[nodiscard]] ServeRequest to_serve_request() const;
+};
+
+struct WireResponse {
+  /// WireRequest::client_tag of the request this answers, echoed verbatim.
+  std::uint64_t client_tag = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  /// SubmitStatus as a byte; the shed reason when status == kShed,
+  /// kAccepted (0) otherwise.
+  std::uint8_t submit_status = 0;
+  std::uint8_t cache_hit = 0;  ///< 0/1 (strict — anything else throws)
+  std::uint8_t rung = 0;       ///< degradation-ladder rung served at
+  std::uint64_t request_id = 0;
+  std::uint64_t model_version = 0;
+  // status == kOk: reconstructed image as raw float32 little-endian CHW
+  // samples (exactly width * height * channels * 4 bytes).
+  int width = 0;
+  int height = 0;
+  int channels = 0;
+  std::vector<std::uint8_t> pixels;
+  // status == kFailed: the server-side exception text. Empty for sheds.
+  std::string error;
+
+  [[nodiscard]] image::Image to_image() const;
+};
+
+/// Builds an ok-response from a settled in-process ServeResponse. The pixel
+/// bytes are the image's float samples memcpy'd little-endian, so a client
+/// that reassembles them holds the BIT-identical image.
+WireResponse make_ok_response(const ServeResponse& response);
+/// Shed response (submit_async returned without accepting).
+WireResponse make_shed_response(SubmitStatus status, std::uint64_t request_id);
+/// Failure response carrying the exception text.
+WireResponse make_failed_response(const std::string& error,
+                                  std::uint64_t request_id);
+
+/// Serialises a full frame (length prefix included).
+std::vector<std::uint8_t> encode_request(const WireRequest& request);
+std::vector<std::uint8_t> encode_response(const WireResponse& response);
+
+/// Kind byte of a deframed body (throws WireError on bad magic/kind — the
+/// transport's first-line garbage rejection).
+FrameKind frame_kind(const std::vector<std::uint8_t>& body);
+
+/// Strict parsers for a deframed BODY (no length prefix). Throw WireError
+/// on truncation, trailing bytes, bad magic/kind/enum bytes or implausible
+/// geometry. A successful parse re-encodes byte-identically.
+WireRequest parse_request(const std::vector<std::uint8_t>& body);
+WireResponse parse_response(const std::vector<std::uint8_t>& body);
+
+/// Consistent-routing key of a request: a stable 64-bit hash over exactly
+/// the fields of the replica's result-cache key (payload bytes, mask bytes,
+/// codec, geometry) plus the wire precision override. Identical uploads
+/// hash identically, so a router keying replica choice on this keeps every
+/// repeat on the replica whose cache shard already holds it.
+std::uint64_t routing_hash(const WireRequest& request);
+
+/// Incremental frame splitter for a non-blocking byte stream. feed() raw
+/// socket bytes, then pop complete frame bodies with next(). The announced
+/// body length is validated against `max_frame_bytes` as soon as the 4-byte
+/// prefix is readable — BEFORE any body allocation — and a violation throws
+/// WireError (the transport closes the connection).
+class Deframer {
+ public:
+  explicit Deframer(std::size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Next complete frame body, or nullopt when more bytes are needed.
+  std::optional<std::vector<std::uint8_t>> next();
+
+  [[nodiscard]] std::size_t buffered_bytes() const {
+    return buf_.size() - pos_;
+  }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+};
+
+}  // namespace easz::serve::wire

@@ -13,6 +13,7 @@
 #include "core/pipeline.hpp"
 #include "data/synth.hpp"
 #include "serve/stats.hpp"
+#include "serve/transport.hpp"
 #include "util/prng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -241,11 +242,61 @@ struct ReplayAccounting {
       case serve::SubmitStatus::kQueueFull: ++t.shed_queue_full; break;
       case serve::SubmitStatus::kRateLimited: ++t.shed_rate_limited; break;
       case serve::SubmitStatus::kQuotaExceeded: ++t.shed_quota; break;
+      case serve::SubmitStatus::kOverloaded: break;  // counted in rejected
       case serve::SubmitStatus::kAccepted: break;  // unreachable on sheds
     }
     if (request_id != 0) t.request_ids.push_back(request_id);
   }
 };
+
+// Folds the accumulated per-tenant outcomes into the report (totals,
+// percentiles, optional client.* registry mirror). Shared by the in-process
+// and socket replay paths so both produce the same report shape.
+void aggregate_report(ReplayReport& report, ReplayAccounting& acc,
+                      obs::Registry* registry) {
+  std::vector<double> all_latencies;
+  for (auto& [tenant, outcome] : acc.tenants) {
+    outcome.tenant = tenant;
+    std::vector<double>& lat = acc.latencies[tenant];
+    outcome.latency_p50_s = serve::percentile(lat, 50.0);
+    outcome.latency_p95_s = serve::percentile(lat, 95.0);
+    all_latencies.insert(all_latencies.end(), lat.begin(), lat.end());
+    report.completed += outcome.completed;
+    report.rejected += outcome.rejected;
+    report.failed += outcome.failed;
+    if (registry != nullptr) {
+      // Client-side mirror of the server's serve.* counters, published per
+      // tenant so a scheduler test can prove conservation: every submit is
+      // exactly one of completed/shed.*/failed on BOTH sides of the wire.
+      obs::Registry& reg = *registry;
+      const std::string p = "client." + tenant;
+      reg.counter(p + ".completed").add(
+          static_cast<std::uint64_t>(outcome.completed));
+      reg.counter(p + ".rejected").add(
+          static_cast<std::uint64_t>(outcome.rejected));
+      reg.counter(p + ".failed").add(
+          static_cast<std::uint64_t>(outcome.failed));
+      reg.counter(p + ".shed.queue_full").add(
+          static_cast<std::uint64_t>(outcome.shed_queue_full));
+      reg.counter(p + ".shed.rate_limited").add(
+          static_cast<std::uint64_t>(outcome.shed_rate_limited));
+      reg.counter(p + ".shed.quota").add(
+          static_cast<std::uint64_t>(outcome.shed_quota));
+      std::uint64_t max_id = 0;
+      for (const std::uint64_t id : outcome.request_ids)
+        max_id = std::max(max_id, id);
+      if (max_id != 0) {
+        reg.gauge(p + ".max_request_id")
+            .set(static_cast<std::int64_t>(max_id));
+      }
+    }
+    report.tenants.push_back(outcome);
+  }
+  report.throughput_rps =
+      report.wall_s > 0.0 ? report.completed / report.wall_s : 0.0;
+  report.latency_p50_s = serve::percentile(all_latencies, 50.0);
+  report.latency_p99_s = serve::percentile(all_latencies, 99.0);
+}
 
 }  // namespace
 
@@ -326,49 +377,125 @@ ReplayReport replay_trace(const LoadTrace& trace, serve::ReconServer& server,
   }
   report.wall_s = wall.elapsed_seconds();
 
-  std::vector<double> all_latencies;
-  for (auto& [tenant, outcome] : acc.tenants) {
-    outcome.tenant = tenant;
-    std::vector<double>& lat = acc.latencies[tenant];
-    outcome.latency_p50_s = serve::percentile(lat, 50.0);
-    outcome.latency_p95_s = serve::percentile(lat, 95.0);
-    all_latencies.insert(all_latencies.end(), lat.begin(), lat.end());
-    report.completed += outcome.completed;
-    report.rejected += outcome.rejected;
-    report.failed += outcome.failed;
-    if (options.registry != nullptr) {
-      // Client-side mirror of the server's serve.* counters, published per
-      // tenant so a scheduler test can prove conservation: every submit is
-      // exactly one of completed/shed.*/failed on BOTH sides of the wire.
-      obs::Registry& reg = *options.registry;
-      const std::string p = "client." + tenant;
-      reg.counter(p + ".completed").add(
-          static_cast<std::uint64_t>(outcome.completed));
-      reg.counter(p + ".rejected").add(
-          static_cast<std::uint64_t>(outcome.rejected));
-      reg.counter(p + ".failed").add(
-          static_cast<std::uint64_t>(outcome.failed));
-      reg.counter(p + ".shed.queue_full").add(
-          static_cast<std::uint64_t>(outcome.shed_queue_full));
-      reg.counter(p + ".shed.rate_limited").add(
-          static_cast<std::uint64_t>(outcome.shed_rate_limited));
-      reg.counter(p + ".shed.quota").add(
-          static_cast<std::uint64_t>(outcome.shed_quota));
-      std::uint64_t max_id = 0;
-      for (const std::uint64_t id : outcome.request_ids)
-        max_id = std::max(max_id, id);
-      if (max_id != 0) {
-        reg.gauge(p + ".max_request_id")
-            .set(static_cast<std::int64_t>(max_id));
-      }
-    }
-    report.tenants.push_back(outcome);
-  }
-  report.throughput_rps =
-      report.wall_s > 0.0 ? report.completed / report.wall_s : 0.0;
-  report.latency_p50_s = serve::percentile(all_latencies, 50.0);
-  report.latency_p99_s = serve::percentile(all_latencies, 99.0);
+  aggregate_report(report, acc, options.registry);
   report.server = server.stats();
+  return report;
+}
+
+ReplayReport replay_trace_sockets(const LoadTrace& trace,
+                                  SocketReplayOptions options) {
+  ReplayReport report;
+  report.trace = trace.name;
+  report.modeled_span_s = trace.modeled_span_s();
+  if (trace.events.empty()) return report;
+
+  // Partition by client: one socket per modeled device, events in arrival
+  // order within each (finalize_trace sorted the trace, and stable
+  // partition preserves that order per client).
+  std::map<int, std::vector<const LoadEvent*>> per_client;
+  for (const LoadEvent& ev : trace.events) {
+    per_client[ev.client_id].push_back(&ev);
+  }
+
+  ReplayAccounting acc;
+  std::mutex verify_mu;  // serializes options.on_response
+  const double t0_model = trace.events.front().arrival_s;
+  const auto t0_wall = std::chrono::steady_clock::now();
+  util::Stopwatch wall;
+
+  std::vector<std::thread> fleet;
+  fleet.reserve(per_client.size());
+  for (auto& [client_id, events] : per_client) {
+    std::vector<const LoadEvent*>* evs = &events;
+    fleet.emplace_back([&, evs] {
+      serve::WireClient client;
+      std::size_t done = 0;
+      try {
+        client.connect(options.host, options.port,
+                       options.connect_timeout_s);
+        for (const LoadEvent* ev : *evs) {
+          if (options.time_scale > 0.0) {
+            const auto due =
+                t0_wall +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        (ev->arrival_s - t0_model) * options.time_scale));
+            std::this_thread::sleep_until(due);
+          }
+          const std::string tenant =
+              ev->request.tenant.empty()
+                  ? std::string(serve::TenantRegistry::kDefaultTenant)
+                  : ev->request.tenant;
+          serve::wire::WireRequest wreq;
+          wreq.client_tag = static_cast<std::uint64_t>(done);
+          wreq.tenant = ev->request.tenant;
+          wreq.codec = ev->request.codec;
+          wreq.compressed = ev->request.compressed;
+          switch (ev->request.precision) {
+            case serve::TenantPrecision::kInherit: break;
+            case serve::TenantPrecision::kFp32:
+              wreq.precision = serve::wire::WirePrecision::kFp32;
+              break;
+            case serve::TenantPrecision::kInt8:
+              wreq.precision = serve::wire::WirePrecision::kInt8;
+              break;
+          }
+          const auto sent_at = std::chrono::steady_clock::now();
+          const serve::wire::WireResponse resp =
+              client.roundtrip(wreq);  // closed loop: one inflight
+          const double latency_s =
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - sent_at)
+                  .count();
+          ++done;
+          switch (resp.status) {
+            case serve::wire::ResponseStatus::kOk: {
+              std::lock_guard<std::mutex> lock(acc.mu);
+              ReplayReport::TenantOutcome& t = acc.tenants[tenant];
+              ++t.completed;
+              acc.latencies[tenant].push_back(latency_s);
+              if (resp.request_id != 0) {
+                t.request_ids.push_back(resp.request_id);
+              }
+              break;
+            }
+            case serve::wire::ResponseStatus::kShed:
+              acc.shed(tenant,
+                       static_cast<serve::SubmitStatus>(resp.submit_status),
+                       resp.request_id);
+              break;
+            case serve::wire::ResponseStatus::kFailed: {
+              std::lock_guard<std::mutex> lock(acc.mu);
+              ++acc.tenants[tenant].failed;
+              break;
+            }
+          }
+          if (resp.status == serve::wire::ResponseStatus::kOk &&
+              options.on_response) {
+            std::lock_guard<std::mutex> lock(verify_mu);
+            options.on_response(*ev, resp);
+          }
+        }
+      } catch (const std::exception&) {
+        // Connect failed or the connection broke mid-replay: every event
+        // this client never completed is a client-visible failure. The
+        // replay finishes and reports instead of hanging.
+        std::lock_guard<std::mutex> lock(acc.mu);
+        for (std::size_t i = done; i < evs->size(); ++i) {
+          const std::string tenant =
+              (*evs)[i]->request.tenant.empty()
+                  ? std::string(serve::TenantRegistry::kDefaultTenant)
+                  : (*evs)[i]->request.tenant;
+          ++acc.tenants[tenant].failed;
+        }
+      }
+    });
+  }
+  for (std::thread& t : fleet) t.join();
+  report.wall_s = wall.elapsed_seconds();
+
+  aggregate_report(report, acc, options.registry);
   return report;
 }
 

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "core/recon_model.hpp"
 #include "obs/registry.hpp"
 #include "serve/server.hpp"
+#include "serve/wire.hpp"
 #include "testbed/scenario.hpp"
 
 namespace easz::testbed {
@@ -140,5 +142,34 @@ struct ReplayReport {
 /// until every accepted request resolves.
 ReplayReport replay_trace(const LoadTrace& trace, serve::ReconServer& server,
                           ReplayOptions options = {});
+
+/// Socket fleet replay (DESIGN.md §11.4): the same traces, driven over TCP
+/// against a wire endpoint — easz_serve --listen or an easz_router front
+/// door. One thread per distinct client_id, each owning one WireClient and
+/// replaying its own events closed-loop in arrival order (matching the
+/// modeled device: an edge camera does not pipeline). Outcomes map onto the
+/// in-process report: kOk -> completed, kShed -> rejected (with the
+/// SubmitStatus reason breakdown), kFailed -> failed; a broken connection
+/// fails that client's remaining events instead of hanging the replay.
+struct SocketReplayOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Wall seconds per modeled second; 0 = as fast as possible (closed-loop
+  /// per client either way).
+  double time_scale = 0.0;
+  double connect_timeout_s = 5.0;
+  double response_timeout_s = 120.0;
+  /// Same client.* counter mirror as ReplayOptions::registry.
+  obs::Registry* registry = nullptr;
+  /// Invoked for every kOk response next to the event that produced it,
+  /// serialized under an internal mutex — the hook easz_serve --connect
+  /// uses to assert socket responses are byte-identical to a local decode.
+  std::function<void(const LoadEvent& event,
+                     const serve::wire::WireResponse& response)>
+      on_response;
+};
+
+ReplayReport replay_trace_sockets(const LoadTrace& trace,
+                                  SocketReplayOptions options);
 
 }  // namespace easz::testbed

@@ -1,0 +1,74 @@
+// Strict numeric parsing for CLI flags (tools/ and bench mains).
+//
+// std::atoi turns "junk" into 0 silently — and for easz_serve, workers=0 is
+// the MANUAL-STEPPING harness mode, so `--workers junk` used to start a
+// server that never makes progress. Every tool flag therefore goes through
+// these helpers instead: the whole token must parse, the value must fit the
+// declared range, and anything else throws std::invalid_argument naming the
+// flag so main() can print the message and exit non-zero.
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace easz::util {
+
+/// Parses `text` as a base-10 integer in [min, max]. Rejects empty input,
+/// leading/trailing garbage ("12x", " 12", "1.5"), and out-of-range values.
+/// `what` names the flag/field in the error message.
+inline long long parse_int(const std::string& text, const std::string& what,
+                           long long min = std::numeric_limits<long long>::min(),
+                           long long max = std::numeric_limits<long long>::max()) {
+  if (text.empty()) {
+    throw std::invalid_argument(what + ": expected an integer, got \"\"");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    throw std::invalid_argument(what + ": expected an integer, got \"" + text +
+                                "\"");
+  }
+  if (v < min || v > max) {
+    throw std::invalid_argument(what + ": value " + text + " out of range [" +
+                                std::to_string(min) + ", " +
+                                std::to_string(max) + "]");
+  }
+  return v;
+}
+
+/// parse_int with an int-sized result (the common flag shape).
+inline int parse_int32(const std::string& text, const std::string& what,
+                       int min = std::numeric_limits<int>::min(),
+                       int max = std::numeric_limits<int>::max()) {
+  return static_cast<int>(parse_int(text, what, min, max));
+}
+
+/// Parses `text` as a finite double in [min, max]. Same strictness contract
+/// as parse_int: the whole token must be consumed and NaN/inf are rejected
+/// (no flag in this project means anything useful at infinity).
+inline double parse_double(const std::string& text, const std::string& what,
+                           double min = std::numeric_limits<double>::lowest(),
+                           double max = std::numeric_limits<double>::max()) {
+  if (text.empty()) {
+    throw std::invalid_argument(what + ": expected a number, got \"\"");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE ||
+      !(v >= std::numeric_limits<double>::lowest() &&
+        v <= std::numeric_limits<double>::max())) {
+    throw std::invalid_argument(what + ": expected a number, got \"" + text +
+                                "\"");
+  }
+  if (v < min || v > max) {
+    throw std::invalid_argument(what + ": value " + text + " out of range");
+  }
+  return v;
+}
+
+}  // namespace easz::util

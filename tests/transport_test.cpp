@@ -1,0 +1,389 @@
+// Networked serving tier integration tests (DESIGN.md §11): epoll transport
+// loopback, disconnect-under-load settle-once, shed propagation, and the
+// consistent-hash router end to end over real sockets.
+//
+// Everything binds 127.0.0.1 ephemeral ports, so tests run in parallel and
+// sandboxed. The acceptance criterion the loopback tests pin down: a socket
+// response's pixel bytes are IDENTICAL to the in-process submit() result —
+// the wire tier adds a transport, not a numeric path.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "codec/jpeg_like.hpp"
+#include "core/pipeline.hpp"
+#include "data/synth.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
+#include "serve/wire.hpp"
+#include "util/prng.hpp"
+
+namespace easz::serve {
+namespace {
+
+core::ReconModelConfig tiny_model_config() {
+  core::ReconModelConfig cfg;
+  cfg.patchify = {.patch = 16, .sub_patch = 4};
+  cfg.channels = 3;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.ffn_hidden = 64;
+  return cfg;
+}
+
+struct NetFixture {
+  util::Pcg32 rng{417};
+  core::ReconstructionModel model{tiny_model_config(), rng};
+  codec::JpegLikeCodec jpeg{85};
+
+  ServeRequest make_request(std::uint64_t image_seed,
+                            std::uint64_t mask_seed = 7,
+                            const std::string& tenant = "") {
+    util::Pcg32 img_rng(image_seed);
+    const image::Image img = data::synth_photo(48, 32, img_rng);
+    core::EaszConfig cfg;
+    cfg.patchify = tiny_model_config().patchify;
+    cfg.erased_per_row = 1;
+    cfg.mask_seed = mask_seed;
+    const core::EaszPipeline edge(cfg, jpeg, nullptr);
+    ServeRequest r;
+    r.compressed = edge.encode(img);
+    r.codec = "jpeg";
+    r.tenant = tenant;
+    return r;
+  }
+
+  static wire::WireRequest to_wire(const ServeRequest& r,
+                                   std::uint64_t tag) {
+    wire::WireRequest w;
+    w.client_tag = tag;
+    w.tenant = r.tenant;
+    w.codec = r.codec;
+    w.compressed = r.compressed;
+    return w;
+  }
+
+  std::unique_ptr<ReconServer> make_server(ServerConfig scfg) {
+    auto server = std::make_unique<ReconServer>(scfg, model);
+    server->register_codec("jpeg", &jpeg);
+    return server;
+  }
+};
+
+std::uint64_t counter_value(ReconServer& server, const std::string& name) {
+  return server.obs().snapshot().counter(name);
+}
+
+// ------------------------------------------------------------- loopback
+
+TEST(TransportTest, LoopbackResponsesAreByteIdenticalToInProcessSubmit) {
+  NetFixture fx;
+  ServerConfig scfg;
+  scfg.workers = 2;
+  auto reference = fx.make_server(scfg);  // in-process oracle
+  auto served = fx.make_server(scfg);     // behind the socket
+  ServeTransport transport(*served, TransportConfig{});
+
+  WireClient client;
+  client.connect("127.0.0.1", transport.port());
+
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const ServeRequest req = fx.make_request(seed);
+
+    SubmitResult local = reference->submit(req);
+    ASSERT_TRUE(local.accepted);
+    const wire::WireResponse expect =
+        wire::make_ok_response(local.response.get());
+
+    const wire::WireResponse got =
+        client.roundtrip(NetFixture::to_wire(req, seed));
+    ASSERT_EQ(got.status, wire::ResponseStatus::kOk) << got.error;
+    EXPECT_EQ(got.client_tag, seed);
+    EXPECT_EQ(got.width, expect.width);
+    EXPECT_EQ(got.height, expect.height);
+    EXPECT_EQ(got.channels, expect.channels);
+    EXPECT_EQ(got.pixels, expect.pixels) << "seed " << seed;
+    EXPECT_GT(got.request_id, 0U);
+  }
+
+  // A byte-identical resend hits the replica's result cache and says so.
+  const ServeRequest dup = fx.make_request(1);
+  const wire::WireResponse hit =
+      client.roundtrip(NetFixture::to_wire(dup, 99));
+  ASSERT_EQ(hit.status, wire::ResponseStatus::kOk);
+  EXPECT_EQ(hit.cache_hit, 1);
+
+  transport.stop();
+  served->drain();
+}
+
+TEST(TransportTest, MalformedFrameAnswersFailedAndKeepsConnection) {
+  NetFixture fx;
+  ServerConfig scfg;
+  scfg.workers = 1;
+  auto served = fx.make_server(scfg);
+  ServeTransport transport(*served, TransportConfig{});
+
+  WireClient client;
+  client.connect("127.0.0.1", transport.port());
+
+  // Valid framing, garbage body: the server answers kFailed instead of
+  // dropping the connection — the stream is still in sync.
+  std::vector<std::uint8_t> garbage = {8, 0, 0, 0, 'g', 'a', 'r',
+                                       'b', 'a', 'g', 'e', '!'};
+  client.send_frame(garbage);
+  const wire::WireResponse failed = client.recv_response(10.0);
+  EXPECT_EQ(failed.status, wire::ResponseStatus::kFailed);
+  EXPECT_FALSE(failed.error.empty());
+  EXPECT_EQ(counter_value(*served, "transport.parse_errors"), 1U);
+
+  // The same connection still serves real traffic afterwards.
+  const ServeRequest req = fx.make_request(5);
+  const wire::WireResponse ok =
+      client.roundtrip(NetFixture::to_wire(req, 1));
+  EXPECT_EQ(ok.status, wire::ResponseStatus::kOk) << ok.error;
+
+  transport.stop();
+  served->drain();
+}
+
+TEST(TransportTest, OversizeFrameClosesTheConnection) {
+  NetFixture fx;
+  ServerConfig scfg;
+  scfg.workers = 1;
+  auto served = fx.make_server(scfg);
+  TransportConfig tcfg;
+  tcfg.max_frame_bytes = 1 << 16;
+  ServeTransport transport(*served, tcfg);
+
+  WireClient client;
+  client.connect("127.0.0.1", transport.port());
+  const std::vector<std::uint8_t> hostile = {0xFF, 0xFF, 0xFF, 0x7F};
+  client.send_frame(hostile);
+  // The framing is unrecoverable, so the server hangs up rather than
+  // buffering 2 GB it will never parse.
+  EXPECT_THROW(client.recv_response(10.0), std::runtime_error);
+
+  transport.stop();
+  served->drain();
+}
+
+// ------------------------------------------------- disconnect under load
+
+TEST(TransportTest, DisconnectUnderLoadSettlesEveryRequestServerSide) {
+  NetFixture fx;
+  ServerConfig scfg;
+  scfg.workers = 1;
+  // Slow every decode down so the client can vanish while ALL its requests
+  // are still in flight — the settle-once funnel must release each slot
+  // and drop each response without anyone listening.
+  scfg.fault_injection = [](StageAction stage) {
+    if (stage == StageAction::kDecode) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+  };
+  auto served = fx.make_server(scfg);
+  ServeTransport transport(*served, TransportConfig{});
+
+  constexpr std::uint64_t kInflight = 4;
+  {
+    WireClient client;
+    client.connect("127.0.0.1", transport.port());
+    for (std::uint64_t i = 0; i < kInflight; ++i) {
+      client.send_request(
+          NetFixture::to_wire(fx.make_request(100 + i), i));
+    }
+    client.close();  // gone before any response can flush
+  }
+
+  // The server settles every accepted request (drain() returning at all is
+  // the slot-release proof), and every response bytes-wise lands in the
+  // dropped counter because the connection died first.
+  served->drain();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (counter_value(*served, "transport.dropped_responses") < kInflight &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(counter_value(*served, "transport.dropped_responses"), kInflight);
+
+  // The server is fully healthy afterwards: a fresh client round-trips.
+  WireClient again;
+  again.connect("127.0.0.1", transport.port());
+  const wire::WireResponse ok =
+      again.roundtrip(NetFixture::to_wire(fx.make_request(200), 1));
+  EXPECT_EQ(ok.status, wire::ResponseStatus::kOk) << ok.error;
+
+  transport.stop();
+  served->drain();
+}
+
+TEST(TransportTest, ShedResponsesCarryTheSubmitReason) {
+  NetFixture fx;
+  ServerConfig scfg;
+  scfg.workers = 1;
+  TenantConfig tenant;
+  tenant.name = "camera";
+  tenant.max_inflight = 1;  // second pipelined request must shed on quota
+  scfg.tenants = {tenant};
+  scfg.fault_injection = [](StageAction stage) {
+    if (stage == StageAction::kDecode) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  };
+  auto served = fx.make_server(scfg);
+  ServeTransport transport(*served, TransportConfig{});
+
+  WireClient client;
+  client.connect("127.0.0.1", transport.port());
+  client.send_request(
+      NetFixture::to_wire(fx.make_request(300, 7, "camera"), 1));
+  client.send_request(
+      NetFixture::to_wire(fx.make_request(301, 7, "camera"), 2));
+
+  int ok = 0;
+  int shed = 0;
+  for (int i = 0; i < 2; ++i) {
+    const wire::WireResponse resp = client.recv_response(30.0);
+    if (resp.status == wire::ResponseStatus::kOk) {
+      ++ok;
+    } else if (resp.status == wire::ResponseStatus::kShed) {
+      ++shed;
+      EXPECT_EQ(static_cast<SubmitStatus>(resp.submit_status),
+                SubmitStatus::kQuotaExceeded);
+      EXPECT_EQ(resp.client_tag, 2U);  // the shed answer is the 2nd submit
+    }
+  }
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(shed, 1);
+
+  transport.stop();
+  served->drain();
+}
+
+// ---------------------------------------------------------------- router
+
+TEST(RouterTest, RoutesThroughTwoReplicasWithCacheAffinity) {
+  NetFixture fx;
+  ServerConfig scfg;
+  scfg.workers = 2;
+  auto replica0 = fx.make_server(scfg);
+  auto replica1 = fx.make_server(scfg);
+  auto transport0 =
+      std::make_unique<ServeTransport>(*replica0, TransportConfig{});
+  auto transport1 =
+      std::make_unique<ServeTransport>(*replica1, TransportConfig{});
+
+  RouterConfig rcfg;
+  rcfg.replicas = {{"127.0.0.1", transport0->port()},
+                   {"127.0.0.1", transport1->port()}};
+  ReplicaRouter router(rcfg);
+
+  auto reference = fx.make_server(scfg);  // in-process oracle
+
+  WireClient client;
+  client.connect("127.0.0.1", router.port());
+
+  // Distinct mask seeds spread the keys across the ring; each request is
+  // sent twice, and the closed-loop resend MUST hit the cache of whichever
+  // replica served the original — that is the affinity contract.
+  constexpr std::uint64_t kDistinct = 8;
+  std::uint64_t tag = 0;
+  for (std::uint64_t i = 0; i < kDistinct; ++i) {
+    const ServeRequest req = fx.make_request(400 + i, /*mask_seed=*/i);
+
+    SubmitResult local = reference->submit(req);
+    ASSERT_TRUE(local.accepted);
+    const wire::WireResponse expect =
+        wire::make_ok_response(local.response.get());
+
+    const wire::WireResponse first =
+        client.roundtrip(NetFixture::to_wire(req, ++tag));
+    ASSERT_EQ(first.status, wire::ResponseStatus::kOk) << first.error;
+    EXPECT_EQ(first.pixels, expect.pixels) << "request " << i;
+
+    const wire::WireResponse resend =
+        client.roundtrip(NetFixture::to_wire(req, ++tag));
+    ASSERT_EQ(resend.status, wire::ResponseStatus::kOk) << resend.error;
+    EXPECT_EQ(resend.cache_hit, 1) << "resend " << i
+                                   << " missed its replica's cache";
+    EXPECT_EQ(resend.pixels, expect.pixels);
+  }
+
+  // Both replicas took traffic, and every resend was a cache hit wherever
+  // it landed: 100% of repeat keys stayed on their replica (criterion:
+  // >= 90%).
+  const ReplicaStats s0 = router.replica_stats(0);
+  const ReplicaStats s1 = router.replica_stats(1);
+  EXPECT_EQ(s0.forwarded + s1.forwarded, 2 * kDistinct);
+  EXPECT_GT(s0.forwarded, 0U);
+  EXPECT_GT(s1.forwarded, 0U);
+  EXPECT_EQ(s0.responses + s1.responses, 2 * kDistinct);
+  EXPECT_EQ(s0.failed + s1.failed, 0U);
+  const std::uint64_t hits0 = replica0->stats().cache_hits;
+  const std::uint64_t hits1 = replica1->stats().cache_hits;
+  EXPECT_EQ(hits0 + hits1, kDistinct);
+
+  router.stop();
+  transport0->stop();
+  transport1->stop();
+  replica0->drain();
+  replica1->drain();
+}
+
+TEST(RouterTest, DeadReplicaFailsFastInsteadOfHanging) {
+  NetFixture fx;
+  ServerConfig scfg;
+  scfg.workers = 1;
+  auto replica0 = fx.make_server(scfg);
+  auto replica1 = fx.make_server(scfg);
+  auto transport0 =
+      std::make_unique<ServeTransport>(*replica0, TransportConfig{});
+  auto transport1 =
+      std::make_unique<ServeTransport>(*replica1, TransportConfig{});
+
+  RouterConfig rcfg;
+  rcfg.replicas = {{"127.0.0.1", transport0->port()},
+                   {"127.0.0.1", transport1->port()}};
+  ReplicaRouter router(rcfg);
+
+  // Kill replica 0 under the router.
+  transport0->stop();
+
+  WireClient client;
+  client.connect("127.0.0.1", router.port());
+
+  // Every request gets SOME response — ok from the live replica, failed
+  // for keys owned by the dead one. Nothing hangs.
+  int ok = 0;
+  int failed = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const ServeRequest req = fx.make_request(500 + i, /*mask_seed=*/i);
+    const wire::WireResponse resp =
+        client.roundtrip(NetFixture::to_wire(req, i + 1));
+    if (resp.status == wire::ResponseStatus::kOk) {
+      ++ok;
+    } else {
+      EXPECT_EQ(resp.status, wire::ResponseStatus::kFailed);
+      EXPECT_FALSE(resp.error.empty());
+      ++failed;
+    }
+  }
+  EXPECT_EQ(ok + failed, 8);
+  EXPECT_GT(ok, 0);      // the live replica keeps serving its share
+  EXPECT_GT(failed, 0);  // the dead replica's share fails fast
+
+  router.stop();
+  transport1->stop();
+  replica1->drain();
+  replica0->drain();
+}
+
+}  // namespace
+}  // namespace easz::serve

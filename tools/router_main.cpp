@@ -1,0 +1,136 @@
+// easz_router — consistent-hash front door for a fleet of easz_serve
+// --listen replicas (DESIGN.md §11.3).
+//
+//   easz_router --replicas HOST:PORT[,HOST:PORT...] [--port P] [--host A]
+//               [--vnodes N] [--max-conns N] [--connect-timeout S]
+//               [--stats-every S] [--json out.json]
+//
+// Clients speak the same wire protocol to the router as to a replica; the
+// router forwards each request to the replica owning its routing_hash on
+// the ring (payload/mask/codec/geometry/precision — the result-cache key),
+// so byte-identical resends always land on the replica whose cache shard
+// already holds them. Runs until SIGTERM/SIGINT, then closes the front
+// door, drains the legs and writes per-replica fan-out / forwarded /
+// failed counts and latency percentiles as JSON to --json (or stdout).
+// --stats-every S additionally emits that JSON every S seconds while
+// serving. All numeric flags are strict (util/parse.hpp): garbage is a
+// usage error, never a silently-zero port or vnode count.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/router.hpp"
+#include "util/flags.hpp"
+#include "util/parse.hpp"
+
+namespace {
+
+using namespace easz;
+using util::flag_value;
+
+volatile std::sig_atomic_t g_shutdown = 0;
+void handle_shutdown(int) { g_shutdown = 1; }
+
+// Parses "HOST:PORT[,HOST:PORT...]" strictly: every entry must carry a
+// non-empty host and an in-range port.
+std::vector<serve::RouterConfig::Replica> parse_replicas(
+    const std::string& spec) {
+  std::vector<serve::RouterConfig::Replica> out;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= entry.size()) {
+      throw std::invalid_argument("--replicas entry \"" + entry +
+                                  "\": expected HOST:PORT");
+    }
+    serve::RouterConfig::Replica r;
+    r.host = entry.substr(0, colon);
+    r.port = util::parse_int32(entry.substr(colon + 1),
+                               "--replicas " + entry + " port", 1, 65535);
+    out.push_back(std::move(r));
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("--replicas: need at least one HOST:PORT");
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const char* replicas_flag = flag_value(argc, argv, "--replicas", nullptr);
+  if (replicas_flag == nullptr) {
+    std::fprintf(stderr,
+                 "usage: easz_router --replicas HOST:PORT[,HOST:PORT...] "
+                 "[--port P] [--host A] [--vnodes N] [--max-conns N] "
+                 "[--connect-timeout S] [--stats-every S] [--json out.json]\n");
+    return 2;
+  }
+
+  serve::RouterConfig cfg;
+  cfg.replicas = parse_replicas(replicas_flag);
+  cfg.front.host = flag_value(argc, argv, "--host", "127.0.0.1");
+  cfg.front.port = util::parse_int32(flag_value(argc, argv, "--port", "0"),
+                                     "--port", 0, 65535);
+  cfg.front.max_connections =
+      util::parse_int32(flag_value(argc, argv, "--max-conns", "256"),
+                        "--max-conns", 1, 1 << 20);
+  cfg.vnodes = util::parse_int32(flag_value(argc, argv, "--vnodes", "64"),
+                                 "--vnodes", 1, 1 << 16);
+  cfg.connect_timeout_s =
+      util::parse_double(flag_value(argc, argv, "--connect-timeout", "10"),
+                         "--connect-timeout", 0.1, 3600.0);
+  const double stats_every =
+      util::parse_double(flag_value(argc, argv, "--stats-every", "0"),
+                         "--stats-every", 0.0, 1e6);
+  const char* json_path = flag_value(argc, argv, "--json", nullptr);
+
+  std::signal(SIGTERM, handle_shutdown);
+  std::signal(SIGINT, handle_shutdown);
+
+  serve::ReplicaRouter router(cfg);
+  std::printf("easz_router: listening on %s:%d, %zu replicas x %d vnodes\n",
+              cfg.front.host.c_str(), router.port(), cfg.replicas.size(),
+              cfg.vnodes);
+  std::fflush(stdout);
+
+  double since_stats = 0.0;
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    since_stats += 0.1;
+    if (stats_every > 0.0 && since_stats >= stats_every) {
+      since_stats = 0.0;
+      std::printf("%s\n", router.stats_json().c_str());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("easz_router: shutting down\n");
+  router.stop();
+
+  const std::string stats = router.stats_json();
+  if (json_path != nullptr) {
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fputs(stats.c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+  } else {
+    std::printf("%s\n", stats.c_str());
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "easz_router: %s\n", e.what());
+  return 2;
+}

@@ -13,6 +13,26 @@
 //              [--pipeline-depth N] [--pin-workers] [--shape-llc] [--llc BYTES]
 //              [--slo-p95-ms MS] [--save-checkpoint f.ckpt] [--reload f.ckpt]
 //              [--inject-fault-every N]
+//              [--listen PORT [--host ADDR] [--max-conns N]]
+//              [--connect HOST:PORT [--verify N]]
+//
+// Networked tier (DESIGN.md §11): --listen turns the replay driver into a
+// long-running TCP replica — the wire-protocol front-end (ServeTransport)
+// rides the same canonical model and ServerConfig the replay modes use, so
+// a replica and an in-process run are byte-identical deployments. The
+// process serves until SIGTERM/SIGINT, then stops the transport, drains,
+// and writes a final stats JSON ({"port":…,"stats":…}) to --json or stdout
+// — the CI networked smoke asserts per-replica cache hits from exactly that
+// file. --connect is the other half: it builds the SAME traces the replay
+// modes use (the model is deterministic, so client and replica agree on
+// every weight), drives them over sockets with one connection per modeled
+// client, and with --verify N cross-checks the first N ok-responses
+// byte-for-byte against a local single-worker decode of the same request —
+// the loopback-equals-in-process guarantee, asserted end to end.
+//
+// All numeric flags reject garbage: `--workers junk` is a fatal usage error
+// (util/parse.hpp), NOT a silent std::atoi zero — which used to mean
+// "manual stepping mode" and a server that never made progress.
 //
 // Overload resilience (DESIGN.md §10): --slo-p95-ms arms the per-tenant
 // degradation ladder — when a tenant's observed p95 (or oldest queued
@@ -90,8 +110,11 @@
 #include "nn/quantize.hpp"
 #include "nn/serialize.hpp"
 #include "serve/server.hpp"
+#include "serve/transport.hpp"
+#include "serve/wire.hpp"
 #include "testbed/loadgen.hpp"
 #include "util/flags.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -100,7 +123,10 @@ using namespace easz;
 using util::flag_value;
 using util::has_flag;
 
-// Parses "name:weight[:rate[:burst[:inflight]]],..." into tenant configs.
+// Parses "name:weight[:rate[:burst[:inflight[:precision]]]],..." into tenant
+// configs. Every numeric field is strict (util/parse.hpp): a typo like
+// "wildlife:3x" or "wildlife:3:fast" is a fatal usage error, not a tenant
+// silently registered with weight 0 / no rate limit.
 std::vector<serve::TenantConfig> parse_tenants(const std::string& spec) {
   std::vector<serve::TenantConfig> out;
   std::size_t start = 0;
@@ -120,11 +146,31 @@ std::vector<serve::TenantConfig> parse_tenants(const std::string& spec) {
       fields.push_back(entry.substr(fstart, fend - fstart));
       fstart = fend + 1;
     }
+    if (fields.size() > 6) {
+      throw std::invalid_argument(
+          "--tenants entry \"" + entry +
+          "\": too many fields (name:weight[:rate[:burst[:inflight"
+          "[:precision]]]])");
+    }
     t.name = fields[0];
-    if (fields.size() > 1) t.weight = std::atoi(fields[1].c_str());
-    if (fields.size() > 2) t.rate_per_s = std::atof(fields[2].c_str());
-    if (fields.size() > 3) t.burst = std::atof(fields[3].c_str());
-    if (fields.size() > 4) t.max_inflight = std::atoi(fields[4].c_str());
+    if (t.name.empty()) {
+      throw std::invalid_argument("--tenants entry \"" + entry +
+                                  "\": empty tenant name");
+    }
+    const std::string where = "--tenants " + t.name;
+    if (fields.size() > 1) {
+      t.weight = util::parse_int32(fields[1], where + " weight", 1, 1 << 20);
+    }
+    if (fields.size() > 2) {
+      t.rate_per_s = util::parse_double(fields[2], where + " rate", 0.0, 1e9);
+    }
+    if (fields.size() > 3) {
+      t.burst = util::parse_double(fields[3], where + " burst", 0.0, 1e9);
+    }
+    if (fields.size() > 4) {
+      t.max_inflight =
+          util::parse_int32(fields[4], where + " inflight", 0, 1 << 20);
+    }
     if (fields.size() > 5 && !fields[5].empty()) {
       if (fields[5] == "fp32") {
         t.precision = serve::TenantPrecision::kFp32;
@@ -197,6 +243,12 @@ class StatsReporter {
 volatile std::sig_atomic_t g_reload_signal = 0;
 
 void handle_sighup(int) { g_reload_signal = 1; }
+
+// SIGTERM/SIGINT in --listen mode: the serve loop polls this and shuts the
+// replica down cleanly (stop transport -> drain -> final stats JSON).
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+void handle_shutdown(int) { g_shutdown_signal = 1; }
 
 // Hot-reload watcher: polls a checkpoint path on a background thread and
 // deploys it into the running server via ReconServer::deploy_model (atomic
@@ -300,40 +352,75 @@ class ReloadWatcher {
 }  // namespace
 
 int main(int argc, char** argv) try {
+  // Every numeric flag goes through util::parse_* — garbage, trailing
+  // characters and out-of-range values are usage errors (caught below,
+  // printed, exit 2), never silent zeros.
   const std::string scenario = flag_value(argc, argv, "--scenario", "all");
-  const int workers = std::atoi(flag_value(argc, argv, "--workers", "4"));
-  const int clients = std::atoi(flag_value(argc, argv, "--clients", "6"));
-  const int frames = std::atoi(flag_value(argc, argv, "--frames", "8"));
-  const int batch = std::atoi(flag_value(argc, argv, "--batch", "32"));
-  const int queue = std::atoi(flag_value(argc, argv, "--queue", "64"));
-  const double cache_mb =
-      std::atof(flag_value(argc, argv, "--cache-mb", "64"));
+  const int workers = util::parse_int32(
+      flag_value(argc, argv, "--workers", "4"), "--workers", 0, 1024);
+  const int clients = util::parse_int32(
+      flag_value(argc, argv, "--clients", "6"), "--clients", 1, 1 << 20);
+  const int frames = util::parse_int32(
+      flag_value(argc, argv, "--frames", "8"), "--frames", 1, 1 << 20);
+  const int batch = util::parse_int32(flag_value(argc, argv, "--batch", "32"),
+                                      "--batch", 1, 1 << 20);
+  const int queue = util::parse_int32(flag_value(argc, argv, "--queue", "64"),
+                                      "--queue", 1, 1 << 24);
+  const double cache_mb = util::parse_double(
+      flag_value(argc, argv, "--cache-mb", "64"), "--cache-mb", 0.0, 1e6);
   const double time_scale =
-      std::atof(flag_value(argc, argv, "--time-scale", "0"));
+      util::parse_double(flag_value(argc, argv, "--time-scale", "0"),
+                         "--time-scale", 0.0, 1e6);
   const int kernel_threads =
-      std::atoi(flag_value(argc, argv, "--kernel-threads", "0"));
+      util::parse_int32(flag_value(argc, argv, "--kernel-threads", "0"),
+                        "--kernel-threads", 0, 1024);
   const int cache_shards =
-      std::atoi(flag_value(argc, argv, "--cache-shards", "8"));
+      util::parse_int32(flag_value(argc, argv, "--cache-shards", "8"),
+                        "--cache-shards", 1, 1 << 16);
   const std::string tenants_spec = flag_value(argc, argv, "--tenants", "");
   const bool async = has_flag(argc, argv, "--async");
   const char* json_path = flag_value(argc, argv, "--json", nullptr);
   const char* trace_out = flag_value(argc, argv, "--trace-out", nullptr);
   const double stats_every =
-      std::atof(flag_value(argc, argv, "--stats-every", "0"));
+      util::parse_double(flag_value(argc, argv, "--stats-every", "0"),
+                         "--stats-every", 0.0, 1e6);
   const char* stats_out_path = flag_value(argc, argv, "--stats-out", nullptr);
   const int pipeline_depth =
-      std::atoi(flag_value(argc, argv, "--pipeline-depth", "2"));
+      util::parse_int32(flag_value(argc, argv, "--pipeline-depth", "2"),
+                        "--pipeline-depth", 1, 64);
   const bool pin_workers = has_flag(argc, argv, "--pin-workers");
   const bool shape_llc = has_flag(argc, argv, "--shape-llc");
   const std::size_t llc_bytes = static_cast<std::size_t>(
-      std::atoll(flag_value(argc, argv, "--llc", "0")));
+      util::parse_int(flag_value(argc, argv, "--llc", "0"), "--llc", 0,
+                      1LL << 40));
   const double slo_p95_ms =
-      std::atof(flag_value(argc, argv, "--slo-p95-ms", "0"));
-  const int inject_fault_every =
-      std::atoi(flag_value(argc, argv, "--inject-fault-every", "0"));
+      util::parse_double(flag_value(argc, argv, "--slo-p95-ms", "0"),
+                         "--slo-p95-ms", 0.0, 1e9);
+  const int inject_fault_every = util::parse_int32(
+      flag_value(argc, argv, "--inject-fault-every", "0"),
+      "--inject-fault-every", 0, 1 << 30);
   const char* save_ckpt =
       flag_value(argc, argv, "--save-checkpoint", nullptr);
   const char* reload_path = flag_value(argc, argv, "--reload", nullptr);
+  // Networked tier: --listen makes this process a TCP replica; --connect
+  // drives traces at one over sockets. Mutually exclusive with each other.
+  const char* listen_flag = flag_value(argc, argv, "--listen", nullptr);
+  const int listen_port =
+      listen_flag == nullptr
+          ? -1
+          : util::parse_int32(listen_flag, "--listen", 0, 65535);
+  const std::string listen_host =
+      flag_value(argc, argv, "--host", "127.0.0.1");
+  const int max_conns =
+      util::parse_int32(flag_value(argc, argv, "--max-conns", "256"),
+                        "--max-conns", 1, 1 << 20);
+  const char* connect_flag = flag_value(argc, argv, "--connect", nullptr);
+  const int verify_n = util::parse_int32(
+      flag_value(argc, argv, "--verify", "8"), "--verify", 0, 1 << 20);
+  if (listen_flag != nullptr && connect_flag != nullptr) {
+    std::fprintf(stderr, "--listen and --connect are mutually exclusive\n");
+    return 2;
+  }
   const std::string precision_flag =
       flag_value(argc, argv, "--precision", "fp32");
   serve::PrecisionPolicy precision = serve::PrecisionPolicy::kFp32;
@@ -479,6 +566,83 @@ int main(int argc, char** argv) try {
   if (reload_path != nullptr) std::signal(SIGHUP, handle_sighup);
 #endif
 
+  if (listen_port >= 0) {
+    // Replica mode: serve the wire protocol until SIGTERM/SIGINT. The
+    // stepping harness (workers == 0) has no worker to run socket traffic,
+    // so it is a usage error here — exactly the misconfiguration the old
+    // atoi behaviour used to reach silently via `--workers junk`.
+    if (workers < 1) {
+      std::fprintf(stderr,
+                   "--listen requires --workers >= 1 (workers=0 is the "
+                   "manual-stepping harness; it cannot serve a socket)\n");
+      return 2;
+    }
+    std::signal(SIGTERM, handle_shutdown);
+    std::signal(SIGINT, handle_shutdown);
+
+    serve::ReconServer server(scfg, model);
+    server.register_codec("jpeg", &jpeg);
+    server.register_codec("bpg", &bpg);
+
+    serve::TransportConfig tcfg;
+    tcfg.host = listen_host;
+    tcfg.port = listen_port;
+    tcfg.max_connections = max_conns;
+    serve::ServeTransport transport(server, tcfg);
+    std::printf("easz_serve: listening on %s:%d (%d workers)\n",
+                listen_host.c_str(), transport.port(), workers);
+    std::fflush(stdout);
+
+    std::FILE* stats_file = stdout;
+    if (stats_every > 0.0 && stats_out_path != nullptr) {
+      stats_file = std::fopen(stats_out_path, "w");
+      if (stats_file == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", stats_out_path);
+        return 1;
+      }
+    }
+    std::unique_ptr<StatsReporter> reporter;
+    if (stats_every > 0.0) {
+      reporter =
+          std::make_unique<StatsReporter>(server, stats_every, stats_file);
+    }
+    std::unique_ptr<ReloadWatcher> reloader;
+    if (reload_path != nullptr) {
+      reloader = std::make_unique<ReloadWatcher>(
+          server, reload_path, mcfg, stats_every > 0.0 ? stats_every : 0.25);
+    }
+
+    while (g_shutdown_signal == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::printf("easz_serve: shutting down\n");
+    transport.stop();  // no new frames past this point
+    server.drain();    // every accepted request settles before stats
+    if (reloader) reloader->stop();
+    if (reporter) reporter->stop();
+    if (stats_file != stdout) std::fclose(stats_file);
+
+    // Final stats: the networked smoke reads cache hits / request counts
+    // from this JSON, so it must flush even without --stats-every.
+    const std::string final_json =
+        "{\"port\":" + std::to_string(transport.port()) +
+        ",\"stats\":" + server.stats().to_json() + "}";
+    if (json_path != nullptr) {
+      if (std::FILE* f = std::fopen(json_path, "w")) {
+        std::fputs(final_json.c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path);
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", json_path);
+        return 1;
+      }
+    } else {
+      std::printf("%s\n", final_json.c_str());
+    }
+    return 0;
+  }
+
   std::vector<testbed::LoadTrace> traces;
   if (scenario == "wildlife" || scenario == "all") {
     traces.push_back(testbed::make_wildlife_burst_trace(
@@ -497,6 +661,108 @@ int main(int argc, char** argv) try {
                  "unknown --scenario '%s' (wildlife|industrial|mixed|all)\n",
                  scenario.c_str());
     return 2;
+  }
+
+  if (connect_flag != nullptr) {
+    // Socket fleet mode: drive the traces at a remote replica (or router).
+    const std::string spec = connect_flag;
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+      std::fprintf(stderr, "--connect expects HOST:PORT, got \"%s\"\n",
+                   spec.c_str());
+      return 2;
+    }
+    const std::string host = spec.substr(0, colon);
+    const int port = util::parse_int32(spec.substr(colon + 1),
+                                       "--connect port", 1, 65535);
+
+    // Byte-identity cross-check: a local single-worker server over the SAME
+    // deterministic model decodes a sample of requests, and the socket
+    // response's float pixels must match its output exactly. Requires the
+    // remote replica to run the same default precision (both sides default
+    // fp32); --verify 0 disables.
+    std::unique_ptr<serve::ReconServer> verify_server;
+    if (verify_n > 0) {
+      serve::ServerConfig vcfg = scfg;
+      vcfg.workers = 1;
+      vcfg.fault_injection = nullptr;
+      verify_server = std::make_unique<serve::ReconServer>(vcfg, model);
+      verify_server->register_codec("jpeg", &jpeg);
+      verify_server->register_codec("bpg", &bpg);
+    }
+    int verified = 0;
+    int mismatches = 0;
+
+    util::Table t({"scenario", "events", "done", "drop", "fail", "wall s",
+                   "req/s", "p50 ms", "p99 ms"});
+    std::string json = "[";
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const testbed::LoadTrace& trace = traces[i];
+      testbed::SocketReplayOptions opts;
+      opts.host = host;
+      opts.port = port;
+      opts.time_scale = time_scale;
+      if (verify_server) {
+        opts.on_response = [&](const testbed::LoadEvent& ev,
+                               const serve::wire::WireResponse& resp) {
+          if (verified >= verify_n) return;
+          ++verified;
+          serve::SubmitResult local = verify_server->submit(ev.request);
+          if (!local.accepted) {
+            ++mismatches;
+            std::fprintf(stderr, "verify: local decode shed (tenant %s)\n",
+                         ev.request.tenant.c_str());
+            return;
+          }
+          const serve::ServeResponse lr = local.response.get();
+          const serve::wire::WireResponse expect =
+              serve::wire::make_ok_response(lr);
+          if (expect.width != resp.width || expect.height != resp.height ||
+              expect.channels != resp.channels ||
+              expect.pixels != resp.pixels) {
+            ++mismatches;
+            std::fprintf(stderr,
+                         "verify: response bytes differ from local decode "
+                         "(image %zu, %dx%dx%d vs %dx%dx%d)\n",
+                         ev.image_index, resp.width, resp.height,
+                         resp.channels, expect.width, expect.height,
+                         expect.channels);
+          }
+        };
+      }
+      const testbed::ReplayReport report =
+          testbed::replay_trace_sockets(trace, opts);
+      t.add_row({trace.name, std::to_string(trace.events.size()),
+                 std::to_string(report.completed),
+                 std::to_string(report.rejected),
+                 std::to_string(report.failed),
+                 util::Table::num(report.wall_s, 2),
+                 util::Table::num(report.throughput_rps, 1),
+                 util::Table::num(report.latency_p50_s * 1e3, 1),
+                 util::Table::num(report.latency_p99_s * 1e3, 1)});
+      json += report.to_json();
+      if (i + 1 < traces.size()) json += ",";
+    }
+    json += "]";
+    std::printf("\n");
+    t.print();
+    if (verify_n > 0) {
+      std::printf("verify: %d responses cross-checked against local decode, "
+                  "%d mismatches\n",
+                  verified, mismatches);
+    }
+    if (json_path != nullptr) {
+      if (std::FILE* f = std::fopen(json_path, "w")) {
+        std::fputs(json.c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path);
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", json_path);
+        return 1;
+      }
+    }
+    return mismatches > 0 ? 1 : 0;
   }
 
   std::FILE* stats_file = stdout;
